@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: the filter's decision thresholds tau_lo / tau_hi.
+ *
+ * tau_lo sets how much evidence a candidate needs to be prefetched at
+ * all; tau_hi sets how much it needs to fill the L2 rather than the
+ * LLC.  The design-point question (Section 3.1) is the balance between
+ * the filter's coverage (low thresholds) and pollution (high).
+ *
+ * Flags: --instructions, --warmup
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv);
+    sim::RunConfig run = runConfig(args);
+    if (!args.has("instructions"))
+        run.simInstructions = 500000;
+    if (!args.has("warmup"))
+        run.warmupInstructions = 150000;
+
+    banner("Ablation — filter thresholds tau_lo / tau_hi",
+           "the default (2, 40) balances bootstrap skepticism against "
+           "L2-fill aggressiveness",
+           run);
+
+    std::vector<workloads::Workload> workload_set = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("623.xalancbmk_s-like"),
+        workloads::findWorkload("607.cactuBSSN_s-like"),
+    };
+
+    std::map<std::string, double> base_ipc;
+    for (const auto &workload : workload_set) {
+        std::fprintf(stderr, "  [run] %-24s none ...\n",
+                     workload.name.c_str());
+        base_ipc[workload.name] =
+            sim::runSingleCore(sim::SystemConfig::defaultConfig(),
+                               workload, run)
+                .ipc;
+    }
+
+    const std::pair<int, int> points[] = {
+        {-24, 40}, {-8, 40}, {2, 40},  {12, 40}, {32, 40},
+        {2, 16},   {2, 64},  {2, 100},
+    };
+
+    stats::TextTable table({"tau_lo", "tau_hi", "geomean speedup",
+                            "issued", "accuracy"});
+    for (const auto &[lo, hi] : points) {
+        sim::SystemConfig config =
+            sim::SystemConfig::defaultConfig().withPrefetcher(
+                "spp_ppf");
+        config.sppPpfConfig.ppf.tauLo = lo;
+        config.sppPpfConfig.ppf.tauHi = hi;
+
+        std::fprintf(stderr, "  [run] tau=(%d, %d) ...\n", lo, hi);
+        std::vector<double> speedups;
+        std::uint64_t issued = 0, useful = 0;
+        for (const auto &workload : workload_set) {
+            const auto result =
+                sim::runSingleCore(config, workload, run);
+            speedups.push_back(result.ipc / base_ipc[workload.name]);
+            issued += result.totalPf();
+            useful += result.goodPf();
+        }
+        table.addRow({std::to_string(lo), std::to_string(hi),
+                      pct(stats::geomean(speedups)),
+                      std::to_string(issued),
+                      stats::TextTable::num(
+                          issued ? 100.0 * double(useful) /
+                                       double(issued)
+                                 : 0.0,
+                          1) + "%"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: perceptron weight width.
+ *
+ * Paper Section 3.1: "we found that having 5-bit weights provides a
+ * good trade-off between accuracy and area."  This bench clamps the
+ * weights to narrower ranges (emulating 2-4 bit storage) and shows
+ * the accuracy/speedup cost; the decision and training thresholds are
+ * scaled with the weight range so the comparison is fair.
+ *
+ * Flags: --instructions, --warmup
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv);
+    sim::RunConfig run = runConfig(args);
+    if (!args.has("instructions"))
+        run.simInstructions = 500000;
+    if (!args.has("warmup"))
+        run.warmupInstructions = 150000;
+
+    banner("Ablation — perceptron weight width",
+           "5-bit weights are the paper's accuracy/area sweet spot; "
+           "narrower weights lose discrimination",
+           run);
+
+    std::vector<workloads::Workload> workload_set = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("623.xalancbmk_s-like"),
+        workloads::findWorkload("649.fotonik3d_s-like"),
+    };
+
+    std::map<std::string, double> base_ipc;
+    for (const auto &workload : workload_set) {
+        std::fprintf(stderr, "  [run] %-24s none ...\n",
+                     workload.name.c_str());
+        base_ipc[workload.name] =
+            sim::runSingleCore(sim::SystemConfig::defaultConfig(),
+                               workload, run)
+                .ipc;
+    }
+
+    stats::TextTable table({"weight bits", "weight range",
+                            "geomean speedup", "storage (weights)"});
+    for (unsigned bits = 2; bits <= 5; ++bits) {
+        sim::SystemConfig config =
+            sim::SystemConfig::defaultConfig().withPrefetcher(
+                "spp_ppf");
+        auto &ppf_config = config.sppPpfConfig.ppf;
+        ppf_config.weightClampBits = bits;
+        // Scale thresholds with the representable sum range.
+        const double scale = double((1 << (bits - 1))) / 16.0;
+        ppf_config.tauHi = int(ppf_config.tauHi * scale + 0.5);
+        ppf_config.tauLo = std::max(1, int(ppf_config.tauLo * scale));
+        ppf_config.thetaP = int(ppf_config.thetaP * scale + 0.5);
+        ppf_config.thetaN = int(ppf_config.thetaN * scale - 0.5);
+
+        std::fprintf(stderr, "  [run] %u-bit weights ...\n", bits);
+        std::vector<double> speedups;
+        for (const auto &workload : workload_set) {
+            const auto result =
+                sim::runSingleCore(config, workload, run);
+            speedups.push_back(result.ipc / base_ipc[workload.name]);
+        }
+        const int lo = -(1 << (bits - 1));
+        const int hi = (1 << (bits - 1)) - 1;
+        table.addRow({std::to_string(bits),
+                      "[" + std::to_string(lo) + ", " +
+                          std::to_string(hi) + "]",
+                      pct(stats::geomean(speedups)),
+                      std::to_string(22656 * bits) + " bits"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the experiment (bench) binaries: common flags,
+ * run-length scaling and report headers.
+ *
+ * Every bench accepts:
+ *   --instructions=N  measured instructions per run (default 1M)
+ *   --warmup=N        warmup instructions per run (default 250k)
+ * plus bench-specific flags documented in each binary.
+ *
+ * Default lengths are sized for a small CI container; the shapes the
+ * paper reports (who wins, by how much, where the crossovers are) are
+ * stable at these lengths, while absolute numbers sharpen with longer
+ * runs (see EXPERIMENTS.md).
+ */
+
+#ifndef PFSIM_BENCH_BENCH_COMMON_HH
+#define PFSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "util/args.hh"
+#include "workloads/mixes.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim::bench
+{
+
+/** Parse the shared flags plus @p extra ones. */
+inline Args
+parseArgs(int argc, char **argv, std::set<std::string> extra = {})
+{
+    extra.insert("instructions");
+    extra.insert("warmup");
+    return Args(argc, argv, extra);
+}
+
+/** Build the run-length config from the shared flags. */
+inline sim::RunConfig
+runConfig(const Args &args)
+{
+    sim::RunConfig run;
+    run.simInstructions =
+        InstrCount(args.getInt("instructions", 1000000));
+    run.warmupInstructions =
+        InstrCount(args.getInt("warmup", 250000));
+    return run;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_summary,
+       const sim::RunConfig &run)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", paper_summary);
+    std::printf("run:   %llu measured instructions (+%llu warmup) "
+                "per configuration\n",
+                (unsigned long long)run.simInstructions,
+                (unsigned long long)run.warmupInstructions);
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** Pretty percent-over-baseline formatting. */
+inline std::string
+pct(double ratio)
+{
+    return stats::TextTable::pct(ratio);
+}
+
+} // namespace pfsim::bench
+
+#endif // PFSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 9: single-core IPC speedup of BOP, DA-AMPM, SPP and PPF over
+ * the no-prefetching baseline, for every SPEC CPU 2017-like workload,
+ * plus geometric means over the memory-intensive subset and the full
+ * suite.
+ *
+ * Paper headline numbers: PPF +26.95% over baseline on the
+ * memory-intensive subset (= +3.78% over SPP, +4.61% over BOP,
+ * +4.63% over DA-AMPM); +15.24% on the full suite (+2.27% over the
+ * next best); PPF average lookahead depth 3.97 vs SPP's 3.28.
+ *
+ * Flags: --instructions, --warmup, --subset (mem-intensive only)
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv, {"subset"});
+    const sim::RunConfig run = runConfig(args);
+    const bool subset_only = args.has("subset");
+
+    banner("Figure 9 — single-core speedup over no prefetching",
+           "PPF beats SPP by ~3.78% (mem-intensive geomean) and wins "
+           "or matches on 19 of 20 apps (loses only on cactuBSSN)",
+           run);
+
+    const auto &suite = workloads::spec17Suite();
+    const auto mem_subset = workloads::memIntensiveSubset(suite);
+    const auto &workload_set = subset_only ? mem_subset : suite;
+
+    const auto rows = sim::sweepPrefetchers(
+        sim::SystemConfig::defaultConfig(), sim::paperPrefetchers(),
+        workload_set, run);
+
+    stats::TextTable table(
+        {"workload", "bop", "da_ampm", "spp", "spp_ppf (PPF)"});
+    for (const auto &row : rows) {
+        table.addRow({row.workload, pct(row.speedup("bop")),
+                      pct(row.speedup("da_ampm")),
+                      pct(row.speedup("spp")),
+                      pct(row.speedup("spp_ppf"))});
+    }
+    table.addRow({"geomean (mem-intensive)",
+                  pct(geomeanSpeedup(rows, "bop", mem_subset)),
+                  pct(geomeanSpeedup(rows, "da_ampm", mem_subset)),
+                  pct(geomeanSpeedup(rows, "spp", mem_subset)),
+                  pct(geomeanSpeedup(rows, "spp_ppf", mem_subset))});
+    if (!subset_only) {
+        table.addRow({"geomean (full suite)",
+                      pct(sim::geomeanSpeedup(rows, "bop")),
+                      pct(sim::geomeanSpeedup(rows, "da_ampm")),
+                      pct(sim::geomeanSpeedup(rows, "spp")),
+                      pct(sim::geomeanSpeedup(rows, "spp_ppf"))});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // The re-tuned aggressiveness claim: PPF speculates deeper.
+    double spp_depth = 0.0, ppf_depth = 0.0;
+    int counted = 0;
+    for (const auto &row : rows) {
+        const auto &spp = row.results.at("spp").spp;
+        const auto &ppf = row.results.at("spp_ppf").spp;
+        if (spp.issued > 0 && ppf.issued > 0) {
+            spp_depth += spp.averageDepth();
+            ppf_depth += ppf.averageDepth();
+            ++counted;
+        }
+    }
+    if (counted > 0) {
+        std::printf("average lookahead depth: SPP %.2f vs PPF %.2f "
+                    "(paper: 3.28 vs 3.97, PPF ~21%% deeper)\n",
+                    spp_depth / counted, ppf_depth / counted);
+    }
+
+    const double ppf = geomeanSpeedup(rows, "spp_ppf", mem_subset);
+    const double spp = geomeanSpeedup(rows, "spp", mem_subset);
+    std::printf("PPF over SPP (mem-intensive geomean): %s "
+                "(paper: +3.78%%)\n",
+                pct(ppf / spp).c_str());
+    return 0;
+}

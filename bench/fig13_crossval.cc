@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 13: cross-validation on workloads PPF was never tuned on.
+ *
+ * (a) CloudSuite-like applications: largely prefetch agnostic; the
+ *     paper reports PPF +3.78% over baseline vs SPP's +3.08%.
+ * (b) SPEC CPU 2006-like suite: PPF +36.3% over baseline on the
+ *     memory-intensive subset (+6.1% over SPP, +8.44% over DA-AMPM,
+ *     +9.93% over BOP); +19.6% on the full suite (+3.33% over SPP).
+ *
+ * Flags: --instructions, --warmup
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv);
+    const sim::RunConfig run = runConfig(args);
+
+    banner("Figure 13 — IPC speedup for unseen workloads",
+           "(a) Cloud-like: small but positive, PPF ahead of SPP; "
+           "(b) SPEC'06-like: PPF +6.1% over SPP (mem-intensive)",
+           run);
+
+    const sim::SystemConfig base = sim::SystemConfig::defaultConfig();
+
+    // (a) CloudSuite-like.
+    std::printf("--- (a) CloudSuite-like ---\n");
+    const auto cloud_rows = sim::sweepPrefetchers(
+        base, sim::paperPrefetchers(), workloads::cloudSuite(), run);
+    stats::TextTable cloud_table(
+        {"workload", "bop", "da_ampm", "spp", "spp_ppf (PPF)"});
+    for (const auto &row : cloud_rows) {
+        cloud_table.addRow({row.workload, pct(row.speedup("bop")),
+                            pct(row.speedup("da_ampm")),
+                            pct(row.speedup("spp")),
+                            pct(row.speedup("spp_ppf"))});
+    }
+    cloud_table.addRow(
+        {"geomean", pct(sim::geomeanSpeedup(cloud_rows, "bop")),
+         pct(sim::geomeanSpeedup(cloud_rows, "da_ampm")),
+         pct(sim::geomeanSpeedup(cloud_rows, "spp")),
+         pct(sim::geomeanSpeedup(cloud_rows, "spp_ppf"))});
+    std::printf("%s\n", cloud_table.render().c_str());
+
+    // (b) SPEC CPU 2006-like.
+    std::printf("--- (b) SPEC CPU 2006-like ---\n");
+    const auto &suite = workloads::spec06Suite();
+    const auto mem_subset = workloads::memIntensiveSubset(suite);
+    const auto rows = sim::sweepPrefetchers(
+        base, sim::paperPrefetchers(), suite, run);
+
+    stats::TextTable table(
+        {"workload", "bop", "da_ampm", "spp", "spp_ppf (PPF)"});
+    for (const auto &row : rows) {
+        table.addRow({row.workload, pct(row.speedup("bop")),
+                      pct(row.speedup("da_ampm")),
+                      pct(row.speedup("spp")),
+                      pct(row.speedup("spp_ppf"))});
+    }
+    table.addRow({"geomean (mem-intensive)",
+                  pct(geomeanSpeedup(rows, "bop", mem_subset)),
+                  pct(geomeanSpeedup(rows, "da_ampm", mem_subset)),
+                  pct(geomeanSpeedup(rows, "spp", mem_subset)),
+                  pct(geomeanSpeedup(rows, "spp_ppf", mem_subset))});
+    table.addRow({"geomean (full suite)",
+                  pct(sim::geomeanSpeedup(rows, "bop")),
+                  pct(sim::geomeanSpeedup(rows, "da_ampm")),
+                  pct(sim::geomeanSpeedup(rows, "spp")),
+                  pct(sim::geomeanSpeedup(rows, "spp_ppf"))});
+    std::printf("%s\n", table.render().c_str());
+
+    const double ppf = geomeanSpeedup(rows, "spp_ppf", mem_subset);
+    const double spp = geomeanSpeedup(rows, "spp", mem_subset);
+    std::printf("PPF over SPP (SPEC'06-like mem-intensive geomean): "
+                "%s (paper: +6.1%%)\n",
+                pct(ppf / spp).c_str());
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * perceptron inference/update, SPP operate, cache tick and trace
+ * generation.  These bound the simulator's own throughput, not the
+ * modelled hardware's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/ppf.hh"
+#include "dram/dram.hh"
+#include "prefetch/spp.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace pfsim;
+
+void
+BM_FeatureIndices(benchmark::State &state)
+{
+    ppf::FeatureInput input;
+    input.triggerAddr = 0x123456780;
+    input.pc = 0x400100;
+    input.pc1 = 0x400110;
+    input.pc2 = 0x400118;
+    input.pc3 = 0x400120;
+    input.depth = 3;
+    input.delta = 2;
+    input.confidence = 60;
+    input.signature = 0xabc;
+    for (auto _ : state) {
+        input.triggerAddr += 64;
+        benchmark::DoNotOptimize(ppf::computeIndices(input));
+    }
+}
+BENCHMARK(BM_FeatureIndices);
+
+void
+BM_PerceptronInference(benchmark::State &state)
+{
+    ppf::Ppf filter;
+    prefetch::SppCandidate candidate;
+    candidate.addr = 0x200000000;
+    candidate.triggerAddr = 0x123456780;
+    candidate.pc = 0x400100;
+    candidate.depth = 2;
+    candidate.delta = 1;
+    candidate.confidence = 70;
+    candidate.signature = 0x123;
+    for (auto _ : state) {
+        candidate.addr += 64;
+        benchmark::DoNotOptimize(filter.test(candidate));
+    }
+}
+BENCHMARK(BM_PerceptronInference);
+
+void
+BM_PerceptronTraining(benchmark::State &state)
+{
+    ppf::Ppf filter;
+    prefetch::SppCandidate candidate;
+    candidate.addr = 0x200000000;
+    candidate.triggerAddr = 0x123456780;
+    candidate.pc = 0x400100;
+    for (auto _ : state) {
+        candidate.addr += 64;
+        filter.test(candidate);
+        filter.notifyIssued(candidate, true);
+        filter.onDemand(candidate.addr, 0x400200);
+    }
+}
+BENCHMARK(BM_PerceptronTraining);
+
+struct NullIssuer : prefetch::PrefetchIssuer
+{
+    bool issuePrefetch(Addr, bool) override { return true; }
+};
+
+void
+BM_SppOperate(benchmark::State &state)
+{
+    prefetch::SppPrefetcher spp;
+    NullIssuer issuer;
+    spp.attach(&issuer);
+    Addr addr = Addr{1} << 30;
+    for (auto _ : state) {
+        prefetch::OperateInfo info;
+        info.addr = addr;
+        info.pc = 0x400100;
+        spp.operate(info);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_SppOperate);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    dram::Dram memory{dram::DramConfig{}};
+    cache::CacheConfig config;
+    config.sets = 1024;
+    config.ways = 8;
+    cache::Cache cache(config, &memory);
+    // Warm one block.
+    cache::Request req;
+    req.addr = 0x10000;
+    cache.addRead(req);
+    Cycle now = 0;
+    for (int i = 0; i < 1000; ++i) {
+        cache.tick(++now);
+        memory.tick(now);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.demandProbe(0x10000, 0x400100));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_SyntheticTrace(benchmark::State &state)
+{
+    trace::SyntheticTrace trace(
+        workloads::findWorkload("603.bwaves_s-like").make());
+    Instruction instr;
+    for (auto _ : state) {
+        trace.next(instr);
+        benchmark::DoNotOptimize(instr);
+    }
+}
+BENCHMARK(BM_SyntheticTrace);
+
+void
+BM_WholeSystemCycle(benchmark::State &state)
+{
+    trace::SyntheticTrace trace(
+        workloads::findWorkload("603.bwaves_s-like").make());
+    sim::System system(
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp_ppf"),
+        {&trace});
+    for (auto _ : state)
+        system.cycle();
+    state.counters["instr_per_cycle"] = benchmark::Counter(
+        double(system.core(0).retired()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_WholeSystemCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section 6.3: additional memory constraints — the DPC-2 variants
+ * with a 512 KB LLC ("small LLC") and 3.2 GB/s DRAM ("low
+ * bandwidth"), single core, memory-intensive subset.
+ *
+ * Paper: PPF provides a greater improvement under the small-LLC
+ * condition and matches the best prefetcher (BOP) under low DRAM
+ * bandwidth; 605.mcf_s is prefetch averse under low bandwidth
+ * (every prefetcher loses there).
+ *
+ * Flags: --instructions, --warmup
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv);
+    const sim::RunConfig run = runConfig(args);
+
+    banner("Section 6.3 — small LLC and low DRAM bandwidth",
+           "PPF gains more under a small LLC and matches the best "
+           "prefetcher under low bandwidth; mcf is prefetch averse "
+           "when bandwidth-starved",
+           run);
+
+    const auto workload_set =
+        workloads::memIntensiveSubset(workloads::spec17Suite());
+
+    struct Variant
+    {
+        const char *name;
+        sim::SystemConfig config;
+    };
+    const Variant variants[] = {
+        {"default (2MB LLC, 12.8 GB/s)",
+         sim::SystemConfig::defaultConfig()},
+        {"small LLC (512KB)", sim::SystemConfig::smallLlc()},
+        {"low bandwidth (3.2 GB/s)",
+         sim::SystemConfig::lowBandwidth()},
+    };
+
+    for (const Variant &variant : variants) {
+        std::printf("--- %s ---\n", variant.name);
+        const auto rows = sim::sweepPrefetchers(
+            variant.config, sim::paperPrefetchers(), workload_set,
+            run);
+        stats::TextTable table({"workload", "bop", "da_ampm", "spp",
+                                "spp_ppf (PPF)"});
+        for (const auto &row : rows) {
+            table.addRow({row.workload, pct(row.speedup("bop")),
+                          pct(row.speedup("da_ampm")),
+                          pct(row.speedup("spp")),
+                          pct(row.speedup("spp_ppf"))});
+        }
+        table.addRow({"geomean",
+                      pct(sim::geomeanSpeedup(rows, "bop")),
+                      pct(sim::geomeanSpeedup(rows, "da_ampm")),
+                      pct(sim::geomeanSpeedup(rows, "spp")),
+                      pct(sim::geomeanSpeedup(rows, "spp_ppf"))});
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 1: the simulation parameters, printed from the live
+ * configuration structs so the table cannot drift from the code.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv);
+    (void)runConfig(args);
+
+    const sim::SystemConfig one = sim::SystemConfig::defaultConfig();
+    const sim::SystemConfig four = sim::SystemConfig::defaultConfig(4);
+    const sim::SystemConfig eight =
+        sim::SystemConfig::defaultConfig(8);
+
+    std::printf("Table 1 — simulation parameters (from live "
+                "configuration)\n\n");
+
+    stats::TextTable core({"core", "value"});
+    core.addRow({"fetch width",
+                 std::to_string(one.core.fetchWidth)});
+    core.addRow({"retire width",
+                 std::to_string(one.core.retireWidth)});
+    core.addRow({"ROB", std::to_string(one.core.robSize)});
+    core.addRow({"load queue", std::to_string(one.core.lqSize)});
+    core.addRow({"store queue", std::to_string(one.core.sqSize)});
+    core.addRow({"branch predictor", one.core.branchPredictor});
+    core.addRow({"mispredict penalty",
+                 std::to_string(one.core.mispredictPenalty) +
+                     " cycles"});
+    std::printf("%s\n", core.render().c_str());
+
+    auto cache_row = [](const cache::CacheConfig &config) {
+        return std::to_string(config.capacityBytes() / 1024) + " KB, " +
+               std::to_string(config.ways) + "-way, " +
+               std::to_string(config.latency) + "-cycle, " +
+               std::to_string(config.mshrs) + " MSHRs";
+    };
+    stats::TextTable caches({"cache", "configuration"});
+    caches.addRow({"L1I", cache_row(one.l1i)});
+    caches.addRow({"L1D", cache_row(one.l1d)});
+    caches.addRow({"L2 (per core)", cache_row(one.l2)});
+    caches.addRow({"LLC (1-core)", cache_row(one.llc)});
+    caches.addRow({"LLC (4-core)", cache_row(four.llc)});
+    caches.addRow({"LLC (8-core)", cache_row(eight.llc)});
+    caches.addRow({"block size", "64 B; page size 4 KB; LRU "
+                                 "everywhere"});
+    std::printf("%s\n", caches.render().c_str());
+
+    stats::TextTable dram({"DRAM", "value"});
+    dram.addRow({"channels", std::to_string(one.dram.channels)});
+    dram.addRow({"banks/channel", std::to_string(one.dram.banks)});
+    dram.addRow({"row buffer",
+                 std::to_string(one.dram.rowBytes / 1024) + " KB"});
+    dram.addRow({"bandwidth", "12.8 GB/s (transfer every " +
+                                  std::to_string(
+                                      one.dram.transferCycles) +
+                                  " cycles at 4 GHz)"});
+    dram.addRow({"low-bandwidth variant",
+                 "3.2 GB/s (transfer every " +
+                     std::to_string(sim::SystemConfig::lowBandwidth()
+                                        .dram.transferCycles) +
+                     " cycles)"});
+    dram.addRow({"row hit / miss / conflict",
+                 std::to_string(one.dram.rowHitLatency) + " / " +
+                     std::to_string(one.dram.rowMissLatency) + " / " +
+                     std::to_string(one.dram.rowConflictLatency) +
+                     " cycles"});
+    std::printf("%s\n", dram.render().c_str());
+
+    std::printf("prefetching is trained by and injected at the L2, "
+                "with fills directed to L2 or LLC (Section 3.1)\n");
+    return 0;
+}

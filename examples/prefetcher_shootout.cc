@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: compare every prefetcher in the library on one workload,
+ * printing speedup, coverage, accuracy and traffic side by side —
+ * the quickest way to see the coverage/accuracy trade-off the paper
+ * opens with.
+ *
+ * Usage:
+ *   prefetcher_shootout [--workload=NAME] [--instructions=N]
+ *                       [--warmup=N]
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+#include "stats/table.hh"
+#include "util/args.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+
+    Args args(argc, argv, {"workload", "instructions", "warmup"});
+    const std::string workload_name =
+        args.get("workload", "603.bwaves_s-like");
+
+    sim::RunConfig run;
+    run.simInstructions =
+        InstrCount(args.getInt("instructions", 500000));
+    run.warmupInstructions =
+        InstrCount(args.getInt("warmup", 125000));
+
+    const workloads::Workload &workload =
+        workloads::findWorkload(workload_name);
+
+    std::printf("prefetcher shootout on %s\n\n",
+                workload.name.c_str());
+
+    const sim::RunResult baseline = sim::runSingleCore(
+        sim::SystemConfig::defaultConfig(), workload, run);
+
+    stats::TextTable table({"prefetcher", "IPC", "speedup",
+                            "L2 coverage", "accuracy", "issued",
+                            "DRAM reads"});
+    table.addRow({"none", stats::TextTable::num(baseline.ipc, 3),
+                  "--", "--", "--", "0",
+                  std::to_string(baseline.dram.reads)});
+
+    for (const char *name : {"next_line", "ip_stride", "bop",
+                             "da_ampm", "vldp", "spp", "spp_ppf"}) {
+        const sim::RunResult result = sim::runSingleCore(
+            sim::SystemConfig::defaultConfig().withPrefetcher(name),
+            workload, run);
+        const double coverage = baseline.l2.demandMisses() == 0
+            ? 0.0
+            : 1.0 - double(result.l2.demandMisses()) /
+                    double(baseline.l2.demandMisses());
+        table.addRow(
+            {name, stats::TextTable::num(result.ipc, 3),
+             stats::TextTable::pct(result.ipc / baseline.ipc),
+             stats::TextTable::num(100.0 * coverage, 1) + "%",
+             stats::TextTable::num(100.0 * result.accuracy(), 1) +
+                 "%",
+             std::to_string(result.totalPf()),
+             std::to_string(result.dram.reads)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("coverage: fraction of the baseline's L2 demand "
+                "misses removed; accuracy: useful / issued\n");
+    return 0;
+}

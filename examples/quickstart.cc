@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on the default single-core system
+ * with SPP+PPF and print the headline numbers.
+ *
+ * Usage:
+ *   quickstart [--workload=NAME] [--prefetcher=NAME]
+ *              [--instructions=N] [--warmup=N]
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "util/args.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+
+    Args args(argc, argv,
+              {"workload", "prefetcher", "instructions", "warmup"});
+
+    const std::string workload_name =
+        args.get("workload", "603.bwaves_s-like");
+    const std::string prefetcher = args.get("prefetcher", "spp_ppf");
+
+    sim::RunConfig run;
+    run.simInstructions =
+        InstrCount(args.getInt("instructions", 1000000));
+    run.warmupInstructions = InstrCount(args.getInt("warmup", 250000));
+
+    const workloads::Workload &workload =
+        workloads::findWorkload(workload_name);
+    sim::SystemConfig config =
+        sim::SystemConfig::defaultConfig().withPrefetcher(prefetcher);
+
+    std::printf("pfsim quickstart\n");
+    std::printf("  workload    : %s\n", workload.name.c_str());
+    std::printf("  prefetcher  : %s\n", prefetcher.c_str());
+    std::printf("  instructions: %llu (+%llu warmup)\n",
+                (unsigned long long)run.simInstructions,
+                (unsigned long long)run.warmupInstructions);
+
+    const sim::RunResult result =
+        sim::runSingleCore(config, workload, run);
+
+    std::printf("\nresults\n");
+    std::printf("  IPC            : %.4f\n", result.ipc);
+    std::printf("  L2 demand MPKI : %.2f\n", result.l2Mpki());
+    std::printf("  prefetches     : %llu issued, %llu useful "
+                "(accuracy %.1f%%)\n",
+                (unsigned long long)result.totalPf(),
+                (unsigned long long)result.goodPf(),
+                100.0 * result.accuracy());
+    if (result.spp.issued > 0) {
+        std::printf("  SPP avg depth  : %.2f\n",
+                    result.spp.averageDepth());
+    }
+    if (result.ppf.candidates > 0) {
+        std::printf("  PPF decisions  : %llu candidates -> %llu L2, "
+                    "%llu LLC, %llu rejected\n",
+                    (unsigned long long)result.ppf.candidates,
+                    (unsigned long long)result.ppf.acceptedL2,
+                    (unsigned long long)result.ppf.acceptedLlc,
+                    (unsigned long long)result.ppf.rejected);
+    }
+    return 0;
+}

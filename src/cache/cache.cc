@@ -1,0 +1,464 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::cache
+{
+
+std::uint64_t
+CacheConfig::capacityBytes() const
+{
+    return std::uint64_t(sets) * ways * blockSize;
+}
+
+Cache::Cache(CacheConfig config, MemoryLevel *lower)
+    : config_(std::move(config)), lower_(lower),
+      mshrs_(config_.mshrs)
+{
+    if (!isPowerOf2(config_.sets))
+        fatal(config_.name + ": set count must be a power of two");
+    if (lower_ == nullptr)
+        fatal(config_.name + ": no lower level");
+    setShift_ = blockShift;
+    setMask_ = config_.sets - 1;
+    blocks_.assign(std::size_t(config_.sets) * config_.ways, Block{});
+    policy_ = makePolicy(config_.replacement);
+    policy_->initialize(config_.sets, config_.ways);
+}
+
+void
+Cache::setPrefetcher(prefetch::Prefetcher *prefetcher)
+{
+    prefetcher_ = prefetcher;
+    if (prefetcher_ != nullptr)
+        prefetcher_->attach(this);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return std::uint32_t(addr >> setShift_) & setMask_;
+}
+
+Cache::Block *
+Cache::lookup(Addr addr)
+{
+    const Addr tag = blockAlign(addr);
+    const std::uint32_t set = setIndex(addr);
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Block &b = blocks_[std::size_t(set) * config_.ways + w];
+        if (b.valid && b.tag == tag)
+            return &b;
+    }
+    return nullptr;
+}
+
+const Cache::Block *
+Cache::lookup(Addr addr) const
+{
+    return const_cast<Cache *>(this)->lookup(addr);
+}
+
+bool
+Cache::addRead(const Request &req)
+{
+    if (rq_.size() >= config_.rqSize)
+        return false;
+    Request r = req;
+    r.addr = blockAlign(r.addr);
+    r.enqueueCycle = now_;
+    // The notify gate is per-level: a request forwarded from above has
+    // not yet trained *this* cache's prefetcher.
+    r.prefetcherNotified = false;
+    rq_.push_back(r);
+    return true;
+}
+
+bool
+Cache::addWrite(const Request &req)
+{
+    if (wq_.size() >= config_.wqSize)
+        return false;
+    Request r = req;
+    r.addr = blockAlign(r.addr);
+    r.type = AccessType::Writeback;
+    r.enqueueCycle = now_;
+    wq_.push_back(r);
+    return true;
+}
+
+bool
+Cache::addPrefetch(const Request &req)
+{
+    if (pq_.size() >= config_.pqSize)
+        return false;
+    Request r = req;
+    r.addr = blockAlign(r.addr);
+    r.type = AccessType::Prefetch;
+    r.enqueueCycle = now_;
+    pq_.push_back(r);
+    return true;
+}
+
+bool
+Cache::issuePrefetch(Addr addr, bool fill_this_level)
+{
+    const Addr block = blockAlign(addr);
+    // Issue-time dedup: prefetching a block that is already present or
+    // already being fetched is a no-op in hardware; dropping it here
+    // keeps the prefetcher's accuracy feedback meaningful.
+    if (lookup(block) != nullptr) {
+        ++stats_.pfDroppedHit;
+        return false;
+    }
+    if (mshrs_.find(block) != nullptr) {
+        ++stats_.pfDroppedMshr;
+        return false;
+    }
+    if (pq_.size() >= config_.pqSize) {
+        ++stats_.pfDroppedFull;
+        return false;
+    }
+    Request r;
+    r.addr = block;
+    r.type = AccessType::Prefetch;
+    r.fillThisLevel = fill_this_level;
+    r.enqueueCycle = now_;
+    pq_.push_back(r);
+    ++stats_.pfIssued;
+    return true;
+}
+
+void
+Cache::returnData(const Request &req, Cycle now)
+{
+    fills_.push_back({now, req});
+}
+
+void
+Cache::notifyPrefetcherOperate(const Request &req, bool hit,
+                               bool hit_prefetched, Cycle now)
+{
+    if (prefetcher_ == nullptr || !isDemand(req.type))
+        return;
+    prefetch::OperateInfo info;
+    info.addr = req.addr;
+    info.pc = req.pc;
+    info.cacheHit = hit;
+    info.hitPrefetched = hit_prefetched;
+    info.type = req.type;
+    info.cycle = now;
+    prefetcher_->operate(info);
+}
+
+bool
+Cache::installBlock(Addr addr, bool dirty, bool prefetched, Cycle now)
+{
+    const std::uint32_t set = setIndex(addr);
+    std::uint32_t way = config_.ways;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!blocks_[std::size_t(set) * config_.ways + w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == config_.ways)
+        way = policy_->victim(set);
+
+    Block &victim = blocks_[std::size_t(set) * config_.ways + way];
+    pendingFillInfo_ = prefetch::FillInfo{};
+    if (victim.valid) {
+        if (victim.dirty) {
+            Request wb;
+            wb.addr = victim.tag;
+            wb.type = AccessType::Writeback;
+            if (!lower_->addWrite(wb))
+                return false;
+            ++stats_.writebacks;
+        }
+        if (victim.prefetched)
+            ++stats_.pfUselessEvict;
+        pendingFillInfo_.evictedValid = true;
+        pendingFillInfo_.evictedAddr = victim.tag;
+        pendingFillInfo_.evictedUnusedPrefetch = victim.prefetched;
+    }
+
+    victim.valid = true;
+    victim.dirty = dirty;
+    victim.prefetched = prefetched;
+    victim.tag = blockAlign(addr);
+    policy_->insert(set, way, now);
+    return true;
+}
+
+bool
+Cache::processWrite(const Request &req, Cycle now)
+{
+    Block *b = lookup(req.addr);
+    ++stats_.writebackAccess;
+    if (b != nullptr) {
+        ++stats_.writebackHit;
+        b->dirty = true;
+        policy_->touch(setIndex(req.addr),
+                       std::uint32_t(b - &blocks_[std::size_t(
+                           setIndex(req.addr)) * config_.ways]),
+                       now);
+        return true;
+    }
+    if (MshrEntry *e = mshrs_.find(req.addr); e != nullptr) {
+        // The block is in flight; remember to install it dirty.
+        e->dirtyOnFill = true;
+        return true;
+    }
+    // Writeback-allocate: the block's data is complete, no fetch needed.
+    return installBlock(req.addr, true, false, now);
+}
+
+bool
+Cache::processRead(Request &req, Cycle now)
+{
+    Block *b = lookup(req.addr);
+    const bool hit = b != nullptr;
+
+    // Statistics are counted at the points of definitive handling
+    // below (hit, merge, forward) so a stalled request retried on a
+    // later cycle is not counted twice.
+    auto count_access = [&] {
+        if (req.type == AccessType::Load) {
+            ++stats_.loadAccess;
+            if (hit)
+                ++stats_.loadHit;
+        } else if (req.type == AccessType::Rfo) {
+            ++stats_.rfoAccess;
+            if (hit)
+                ++stats_.rfoHit;
+        }
+    };
+
+    if (hit) {
+        count_access();
+        bool hit_prefetched = b->prefetched;
+        if (b->prefetched) {
+            b->prefetched = false;
+            ++stats_.pfUseful;
+        }
+        if (req.type == AccessType::Rfo && config_.writeAllocateDirty)
+            b->dirty = true;
+        const std::uint32_t set = setIndex(req.addr);
+        policy_->touch(set,
+                       std::uint32_t(b - &blocks_[std::size_t(set) *
+                                                  config_.ways]),
+                       now);
+        notifyPrefetcherOperate(req, true, hit_prefetched, now);
+        if (req.ret != nullptr)
+            responses_.push_back({now + config_.latency, req});
+        return true;
+    }
+
+    // Train the prefetcher exactly once even if the miss stalls and is
+    // retried on a later cycle.
+    if (!req.prefetcherNotified) {
+        notifyPrefetcherOperate(req, false, false, now);
+        req.prefetcherNotified = true;
+    }
+
+    if (MshrEntry *e = mshrs_.find(req.addr); e != nullptr) {
+        count_access();
+        if (e->prefetchOnly && isDemand(req.type))
+            e->demandMergedIntoPrefetch = true;
+        if (req.type == AccessType::Rfo)
+            e->rfoSeen = true;
+        if (req.ret != nullptr)
+            e->waiters.push_back(req);
+        return true;
+    }
+
+    if (mshrs_.full())
+        return false;
+
+    Request down = req;
+    down.ret = this;
+    down.token = 0;
+    if (!lower_->addRead(down))
+        return false;
+
+    count_access();
+    MshrEntry *e = mshrs_.allocate(req.addr, now);
+    assert(e != nullptr);
+    e->prefetchOnly = (req.type == AccessType::Prefetch);
+    e->rfoSeen = (req.type == AccessType::Rfo);
+    e->pc = req.pc;
+    e->coreId = req.coreId;
+    if (req.ret != nullptr)
+        e->waiters.push_back(req);
+    return true;
+}
+
+bool
+Cache::processPrefetch(const Request &req, Cycle now)
+{
+    if (lookup(req.addr) != nullptr) {
+        ++stats_.pfDroppedHit;
+        return true;
+    }
+
+    if (!req.fillThisLevel) {
+        // Low-confidence prefetch: hand it to the next level down and
+        // do not pollute this level.
+        Request down = req;
+        down.ret = nullptr;
+        down.fillThisLevel = true;
+        if (!lower_->addPrefetch(down))
+            return false;
+        ++stats_.pfToLower;
+        return true;
+    }
+
+    if (mshrs_.find(req.addr) != nullptr) {
+        ++stats_.pfDroppedMshr;
+        return true;
+    }
+    if (mshrs_.full())
+        return false;
+
+    Request down = req;
+    down.ret = this;
+    down.token = 0;
+    if (!lower_->addRead(down))
+        return false;
+
+    MshrEntry *e = mshrs_.allocate(req.addr, now);
+    assert(e != nullptr);
+    e->prefetchOnly = true;
+    e->pc = req.pc;
+    e->coreId = req.coreId;
+    return true;
+}
+
+void
+Cache::processFills(Cycle now)
+{
+    while (!fills_.empty() && fills_.front().ready <= now) {
+        const Request &req = fills_.front().req;
+        MshrEntry *e = mshrs_.find(req.addr);
+        if (e == nullptr)
+            panic(config_.name + ": fill without MSHR entry");
+
+        Block *existing = lookup(req.addr);
+        if (existing != nullptr) {
+            // A writeback allocated the block while the miss was in
+            // flight; keep the (newer) data and merge flags.
+            pendingFillInfo_ = prefetch::FillInfo{};
+            if (e->dirtyOnFill)
+                existing->dirty = true;
+        } else {
+            const bool dirty = e->dirtyOnFill ||
+                (e->rfoSeen && config_.writeAllocateDirty);
+            const bool prefetched =
+                e->prefetchOnly && !e->demandMergedIntoPrefetch;
+            if (!installBlock(req.addr, dirty, prefetched, now))
+                break; // lower WQ full; retry next cycle
+        }
+
+        if (e->prefetchOnly) {
+            ++stats_.pfFill;
+            if (e->demandMergedIntoPrefetch) {
+                ++stats_.pfUseful;
+                ++stats_.pfLate;
+            }
+        } else {
+            stats_.missLatencySum += now - e->allocCycle;
+            ++stats_.missLatencyCount;
+        }
+
+        if (prefetcher_ != nullptr) {
+            prefetch::FillInfo info = pendingFillInfo_;
+            info.addr = req.addr;
+            info.wasPrefetch = e->prefetchOnly;
+            info.lateUseful = e->prefetchOnly &&
+                e->demandMergedIntoPrefetch;
+            info.cycle = now;
+            prefetcher_->fill(info);
+        }
+
+        for (const Request &waiter : e->waiters) {
+            if (waiter.ret != nullptr)
+                responses_.push_back({now + config_.latency, waiter});
+        }
+        mshrs_.release(e);
+        fills_.pop_front();
+    }
+}
+
+void
+Cache::processResponses(Cycle now)
+{
+    while (!responses_.empty() && responses_.front().ready <= now) {
+        Response resp = responses_.front();
+        responses_.pop_front();
+        assert(resp.req.ret != nullptr);
+        resp.req.ret->returnData(resp.req, now);
+    }
+}
+
+void
+Cache::tick(Cycle now)
+{
+    now_ = now;
+    processFills(now);
+    processResponses(now);
+
+    std::uint32_t budget = config_.maxTagsPerCycle;
+    while (budget > 0 && !wq_.empty()) {
+        if (!processWrite(wq_.front(), now))
+            break;
+        wq_.pop_front();
+        --budget;
+    }
+    while (budget > 0 && !rq_.empty()) {
+        if (!processRead(rq_.front(), now))
+            break;
+        rq_.pop_front();
+        --budget;
+    }
+    while (budget > 0 && !pq_.empty()) {
+        if (!processPrefetch(pq_.front(), now))
+            break;
+        pq_.pop_front();
+        --budget;
+    }
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return lookup(addr) != nullptr;
+}
+
+bool
+Cache::demandProbe(Addr addr, Pc pc)
+{
+    Request req;
+    req.addr = blockAlign(addr);
+    req.type = AccessType::Load;
+    req.pc = pc;
+    if (lookup(req.addr) == nullptr)
+        return false;
+    // Reuse the normal hit path; with no ret there is no response.
+    processRead(req, now_);
+    return true;
+}
+
+std::uint64_t
+Cache::validBlockCount() const
+{
+    std::uint64_t count = 0;
+    for (const Block &b : blocks_)
+        count += b.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace pfsim::cache

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * A cycle-driven, queue-based set-associative cache with MSHRs and a
+ * prefetcher hook — the pfsim equivalent of a ChampSim CACHE instance.
+ *
+ * Per cycle the cache (a) retires arrived fills, (b) sends matured
+ * responses upward, and (c) drains a bounded number of requests from
+ * its writeback, read and prefetch queues.  Misses allocate MSHRs and
+ * forward to the lower level; fills install blocks (evicting victims,
+ * with dirty victims written back) and notify merged waiters.
+ *
+ * Bandwidth and pollution are therefore real: prefetches occupy queue
+ * slots, MSHRs, lower-level bandwidth and cache ways, which is exactly
+ * the cost PPF's filtering is designed to avoid.
+ */
+
+#ifndef PFSIM_CACHE_CACHE_HH
+#define PFSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+#include "cache/request.hh"
+#include "prefetch/prefetcher.hh"
+#include "util/types.hh"
+
+namespace pfsim::cache
+{
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+
+    /** Number of sets; must be a power of two. */
+    std::uint32_t sets = 64;
+
+    /** Associativity. */
+    std::uint32_t ways = 8;
+
+    /** Hit latency in cycles, charged on the response path. */
+    std::uint32_t latency = 4;
+
+    /** Number of MSHRs. */
+    std::uint32_t mshrs = 16;
+
+    /** Demand read queue capacity. */
+    std::uint32_t rqSize = 32;
+
+    /** Writeback queue capacity. */
+    std::uint32_t wqSize = 32;
+
+    /** Prefetch queue capacity. */
+    std::uint32_t pqSize = 32;
+
+    /** Queue entries processed per cycle (tag bandwidth). */
+    std::uint32_t maxTagsPerCycle = 2;
+
+    /**
+     * True when RFO fills install dirty (the level where stores write
+     * their data, i.e. the L1D).
+     */
+    bool writeAllocateDirty = false;
+
+    /** Replacement policy name. */
+    std::string replacement = "lru";
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes() const;
+};
+
+/** Counters exposed by each cache level. */
+struct CacheStats
+{
+    std::uint64_t loadAccess = 0;
+    std::uint64_t loadHit = 0;
+    std::uint64_t rfoAccess = 0;
+    std::uint64_t rfoHit = 0;
+    std::uint64_t writebackAccess = 0;
+    std::uint64_t writebackHit = 0;
+
+    /** Prefetches accepted from the prefetcher into the PQ. */
+    std::uint64_t pfIssued = 0;
+    /** Prefetches dropped because the block was already present. */
+    std::uint64_t pfDroppedHit = 0;
+    /** Prefetches dropped because a miss was already outstanding. */
+    std::uint64_t pfDroppedMshr = 0;
+    /** Prefetches dropped because the PQ was full at issue. */
+    std::uint64_t pfDroppedFull = 0;
+    /** Prefetches forwarded to fill only the lower level. */
+    std::uint64_t pfToLower = 0;
+    /** Fills caused by prefetches (this level). */
+    std::uint64_t pfFill = 0;
+    /** Demand hits on not-yet-used prefetched blocks. */
+    std::uint64_t pfUseful = 0;
+    /** Useful prefetches whose demand arrived before the fill. */
+    std::uint64_t pfLate = 0;
+    /** Evictions of prefetched blocks that were never used. */
+    std::uint64_t pfUselessEvict = 0;
+
+    /** Dirty evictions written back to the lower level. */
+    std::uint64_t writebacks = 0;
+
+    /** Sum of demand miss latencies (allocation to fill), cycles. */
+    std::uint64_t missLatencySum = 0;
+    std::uint64_t missLatencyCount = 0;
+
+    std::uint64_t demandAccesses() const { return loadAccess + rfoAccess; }
+    std::uint64_t demandHits() const { return loadHit + rfoHit; }
+    std::uint64_t demandMisses() const
+    {
+        return demandAccesses() - demandHits();
+    }
+};
+
+/** One cache level. */
+class Cache : public MemoryLevel, public Requestor,
+              public prefetch::PrefetchIssuer
+{
+  public:
+    /**
+     * @param config static parameters
+     * @param lower the next level down (LLC's lower level is DRAM)
+     */
+    Cache(CacheConfig config, MemoryLevel *lower);
+
+    /** Attach a prefetcher trained by this level's demand stream. */
+    void setPrefetcher(prefetch::Prefetcher *prefetcher);
+
+    // MemoryLevel
+    bool addRead(const Request &req) override;
+    bool addWrite(const Request &req) override;
+    bool addPrefetch(const Request &req) override;
+    void tick(Cycle now) override;
+
+    // Requestor (responses from the lower level)
+    void returnData(const Request &req, Cycle now) override;
+
+    // prefetch::PrefetchIssuer
+    bool issuePrefetch(Addr addr, bool fill_this_level) override;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+    /** Zero the statistics block (end of warmup). */
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** True when the block containing @p addr is present (testing). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Synchronous demand lookup used by the core's fetch stage: on a
+     * hit, performs the full hit path (stats, LRU, prefetch-flag
+     * consumption) and returns true; on a miss, returns false with no
+     * side effects so the caller can enqueue a real read.
+     */
+    bool demandProbe(Addr addr, Pc pc);
+
+    /** Number of valid blocks (testing / invariants). */
+    std::uint64_t validBlockCount() const;
+
+    /** Queue/MSHR occupancy introspection (testing / debugging). */
+    std::size_t rqSize() const { return rq_.size(); }
+    std::size_t wqSize() const { return wq_.size(); }
+    std::size_t pqSize() const { return pq_.size(); }
+    std::size_t mshrUsed() const { return mshrs_.used(); }
+    std::size_t fillsPending() const { return fills_.size(); }
+    std::size_t responsesPending() const { return responses_.size(); }
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        /** Brought in by a prefetch and not yet referenced. */
+        bool prefetched = false;
+        Addr tag = 0;
+    };
+
+    struct Response
+    {
+        Cycle ready;
+        Request req;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Block *lookup(Addr addr);
+    const Block *lookup(Addr addr) const;
+
+    void processFills(Cycle now);
+    void processResponses(Cycle now);
+    bool processWrite(const Request &req, Cycle now);
+    bool processRead(Request &req, Cycle now);
+    bool processPrefetch(const Request &req, Cycle now);
+
+    /**
+     * Install @p addr into the cache, evicting a victim if needed.
+     * @return false when the eviction's writeback could not be
+     * enqueued downstream (caller must retry next cycle).
+     */
+    bool installBlock(Addr addr, bool dirty, bool prefetched, Cycle now);
+
+    void notifyPrefetcherOperate(const Request &req, bool hit,
+                                 bool hit_prefetched, Cycle now);
+
+    CacheConfig config_;
+    MemoryLevel *lower_;
+    prefetch::Prefetcher *prefetcher_ = nullptr;
+
+    std::uint32_t setShift_;
+    std::uint32_t setMask_;
+    std::vector<Block> blocks_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    MshrFile mshrs_;
+
+    std::deque<Request> rq_;
+    std::deque<Request> wq_;
+    std::deque<Request> pq_;
+    std::deque<Response> responses_;
+    std::deque<Response> fills_;
+
+    /** Pending eviction context for the prefetcher fill() hook. */
+    prefetch::FillInfo pendingFillInfo_;
+
+    Cycle now_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace pfsim::cache
+
+#endif // PFSIM_CACHE_CACHE_HH

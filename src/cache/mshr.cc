@@ -1,0 +1,57 @@
+#include "cache/mshr.hh"
+
+#include <cassert>
+
+namespace pfsim::cache
+{
+
+MshrFile::MshrFile(std::size_t capacity)
+    : entries_(capacity)
+{
+    assert(capacity > 0);
+}
+
+MshrEntry *
+MshrFile::find(Addr addr)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.addr == addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+MshrEntry *
+MshrFile::allocate(Addr addr, Cycle now)
+{
+    assert(find(addr) == nullptr);
+    for (auto &entry : entries_) {
+        if (!entry.valid) {
+            entry.valid = true;
+            entry.addr = addr;
+            entry.waiters.clear();
+            entry.prefetchOnly = false;
+            entry.dirtyOnFill = false;
+            entry.rfoSeen = false;
+            entry.demandMergedIntoPrefetch = false;
+            entry.pc = 0;
+            entry.coreId = 0;
+            entry.allocCycle = now;
+            ++used_;
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+MshrFile::release(MshrEntry *entry)
+{
+    assert(entry != nullptr && entry->valid);
+    entry->valid = false;
+    entry->waiters.clear();
+    assert(used_ > 0);
+    --used_;
+}
+
+} // namespace pfsim::cache

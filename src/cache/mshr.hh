@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Miss status holding registers: track outstanding misses, merge
+ * secondary misses, and remember which waiters to notify on fill.
+ */
+
+#ifndef PFSIM_CACHE_MSHR_HH
+#define PFSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/request.hh"
+#include "util/types.hh"
+
+namespace pfsim::cache
+{
+
+/** One outstanding miss. */
+struct MshrEntry
+{
+    bool valid = false;
+
+    /** Block address of the miss. */
+    Addr addr = 0;
+
+    /** Requests merged into this miss, to notify on fill. */
+    std::vector<Request> waiters;
+
+    /** True when the entry was allocated by a prefetch. */
+    bool prefetchOnly = false;
+
+    /** A writeback arrived while the miss was in flight. */
+    bool dirtyOnFill = false;
+
+    /** At least one merged demand was a store (RFO). */
+    bool rfoSeen = false;
+
+    /**
+     * True when a demand request merged into a prefetch miss before the
+     * fill arrived: the prefetch was useful but late.
+     */
+    bool demandMergedIntoPrefetch = false;
+
+    /** PC that triggered the original allocation. */
+    Pc pc = 0;
+
+    /** Core that triggered the original allocation. */
+    int coreId = 0;
+
+    /** Cycle the miss was allocated, for latency stats. */
+    Cycle allocCycle = 0;
+};
+
+/** Fixed-capacity MSHR file. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t capacity);
+
+    /** Find the entry for @p addr, or nullptr. */
+    MshrEntry *find(Addr addr);
+
+    /**
+     * Allocate an entry for @p addr.  @return nullptr when full.
+     * The caller must ensure no duplicate entry exists.
+     */
+    MshrEntry *allocate(Addr addr, Cycle now);
+
+    /** Release the entry (after fill processing). */
+    void release(MshrEntry *entry);
+
+    /** True when no entry can be allocated. */
+    bool full() const { return used_ == entries_.size(); }
+
+    std::size_t used() const { return used_; }
+    std::size_t capacity() const { return entries_.size(); }
+
+  private:
+    std::vector<MshrEntry> entries_;
+    std::size_t used_ = 0;
+};
+
+} // namespace pfsim::cache
+
+#endif // PFSIM_CACHE_MSHR_HH

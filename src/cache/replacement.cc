@@ -1,0 +1,100 @@
+#include "cache/replacement.hh"
+
+#include <cassert>
+
+#include "util/logging.hh"
+
+namespace pfsim::cache
+{
+
+void
+LruPolicy::initialize(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    lastTouch_.assign(std::size_t(sets) * ways, 0);
+    stamp_ = 0;
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way, Cycle)
+{
+    lastTouch_[std::size_t(set) * ways_ + way] = ++stamp_;
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    assert(ways_ > 0);
+    std::uint32_t victim_way = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        std::uint64_t touch = lastTouch_[std::size_t(set) * ways_ + w];
+        if (touch < oldest) {
+            oldest = touch;
+            victim_way = w;
+        }
+    }
+    return victim_way;
+}
+
+const std::string &
+LruPolicy::name() const
+{
+    static const std::string n = "lru";
+    return n;
+}
+
+void
+SrripPolicy::initialize(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrpv_.assign(std::size_t(sets) * ways, maxRrpv);
+}
+
+void
+SrripPolicy::touch(std::uint32_t set, std::uint32_t way, Cycle)
+{
+    // A re-referenced block is predicted near-immediate.
+    rrpv_[std::size_t(set) * ways_ + way] = 0;
+}
+
+void
+SrripPolicy::insert(std::uint32_t set, std::uint32_t way, Cycle)
+{
+    // Fills are predicted distant (RRPV = max - 1), so scans pass
+    // through without displacing the working set.
+    rrpv_[std::size_t(set) * ways_ + way] = maxRrpv - 1;
+}
+
+std::uint32_t
+SrripPolicy::victim(std::uint32_t set)
+{
+    assert(ways_ > 0);
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[std::size_t(set) * ways_ + w] == maxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ++rrpv_[std::size_t(set) * ways_ + w];
+    }
+}
+
+const std::string &
+SrripPolicy::name() const
+{
+    static const std::string n = "srrip";
+    return n;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "srrip")
+        return std::make_unique<SrripPolicy>();
+    fatal("unknown replacement policy: " + name);
+}
+
+} // namespace pfsim::cache

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Replacement policy interface and the LRU policy the paper's
+ * configuration uses on all levels (Section 5.1).
+ */
+
+#ifndef PFSIM_CACHE_REPLACEMENT_HH
+#define PFSIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pfsim::cache
+{
+
+/**
+ * A replacement policy tracks per-way metadata for every set and picks
+ * victims.  Ways are addressed as set * associativity + way.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Size the metadata for @p sets x @p ways. */
+    virtual void initialize(std::uint32_t sets, std::uint32_t ways) = 0;
+
+    /** Record a hit on the given way. */
+    virtual void touch(std::uint32_t set, std::uint32_t way,
+                       Cycle now) = 0;
+
+    /**
+     * Record a fill into the given way.  Defaults to touch(); policies
+     * that distinguish insertion from promotion (e.g. SRRIP) override.
+     */
+    virtual void
+    insert(std::uint32_t set, std::uint32_t way, Cycle now)
+    {
+        touch(set, way, now);
+    }
+
+    /** Choose a victim way within @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    virtual const std::string &name() const = 0;
+};
+
+/** Least-recently-used replacement. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void initialize(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way, Cycle now) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    const std::string &name() const override;
+
+  private:
+    std::uint32_t ways_ = 0;
+    /** Monotonic per-touch stamp; smallest stamp in a set is LRU. */
+    std::uint64_t stamp_ = 0;
+    std::vector<std::uint64_t> lastTouch_;
+};
+
+/**
+ * Static re-reference interval prediction (SRRIP, Jaleel et al.): a
+ * 2-bit re-reference prediction value per way; fills insert at a
+ * distant interval, hits promote to near, victims are the most
+ * distant.  Provided as an alternative to the paper's LRU so the
+ * replacement-policy sensitivity of the results can be measured
+ * (bench/abl_replacement).
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    void initialize(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way, Cycle now) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                Cycle now) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    const std::string &name() const override;
+
+  private:
+    static constexpr std::uint8_t maxRrpv = 3;
+
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/** Construct a policy by name ("lru" or "srrip"). */
+std::unique_ptr<ReplacementPolicy> makePolicy(const std::string &name);
+
+} // namespace pfsim::cache
+
+#endif // PFSIM_CACHE_REPLACEMENT_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Memory request record and the completion-routing interfaces that
+ * connect the core, the cache levels and DRAM.
+ */
+
+#ifndef PFSIM_CACHE_REQUEST_HH
+#define PFSIM_CACHE_REQUEST_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace pfsim::cache
+{
+
+/** The demand/prefetch/writeback classification of a request. */
+enum class AccessType : std::uint8_t
+{
+    Load,       ///< demand read
+    Rfo,        ///< demand read-for-ownership (store miss)
+    Prefetch,   ///< prefetch read
+    Writeback,  ///< dirty eviction from the level above
+    Translation ///< reserved for future TLB modelling
+};
+
+/** True for Load/Rfo, the request kinds that train prefetchers. */
+constexpr bool
+isDemand(AccessType type)
+{
+    return type == AccessType::Load || type == AccessType::Rfo;
+}
+
+class Requestor;
+
+/** One memory request travelling through the hierarchy. */
+struct Request
+{
+    /** Block-aligned physical address. */
+    Addr addr = 0;
+
+    /** Request class. */
+    AccessType type = AccessType::Load;
+
+    /** PC of the instruction that caused the request (demands only). */
+    Pc pc = 0;
+
+    /** Issuing core, for multi-core stats attribution. */
+    int coreId = 0;
+
+    /** Cycle at which the request entered the current queue. */
+    Cycle enqueueCycle = 0;
+
+    /**
+     * Who to notify when data returns.  nullptr for requests that need
+     * no response (writebacks, prefetches dropped downstream).
+     */
+    Requestor *ret = nullptr;
+
+    /**
+     * Opaque token the requestor uses to match the response (e.g. the
+     * core's load-queue slot).
+     */
+    std::uint64_t token = 0;
+
+    /**
+     * For prefetches: true when the receiving cache should fill itself;
+     * false when the prefetch should only fill lower levels (SPP/PPF
+     * low-confidence prefetches fill the LLC, not the L2).
+     */
+    bool fillThisLevel = true;
+
+    /**
+     * Internal to Cache: set once the prefetcher's operate() hook has
+     * seen this request, so a stalled miss retried on a later cycle
+     * does not train the prefetcher twice.
+     */
+    bool prefetcherNotified = false;
+};
+
+/** Interface for components that receive completed requests. */
+class Requestor
+{
+  public:
+    virtual ~Requestor() = default;
+
+    /** Called when the data for @p req is available at @p now. */
+    virtual void returnData(const Request &req, Cycle now) = 0;
+};
+
+/** Interface of a level that accepts requests from above. */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /** Enqueue a demand read. @return false when the queue is full. */
+    virtual bool addRead(const Request &req) = 0;
+
+    /** Enqueue a writeback. @return false when the queue is full. */
+    virtual bool addWrite(const Request &req) = 0;
+
+    /** Enqueue a prefetch. @return false when the queue is full. */
+    virtual bool addPrefetch(const Request &req) = 0;
+
+    /** Advance one cycle. */
+    virtual void tick(Cycle now) = 0;
+};
+
+} // namespace pfsim::cache
+
+#endif // PFSIM_CACHE_REQUEST_HH

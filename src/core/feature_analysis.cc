@@ -1,0 +1,84 @@
+#include "core/feature_analysis.hh"
+
+#include "util/bits.hh"
+
+namespace pfsim::ppf
+{
+
+FeatureAnalysis::FeatureAnalysis()
+    : shadowTable_(shadowEntries)
+{
+    for (unsigned f = 0; f < numFeatures; ++f)
+        shadowWeights_[f].assign(featureTableSizes[f], Weight{});
+}
+
+void
+FeatureAnalysis::record(const FeatureInput &input,
+                        const FeatureIndices &idx,
+                        const WeightTables &, bool useful)
+{
+    const double outcome = useful ? 1.0 : -1.0;
+    (useful ? positives_ : negatives_) += 1;
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        Weight &w = shadowWeights_[f][idx[f]];
+        perFeature_[f].add(double(w.value()), outcome);
+        w.train(useful);
+    }
+
+    // Shadow feature: the raw previous signature, which the paper shows
+    // carries almost no correlation (Figure 6, right).  Train it with
+    // the same perceptron rule so its weight distribution is honest.
+    const std::uint32_t shadow_idx =
+        input.signature & (shadowEntries - 1);
+    Weight &w = shadowTable_[shadow_idx];
+    shadowCorr_.add(double(w.value()), outcome);
+    w.train(useful);
+}
+
+stats::Histogram
+FeatureAnalysis::histogram(FeatureId feature) const
+{
+    stats::Histogram hist(Weight::min, Weight::max);
+    for (const Weight &w : shadowWeights_[unsigned(feature)])
+        hist.add(w.value());
+    return hist;
+}
+
+double
+FeatureAnalysis::correlation(FeatureId feature) const
+{
+    return perFeature_[unsigned(feature)].correlation();
+}
+
+double
+FeatureAnalysis::shadowCorrelation() const
+{
+    return shadowCorr_.correlation();
+}
+
+stats::Histogram
+FeatureAnalysis::shadowHistogram() const
+{
+    stats::Histogram hist(Weight::min, Weight::max);
+    for (const Weight &w : shadowTable_)
+        hist.add(w.value());
+    return hist;
+}
+
+std::uint64_t
+FeatureAnalysis::samples() const
+{
+    return perFeature_[0].count();
+}
+
+void
+FeatureAnalysis::merge(const FeatureAnalysis &other)
+{
+    for (unsigned f = 0; f < numFeatures; ++f)
+        perFeature_[f].merge(other.perFeature_[f]);
+    shadowCorr_.merge(other.shadowCorr_);
+    positives_ += other.positives_;
+    negatives_ += other.negatives_;
+}
+
+} // namespace pfsim::ppf

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Instrumentation behind the paper's feature-selection methodology
+ * (Section 5.5, Figures 6-8).
+ *
+ * The analysis keeps its own per-feature shadow weight banks, trained
+ * with the perceptron rule on *every* resolved outcome (useful and
+ * not-useful alike), and computes Pearson's r between each feature's
+ * shadow weight at observation time and the outcome.  Shadow banks
+ * are used instead of the filter's live weights because the live
+ * training is deliberately sparse on negatives (it only fires on the
+ * paper's feedback events), which at scaled run lengths would starve
+ * the correlation of negative observations.
+ *
+ * A shadow "last signature" feature — the example the paper *rejects*
+ * in Figure 6 — is trained alongside the real features so the contrast
+ * between a kept and a discarded feature can be regenerated.
+ */
+
+#ifndef PFSIM_CORE_FEATURE_ANALYSIS_HH
+#define PFSIM_CORE_FEATURE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/features.hh"
+#include "core/weight_tables.hh"
+#include "stats/histogram.hh"
+#include "stats/pearson.hh"
+
+namespace pfsim::ppf
+{
+
+/** Per-feature outcome-correlation recorder. */
+class FeatureAnalysis
+{
+  public:
+    FeatureAnalysis();
+
+    /**
+     * Record one resolved prediction: the feature vector that was
+     * used and whether the prefetch turned out useful.
+     */
+    void record(const FeatureInput &input, const FeatureIndices &idx,
+                const WeightTables &tables, bool useful);
+
+    /** Pearson's r between feature weight and outcome. */
+    double correlation(FeatureId feature) const;
+
+    /** Histogram of a feature's analysis-trained weights (Figure 6). */
+    stats::Histogram histogram(FeatureId feature) const;
+
+    /** Pearson's r of the rejected shadow feature (last signature). */
+    double shadowCorrelation() const;
+
+    /** Histogram of the shadow feature's trained weights. */
+    stats::Histogram shadowHistogram() const;
+
+    /** Positive / negative outcome counts observed. */
+    std::uint64_t positives() const { return positives_; }
+    std::uint64_t negatives() const { return negatives_; }
+
+    /** Observations recorded so far. */
+    std::uint64_t samples() const;
+
+    /** Merge another trace's accumulators (all-suite analysis). */
+    void merge(const FeatureAnalysis &other);
+
+  private:
+    std::array<stats::PearsonAccumulator, numFeatures> perFeature_;
+
+    /** Per-feature shadow banks, trained on every resolved outcome. */
+    std::array<std::vector<Weight>, numFeatures> shadowWeights_;
+
+    /** Shadow feature: raw last signature, trained but unused. */
+    static constexpr std::uint32_t shadowEntries = 2048;
+    std::vector<Weight> shadowTable_;
+    stats::PearsonAccumulator shadowCorr_;
+
+    std::uint64_t positives_ = 0;
+    std::uint64_t negatives_ = 0;
+};
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_FEATURE_ANALYSIS_HH

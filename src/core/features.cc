@@ -1,0 +1,91 @@
+#include "core/features.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::ppf
+{
+
+const std::string &
+featureName(FeatureId id)
+{
+    static const std::array<std::string, numFeatures> names = {
+        "phys_addr",
+        "cache_line",
+        "page_addr",
+        "page_addr^conf",
+        "pc1^pc2>>1^pc3>>2",
+        "signature^delta",
+        "pc^depth",
+        "pc^delta",
+        "confidence",
+    };
+    return names[unsigned(id)];
+}
+
+namespace
+{
+
+/** 7-bit sign-magnitude delta encoding shared with SPP. */
+std::uint32_t
+encodeDelta(int delta)
+{
+    if (delta >= 0)
+        return std::uint32_t(delta) & 0x3f;
+    return 0x40 | (std::uint32_t(-delta) & 0x3f);
+}
+
+} // namespace
+
+FeatureIndices
+computeIndices(const FeatureInput &input)
+{
+    FeatureIndices idx;
+
+    // Three shifted views of the triggering address (Section 4.2: the
+    // shifts let the filter weigh overlapping bits most heavily and
+    // avoid the destructive interference of folding the address once).
+    idx[unsigned(FeatureId::PhysAddr)] =
+        std::uint32_t(foldXor(input.triggerAddr, 12));
+    idx[unsigned(FeatureId::CacheLine)] =
+        std::uint32_t(foldXor(input.triggerAddr >> blockShift, 12));
+    idx[unsigned(FeatureId::PageAddr)] =
+        std::uint32_t(foldXor(input.triggerAddr >> pageShift, 12));
+
+    idx[unsigned(FeatureId::PageAddrXorConf)] = std::uint32_t(
+        (foldXor(input.triggerAddr >> pageShift, 12) ^
+         std::uint32_t(input.confidence)) &
+        mask(12));
+
+    // Shift older PCs more so identical PCs do not cancel to zero and
+    // older history is blurred (Section 4.2).
+    const std::uint64_t pc_path =
+        input.pc1 ^ (input.pc2 >> 1) ^ (input.pc3 >> 2);
+    idx[unsigned(FeatureId::PcPath)] =
+        std::uint32_t(foldXor(pc_path, 11));
+
+    idx[unsigned(FeatureId::SigXorDelta)] = std::uint32_t(
+        (input.signature ^ encodeDelta(input.delta)) & mask(11));
+
+    idx[unsigned(FeatureId::PcXorDepth)] = std::uint32_t(
+        (foldXor(input.pc, 10) ^ std::uint32_t(input.depth)) &
+        mask(10));
+
+    idx[unsigned(FeatureId::PcXorDelta)] = std::uint32_t(
+        (foldXor(input.pc, 10) ^ encodeDelta(input.delta)) & mask(10));
+
+    int conf = input.confidence;
+    if (conf < 0)
+        conf = 0;
+    if (conf > 127)
+        conf = 127;
+    idx[unsigned(FeatureId::Confidence)] = std::uint32_t(conf);
+
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        if (idx[f] >= featureTableSizes[f])
+            panic("feature index out of range");
+    }
+    return idx;
+}
+
+} // namespace pfsim::ppf

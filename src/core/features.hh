@@ -1,0 +1,100 @@
+/**
+ * @file
+ * PPF's perceptron features (paper Section 4.2).
+ *
+ * Nine features survive the paper's Pearson-correlation pruning
+ * (Section 5.5); each indexes its own weight table.  The table sizes
+ * reproduce Table 3 exactly: four 4096-entry tables, two 2048-entry,
+ * two 1024-entry and one 128-entry table — 22,656 5-bit weights =
+ * 113,280 bits.
+ */
+
+#ifndef PFSIM_CORE_FEATURES_HH
+#define PFSIM_CORE_FEATURES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace pfsim::ppf
+{
+
+/** Number of perceptron features. */
+inline constexpr unsigned numFeatures = 9;
+
+/** Identity of each feature (index into tables and masks). */
+enum class FeatureId : unsigned
+{
+    PhysAddr = 0,     ///< low bits of the triggering physical address
+    CacheLine = 1,    ///< triggering address >> 6
+    PageAddr = 2,     ///< triggering address >> 12
+    PageAddrXorConf = 3, ///< page address hashed with path confidence
+    PcPath = 4,       ///< PC_1 ^ (PC_2 >> 1) ^ (PC_3 >> 2)
+    SigXorDelta = 5,  ///< current signature hashed with delta
+    PcXorDepth = 6,   ///< trigger PC hashed with lookahead depth
+    PcXorDelta = 7,   ///< trigger PC hashed with predicted delta
+    Confidence = 8,   ///< SPP path confidence, 0..100
+};
+
+/** Weight-table entry counts per feature (Table 3 layout). */
+inline constexpr std::array<std::uint32_t, numFeatures>
+    featureTableSizes = {
+        4096, // PhysAddr
+        4096, // CacheLine
+        4096, // PageAddr
+        4096, // PageAddrXorConf
+        2048, // PcPath
+        2048, // SigXorDelta
+        1024, // PcXorDepth
+        1024, // PcXorDelta
+        128,  // Confidence
+};
+
+/** Human-readable feature names (reports, Figures 6-8). */
+const std::string &featureName(FeatureId id);
+
+/**
+ * The raw metadata a feature vector is computed from.  This is what
+ * the Prefetch/Reject tables store (Table 2) so training can re-index
+ * the same weights the prediction used.
+ */
+struct FeatureInput
+{
+    /** Demand address that triggered the prefetch chain. */
+    Addr triggerAddr = 0;
+
+    /** PC of the triggering instruction. */
+    Pc pc = 0;
+
+    /** The three most recent PCs before the trigger. */
+    Pc pc1 = 0;
+    Pc pc2 = 0;
+    Pc pc3 = 0;
+
+    /** Lookahead depth of the candidate. */
+    int depth = 1;
+
+    /** Predicted delta, in blocks (signed). */
+    int delta = 0;
+
+    /** SPP path confidence, 0..100. */
+    int confidence = 0;
+
+    /** Signature of the lookahead stage. */
+    std::uint32_t signature = 0;
+};
+
+/** Index vector: one weight-table index per feature. */
+using FeatureIndices = std::array<std::uint32_t, numFeatures>;
+
+/**
+ * Compute all nine table indices for @p input.  Every index is within
+ * the corresponding featureTableSizes bound.
+ */
+FeatureIndices computeIndices(const FeatureInput &input);
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_FEATURES_HH

@@ -1,0 +1,66 @@
+#include "core/filter_tables.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::ppf
+{
+
+FilterTable::FilterTable(std::uint32_t entries)
+    : table_(entries)
+{
+    if (!isPowerOf2(entries))
+        fatal("filter table size must be a power of two");
+    indexBits_ = log2i(entries);
+}
+
+std::uint32_t
+FilterTable::indexOf(Addr addr) const
+{
+    return std::uint32_t(blockNumber(addr)) & (table_.size() - 1);
+}
+
+std::uint8_t
+FilterTable::tagOf(Addr addr) const
+{
+    // Six tag bits above the index bits (Table 2).
+    return std::uint8_t((blockNumber(addr) >> indexBits_) & 0x3f);
+}
+
+void
+FilterTable::insert(Addr addr, const FeatureInput &features,
+                    bool prefetched)
+{
+    FilterEntry &entry = table_[indexOf(addr)];
+    entry.valid = true;
+    entry.tag = tagOf(addr);
+    entry.useful = false;
+    entry.prefetched = prefetched;
+    entry.features = features;
+}
+
+FilterEntry *
+FilterTable::slot(Addr addr)
+{
+    return &table_[indexOf(addr)];
+}
+
+FilterEntry *
+FilterTable::find(Addr addr)
+{
+    FilterEntry &entry = table_[indexOf(addr)];
+    if (entry.valid && entry.tag == tagOf(addr))
+        return &entry;
+    return nullptr;
+}
+
+void
+FilterTable::invalidate(FilterEntry *entry)
+{
+    assert(entry != nullptr);
+    entry->valid = false;
+}
+
+} // namespace pfsim::ppf

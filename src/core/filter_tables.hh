@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PPF's Prefetch Table and Reject Table (paper Section 3.1 and
+ * Table 2): 1,024-entry direct-mapped structures holding the metadata
+ * needed to re-index the perceptron weights when feedback arrives.
+ *
+ * The Prefetch Table records candidates the filter let through; the
+ * Reject Table records candidates it dropped, so that a later demand
+ * to a rejected address can correct a false negative.
+ */
+
+#ifndef PFSIM_CORE_FILTER_TABLES_HH
+#define PFSIM_CORE_FILTER_TABLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/features.hh"
+#include "util/types.hh"
+
+namespace pfsim::ppf
+{
+
+/** One entry of the Prefetch/Reject tables. */
+struct FilterEntry
+{
+    bool valid = false;
+
+    /** 6-bit tag over the block address (Table 2). */
+    std::uint8_t tag = 0;
+
+    /** The prefetch led to a demand hit (Prefetch Table only). */
+    bool useful = false;
+
+    /** The perceptron's original decision (prefetched or rejected). */
+    bool prefetched = false;
+
+    /** Metadata to re-compute the feature indices for training. */
+    FeatureInput features;
+};
+
+/** A 1,024-entry direct-mapped filter table. */
+class FilterTable
+{
+  public:
+    explicit FilterTable(std::uint32_t entries = 1024);
+
+    /**
+     * Record metadata for the prefetch target @p addr, overwriting any
+     * previous occupant of the slot (direct-mapped behaviour).
+     */
+    void insert(Addr addr, const FeatureInput &features,
+                bool prefetched);
+
+    /** Find the entry matching @p addr, or nullptr. */
+    FilterEntry *find(Addr addr);
+
+    /**
+     * The direct-mapped slot @p addr maps to, regardless of tag —
+     * used to observe the entry about to be displaced by an insert.
+     */
+    FilterEntry *slot(Addr addr);
+
+    /** Invalidate a previously found entry. */
+    void invalidate(FilterEntry *entry);
+
+    std::uint32_t entries() const { return std::uint32_t(table_.size()); }
+
+  private:
+    std::uint32_t indexOf(Addr addr) const;
+    std::uint8_t tagOf(Addr addr) const;
+
+    std::vector<FilterEntry> table_;
+    std::uint32_t indexBits_;
+};
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_FILTER_TABLES_HH

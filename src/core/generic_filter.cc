@@ -1,0 +1,78 @@
+#include "core/generic_filter.hh"
+
+namespace pfsim::ppf
+{
+
+FilteredPrefetcher::FilteredPrefetcher(
+    std::unique_ptr<prefetch::Prefetcher> base, PpfConfig config)
+    : base_(std::move(base)), ppf_(config),
+      name_(base_->name() + "_ppf")
+{
+    // The base prefetcher issues through us; we issue through the
+    // host cache once the filter has ruled.
+    base_->attach(this);
+}
+
+void
+FilteredPrefetcher::operate(const prefetch::OperateInfo &info)
+{
+    // Feedback first (as in the SPP integration), then let the base
+    // produce candidates against this trigger's context.
+    ppf_.onDemand(info.addr, info.pc);
+    triggerAddr_ = info.addr;
+    triggerPc_ = info.pc;
+    base_->operate(info);
+}
+
+void
+FilteredPrefetcher::fill(const prefetch::FillInfo &info)
+{
+    if (info.evictedValid && info.evictedUnusedPrefetch)
+        ppf_.onUselessEviction(info.evictedAddr);
+    base_->fill(info);
+}
+
+bool
+FilteredPrefetcher::issuePrefetch(Addr addr, bool fill_this_level)
+{
+    // Build the candidate from the prefetcher-agnostic observables
+    // (Section 4.2's "derived directly from program execution"
+    // features); the SPP-specific fields take neutral values.
+    prefetch::SppCandidate candidate;
+    candidate.addr = blockAlign(addr);
+    candidate.triggerAddr = triggerAddr_;
+    candidate.pc = triggerPc_;
+    candidate.depth = 1;
+    candidate.delta = int(std::int64_t(blockNumber(addr)) -
+                          std::int64_t(blockNumber(triggerAddr_)));
+    candidate.confidence = 50;
+    candidate.signature = 0;
+    candidate.fillL2 = fill_this_level;
+
+    switch (ppf_.test(candidate)) {
+      case prefetch::SppFilter::Decision::Drop:
+        // The base prefetcher sees its candidate refused, exactly as
+        // if the queue had been full.
+        return false;
+      case prefetch::SppFilter::Decision::FillL2:
+        fill_this_level = true;
+        break;
+      case prefetch::SppFilter::Decision::FillLlc:
+        fill_this_level = false;
+        break;
+    }
+    if (issuer_ != nullptr &&
+        issuer_->issuePrefetch(candidate.addr, fill_this_level)) {
+        ppf_.notifyIssued(candidate, fill_this_level);
+        return true;
+    }
+    return false;
+}
+
+const std::string &
+FilteredPrefetcher::name() const
+{
+    return name_;
+}
+
+} // namespace pfsim::ppf

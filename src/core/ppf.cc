@@ -1,0 +1,139 @@
+#include "core/ppf.hh"
+
+namespace pfsim::ppf
+{
+
+Ppf::Ppf(PpfConfig config)
+    : config_(config),
+      weights_(config.featureMask, config.weightClampBits),
+      prefetchTable_(config.prefetchTableEntries),
+      rejectTable_(config.rejectTableEntries)
+{
+}
+
+FeatureInput
+Ppf::buildInput(const prefetch::SppCandidate &candidate) const
+{
+    FeatureInput input;
+    input.triggerAddr = candidate.triggerAddr;
+    input.pc = candidate.pc;
+    input.pc1 = pcHistory_[0];
+    input.pc2 = pcHistory_[1];
+    input.pc3 = pcHistory_[2];
+    input.depth = candidate.depth;
+    input.delta = candidate.delta;
+    input.confidence = candidate.confidence;
+    input.signature = candidate.signature;
+    return input;
+}
+
+int
+Ppf::inferenceSum(const prefetch::SppCandidate &candidate) const
+{
+    return weights_.sum(computeIndices(buildInput(candidate)));
+}
+
+prefetch::SppFilter::Decision
+Ppf::test(const prefetch::SppCandidate &candidate)
+{
+    ++stats_.candidates;
+    const FeatureInput input = buildInput(candidate);
+    const int sum = weights_.sum(computeIndices(input));
+
+    if (sum >= config_.tauHi) {
+        ++stats_.acceptedL2;
+        return Decision::FillL2;
+    }
+    if (sum >= config_.tauLo) {
+        ++stats_.acceptedLlc;
+        return Decision::FillLlc;
+    }
+    ++stats_.rejected;
+    recordDisplacedOutcome(*rejectTable_.slot(candidate.addr));
+    rejectTable_.insert(candidate.addr, input, false);
+    return Decision::Drop;
+}
+
+void
+Ppf::notifyIssued(const prefetch::SppCandidate &candidate, bool)
+{
+    recordDisplacedOutcome(*prefetchTable_.slot(candidate.addr));
+    prefetchTable_.insert(candidate.addr, buildInput(candidate), true);
+}
+
+void
+Ppf::recordDisplacedOutcome(const FilterEntry &displaced)
+{
+    // Analysis-only observable (Figures 6-8): an entry displaced
+    // without ever seeing a demand to its address resolved negative —
+    // for a prefetched entry the prefetch went unused during its
+    // table residency; for a rejected entry the rejection was
+    // correct.  The weights are NOT trained here; the paper trains
+    // only on the demand/eviction feedback paths.
+    if (analysis_ == nullptr || !displaced.valid || displaced.useful)
+        return;
+    analysis_->record(displaced.features,
+                      computeIndices(displaced.features), weights_,
+                      false);
+}
+
+void
+Ppf::train(const FilterEntry &entry, bool positive)
+{
+    const FeatureIndices idx = computeIndices(entry.features);
+    const int sum = weights_.sum(idx);
+
+    if (analysis_ != nullptr)
+        analysis_->record(entry.features, idx, weights_, positive);
+
+    // Saturating training rule (Figure 5b): only adjust while the sum
+    // has not moved past theta in the outcome's direction.
+    if (positive) {
+        if (sum < config_.thetaP)
+            weights_.train(idx, true);
+    } else {
+        if (sum > config_.thetaN)
+            weights_.train(idx, false);
+    }
+}
+
+void
+Ppf::onDemand(Addr addr, Pc pc)
+{
+    // A demand to a block the filter prefetched: correct positive.
+    if (FilterEntry *entry = prefetchTable_.find(addr);
+        entry != nullptr && !entry->useful) {
+        entry->useful = true;
+        ++stats_.trainUseful;
+        train(*entry, true);
+    }
+
+    // A demand to a block the filter rejected: false negative.
+    if (FilterEntry *entry = rejectTable_.find(addr);
+        entry != nullptr) {
+        ++stats_.trainFalseNegative;
+        train(*entry, true);
+        rejectTable_.invalidate(entry);
+    }
+
+    // Maintain the PC-path history; consecutive duplicates collapse so
+    // tight loops still expose three distinct path PCs.
+    if (pcHistory_[0] != pc) {
+        pcHistory_[2] = pcHistory_[1];
+        pcHistory_[1] = pcHistory_[0];
+        pcHistory_[0] = pc;
+    }
+}
+
+void
+Ppf::onUselessEviction(Addr addr)
+{
+    if (FilterEntry *entry = prefetchTable_.find(addr);
+        entry != nullptr && !entry->useful) {
+        ++stats_.trainUselessEvict;
+        train(*entry, false);
+        prefetchTable_.invalidate(entry);
+    }
+}
+
+} // namespace pfsim::ppf

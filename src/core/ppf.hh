@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Perceptron-based Prefetch Filter (the paper's contribution).
+ *
+ * PPF sits between the underlying prefetcher and the prefetch queue
+ * (Figure 4).  For every candidate it computes nine feature indices,
+ * sums the selected 5-bit weights and thresholds the sum twice
+ * (Figure 5, step 1):
+ *
+ *     sum >= tauHi          -> prefetch, fill the L2
+ *     tauLo <= sum < tauHi  -> prefetch, fill only the LLC
+ *     sum < tauLo           -> reject
+ *
+ * Candidates that pass are logged in the Prefetch Table; rejected ones
+ * in the Reject Table (step 2).  Feedback arrives from L2 demand
+ * accesses and evictions (steps 3-4): a demanded address found in the
+ * Prefetch Table trains the weights positively (the prefetch was
+ * useful); one found in the Reject Table corrects a false negative;
+ * and the eviction of a never-used prefetched block trains negatively.
+ * Training only happens when the prediction was wrong or the sum's
+ * magnitude has not yet saturated past theta (to avoid over-training
+ * and keep adaptation fast).
+ */
+
+#ifndef PFSIM_CORE_PPF_HH
+#define PFSIM_CORE_PPF_HH
+
+#include <cstdint>
+
+#include "core/feature_analysis.hh"
+#include "core/features.hh"
+#include "core/filter_tables.hh"
+#include "core/weight_tables.hh"
+#include "prefetch/spp.hh"
+#include "util/types.hh"
+
+namespace pfsim::ppf
+{
+
+/** PPF tuning parameters. */
+struct PpfConfig
+{
+    /** Sum threshold at or above which a candidate fills the L2. */
+    int tauHi = 40;
+
+    /**
+     * Sum threshold below which a candidate is rejected.  Slightly
+     * positive, so an untrained filter starts out skeptical: unknown
+     * candidates are dropped until demand traffic to their addresses
+     * lands in the Reject Table and trains the weights up.  This is
+     * what makes the Reject Table's false-negative path (Figure 5,
+     * steps 3-4) the bootstrap mechanism of the filter.
+     */
+    int tauLo = 2;
+
+    /** Positive training saturation: train up only while sum < this. */
+    int thetaP = 72;
+
+    /** Negative training saturation: train down only while sum > this. */
+    int thetaN = -72;
+
+    /** Prefetch Table entries. */
+    std::uint32_t prefetchTableEntries = 1024;
+
+    /** Reject Table entries. */
+    std::uint32_t rejectTableEntries = 1024;
+
+    /** Feature enable mask (bit f = FeatureId f); for ablations. */
+    std::uint32_t featureMask = 0x1ff;
+
+    /** Effective weight width in bits (2..5); for ablations. */
+    unsigned weightClampBits = 5;
+};
+
+/** PPF event counters. */
+struct PpfStats
+{
+    std::uint64_t candidates = 0;
+    std::uint64_t acceptedL2 = 0;
+    std::uint64_t acceptedLlc = 0;
+    std::uint64_t rejected = 0;
+
+    std::uint64_t trainUseful = 0;      ///< prefetch-table demand hits
+    std::uint64_t trainFalseNegative = 0; ///< reject-table demand hits
+    std::uint64_t trainUselessEvict = 0;  ///< unused-prefetch evictions
+};
+
+/** The perceptron filter. */
+class Ppf : public prefetch::SppFilter
+{
+  public:
+    explicit Ppf(PpfConfig config = {});
+
+    // prefetch::SppFilter: inference (step 1).
+    Decision test(const prefetch::SppCandidate &candidate) override;
+
+    // prefetch::SppFilter: Prefetch Table recording (step 2); only
+    // candidates that actually entered the prefetch queue are logged,
+    // so table churn reflects real prefetches.
+    void notifyIssued(const prefetch::SppCandidate &candidate,
+                      bool fill_l2) override;
+
+    /**
+     * Feedback from an L2 demand access to @p addr (steps 3 and 4):
+     * also shifts the PC history used by the PC-path feature.
+     */
+    void onDemand(Addr addr, Pc pc);
+
+    /** Feedback from an L2 eviction of a never-used prefetched block. */
+    void onUselessEviction(Addr addr);
+
+    /** Inference sum for an arbitrary candidate (tests/analysis). */
+    int inferenceSum(const prefetch::SppCandidate &candidate) const;
+
+    const PpfStats &ppfStats() const { return stats_; }
+    const PpfConfig &config() const { return config_; }
+    const WeightTables &weights() const { return weights_; }
+
+    /** Attach the Figure 6-8 instrumentation (optional). */
+    void setAnalysis(FeatureAnalysis *analysis) { analysis_ = analysis; }
+
+  private:
+    FeatureInput buildInput(const prefetch::SppCandidate &candidate)
+        const;
+    void train(const FilterEntry &entry, bool positive);
+    void recordDisplacedOutcome(const FilterEntry &displaced);
+
+    PpfConfig config_;
+    WeightTables weights_;
+    FilterTable prefetchTable_;
+    FilterTable rejectTable_;
+    FeatureAnalysis *analysis_ = nullptr;
+
+    /** The last three demand PCs (PC-path feature input). */
+    Pc pcHistory_[3] = {0, 0, 0};
+
+    PpfStats stats_;
+};
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_PPF_HH

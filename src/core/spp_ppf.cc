@@ -1,0 +1,42 @@
+#include "core/spp_ppf.hh"
+
+namespace pfsim::ppf
+{
+
+SppPpfPrefetcher::SppPpfPrefetcher(SppPpfConfig config)
+    : ppf_(config.ppf),
+      spp_(std::make_unique<prefetch::SppPrefetcher>(config.spp, &ppf_))
+{
+}
+
+void
+SppPpfPrefetcher::operate(const prefetch::OperateInfo &info)
+{
+    // The issuer is bound after construction, so forward it lazily.
+    spp_->attach(issuer_);
+
+    // Feedback first (steps 3-4 of Figure 5): the demand may vindicate
+    // or indict earlier decisions before new candidates are produced.
+    ppf_.onDemand(info.addr, info.pc);
+
+    // Then let SPP generate candidates; each one calls back into
+    // Ppf::test through the SppFilter interface.
+    spp_->operate(info);
+}
+
+void
+SppPpfPrefetcher::fill(const prefetch::FillInfo &info)
+{
+    if (info.evictedValid && info.evictedUnusedPrefetch)
+        ppf_.onUselessEviction(info.evictedAddr);
+    spp_->fill(info);
+}
+
+const std::string &
+SppPpfPrefetcher::name() const
+{
+    static const std::string n = "spp_ppf";
+    return n;
+}
+
+} // namespace pfsim::ppf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SPP + PPF: the paper's evaluated configuration.  An SPP instance is
+ * re-tuned for maximum coverage (original T_p/T_f throttles effectively
+ * discarded, Section 4.1) and every candidate it produces is passed to
+ * the perceptron filter, which makes the drop / L2 / LLC decision.
+ */
+
+#ifndef PFSIM_CORE_SPP_PPF_HH
+#define PFSIM_CORE_SPP_PPF_HH
+
+#include <memory>
+
+#include "core/ppf.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/spp.hh"
+
+namespace pfsim::ppf
+{
+
+/** Combined configuration. */
+struct SppPpfConfig
+{
+    /**
+     * The aggressive SPP re-tune: thresholds lowered so deep candidate
+     * generation reaches the filter instead of being throttled.
+     */
+    prefetch::SppConfig spp = aggressiveSpp();
+
+    PpfConfig ppf = {};
+
+    /** The paper's aggressive SPP settings. */
+    static prefetch::SppConfig
+    aggressiveSpp()
+    {
+        prefetch::SppConfig config;
+        // With PPF attached the confidence thresholds no longer gate
+        // prefetching; the lookahead floor keeps the walk bounded.
+        config.prefetchThreshold = 4;
+        config.fillThreshold = 90;
+        config.filteredFloor = 4;
+        config.maxDepth = 16;
+        return config;
+    }
+};
+
+/** The SPP+PPF prefetcher. */
+class SppPpfPrefetcher : public prefetch::Prefetcher
+{
+  public:
+    explicit SppPpfPrefetcher(SppPpfConfig config = {});
+
+    void operate(const prefetch::OperateInfo &info) override;
+    void fill(const prefetch::FillInfo &info) override;
+    const std::string &name() const override;
+
+    Ppf &filter() { return ppf_; }
+    const Ppf &filter() const { return ppf_; }
+    const prefetch::SppPrefetcher &spp() const { return *spp_; }
+
+  private:
+    Ppf ppf_;
+    std::unique_ptr<prefetch::SppPrefetcher> spp_;
+};
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_SPP_PPF_HH

@@ -1,0 +1,94 @@
+#include "core/storage.hh"
+
+#include <numeric>
+
+#include "core/features.hh"
+
+namespace pfsim::ppf
+{
+
+std::vector<StorageField>
+prefetchTableEntryLayout()
+{
+    // Table 2 of the paper, field for field.
+    return {
+        {"Valid", 1, "Indicates a valid entry in the table"},
+        {"Tag", 6, "Identifier for the entry in the table"},
+        {"Useful", 1, "Entry led to a useful demand fetch"},
+        {"Perc Decision", 1, "Prefetched vs not-prefetched"},
+        {"PC", 12, "Trigger PC (hashed)"},
+        {"Address", 24, "Trigger address bits"},
+        {"Curr Signature", 10, "Lookahead-stage signature"},
+        {"PC_i Hash", 12, "PC_1 ^ PC_2>>1 ^ PC_3>>2"},
+        {"Delta", 7, "Predicted delta (sign-magnitude)"},
+        {"Confidence", 7, "Path confidence, 0..100"},
+        {"Depth", 4, "Lookahead depth"},
+    };
+}
+
+unsigned
+prefetchTableEntryBits()
+{
+    const auto layout = prefetchTableEntryLayout();
+    return std::accumulate(layout.begin(), layout.end(), 0u,
+                           [](unsigned acc, const StorageField &f) {
+                               return acc + f.bits;
+                           });
+}
+
+unsigned
+rejectTableEntryBits()
+{
+    // The Reject Table drops the Useful bit (paper footnote 2).
+    return prefetchTableEntryBits() - 1;
+}
+
+std::vector<StorageRow>
+storageBudget()
+{
+    std::vector<StorageRow> rows;
+
+    rows.push_back({"Signature Table", "256",
+                    "Valid(1) Tag(16) LastOffset(6) Sig(12) LRU(8)",
+                    std::uint64_t(256) * (1 + 16 + 6 + 12 + 8)});
+
+    rows.push_back({"Pattern Table", "512",
+                    "Csig(4) 4xCdelta(4) 4xDelta(7)",
+                    std::uint64_t(512) * (4 + 4 * 4 + 4 * 7)});
+
+    std::uint64_t weight_entries = 0;
+    for (unsigned f = 0; f < numFeatures; ++f)
+        weight_entries += featureTableSizes[f];
+    rows.push_back({"Perceptron Weights", "4096*4 2048*2 1024*2 128*1",
+                    "5 bits each", weight_entries * 5});
+
+    rows.push_back({"Prefetch Table", "1024",
+                    "85 bits (Table 2)",
+                    std::uint64_t(1024) * prefetchTableEntryBits()});
+
+    rows.push_back({"Reject Table", "1024", "84 bits (no Useful)",
+                    std::uint64_t(1024) * rejectTableEntryBits()});
+
+    rows.push_back({"Global History Register", "8",
+                    "Sig(12) Conf(8) LastOffset(6) Delta(7)",
+                    std::uint64_t(8) * (12 + 8 + 6 + 7)});
+
+    rows.push_back({"Accuracy Counters", "2", "C_total, C_useful (10)",
+                    std::uint64_t(2) * 10});
+
+    rows.push_back({"Global PC Trackers", "3", "PC_1..PC_3 (12 each)",
+                    std::uint64_t(3) * 12});
+
+    return rows;
+}
+
+std::uint64_t
+totalStorageBits()
+{
+    std::uint64_t total = 0;
+    for (const StorageRow &row : storageBudget())
+        total += row.totalBits;
+    return total;
+}
+
+} // namespace pfsim::ppf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware storage accounting reproducing the paper's Table 2
+ * (Prefetch Table entry layout, 85 bits) and Table 3 (total SPP+PPF
+ * budget, 322,240 bits = 39.34 KB).  Computed from the same structural
+ * constants the implementation uses, so a change to the configuration
+ * shows up in the reproduced tables.
+ */
+
+#ifndef PFSIM_CORE_STORAGE_HH
+#define PFSIM_CORE_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfsim::ppf
+{
+
+/** One field of a bit-level layout. */
+struct StorageField
+{
+    std::string name;
+    unsigned bits;
+    std::string comment;
+};
+
+/** One structure row of Table 3. */
+struct StorageRow
+{
+    std::string structure;
+    std::string entryCount;
+    std::string components;
+    std::uint64_t totalBits;
+};
+
+/** Table 2: the Prefetch Table entry layout. */
+std::vector<StorageField> prefetchTableEntryLayout();
+
+/** Bits per Prefetch Table entry (must be 85). */
+unsigned prefetchTableEntryBits();
+
+/** Bits per Reject Table entry (no useful bit: 84). */
+unsigned rejectTableEntryBits();
+
+/** Table 3: every SPP+PPF structure and its bit budget. */
+std::vector<StorageRow> storageBudget();
+
+/** Total budget in bits (must be 322,240). */
+std::uint64_t totalStorageBits();
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_STORAGE_HH

@@ -1,0 +1,79 @@
+#include "core/weight_tables.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace pfsim::ppf
+{
+
+WeightTables::WeightTables(std::uint32_t feature_mask,
+                           unsigned clamp_bits)
+    : featureMask_(feature_mask & ((1u << numFeatures) - 1))
+{
+    if (clamp_bits < 2 || clamp_bits > weightBits)
+        fatal("weight clamp width must be within [2, 5] bits");
+    clampMin_ = -(1 << (clamp_bits - 1));
+    clampMax_ = (1 << (clamp_bits - 1)) - 1;
+    for (unsigned f = 0; f < numFeatures; ++f)
+        tables_[f].assign(featureTableSizes[f], Weight{});
+}
+
+bool
+WeightTables::enabled(FeatureId feature) const
+{
+    return (featureMask_ >> unsigned(feature)) & 1;
+}
+
+int
+WeightTables::sum(const FeatureIndices &idx) const
+{
+    int s = 0;
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        if ((featureMask_ >> f) & 1)
+            s += tables_[f][idx[f]].value();
+    }
+    return s;
+}
+
+void
+WeightTables::train(const FeatureIndices &idx, bool positive)
+{
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        if ((featureMask_ >> f) & 1) {
+            Weight &w = tables_[f][idx[f]];
+            w.train(positive);
+            w.set(std::clamp(w.value(), clampMin_, clampMax_));
+        }
+    }
+}
+
+int
+WeightTables::weight(FeatureId feature, std::uint32_t index) const
+{
+    return tables_[unsigned(feature)][index].value();
+}
+
+stats::Histogram
+WeightTables::weightHistogram(FeatureId feature) const
+{
+    stats::Histogram hist(Weight::min, Weight::max);
+    for (const Weight &w : tables_[unsigned(feature)])
+        hist.add(w.value());
+    return hist;
+}
+
+int
+WeightTables::minSum() const
+{
+    return int(std::popcount(featureMask_)) * clampMin_;
+}
+
+int
+WeightTables::maxSum() const
+{
+    return int(std::popcount(featureMask_)) * clampMax_;
+}
+
+} // namespace pfsim::ppf

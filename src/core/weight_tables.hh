@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The hashed-perceptron weight tables of PPF: one table per feature,
+ * 5-bit saturating weights in [-16, +15] (paper Section 3.1).
+ */
+
+#ifndef PFSIM_CORE_WEIGHT_TABLES_HH
+#define PFSIM_CORE_WEIGHT_TABLES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/features.hh"
+#include "stats/histogram.hh"
+#include "util/sat_counter.hh"
+
+namespace pfsim::ppf
+{
+
+/** Weight width in bits (Section 3.1: 5 bits is the sweet spot). */
+inline constexpr unsigned weightBits = 5;
+
+/** One 5-bit perceptron weight. */
+using Weight = SignedSatCounter<weightBits>;
+
+/** The per-feature weight tables. */
+class WeightTables
+{
+  public:
+    /**
+     * @param feature_mask bit f enables feature f; disabled features
+     * contribute 0 to sums and are never trained (ablation studies).
+     * @param clamp_bits effective weight width in [2, 5]: weights are
+     * clamped to the narrower range, emulating cheaper storage for
+     * the paper's bit-width trade-off study (Section 3.1).
+     */
+    explicit WeightTables(std::uint32_t feature_mask = 0x1ff,
+                          unsigned clamp_bits = weightBits);
+
+    /** Sum the weights selected by @p idx over enabled features. */
+    int sum(const FeatureIndices &idx) const;
+
+    /**
+     * Perceptron update: move every enabled selected weight one step
+     * toward @p positive.
+     */
+    void train(const FeatureIndices &idx, bool positive);
+
+    /** Read one weight (analysis / tests). */
+    int weight(FeatureId feature, std::uint32_t index) const;
+
+    /** True when @p feature participates in predictions. */
+    bool enabled(FeatureId feature) const;
+
+    /** Histogram of a feature's trained weights (Figure 6). */
+    stats::Histogram weightHistogram(FeatureId feature) const;
+
+    /** Smallest / largest possible sum given the enabled features. */
+    int minSum() const;
+    int maxSum() const;
+
+    /** Effective weight range after clamping. */
+    int weightMin() const { return clampMin_; }
+    int weightMax() const { return clampMax_; }
+
+  private:
+    std::uint32_t featureMask_;
+    int clampMin_;
+    int clampMax_;
+    std::array<std::vector<Weight>, numFeatures> tables_;
+};
+
+} // namespace pfsim::ppf
+
+#endif // PFSIM_CORE_WEIGHT_TABLES_HH

@@ -1,0 +1,46 @@
+#include "cpu/branch_predictor.hh"
+
+#include "cpu/perceptron_bp.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::cpu
+{
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries)
+{
+    if (!isPowerOf2(entries))
+        fatal("bimodal table size must be a power of two");
+}
+
+bool
+BimodalPredictor::predict(Pc pc)
+{
+    return table_[(pc >> 2) & (table_.size() - 1)].value() >= 0;
+}
+
+void
+BimodalPredictor::update(Pc pc, bool taken)
+{
+    table_[(pc >> 2) & (table_.size() - 1)].train(taken);
+}
+
+const std::string &
+BimodalPredictor::name() const
+{
+    static const std::string n = "bimodal";
+    return n;
+}
+
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "perceptron")
+        return std::make_unique<PerceptronBp>();
+    fatal("unknown branch predictor: " + name);
+}
+
+} // namespace pfsim::cpu

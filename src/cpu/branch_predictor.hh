@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Branch predictor interface plus a simple bimodal baseline.
+ */
+
+#ifndef PFSIM_CPU_BRANCH_PREDICTOR_HH
+#define PFSIM_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace pfsim::cpu
+{
+
+/** Interface of a conditional branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Pc pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(Pc pc, bool taken) = 0;
+
+    virtual const std::string &name() const = 0;
+};
+
+/** 2-bit bimodal predictor (baseline / testing). */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 4096);
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    const std::string &name() const override;
+
+  private:
+    std::vector<SignedSatCounter<2>> table_;
+};
+
+/** Construct a predictor by name ("bimodal" or "perceptron"). */
+std::unique_ptr<BranchPredictor>
+makeBranchPredictor(const std::string &name);
+
+} // namespace pfsim::cpu
+
+#endif // PFSIM_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,282 @@
+#include "cpu/core.hh"
+
+#include <cassert>
+
+#include "cache/cache.hh"
+#include "util/logging.hh"
+
+namespace pfsim::cpu
+{
+
+namespace
+{
+
+constexpr std::uint64_t tokenKindShift = 32;
+constexpr std::uint64_t tokenLoad = std::uint64_t{1} << tokenKindShift;
+constexpr std::uint64_t tokenStore = std::uint64_t{2} << tokenKindShift;
+constexpr std::uint64_t tokenFetch = std::uint64_t{3} << tokenKindShift;
+constexpr std::uint64_t tokenSlotMask = 0xffffffffULL;
+
+} // namespace
+
+Core::Core(CoreConfig config, int core_id, trace::TraceSource *source,
+           cache::Cache *l1i, cache::Cache *l1d)
+    : config_(std::move(config)), coreId_(core_id), source_(source),
+      l1i_(l1i), l1d_(l1d),
+      branchPredictor_(makeBranchPredictor(config_.branchPredictor)),
+      rob_(config_.robSize), lq_(config_.lqSize), sq_(config_.sqSize)
+{
+    if (source_ == nullptr || l1i_ == nullptr || l1d_ == nullptr)
+        fatal("core wired without trace source or caches");
+}
+
+void
+Core::resetStats()
+{
+    stats_ = CoreStats{};
+}
+
+std::uint32_t
+Core::robTail() const
+{
+    return (robHead_ + robCount_) % config_.robSize;
+}
+
+void
+Core::retire(Cycle now)
+{
+    unsigned budget = config_.retireWidth;
+    while (budget > 0 && robCount_ > 0) {
+        RobEntry &head = rob_[robHead_];
+        if (!head.completed || head.readyCycle > now)
+            break;
+        if (head.kind == Kind::Load) {
+            LqEntry &lq = lq_[head.lqSlot];
+            assert(lq.valid && lq.completed);
+            lq.valid = false;
+            assert(lqUsed_ > 0);
+            --lqUsed_;
+        }
+        robHead_ = (robHead_ + 1) % config_.robSize;
+        --robCount_;
+        ++stats_.instructions;
+        --budget;
+    }
+}
+
+void
+Core::fetch(Cycle now)
+{
+    if (now < fetchResumeCycle_ || fetchBlockPending_)
+        return;
+
+    unsigned budget = config_.fetchWidth;
+    while (budget > 0) {
+        if (!havePending_) {
+            if (traceExhausted_)
+                return;
+            if (!source_->next(pending_)) {
+                traceExhausted_ = true;
+                return;
+            }
+            havePending_ = true;
+        }
+
+        // Instruction fetch: one L1I access per new block.
+        const Addr fetch_block = blockAlign(pending_.pc);
+        if (fetch_block != lastFetchBlock_) {
+            if (l1i_->demandProbe(fetch_block, pending_.pc)) {
+                lastFetchBlock_ = fetch_block;
+            } else {
+                cache::Request req;
+                req.addr = fetch_block;
+                req.type = cache::AccessType::Load;
+                req.pc = pending_.pc;
+                req.coreId = coreId_;
+                req.ret = this;
+                req.token = tokenFetch;
+                if (l1i_->addRead(req))
+                    fetchBlockPending_ = true;
+                return;
+            }
+        }
+
+        if (robFull()) {
+            ++stats_.robFullStalls;
+            return;
+        }
+
+        RobEntry entry;
+        if (pending_.isLoad()) {
+            if (lqUsed_ == config_.lqSize) {
+                ++stats_.lqFullStalls;
+                return;
+            }
+            std::uint16_t slot = 0;
+            while (lq_[slot].valid)
+                ++slot;
+            LqEntry &lq = lq_[slot];
+            lq.valid = true;
+            lq.issued = false;
+            lq.completed = false;
+            lq.addr = pending_.loadAddr;
+            lq.pc = pending_.pc;
+            lq.robIndex = robTail();
+            lq.seq = nextLoadSeq_++;
+            lq.dependent = pending_.dependsOnPrev && haveLastLoad_;
+            lq.depSlot = lastLoadSlot_;
+            lq.depSeq = lastLoadSeq_;
+            ++lqUsed_;
+
+            haveLastLoad_ = true;
+            lastLoadSlot_ = slot;
+            lastLoadSeq_ = lq.seq;
+
+            entry.kind = Kind::Load;
+            entry.lqSlot = slot;
+            entry.completed = false;
+            ++stats_.loads;
+        } else if (pending_.isStore()) {
+            if (sqUsed_ == config_.sqSize) {
+                ++stats_.sqFullStalls;
+                return;
+            }
+            std::uint16_t slot = 0;
+            while (sq_[slot].valid)
+                ++slot;
+            SqEntry &sq = sq_[slot];
+            sq.valid = true;
+            sq.issued = false;
+            sq.addr = pending_.storeAddr;
+            sq.pc = pending_.pc;
+            ++sqUsed_;
+
+            // Stores complete from the pipeline's view at dispatch; the
+            // RFO drains in the background but occupies the SQ slot.
+            entry.kind = Kind::Store;
+            entry.completed = true;
+            entry.readyCycle = now + config_.aluLatency;
+            ++stats_.stores;
+        } else if (pending_.isBranch) {
+            const bool predicted = branchPredictor_->predict(pending_.pc);
+            branchPredictor_->update(pending_.pc, pending_.branchTaken);
+            ++stats_.branches;
+            entry.kind = Kind::Branch;
+            entry.completed = true;
+            entry.readyCycle = now + config_.aluLatency;
+            if (predicted != pending_.branchTaken) {
+                ++stats_.mispredicts;
+                fetchResumeCycle_ = now + config_.mispredictPenalty;
+                // Dispatch the branch itself, then stall the front end.
+                rob_[robTail()] = entry;
+                ++robCount_;
+                havePending_ = false;
+                return;
+            }
+        } else {
+            entry.kind = Kind::Alu;
+            entry.completed = true;
+            entry.readyCycle = now + config_.aluLatency;
+        }
+
+        rob_[robTail()] = entry;
+        ++robCount_;
+        havePending_ = false;
+        --budget;
+    }
+}
+
+void
+Core::issueLoads(Cycle now)
+{
+    unsigned budget = config_.loadIssueWidth;
+    while (budget > 0) {
+        // Pick the oldest unissued, dependency-free load.
+        LqEntry *pick = nullptr;
+        for (auto &lq : lq_) {
+            if (!lq.valid || lq.issued)
+                continue;
+            if (lq.dependent) {
+                const LqEntry &dep = lq_[lq.depSlot];
+                if (dep.valid && dep.seq == lq.depSeq && !dep.completed)
+                    continue; // producer still outstanding
+            }
+            if (pick == nullptr || lq.seq < pick->seq)
+                pick = &lq;
+        }
+        if (pick == nullptr)
+            break;
+
+        cache::Request req;
+        req.addr = pick->addr;
+        req.type = cache::AccessType::Load;
+        req.pc = pick->pc;
+        req.coreId = coreId_;
+        req.ret = this;
+        req.token =
+            tokenLoad | std::uint64_t(pick - lq_.data());
+        if (!l1d_->addRead(req))
+            break; // L1D RQ full; retry next cycle
+        pick->issued = true;
+        --budget;
+    }
+
+    // Drain stores: issue RFOs for unissued SQ entries (bounded by the
+    // same width; stores are fire-and-forget from the pipeline's view).
+    unsigned store_budget = config_.loadIssueWidth;
+    for (auto &sq : sq_) {
+        if (store_budget == 0)
+            break;
+        if (!sq.valid || sq.issued)
+            continue;
+        cache::Request req;
+        req.addr = sq.addr;
+        req.type = cache::AccessType::Rfo;
+        req.pc = sq.pc;
+        req.coreId = coreId_;
+        req.ret = this;
+        req.token =
+            tokenStore | std::uint64_t(&sq - sq_.data());
+        if (!l1d_->addRead(req))
+            break;
+        sq.issued = true;
+        --store_budget;
+    }
+}
+
+void
+Core::returnData(const cache::Request &req, Cycle now)
+{
+    const std::uint64_t kind = req.token >> tokenKindShift;
+    const std::size_t slot = std::size_t(req.token & tokenSlotMask);
+    if (kind == (tokenLoad >> tokenKindShift)) {
+        LqEntry &lq = lq_[slot];
+        assert(lq.valid && lq.issued && !lq.completed);
+        lq.completed = true;
+        RobEntry &rob = rob_[lq.robIndex];
+        rob.completed = true;
+        rob.readyCycle = now;
+    } else if (kind == (tokenStore >> tokenKindShift)) {
+        SqEntry &sq = sq_[slot];
+        assert(sq.valid && sq.issued);
+        sq.valid = false;
+        assert(sqUsed_ > 0);
+        --sqUsed_;
+    } else if (kind == (tokenFetch >> tokenKindShift)) {
+        fetchBlockPending_ = false;
+        lastFetchBlock_ = blockAlign(req.addr);
+    } else {
+        panic("core received a response with an unknown token");
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    ++stats_.cycles;
+    retire(now);
+    fetch(now);
+    issueLoads(now);
+}
+
+} // namespace pfsim::cpu

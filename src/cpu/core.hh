@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The out-of-order core model: a ROB-windowed, width-limited pipeline
+ * in the style of ChampSim's O3 model.
+ *
+ * Per cycle the core retires completed instructions in order, fetches
+ * and dispatches new instructions from its trace source (stalling on
+ * branch mispredictions and structural hazards), and issues ready
+ * loads to the L1D.  Loads marked dependent on the previous load are
+ * serialised, which is what gives pointer-chasing workloads their low
+ * memory-level parallelism.
+ */
+
+#ifndef PFSIM_CPU_CORE_HH
+#define PFSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/request.hh"
+#include "cpu/branch_predictor.hh"
+#include "trace/source.hh"
+#include "util/types.hh"
+
+namespace pfsim::cache
+{
+class Cache;
+} // namespace pfsim::cache
+
+namespace pfsim::cpu
+{
+
+/** Static core parameters (Table 1 style). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 6;
+    unsigned retireWidth = 4;
+    unsigned robSize = 256;
+    unsigned lqSize = 72;
+    unsigned sqSize = 56;
+    /** Loads issued to the L1D per cycle. */
+    unsigned loadIssueWidth = 2;
+    /** Cycles of fetch bubble after a mispredicted branch. */
+    unsigned mispredictPenalty = 15;
+    /** ALU/branch execution latency in cycles. */
+    unsigned aluLatency = 1;
+    std::string branchPredictor = "perceptron";
+};
+
+/** Core statistics. */
+struct CoreStats
+{
+    InstrCount instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t lqFullStalls = 0;
+    std::uint64_t sqFullStalls = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 : double(instructions) / double(cycles);
+    }
+};
+
+/** The core model. */
+class Core : public cache::Requestor
+{
+  public:
+    /**
+     * @param config core parameters
+     * @param core_id this core's index within the system
+     * @param source instruction stream
+     * @param l1i instruction cache
+     * @param l1d data cache
+     */
+    Core(CoreConfig config, int core_id, trace::TraceSource *source,
+         cache::Cache *l1i, cache::Cache *l1d);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // cache::Requestor (L1D / L1I responses)
+    void returnData(const cache::Request &req, Cycle now) override;
+
+    const CoreStats &stats() const { return stats_; }
+    CoreStats &stats() { return stats_; }
+
+    /** Instructions retired so far. */
+    InstrCount retired() const { return stats_.instructions; }
+
+    /** Reset the retired-instruction and cycle counters (post-warmup). */
+    void resetStats();
+
+    /** Occupancy introspection (testing / debugging). */
+    unsigned robOccupancy() const { return robCount_; }
+    unsigned lqOccupancy() const { return lqUsed_; }
+    unsigned sqOccupancy() const { return sqUsed_; }
+    bool fetchBlocked() const { return fetchBlockPending_; }
+
+  private:
+    enum class Kind : std::uint8_t { Alu, Branch, Load, Store };
+
+    struct RobEntry
+    {
+        bool completed = false;
+        Cycle readyCycle = 0;
+        Kind kind = Kind::Alu;
+        std::uint16_t lqSlot = 0;
+    };
+
+    struct LqEntry
+    {
+        bool valid = false;
+        bool issued = false;
+        bool completed = false;
+        Addr addr = 0;
+        Pc pc = 0;
+        std::uint32_t robIndex = 0;
+        std::uint64_t seq = 0;
+        /** Dependent on the load identified by depSlot/depSeq. */
+        bool dependent = false;
+        std::uint16_t depSlot = 0;
+        std::uint64_t depSeq = 0;
+    };
+
+    struct SqEntry
+    {
+        bool valid = false;
+        bool issued = false;
+        Addr addr = 0;
+        Pc pc = 0;
+    };
+
+    void retire(Cycle now);
+    void fetch(Cycle now);
+    void issueLoads(Cycle now);
+
+    bool robFull() const { return robCount_ == config_.robSize; }
+    std::uint32_t robTail() const;
+
+    CoreConfig config_;
+    int coreId_;
+    trace::TraceSource *source_;
+    cache::Cache *l1i_;
+    cache::Cache *l1d_;
+    std::unique_ptr<BranchPredictor> branchPredictor_;
+
+    std::vector<RobEntry> rob_;
+    std::uint32_t robHead_ = 0;
+    std::uint32_t robCount_ = 0;
+
+    std::vector<LqEntry> lq_;
+    unsigned lqUsed_ = 0;
+    std::vector<SqEntry> sq_;
+    unsigned sqUsed_ = 0;
+
+    /** Fetch is stalled until this cycle (mispredict redirect). */
+    Cycle fetchResumeCycle_ = 0;
+
+    /** Fetch is blocked waiting for an L1I fill. */
+    bool fetchBlockPending_ = false;
+
+    /** Last instruction block fetched, to dedup L1I accesses. */
+    Addr lastFetchBlock_ = ~Addr{0};
+
+    /** Identity of the most recently fetched load (dependences). */
+    bool haveLastLoad_ = false;
+    std::uint16_t lastLoadSlot_ = 0;
+    std::uint64_t lastLoadSeq_ = 0;
+
+    std::uint64_t nextLoadSeq_ = 1;
+    bool traceExhausted_ = false;
+
+    /** Fetched but not yet dispatched instruction. */
+    bool havePending_ = false;
+    Instruction pending_;
+
+    CoreStats stats_;
+};
+
+} // namespace pfsim::cpu
+
+#endif // PFSIM_CPU_CORE_HH

@@ -1,0 +1,70 @@
+#include "cpu/perceptron_bp.hh"
+
+#include <cstdlib>
+
+#include "util/bits.hh"
+
+namespace pfsim::cpu
+{
+
+PerceptronBp::PerceptronBp()
+{
+    for (auto &table : tables_)
+        table.assign(tableSize, SignedSatCounter<6>{});
+}
+
+std::array<std::size_t, PerceptronBp::numTables>
+PerceptronBp::indices(Pc pc) const
+{
+    // Feature 0: the PC alone; features 1..3: PC hashed with
+    // progressively older 8-bit segments of global history.
+    std::array<std::size_t, numTables> idx;
+    idx[0] = std::size_t(foldXor(pc >> 2, tableBits));
+    for (unsigned t = 1; t < numTables; ++t) {
+        std::uint64_t segment = bits(history_, (t - 1) * 8, 8);
+        idx[t] = std::size_t(
+            foldXor(mix64((pc >> 2) ^ (segment << (t * 4))),
+                    tableBits));
+    }
+    return idx;
+}
+
+int
+PerceptronBp::sum(const std::array<std::size_t, numTables> &idx) const
+{
+    int s = 0;
+    for (unsigned t = 0; t < numTables; ++t)
+        s += tables_[t][idx[t]].value();
+    return s;
+}
+
+bool
+PerceptronBp::predict(Pc pc)
+{
+    return sum(indices(pc)) >= 0;
+}
+
+void
+PerceptronBp::update(Pc pc, bool taken)
+{
+    const auto idx = indices(pc);
+    const int s = sum(idx);
+    const bool predicted = s >= 0;
+
+    // Perceptron rule: train on a misprediction, or while the margin
+    // has not yet reached theta.
+    if (predicted != taken || std::abs(s) <= theta) {
+        for (unsigned t = 0; t < numTables; ++t)
+            tables_[t][idx[t]].train(taken);
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+const std::string &
+PerceptronBp::name() const
+{
+    static const std::string n = "perceptron";
+    return n;
+}
+
+} // namespace pfsim::cpu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hashed-perceptron branch predictor (Jiménez & Lin [20], hashed
+ * organisation after Tarjan & Skadron [21]) — the branch predictor the
+ * paper's simulation configuration uses, and the same prediction
+ * organisation PPF itself builds on.
+ */
+
+#ifndef PFSIM_CPU_PERCEPTRON_BP_HH
+#define PFSIM_CPU_PERCEPTRON_BP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace pfsim::cpu
+{
+
+/** Hashed perceptron over PC and segments of global history. */
+class PerceptronBp : public BranchPredictor
+{
+  public:
+    PerceptronBp();
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    const std::string &name() const override;
+
+  private:
+    static constexpr unsigned numTables = 4;
+    static constexpr unsigned tableBits = 12;
+    static constexpr std::size_t tableSize = std::size_t{1} << tableBits;
+
+    /** Training threshold (classic theta = 1.93 * h + 14). */
+    static constexpr int theta = 1.93 * 24 + 14;
+
+    std::array<std::size_t, numTables> indices(Pc pc) const;
+    int sum(const std::array<std::size_t, numTables> &idx) const;
+
+    /** One weight table per feature. */
+    std::vector<SignedSatCounter<6>> tables_[numTables];
+
+    /** Global branch history register. */
+    std::uint64_t history_ = 0;
+};
+
+} // namespace pfsim::cpu
+
+#endif // PFSIM_CPU_PERCEPTRON_BP_HH

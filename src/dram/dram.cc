@@ -1,0 +1,216 @@
+#include "dram/dram.hh"
+
+#include <cassert>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::dram
+{
+
+void
+DramConfig::setBandwidthGBs(double gb_per_s)
+{
+    if (gb_per_s <= 0.0)
+        fatal("DRAM bandwidth must be positive");
+    // transfer time = 64 bytes / BW, expressed in 4 GHz core cycles.
+    const double seconds = double(blockSize) / (gb_per_s * 1e9);
+    transferCycles = Cycle(seconds * 4e9 + 0.5);
+    if (transferCycles == 0)
+        transferCycles = 1;
+}
+
+Dram::Dram(DramConfig config)
+    : config_(std::move(config))
+{
+    if (!isPowerOf2(config_.channels))
+        fatal("DRAM channel count must be a power of two");
+    channels_.resize(config_.channels);
+    for (auto &channel : channels_)
+        channel.banks.resize(config_.banks);
+}
+
+unsigned
+Dram::channelOf(Addr addr) const
+{
+    return unsigned(blockNumber(addr)) & (config_.channels - 1);
+}
+
+std::uint64_t
+Dram::rowIndexOf(Addr addr) const
+{
+    return addr / config_.rowBytes;
+}
+
+unsigned
+Dram::bankOf(Addr addr) const
+{
+    return unsigned(rowIndexOf(addr) % config_.banks);
+}
+
+bool
+Dram::addRead(const cache::Request &req)
+{
+    Channel &channel = channels_[channelOf(req.addr)];
+    if (channel.readQ.size() >= config_.rqSize)
+        return false;
+    channel.readQ.push_back({req, req.enqueueCycle});
+    return true;
+}
+
+bool
+Dram::addWrite(const cache::Request &req)
+{
+    Channel &channel = channels_[channelOf(req.addr)];
+    if (channel.writeQ.size() >= config_.wqSize)
+        return false;
+    channel.writeQ.push_back({req, req.enqueueCycle});
+    return true;
+}
+
+bool
+Dram::addPrefetch(const cache::Request &req)
+{
+    // At the DRAM boundary prefetch reads are just reads.
+    return addRead(req);
+}
+
+Cycle
+Dram::issue(Channel &channel, const Pending &pending, Cycle now)
+{
+    Bank &bank = channel.banks[bankOf(pending.req.addr)];
+    const std::uint64_t row = rowIndexOf(pending.req.addr);
+
+    Cycle latency;
+    if (bank.rowOpen && bank.openRow == row) {
+        latency = config_.rowHitLatency;
+        ++stats_.rowHits;
+    } else if (!bank.rowOpen) {
+        latency = config_.rowMissLatency;
+        ++stats_.rowMisses;
+    } else {
+        latency = config_.rowConflictLatency;
+        ++stats_.rowConflicts;
+    }
+
+    const Cycle data_ready = now + latency;
+    const Cycle data_start =
+        data_ready > channel.busFreeCycle ? data_ready
+                                          : channel.busFreeCycle;
+    const Cycle completion = data_start + config_.transferCycles;
+
+    channel.busFreeCycle = completion;
+    stats_.busBusyCycles += config_.transferCycles;
+    const bool was_row_hit = bank.rowOpen && bank.openRow == row;
+    bank.rowOpen = true;
+    bank.openRow = row;
+    // Row hits pipeline at the column-command rate (tCCD); activates
+    // and precharges occupy the bank for the full access latency.  The
+    // shared data bus (busFreeCycle above) is what ultimately bounds
+    // streaming bandwidth.
+    bank.readyCycle = now + (was_row_hit ? 8 : latency);
+    return completion;
+}
+
+bool
+Dram::schedule(Channel &channel, Cycle now)
+{
+    // Hysteretic write draining: prioritise writes only while draining.
+    if (!channel.drainingWrites &&
+        channel.writeQ.size() > config_.writeDrainHigh) {
+        channel.drainingWrites = true;
+    } else if (channel.drainingWrites &&
+               channel.writeQ.size() < config_.writeDrainLow) {
+        channel.drainingWrites = false;
+    }
+
+    const bool prefer_writes =
+        channel.drainingWrites || channel.readQ.empty();
+    std::deque<Pending> &queue =
+        prefer_writes && !channel.writeQ.empty() ? channel.writeQ
+                                                 : channel.readQ;
+    if (queue.empty())
+        return false;
+
+    // FR-FCFS with demand priority: demand reads are chosen before
+    // prefetch reads (a prefetch stream's dense row hits must not
+    // starve latency-critical demand misses); within a class, prefer
+    // the oldest row-buffer hit, then the oldest schedulable request.
+    std::size_t pick = queue.size();
+    bool pick_demand = false;
+    bool pick_row_hit = false;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Bank &bank = channel.banks[bankOf(queue[i].req.addr)];
+        if (bank.readyCycle > now)
+            continue;
+        const bool demand = cache::isDemand(queue[i].req.type);
+        const bool row_hit = bank.rowOpen &&
+            bank.openRow == rowIndexOf(queue[i].req.addr);
+        const bool better = pick == queue.size() ||
+            (demand && !pick_demand) ||
+            (demand == pick_demand && row_hit && !pick_row_hit);
+        if (better) {
+            pick = i;
+            pick_demand = demand;
+            pick_row_hit = row_hit;
+            if (demand && row_hit)
+                break;
+        }
+    }
+    if (pick == queue.size())
+        return false;
+
+    Pending pending = queue[pick];
+    queue.erase(queue.begin() + std::ptrdiff_t(pick));
+
+    const Cycle completion = issue(channel, pending, now);
+    const bool is_write =
+        pending.req.type == cache::AccessType::Writeback;
+    if (is_write) {
+        ++stats_.writes;
+    } else {
+        ++stats_.reads;
+        stats_.readLatencySum += completion - pending.arrival;
+        if (pending.req.ret != nullptr)
+            completions_.push({completion, pending.req});
+    }
+    return true;
+}
+
+void
+Dram::tick(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().ready <= now) {
+        Completion completion = completions_.top();
+        completions_.pop();
+        completion.req.ret->returnData(completion.req, now);
+    }
+
+    for (auto &channel : channels_) {
+        // One scheduling decision per channel per cycle.  Column
+        // commands pipeline across requests; per-bank activate timing
+        // (bank.readyCycle) and the serialised data bus
+        // (busFreeCycle) are what bound latency and bandwidth.
+        schedule(channel, now);
+    }
+}
+
+std::size_t
+Dram::pendingReads() const
+{
+    std::size_t n = 0;
+    for (const auto &channel : channels_)
+        n += channel.readQ.size();
+    return n;
+}
+
+std::size_t
+Dram::pendingWrites() const
+{
+    std::size_t n = 0;
+    for (const auto &channel : channels_)
+        n += channel.writeQ.size();
+    return n;
+}
+
+} // namespace pfsim::dram

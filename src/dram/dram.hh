@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A bandwidth- and row-buffer-aware DRAM model.
+ *
+ * The model captures what matters for prefetch-filtering studies: a
+ * finite data bus (64-byte transfers serialised per channel at the
+ * configured bandwidth), per-bank row buffers with hit/miss/conflict
+ * latencies, bank-level parallelism, and read-over-write priority with
+ * watermark-based write draining.  The paper's memory configurations —
+ * 12.8 GB/s default and the 3.2 GB/s "low bandwidth" variant of
+ * Section 5.2 — are both expressed through DramConfig.
+ */
+
+#ifndef PFSIM_DRAM_DRAM_HH
+#define PFSIM_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cache/request.hh"
+#include "util/types.hh"
+
+namespace pfsim::dram
+{
+
+/** Static DRAM parameters, in core cycles. */
+struct DramConfig
+{
+    std::string name = "dram";
+
+    /** Independent channels, each with its own data bus. */
+    unsigned channels = 1;
+
+    /** Banks per channel. */
+    unsigned banks = 8;
+
+    /** Row-buffer size in bytes. */
+    std::uint64_t rowBytes = 8192;
+
+    /** Latency of a row-buffer hit (activate already done). */
+    Cycle rowHitLatency = 55;
+
+    /** Latency when the bank has no row open. */
+    Cycle rowMissLatency = 110;
+
+    /** Latency when a different row must be closed first. */
+    Cycle rowConflictLatency = 165;
+
+    /**
+     * Cycles the data bus is occupied per 64-byte transfer.  20 cycles
+     * at a 4 GHz core models 12.8 GB/s; 80 cycles models 3.2 GB/s.
+     */
+    Cycle transferCycles = 20;
+
+    /** Read queue capacity (per channel). */
+    std::uint32_t rqSize = 48;
+
+    /** Write queue capacity (per channel). */
+    std::uint32_t wqSize = 48;
+
+    /** Start draining writes when the write queue exceeds this. */
+    std::uint32_t writeDrainHigh = 36;
+
+    /** Stop draining writes when the write queue falls below this. */
+    std::uint32_t writeDrainLow = 12;
+
+    /** Configure transferCycles from bandwidth at a 4 GHz core. */
+    void setBandwidthGBs(double gb_per_s);
+};
+
+/** DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    /** Cycles the data bus spent transferring. */
+    std::uint64_t busBusyCycles = 0;
+    /** Sum of read queueing+service latencies. */
+    std::uint64_t readLatencySum = 0;
+};
+
+/** The DRAM device: the bottom of every hierarchy. */
+class Dram : public cache::MemoryLevel
+{
+  public:
+    explicit Dram(DramConfig config);
+
+    bool addRead(const cache::Request &req) override;
+    bool addWrite(const cache::Request &req) override;
+    bool addPrefetch(const cache::Request &req) override;
+    void tick(Cycle now) override;
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return config_; }
+
+    /** Zero the statistics block (end of warmup). */
+    void resetStats() { stats_ = DramStats{}; }
+
+    /** Outstanding queued requests (testing). */
+    std::size_t pendingReads() const;
+    std::size_t pendingWrites() const;
+
+  private:
+    struct Pending
+    {
+        cache::Request req;
+        Cycle arrival;
+    };
+
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Cycle readyCycle = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<Pending> readQ;
+        std::deque<Pending> writeQ;
+        std::vector<Bank> banks;
+        Cycle busFreeCycle = 0;
+        bool drainingWrites = false;
+    };
+
+    struct Completion
+    {
+        Cycle ready;
+        cache::Request req;
+
+        bool
+        operator>(const Completion &other) const
+        {
+            return ready > other.ready;
+        }
+    };
+
+    unsigned channelOf(Addr addr) const;
+    std::uint64_t rowIndexOf(Addr addr) const;
+    unsigned bankOf(Addr addr) const;
+
+    /** Try to issue one request on @p channel; @return true if issued. */
+    bool schedule(Channel &channel, Cycle now);
+
+    /** Issue @p pending on @p channel; returns its completion cycle. */
+    Cycle issue(Channel &channel, const Pending &pending, Cycle now);
+
+    DramConfig config_;
+    std::vector<Channel> channels_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions_;
+    DramStats stats_;
+};
+
+} // namespace pfsim::dram
+
+#endif // PFSIM_DRAM_DRAM_HH

@@ -1,0 +1,120 @@
+#include "prefetch/ampm.hh"
+
+#include <algorithm>
+
+namespace pfsim::prefetch
+{
+
+AmpmPrefetcher::AmpmPrefetcher(AmpmConfig config)
+    : config_(config), zones_(config.zones)
+{
+}
+
+AmpmPrefetcher::Zone *
+AmpmPrefetcher::findZone(Addr page)
+{
+    for (auto &zone : zones_) {
+        if (zone.valid && zone.page == page)
+            return &zone;
+    }
+    return nullptr;
+}
+
+AmpmPrefetcher::Zone *
+AmpmPrefetcher::allocateZone(Addr page)
+{
+    Zone *victim = &zones_[0];
+    for (auto &zone : zones_) {
+        if (!zone.valid) {
+            victim = &zone;
+            break;
+        }
+        if (zone.lastUse < victim->lastUse)
+            victim = &zone;
+    }
+    victim->valid = true;
+    victim->page = page;
+    victim->accessed = 0;
+    victim->prefetched = 0;
+    return victim;
+}
+
+bool
+AmpmPrefetcher::lineAccessed(const Zone &zone, int line) const
+{
+    if (line < 0 || line >= int(blocksPerPage))
+        return false;
+    return (zone.accessed >> line) & 1;
+}
+
+void
+AmpmPrefetcher::operate(const OperateInfo &info)
+{
+    const Addr page = pageNumber(info.addr);
+    const int line = int(pageOffset(info.addr));
+
+    Zone *zone = findZone(page);
+    if (zone == nullptr)
+        zone = allocateZone(page);
+    zone->lastUse = ++useStamp_;
+    zone->accessed |= std::uint64_t{1} << line;
+
+    // Gather stride candidates whose history supports continuation.
+    std::vector<int> candidates;
+    for (int mag = 1; mag <= config_.maxStride; ++mag) {
+        for (int k : {mag, -mag}) {
+            const int target = line + k;
+            if (target < 0 || target >= int(blocksPerPage))
+                continue;
+            const std::uint64_t bit = std::uint64_t{1} << target;
+            if ((zone->accessed | zone->prefetched) & bit)
+                continue;
+            if (lineAccessed(*zone, line - k) &&
+                lineAccessed(*zone, line - 2 * k)) {
+                candidates.push_back(target);
+            }
+        }
+    }
+
+    // DRAM-aware ordering: issue candidates in the same DRAM row as the
+    // trigger first so they coalesce into one row activation.
+    const std::uint64_t trigger_row = info.addr / config_.rowBytes;
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](int a, int b) {
+                         const Addr addr_a = (page << pageShift) |
+                             (Addr(a) << blockShift);
+                         const Addr addr_b = (page << pageShift) |
+                             (Addr(b) << blockShift);
+                         const bool row_a =
+                             addr_a / config_.rowBytes == trigger_row;
+                         const bool row_b =
+                             addr_b / config_.rowBytes == trigger_row;
+                         return row_a > row_b;
+                     });
+
+    unsigned issued = 0;
+    for (int target : candidates) {
+        if (issued >= config_.degree)
+            break;
+        const Addr addr = (page << pageShift) |
+                          (Addr(target) << blockShift);
+        if (issuer_->issuePrefetch(addr, true)) {
+            zone->prefetched |= std::uint64_t{1} << target;
+            ++issued;
+        }
+    }
+}
+
+void
+AmpmPrefetcher::fill(const FillInfo &)
+{
+}
+
+const std::string &
+AmpmPrefetcher::name() const
+{
+    static const std::string n = "da_ampm";
+    return n;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,128 @@
+#include "prefetch/bop.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+
+namespace pfsim::prefetch
+{
+
+BopPrefetcher::BopPrefetcher(BopConfig config)
+    : config_(config)
+{
+    // The offset list from the BOP paper: positive integers <= 256
+    // whose prime factorisation uses only 2, 3 and 5.
+    for (int d = 1; d <= 256; ++d) {
+        int r = d;
+        for (int p : {2, 3, 5}) {
+            while (r % p == 0)
+                r /= p;
+        }
+        if (r == 1)
+            offsets_.push_back(d);
+    }
+    scores_.assign(offsets_.size(), 0);
+    rrTable_.assign(config_.rrEntries, 0);
+}
+
+void
+BopPrefetcher::resetRound()
+{
+    std::fill(scores_.begin(), scores_.end(), 0);
+    testIndex_ = 0;
+    rounds_ = 0;
+}
+
+bool
+BopPrefetcher::rrContains(Addr block) const
+{
+    const std::size_t idx =
+        std::size_t(mix64(block)) & (rrTable_.size() - 1);
+    return rrTable_[idx] == block;
+}
+
+void
+BopPrefetcher::rrInsert(Addr block)
+{
+    const std::size_t idx =
+        std::size_t(mix64(block)) & (rrTable_.size() - 1);
+    rrTable_[idx] = block;
+}
+
+void
+BopPrefetcher::learn(Addr block)
+{
+    // Test one candidate offset per trigger.
+    const int d = offsets_[testIndex_];
+    if (block >= Addr(d) && rrContains(block - Addr(d))) {
+        if (++scores_[testIndex_] >= config_.scoreMax) {
+            // Early finish: adopt the saturated offset.
+            prefetchOffset_ = d;
+            prefetchOn_ = true;
+            resetRound();
+            return;
+        }
+    }
+
+    if (++testIndex_ == offsets_.size()) {
+        testIndex_ = 0;
+        if (++rounds_ >= config_.roundMax) {
+            const auto best =
+                std::max_element(scores_.begin(), scores_.end());
+            const int best_score = *best;
+            prefetchOffset_ =
+                offsets_[std::size_t(best - scores_.begin())];
+            prefetchOn_ = best_score > config_.badScore;
+            resetRound();
+        }
+    }
+}
+
+void
+BopPrefetcher::operate(const OperateInfo &info)
+{
+    // BOP triggers on misses and on hits to prefetched lines.
+    if (info.cacheHit && !info.hitPrefetched)
+        return;
+
+    const Addr block = blockNumber(info.addr);
+    learn(block);
+
+    if (prefetchOn_) {
+        for (unsigned i = 1; i <= config_.degree; ++i) {
+            const Addr target =
+                block + Addr(prefetchOffset_) * Addr(i);
+            // Physical-address prefetching stops at the page boundary,
+            // as in the DPC-2/ChampSim implementation.
+            if (pageNumber(target << blockShift) !=
+                pageNumber(info.addr)) {
+                break;
+            }
+            issuer_->issuePrefetch(target << blockShift, true);
+        }
+    }
+}
+
+void
+BopPrefetcher::fill(const FillInfo &info)
+{
+    // Recent-request bookkeeping per the BOP paper: a completed demand
+    // fill of X records X itself; a completed prefetch fill of X + D
+    // records X ("a prefetch of offset D issued at X was timely").
+    const Addr block = blockNumber(info.addr);
+    if (info.wasPrefetch) {
+        if (block >= Addr(prefetchOffset_))
+            rrInsert(block - Addr(prefetchOffset_));
+    } else {
+        rrInsert(block);
+    }
+}
+
+const std::string &
+BopPrefetcher::name() const
+{
+    static const std::string n = "bop";
+    return n;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,71 @@
+#include "prefetch/ip_stride.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+IpStridePrefetcher::IpStridePrefetcher(std::size_t entries,
+                                       unsigned degree)
+    : table_(entries), degree_(degree == 0 ? 1 : degree)
+{
+    if (!isPowerOf2(entries))
+        fatal("ip_stride table size must be a power of two");
+}
+
+void
+IpStridePrefetcher::operate(const OperateInfo &info)
+{
+    const std::size_t idx =
+        std::size_t(info.pc >> 2) & (table_.size() - 1);
+    Entry &entry = table_[idx];
+    const Addr block = blockNumber(info.addr);
+
+    if (!entry.valid || entry.tag != info.pc) {
+        entry.valid = true;
+        entry.tag = info.pc;
+        entry.lastBlock = block;
+        entry.stride = 0;
+        entry.confidence.set(0);
+        return;
+    }
+
+    const std::int64_t stride =
+        std::int64_t(block) - std::int64_t(entry.lastBlock);
+    entry.lastBlock = block;
+    if (stride == 0)
+        return;
+
+    if (stride == entry.stride) {
+        entry.confidence.increment();
+    } else {
+        entry.stride = stride;
+        entry.confidence.set(0);
+        return;
+    }
+
+    if (entry.confidence.value() >= 2) {
+        for (unsigned i = 1; i <= degree_; ++i) {
+            const std::int64_t target =
+                std::int64_t(block) + stride * std::int64_t(i);
+            if (target <= 0)
+                break;
+            issuer_->issuePrefetch(Addr(target) << blockShift, true);
+        }
+    }
+}
+
+void
+IpStridePrefetcher::fill(const FillInfo &)
+{
+}
+
+const std::string &
+IpStridePrefetcher::name() const
+{
+    static const std::string n = "ip_stride";
+    return n;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Classic PC-indexed stride prefetcher (Baer & Chen style [7, 8]):
+ * per-PC last address, stride and a confidence counter.
+ */
+
+#ifndef PFSIM_PREFETCH_IP_STRIDE_HH
+#define PFSIM_PREFETCH_IP_STRIDE_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/sat_counter.hh"
+
+namespace pfsim::prefetch
+{
+
+/** PC-indexed stride prefetcher. */
+class IpStridePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param entries tracker table size (power of two)
+     * @param degree prefetches issued per confident trigger
+     */
+    explicit IpStridePrefetcher(std::size_t entries = 256,
+                                unsigned degree = 3);
+
+    void operate(const OperateInfo &info) override;
+    void fill(const FillInfo &info) override;
+    const std::string &name() const override;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Pc tag = 0;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        UnsignedSatCounter<2> confidence;
+    };
+
+    std::vector<Entry> table_;
+    unsigned degree_;
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_IP_STRIDE_HH

@@ -1,0 +1,30 @@
+#include "prefetch/next_line.hh"
+
+namespace pfsim::prefetch
+{
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned degree)
+    : degree_(degree == 0 ? 1 : degree)
+{
+}
+
+void
+NextLinePrefetcher::operate(const OperateInfo &info)
+{
+    for (unsigned i = 1; i <= degree_; ++i)
+        issuer_->issuePrefetch(info.addr + Addr(i) * blockSize, true);
+}
+
+void
+NextLinePrefetcher::fill(const FillInfo &)
+{
+}
+
+const std::string &
+NextLinePrefetcher::name() const
+{
+    static const std::string n = "next_line";
+    return n;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Next-line prefetcher: the simplest spatial prefetcher, used as a
+ * sanity baseline and in tests.
+ */
+
+#ifndef PFSIM_PREFETCH_NEXT_LINE_HH
+#define PFSIM_PREFETCH_NEXT_LINE_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace pfsim::prefetch
+{
+
+/** Prefetch the next @p degree sequential blocks on every demand. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1);
+
+    void operate(const OperateInfo &info) override;
+    void fill(const FillInfo &info) override;
+    const std::string &name() const override;
+
+  private:
+    unsigned degree_;
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_NEXT_LINE_HH

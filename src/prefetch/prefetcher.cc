@@ -1,0 +1,4 @@
+#include "prefetch/prefetcher.hh"
+
+// The prefetcher interface is header-only; this translation unit keeps
+// the header honest (it must compile stand-alone).

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The prefetcher interface, mirroring ChampSim's L2 prefetcher hooks:
+ * operate() on every demand access, fill() on every cache fill, and an
+ * issuer callback for injecting prefetches into the host cache.
+ *
+ * Every prefetcher in this repository (next-line, IP-stride, BOP,
+ * DA-AMPM, SPP, SPP+PPF) implements this interface, which is what lets
+ * the bench harness swap them freely (DESIGN.md, decision 2).
+ */
+
+#ifndef PFSIM_PREFETCH_PREFETCHER_HH
+#define PFSIM_PREFETCH_PREFETCHER_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/request.hh"
+#include "util/types.hh"
+
+namespace pfsim::prefetch
+{
+
+/** Information passed to operate() on each demand access. */
+struct OperateInfo
+{
+    /** Block-aligned address of the demand access. */
+    Addr addr = 0;
+
+    /** PC of the triggering instruction. */
+    Pc pc = 0;
+
+    /** True when the access hit in the host cache. */
+    bool cacheHit = false;
+
+    /**
+     * True when the access hit a block that was brought in by a
+     * prefetch and had not been used before (a useful prefetch).
+     */
+    bool hitPrefetched = false;
+
+    /** Load or Rfo. */
+    cache::AccessType type = cache::AccessType::Load;
+
+    /** Current cycle. */
+    Cycle cycle = 0;
+};
+
+/** Information passed to fill() when a block is installed. */
+struct FillInfo
+{
+    /** Block-aligned address of the installed block. */
+    Addr addr = 0;
+
+    /** True when the fill was triggered by a prefetch. */
+    bool wasPrefetch = false;
+
+    /**
+     * True when a demand merged into the prefetch's miss before the
+     * fill arrived: the prefetch was useful, just late.
+     */
+    bool lateUseful = false;
+
+    /** True when a valid block was evicted to make room. */
+    bool evictedValid = false;
+
+    /** Block-aligned address of the evicted block (when valid). */
+    Addr evictedAddr = 0;
+
+    /**
+     * True when the evicted block was prefetched and never used by a
+     * demand access: the pollution event PPF trains on.
+     */
+    bool evictedUnusedPrefetch = false;
+
+    /** Current cycle. */
+    Cycle cycle = 0;
+};
+
+/** Callback interface the host cache exposes to its prefetcher. */
+class PrefetchIssuer
+{
+  public:
+    virtual ~PrefetchIssuer() = default;
+
+    /**
+     * Issue a prefetch for the block containing @p addr.
+     *
+     * @param fill_this_level true to fill the host cache (and below);
+     *        false to fill only the next level down (the LLC when the
+     *        host is the L2 — SPP/PPF's low-confidence fill path).
+     * @return true when the prefetch was accepted into the queue.
+     */
+    virtual bool issuePrefetch(Addr addr, bool fill_this_level) = 0;
+};
+
+/** Base class of all prefetchers. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Bind the host cache's issue callback; called once at wiring. */
+    void attach(PrefetchIssuer *issuer) { issuer_ = issuer; }
+
+    /** Hook invoked on every demand access to the host cache. */
+    virtual void operate(const OperateInfo &info) = 0;
+
+    /** Hook invoked on every fill into the host cache. */
+    virtual void fill(const FillInfo &info) = 0;
+
+    /** Prefetcher name for reports. */
+    virtual const std::string &name() const = 0;
+
+  protected:
+    PrefetchIssuer *issuer_ = nullptr;
+};
+
+/** A prefetcher that never prefetches (the paper's baseline). */
+class NoPrefetcher : public Prefetcher
+{
+  public:
+    void operate(const OperateInfo &) override {}
+    void fill(const FillInfo &) override {}
+
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "none";
+        return n;
+    }
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_PREFETCHER_HH

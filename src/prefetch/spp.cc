@@ -1,0 +1,338 @@
+#include "prefetch/spp.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+SppPrefetcher::SppPrefetcher(SppConfig config, SppFilter *filter)
+    : config_(config), filter_(filter),
+      st_(std::size_t(config.stSets) * config.stWays),
+      pt_(config.ptEntries), ghr_(config.ghrEntries)
+{
+    if (!isPowerOf2(config_.stSets))
+        fatal("SPP signature table sets must be a power of two");
+}
+
+std::uint32_t
+SppPrefetcher::encodeDelta(int delta)
+{
+    // 7-bit sign-magnitude encoding, as in the original design.
+    if (delta >= 0)
+        return std::uint32_t(delta) & 0x3f;
+    return 0x40 | (std::uint32_t(-delta) & 0x3f);
+}
+
+std::uint32_t
+SppPrefetcher::nextSignature(std::uint32_t sig, int delta) const
+{
+    const std::uint32_t sig_mask =
+        (std::uint32_t{1} << config_.signatureBits) - 1;
+    return ((sig << 3) ^ encodeDelta(delta)) & sig_mask;
+}
+
+double
+SppPrefetcher::alpha() const
+{
+    if (cTotal_ < 16)
+        return 0.9; // optimistic start before statistics accumulate
+    double a = double(cUseful_) / double(cTotal_);
+    if (a > 1.0)
+        a = 1.0;
+    return a;
+}
+
+SppPrefetcher::StEntry *
+SppPrefetcher::stLookup(Addr page)
+{
+    const std::size_t set = std::size_t(page) & (config_.stSets - 1);
+    const std::uint16_t tag = std::uint16_t(page >> 6);
+    for (unsigned w = 0; w < config_.stWays; ++w) {
+        StEntry &entry = st_[set * config_.stWays + w];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+SppPrefetcher::StEntry *
+SppPrefetcher::stAllocate(Addr page)
+{
+    const std::size_t set = std::size_t(page) & (config_.stSets - 1);
+    StEntry *victim = &st_[set * config_.stWays];
+    for (unsigned w = 0; w < config_.stWays; ++w) {
+        StEntry &entry = st_[set * config_.stWays + w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lru < victim->lru)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->tag = std::uint16_t(page >> 6);
+    victim->signature = 0;
+    victim->lastOffset = 0;
+    return victim;
+}
+
+void
+SppPrefetcher::ptTrain(std::uint32_t sig, int delta)
+{
+    PtEntry &entry = pt_[sig % config_.ptEntries];
+
+    if (entry.cSig.increment()) {
+        // C_sig saturated: halve all counters to age the distribution.
+        entry.cSig.halve();
+        for (auto &slot : entry.slots)
+            slot.count.halve();
+        entry.cSig.increment();
+    }
+
+    PtSlot *match = nullptr;
+    PtSlot *weakest = &entry.slots[0];
+    for (auto &slot : entry.slots) {
+        if (slot.count.value() > 0 && slot.delta == delta) {
+            match = &slot;
+            break;
+        }
+        if (slot.count.value() < weakest->count.value())
+            weakest = &slot;
+    }
+    if (match != nullptr) {
+        match->count.increment();
+    } else {
+        weakest->delta = std::int16_t(delta);
+        weakest->count.set(1);
+    }
+}
+
+void
+SppPrefetcher::ghrRecord(std::uint32_t sig, int confidence,
+                         unsigned offset, int delta)
+{
+    GhrEntry &entry = ghr_[ghrNext_];
+    ghrNext_ = (ghrNext_ + 1) % ghr_.size();
+    entry.valid = true;
+    entry.signature = std::uint16_t(sig);
+    entry.confidence = confidence;
+    entry.lastOffset = std::uint8_t(offset);
+    entry.delta = std::int16_t(delta);
+}
+
+const SppPrefetcher::GhrEntry *
+SppPrefetcher::ghrMatch(unsigned offset) const
+{
+    for (const auto &entry : ghr_) {
+        if (!entry.valid)
+            continue;
+        const int landing =
+            int(entry.lastOffset) + int(entry.delta) -
+            int(blocksPerPage);
+        if (landing >= 0 && unsigned(landing) == offset)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+SppPrefetcher::emitCandidate(const SppCandidate &candidate)
+{
+    ++stats_.candidates;
+
+    if (filter_ != nullptr) {
+        switch (filter_->test(candidate)) {
+          case SppFilter::Decision::Drop:
+            ++stats_.filterDropped;
+            return false;
+          case SppFilter::Decision::FillL2:
+            break;
+          case SppFilter::Decision::FillLlc:
+            if (issuer_->issuePrefetch(candidate.addr, false)) {
+                ++cTotal_;
+                ++stats_.issued;
+                stats_.depthSum += std::uint64_t(candidate.depth);
+                filter_->notifyIssued(candidate, false);
+                return true;
+            }
+            return false;
+        }
+        if (issuer_->issuePrefetch(candidate.addr, true)) {
+            ++cTotal_;
+            ++stats_.issued;
+            stats_.depthSum += std::uint64_t(candidate.depth);
+            filter_->notifyIssued(candidate, true);
+            return true;
+        }
+        return false;
+    }
+
+    // Unfiltered SPP: T_p gating happened in lookahead; T_f picks the
+    // fill level.
+    if (issuer_->issuePrefetch(candidate.addr, candidate.fillL2)) {
+        ++cTotal_;
+        ++stats_.issued;
+        stats_.depthSum += std::uint64_t(candidate.depth);
+        return true;
+    }
+    return false;
+}
+
+void
+SppPrefetcher::lookahead(Addr page, unsigned offset, std::uint32_t sig,
+                         Pc pc, Addr trigger_addr)
+{
+    double path_conf = 100.0;
+    const double a = alpha();
+    std::uint32_t cur_sig = sig;
+    int cur_offset = int(offset);
+    unsigned issued_this_trigger = 0;
+
+    for (unsigned depth = 1; depth <= config_.maxDepth; ++depth) {
+        const PtEntry &entry = pt_[cur_sig % config_.ptEntries];
+        const int c_sig = int(entry.cSig.value());
+        if (c_sig == 0)
+            break;
+
+        // Evaluate every delta slot at this depth.
+        int best_delta = 0;
+        double best_conf = -1.0;
+        for (const auto &slot : entry.slots) {
+            if (slot.count.value() == 0)
+                continue;
+            const double c_d =
+                100.0 * double(slot.count.value()) / double(c_sig);
+            const double p_d = depth == 1
+                ? c_d
+                : a * c_d * path_conf / 100.0;
+
+            if (c_d > best_conf) {
+                best_conf = c_d;
+                best_delta = slot.delta;
+            }
+
+            const int target = cur_offset + int(slot.delta);
+            if (target < 0 || target >= int(blocksPerPage))
+                continue; // cross-page handled via the GHR below
+            if (issued_this_trigger >= config_.maxPrefetchesPerTrigger)
+                continue;
+
+            const bool above_tp =
+                p_d >= double(config_.prefetchThreshold);
+            const bool forced = depth <= config_.forcedDepth;
+            const bool filter_floor =
+                filter_ != nullptr &&
+                p_d >= double(config_.filteredFloor);
+            if (!above_tp && !forced && !filter_floor)
+                continue;
+
+            SppCandidate candidate;
+            candidate.addr = (page << pageShift) |
+                             (Addr(unsigned(target)) << blockShift);
+            candidate.triggerAddr = trigger_addr;
+            candidate.pc = pc;
+            candidate.depth = int(depth);
+            candidate.confidence = int(std::lround(p_d));
+            candidate.delta = slot.delta;
+            candidate.signature = cur_sig;
+            candidate.fillL2 = p_d >= double(config_.fillThreshold);
+            if (emitCandidate(candidate))
+                ++issued_this_trigger;
+        }
+
+        if (best_conf < 0.0)
+            break;
+
+        // Descend along the strongest delta.
+        const double next_path = depth == 1
+            ? best_conf
+            : a * best_conf * path_conf / 100.0;
+
+        const bool continue_forced = depth < config_.forcedDepth;
+        const bool continue_normal = filter_ == nullptr
+            ? next_path >= double(config_.prefetchThreshold)
+            : next_path >= double(config_.filteredFloor);
+        if (!continue_forced && !continue_normal)
+            break;
+
+        const int next_offset = cur_offset + best_delta;
+        if (next_offset < 0 || next_offset >= int(blocksPerPage)) {
+            // Crossing the page: remember the path in the GHR so the
+            // first access to the neighbouring page can continue it.
+            ghrRecord(cur_sig, int(std::lround(next_path)),
+                      unsigned(cur_offset), best_delta);
+            break;
+        }
+
+        cur_sig = nextSignature(cur_sig, best_delta);
+        cur_offset = next_offset;
+        path_conf = next_path;
+    }
+}
+
+void
+SppPrefetcher::operate(const OperateInfo &info)
+{
+    if (info.hitPrefetched)
+        ++cUseful_;
+
+    // Periodically age the global accuracy counters.
+    if (cTotal_ >= 1024) {
+        cTotal_ /= 2;
+        cUseful_ /= 2;
+    }
+
+    const Addr page = pageNumber(info.addr);
+    const unsigned offset = pageOffset(info.addr);
+    ++stats_.triggers;
+
+    StEntry *entry = stLookup(page);
+    if (entry != nullptr) {
+        entry->lru = ++lruStamp_;
+        const int delta = int(offset) - int(entry->lastOffset);
+        if (delta == 0)
+            return; // same block; nothing to learn
+        ptTrain(entry->signature, delta);
+        entry->signature =
+            std::uint16_t(nextSignature(entry->signature, delta));
+        entry->lastOffset = std::uint8_t(offset);
+        lookahead(page, offset, entry->signature, info.pc, info.addr);
+        return;
+    }
+
+    // First access to a page: try to continue a cross-page path.
+    entry = stAllocate(page);
+    entry->lru = ++lruStamp_;
+    entry->lastOffset = std::uint8_t(offset);
+    if (const GhrEntry *ghr = ghrMatch(offset); ghr != nullptr) {
+        entry->signature = std::uint16_t(
+            nextSignature(ghr->signature, ghr->delta));
+        ++stats_.ghrBootstraps;
+        lookahead(page, offset, entry->signature, info.pc, info.addr);
+    } else {
+        entry->signature = 0;
+    }
+}
+
+void
+SppPrefetcher::fill(const FillInfo &info)
+{
+    // A demand that merged into a prefetch miss before the fill means
+    // the prefetch was useful (just late); hitPrefetched in operate()
+    // covers the timely case.
+    if (info.wasPrefetch && info.lateUseful)
+        ++cUseful_;
+}
+
+const std::string &
+SppPrefetcher::name() const
+{
+    static const std::string n = "spp";
+    return n;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Signature Path Prefetcher (Kim et al., MICRO 2016 [2]) — the paper's
+ * underlying prefetcher.
+ *
+ * SPP compresses the recent intra-page delta history into a 12-bit
+ * signature (Signature Table), correlates signatures with likely next
+ * deltas and their occurrence counts (Pattern Table), and speculates
+ * down the predicted path ("lookahead"), compounding per-step
+ * confidence C_d with the global accuracy alpha:
+ *
+ *     P_d = alpha * C_d * P_{d-1}
+ *
+ * Without a filter, P_d is thresholded against T_p (prefetch at all)
+ * and T_f (fill L2 vs LLC), the mechanism PPF replaces.  With a filter
+ * attached (SppFilter), every candidate on the path is handed to the
+ * filter, which makes the drop / fill-L2 / fill-LLC decision — this is
+ * the "original thresholds discarded" re-tuning of Section 4.1.
+ *
+ * A Global History Register carries signatures across page boundaries
+ * so a pattern learnt in one page bootstraps prefetching in the next.
+ */
+
+#ifndef PFSIM_PREFETCH_SPP_HH
+#define PFSIM_PREFETCH_SPP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/sat_counter.hh"
+
+namespace pfsim::prefetch
+{
+
+/** SPP structural and threshold parameters (paper Table 3 defaults). */
+struct SppConfig
+{
+    /** Signature Table: stSets * stWays entries (256 total). */
+    unsigned stSets = 64;
+    unsigned stWays = 4;
+
+    /** Pattern Table entries, indexed by signature. */
+    unsigned ptEntries = 512;
+
+    /** Delta slots per Pattern Table entry. */
+    static constexpr unsigned ptDeltaSlots = 4;
+
+    /** Global History Register entries. */
+    unsigned ghrEntries = 8;
+
+    /** Signature width in bits. */
+    unsigned signatureBits = 12;
+
+    /** Prefetch threshold T_p on the 0..100 confidence scale. */
+    int prefetchThreshold = 25;
+
+    /** Fill threshold T_f: at or above fills L2, below fills LLC. */
+    int fillThreshold = 90;
+
+    /** Hard bound on lookahead depth (structural safety limit). */
+    unsigned maxDepth = 16;
+
+    /** Maximum prefetches issued per trigger access. */
+    unsigned maxPrefetchesPerTrigger = 12;
+
+    /**
+     * When non-zero, lookahead proceeds to at least this depth using
+     * the highest-confidence delta even below T_p (the re-tuned
+     * aggressiveness sweep of Figure 1).
+     */
+    unsigned forcedDepth = 0;
+
+    /**
+     * Path-confidence floor below which lookahead stops when a filter
+     * is attached.  With PPF attached, SPP runs this aggressively and
+     * relies on the filter to reject the junk.
+     */
+    int filteredFloor = 4;
+};
+
+/** One prefetch candidate produced during lookahead. */
+struct SppCandidate
+{
+    /** Proposed prefetch target (block-aligned). */
+    Addr addr = 0;
+
+    /** Demand address that triggered the chain. */
+    Addr triggerAddr = 0;
+
+    /** PC of the triggering instruction. */
+    Pc pc = 0;
+
+    /** Lookahead depth (1 = non-speculative). */
+    int depth = 1;
+
+    /** Path confidence P_d, 0..100. */
+    int confidence = 0;
+
+    /** Predicted delta for this candidate, in blocks (signed). */
+    int delta = 0;
+
+    /** Signature of the lookahead stage that produced the candidate. */
+    std::uint32_t signature = 0;
+
+    /** SPP's own fill-level suggestion (P_d >= T_f). */
+    bool fillL2 = false;
+};
+
+/** Decision interface PPF implements. */
+class SppFilter
+{
+  public:
+    enum class Decision
+    {
+        Drop,
+        FillL2,
+        FillLlc,
+    };
+
+    virtual ~SppFilter() = default;
+
+    /** Decide the fate of one candidate. */
+    virtual Decision test(const SppCandidate &candidate) = 0;
+
+    /**
+     * Called after an accepted candidate was actually injected into
+     * the prefetch queue (duplicates of in-flight or resident blocks
+     * are deduplicated by the cache and never reported).  This is
+     * the point at which PPF logs the candidate in its Prefetch Table
+     * (Figure 5, step 2).
+     */
+    virtual void notifyIssued(const SppCandidate &candidate,
+                              bool fill_l2) = 0;
+};
+
+/** Aggregate counters for analysis and the Figure 1/9 benches. */
+struct SppStats
+{
+    std::uint64_t triggers = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t depthSum = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t filterDropped = 0;
+    std::uint64_t ghrBootstraps = 0;
+
+    double
+    averageDepth() const
+    {
+        return issued == 0 ? 0.0
+                           : double(depthSum) / double(issued);
+    }
+};
+
+/** The SPP prefetcher. */
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    explicit SppPrefetcher(SppConfig config = {},
+                           SppFilter *filter = nullptr);
+
+    void operate(const OperateInfo &info) override;
+    void fill(const FillInfo &info) override;
+    const std::string &name() const override;
+
+    const SppStats &sppStats() const { return stats_; }
+    const SppConfig &config() const { return config_; }
+
+    /** Global accuracy alpha in [0, 1]. */
+    double alpha() const;
+
+    /** Encode a signed block delta into its 7-bit representation. */
+    static std::uint32_t encodeDelta(int delta);
+
+    /** Advance a signature by one delta. */
+    std::uint32_t nextSignature(std::uint32_t sig, int delta) const;
+
+  private:
+    struct StEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t lastOffset = 0;
+        std::uint16_t signature = 0;
+        std::uint64_t lru = 0;
+    };
+
+    struct PtSlot
+    {
+        std::int16_t delta = 0;
+        UnsignedSatCounter<4> count;
+    };
+
+    struct PtEntry
+    {
+        UnsignedSatCounter<4> cSig;
+        std::array<PtSlot, SppConfig::ptDeltaSlots> slots;
+    };
+
+    struct GhrEntry
+    {
+        bool valid = false;
+        std::uint16_t signature = 0;
+        int confidence = 0;
+        std::uint8_t lastOffset = 0;
+        std::int16_t delta = 0;
+    };
+
+    StEntry *stLookup(Addr page);
+    StEntry *stAllocate(Addr page);
+    void ptTrain(std::uint32_t sig, int delta);
+    void lookahead(Addr page, unsigned offset, std::uint32_t sig,
+                   Pc pc, Addr trigger_addr);
+    void ghrRecord(std::uint32_t sig, int confidence, unsigned offset,
+                   int delta);
+    const GhrEntry *ghrMatch(unsigned offset) const;
+
+    /** Issue (or filter) one candidate; returns true when issued. */
+    bool emitCandidate(const SppCandidate &candidate);
+
+    SppConfig config_;
+    SppFilter *filter_;
+
+    std::vector<StEntry> st_;
+    std::vector<PtEntry> pt_;
+    std::vector<GhrEntry> ghr_;
+    std::size_t ghrNext_ = 0;
+    std::uint64_t lruStamp_ = 0;
+
+    /** Global accuracy tracking (C_total / C_useful, Table 3). */
+    std::uint64_t cTotal_ = 0;
+    std::uint64_t cUseful_ = 0;
+
+    SppStats stats_;
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_SPP_HH

@@ -1,0 +1,199 @@
+#include "prefetch/vldp.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+VldpPrefetcher::VldpPrefetcher(VldpConfig config)
+    : config_(config), dhb_(config.dhbEntries)
+{
+    if (!isPowerOf2(config_.dptEntries))
+        fatal("VLDP DPT size must be a power of two");
+    for (auto &table : dpt_)
+        table.assign(config_.dptEntries, DptEntry{});
+}
+
+VldpPrefetcher::DhbEntry *
+VldpPrefetcher::dhbLookup(Addr page)
+{
+    for (auto &entry : dhb_) {
+        if (entry.valid && entry.page == page)
+            return &entry;
+    }
+    return nullptr;
+}
+
+VldpPrefetcher::DhbEntry *
+VldpPrefetcher::dhbAllocate(Addr page)
+{
+    DhbEntry *victim = &dhb_[0];
+    for (auto &entry : dhb_) {
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    *victim = DhbEntry{};
+    victim->valid = true;
+    victim->page = page;
+    return victim;
+}
+
+std::uint64_t
+VldpPrefetcher::historyHash(const DhbEntry &entry, unsigned len) const
+{
+    // Hash the newest len deltas (order-sensitive); 7-bit
+    // sign-magnitude encoding keeps +d and -d distinct.
+    auto encode = [](int d) {
+        return d >= 0 ? std::uint64_t(d) & 0x3f
+                      : 0x40 | (std::uint64_t(-d) & 0x3f);
+    };
+    std::uint64_t key = 0;
+    for (unsigned i = 0; i < len; ++i)
+        key = (key << 7) ^ encode(entry.deltas[i]);
+    return mix64(key ^ (std::uint64_t(len) << 58));
+}
+
+bool
+VldpPrefetcher::predict(const DhbEntry &entry, int &delta) const
+{
+    // Longest matching history wins.
+    for (unsigned len = std::min(entry.deltaCount,
+                                 VldpConfig::historyLength);
+         len >= 1; --len) {
+        const std::uint64_t hash = historyHash(entry, len);
+        const DptEntry &candidate =
+            dpt_[len - 1][hash & (config_.dptEntries - 1)];
+        // Predict only from confirmed entries: a pattern must repeat
+        // once before it drives prefetches.
+        if (candidate.valid &&
+            candidate.key == std::uint32_t(hash >> 32) &&
+            candidate.accuracy.value() >= 1) {
+            delta = candidate.prediction;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VldpPrefetcher::train(const DhbEntry &entry, int delta)
+{
+    for (unsigned len = 1;
+         len <= std::min(entry.deltaCount, VldpConfig::historyLength);
+         ++len) {
+        const std::uint64_t hash = historyHash(entry, len);
+        const std::uint32_t key = std::uint32_t(hash >> 32);
+        DptEntry &slot = dpt_[len - 1][hash & (config_.dptEntries - 1)];
+        if (slot.valid && slot.key == key) {
+            if (slot.prediction == delta) {
+                slot.accuracy.increment();
+            } else if (slot.accuracy.value() == 0) {
+                slot.prediction = delta;
+            } else {
+                slot.accuracy.set(slot.accuracy.value() - 1);
+            }
+        } else {
+            slot.valid = true;
+            slot.key = key;
+            slot.prediction = delta;
+            slot.accuracy.set(0);
+        }
+    }
+}
+
+void
+VldpPrefetcher::operate(const OperateInfo &info)
+{
+    const Addr page = pageNumber(info.addr);
+    const int offset = int(pageOffset(info.addr));
+
+    DhbEntry *entry = dhbLookup(page);
+    if (entry == nullptr) {
+        // First access to the page: allocate, and use the OPT to
+        // predict the first delta from the landing offset.
+        entry = dhbAllocate(page);
+        entry->lastUse = ++useStamp_;
+        entry->lastOffset = offset;
+        const OptEntry &opt = opt_[unsigned(offset)];
+        if (opt.valid && opt.accuracy.value() >= 1) {
+            const int target = offset + opt.firstDelta;
+            if (target >= 0 && target < int(blocksPerPage)) {
+                issuer_->issuePrefetch(
+                    (page << pageShift) |
+                        (Addr(unsigned(target)) << blockShift),
+                    true);
+            }
+        }
+        return;
+    }
+
+    entry->lastUse = ++useStamp_;
+    const int delta = offset - entry->lastOffset;
+    if (delta == 0)
+        return;
+
+    // Train: the OPT on the page's first delta, the DPTs on history.
+    if (entry->deltaCount == 0) {
+        OptEntry &opt = opt_[unsigned(entry->lastOffset)];
+        if (opt.valid && opt.firstDelta == delta) {
+            opt.accuracy.increment();
+        } else if (!opt.valid || opt.accuracy.value() == 0) {
+            opt.valid = true;
+            opt.firstDelta = delta;
+            opt.accuracy.set(0);
+        } else {
+            opt.accuracy.set(opt.accuracy.value() - 1);
+        }
+    } else {
+        train(*entry, delta);
+    }
+
+    // Shift the history and chain predictions for the degree.
+    for (unsigned i = VldpConfig::historyLength - 1; i >= 1; --i)
+        entry->deltas[i] = entry->deltas[i - 1];
+    entry->deltas[0] = delta;
+    if (entry->deltaCount < VldpConfig::historyLength)
+        ++entry->deltaCount;
+    entry->lastOffset = offset;
+
+    DhbEntry lookahead = *entry;
+    int current = offset;
+    for (unsigned d = 0; d < config_.degree; ++d) {
+        int next_delta = 0;
+        if (!predict(lookahead, next_delta))
+            break;
+        const int target = current + next_delta;
+        if (target < 0 || target >= int(blocksPerPage))
+            break;
+        issuer_->issuePrefetch(
+            (page << pageShift) |
+                (Addr(unsigned(target)) << blockShift),
+            true);
+        // Advance the speculative history.
+        for (unsigned i = VldpConfig::historyLength - 1; i >= 1; --i)
+            lookahead.deltas[i] = lookahead.deltas[i - 1];
+        lookahead.deltas[0] = next_delta;
+        if (lookahead.deltaCount < VldpConfig::historyLength)
+            ++lookahead.deltaCount;
+        current = target;
+    }
+}
+
+void
+VldpPrefetcher::fill(const FillInfo &)
+{
+}
+
+const std::string &
+VldpPrefetcher::name() const
+{
+    static const std::string n = "vldp";
+    return n;
+}
+
+} // namespace pfsim::prefetch

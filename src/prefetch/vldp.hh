@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015 [35])
+ * — the other modern lookahead prefetcher the paper's related work
+ * discusses (Section 7.2).
+ *
+ * VLDP correlates variable-length histories of intra-page deltas with
+ * the next delta, using a cascade of Delta Prediction Tables: DPT-1
+ * maps the last delta to a prediction, DPT-2 the last two, DPT-3 the
+ * last three; the longest-history table that hits wins.  An Offset
+ * Prediction Table covers the first access of a page (no delta
+ * history yet), and a small Delta History Buffer tracks per-page
+ * state.  Multi-degree prefetching chains predictions.
+ *
+ * Provided both as an additional baseline and as another base for the
+ * generic perceptron filter ("vldp_ppf").
+ */
+
+#ifndef PFSIM_PREFETCH_VLDP_HH
+#define PFSIM_PREFETCH_VLDP_HH
+
+#include <array>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/sat_counter.hh"
+
+namespace pfsim::prefetch
+{
+
+/** VLDP structural parameters (paper defaults, scaled like the rest). */
+struct VldpConfig
+{
+    /** Delta History Buffer entries (pages tracked, fully assoc). */
+    std::size_t dhbEntries = 16;
+
+    /** Entries per Delta Prediction Table. */
+    std::size_t dptEntries = 64;
+
+    /** Offset Prediction Table entries (one per page offset). */
+    static constexpr std::size_t optEntries = 64;
+
+    /** Delta history length (number of DPT levels). */
+    static constexpr unsigned historyLength = 3;
+
+    /** Prefetch degree: predictions chained per trigger. */
+    unsigned degree = 4;
+};
+
+/** The VLDP prefetcher. */
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    explicit VldpPrefetcher(VldpConfig config = {});
+
+    void operate(const OperateInfo &info) override;
+    void fill(const FillInfo &info) override;
+    const std::string &name() const override;
+
+  private:
+    struct DhbEntry
+    {
+        bool valid = false;
+        Addr page = 0;
+        int lastOffset = 0;
+        /** Most recent deltas, [0] newest. */
+        std::array<int, VldpConfig::historyLength> deltas = {0, 0, 0};
+        unsigned deltaCount = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct DptEntry
+    {
+        bool valid = false;
+        std::uint32_t key = 0;
+        int prediction = 0;
+        /** 2-bit accuracy counter gates replacement. */
+        UnsignedSatCounter<2> accuracy;
+    };
+
+    struct OptEntry
+    {
+        bool valid = false;
+        int firstDelta = 0;
+        UnsignedSatCounter<2> accuracy;
+    };
+
+    DhbEntry *dhbLookup(Addr page);
+    DhbEntry *dhbAllocate(Addr page);
+
+    /** Hash the newest @p len deltas of @p entry (index + tag). */
+    std::uint64_t historyHash(const DhbEntry &entry,
+                              unsigned len) const;
+
+    /**
+     * Predict the next delta from the longest matching history.
+     * @return true and sets @p delta on a hit.
+     */
+    bool predict(const DhbEntry &entry, int &delta) const;
+
+    /** Train the DPT cascade with the observed @p delta. */
+    void train(const DhbEntry &entry, int delta);
+
+    VldpConfig config_;
+    std::vector<DhbEntry> dhb_;
+    /** dpt_[i] is indexed by a hash of the last i+1 deltas. */
+    std::array<std::vector<DptEntry>, VldpConfig::historyLength> dpt_;
+    std::array<OptEntry, VldpConfig::optEntries> opt_;
+    std::uint64_t useStamp_ = 0;
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_VLDP_HH

@@ -1,0 +1,84 @@
+#include "sim/config.hh"
+
+#include "util/bits.hh"
+
+namespace pfsim::sim
+{
+
+SystemConfig
+SystemConfig::defaultConfig(unsigned cores)
+{
+    SystemConfig config;
+    config.cores = cores;
+
+    config.core = cpu::CoreConfig{};
+
+    config.l1i.name = "L1I";
+    config.l1i.sets = 64; // 32 KB, 8-way
+    config.l1i.ways = 8;
+    config.l1i.latency = 4;
+    config.l1i.mshrs = 8;
+    config.l1i.rqSize = 16;
+    config.l1i.wqSize = 16;
+    config.l1i.pqSize = 8;
+
+    config.l1d.name = "L1D";
+    config.l1d.sets = 64; // 32 KB, 8-way
+    config.l1d.ways = 8;
+    config.l1d.latency = 5;
+    config.l1d.mshrs = 16;
+    config.l1d.rqSize = 32;
+    config.l1d.wqSize = 32;
+    config.l1d.pqSize = 16;
+    config.l1d.writeAllocateDirty = true;
+
+    config.l2.name = "L2";
+    config.l2.sets = 1024; // 512 KB, 8-way
+    config.l2.ways = 8;
+    config.l2.latency = 10;
+    config.l2.mshrs = 32;
+    config.l2.rqSize = 32;
+    config.l2.wqSize = 32;
+    config.l2.pqSize = 48;
+
+    config.llc.name = "LLC";
+    config.llc.sets = 2048 * cores; // 2 MB per core, 16-way
+    config.llc.ways = 16;
+    config.llc.latency = 25;
+    config.llc.mshrs = 64 * cores;
+    config.llc.rqSize = 48 * cores;
+    config.llc.wqSize = 48 * cores;
+    config.llc.pqSize = 48 * cores;
+    config.llc.maxTagsPerCycle = 2 * cores;
+
+    config.dram = dram::DramConfig{};
+    config.dram.setBandwidthGBs(12.8);
+
+    return config;
+}
+
+SystemConfig
+SystemConfig::smallLlc()
+{
+    SystemConfig config = defaultConfig(1);
+    config.llc.sets = 512; // 512 KB, 16-way
+    return config;
+}
+
+SystemConfig
+SystemConfig::lowBandwidth()
+{
+    SystemConfig config = defaultConfig(1);
+    config.dram.setBandwidthGBs(3.2);
+    return config;
+}
+
+SystemConfig
+SystemConfig::withPrefetcher(const std::string &name) const
+{
+    SystemConfig config = *this;
+    config.prefetcher = name;
+    return config;
+}
+
+} // namespace pfsim::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-system configuration (the paper's Table 1) and the named
+ * variants of Section 5.2 (small LLC, low DRAM bandwidth).
+ */
+
+#ifndef PFSIM_SIM_CONFIG_HH
+#define PFSIM_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/spp_ppf.hh"
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "prefetch/spp.hh"
+
+namespace pfsim::sim
+{
+
+/** Complete configuration of an N-core system. */
+struct SystemConfig
+{
+    unsigned cores = 1;
+
+    cpu::CoreConfig core;
+    cache::CacheConfig l1i;
+    cache::CacheConfig l1d;
+    cache::CacheConfig l2;
+    cache::CacheConfig llc;
+    dram::DramConfig dram;
+
+    /**
+     * L2 prefetcher: "none", "next_line", "ip_stride", "bop",
+     * "da_ampm", "spp" or "spp_ppf".
+     */
+    std::string prefetcher = "none";
+
+    /** SPP parameters when prefetcher == "spp". */
+    prefetch::SppConfig sppConfig;
+
+    /** SPP+PPF parameters when prefetcher == "spp_ppf". */
+    ppf::SppPpfConfig sppPpfConfig;
+
+    /**
+     * Default configuration for @p cores cores: private 32 KB L1s and
+     * 512 KB L2s, a shared 2 MB/core 16-way LLC, one 12.8 GB/s DRAM
+     * channel, LRU everywhere, perceptron branch prediction — the
+     * paper's simulation parameters.
+     */
+    static SystemConfig defaultConfig(unsigned cores = 1);
+
+    /** Section 5.2 variant: LLC reduced to 512 KB (single core). */
+    static SystemConfig smallLlc();
+
+    /** Section 5.2 variant: DRAM limited to 3.2 GB/s (single core). */
+    static SystemConfig lowBandwidth();
+
+    /** Copy of this config with a different prefetcher selected. */
+    SystemConfig withPrefetcher(const std::string &name) const;
+};
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_CONFIG_HH

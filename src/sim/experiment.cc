@@ -1,0 +1,85 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+#include "stats/summary.hh"
+#include "util/logging.hh"
+
+namespace pfsim::sim
+{
+
+const std::vector<std::string> &
+paperPrefetchers()
+{
+    static const std::vector<std::string> lineup = {
+        "bop", "da_ampm", "spp", "spp_ppf"};
+    return lineup;
+}
+
+double
+SweepRow::speedup(const std::string &prefetcher) const
+{
+    const auto base = results.find("none");
+    const auto with = results.find(prefetcher);
+    if (base == results.end() || with == results.end())
+        fatal("sweep row missing results for " + prefetcher);
+    if (base->second.ipc <= 0.0)
+        return 1.0;
+    return with->second.ipc / base->second.ipc;
+}
+
+std::vector<SweepRow>
+sweepPrefetchers(const SystemConfig &base,
+                 const std::vector<std::string> &prefetchers,
+                 const std::vector<workloads::Workload> &workload_set,
+                 const RunConfig &run)
+{
+    std::vector<std::string> all = {"none"};
+    all.insert(all.end(), prefetchers.begin(), prefetchers.end());
+
+    std::vector<SweepRow> rows;
+    for (const auto &workload : workload_set) {
+        SweepRow row;
+        row.workload = workload.name;
+        for (const auto &name : all) {
+            std::fprintf(stderr, "  [run] %-24s %-10s ...",
+                         workload.name.c_str(), name.c_str());
+            std::fflush(stderr);
+            RunResult result =
+                runSingleCore(base.withPrefetcher(name), workload, run);
+            std::fprintf(stderr, " ipc=%.3f\n", result.ipc);
+            row.results.emplace(name, std::move(result));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+geomeanSpeedup(const std::vector<SweepRow> &rows,
+               const std::string &prefetcher)
+{
+    std::vector<double> speedups;
+    for (const auto &row : rows)
+        speedups.push_back(row.speedup(prefetcher));
+    return stats::geomean(speedups);
+}
+
+double
+geomeanSpeedup(const std::vector<SweepRow> &rows,
+               const std::string &prefetcher,
+               const std::vector<workloads::Workload> &subset)
+{
+    std::vector<double> speedups;
+    for (const auto &row : rows) {
+        for (const auto &workload : subset) {
+            if (workload.name == row.workload) {
+                speedups.push_back(row.speedup(prefetcher));
+                break;
+            }
+        }
+    }
+    return stats::geomean(speedups);
+}
+
+} // namespace pfsim::sim

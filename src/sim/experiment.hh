@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment orchestration shared by the bench binaries: prefetcher
+ * sweeps over workload sets, speedup aggregation, and the standard
+ * prefetcher line-up the paper compares (BOP, DA-AMPM, SPP, PPF).
+ */
+
+#ifndef PFSIM_SIM_EXPERIMENT_HH
+#define PFSIM_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/multicore.hh"
+#include "sim/runner.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim::sim
+{
+
+/** The paper's comparison line-up, in Figure 9 order. */
+const std::vector<std::string> &paperPrefetchers();
+
+/** Results of one workload across several prefetchers. */
+struct SweepRow
+{
+    std::string workload;
+
+    /** Keyed by prefetcher name; "none" is the baseline. */
+    std::map<std::string, RunResult> results;
+
+    /** IPC speedup of @p prefetcher over the no-prefetch baseline. */
+    double speedup(const std::string &prefetcher) const;
+};
+
+/**
+ * Run every workload under "none" plus @p prefetchers, printing one
+ * progress line per run to stderr.
+ */
+std::vector<SweepRow>
+sweepPrefetchers(const SystemConfig &base,
+                 const std::vector<std::string> &prefetchers,
+                 const std::vector<workloads::Workload> &workload_set,
+                 const RunConfig &run);
+
+/** Geomean of per-workload speedups for @p prefetcher. */
+double geomeanSpeedup(const std::vector<SweepRow> &rows,
+                      const std::string &prefetcher);
+
+/** Geomean over the subset of rows whose workload is mem-intensive. */
+double geomeanSpeedup(const std::vector<SweepRow> &rows,
+                      const std::string &prefetcher,
+                      const std::vector<workloads::Workload> &subset);
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_EXPERIMENT_HH

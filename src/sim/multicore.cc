@@ -1,0 +1,102 @@
+#include "sim/multicore.hh"
+
+#include <map>
+
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace pfsim::sim
+{
+
+MixResult
+runMix(const SystemConfig &config, const workloads::Mix &mix,
+       const RunConfig &run)
+{
+    if (mix.size() != config.cores)
+        fatal("mix size does not match core count");
+
+    std::vector<std::unique_ptr<trace::SyntheticTrace>> traces;
+    std::vector<trace::TraceSource *> sources;
+    for (const auto &workload : mix) {
+        traces.push_back(
+            std::make_unique<trace::SyntheticTrace>(workload.make()));
+        sources.push_back(traces.back().get());
+    }
+
+    System system(config, sources);
+    system.runUntilRetired(run.warmupInstructions);
+    system.resetStats();
+
+    // Region of interest: each core's first simInstructions after
+    // warmup.  All cores keep executing until the last one finishes,
+    // so shared-resource contention stays realistic throughout; each
+    // core's IPC is taken at the cycle it completed its region.
+    std::vector<Cycle> done_cycle(config.cores, 0);
+    const Cycle start = system.now();
+    unsigned remaining = config.cores;
+    InstrCount watchdog_last = 0;
+    Cycle watchdog_cycle = system.now();
+
+    while (remaining > 0) {
+        system.cycle();
+        InstrCount total_retired = 0;
+        for (unsigned i = 0; i < config.cores; ++i) {
+            total_retired += system.core(i).retired();
+            if (done_cycle[i] == 0 &&
+                system.core(i).retired() >= run.simInstructions) {
+                done_cycle[i] = system.now();
+                --remaining;
+            }
+        }
+        if (total_retired != watchdog_last) {
+            watchdog_last = total_retired;
+            watchdog_cycle = system.now();
+        } else if (system.now() - watchdog_cycle > 1000000) {
+            panic("multi-core system made no progress for 1M cycles");
+        }
+    }
+
+    MixResult result;
+    result.prefetcher = config.prefetcher;
+    for (unsigned i = 0; i < config.cores; ++i) {
+        result.workloads.push_back(mix[i].name);
+        result.ipc.push_back(double(run.simInstructions) /
+                             double(done_cycle[i] - start));
+    }
+    result.llc = system.llc().stats();
+    result.dram = system.dram().stats();
+    return result;
+}
+
+double
+IsolatedIpcCache::get(const SystemConfig &config,
+                      const workloads::Workload &workload,
+                      const RunConfig &run)
+{
+    const std::string key = config.prefetcher + "|" + workload.name +
+        "|" + std::to_string(config.llc.sets) + "|" +
+        std::to_string(run.simInstructions);
+    if (auto it = cache_.find(key); it != cache_.end())
+        return it->second;
+    const RunResult result = runSingleCore(config, workload, run);
+    cache_[key] = result.ipc;
+    return result.ipc;
+}
+
+double
+weightedIpc(const MixResult &result,
+            const SystemConfig &isolated_config,
+            const workloads::Mix &mix, const RunConfig &run,
+            IsolatedIpcCache &cache)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        const double isolated =
+            cache.get(isolated_config, mix[i], run);
+        if (isolated > 0.0)
+            sum += result.ipc[i] / isolated;
+    }
+    return sum;
+}
+
+} // namespace pfsim::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-programmed runner: the paper's Section 5.3 multi-core
+ * methodology.  Every core runs its own workload over a shared LLC and
+ * shared DRAM; per-core IPC is measured over each core's own region of
+ * interest (the first N retired instructions after warmup).
+ */
+
+#ifndef PFSIM_SIM_MULTICORE_HH
+#define PFSIM_SIM_MULTICORE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "workloads/mixes.hh"
+
+namespace pfsim::sim
+{
+
+/** Result of one multi-core mix run. */
+struct MixResult
+{
+    std::string prefetcher;
+    std::vector<std::string> workloads;
+
+    /** Per-core IPC over that core's region of interest. */
+    std::vector<double> ipc;
+
+    cache::CacheStats llc;
+    dram::DramStats dram;
+};
+
+/** Run @p mix (one workload per core). */
+MixResult runMix(const SystemConfig &config,
+                 const workloads::Mix &mix, const RunConfig &run);
+
+/**
+ * Memoising cache of isolated single-core IPCs, used by the weighted
+ * speedup computation: IPC_isolated is measured on a 1-core machine
+ * with the multi-core machine's LLC capacity (paper Section 5.3).
+ */
+class IsolatedIpcCache
+{
+  public:
+    /** Isolated IPC of @p workload under @p config (1-core). */
+    double get(const SystemConfig &config,
+               const workloads::Workload &workload,
+               const RunConfig &run);
+
+  private:
+    std::map<std::string, double> cache_;
+};
+
+/**
+ * Weighted IPC of a mix result: sum_i IPC_i / IPC_isolated_i.
+ * @p isolated_config must be the 1-core system with the shared LLC's
+ * capacity and the same prefetcher.
+ */
+double weightedIpc(const MixResult &result,
+                   const SystemConfig &isolated_config,
+                   const workloads::Mix &mix, const RunConfig &run,
+                   IsolatedIpcCache &cache);
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_MULTICORE_HH

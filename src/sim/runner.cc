@@ -1,0 +1,53 @@
+#include "sim/runner.hh"
+
+#include "core/spp_ppf.hh"
+#include "trace/synthetic.hh"
+
+namespace pfsim::sim
+{
+
+RunResult
+runSingleCore(const SystemConfig &config,
+              const workloads::Workload &workload, const RunConfig &run,
+              ppf::FeatureAnalysis *analysis)
+{
+    trace::SyntheticTrace trace(workload.make());
+    System system(config, {&trace});
+
+    if (analysis != nullptr) {
+        if (auto *spp_ppf = dynamic_cast<ppf::SppPpfPrefetcher *>(
+                &system.prefetcher(0));
+            spp_ppf != nullptr) {
+            spp_ppf->filter().setAnalysis(analysis);
+        }
+    }
+
+    system.runUntilRetired(run.warmupInstructions);
+    system.resetStats();
+    system.runUntilRetired(run.simInstructions);
+
+    RunResult result;
+    result.workload = workload.name;
+    result.prefetcher = config.prefetcher;
+    result.core = system.core(0).stats();
+    result.ipc = result.core.ipc();
+    result.l1d = system.l1d(0).stats();
+    result.l2 = system.l2(0).stats();
+    result.llc = system.llc().stats();
+    result.dram = system.dram().stats();
+
+    if (auto *spp = dynamic_cast<prefetch::SppPrefetcher *>(
+            &system.prefetcher(0));
+        spp != nullptr) {
+        result.spp = spp->sppStats();
+    } else if (auto *spp_ppf = dynamic_cast<ppf::SppPpfPrefetcher *>(
+                   &system.prefetcher(0));
+               spp_ppf != nullptr) {
+        result.spp = spp_ppf->spp().sppStats();
+        result.ppf = spp_ppf->filter().ppfStats();
+    }
+
+    return result;
+}
+
+} // namespace pfsim::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Single-core experiment runner: builds a system around one workload,
+ * warms it up, simulates a measured region and collects every
+ * statistics block (paper Section 5.3 methodology, scaled).
+ */
+
+#ifndef PFSIM_SIM_RUNNER_HH
+#define PFSIM_SIM_RUNNER_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/ppf.hh"
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "prefetch/spp.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim::sim
+{
+
+/** Run-length parameters (paper: 200M warmup + 1B measured; scaled). */
+struct RunConfig
+{
+    InstrCount warmupInstructions = 250000;
+    InstrCount simInstructions = 1000000;
+};
+
+/** Everything measured by one single-core run. */
+struct RunResult
+{
+    std::string workload;
+    std::string prefetcher;
+
+    double ipc = 0.0;
+    cpu::CoreStats core;
+    cache::CacheStats l1d;
+    cache::CacheStats l2;
+    cache::CacheStats llc;
+    dram::DramStats dram;
+
+    /** Populated when the prefetcher is SPP or SPP+PPF. */
+    prefetch::SppStats spp;
+
+    /** Populated when the prefetcher is SPP+PPF. */
+    ppf::PpfStats ppf;
+
+    /** Total prefetches injected at the L2 (TOTAL_PF of Figure 1). */
+    std::uint64_t
+    totalPf() const
+    {
+        return l2.pfIssued;
+    }
+
+    /**
+     * Demand accesses served out of prefetched blocks at the L2 or the
+     * LLC (GOOD_PF of Figure 1).
+     */
+    std::uint64_t
+    goodPf() const
+    {
+        return l2.pfUseful + llc.pfUseful;
+    }
+
+    /** Prefetch accuracy estimate in [0, 1]. */
+    double
+    accuracy() const
+    {
+        if (totalPf() == 0)
+            return 0.0;
+        double a = double(goodPf()) / double(totalPf());
+        return a > 1.0 ? 1.0 : a;
+    }
+
+    /** L2 demand MPKI over the measured region. */
+    double
+    l2Mpki() const
+    {
+        return core.instructions == 0
+            ? 0.0
+            : 1000.0 * double(l2.demandMisses()) /
+                double(core.instructions);
+    }
+};
+
+/**
+ * Run @p workload on a system configured by @p config.  When
+ * @p analysis is non-null and the prefetcher is SPP+PPF, the filter's
+ * Figure 6-8 instrumentation is attached to it.
+ */
+RunResult runSingleCore(const SystemConfig &config,
+                        const workloads::Workload &workload,
+                        const RunConfig &run,
+                        ppf::FeatureAnalysis *analysis = nullptr);
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_RUNNER_HH

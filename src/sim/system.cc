@@ -1,0 +1,134 @@
+#include "sim/system.hh"
+
+#include "core/generic_filter.hh"
+#include "prefetch/ampm.hh"
+#include "prefetch/bop.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/vldp.hh"
+#include "util/logging.hh"
+
+namespace pfsim::sim
+{
+
+std::unique_ptr<prefetch::Prefetcher>
+makePrefetcher(const SystemConfig &config)
+{
+    const std::string &name = config.prefetcher;
+    if (name == "none")
+        return std::make_unique<prefetch::NoPrefetcher>();
+    if (name == "next_line")
+        return std::make_unique<prefetch::NextLinePrefetcher>();
+    if (name == "ip_stride")
+        return std::make_unique<prefetch::IpStridePrefetcher>();
+    if (name == "bop")
+        return std::make_unique<prefetch::BopPrefetcher>();
+    if (name == "da_ampm")
+        return std::make_unique<prefetch::AmpmPrefetcher>();
+    if (name == "vldp")
+        return std::make_unique<prefetch::VldpPrefetcher>();
+    if (name == "spp")
+        return std::make_unique<prefetch::SppPrefetcher>(
+            config.sppConfig);
+    if (name == "spp_ppf")
+        return std::make_unique<ppf::SppPpfPrefetcher>(
+            config.sppPpfConfig);
+    // Generic "<base>_ppf": any other prefetcher wrapped behind the
+    // perceptron filter (paper Section 3.2's generality recipe).
+    if (name.size() > 4 &&
+        name.compare(name.size() - 4, 4, "_ppf") == 0) {
+        SystemConfig base_config = config;
+        base_config.prefetcher = name.substr(0, name.size() - 4);
+        return std::make_unique<ppf::FilteredPrefetcher>(
+            makePrefetcher(base_config), config.sppPpfConfig.ppf);
+    }
+    fatal("unknown prefetcher: " + name);
+}
+
+System::System(const SystemConfig &config,
+               std::vector<trace::TraceSource *> sources)
+    : config_(config)
+{
+    if (sources.size() != config.cores)
+        fatal("system needs exactly one trace source per core");
+
+    dram_ = std::make_unique<dram::Dram>(config.dram);
+    llc_ = std::make_unique<cache::Cache>(config.llc, dram_.get());
+
+    for (unsigned i = 0; i < config.cores; ++i) {
+        auto l2 = std::make_unique<cache::Cache>(config.l2, llc_.get());
+        auto prefetcher = makePrefetcher(config);
+        l2->setPrefetcher(prefetcher.get());
+
+        auto l1i = std::make_unique<cache::Cache>(config.l1i, l2.get());
+        auto l1d = std::make_unique<cache::Cache>(config.l1d, l2.get());
+
+        auto core = std::make_unique<cpu::Core>(
+            config.core, int(i), sources[i], l1i.get(), l1d.get());
+
+        l2s_.push_back(std::move(l2));
+        prefetchers_.push_back(std::move(prefetcher));
+        l1is_.push_back(std::move(l1i));
+        l1ds_.push_back(std::move(l1d));
+        cores_.push_back(std::move(core));
+    }
+}
+
+void
+System::cycle()
+{
+    ++now_;
+    for (auto &core : cores_)
+        core->tick(now_);
+    for (auto &l1d : l1ds_)
+        l1d->tick(now_);
+    for (auto &l1i : l1is_)
+        l1i->tick(now_);
+    for (auto &l2 : l2s_)
+        l2->tick(now_);
+    llc_->tick(now_);
+    dram_->tick(now_);
+}
+
+void
+System::runUntilRetired(InstrCount target)
+{
+    // Watchdog: a correctly wired system always makes forward progress;
+    // a deadlock here is a simulator bug, not a workload property.
+    InstrCount last_retired = 0;
+    Cycle last_progress = now_;
+
+    for (;;) {
+        InstrCount min_retired = ~InstrCount{0};
+        for (auto &core : cores_)
+            min_retired = std::min(min_retired, core->retired());
+        if (min_retired >= target)
+            return;
+
+        if (min_retired != last_retired) {
+            last_retired = min_retired;
+            last_progress = now_;
+        } else if (now_ - last_progress > 1000000) {
+            panic("system made no retirement progress for 1M cycles");
+        }
+        cycle();
+    }
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : cores_)
+        core->resetStats();
+    for (auto &l1i : l1is_)
+        l1i->resetStats();
+    for (auto &l1d : l1ds_)
+        l1d->resetStats();
+    for (auto &l2 : l2s_)
+        l2->resetStats();
+    llc_->resetStats();
+    dram_->resetStats();
+}
+
+} // namespace pfsim::sim

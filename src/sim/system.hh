@@ -1,0 +1,78 @@
+/**
+ * @file
+ * System assembly: N cores with private L1I/L1D/L2 hierarchies, one
+ * shared LLC and one shared DRAM, ticked in lockstep.
+ */
+
+#ifndef PFSIM_SIM_SYSTEM_HH
+#define PFSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cpu/core.hh"
+#include "dram/dram.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/config.hh"
+#include "trace/source.hh"
+
+namespace pfsim::sim
+{
+
+/** Build the configured L2 prefetcher by name. */
+std::unique_ptr<prefetch::Prefetcher>
+makePrefetcher(const SystemConfig &config);
+
+/** A complete simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param config system parameters (config.cores sources expected)
+     * @param sources one trace source per core (owned by the caller)
+     */
+    System(const SystemConfig &config,
+           std::vector<trace::TraceSource *> sources);
+
+    /** Advance the whole machine one cycle. */
+    void cycle();
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** Run until every core has retired @p target instructions. */
+    void runUntilRetired(InstrCount target);
+
+    /** Reset every statistics block (end of warmup). */
+    void resetStats();
+
+    unsigned coreCount() const { return unsigned(cores_.size()); }
+    cpu::Core &core(unsigned i) { return *cores_[i]; }
+    cache::Cache &l1i(unsigned i) { return *l1is_[i]; }
+    cache::Cache &l1d(unsigned i) { return *l1ds_[i]; }
+    cache::Cache &l2(unsigned i) { return *l2s_[i]; }
+    cache::Cache &llc() { return *llc_; }
+    dram::Dram &dram() { return *dram_; }
+    prefetch::Prefetcher &prefetcher(unsigned i)
+    {
+        return *prefetchers_[i];
+    }
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<dram::Dram> dram_;
+    std::unique_ptr<cache::Cache> llc_;
+    std::vector<std::unique_ptr<cache::Cache>> l2s_;
+    std::vector<std::unique_ptr<cache::Cache>> l1is_;
+    std::vector<std::unique_ptr<cache::Cache>> l1ds_;
+    std::vector<std::unique_ptr<prefetch::Prefetcher>> prefetchers_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    Cycle now_ = 0;
+};
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_SYSTEM_HH

@@ -1,0 +1,73 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace pfsim::stats
+{
+
+Histogram::Histogram(int lo, int hi)
+    : lo_(lo), hi_(hi), bins_(std::size_t(hi - lo + 1), 0)
+{
+    assert(lo <= hi);
+}
+
+void
+Histogram::add(int value, std::uint64_t count)
+{
+    int v = std::clamp(value, lo_, hi_);
+    bins_[std::size_t(v - lo_)] += count;
+    total_ += count;
+    weightedSum_ += double(v) * double(count);
+}
+
+std::uint64_t
+Histogram::count(int value) const
+{
+    if (value < lo_ || value > hi_)
+        return 0;
+    return bins_[std::size_t(value - lo_)];
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : weightedSum_ / double(total_);
+}
+
+double
+Histogram::fractionWithin(int bound) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t inside = 0;
+    for (int v = lo_; v <= hi_; ++v) {
+        if (v >= -bound && v <= bound)
+            inside += count(v);
+    }
+    return double(inside) / double(total_);
+}
+
+std::string
+Histogram::render(unsigned width) const
+{
+    std::uint64_t peak = 0;
+    for (auto b : bins_)
+        peak = std::max(peak, b);
+    std::string out;
+    char line[160];
+    for (int v = lo_; v <= hi_; ++v) {
+        std::uint64_t c = count(v);
+        unsigned bar = peak == 0
+            ? 0
+            : unsigned((c * width + peak - 1) / peak);
+        std::snprintf(line, sizeof(line), "%4d | %-*s %llu\n", v,
+                      int(width), std::string(bar, '#').c_str(),
+                      static_cast<unsigned long long>(c));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace pfsim::stats

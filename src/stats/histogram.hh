@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Integer-bucket histogram, used for the trained-weight distributions of
+ * Figure 6 and for internal diagnostics.
+ */
+
+#ifndef PFSIM_STATS_HISTOGRAM_HH
+#define PFSIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfsim::stats
+{
+
+/** A histogram over a closed integer range [lo, hi]. */
+class Histogram
+{
+  public:
+    Histogram(int lo, int hi);
+
+    /** Record one sample; out-of-range samples clamp to the end bins. */
+    void add(int value, std::uint64_t count = 1);
+
+    int lo() const { return lo_; }
+    int hi() const { return hi_; }
+
+    /** Count in the bin for @p value. */
+    std::uint64_t count(int value) const;
+
+    /** Total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const;
+
+    /** Fraction of samples whose |value| <= @p bound (0 when empty). */
+    double fractionWithin(int bound) const;
+
+    /**
+     * Render as an ASCII bar chart, one row per bin, scaled so the
+     * largest bin spans @p width characters.
+     */
+    std::string render(unsigned width = 50) const;
+
+  private:
+    int lo_;
+    int hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+    double weightedSum_ = 0.0;
+};
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_HISTOGRAM_HH

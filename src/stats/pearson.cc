@@ -1,0 +1,38 @@
+#include "stats/pearson.hh"
+
+#include <cmath>
+
+namespace pfsim::stats
+{
+
+double
+PearsonAccumulator::correlation() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double n = double(n_);
+    const double cov = sumXY_ - sumX_ * sumY_ / n;
+    const double varX = sumXX_ - sumX_ * sumX_ / n;
+    const double varY = sumYY_ - sumY_ * sumY_ / n;
+    if (varX <= 0.0 || varY <= 0.0)
+        return 0.0;
+    double r = cov / std::sqrt(varX * varY);
+    if (r > 1.0)
+        r = 1.0;
+    if (r < -1.0)
+        r = -1.0;
+    return r;
+}
+
+void
+PearsonAccumulator::merge(const PearsonAccumulator &other)
+{
+    n_ += other.n_;
+    sumX_ += other.sumX_;
+    sumY_ += other.sumY_;
+    sumXX_ += other.sumXX_;
+    sumYY_ += other.sumYY_;
+    sumXY_ += other.sumXY_;
+}
+
+} // namespace pfsim::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Streaming Pearson product-moment correlation.
+ *
+ * Section 5.5 of the paper selects perceptron features by computing
+ * Pearson's correlation factor between each feature's contribution and
+ * the prefetch outcome.  This accumulator computes r in one pass
+ * without storing the samples.
+ */
+
+#ifndef PFSIM_STATS_PEARSON_HH
+#define PFSIM_STATS_PEARSON_HH
+
+#include <cstdint>
+
+namespace pfsim::stats
+{
+
+/** One-pass accumulator for Pearson's r between two variables. */
+class PearsonAccumulator
+{
+  public:
+    /** Record one (x, y) observation. */
+    void
+    add(double x, double y)
+    {
+        ++n_;
+        sumX_ += x;
+        sumY_ += y;
+        sumXX_ += x * x;
+        sumYY_ += y * y;
+        sumXY_ += x * y;
+    }
+
+    /** Number of observations so far. */
+    std::uint64_t count() const { return n_; }
+
+    /**
+     * Pearson's r in [-1, 1].  Returns 0 when either variable has zero
+     * variance (a constant stream carries no correlation information).
+     */
+    double correlation() const;
+
+    /** Merge another accumulator's observations into this one. */
+    void merge(const PearsonAccumulator &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double sumX_ = 0.0;
+    double sumY_ = 0.0;
+    double sumXX_ = 0.0;
+    double sumYY_ = 0.0;
+    double sumXY_ = 0.0;
+};
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_PEARSON_HH

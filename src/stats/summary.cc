@@ -1,0 +1,39 @@
+#include "stats/summary.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace pfsim::stats
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / double(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double
+toPercent(double ratio)
+{
+    return (ratio - 1.0) * 100.0;
+}
+
+} // namespace pfsim::stats

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Aggregation helpers for the paper's reporting methodology: geometric
+ * means of speedups (Section 5.3) and simple arithmetic summaries.
+ */
+
+#ifndef PFSIM_STATS_SUMMARY_HH
+#define PFSIM_STATS_SUMMARY_HH
+
+#include <vector>
+
+namespace pfsim::stats
+{
+
+/** Geometric mean of strictly positive values; 0 when empty. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 when empty. */
+double mean(const std::vector<double> &values);
+
+/** Convert a ratio (e.g. 1.0378) into percent improvement (3.78). */
+double toPercent(double ratio);
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_SUMMARY_HH

@@ -1,0 +1,77 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace pfsim::stats
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals,
+                  (ratio - 1.0) * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i != 0)
+                line += "  ";
+            // Left-align the first column (names), right-align numbers.
+            if (i == 0)
+                line += row[i] + std::string(widths[i] - row[i].size(),
+                                             ' ');
+            else
+                line += std::string(widths[i] - row[i].size(), ' ') +
+                        row[i];
+        }
+        return line + "\n";
+    };
+
+    std::string out = renderRow(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i == 0 ? 0 : 2);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace pfsim::stats

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Aligned plain-text table renderer used by every bench binary to print
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef PFSIM_STATS_TABLE_HH
+#define PFSIM_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pfsim::stats
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p decimals digits. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: format a ratio as "+x.yz%" relative to 1.0. */
+    static std::string pct(double ratio, int decimals = 2);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_TABLE_HH

@@ -1,0 +1,117 @@
+#include "trace/file_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pfsim::trace
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'P', 'F', 'S', 'I', 'M', 'T', 'R', '1'};
+constexpr std::size_t recordBytes = 8 + 8 + 8 + 1;
+
+void
+packU64(unsigned char *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = (unsigned char)(v >> (8 * i));
+}
+
+std::uint64_t
+unpackU64(const unsigned char *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(in[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+recordTrace(TraceSource &source, const std::string &path,
+            InstrCount count)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        fatal("cannot open trace file for writing: " + path);
+
+    unsigned char header[16];
+    std::memcpy(header, magic, 8);
+    packU64(header + 8, count);
+    std::fwrite(header, 1, sizeof(header), file);
+
+    unsigned char record[recordBytes];
+    Instruction instr;
+    for (InstrCount i = 0; i < count; ++i) {
+        if (!source.next(instr)) {
+            std::fclose(file);
+            fatal("trace source ran dry while recording " + path);
+        }
+        packU64(record, instr.pc);
+        packU64(record + 8, instr.loadAddr);
+        packU64(record + 16, instr.storeAddr);
+        record[24] = (unsigned char)((instr.isBranch ? 1 : 0) |
+                                     (instr.branchTaken ? 2 : 0) |
+                                     (instr.dependsOnPrev ? 4 : 0));
+        std::fwrite(record, 1, recordBytes, file);
+    }
+    if (std::fclose(file) != 0)
+        fatal("error finishing trace file: " + path);
+}
+
+FileTrace::FileTrace(const std::string &path, bool loop)
+    : loop_(loop), name_(path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        fatal("cannot open trace file: " + path);
+
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
+        std::memcmp(header, magic, 8) != 0) {
+        std::fclose(file);
+        fatal("not a pfsim trace file: " + path);
+    }
+    const std::uint64_t count = unpackU64(header + 8);
+    if (count == 0) {
+        std::fclose(file);
+        fatal("empty trace file: " + path);
+    }
+
+    records_.reserve(count);
+    unsigned char record[recordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(record, 1, recordBytes, file) != recordBytes) {
+            std::fclose(file);
+            fatal("truncated trace file: " + path);
+        }
+        Instruction instr;
+        instr.pc = unpackU64(record);
+        instr.loadAddr = unpackU64(record + 8);
+        instr.storeAddr = unpackU64(record + 16);
+        instr.isBranch = (record[24] & 1) != 0;
+        instr.branchTaken = (record[24] & 2) != 0;
+        instr.dependsOnPrev = (record[24] & 4) != 0;
+        records_.push_back(instr);
+    }
+    std::fclose(file);
+}
+
+bool
+FileTrace::next(Instruction &out)
+{
+    if (position_ >= records_.size()) {
+        if (!loop_)
+            return false;
+        position_ = 0;
+    }
+    out = records_[position_++];
+    return true;
+}
+
+} // namespace pfsim::trace

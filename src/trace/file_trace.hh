@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace record/replay: serialise any TraceSource to a compact binary
+ * file and play it back.
+ *
+ * This gives downstream users a ChampSim-like workflow — capture a
+ * workload once, re-run it across prefetcher configurations — and
+ * makes cross-machine reproduction independent of the synthetic
+ * generators' code path.
+ *
+ * Format (little-endian):
+ *   8 bytes  magic "PFSIMTR1"
+ *   8 bytes  record count
+ *   per record: pc (8), loadAddr (8), storeAddr (8), flags (1)
+ *     flag bit 0: isBranch, bit 1: branchTaken, bit 2: dependsOnPrev
+ */
+
+#ifndef PFSIM_TRACE_FILE_TRACE_HH
+#define PFSIM_TRACE_FILE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/types.hh"
+
+namespace pfsim::trace
+{
+
+/** Capture @p count instructions from @p source into @p path. */
+void recordTrace(TraceSource &source, const std::string &path,
+                 InstrCount count);
+
+/** Replays a recorded trace file. */
+class FileTrace : public TraceSource
+{
+  public:
+    /**
+     * @param path file written by recordTrace
+     * @param loop when true, wrap around at end-of-trace (so warmup +
+     *        measurement can exceed the recorded length)
+     */
+    explicit FileTrace(const std::string &path, bool loop = true);
+
+    bool next(Instruction &out) override;
+    const std::string &name() const override { return name_; }
+
+    /** Number of recorded instructions. */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<Instruction> records_;
+    std::size_t position_ = 0;
+    bool loop_;
+    std::string name_;
+};
+
+} // namespace pfsim::trace
+
+#endif // PFSIM_TRACE_FILE_TRACE_HH

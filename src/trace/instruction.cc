@@ -1,0 +1,12 @@
+#include "trace/instruction.hh"
+
+// Instruction is a plain record; this translation unit exists so the
+// header participates in the build and stays self-contained.
+
+namespace pfsim
+{
+
+static_assert(sizeof(Instruction) <= 32,
+              "Instruction should stay a small POD record");
+
+} // namespace pfsim

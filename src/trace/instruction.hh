@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The instruction record that flows from a trace source into the core
+ * model.  This mirrors the information content of a ChampSim trace
+ * record: PC, branch behaviour, and memory operands.
+ */
+
+#ifndef PFSIM_TRACE_INSTRUCTION_HH
+#define PFSIM_TRACE_INSTRUCTION_HH
+
+#include "util/types.hh"
+
+namespace pfsim
+{
+
+/** One traced instruction. */
+struct Instruction
+{
+    /** Program counter of the instruction. */
+    Pc pc = 0;
+
+    /** Load address, or 0 when the instruction does not load. */
+    Addr loadAddr = 0;
+
+    /** Store address, or 0 when the instruction does not store. */
+    Addr storeAddr = 0;
+
+    /** True for conditional branch instructions. */
+    bool isBranch = false;
+
+    /** Branch outcome (meaningful only when isBranch). */
+    bool branchTaken = false;
+
+    /**
+     * True when this load depends on the value produced by the previous
+     * load (pointer chasing).  The core serialises such loads, which is
+     * what makes pointer-chasing workloads exhibit low memory-level
+     * parallelism and makes them prefetch averse, as the paper observes
+     * for 605.mcf_s.
+     */
+    bool dependsOnPrev = false;
+
+    bool isLoad() const { return loadAddr != 0; }
+    bool isStore() const { return storeAddr != 0; }
+    bool isMemory() const { return isLoad() || isStore(); }
+};
+
+} // namespace pfsim
+
+#endif // PFSIM_TRACE_INSTRUCTION_HH

@@ -1,0 +1,228 @@
+#include "trace/patterns.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hh"
+
+namespace pfsim::trace
+{
+
+// ---------------------------------------------------------------- Stream
+
+StreamPattern::StreamPattern(Addr base)
+    : nextAddr_(blockAlign(base))
+{
+}
+
+Reference
+StreamPattern::next(Rng &)
+{
+    Reference ref{nextAddr_, false};
+    nextAddr_ += blockSize;
+    return ref;
+}
+
+// ---------------------------------------------------------------- Stride
+
+StridePattern::StridePattern(Addr base, int stride_blocks)
+    : nextAddr_(blockAlign(base)),
+      strideBytes_(stride_blocks * int(blockSize))
+{
+    assert(stride_blocks != 0);
+}
+
+Reference
+StridePattern::next(Rng &)
+{
+    Reference ref{nextAddr_, false};
+    nextAddr_ = Addr(std::int64_t(nextAddr_) + strideBytes_);
+    return ref;
+}
+
+// -------------------------------------------------------------- DeltaSeq
+
+DeltaSeqPattern::DeltaSeqPattern(Addr base, std::vector<int> deltas,
+                                 double break_prob,
+                                 bool page_selective)
+    : page_(pageNumber(base)), offset_(0), deltas_(std::move(deltas)),
+      breakProb_(break_prob), pageSelective_(page_selective)
+{
+    assert(!deltas_.empty());
+}
+
+void
+DeltaSeqPattern::advancePage()
+{
+    ++page_;
+    offset_ = 0;
+    step_ = 0;
+}
+
+Reference
+DeltaSeqPattern::next(Rng &rng)
+{
+    Reference ref;
+    ref.addr = (page_ << pageShift) | (Addr(offset_) << blockShift);
+
+    double break_prob = breakProb_;
+    if (pageSelective_ && breakProb_ > 0.0) {
+        // A deterministic hash marks 25% of pages "bad"; only those
+        // pages break (harder), so page identity determines quality.
+        const bool bad_page = (mix64(page_) & 3) == 0;
+        break_prob = bad_page ? std::min(1.0, breakProb_ * 3.0) : 0.0;
+    }
+    if (rng.chance(break_prob)) {
+        advancePage();
+        return ref;
+    }
+
+    int delta = deltas_[step_ % deltas_.size()];
+    ++step_;
+    int next_offset = int(offset_) + delta;
+    if (next_offset < 0 || next_offset >= int(blocksPerPage))
+        advancePage();
+    else
+        offset_ = unsigned(next_offset);
+    return ref;
+}
+
+// ----------------------------------------------------------- PageShuffle
+
+PageShufflePattern::PageShufflePattern(Addr base)
+    : page_(pageNumber(base))
+{
+    buildOrder();
+}
+
+void
+PageShufflePattern::buildOrder()
+{
+    order_.resize(blocksPerPage);
+    for (unsigned i = 0; i < blocksPerPage; ++i)
+        order_[i] = i;
+    // Deterministic per-page Fisher-Yates shuffle seeded by the page
+    // number, so replays of the same trace are bit-identical.
+    Rng page_rng(mix64(page_));
+    for (unsigned i = blocksPerPage - 1; i > 0; --i) {
+        auto j = unsigned(page_rng.below(i + 1));
+        std::swap(order_[i], order_[j]);
+    }
+    step_ = 0;
+}
+
+Reference
+PageShufflePattern::next(Rng &)
+{
+    Reference ref;
+    ref.addr =
+        (page_ << pageShift) | (Addr(order_[step_]) << blockShift);
+    if (++step_ >= order_.size()) {
+        ++page_;
+        buildOrder();
+    }
+    return ref;
+}
+
+// ----------------------------------------------------------- RegionSweep
+
+RegionSweepPattern::RegionSweepPattern(Addr base, int max_jitter_blocks)
+    : nextAddr_(blockAlign(base)), maxJitter_(max_jitter_blocks)
+{
+    assert(max_jitter_blocks >= 1);
+}
+
+Reference
+RegionSweepPattern::next(Rng &rng)
+{
+    Reference ref{nextAddr_, false};
+    auto jump = Addr(rng.range(1, maxJitter_));
+    nextAddr_ += jump * blockSize;
+    return ref;
+}
+
+// ----------------------------------------------------------- BurstStride
+
+BurstStridePattern::BurstStridePattern(Addr base, int stride_blocks,
+                                       unsigned burst_len)
+    : page_(pageNumber(base)), offset_(0), stride_(stride_blocks),
+      burstLen_(burst_len == 0 ? 1 : burst_len)
+{
+    assert(stride_blocks != 0);
+}
+
+Reference
+BurstStridePattern::next(Rng &rng)
+{
+    Reference ref;
+    ref.addr = (page_ << pageShift) |
+               (Addr(unsigned(offset_)) << blockShift);
+
+    ++pos_;
+    int next_offset = offset_ + stride_;
+    if (pos_ >= burstLen_ || next_offset < 0 ||
+        next_offset >= int(blocksPerPage)) {
+        // Burst over: fresh page, pseudo-random start offset.
+        ++page_;
+        offset_ = int(rng.below(blocksPerPage / 2));
+        pos_ = 0;
+    } else {
+        offset_ = next_offset;
+    }
+    return ref;
+}
+
+// ---------------------------------------------------------- PointerChase
+
+PointerChasePattern::PointerChasePattern(Addr base,
+                                         std::uint64_t footprint_blocks)
+    : base_(blockAlign(base))
+{
+    // Round the footprint up to a power of two so that the LCG below
+    // (a % 8 == 5, c odd) has full period over [0, modulus).
+    modulus_ = 1;
+    while (modulus_ < footprint_blocks)
+        modulus_ <<= 1;
+    if (modulus_ < 8)
+        modulus_ = 8;
+}
+
+Reference
+PointerChasePattern::next(Rng &)
+{
+    Reference ref;
+    ref.addr = base_ + (state_ % modulus_) * blockSize;
+    ref.dependent = true;
+    state_ = (state_ * 6364136223846793005ULL + 1442695040888963407ULL) &
+             (modulus_ - 1);
+    return ref;
+}
+
+// -------------------------------------------------------------- HotReuse
+
+HotReusePattern::HotReusePattern(Addr base, std::uint64_t hot_blocks,
+                                 double cold_prob)
+    : base_(blockAlign(base)), hotBlocks_(hot_blocks),
+      coldProb_(cold_prob),
+      coldPage_(pageNumber(base) + (hot_blocks / blocksPerPage) + 16)
+{
+    assert(hot_blocks > 0);
+}
+
+Reference
+HotReusePattern::next(Rng &rng)
+{
+    Reference ref;
+    if (rng.chance(coldProb_)) {
+        // Touch one block of a fresh page, then move on: a compulsory
+        // miss that no history-based prefetcher can cover.
+        ref.addr = (coldPage_ << pageShift) |
+                   (rng.below(blocksPerPage) << blockShift);
+        ++coldPage_;
+    } else {
+        ref.addr = base_ + rng.below(hotBlocks_) * blockSize;
+    }
+    return ref;
+}
+
+} // namespace pfsim::trace

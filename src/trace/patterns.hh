@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Memory address pattern generators.
+ *
+ * These are the building blocks of the synthetic workloads that stand in
+ * for SPEC CPU 2017 / 2006 / CloudSuite SimPoint traces (see DESIGN.md,
+ * substitution table).  Each pattern models one access-pattern *class*
+ * whose interaction with prefetchers is well understood:
+ *
+ *  - Stream:        unit-stride streaming across fresh pages; every
+ *                   prefetcher covers it.
+ *  - Stride:        fixed multi-block stride.
+ *  - DeltaSeq:      a repeating intra-page delta sequence; rewards SPP's
+ *                   signature/pattern correlation, and when the sequence
+ *                   is long, rewards deep lookahead.  A per-page "break"
+ *                   probability makes path confidence decay, which is
+ *                   exactly the situation PPF exploits: outcomes are
+ *                   correlated with page/PC features even where SPP's
+ *                   global confidence has collapsed.
+ *  - PageShuffle:   every block of a page is eventually touched, but in
+ *                   a pseudo-random order.  Delta-confidence collapses
+ *                   (SPP throttles, as the paper reports for
+ *                   623.xalancbmk_s), yet *any* same-page prefetch is
+ *                   ultimately useful, so an outcome-trained filter
+ *                   learns to keep prefetching.
+ *  - RegionSweep:   dense forward sweeps with jittered small deltas;
+ *                   offset-based spatial prefetchers (BOP, AMPM) shine,
+ *                   signature-based SPP is middling (the 607.cactuBSSN_s
+ *                   story).
+ *  - PointerChase:  dependent loads over a pseudo-random permutation;
+ *                   prefetch averse and low-MLP (the 605.mcf_s story).
+ *  - HotReuse:      cache-resident working set with rare cold misses;
+ *                   models the non-memory-intensive suite members.
+ */
+
+#ifndef PFSIM_TRACE_PATTERNS_HH
+#define PFSIM_TRACE_PATTERNS_HH
+
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace pfsim::trace
+{
+
+/** A generated memory reference. */
+struct Reference
+{
+    Addr addr = 0;
+    /** True when the load consumes the previous load's value. */
+    bool dependent = false;
+};
+
+/** Interface of a single access-stream address generator. */
+class AddressPattern
+{
+  public:
+    virtual ~AddressPattern() = default;
+
+    /** Produce the next reference of this stream. */
+    virtual Reference next(Rng &rng) = 0;
+};
+
+/** Unit-stride streaming over consecutive pages from @p base. */
+class StreamPattern : public AddressPattern
+{
+  public:
+    explicit StreamPattern(Addr base);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr nextAddr_;
+};
+
+/** Fixed stride of @p stride_blocks cache blocks. */
+class StridePattern : public AddressPattern
+{
+  public:
+    StridePattern(Addr base, int stride_blocks);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr nextAddr_;
+    int strideBytes_;
+};
+
+/**
+ * A repeating intra-page delta sequence with an optional per-access
+ * break probability.  On a break (or when the sequence walks off the
+ * page) the stream jumps to the next page and restarts the sequence.
+ *
+ * When @p break_prob is zero on some pages and high on others (the
+ * caller models that by instantiating two DeltaSeqPattern streams with
+ * different probabilities behind different PCs), SPP's single global
+ * path confidence cannot separate them, while PPF's PC- and
+ * page-indexed features can.
+ */
+class DeltaSeqPattern : public AddressPattern
+{
+  public:
+    /**
+     * @param page_selective when true, the break probability applies
+     * (tripled) only to "bad pages" — the 25% of pages selected by a
+     * hash of the page number — and good pages never break.  Page
+     * identity then *determines* prefetch quality, which is the
+     * situation PPF's page-indexed features exploit and SPP's single
+     * global confidence cannot (see DESIGN.md).
+     */
+    DeltaSeqPattern(Addr base, std::vector<int> deltas,
+                    double break_prob, bool page_selective = false);
+    Reference next(Rng &rng) override;
+
+  private:
+    void advancePage();
+
+    Addr page_;
+    unsigned offset_;
+    std::vector<int> deltas_;
+    std::size_t step_ = 0;
+    double breakProb_;
+    bool pageSelective_;
+};
+
+/**
+ * Dense coverage of each page in a deterministic pseudo-random order
+ * (a per-page permutation of all 64 block offsets), then the next page.
+ */
+class PageShufflePattern : public AddressPattern
+{
+  public:
+    explicit PageShufflePattern(Addr base);
+    Reference next(Rng &rng) override;
+
+  private:
+    void buildOrder();
+
+    Addr page_;
+    std::vector<unsigned> order_;
+    std::size_t step_ = 0;
+};
+
+/**
+ * Forward sweep with jittered deltas drawn uniformly from
+ * [1, max_jitter_blocks], covering regions densely but with an
+ * inconsistent signature path.
+ */
+class RegionSweepPattern : public AddressPattern
+{
+  public:
+    RegionSweepPattern(Addr base, int max_jitter_blocks);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr nextAddr_;
+    int maxJitter_;
+};
+
+/**
+ * Short stride bursts over ever-fresh pages: a global stride of
+ * @p stride_blocks is followed for @p burst_len accesses within a
+ * page, then the stream jumps to a fresh page at a pseudo-random
+ * offset.  A global-offset prefetcher (BOP) reacts from the first
+ * access of each burst, while a per-page signature prefetcher spends
+ * most of the short burst warming up — the 607.cactuBSSN_s dynamic
+ * where BOP beats SPP-based schemes.
+ */
+class BurstStridePattern : public AddressPattern
+{
+  public:
+    BurstStridePattern(Addr base, int stride_blocks,
+                       unsigned burst_len);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr page_;
+    int offset_;
+    int stride_;
+    unsigned burstLen_;
+    unsigned pos_ = 0;
+};
+
+/**
+ * A dependent pointer chase over a footprint of
+ * @p footprint_blocks cache blocks (rounded up to a power of two).
+ * The walk is a full-period LCG over the footprint, so every block is
+ * visited once per period but in an unpredictable order.
+ */
+class PointerChasePattern : public AddressPattern
+{
+  public:
+    PointerChasePattern(Addr base, std::uint64_t footprint_blocks);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr base_;
+    std::uint64_t modulus_;
+    std::uint64_t state_ = 1;
+};
+
+/**
+ * Reuse within a hot set of @p hot_blocks cache blocks, with
+ * probability @p cold_prob of touching a fresh cold page instead.
+ */
+class HotReusePattern : public AddressPattern
+{
+  public:
+    HotReusePattern(Addr base, std::uint64_t hot_blocks,
+                    double cold_prob);
+    Reference next(Rng &rng) override;
+
+  private:
+    Addr base_;
+    std::uint64_t hotBlocks_;
+    double coldProb_;
+    Addr coldPage_;
+};
+
+} // namespace pfsim::trace
+
+#endif // PFSIM_TRACE_PATTERNS_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The trace-source interface consumed by the core model.
+ */
+
+#ifndef PFSIM_TRACE_SOURCE_HH
+#define PFSIM_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/instruction.hh"
+
+namespace pfsim::trace
+{
+
+/**
+ * A producer of a (conceptually infinite) instruction stream.
+ *
+ * Synthetic sources never run dry; next() returning false exists so a
+ * file-backed source could be added without touching the core.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction. @return false at end of trace. */
+    virtual bool next(Instruction &out) = 0;
+
+    /** Human-readable workload name, used in reports. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace pfsim::trace
+
+#endif // PFSIM_TRACE_SOURCE_HH

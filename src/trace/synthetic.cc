@@ -1,0 +1,179 @@
+#include "trace/synthetic.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::trace
+{
+
+namespace
+{
+
+/** Code region base for generated PCs. */
+constexpr Pc codeBase = 0x400000;
+
+/** Bytes of code region reserved per stream. */
+constexpr Pc codeStride = 0x1000;
+
+/** Data region base; streams are separated by 16 GB to avoid overlap. */
+constexpr Addr dataBase = Addr{1} << 34;
+
+/** Data region separation per (phase, stream). */
+constexpr Addr dataStride = Addr{1} << 34;
+
+std::unique_ptr<AddressPattern>
+makePattern(const StreamConfig &cfg, Addr base)
+{
+    switch (cfg.kind) {
+      case PatternKind::Stream:
+        return std::make_unique<StreamPattern>(base);
+      case PatternKind::Stride:
+        return std::make_unique<StridePattern>(base, cfg.stride);
+      case PatternKind::DeltaSeq:
+        return std::make_unique<DeltaSeqPattern>(base, cfg.deltas,
+                                                 cfg.breakProb,
+                                                 cfg.pageSelective);
+      case PatternKind::PageShuffle:
+        return std::make_unique<PageShufflePattern>(base);
+      case PatternKind::RegionSweep:
+        return std::make_unique<RegionSweepPattern>(base, cfg.jitter);
+      case PatternKind::BurstStride:
+        return std::make_unique<BurstStridePattern>(base, cfg.stride,
+                                                    cfg.burstLen);
+      case PatternKind::PointerChase:
+        return std::make_unique<PointerChasePattern>(
+            base, cfg.footprintBlocks);
+      case PatternKind::HotReuse:
+        return std::make_unique<HotReusePattern>(base,
+                                                 cfg.footprintBlocks,
+                                                 cfg.coldProb);
+    }
+    panic("unhandled PatternKind");
+}
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(SyntheticConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    if (config_.phases.empty())
+        fatal("synthetic workload '" + config_.name + "' has no phases");
+    for (const auto &phase : config_.phases) {
+        if (phase.streams.empty())
+            fatal("synthetic workload '" + config_.name +
+                  "' has a phase with no streams");
+    }
+    enterPhase(0);
+}
+
+void
+SyntheticTrace::enterPhase(std::size_t index)
+{
+    phaseIndex_ = index;
+    ++entryCount_;
+    const PhaseConfig &phase = config_.phases[index];
+    phaseRemaining_ = phase.length == 0 ? ~InstrCount{0} : phase.length;
+
+    streams_.clear();
+    totalWeight_ = 0.0;
+    for (std::size_t s = 0; s < phase.streams.size(); ++s) {
+        const StreamConfig &sc = phase.streams[s];
+        StreamState state;
+        // Give each (phase, stream) pair a distinct code identity and a
+        // distinct data region.  The data region also advances each time
+        // a phase is re-entered so the phase starts on cold data again.
+        Pc code = codeBase + Pc(index * 64 + s) * codeStride;
+        state.aluPcBase = code;
+        state.loadPc = code + 0x100;
+        state.storePc = code + 0x108;
+        state.branchPc = code + 0x110;
+        state.weight = sc.weight;
+        Addr base = dataBase + Addr(index * 64 + s) * dataStride +
+                    Addr(entryCount_) * (dataStride / 64);
+        state.pattern = makePattern(sc, base);
+        totalWeight_ += sc.weight;
+        streams_.push_back(std::move(state));
+    }
+    assert(totalWeight_ > 0.0);
+}
+
+std::size_t
+SyntheticTrace::pickStream()
+{
+    double draw = rng_.uniform() * totalWeight_;
+    for (std::size_t s = 0; s < streams_.size(); ++s) {
+        draw -= streams_[s].weight;
+        if (draw <= 0.0)
+            return s;
+    }
+    return streams_.size() - 1;
+}
+
+void
+SyntheticTrace::buildIteration()
+{
+    const PhaseConfig &phase = config_.phases[phaseIndex_];
+    StreamState &stream = streams_[pickStream()];
+
+    // One iteration carries exactly one load; pad with ALU instructions
+    // so loads make up ~memRatio of the stream.  The iteration length is
+    // jittered by one instruction so the mix is not perfectly periodic.
+    int body = int(std::lround(1.0 / phase.memRatio)) - 2;
+    if (body < 0)
+        body = 0;
+    if (body > 0 && rng_.chance(0.5))
+        body += rng_.chance(0.5) ? 1 : -1;
+    if (body < 0)
+        body = 0;
+
+    for (int i = 0; i < body; ++i) {
+        Instruction alu;
+        alu.pc = stream.aluPcBase + Pc(i) * 4;
+        pending_.push_back(alu);
+    }
+
+    Reference ref = stream.pattern->next(rng_);
+    Instruction load;
+    load.pc = stream.loadPc;
+    load.loadAddr = ref.addr;
+    load.dependsOnPrev = ref.dependent;
+    pending_.push_back(load);
+
+    if (rng_.chance(phase.storeProb)) {
+        // Read-modify-write idiom: the store hits the freshly loaded
+        // block, so write traffic does not corrupt the L2 delta stream.
+        Instruction store;
+        store.pc = stream.storePc;
+        store.storeAddr = ref.addr;
+        pending_.push_back(store);
+    }
+
+    Instruction branch;
+    branch.pc = stream.branchPc;
+    branch.isBranch = true;
+    branch.branchTaken = rng_.chance(phase.mispredictRate)
+        ? rng_.chance(0.5)
+        : true;
+    pending_.push_back(branch);
+}
+
+bool
+SyntheticTrace::next(Instruction &out)
+{
+    if (pending_.empty())
+        buildIteration();
+    out = pending_.front();
+    pending_.pop_front();
+
+    if (--phaseRemaining_ == 0) {
+        std::size_t next_phase = (phaseIndex_ + 1) % config_.phases.size();
+        enterPhase(next_phase);
+        pending_.clear();
+    }
+    return true;
+}
+
+} // namespace pfsim::trace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The synthetic trace engine: turns a declarative workload description
+ * (phases of weighted access streams plus an instruction mix) into a
+ * deterministic instruction stream.
+ *
+ * Each access stream gets a stable PC identity: a loop body of ALU
+ * instructions, one load (and sometimes a store), and a closing
+ * conditional branch.  Stable per-stream PCs matter because both SPP
+ * (via the L2 access stream) and PPF (via its PC-derived features)
+ * correlate behaviour with PCs; a trace with random PCs would
+ * artificially cripple exactly the mechanisms under study.
+ */
+
+#ifndef PFSIM_TRACE_SYNTHETIC_HH
+#define PFSIM_TRACE_SYNTHETIC_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/patterns.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace pfsim::trace
+{
+
+/** The pattern classes a stream can use (see patterns.hh). */
+enum class PatternKind
+{
+    Stream,
+    Stride,
+    DeltaSeq,
+    PageShuffle,
+    RegionSweep,
+    BurstStride,
+    PointerChase,
+    HotReuse,
+};
+
+/** Configuration of one access stream within a phase. */
+struct StreamConfig
+{
+    PatternKind kind = PatternKind::Stream;
+
+    /** Relative probability of an iteration using this stream. */
+    double weight = 1.0;
+
+    /** DeltaSeq: the repeating intra-page delta sequence. */
+    std::vector<int> deltas = {1};
+
+    /** DeltaSeq: per-access probability of abandoning the page. */
+    double breakProb = 0.0;
+
+    /** DeltaSeq: breaks confined to hash-selected "bad" pages. */
+    bool pageSelective = false;
+
+    /** Stride: stride in cache blocks. */
+    int stride = 2;
+
+    /** RegionSweep: maximum jitter in cache blocks. */
+    int jitter = 3;
+
+    /** BurstStride: accesses per page burst. */
+    unsigned burstLen = 8;
+
+    /** PointerChase / HotReuse: footprint in cache blocks. */
+    std::uint64_t footprintBlocks = std::uint64_t{1} << 16;
+
+    /** HotReuse: probability of a cold-page access. */
+    double coldProb = 0.01;
+};
+
+/** Configuration of one execution phase. */
+struct PhaseConfig
+{
+    std::vector<StreamConfig> streams;
+
+    /** Fraction of instructions that are loads. */
+    double memRatio = 0.30;
+
+    /** Probability that a load iteration also stores. */
+    double storeProb = 0.15;
+
+    /** Fraction of closing branches with a random outcome. */
+    double mispredictRate = 0.01;
+
+    /** Phase length in instructions; 0 means "rest of the run". */
+    InstrCount length = 0;
+};
+
+/** A complete synthetic workload description. */
+struct SyntheticConfig
+{
+    std::string name = "unnamed";
+    std::uint64_t seed = 1;
+    std::vector<PhaseConfig> phases;
+};
+
+/** The synthetic trace generator. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    explicit SyntheticTrace(SyntheticConfig config);
+
+    bool next(Instruction &out) override;
+    const std::string &name() const override { return config_.name; }
+
+  private:
+    /** Per-stream runtime state. */
+    struct StreamState
+    {
+        std::unique_ptr<AddressPattern> pattern;
+        double weight;
+        Pc loadPc;
+        Pc storePc;
+        Pc branchPc;
+        Pc aluPcBase;
+    };
+
+    void enterPhase(std::size_t index);
+    void buildIteration();
+    std::size_t pickStream();
+
+    SyntheticConfig config_;
+    Rng rng_;
+    std::size_t phaseIndex_ = 0;
+    std::uint64_t entryCount_ = 0;
+    InstrCount phaseRemaining_ = 0;
+    std::vector<StreamState> streams_;
+    double totalWeight_ = 0.0;
+    std::deque<Instruction> pending_;
+};
+
+} // namespace pfsim::trace
+
+#endif // PFSIM_TRACE_SYNTHETIC_HH

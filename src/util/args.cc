@@ -1,0 +1,64 @@
+#include "util/args.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace pfsim
+{
+
+Args::Args(int argc, char **argv, const std::set<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument: " + arg);
+        arg = arg.substr(2);
+        std::string key = arg;
+        std::string value = "1";
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+        if (!known.count(key)) {
+            std::string usage = "unknown option --" + key + "; accepted:";
+            for (const auto &k : known)
+                usage += " --" + k;
+            fatal(usage);
+        }
+        values_[key] = value;
+    }
+}
+
+bool
+Args::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Args::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Args::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace pfsim

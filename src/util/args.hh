@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A minimal --key=value command-line parser shared by the bench and
+ * example binaries.  Each binary declares the flags it accepts; unknown
+ * flags are a fatal error so typos do not silently run the default
+ * experiment.
+ */
+
+#ifndef PFSIM_UTIL_ARGS_HH
+#define PFSIM_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace pfsim
+{
+
+/** Parsed command-line arguments of the form --key=value or --flag. */
+class Args
+{
+  public:
+    /**
+     * Parse argv.  @p known lists accepted option names (without the
+     * leading dashes); any other option aborts with a usage message.
+     */
+    Args(int argc, char **argv, const std::set<std::string> &known);
+
+    /** True when --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name=value, or @p def when absent. */
+    std::string get(const std::string &name,
+                    const std::string &def) const;
+
+    /** Integer value of --name=value, or @p def when absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Double value of --name=value, or @p def when absent. */
+    double getDouble(const std::string &name, double def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_ARGS_HH

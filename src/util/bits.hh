@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by table indexing logic.
+ */
+
+#ifndef PFSIM_UTIL_BITS_HH
+#define PFSIM_UTIL_BITS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace pfsim
+{
+
+/** Return a mask with the low @p n bits set. @p n must be <= 64. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+n) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned n)
+{
+    return (v >> lo) & mask(n);
+}
+
+/** True when @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    assert(isPowerOf2(v));
+    return unsigned(std::countr_zero(v));
+}
+
+/**
+ * Fold a 64-bit value down to @p n bits by XOR-ing successive n-bit
+ * chunks.  This is the classical hashed-perceptron index fold: every
+ * input bit influences the result, and equal inputs map to equal
+ * indices.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned n)
+{
+    assert(n > 0 && n < 64);
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(n);
+        v >>= n;
+    }
+    return r;
+}
+
+/**
+ * A cheap 64-bit mixing function (splitmix64 finalizer).  Used where a
+ * table index must decorrelate nearby inputs, e.g. hashing PCs.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_BITS_HH

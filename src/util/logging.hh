@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() reports a user-level configuration error and exits; panic()
+ * reports an internal invariant violation and aborts.
+ */
+
+#ifndef PFSIM_UTIL_LOGGING_HH
+#define PFSIM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pfsim
+{
+
+/** Abort on an internal simulator bug. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit cleanly on a user configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_LOGGING_HH

@@ -1,0 +1,107 @@
+#include "util/random.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace pfsim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed so that low-entropy seeds (0, 1, 2, ...) still
+    // produce well-distributed state.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias; the loop almost never
+    // iterates more than once for the small bounds we use.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + std::int64_t(below(std::uint64_t(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    assert(mean >= 1.0);
+    const double p = 1.0 / mean;
+    double u = uniform();
+    // Avoid log(0).
+    if (u >= 1.0)
+        u = 0.9999999999;
+    double draw = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (draw < 1.0)
+        draw = 1.0;
+    return std::uint64_t(draw);
+}
+
+} // namespace pfsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of pfsim (synthetic traces, workload mixes)
+ * draws from a seeded xoshiro256** generator so that identical seeds
+ * reproduce bit-identical simulations.  std::mt19937 is avoided because
+ * its stream is not guaranteed identical across library versions for
+ * distributions; we implement the distributions we need directly.
+ */
+
+#ifndef PFSIM_UTIL_RANDOM_HH
+#define PFSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace pfsim
+{
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Approximately geometric draw with mean @p mean (>= 1). */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_RANDOM_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Saturating counters: the storage primitive behind perceptron weights
+ * (signed) and confidence counters (unsigned).
+ */
+
+#ifndef PFSIM_UTIL_SAT_COUNTER_HH
+#define PFSIM_UTIL_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace pfsim
+{
+
+/**
+ * A signed saturating counter with a compile-time bit width.
+ *
+ * An n-bit signed counter saturates at [-2^(n-1), 2^(n-1) - 1]; for the
+ * paper's 5-bit perceptron weights that is [-16, +15] (Section 3.1).
+ */
+template <unsigned Bits>
+class SignedSatCounter
+{
+    static_assert(Bits >= 2 && Bits <= 16, "unreasonable counter width");
+
+  public:
+    static constexpr int min = -(1 << (Bits - 1));
+    static constexpr int max = (1 << (Bits - 1)) - 1;
+
+    constexpr SignedSatCounter() = default;
+
+    explicit constexpr
+    SignedSatCounter(int initial)
+        : value_(clamp(initial))
+    {
+    }
+
+    constexpr int value() const { return value_; }
+
+    /** Increment by one, saturating at max. */
+    constexpr void
+    increment()
+    {
+        if (value_ < max)
+            ++value_;
+    }
+
+    /** Decrement by one, saturating at min. */
+    constexpr void
+    decrement()
+    {
+        if (value_ > min)
+            --value_;
+    }
+
+    /** Train toward the given direction: +1 increments, -1 decrements. */
+    constexpr void
+    train(bool positive)
+    {
+        if (positive)
+            increment();
+        else
+            decrement();
+    }
+
+    constexpr void set(int v) { value_ = clamp(v); }
+
+  private:
+    static constexpr int
+    clamp(int v)
+    {
+        return v < min ? min : (v > max ? max : v);
+    }
+
+    std::int16_t value_ = 0;
+};
+
+/**
+ * An unsigned saturating counter with a compile-time bit width, used for
+ * SPP's C_sig / C_delta occurrence counters (4 bits each, Table 3).
+ */
+template <unsigned Bits>
+class UnsignedSatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 32, "unreasonable counter width");
+
+  public:
+    static constexpr std::uint32_t max = (1u << Bits) - 1;
+
+    constexpr std::uint32_t value() const { return value_; }
+
+    /** Increment by one, saturating at max. @return true if saturated. */
+    constexpr bool
+    increment()
+    {
+        if (value_ < max) {
+            ++value_;
+            return false;
+        }
+        return true;
+    }
+
+    /** Halve the counter (used when C_sig saturates, per SPP). */
+    constexpr void halve() { value_ >>= 1; }
+
+    constexpr void
+    set(std::uint32_t v)
+    {
+        value_ = v > max ? max : v;
+    }
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_SAT_COUNTER_HH

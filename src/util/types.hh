@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every pfsim subsystem.
+ */
+
+#ifndef PFSIM_UTIL_TYPES_HH
+#define PFSIM_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace pfsim
+{
+
+/** A physical byte address. The simulator works purely in physical space,
+ *  matching ChampSim's convention noted in Section 5.1 of the paper. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** An instruction count. */
+using InstrCount = std::uint64_t;
+
+/** A program counter value. */
+using Pc = std::uint64_t;
+
+/** Log2 of the fixed cache block size (64 bytes). */
+inline constexpr unsigned blockShift = 6;
+
+/** The cache block size in bytes. */
+inline constexpr Addr blockSize = Addr{1} << blockShift;
+
+/** Log2 of the page size (4 KB, per Table 1). */
+inline constexpr unsigned pageShift = 12;
+
+/** The page size in bytes. */
+inline constexpr Addr pageSize = Addr{1} << pageShift;
+
+/** Number of cache blocks per page. */
+inline constexpr unsigned blocksPerPage =
+    unsigned(pageSize / blockSize);
+
+/** Extract the block-aligned address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~(blockSize - 1);
+}
+
+/** Extract the block number (address >> 6). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> blockShift;
+}
+
+/** Extract the page number (address >> 12). */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** Extract the block offset within the page, in [0, 64). */
+constexpr unsigned
+pageOffset(Addr addr)
+{
+    return unsigned((addr >> blockShift) & (blocksPerPage - 1));
+}
+
+} // namespace pfsim
+
+#endif // PFSIM_UTIL_TYPES_HH

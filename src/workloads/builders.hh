@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Internal helpers for declaring workload stream mixes tersely.
+ * Used by the spec17/spec06/cloud registry translation units only.
+ */
+
+#ifndef PFSIM_WORKLOADS_BUILDERS_HH
+#define PFSIM_WORKLOADS_BUILDERS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace pfsim::workloads::builders
+{
+
+using trace::PatternKind;
+using trace::PhaseConfig;
+using trace::StreamConfig;
+using trace::SyntheticConfig;
+
+inline StreamConfig
+deltaSeq(std::vector<int> deltas, double break_prob, double weight,
+         bool page_selective = false)
+{
+    StreamConfig s;
+    s.kind = PatternKind::DeltaSeq;
+    s.deltas = std::move(deltas);
+    s.breakProb = break_prob;
+    s.pageSelective = page_selective;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+stream(double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::Stream;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+stride(int blocks, double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::Stride;
+    s.stride = blocks;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+pageShuffle(double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::PageShuffle;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+regionSweep(int jitter, double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::RegionSweep;
+    s.jitter = jitter;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+burstStride(int stride_blocks, unsigned burst_len, double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::BurstStride;
+    s.stride = stride_blocks;
+    s.burstLen = burst_len;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+pointerChase(std::uint64_t footprint_blocks, double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::PointerChase;
+    s.footprintBlocks = footprint_blocks;
+    s.weight = weight;
+    return s;
+}
+
+inline StreamConfig
+hotReuse(std::uint64_t hot_blocks, double cold_prob, double weight)
+{
+    StreamConfig s;
+    s.kind = PatternKind::HotReuse;
+    s.footprintBlocks = hot_blocks;
+    s.coldProb = cold_prob;
+    s.weight = weight;
+    return s;
+}
+
+/** One infinite phase with the given stream mix and instruction mix. */
+inline SyntheticConfig
+onePhase(std::string name, std::uint64_t seed,
+         std::vector<StreamConfig> streams, double mem_ratio,
+         double store_prob, double mispredict)
+{
+    SyntheticConfig config;
+    config.name = std::move(name);
+    config.seed = seed;
+    PhaseConfig phase;
+    phase.streams = std::move(streams);
+    phase.memRatio = mem_ratio;
+    phase.storeProb = store_prob;
+    phase.mispredictRate = mispredict;
+    config.phases.push_back(std::move(phase));
+    return config;
+}
+
+} // namespace pfsim::workloads::builders
+
+#endif // PFSIM_WORKLOADS_BUILDERS_HH

@@ -1,0 +1,95 @@
+#include "workloads/registry.hh"
+
+#include "workloads/builders.hh"
+
+/**
+ * @file
+ * CloudSuite-like cross-validation workloads (paper Figure 13a).
+ *
+ * Scale-out cloud applications are largely prefetch agnostic: big
+ * instruction/data footprints with irregular reuse and only thin
+ * veins of streaming.  Each workload alternates phases, mirroring the
+ * multi-phase CRC-2 traces the paper uses.
+ */
+
+namespace pfsim::workloads
+{
+
+namespace
+{
+
+using namespace builders;
+
+/** Two alternating phases: dominant irregular reuse, a little streaming. */
+SyntheticConfig
+cloudConfig(const char *name, std::uint64_t seed,
+            std::uint64_t hot_blocks, double cold_prob,
+            double stream_weight, double pointer_weight)
+{
+    SyntheticConfig config;
+    config.name = name;
+    config.seed = seed;
+
+    PhaseConfig serve;
+    serve.streams = {
+        hotReuse(hot_blocks, cold_prob, 0.55 - stream_weight),
+        hotReuse(320, 0.0, 0.45),
+        pageShuffle(stream_weight),
+    };
+    serve.memRatio = 0.30;
+    serve.storeProb = 0.18;
+    serve.mispredictRate = 0.03;
+    serve.length = 400000;
+
+    PhaseConfig scan;
+    scan.streams = {
+        hotReuse(hot_blocks / 2, cold_prob * 2.0,
+                 0.55 - stream_weight - pointer_weight),
+        hotReuse(320, 0.0, 0.45),
+        stream(stream_weight),
+        pointerChase(std::uint64_t{1} << 16, pointer_weight),
+    };
+    scan.memRatio = 0.32;
+    scan.storeProb = 0.15;
+    scan.mispredictRate = 0.04;
+    scan.length = 400000;
+
+    config.phases = {serve, scan};
+    return config;
+}
+
+Workload
+workload(const char *name, std::function<SyntheticConfig()> make)
+{
+    // CloudSuite traces are not part of the memory-intensive subset
+    // methodology; they are reported separately (Figure 13a).
+    return Workload{name, "cloud", false, std::move(make)};
+}
+
+} // namespace
+
+const std::vector<Workload> &
+cloudSuite()
+{
+    static const std::vector<Workload> suite = {
+        workload("cassandra-like", [] {
+            return cloudConfig("cassandra-like", 3301, 24576, 0.010,
+                               0.03, 0.05);
+        }),
+        workload("classification-like", [] {
+            return cloudConfig("classification-like", 3302, 16384,
+                               0.006, 0.06, 0.03);
+        }),
+        workload("cloud9-like", [] {
+            return cloudConfig("cloud9-like", 3303, 20480, 0.012,
+                               0.04, 0.06);
+        }),
+        workload("nutch-like", [] {
+            return cloudConfig("nutch-like", 3304, 28672, 0.008,
+                               0.05, 0.04);
+        }),
+    };
+    return suite;
+}
+
+} // namespace pfsim::workloads

@@ -1,0 +1,28 @@
+#include "workloads/mixes.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace pfsim::workloads
+{
+
+std::vector<Mix>
+makeMixes(const std::vector<Workload> &pool, unsigned cores,
+          unsigned count, std::uint64_t seed)
+{
+    if (pool.empty())
+        fatal("cannot draw mixes from an empty workload pool");
+    Rng rng(seed);
+    std::vector<Mix> mixes;
+    mixes.reserve(count);
+    for (unsigned m = 0; m < count; ++m) {
+        Mix mix;
+        mix.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c)
+            mix.push_back(pool[rng.below(pool.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace pfsim::workloads

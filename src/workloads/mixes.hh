@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Multi-programmed workload mix generation (paper Section 5.3):
+ * deterministic random mixes drawn from a suite or its
+ * memory-intensive subset.
+ */
+
+#ifndef PFSIM_WORKLOADS_MIXES_HH
+#define PFSIM_WORKLOADS_MIXES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/registry.hh"
+
+namespace pfsim::workloads
+{
+
+/** One multi-core mix: a workload per core. */
+using Mix = std::vector<Workload>;
+
+/**
+ * Generate @p count mixes of @p cores workloads each, drawn uniformly
+ * (with replacement) from @p pool.  Deterministic in @p seed.
+ */
+std::vector<Mix> makeMixes(const std::vector<Workload> &pool,
+                           unsigned cores, unsigned count,
+                           std::uint64_t seed);
+
+} // namespace pfsim::workloads
+
+#endif // PFSIM_WORKLOADS_MIXES_HH

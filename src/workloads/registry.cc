@@ -1,0 +1,32 @@
+#include "workloads/registry.hh"
+
+#include "util/logging.hh"
+
+namespace pfsim::workloads
+{
+
+std::vector<Workload>
+memIntensiveSubset(const std::vector<Workload> &suite)
+{
+    std::vector<Workload> subset;
+    for (const Workload &w : suite) {
+        if (w.memIntensive)
+            subset.push_back(w);
+    }
+    return subset;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto *suite :
+         {&spec17Suite(), &spec06Suite(), &cloudSuite()}) {
+        for (const Workload &w : *suite) {
+            if (w.name == name)
+                return w;
+        }
+    }
+    fatal("unknown workload: " + name);
+}
+
+} // namespace pfsim::workloads

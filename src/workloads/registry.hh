@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The workload registry: named synthetic workloads standing in for the
+ * paper's SPEC CPU 2017, SPEC CPU 2006 and CloudSuite SimPoint traces
+ * (see DESIGN.md's substitution table).
+ *
+ * Naming: each workload carries the benchmark it is calibrated against
+ * with a "-like" suffix (e.g. "603.bwaves_s-like"), to make clear that
+ * it reproduces that benchmark's access-pattern *class*, not its code.
+ */
+
+#ifndef PFSIM_WORKLOADS_REGISTRY_HH
+#define PFSIM_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace pfsim::workloads
+{
+
+/** A registered workload. */
+struct Workload
+{
+    /** Report name, e.g. "603.bwaves_s-like". */
+    std::string name;
+
+    /** Suite tag: "spec17", "spec06", "cloud". */
+    std::string suite;
+
+    /** Member of the memory-intensive subset (LLC MPKI > 1). */
+    bool memIntensive = false;
+
+    /** Build the workload's trace configuration. */
+    std::function<trace::SyntheticConfig()> make;
+};
+
+/** All 20 SPEC CPU 2017-like workloads. */
+const std::vector<Workload> &spec17Suite();
+
+/** The SPEC CPU 2006-like cross-validation workloads. */
+const std::vector<Workload> &spec06Suite();
+
+/** The CloudSuite-like cross-validation workloads. */
+const std::vector<Workload> &cloudSuite();
+
+/** Filter a suite to its memory-intensive subset. */
+std::vector<Workload> memIntensiveSubset(const std::vector<Workload> &suite);
+
+/** Find a workload by name across all suites; fatal when missing. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace pfsim::workloads
+
+#endif // PFSIM_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,142 @@
+#include "workloads/registry.hh"
+
+#include "workloads/builders.hh"
+
+/**
+ * @file
+ * SPEC CPU 2006-like cross-validation workloads (paper Section 5.3,
+ * "Validation", and Figure 13b).
+ *
+ * These use the same pattern classes as the 2017-like suite but with
+ * different parameter draws and seeds, and they are never consulted
+ * while tuning PPF — preserving their role as unseen workloads.
+ */
+
+namespace pfsim::workloads
+{
+
+namespace
+{
+
+using namespace builders;
+
+Workload
+workload(const char *name, bool mem_intensive,
+         std::function<SyntheticConfig()> make)
+{
+    return Workload{name, "spec06", mem_intensive, std::move(make)};
+}
+
+} // namespace
+
+const std::vector<Workload> &
+spec06Suite()
+{
+    static const std::vector<Workload> suite = {
+        workload("401.bzip2-like", false, [] {
+            return onePhase("401.bzip2-like", 2401,
+                            {hotReuse(6144, 0.004, 0.8),
+                             pageShuffle(0.2)},
+                            0.30, 0.20, 0.02);
+        }),
+        workload("403.gcc-like", true, [] {
+            return onePhase("403.gcc-like", 2403,
+                            {pageShuffle(0.045),
+                             hotReuse(320, 0.002, 0.955)},
+                            0.30, 0.16, 0.025);
+        }),
+        workload("410.bwaves-like", true, [] {
+            return onePhase("410.bwaves-like", 2410,
+                            {deltaSeq({1, 3, 1, 2, 1, 5}, 0.0, 0.022),
+                             deltaSeq({1, 3, 1, 2, 1, 5}, 0.14,
+                                      0.018, true),
+                             hotReuse(320, 0.0, 0.96)},
+                            0.36, 0.20, 0.004);
+        }),
+        workload("429.mcf-like", true, [] {
+            return onePhase("429.mcf-like", 2429,
+                            {pointerChase(std::uint64_t{1} << 21, 0.050),
+                             stride(2, 0.012),
+                             hotReuse(320, 0.0, 0.938)},
+                            0.35, 0.08, 0.035);
+        }),
+        workload("433.milc-like", true, [] {
+            return onePhase("433.milc-like", 2433,
+                            {stream(0.016), stream(0.015), stream(0.011),
+                             hotReuse(320, 0.0, 0.958)},
+                            0.36, 0.30, 0.004);
+        }),
+        workload("437.leslie3d-like", true, [] {
+            return onePhase("437.leslie3d-like", 2437,
+                            {deltaSeq({2, 2, 1}, 0.02,
+                                      0.028, true),
+                             stream(0.012),
+                             hotReuse(320, 0.0, 0.96)},
+                            0.35, 0.25, 0.005);
+        }),
+        workload("445.gobmk-like", false, [] {
+            return onePhase("445.gobmk-like", 2445,
+                            {hotReuse(4096, 0.002, 1.0)},
+                            0.27, 0.14, 0.06);
+        }),
+        workload("450.soplex-like", true, [] {
+            return onePhase("450.soplex-like", 2450,
+                            {stride(5, 0.020), pageShuffle(0.020),
+                             hotReuse(320, 0.002, 0.96)},
+                            0.33, 0.18, 0.015);
+        }),
+        workload("456.hmmer-like", false, [] {
+            return onePhase("456.hmmer-like", 2456,
+                            {hotReuse(3072, 0.001, 1.0)},
+                            0.35, 0.20, 0.01);
+        }),
+        workload("459.GemsFDTD-like", true, [] {
+            return onePhase("459.GemsFDTD-like", 2459,
+                            {deltaSeq({1, 1, 1, 4}, 0.0, 0.021),
+                             deltaSeq({1, 1, 1, 4}, 0.12,
+                                      0.021, true),
+                             hotReuse(320, 0.0, 0.958)},
+                            0.36, 0.24, 0.004);
+        }),
+        workload("462.libquantum-like", true, [] {
+            return onePhase("462.libquantum-like", 2462,
+                            {stream(0.030), stream(0.019),
+                             hotReuse(320, 0.0, 0.951)},
+                            0.40, 0.15, 0.002);
+        }),
+        workload("464.h264ref-like", false, [] {
+            return onePhase("464.h264ref-like", 2464,
+                            {hotReuse(5120, 0.003, 0.85),
+                             stride(1, 0.15)},
+                            0.33, 0.22, 0.015);
+        }),
+        workload("470.lbm-like", true, [] {
+            return onePhase("470.lbm-like", 2470,
+                            {stream(0.019), stream(0.015), stream(0.011),
+                             hotReuse(320, 0.0, 0.955)},
+                            0.38, 0.45, 0.003);
+        }),
+        workload("471.omnetpp-like", true, [] {
+            return onePhase("471.omnetpp-like", 2471,
+                            {pointerChase(std::uint64_t{1} << 19, 0.045),
+                             hotReuse(320, 0.003, 0.955)},
+                            0.31, 0.12, 0.03);
+        }),
+        workload("473.astar-like", false, [] {
+            return onePhase("473.astar-like", 2473,
+                            {pointerChase(std::uint64_t{1} << 13, 0.4),
+                             hotReuse(4096, 0.002, 0.6)},
+                            0.30, 0.12, 0.035);
+        }),
+        workload("482.sphinx3-like", true, [] {
+            return onePhase("482.sphinx3-like", 2482,
+                            {deltaSeq({1, 2}, 0.05,
+                                      0.024, true), stream(0.012),
+                             hotReuse(320, 0.001, 0.964)},
+                            0.33, 0.15, 0.01);
+        }),
+    };
+    return suite;
+}
+
+} // namespace pfsim::workloads

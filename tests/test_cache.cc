@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: replacement, MSHRs and the
+ * queue-based Cache model, driven against a scriptable fake memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+
+namespace pfsim::cache
+{
+namespace
+{
+
+/** A lower level that records requests and answers on demand. */
+class FakeMemory : public MemoryLevel
+{
+  public:
+    bool
+    addRead(const Request &req) override
+    {
+        if (rejectReads)
+            return false;
+        reads.push_back(req);
+        ++totalReads;
+        return true;
+    }
+
+    bool
+    addWrite(const Request &req) override
+    {
+        if (rejectWrites)
+            return false;
+        writes.push_back(req);
+        return true;
+    }
+
+    bool
+    addPrefetch(const Request &req) override
+    {
+        prefetches.push_back(req);
+        return true;
+    }
+
+    void tick(Cycle) override {}
+
+    /** Deliver data for every outstanding read. */
+    void
+    answerAll(Cycle now)
+    {
+        for (const Request &req : reads) {
+            if (req.ret != nullptr)
+                req.ret->returnData(req, now);
+        }
+        reads.clear();
+    }
+
+    std::vector<Request> reads;
+    std::vector<Request> writes;
+    std::vector<Request> prefetches;
+    std::size_t totalReads = 0;
+    bool rejectReads = false;
+    bool rejectWrites = false;
+};
+
+/** A requestor that records completions. */
+class FakeRequestor : public Requestor
+{
+  public:
+    void
+    returnData(const Request &req, Cycle now) override
+    {
+        completions.push_back({req.token, now});
+    }
+
+    std::vector<std::pair<std::uint64_t, Cycle>> completions;
+};
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig config;
+    config.name = "test";
+    config.sets = 4;
+    config.ways = 2;
+    config.latency = 3;
+    config.mshrs = 4;
+    config.rqSize = 8;
+    config.wqSize = 8;
+    config.pqSize = 8;
+    return config;
+}
+
+Request
+load(Addr addr, Requestor *ret = nullptr, std::uint64_t token = 0)
+{
+    Request req;
+    req.addr = addr;
+    req.type = AccessType::Load;
+    req.pc = 0x400000;
+    req.ret = ret;
+    req.token = token;
+    return req;
+}
+
+/** Run @p cache for @p cycles, answering fake memory each cycle. */
+void
+run(Cache &cache, FakeMemory &memory, Cycle &now, unsigned cycles)
+{
+    for (unsigned i = 0; i < cycles; ++i) {
+        ++now;
+        cache.tick(now);
+        memory.answerAll(now);
+    }
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyTouched)
+{
+    LruPolicy lru;
+    lru.initialize(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.touch(0, w, 0);
+    lru.touch(0, 0, 0); // way 0 becomes MRU; way 1 is now LRU
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1, 0);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(MshrFile, AllocateFindRelease)
+{
+    MshrFile mshrs(2);
+    EXPECT_FALSE(mshrs.full());
+    MshrEntry *a = mshrs.allocate(0x1000, 5);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(mshrs.find(0x1000), a);
+    EXPECT_EQ(mshrs.find(0x2000), nullptr);
+    MshrEntry *b = mshrs.allocate(0x2000, 6);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(mshrs.full());
+    EXPECT_EQ(mshrs.allocate(0x3000, 7), nullptr);
+    mshrs.release(a);
+    EXPECT_FALSE(mshrs.full());
+    EXPECT_EQ(mshrs.find(0x1000), nullptr);
+}
+
+TEST(Cache, MissForwardsToLowerAndFills)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    ASSERT_TRUE(cache.addRead(load(0x1000, &requestor, 7)));
+    run(cache, memory, now, 10);
+
+    ASSERT_EQ(requestor.completions.size(), 1u);
+    EXPECT_EQ(requestor.completions[0].first, 7u);
+    EXPECT_TRUE(cache.probe(0x1000));
+    EXPECT_EQ(cache.stats().loadAccess, 1u);
+    EXPECT_EQ(cache.stats().loadHit, 0u);
+}
+
+TEST(Cache, HitRespondsAfterLatencyWithoutLowerTraffic)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0x1000, &requestor, 1));
+    run(cache, memory, now, 10);
+    ASSERT_EQ(memory.totalReads, 1u);
+    requestor.completions.clear();
+
+    cache.addRead(load(0x1000, &requestor, 2));
+    Cycle issued_at = now;
+    run(cache, memory, now, 10);
+
+    ASSERT_EQ(requestor.completions.size(), 1u);
+    EXPECT_GE(requestor.completions[0].second,
+              issued_at + cache.config().latency);
+    EXPECT_EQ(cache.stats().loadHit, 1u);
+    // No additional request reached the lower level.
+    EXPECT_EQ(memory.totalReads, 1u);
+}
+
+TEST(Cache, MshrMergesSecondaryMiss)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0x2000, &requestor, 1));
+    cache.addRead(load(0x2000, &requestor, 2));
+    ++now;
+    cache.tick(now); // process both; only one lower read
+    EXPECT_EQ(memory.reads.size(), 1u);
+    run(cache, memory, now, 10);
+    EXPECT_EQ(requestor.completions.size(), 2u);
+}
+
+TEST(Cache, CapacityNeverExceeded)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    for (int i = 0; i < 64; ++i) {
+        cache.addRead(load(Addr(0x10000) + Addr(i) * blockSize));
+        run(cache, memory, now, 4);
+        EXPECT_LE(cache.validBlockCount(), 4u * 2u);
+    }
+}
+
+TEST(Cache, DirtyVictimIsWrittenBack)
+{
+    CacheConfig config = smallConfig();
+    config.sets = 1;
+    config.ways = 2;
+    config.writeAllocateDirty = true;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    // Two RFOs fill both ways dirty (writeAllocateDirty).
+    Request rfo_a = load(0x1000, &requestor, 1);
+    rfo_a.type = AccessType::Rfo;
+    Request rfo_b = load(0x2000, &requestor, 2);
+    rfo_b.type = AccessType::Rfo;
+    cache.addRead(rfo_a);
+    cache.addRead(rfo_b);
+    run(cache, memory, now, 10);
+    EXPECT_EQ(memory.writes.size(), 0u);
+
+    // A third block evicts one dirty victim.
+    cache.addRead(load(0x3000, &requestor, 3));
+    run(cache, memory, now, 10);
+    EXPECT_EQ(memory.writes.size(), 1u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WritebackAllocatesWithoutFetch)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    Request wb;
+    wb.addr = 0x4000;
+    wb.type = AccessType::Writeback;
+    ASSERT_TRUE(cache.addWrite(wb));
+    run(cache, memory, now, 4);
+
+    EXPECT_TRUE(cache.probe(0x4000));
+    EXPECT_EQ(memory.reads.size(), 0u);
+    EXPECT_EQ(cache.stats().writebackAccess, 1u);
+}
+
+TEST(Cache, PrefetchFillsAndDemandHitCountsUseful)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    ASSERT_TRUE(cache.issuePrefetch(0x5000, true));
+    run(cache, memory, now, 10);
+    EXPECT_TRUE(cache.probe(0x5000));
+    EXPECT_EQ(cache.stats().pfIssued, 1u);
+    EXPECT_EQ(cache.stats().pfFill, 1u);
+
+    cache.addRead(load(0x5000, &requestor, 9));
+    run(cache, memory, now, 10);
+    EXPECT_EQ(cache.stats().pfUseful, 1u);
+
+    // A second hit to the same block is a plain hit, not "useful".
+    cache.addRead(load(0x5000, &requestor, 10));
+    run(cache, memory, now, 10);
+    EXPECT_EQ(cache.stats().pfUseful, 1u);
+}
+
+TEST(Cache, PrefetchDedupAgainstPresentBlock)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    cache.issuePrefetch(0x6000, true);
+    run(cache, memory, now, 10);
+    EXPECT_FALSE(cache.issuePrefetch(0x6000, true));
+    EXPECT_EQ(cache.stats().pfDroppedHit, 1u);
+    EXPECT_EQ(cache.stats().pfIssued, 1u);
+}
+
+TEST(Cache, PrefetchDedupAgainstOutstandingMiss)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0x7000, &requestor, 1));
+    ++now;
+    cache.tick(now); // miss allocated, no answer yet
+    EXPECT_FALSE(cache.issuePrefetch(0x7000, true));
+    EXPECT_EQ(cache.stats().pfDroppedMshr, 1u);
+}
+
+TEST(Cache, LowConfidencePrefetchForwardsToLowerLevel)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    ASSERT_TRUE(cache.issuePrefetch(0x8000, false));
+    run(cache, memory, now, 4);
+    // Forwarded to the lower level's prefetch queue, not fetched here.
+    EXPECT_EQ(memory.prefetches.size(), 1u);
+    EXPECT_TRUE(memory.prefetches[0].fillThisLevel);
+    EXPECT_FALSE(cache.probe(0x8000));
+    EXPECT_EQ(cache.stats().pfToLower, 1u);
+}
+
+TEST(Cache, UnusedPrefetchEvictionIsCounted)
+{
+    CacheConfig config = smallConfig();
+    config.sets = 1;
+    config.ways = 2;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+    Cycle now = 0;
+
+    cache.issuePrefetch(0x9000, true);
+    run(cache, memory, now, 10);
+    // Two demand fills evict the unused prefetched block.
+    cache.addRead(load(0xa000));
+    cache.addRead(load(0xb000));
+    run(cache, memory, now, 10);
+    EXPECT_EQ(cache.stats().pfUselessEvict, 1u);
+}
+
+TEST(Cache, LateDemandMergesIntoPrefetchMiss)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.issuePrefetch(0xc000, true);
+    ++now;
+    cache.tick(now); // prefetch sent to lower, not yet answered
+    cache.addRead(load(0xc000, &requestor, 5));
+    ++now;
+    cache.tick(now); // demand merges into the prefetch MSHR
+    run(cache, memory, now, 10);
+
+    ASSERT_EQ(requestor.completions.size(), 1u);
+    EXPECT_EQ(cache.stats().pfUseful, 1u);
+    EXPECT_EQ(cache.stats().pfLate, 1u);
+}
+
+TEST(Cache, QueueCapacityIsEnforced)
+{
+    CacheConfig config = smallConfig();
+    config.rqSize = 2;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+
+    EXPECT_TRUE(cache.addRead(load(0x1000)));
+    EXPECT_TRUE(cache.addRead(load(0x2000)));
+    EXPECT_FALSE(cache.addRead(load(0x3000)));
+}
+
+TEST(Cache, StallsWhenLowerRejectsAndRetries)
+{
+    FakeMemory memory;
+    memory.rejectReads = true;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0xd000, &requestor, 1));
+    run(cache, memory, now, 5);
+    EXPECT_TRUE(requestor.completions.empty());
+
+    memory.rejectReads = false;
+    run(cache, memory, now, 10);
+    EXPECT_EQ(requestor.completions.size(), 1u);
+    // The retried miss is counted exactly once.
+    EXPECT_EQ(cache.stats().loadAccess, 1u);
+}
+
+TEST(Cache, DemandProbeHitsWithoutLowerTraffic)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    EXPECT_FALSE(cache.demandProbe(0xe000, 0x400000));
+    EXPECT_EQ(cache.stats().loadAccess, 0u);
+
+    cache.addRead(load(0xe000));
+    run(cache, memory, now, 10);
+    const auto accesses_before = cache.stats().loadAccess;
+    EXPECT_TRUE(cache.demandProbe(0xe000, 0x400000));
+    EXPECT_EQ(cache.stats().loadAccess, accesses_before + 1);
+    EXPECT_EQ(cache.stats().loadHit, 1u);
+}
+
+TEST(Cache, RfoHitMarksDirtyWhenWriteAllocate)
+{
+    CacheConfig config = smallConfig();
+    config.sets = 1;
+    config.ways = 1;
+    config.writeAllocateDirty = true;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0xf000, &requestor, 1));
+    run(cache, memory, now, 10);
+    Request rfo = load(0xf000, &requestor, 2);
+    rfo.type = AccessType::Rfo;
+    cache.addRead(rfo);
+    run(cache, memory, now, 10);
+
+    // Evicting the block must produce a writeback (it became dirty).
+    cache.addRead(load(0xf000 + blockSize * 8, &requestor, 3));
+    run(cache, memory, now, 10);
+    EXPECT_EQ(memory.writes.size(), 1u);
+}
+
+TEST(Cache, StatsIdentitiesHold)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    Cycle now = 0;
+
+    for (int i = 0; i < 40; ++i) {
+        cache.addRead(load(Addr(0x20000) + Addr(i % 10) * blockSize));
+        run(cache, memory, now, 3);
+    }
+    const CacheStats &stats = cache.stats();
+    EXPECT_LE(stats.loadHit, stats.loadAccess);
+    EXPECT_LE(stats.rfoHit, stats.rfoAccess);
+    EXPECT_EQ(stats.demandAccesses(),
+              stats.loadAccess + stats.rfoAccess);
+    EXPECT_EQ(stats.demandMisses(),
+              stats.demandAccesses() - stats.demandHits());
+}
+
+TEST(SrripPolicy, HitsPromoteAndScansPassThrough)
+{
+    SrripPolicy srrip;
+    srrip.initialize(1, 4);
+    // Fill all ways; then re-reference ways 0 and 1.
+    for (std::uint32_t w = 0; w < 4; ++w)
+        srrip.insert(0, w, 0);
+    srrip.touch(0, 0, 0);
+    srrip.touch(0, 1, 0);
+    // The victim must be one of the never-re-referenced ways.
+    const std::uint32_t victim = srrip.victim(0);
+    EXPECT_TRUE(victim == 2 || victim == 3) << victim;
+}
+
+TEST(SrripPolicy, AgesWhenNoDistantBlockExists)
+{
+    SrripPolicy srrip;
+    srrip.initialize(1, 2);
+    srrip.insert(0, 0, 0);
+    srrip.insert(0, 1, 0);
+    srrip.touch(0, 0, 0);
+    srrip.touch(0, 1, 0);
+    // All blocks near: aging must still produce a victim.
+    const std::uint32_t victim = srrip.victim(0);
+    EXPECT_LT(victim, 2u);
+}
+
+TEST(ReplacementFactory, KnownPolicies)
+{
+    EXPECT_EQ(makePolicy("lru")->name(), "lru");
+    EXPECT_EQ(makePolicy("srrip")->name(), "srrip");
+}
+
+TEST(ReplacementFactoryDeath, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(makePolicy("belady"), testing::ExitedWithCode(1),
+                "unknown replacement policy");
+}
+
+TEST(Cache, SrripConfiguredCacheWorks)
+{
+    CacheConfig config = smallConfig();
+    config.replacement = "srrip";
+    FakeMemory memory;
+    Cache cache(config, &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+    for (int i = 0; i < 32; ++i) {
+        cache.addRead(load(Addr(0x40000) + Addr(i) * blockSize,
+                           &requestor, std::uint64_t(i)));
+        run(cache, memory, now, 4);
+    }
+    run(cache, memory, now, 10); // drain the last response
+    EXPECT_LE(cache.validBlockCount(), 8u);
+    EXPECT_EQ(requestor.completions.size(), 32u);
+}
+
+TEST(Cache, PrefetchQueueFullCountsDrop)
+{
+    CacheConfig config = smallConfig();
+    config.pqSize = 2;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+
+    EXPECT_TRUE(cache.issuePrefetch(0x100000, true));
+    EXPECT_TRUE(cache.issuePrefetch(0x200000, true));
+    EXPECT_FALSE(cache.issuePrefetch(0x300000, true));
+    EXPECT_EQ(cache.stats().pfDroppedFull, 1u);
+    EXPECT_EQ(cache.stats().pfIssued, 2u);
+}
+
+TEST(Cache, TagBandwidthBoundsWorkPerCycle)
+{
+    CacheConfig config = smallConfig();
+    config.maxTagsPerCycle = 1;
+    FakeMemory memory;
+    Cache cache(config, &memory);
+    FakeRequestor requestor;
+
+    // Four hits queued: with one tag per cycle they complete over
+    // at least four cycles.
+    Cycle now = 0;
+    cache.addRead(load(0x1000, &requestor, 0));
+    run(cache, memory, now, 10);
+    requestor.completions.clear();
+
+    for (int i = 1; i <= 4; ++i)
+        cache.addRead(load(0x1000, &requestor, std::uint64_t(i)));
+    run(cache, memory, now, 2);
+    EXPECT_LT(requestor.completions.size(), 4u);
+    run(cache, memory, now, 10);
+    EXPECT_EQ(requestor.completions.size(), 4u);
+}
+
+TEST(Cache, WritebackWhileMissInFlightMergesDirty)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.addRead(load(0x9000, &requestor, 1));
+    ++now;
+    cache.tick(now); // miss outstanding, unanswered
+
+    Request wb;
+    wb.addr = 0x9000;
+    wb.type = AccessType::Writeback;
+    cache.addWrite(wb);
+    ++now;
+    cache.tick(now); // merges into the MSHR as dirty-on-fill
+
+    run(cache, memory, now, 10);
+    ASSERT_EQ(requestor.completions.size(), 1u);
+
+    // Evicting the block must write it back: it was installed dirty.
+    CacheConfig small = smallConfig();
+    (void)small;
+    for (int i = 1; i <= 16; ++i)
+        cache.addRead(load(0x9000 + Addr(i) * blockSize * 4,
+                           &requestor, std::uint64_t(100 + i)));
+    run(cache, memory, now, 40);
+    EXPECT_GE(memory.writes.size(), 1u);
+}
+
+TEST(CacheConfig, CapacityBytes)
+{
+    CacheConfig config;
+    config.sets = 1024;
+    config.ways = 8;
+    EXPECT_EQ(config.capacityBytes(), 512u * 1024u);
+}
+
+} // namespace
+} // namespace pfsim::cache

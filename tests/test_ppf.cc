@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Unit tests for the paper's contribution: PPF feature extraction,
+ * weight tables, filter tables, the perceptron filter's inference and
+ * training rules, storage accounting (Tables 2-3), and the feature
+ * analysis instrumentation (Figures 6-8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/feature_analysis.hh"
+#include "core/generic_filter.hh"
+#include "prefetch/next_line.hh"
+#include "core/features.hh"
+#include "core/filter_tables.hh"
+#include "core/ppf.hh"
+#include "core/storage.hh"
+#include "core/weight_tables.hh"
+#include "util/random.hh"
+
+namespace pfsim::ppf
+{
+namespace
+{
+
+FeatureInput
+sampleInput(std::uint64_t variant = 0)
+{
+    FeatureInput input;
+    input.triggerAddr = 0x123456780 + variant * 0x40;
+    input.pc = 0x400100 + variant * 8;
+    input.pc1 = 0x400110;
+    input.pc2 = 0x400118;
+    input.pc3 = 0x400120;
+    input.depth = int(1 + variant % 7);
+    input.delta = int(variant % 5) - 2;
+    if (input.delta == 0)
+        input.delta = 1;
+    input.confidence = int(variant * 13 % 101);
+    input.signature = std::uint32_t(variant * 41 % 4096);
+    return input;
+}
+
+prefetch::SppCandidate
+sampleCandidate(std::uint64_t variant = 0)
+{
+    prefetch::SppCandidate candidate;
+    candidate.addr = 0x200000000 + variant * 0x40;
+    candidate.triggerAddr = 0x123456780 + variant * 0x40;
+    candidate.pc = 0x400100;
+    candidate.depth = int(1 + variant % 7);
+    candidate.delta = 1 + int(variant % 3);
+    candidate.confidence = int(variant * 7 % 101);
+    candidate.signature = std::uint32_t(variant % 4096);
+    return candidate;
+}
+
+// --------------------------------------------------------------- features
+
+TEST(Features, TableSizesMatchPaperTable3)
+{
+    // 4 x 4096 + 2 x 2048 + 2 x 1024 + 1 x 128 entries of 5 bits
+    // = 113,280 bits of weights.
+    std::uint64_t entries = 0;
+    for (unsigned f = 0; f < numFeatures; ++f)
+        entries += featureTableSizes[f];
+    EXPECT_EQ(entries, 22656u);
+    EXPECT_EQ(entries * weightBits, 113280u);
+}
+
+TEST(Features, IndicesAlwaysInRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        FeatureInput input;
+        input.triggerAddr = rng.next();
+        input.pc = rng.next();
+        input.pc1 = rng.next();
+        input.pc2 = rng.next();
+        input.pc3 = rng.next();
+        input.depth = int(rng.below(20));
+        input.delta = int(rng.range(-63, 63));
+        input.confidence = int(rng.range(-5, 130));
+        input.signature = std::uint32_t(rng.next());
+        const FeatureIndices idx = computeIndices(input);
+        for (unsigned f = 0; f < numFeatures; ++f)
+            ASSERT_LT(idx[f], featureTableSizes[f]) << "feature " << f;
+    }
+}
+
+TEST(Features, Deterministic)
+{
+    const FeatureInput input = sampleInput(3);
+    EXPECT_EQ(computeIndices(input), computeIndices(input));
+}
+
+TEST(Features, DepthOnlyAffectsDepthFeature)
+{
+    FeatureInput a = sampleInput(1);
+    FeatureInput b = a;
+    b.depth = a.depth + 1;
+    const FeatureIndices ia = computeIndices(a);
+    const FeatureIndices ib = computeIndices(b);
+    EXPECT_NE(ia[unsigned(FeatureId::PcXorDepth)],
+              ib[unsigned(FeatureId::PcXorDepth)]);
+    EXPECT_EQ(ia[unsigned(FeatureId::PhysAddr)],
+              ib[unsigned(FeatureId::PhysAddr)]);
+    EXPECT_EQ(ia[unsigned(FeatureId::Confidence)],
+              ib[unsigned(FeatureId::Confidence)]);
+}
+
+TEST(Features, ConfidenceClampsToTable)
+{
+    FeatureInput input = sampleInput(0);
+    input.confidence = 500;
+    EXPECT_LT(computeIndices(input)[unsigned(FeatureId::Confidence)],
+              128u);
+    input.confidence = -3;
+    EXPECT_EQ(computeIndices(input)[unsigned(FeatureId::Confidence)],
+              0u);
+}
+
+TEST(Features, IdenticalPathPcsDoNotCancel)
+{
+    // The staggered shifts must keep PC1^PC2>>1^PC3>>2 nonzero even
+    // when all three PCs are equal (Section 4.2).
+    FeatureInput input = sampleInput(0);
+    input.pc1 = input.pc2 = input.pc3 = 0x400840;
+    EXPECT_NE(computeIndices(input)[unsigned(FeatureId::PcPath)], 0u);
+}
+
+TEST(Features, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned f = 0; f < numFeatures; ++f)
+        names.insert(featureName(FeatureId(f)));
+    EXPECT_EQ(names.size(), numFeatures);
+}
+
+// ---------------------------------------------------------- weight tables
+
+TEST(WeightTables, InitialSumIsZero)
+{
+    WeightTables tables;
+    EXPECT_EQ(tables.sum(computeIndices(sampleInput())), 0);
+}
+
+TEST(WeightTables, TrainingMovesSum)
+{
+    WeightTables tables;
+    const FeatureIndices idx = computeIndices(sampleInput());
+    tables.train(idx, true);
+    EXPECT_EQ(tables.sum(idx), int(numFeatures));
+    tables.train(idx, false);
+    tables.train(idx, false);
+    EXPECT_EQ(tables.sum(idx), -int(numFeatures));
+}
+
+TEST(WeightTables, WeightsSaturateAtFiveBits)
+{
+    WeightTables tables;
+    const FeatureIndices idx = computeIndices(sampleInput());
+    for (int i = 0; i < 100; ++i)
+        tables.train(idx, true);
+    EXPECT_EQ(tables.sum(idx), 15 * int(numFeatures));
+    for (int i = 0; i < 200; ++i)
+        tables.train(idx, false);
+    EXPECT_EQ(tables.sum(idx), -16 * int(numFeatures));
+}
+
+TEST(WeightTables, SumBoundsMatchEnabledFeatures)
+{
+    WeightTables all;
+    EXPECT_EQ(all.maxSum(), 15 * 9);
+    EXPECT_EQ(all.minSum(), -16 * 9);
+    WeightTables three(0b000000111);
+    EXPECT_EQ(three.maxSum(), 45);
+    EXPECT_EQ(three.minSum(), -48);
+}
+
+TEST(WeightTables, MaskDisablesFeatures)
+{
+    WeightTables tables(0b000000001); // PhysAddr only
+    const FeatureIndices idx = computeIndices(sampleInput());
+    tables.train(idx, true);
+    EXPECT_EQ(tables.sum(idx), 1);
+    EXPECT_FALSE(tables.enabled(FeatureId::Confidence));
+    EXPECT_TRUE(tables.enabled(FeatureId::PhysAddr));
+    // Disabled tables are never trained.
+    EXPECT_EQ(tables.weight(FeatureId::Confidence,
+                            idx[unsigned(FeatureId::Confidence)]),
+              0);
+}
+
+TEST(WeightTables, HistogramReflectsTraining)
+{
+    WeightTables tables;
+    const FeatureIndices idx = computeIndices(sampleInput());
+    for (int i = 0; i < 5; ++i)
+        tables.train(idx, true);
+    stats::Histogram hist = tables.weightHistogram(FeatureId::PhysAddr);
+    EXPECT_EQ(hist.count(5), 1u);
+    EXPECT_EQ(hist.total(), featureTableSizes[0]);
+}
+
+// ---------------------------------------------------------- filter tables
+
+TEST(FilterTable, InsertAndFind)
+{
+    FilterTable table(1024);
+    const Addr addr = 0x123450000;
+    table.insert(addr, sampleInput(), true);
+    FilterEntry *entry = table.find(addr);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->prefetched);
+    EXPECT_FALSE(entry->useful);
+    EXPECT_EQ(entry->features.pc, sampleInput().pc);
+}
+
+TEST(FilterTable, TagRejectsAliases)
+{
+    FilterTable table(1024);
+    const Addr addr = 0x123450000;
+    table.insert(addr, sampleInput(), true);
+    // Same index (1024 blocks apart), different tag.
+    const Addr alias = addr + 1024 * blockSize;
+    EXPECT_EQ(table.find(alias), nullptr);
+}
+
+TEST(FilterTable, DirectMappedOverwrite)
+{
+    FilterTable table(1024);
+    const Addr a = 0x123450000;
+    const Addr b = a + 1024 * blockSize;
+    table.insert(a, sampleInput(0), true);
+    table.insert(b, sampleInput(1), false);
+    EXPECT_EQ(table.find(a), nullptr);
+    ASSERT_NE(table.find(b), nullptr);
+    EXPECT_FALSE(table.find(b)->prefetched);
+}
+
+TEST(FilterTable, InvalidateRemoves)
+{
+    FilterTable table(1024);
+    table.insert(0x9990000, sampleInput(), true);
+    FilterEntry *entry = table.find(0x9990000);
+    ASSERT_NE(entry, nullptr);
+    table.invalidate(entry);
+    EXPECT_EQ(table.find(0x9990000), nullptr);
+}
+
+// ------------------------------------------------------------------- ppf
+
+TEST(Ppf, UntrainedFilterIsSkeptical)
+{
+    // tauLo is slightly positive: an untrained filter rejects unknown
+    // candidates; acceptance has to be earned through feedback.
+    Ppf ppf;
+    EXPECT_EQ(ppf.test(sampleCandidate()),
+              prefetch::SppFilter::Decision::Drop);
+    EXPECT_EQ(ppf.ppfStats().rejected, 1u);
+}
+
+TEST(Ppf, RejectTableBootstrapsAcceptance)
+{
+    // The bootstrap loop of the design: rejected candidates land in
+    // the Reject Table; demand traffic to those addresses corrects the
+    // false negatives and the filter opens up.
+    Ppf ppf;
+    const prefetch::SppCandidate candidate = sampleCandidate();
+    ASSERT_EQ(ppf.test(candidate),
+              prefetch::SppFilter::Decision::Drop);
+    ppf.onDemand(candidate.addr, 0x400200);
+    EXPECT_GT(ppf.ppfStats().trainFalseNegative, 0u);
+    EXPECT_NE(ppf.test(candidate),
+              prefetch::SppFilter::Decision::Drop);
+}
+
+TEST(Ppf, PositiveFeedbackPromotesToL2)
+{
+    Ppf ppf;
+    const prefetch::SppCandidate candidate = sampleCandidate();
+    for (int i = 0; i < 40; ++i) {
+        if (ppf.test(candidate) !=
+            prefetch::SppFilter::Decision::Drop) {
+            ppf.notifyIssued(candidate, false);
+        }
+        // The block is then demanded: positive training through
+        // either the Reject Table or the Prefetch Table.
+        ppf.onDemand(candidate.addr, 0x400200);
+        if (ppf.test(candidate) ==
+            prefetch::SppFilter::Decision::FillL2)
+            break;
+    }
+    EXPECT_EQ(ppf.test(candidate),
+              prefetch::SppFilter::Decision::FillL2);
+    EXPECT_GT(ppf.ppfStats().trainUseful, 0u);
+}
+
+TEST(Ppf, UselessEvictionsLeadBackToRejection)
+{
+    Ppf ppf;
+    const prefetch::SppCandidate candidate = sampleCandidate();
+
+    // First bootstrap the filter into accepting the candidate...
+    for (int i = 0; i < 10; ++i) {
+        ppf.test(candidate);
+        ppf.onDemand(candidate.addr, 0x400200);
+    }
+    ASSERT_NE(ppf.test(candidate),
+              prefetch::SppFilter::Decision::Drop);
+
+    // ...then evict its prefetches unused until it rejects again.
+    for (int i = 0; i < 80; ++i) {
+        if (ppf.test(candidate) !=
+            prefetch::SppFilter::Decision::Drop) {
+            ppf.notifyIssued(candidate, false);
+        }
+        ppf.onUselessEviction(candidate.addr);
+        if (ppf.test(candidate) == prefetch::SppFilter::Decision::Drop)
+            break;
+    }
+    EXPECT_EQ(ppf.test(candidate),
+              prefetch::SppFilter::Decision::Drop);
+    EXPECT_GT(ppf.ppfStats().trainUselessEvict, 0u);
+}
+
+TEST(Ppf, ThetaStopsPositiveTraining)
+{
+    PpfConfig config;
+    config.thetaP = 18; // two positive rounds saturate (9 weights)
+    Ppf ppf(config);
+    const prefetch::SppCandidate candidate = sampleCandidate();
+    for (int i = 0; i < 50; ++i) {
+        if (ppf.test(candidate) !=
+            prefetch::SppFilter::Decision::Drop) {
+            ppf.notifyIssued(candidate, false);
+        }
+        ppf.onDemand(candidate.addr, 0x400200);
+    }
+    // Training stops once the sum passes thetaP: the sum stays near
+    // theta instead of saturating at 135.
+    EXPECT_LE(ppf.inferenceSum(candidate), config.thetaP + 9);
+}
+
+TEST(Ppf, DemandWithoutHistoryIsHarmless)
+{
+    Ppf ppf;
+    ppf.onDemand(0xdead0000, 0x400100);
+    ppf.onUselessEviction(0xdead0000);
+    EXPECT_EQ(ppf.ppfStats().trainUseful, 0u);
+    EXPECT_EQ(ppf.ppfStats().trainUselessEvict, 0u);
+}
+
+TEST(Ppf, UsefulTrainingHappensOncePerEntry)
+{
+    Ppf ppf;
+    const prefetch::SppCandidate candidate = sampleCandidate();
+    ppf.test(candidate);
+    ppf.notifyIssued(candidate, true);
+    ppf.onDemand(candidate.addr, 0x400200);
+    ppf.onDemand(candidate.addr, 0x400200);
+    ppf.onDemand(candidate.addr, 0x400200);
+    EXPECT_EQ(ppf.ppfStats().trainUseful, 1u);
+}
+
+TEST(Ppf, StatsPartitionCandidates)
+{
+    Ppf ppf;
+    for (std::uint64_t i = 0; i < 500; ++i)
+        ppf.test(sampleCandidate(i));
+    const PpfStats &stats = ppf.ppfStats();
+    EXPECT_EQ(stats.candidates,
+              stats.acceptedL2 + stats.acceptedLlc + stats.rejected);
+    EXPECT_EQ(stats.candidates, 500u);
+}
+
+class PpfThresholdTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(PpfThresholdTest, DecisionsRespectThresholds)
+{
+    const auto [tau_lo, tau_hi] = GetParam();
+    PpfConfig config;
+    config.tauLo = tau_lo;
+    config.tauHi = tau_hi;
+    Ppf ppf(config);
+
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const prefetch::SppCandidate candidate = sampleCandidate(i);
+        const int sum = ppf.inferenceSum(candidate);
+        const auto decision = ppf.test(candidate);
+        if (sum >= tau_hi) {
+            EXPECT_EQ(decision,
+                      prefetch::SppFilter::Decision::FillL2);
+        } else if (sum >= tau_lo) {
+            EXPECT_EQ(decision,
+                      prefetch::SppFilter::Decision::FillLlc);
+        } else {
+            EXPECT_EQ(decision, prefetch::SppFilter::Decision::Drop);
+        }
+        // Mixed feedback to move weights around.
+        if (i % 3 == 0)
+            ppf.onDemand(candidate.addr, 0x400200);
+        else if (i % 3 == 1)
+            ppf.onUselessEviction(candidate.addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdSweep, PpfThresholdTest,
+    ::testing::Values(std::make_pair(-12, 40), std::make_pair(0, 0),
+                      std::make_pair(-48, 24),
+                      std::make_pair(-100, 100)));
+
+// --------------------------------------------------------------- storage
+
+TEST(Storage, PrefetchTableEntryIs85Bits)
+{
+    EXPECT_EQ(prefetchTableEntryBits(), 85u);
+}
+
+TEST(Storage, RejectTableEntryIs84Bits)
+{
+    EXPECT_EQ(rejectTableEntryBits(), 84u);
+}
+
+TEST(Storage, TotalBudgetMatchesPaperTable3)
+{
+    // 322,240 bits = 39.34 KB (paper Table 3).
+    EXPECT_EQ(totalStorageBits(), 322240u);
+}
+
+TEST(Storage, RowsCoverEveryStructure)
+{
+    const auto rows = storageBudget();
+    std::set<std::string> names;
+    for (const StorageRow &row : rows)
+        names.insert(row.structure);
+    EXPECT_TRUE(names.count("Signature Table"));
+    EXPECT_TRUE(names.count("Pattern Table"));
+    EXPECT_TRUE(names.count("Perceptron Weights"));
+    EXPECT_TRUE(names.count("Prefetch Table"));
+    EXPECT_TRUE(names.count("Reject Table"));
+    EXPECT_TRUE(names.count("Global History Register"));
+}
+
+// ---------------------------------------------------------- generic filter
+
+/** Captures what reaches the host cache. */
+class CapturingIssuer : public prefetch::PrefetchIssuer
+{
+  public:
+    bool
+    issuePrefetch(Addr addr, bool fill_this_level) override
+    {
+        issued.push_back({blockAlign(addr), fill_this_level});
+        return true;
+    }
+
+    std::vector<std::pair<Addr, bool>> issued;
+};
+
+TEST(FilteredPrefetcher, NameDerivesFromBase)
+{
+    ppf::FilteredPrefetcher filtered(
+        std::make_unique<prefetch::NextLinePrefetcher>());
+    EXPECT_EQ(filtered.name(), "next_line_ppf");
+}
+
+TEST(FilteredPrefetcher, UntrainedFilterBlocksBaseCandidates)
+{
+    // Default-skeptical thresholds: the base's candidates are dropped
+    // until feedback opens the filter.
+    ppf::FilteredPrefetcher filtered(
+        std::make_unique<prefetch::NextLinePrefetcher>());
+    CapturingIssuer issuer;
+    filtered.attach(&issuer);
+
+    prefetch::OperateInfo info;
+    info.addr = 0x500000;
+    info.pc = 0x400100;
+    filtered.operate(info);
+    EXPECT_TRUE(issuer.issued.empty());
+    EXPECT_GT(filtered.filter().ppfStats().rejected, 0u);
+}
+
+TEST(FilteredPrefetcher, DemandFeedbackOpensTheFilter)
+{
+    ppf::FilteredPrefetcher filtered(
+        std::make_unique<prefetch::NextLinePrefetcher>());
+    CapturingIssuer issuer;
+    filtered.attach(&issuer);
+
+    // Walk a stream: each rejected next-line candidate is then
+    // demanded, landing in the reject table and training the weights.
+    Addr addr = 0x600000;
+    for (int i = 0; i < 50; ++i) {
+        prefetch::OperateInfo info;
+        info.addr = addr;
+        info.pc = 0x400100;
+        filtered.operate(info);
+        addr += blockSize;
+    }
+    EXPECT_GT(issuer.issued.size(), 0u);
+    EXPECT_GT(filtered.filter().ppfStats().trainFalseNegative, 0u);
+    // Once open, candidates carry the base's next-line targets.
+    EXPECT_EQ(issuer.issued.back().first & (blockSize - 1), 0u);
+}
+
+TEST(FilteredPrefetcher, EvictionFeedbackReachesTheFilter)
+{
+    ppf::FilteredPrefetcher filtered(
+        std::make_unique<prefetch::NextLinePrefetcher>());
+    CapturingIssuer issuer;
+    filtered.attach(&issuer);
+
+    // Open the filter, then feed useless evictions for its targets.
+    Addr addr = 0x700000;
+    for (int i = 0; i < 30; ++i) {
+        prefetch::OperateInfo info;
+        info.addr = addr;
+        info.pc = 0x400100;
+        filtered.operate(info);
+        addr += blockSize;
+    }
+    ASSERT_GT(issuer.issued.size(), 0u);
+
+    prefetch::FillInfo fill;
+    fill.addr = issuer.issued.back().first;
+    fill.wasPrefetch = true;
+    fill.evictedValid = true;
+    fill.evictedAddr = issuer.issued.back().first;
+    fill.evictedUnusedPrefetch = true;
+    filtered.fill(fill);
+    EXPECT_GT(filtered.filter().ppfStats().trainUselessEvict, 0u);
+}
+
+// -------------------------------------------------------- feature analysis
+
+TEST(FeatureAnalysis, DetectsCorrelatedFeature)
+{
+    FeatureAnalysis analysis;
+    WeightTables tables;
+    Rng rng(5);
+
+    // Two populations: "good pages" whose prefetches succeed and "bad
+    // pages" whose prefetches fail; train the tables as PPF would.
+    for (int i = 0; i < 4000; ++i) {
+        const bool good = rng.chance(0.5);
+        FeatureInput input = sampleInput(good ? 1 : 2);
+        input.confidence = good ? 80 : 10;
+        const FeatureIndices idx = computeIndices(input);
+        analysis.record(input, idx, tables, good);
+        tables.train(idx, good);
+    }
+    // The confidence feature must show a strong positive correlation.
+    EXPECT_GT(analysis.correlation(FeatureId::Confidence), 0.6);
+    EXPECT_EQ(analysis.samples(), 4000u);
+}
+
+TEST(FeatureAnalysis, ShadowFeatureUncorrelatedWithRandomOutcomes)
+{
+    FeatureAnalysis analysis;
+    WeightTables tables;
+    Rng rng(6);
+
+    for (int i = 0; i < 4000; ++i) {
+        FeatureInput input = sampleInput(std::uint64_t(i % 17));
+        const bool useful = rng.chance(0.5); // outcome independent
+        analysis.record(input, computeIndices(input), tables, useful);
+    }
+    EXPECT_LT(std::abs(analysis.shadowCorrelation()), 0.2);
+}
+
+TEST(FeatureAnalysis, MergeAccumulates)
+{
+    FeatureAnalysis a, b;
+    WeightTables tables;
+    FeatureInput input = sampleInput(1);
+    a.record(input, computeIndices(input), tables, true);
+    b.record(input, computeIndices(input), tables, false);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+} // namespace
+} // namespace pfsim::ppf

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Parameterised property tests: invariants that must hold across the
+ * configuration space, swept with TEST_P — cache geometry, MSHR
+ * pressure, DRAM bandwidth monotonicity, SPP pattern families and PPF
+ * feature-mask ablations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/ppf.hh"
+#include "dram/dram.hh"
+#include "prefetch/spp.hh"
+#include "sim/runner.hh"
+#include "trace/synthetic.hh"
+#include "util/random.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+// ------------------------------------------------ cache geometry sweep
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+/** A trivial backing store that answers instantly. */
+class InstantMemory : public cache::MemoryLevel
+{
+  public:
+    bool
+    addRead(const cache::Request &req) override
+    {
+        if (req.ret != nullptr)
+            pending.push_back(req);
+        return true;
+    }
+
+    bool addWrite(const cache::Request &) override { return true; }
+
+    bool
+    addPrefetch(const cache::Request &req) override
+    {
+        return addRead(req);
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        for (const auto &req : pending)
+            req.ret->returnData(req, now);
+        pending.clear();
+    }
+
+    std::vector<cache::Request> pending;
+};
+
+TEST_P(CacheGeometry, RandomTrafficPreservesInvariants)
+{
+    const auto [sets, ways] = GetParam();
+    cache::CacheConfig config;
+    config.sets = sets;
+    config.ways = ways;
+    config.mshrs = 8;
+    InstantMemory memory;
+    cache::Cache cache(config, &memory);
+
+    Rng rng(sets * 131 + ways);
+    Cycle now = 0;
+    for (int i = 0; i < 4000; ++i) {
+        cache::Request req;
+        req.addr = rng.below(1u << 16) << blockShift;
+        req.type = rng.chance(0.3) ? cache::AccessType::Rfo
+                                   : cache::AccessType::Load;
+        cache.addRead(req);
+        ++now;
+        cache.tick(now);
+        memory.tick(now);
+    }
+
+    EXPECT_LE(cache.validBlockCount(),
+              std::uint64_t(sets) * ways);
+    const auto &stats = cache.stats();
+    EXPECT_LE(stats.loadHit, stats.loadAccess);
+    EXPECT_LE(stats.rfoHit, stats.rfoAccess);
+    EXPECT_EQ(stats.demandAccesses(),
+              stats.loadAccess + stats.rfoAccess);
+    // Every processed access either hit or eventually filled: once the
+    // queues drain, the valid count is positive.
+    EXPECT_GT(cache.validBlockCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(1u, 8u),
+                      std::make_tuple(16u, 1u),
+                      std::make_tuple(16u, 4u),
+                      std::make_tuple(64u, 8u),
+                      std::make_tuple(256u, 16u)));
+
+// -------------------------------------------------- MSHR pressure sweep
+
+class MshrPressure : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MshrPressure, AllRequestsEventuallyComplete)
+{
+    const unsigned mshrs = GetParam();
+    cache::CacheConfig config;
+    config.sets = 64;
+    config.ways = 8;
+    config.mshrs = mshrs;
+    config.rqSize = 64;
+
+    dram::Dram memory{dram::DramConfig{}};
+    cache::Cache cache(config, &memory);
+
+    struct Counter : cache::Requestor
+    {
+        void
+        returnData(const cache::Request &, Cycle) override
+        {
+            ++count;
+        }
+        unsigned count = 0;
+    } counter;
+
+    // Burst of 48 distinct misses through however few MSHRs.
+    unsigned accepted = 0;
+    Cycle now = 0;
+    for (unsigned i = 0; i < 48; ++i) {
+        cache::Request req;
+        req.addr = (Addr{1} << 24) + Addr(i) * blockSize;
+        req.ret = &counter;
+        req.token = i;
+        if (cache.addRead(req))
+            ++accepted;
+    }
+    for (int i = 0; i < 40000 && counter.count < accepted; ++i) {
+        ++now;
+        cache.tick(now);
+        memory.tick(now);
+    }
+    EXPECT_EQ(counter.count, accepted);
+    EXPECT_GE(accepted, std::min(48u, config.rqSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pressure, MshrPressure,
+                         ::testing::Values(1u, 2u, 4u, 16u, 64u));
+
+// ------------------------------------------- DRAM bandwidth monotonicity
+
+class DramBandwidth : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramBandwidth, StreamFinishTimeScalesWithBandwidth)
+{
+    const double gbs = GetParam();
+    dram::DramConfig config;
+    config.setBandwidthGBs(gbs);
+    dram::Dram dram(config);
+
+    struct Last : cache::Requestor
+    {
+        void
+        returnData(const cache::Request &, Cycle now) override
+        {
+            last = now;
+            ++count;
+        }
+        Cycle last = 0;
+        unsigned count = 0;
+    } sink;
+
+    const unsigned n = 24;
+    for (unsigned i = 0; i < n; ++i) {
+        cache::Request req;
+        req.addr = Addr(i) * blockSize;
+        req.ret = &sink;
+        ASSERT_TRUE(dram.addRead(req));
+    }
+    Cycle now = 0;
+    while (sink.count < n && now < 100000)
+        dram.tick(++now);
+    ASSERT_EQ(sink.count, n);
+
+    // The stream cannot finish faster than the data bus allows.
+    EXPECT_GE(sink.last, Cycle(n) * config.transferCycles);
+    // And it should finish within a small constant of the bus bound.
+    EXPECT_LE(sink.last, Cycle(n) * config.transferCycles +
+                             config.rowConflictLatency + 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, DramBandwidth,
+                         ::testing::Values(3.2, 6.4, 12.8, 25.6));
+
+// -------------------------------------------------- SPP pattern families
+
+class SppPattern
+    : public ::testing::TestWithParam<std::vector<int>>
+{
+};
+
+TEST_P(SppPattern, PrefetchesStayInPageAndFollowTraining)
+{
+    const std::vector<int> deltas = GetParam();
+
+    struct Recorder : prefetch::PrefetchIssuer
+    {
+        bool
+        issuePrefetch(Addr addr, bool) override
+        {
+            issued.push_back(blockAlign(addr));
+            return true;
+        }
+        std::vector<Addr> issued;
+    } recorder;
+
+    prefetch::SppPrefetcher spp;
+    spp.attach(&recorder);
+
+    Addr page = Addr{123456};
+    int offset = 0;
+    std::size_t step = 0;
+    for (int i = 0; i < 3000; ++i) {
+        prefetch::OperateInfo info;
+        info.addr = (page << pageShift) |
+                    (Addr(unsigned(offset)) << blockShift);
+        info.pc = 0x400100;
+        spp.operate(info);
+        offset += deltas[step++ % deltas.size()];
+        if (offset < 0 || offset >= int(blocksPerPage)) {
+            ++page;
+            offset = std::max(0, offset - int(blocksPerPage));
+            if (offset >= int(blocksPerPage))
+                offset = 0;
+            step = 0;
+        }
+    }
+
+    EXPECT_GT(recorder.issued.size(), 50u)
+        << "SPP failed to learn a repeating delta pattern";
+    // Prefetch targets are always block-aligned, in tracked pages.
+    for (Addr addr : recorder.issued)
+        EXPECT_EQ(addr % blockSize, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeltaFamilies, SppPattern,
+    ::testing::Values(std::vector<int>{1}, std::vector<int>{2},
+                      std::vector<int>{1, 2},
+                      std::vector<int>{1, 2, 1, 3},
+                      std::vector<int>{3, -1},
+                      std::vector<int>{1, 1, 2, 1, 1, 3}));
+
+// ------------------------------------------------ PPF feature-mask sweep
+
+class PpfMask : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PpfMask, DecisionsAlwaysConsistentWithSums)
+{
+    const std::uint32_t mask = GetParam();
+    ppf::PpfConfig config;
+    config.featureMask = mask;
+    ppf::Ppf filter(config);
+
+    Rng rng(mask * 7 + 3);
+    for (int i = 0; i < 1500; ++i) {
+        prefetch::SppCandidate candidate;
+        candidate.addr = (rng.below(1 << 20)) << blockShift;
+        candidate.triggerAddr = (rng.below(1 << 20)) << blockShift;
+        candidate.pc = 0x400000 + rng.below(64) * 4;
+        candidate.depth = int(rng.below(12)) + 1;
+        candidate.delta = int(rng.range(-8, 8));
+        candidate.confidence = int(rng.below(101));
+        candidate.signature = std::uint32_t(rng.below(4096));
+
+        const int sum = filter.inferenceSum(candidate);
+        EXPECT_GE(sum, filter.weights().minSum());
+        EXPECT_LE(sum, filter.weights().maxSum());
+
+        const auto decision = filter.test(candidate);
+        if (sum >= config.tauHi)
+            EXPECT_EQ(decision,
+                      prefetch::SppFilter::Decision::FillL2);
+        else if (sum >= config.tauLo)
+            EXPECT_EQ(decision,
+                      prefetch::SppFilter::Decision::FillLlc);
+        else
+            EXPECT_EQ(decision, prefetch::SppFilter::Decision::Drop);
+
+        // Random feedback keeps the weights moving.
+        if (rng.chance(0.5)) {
+            filter.notifyIssued(candidate, true);
+            filter.onDemand(candidate.addr, candidate.pc);
+        } else {
+            filter.onUselessEviction(candidate.addr);
+        }
+    }
+
+    const auto &stats = filter.ppfStats();
+    EXPECT_EQ(stats.candidates,
+              stats.acceptedL2 + stats.acceptedLlc + stats.rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, PpfMask,
+                         ::testing::Values(0x1ffu, 0x001u, 0x100u,
+                                           0x0aau, 0x155u, 0x00fu));
+
+// -------------------------------------------- weight-width clamp sweep
+
+class WeightWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WeightWidth, ClampBoundsRespected)
+{
+    const unsigned bits = GetParam();
+    ppf::WeightTables tables(0x1ff, bits);
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    EXPECT_EQ(tables.weightMin(), lo);
+    EXPECT_EQ(tables.weightMax(), hi);
+
+    ppf::FeatureInput input;
+    input.triggerAddr = 0x1234567890;
+    input.pc = 0x400100;
+    const auto idx = ppf::computeIndices(input);
+    for (int i = 0; i < 64; ++i)
+        tables.train(idx, true);
+    EXPECT_EQ(tables.sum(idx), hi * int(ppf::numFeatures));
+    for (int i = 0; i < 128; ++i)
+        tables.train(idx, false);
+    EXPECT_EQ(tables.sum(idx), lo * int(ppf::numFeatures));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WeightWidth,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+// ----------------------------------- whole-system determinism per seed
+
+class SeedDeterminism : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedDeterminism, IdenticalSeedsReplayIdentically)
+{
+    trace::SyntheticConfig config =
+        workloads::findWorkload("657.xz_s-like").make();
+    config.seed = GetParam();
+
+    auto run_once = [&] {
+        trace::SyntheticTrace trace(config);
+        sim::System system(sim::SystemConfig::defaultConfig()
+                               .withPrefetcher("spp_ppf"),
+                           {&trace});
+        system.runUntilRetired(30000);
+        return std::make_tuple(system.now(),
+                               system.l2(0).stats().demandMisses(),
+                               system.l2(0).stats().pfIssued,
+                               system.dram().stats().reads);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedDeterminism,
+                         ::testing::Values(1u, 42u, 9999u));
+
+} // namespace
+} // namespace pfsim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the system layer: configuration variants, prefetcher
+ * factory, system assembly, determinism and the runner plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/multicore.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim::sim
+{
+namespace
+{
+
+TEST(SystemConfig, DefaultMatchesPaperTable1)
+{
+    const SystemConfig config = SystemConfig::defaultConfig();
+    EXPECT_EQ(config.cores, 1u);
+    EXPECT_EQ(config.l1i.capacityBytes(), 32u * 1024u);
+    EXPECT_EQ(config.l1d.capacityBytes(), 32u * 1024u);
+    EXPECT_EQ(config.l2.capacityBytes(), 512u * 1024u);
+    EXPECT_EQ(config.llc.capacityBytes(), 2u * 1024u * 1024u);
+    EXPECT_EQ(config.dram.transferCycles, 20u); // 12.8 GB/s at 4 GHz
+    EXPECT_EQ(config.core.branchPredictor, "perceptron");
+}
+
+TEST(SystemConfig, LlcScalesWithCores)
+{
+    EXPECT_EQ(SystemConfig::defaultConfig(4).llc.capacityBytes(),
+              8u * 1024u * 1024u);
+    EXPECT_EQ(SystemConfig::defaultConfig(8).llc.capacityBytes(),
+              16u * 1024u * 1024u);
+}
+
+TEST(SystemConfig, Section52Variants)
+{
+    EXPECT_EQ(SystemConfig::smallLlc().llc.capacityBytes(),
+              512u * 1024u);
+    EXPECT_EQ(SystemConfig::lowBandwidth().dram.transferCycles, 80u);
+}
+
+TEST(SystemConfig, WithPrefetcherOnlyChangesPrefetcher)
+{
+    const SystemConfig base = SystemConfig::defaultConfig();
+    const SystemConfig with = base.withPrefetcher("spp");
+    EXPECT_EQ(with.prefetcher, "spp");
+    EXPECT_EQ(with.llc.sets, base.llc.sets);
+    EXPECT_EQ(base.prefetcher, "none");
+}
+
+TEST(PrefetcherFactory, BuildsEveryKnownName)
+{
+    for (const char *name : {"none", "next_line", "ip_stride", "bop",
+                             "da_ampm", "vldp", "spp", "spp_ppf",
+                             "bop_ppf", "next_line_ppf",
+                             "da_ampm_ppf", "ip_stride_ppf",
+                             "vldp_ppf"}) {
+        SystemConfig config = SystemConfig::defaultConfig();
+        config.prefetcher = name;
+        auto prefetcher = makePrefetcher(config);
+        ASSERT_NE(prefetcher, nullptr);
+        EXPECT_EQ(prefetcher->name(), name);
+    }
+}
+
+TEST(PrefetcherFactoryDeath, UnknownNameIsFatal)
+{
+    SystemConfig config = SystemConfig::defaultConfig();
+    config.prefetcher = "teleporting";
+    EXPECT_EXIT(makePrefetcher(config), testing::ExitedWithCode(1),
+                "unknown prefetcher");
+}
+
+TEST(System, RunsEveryPrefetcherWithoutDeadlock)
+{
+    for (const char *name : {"none", "next_line", "ip_stride", "bop",
+                             "da_ampm", "spp", "spp_ppf"}) {
+        trace::SyntheticTrace trace(
+            workloads::findWorkload("603.bwaves_s-like").make());
+        System system(
+            SystemConfig::defaultConfig().withPrefetcher(name),
+            {&trace});
+        system.runUntilRetired(20000);
+        EXPECT_GE(system.core(0).retired(), 20000u) << name;
+    }
+}
+
+TEST(System, ResetStatsClearsEveryBlock)
+{
+    trace::SyntheticTrace trace(
+        workloads::findWorkload("603.bwaves_s-like").make());
+    System system(SystemConfig::defaultConfig(), {&trace});
+    system.runUntilRetired(20000);
+    system.resetStats();
+    EXPECT_EQ(system.core(0).retired(), 0u);
+    EXPECT_EQ(system.l2(0).stats().loadAccess, 0u);
+    EXPECT_EQ(system.llc().stats().loadAccess, 0u);
+    EXPECT_EQ(system.dram().stats().reads, 0u);
+}
+
+TEST(SystemDeath, SourceCountMustMatchCores)
+{
+    trace::SyntheticTrace trace(
+        workloads::findWorkload("603.bwaves_s-like").make());
+    SystemConfig config = SystemConfig::defaultConfig(2);
+    EXPECT_EXIT(System(config, {&trace}), testing::ExitedWithCode(1),
+                "one trace source per core");
+}
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    RunConfig run;
+    run.warmupInstructions = 20000;
+    run.simInstructions = 60000;
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("603.bwaves_s-like");
+
+    const RunResult a = runSingleCore(config, workload, run);
+    const RunResult b = runSingleCore(config, workload, run);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.totalPf(), b.totalPf());
+    EXPECT_EQ(a.goodPf(), b.goodPf());
+    EXPECT_EQ(a.l2.demandMisses(), b.l2.demandMisses());
+}
+
+TEST(Runner, MeasuredRegionHasRequestedLength)
+{
+    RunConfig run;
+    run.warmupInstructions = 10000;
+    run.simInstructions = 50000;
+    const RunResult result = runSingleCore(
+        SystemConfig::defaultConfig(),
+        workloads::findWorkload("638.imagick_s-like"), run);
+    EXPECT_GE(result.core.instructions, run.simInstructions);
+    // Over-run is bounded by the retire width of the last cycle.
+    EXPECT_LE(result.core.instructions, run.simInstructions + 8);
+}
+
+TEST(Runner, ResultInvariants)
+{
+    RunConfig run;
+    run.warmupInstructions = 20000;
+    run.simInstructions = 60000;
+    const RunResult result = runSingleCore(
+        SystemConfig::defaultConfig().withPrefetcher("spp"),
+        workloads::findWorkload("603.bwaves_s-like"), run);
+
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_LE(result.accuracy(), 1.0);
+    EXPECT_GE(result.accuracy(), 0.0);
+    EXPECT_LE(result.l2.demandHits(), result.l2.demandAccesses());
+    EXPECT_GT(result.spp.triggers, 0u);
+    EXPECT_EQ(result.prefetcher, "spp");
+    EXPECT_EQ(result.workload, "603.bwaves_s-like");
+}
+
+TEST(Runner, SppStatsOnlyForSppFamilies)
+{
+    RunConfig run;
+    run.warmupInstructions = 5000;
+    run.simInstructions = 20000;
+    const RunResult bop = runSingleCore(
+        SystemConfig::defaultConfig().withPrefetcher("bop"),
+        workloads::findWorkload("603.bwaves_s-like"), run);
+    EXPECT_EQ(bop.spp.triggers, 0u);
+    EXPECT_EQ(bop.ppf.candidates, 0u);
+
+    const RunResult ppf = runSingleCore(
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf"),
+        workloads::findWorkload("603.bwaves_s-like"), run);
+    EXPECT_GT(ppf.spp.triggers, 0u);
+    EXPECT_GT(ppf.ppf.candidates, 0u);
+}
+
+TEST(Multicore, TwoCoreMixRunsAndMeasuresBothCores)
+{
+    SystemConfig config = SystemConfig::defaultConfig(2);
+    workloads::Mix mix = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("638.imagick_s-like"),
+    };
+    RunConfig run;
+    run.warmupInstructions = 10000;
+    run.simInstructions = 40000;
+    const MixResult result = runMix(config, mix, run);
+    ASSERT_EQ(result.ipc.size(), 2u);
+    EXPECT_GT(result.ipc[0], 0.0);
+    EXPECT_GT(result.ipc[1], 0.0);
+    EXPECT_EQ(result.workloads[0], "603.bwaves_s-like");
+}
+
+TEST(Multicore, IsolatedCacheMemoises)
+{
+    IsolatedIpcCache cache;
+    SystemConfig config = SystemConfig::defaultConfig();
+    RunConfig run;
+    run.warmupInstructions = 5000;
+    run.simInstructions = 20000;
+    const auto &workload = workloads::findWorkload("638.imagick_s-like");
+    const double first = cache.get(config, workload, run);
+    const double second = cache.get(config, workload, run);
+    EXPECT_DOUBLE_EQ(first, second);
+    EXPECT_GT(first, 0.0);
+}
+
+TEST(Experiment, PaperLineupOrder)
+{
+    const auto &lineup = paperPrefetchers();
+    ASSERT_EQ(lineup.size(), 4u);
+    EXPECT_EQ(lineup[0], "bop");
+    EXPECT_EQ(lineup[1], "da_ampm");
+    EXPECT_EQ(lineup[2], "spp");
+    EXPECT_EQ(lineup[3], "spp_ppf");
+}
+
+TEST(Experiment, SweepComputesSpeedups)
+{
+    RunConfig run;
+    run.warmupInstructions = 5000;
+    run.simInstructions = 20000;
+    const auto rows = sweepPrefetchers(
+        SystemConfig::defaultConfig(), {"spp"},
+        {workloads::findWorkload("638.imagick_s-like")}, run);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_GT(rows[0].speedup("spp"), 0.5);
+    EXPECT_LT(rows[0].speedup("spp"), 2.0);
+    EXPECT_GT(geomeanSpeedup(rows, "spp"), 0.0);
+}
+
+} // namespace
+} // namespace pfsim::sim

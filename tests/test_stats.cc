@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate: histograms, Pearson
+ * correlation, summary aggregation and the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hh"
+#include "stats/pearson.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace pfsim::stats
+{
+namespace
+{
+
+TEST(Histogram, CountsSamples)
+{
+    Histogram hist(-2, 2);
+    hist.add(0);
+    hist.add(0);
+    hist.add(1);
+    EXPECT_EQ(hist.count(0), 2u);
+    EXPECT_EQ(hist.count(1), 1u);
+    EXPECT_EQ(hist.count(-1), 0u);
+    EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram hist(-2, 2);
+    hist.add(100);
+    hist.add(-100);
+    EXPECT_EQ(hist.count(2), 1u);
+    EXPECT_EQ(hist.count(-2), 1u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram hist(0, 4);
+    hist.add(3, 10);
+    EXPECT_EQ(hist.count(3), 10u);
+    EXPECT_EQ(hist.total(), 10u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 3.0);
+}
+
+TEST(Histogram, MeanOfEmptyIsZero)
+{
+    Histogram hist(0, 4);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(Histogram, FractionWithinBound)
+{
+    Histogram hist(-16, 15);
+    hist.add(0);
+    hist.add(1);
+    hist.add(-1);
+    hist.add(14);
+    EXPECT_DOUBLE_EQ(hist.fractionWithin(1), 0.75);
+    EXPECT_DOUBLE_EQ(hist.fractionWithin(15), 1.0);
+}
+
+TEST(Histogram, RenderHasOneLinePerBin)
+{
+    Histogram hist(0, 3);
+    hist.add(1);
+    std::string out = hist.render(10);
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Pearson, PerfectPositiveCorrelation)
+{
+    PearsonAccumulator acc;
+    for (int i = 0; i < 50; ++i)
+        acc.add(i, 2.0 * i + 1.0);
+    EXPECT_NEAR(acc.correlation(), 1.0, 1e-9);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation)
+{
+    PearsonAccumulator acc;
+    for (int i = 0; i < 50; ++i)
+        acc.add(i, -3.0 * i);
+    EXPECT_NEAR(acc.correlation(), -1.0, 1e-9);
+}
+
+TEST(Pearson, UncorrelatedNearZero)
+{
+    PearsonAccumulator acc;
+    // A balanced design: each x sees both outcomes equally.
+    for (int i = 0; i < 100; ++i) {
+        acc.add(i % 10, 1.0);
+        acc.add(i % 10, -1.0);
+    }
+    EXPECT_NEAR(acc.correlation(), 0.0, 1e-9);
+}
+
+TEST(Pearson, ConstantInputGivesZero)
+{
+    PearsonAccumulator acc;
+    for (int i = 0; i < 10; ++i)
+        acc.add(5.0, i);
+    EXPECT_DOUBLE_EQ(acc.correlation(), 0.0);
+}
+
+TEST(Pearson, TooFewSamplesGivesZero)
+{
+    PearsonAccumulator acc;
+    acc.add(1.0, 2.0);
+    EXPECT_DOUBLE_EQ(acc.correlation(), 0.0);
+}
+
+TEST(Pearson, MergeEqualsCombinedStream)
+{
+    PearsonAccumulator a, b, combined;
+    for (int i = 0; i < 30; ++i) {
+        double x = i, y = (i % 3) - 1.0 + 0.1 * i;
+        if (i % 2 == 0)
+            a.add(x, y);
+        else
+            b.add(x, y);
+        combined.add(x, y);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.correlation(), combined.correlation(), 1e-12);
+    EXPECT_EQ(a.count(), combined.count());
+}
+
+TEST(Summary, GeomeanKnownValues)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Summary, MeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Summary, ToPercent)
+{
+    EXPECT_NEAR(toPercent(1.0378), 3.78, 1e-9);
+    EXPECT_NEAR(toPercent(0.9), -10.0, 1e-9);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(1.0378), "+3.78%");
+    EXPECT_EQ(TextTable::pct(0.95, 1), "-5.0%");
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"long-name", "1"});
+    table.addRow({"x", "22"});
+    std::string out = table.render();
+    // All lines should have equal length (trailing content aligned).
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    int line_no = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        // Header, separator and rows share one width.
+        EXPECT_EQ(next - pos, first_len) << "line " << line_no;
+        pos = next + 1;
+        ++line_no;
+    }
+}
+
+} // namespace
+} // namespace pfsim::stats

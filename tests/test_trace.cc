@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: address patterns and the
+ * synthetic trace engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "trace/file_trace.hh"
+#include "trace/patterns.hh"
+#include "trace/synthetic.hh"
+
+namespace pfsim::trace
+{
+namespace
+{
+
+constexpr Addr base = Addr{1} << 30;
+
+TEST(StreamPattern, SequentialBlocks)
+{
+    Rng rng(1);
+    StreamPattern pattern(base);
+    for (unsigned i = 0; i < 200; ++i) {
+        Reference ref = pattern.next(rng);
+        EXPECT_EQ(ref.addr, base + Addr(i) * blockSize);
+        EXPECT_FALSE(ref.dependent);
+    }
+}
+
+TEST(StridePattern, FixedSpacing)
+{
+    Rng rng(1);
+    StridePattern pattern(base, 3);
+    Addr prev = pattern.next(rng).addr;
+    for (int i = 0; i < 100; ++i) {
+        Addr cur = pattern.next(rng).addr;
+        EXPECT_EQ(cur - prev, 3 * blockSize);
+        prev = cur;
+    }
+}
+
+TEST(StridePattern, NegativeStride)
+{
+    Rng rng(1);
+    StridePattern pattern(base, -2);
+    Addr first = pattern.next(rng).addr;
+    Addr second = pattern.next(rng).addr;
+    EXPECT_EQ(first - second, 2 * blockSize);
+}
+
+TEST(DeltaSeqPattern, FollowsSequenceWithinPage)
+{
+    Rng rng(1);
+    DeltaSeqPattern pattern(base, {1, 2, 3}, 0.0);
+    unsigned expected_offsets[] = {0, 1, 3, 6, 7, 9, 12};
+    for (unsigned expected : expected_offsets) {
+        Reference ref = pattern.next(rng);
+        EXPECT_EQ(pageOffset(ref.addr), expected);
+        EXPECT_EQ(pageNumber(ref.addr), pageNumber(base));
+    }
+}
+
+TEST(DeltaSeqPattern, AdvancesPageWhenSequenceOverflows)
+{
+    Rng rng(1);
+    DeltaSeqPattern pattern(base, {60}, 0.0);
+    Addr first_page = pageNumber(pattern.next(rng).addr);
+    // offset 60; +60 overflows -> next page at offset 0
+    Addr second = pattern.next(rng).addr;
+    EXPECT_EQ(pageOffset(second), 60u);
+    Addr third = pattern.next(rng).addr;
+    EXPECT_EQ(pageNumber(third), first_page + 1);
+    EXPECT_EQ(pageOffset(third), 0u);
+}
+
+TEST(DeltaSeqPattern, BreakProbabilityOneJumpsEveryAccess)
+{
+    Rng rng(1);
+    DeltaSeqPattern pattern(base, {1}, 1.0);
+    Addr p0 = pageNumber(pattern.next(rng).addr);
+    Addr p1 = pageNumber(pattern.next(rng).addr);
+    Addr p2 = pageNumber(pattern.next(rng).addr);
+    EXPECT_EQ(p1, p0 + 1);
+    EXPECT_EQ(p2, p1 + 1);
+}
+
+TEST(PageShufflePattern, CoversEveryBlockOncePerPage)
+{
+    Rng rng(1);
+    PageShufflePattern pattern(base);
+    std::set<unsigned> offsets;
+    Addr page = pageNumber(base);
+    for (unsigned i = 0; i < blocksPerPage; ++i) {
+        Reference ref = pattern.next(rng);
+        EXPECT_EQ(pageNumber(ref.addr), page);
+        offsets.insert(pageOffset(ref.addr));
+    }
+    EXPECT_EQ(offsets.size(), blocksPerPage);
+    // The next access starts the following page.
+    EXPECT_EQ(pageNumber(pattern.next(rng).addr), page + 1);
+}
+
+TEST(PageShufflePattern, OrderIsNotSequential)
+{
+    Rng rng(1);
+    PageShufflePattern pattern(base);
+    bool any_backward = false;
+    Addr prev = pattern.next(rng).addr;
+    for (unsigned i = 1; i < blocksPerPage; ++i) {
+        Addr cur = pattern.next(rng).addr;
+        any_backward |= cur < prev;
+        prev = cur;
+    }
+    EXPECT_TRUE(any_backward);
+}
+
+TEST(PageShufflePattern, DeterministicPerPage)
+{
+    Rng rng_a(1), rng_b(99);
+    PageShufflePattern a(base), b(base);
+    for (unsigned i = 0; i < 3 * blocksPerPage; ++i)
+        EXPECT_EQ(a.next(rng_a).addr, b.next(rng_b).addr);
+}
+
+TEST(RegionSweepPattern, MonotonicBoundedJumps)
+{
+    Rng rng(1);
+    RegionSweepPattern pattern(base, 3);
+    Addr prev = pattern.next(rng).addr;
+    for (int i = 0; i < 500; ++i) {
+        Addr cur = pattern.next(rng).addr;
+        EXPECT_GT(cur, prev);
+        EXPECT_LE(cur - prev, 3 * blockSize);
+        prev = cur;
+    }
+}
+
+TEST(BurstStridePattern, StridesWithinBurstThenJumps)
+{
+    Rng rng(1);
+    BurstStridePattern pattern(base, 2, 5);
+    Addr page = pageNumber(pattern.next(rng).addr);
+    Addr prev_offset = 0;
+    for (unsigned i = 1; i < 5; ++i) {
+        Reference ref = pattern.next(rng);
+        EXPECT_EQ(pageNumber(ref.addr), page);
+        EXPECT_EQ(pageOffset(ref.addr), prev_offset + 2);
+        prev_offset = pageOffset(ref.addr);
+    }
+    // Burst over: the next access is on a fresh page.
+    EXPECT_EQ(pageNumber(pattern.next(rng).addr), page + 1);
+}
+
+TEST(PointerChasePattern, DependentAndFullPeriod)
+{
+    Rng rng(1);
+    PointerChasePattern pattern(base, 16);
+    std::set<Addr> seen;
+    for (int i = 0; i < 16; ++i) {
+        Reference ref = pattern.next(rng);
+        EXPECT_TRUE(ref.dependent);
+        seen.insert(ref.addr);
+    }
+    // Full-period LCG: every block of the footprint visited once.
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(HotReusePattern, StaysInFootprintWithoutColdMisses)
+{
+    Rng rng(1);
+    HotReusePattern pattern(base, 64, 0.0);
+    for (int i = 0; i < 1000; ++i) {
+        Addr addr = pattern.next(rng).addr;
+        EXPECT_GE(addr, base);
+        EXPECT_LT(addr, base + 64 * blockSize);
+    }
+}
+
+TEST(HotReusePattern, ColdAccessesLeaveFootprint)
+{
+    Rng rng(1);
+    HotReusePattern pattern(base, 64, 0.5);
+    bool saw_cold = false;
+    std::set<Addr> cold_pages;
+    for (int i = 0; i < 200; ++i) {
+        Addr addr = pattern.next(rng).addr;
+        if (addr >= base + 64 * blockSize) {
+            saw_cold = true;
+            // Cold pages are never revisited.
+            EXPECT_TRUE(cold_pages.insert(pageNumber(addr)).second);
+        }
+    }
+    EXPECT_TRUE(saw_cold);
+}
+
+SyntheticConfig
+simpleConfig()
+{
+    SyntheticConfig config;
+    config.name = "test";
+    config.seed = 42;
+    PhaseConfig phase;
+    StreamConfig stream;
+    stream.kind = PatternKind::Stream;
+    phase.streams = {stream};
+    phase.memRatio = 0.25;
+    phase.storeProb = 0.2;
+    config.phases = {phase};
+    return config;
+}
+
+TEST(SyntheticTrace, DeterministicReplay)
+{
+    SyntheticTrace a(simpleConfig()), b(simpleConfig());
+    for (int i = 0; i < 5000; ++i) {
+        Instruction ia, ib;
+        ASSERT_TRUE(a.next(ia));
+        ASSERT_TRUE(b.next(ib));
+        EXPECT_EQ(ia.pc, ib.pc);
+        EXPECT_EQ(ia.loadAddr, ib.loadAddr);
+        EXPECT_EQ(ia.storeAddr, ib.storeAddr);
+        EXPECT_EQ(ia.isBranch, ib.isBranch);
+        EXPECT_EQ(ia.branchTaken, ib.branchTaken);
+    }
+}
+
+TEST(SyntheticTrace, DifferentSeedsProduceDifferentStreams)
+{
+    SyntheticConfig cfg_b = simpleConfig();
+    cfg_b.seed = 43;
+    SyntheticTrace a(simpleConfig()), b(cfg_b);
+    int differences = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Instruction ia, ib;
+        a.next(ia);
+        b.next(ib);
+        differences += (ia.pc != ib.pc || ia.loadAddr != ib.loadAddr);
+    }
+    EXPECT_GT(differences, 0);
+}
+
+TEST(SyntheticTrace, InstructionMixApproximatesMemRatio)
+{
+    SyntheticTrace trace(simpleConfig());
+    int loads = 0, total = 20000;
+    for (int i = 0; i < total; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        loads += instr.isLoad();
+    }
+    EXPECT_NEAR(double(loads) / total, 0.25, 0.05);
+}
+
+TEST(SyntheticTrace, EveryIterationEndsWithBranch)
+{
+    SyntheticTrace trace(simpleConfig());
+    int branches = 0, loads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        branches += instr.isBranch;
+        loads += instr.isLoad();
+    }
+    // One branch and one load per iteration.
+    EXPECT_EQ(branches, loads);
+}
+
+TEST(SyntheticTrace, StablePcIdentities)
+{
+    SyntheticTrace trace(simpleConfig());
+    std::set<Pc> load_pcs;
+    for (int i = 0; i < 20000; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        if (instr.isLoad())
+            load_pcs.insert(instr.pc);
+    }
+    // A single stream has a single load PC.
+    EXPECT_EQ(load_pcs.size(), 1u);
+}
+
+TEST(SyntheticTrace, PhasesSwitchAtConfiguredLength)
+{
+    SyntheticConfig config;
+    config.name = "phases";
+    config.seed = 7;
+    PhaseConfig a;
+    StreamConfig sa;
+    sa.kind = PatternKind::Stream;
+    a.streams = {sa};
+    a.length = 1000;
+    PhaseConfig b = a;
+    b.length = 1000;
+    config.phases = {a, b};
+
+    SyntheticTrace trace(config);
+    std::set<Pc> pcs_first, pcs_second;
+    for (int i = 0; i < 1000; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        pcs_first.insert(instr.pc);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        pcs_second.insert(instr.pc);
+    }
+    // Phase 1 uses different code identities than phase 0.
+    for (Pc pc : pcs_second)
+        EXPECT_EQ(pcs_first.count(pc), 0u) << std::hex << pc;
+}
+
+TEST(SyntheticTrace, DependentFlagOnlyFromPointerChase)
+{
+    SyntheticConfig config = simpleConfig();
+    config.phases[0].streams[0].kind = PatternKind::PointerChase;
+    config.phases[0].streams[0].footprintBlocks = 1024;
+    SyntheticTrace chase(config);
+    bool any_dependent = false;
+    for (int i = 0; i < 2000; ++i) {
+        Instruction instr;
+        chase.next(instr);
+        if (instr.isLoad())
+            any_dependent |= instr.dependsOnPrev;
+    }
+    EXPECT_TRUE(any_dependent);
+
+    SyntheticTrace stream(simpleConfig());
+    for (int i = 0; i < 2000; ++i) {
+        Instruction instr;
+        stream.next(instr);
+        EXPECT_FALSE(instr.dependsOnPrev);
+    }
+}
+
+TEST(SyntheticTrace, StoresTargetTheLoadedBlock)
+{
+    SyntheticTrace trace(simpleConfig());
+    Addr last_load = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Instruction instr;
+        trace.next(instr);
+        if (instr.isLoad())
+            last_load = instr.loadAddr;
+        if (instr.isStore())
+            EXPECT_EQ(blockAlign(instr.storeAddr),
+                      blockAlign(last_load));
+    }
+}
+
+class TempTraceFile
+{
+  public:
+    TempTraceFile()
+    {
+        char name[] = "/tmp/pfsim_trace_XXXXXX";
+        int fd = mkstemp(name);
+        if (fd >= 0)
+            close(fd);
+        path_ = name;
+    }
+
+    ~TempTraceFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(FileTrace, RoundTripPreservesEveryField)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 5000);
+
+    SyntheticTrace reference(simpleConfig());
+    FileTrace replay(file.path(), false);
+    EXPECT_EQ(replay.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        Instruction a, b;
+        ASSERT_TRUE(reference.next(a));
+        ASSERT_TRUE(replay.next(b));
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.loadAddr, b.loadAddr);
+        EXPECT_EQ(a.storeAddr, b.storeAddr);
+        EXPECT_EQ(a.isBranch, b.isBranch);
+        EXPECT_EQ(a.branchTaken, b.branchTaken);
+        EXPECT_EQ(a.dependsOnPrev, b.dependsOnPrev);
+    }
+    Instruction end;
+    EXPECT_FALSE(replay.next(end));
+}
+
+TEST(FileTrace, LoopWrapsAround)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 100);
+
+    FileTrace replay(file.path(), true);
+    Instruction first;
+    ASSERT_TRUE(replay.next(first));
+    Instruction instr;
+    for (int i = 1; i < 100; ++i)
+        ASSERT_TRUE(replay.next(instr));
+    // The 101st instruction wraps to the first.
+    ASSERT_TRUE(replay.next(instr));
+    EXPECT_EQ(instr.pc, first.pc);
+    EXPECT_EQ(instr.loadAddr, first.loadAddr);
+}
+
+TEST(FileTrace, PreservesDependentFlags)
+{
+    SyntheticConfig config = simpleConfig();
+    config.phases[0].streams[0].kind = PatternKind::PointerChase;
+    config.phases[0].streams[0].footprintBlocks = 512;
+    TempTraceFile file;
+    SyntheticTrace original(config);
+    recordTrace(original, file.path(), 2000);
+
+    FileTrace replay(file.path(), false);
+    bool any_dependent = false;
+    Instruction instr;
+    while (replay.next(instr))
+        any_dependent |= instr.dependsOnPrev;
+    EXPECT_TRUE(any_dependent);
+}
+
+TEST(FileTraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(FileTrace("/nonexistent/trace.bin"),
+                testing::ExitedWithCode(1), "cannot open trace file");
+}
+
+TEST(FileTraceDeath, GarbageFileIsFatal)
+{
+    TempTraceFile file;
+    std::FILE *f = std::fopen(file.path().c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(FileTrace(file.path()), testing::ExitedWithCode(1),
+                "not a pfsim trace file");
+}
+
+} // namespace
+} // namespace pfsim::trace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: bit helpers, saturating
+ * counters, the deterministic RNG and argument parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/args.hh"
+#include "util/bits.hh"
+#include "util/random.hh"
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xfffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractBits)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0u);
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(Bits, FoldXorStaysInRange)
+{
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{0xdeadbeef},
+          ~std::uint64_t{0}, std::uint64_t{1} << 63}) {
+        for (unsigned n : {5u, 10u, 12u, 20u})
+            EXPECT_LE(foldXor(v, n), mask(n)) << v << " " << n;
+    }
+}
+
+TEST(Bits, FoldXorDeterministicAndSensitive)
+{
+    EXPECT_EQ(foldXor(0x123456789abcdef0, 12),
+              foldXor(0x123456789abcdef0, 12));
+    // High bits influence the fold.
+    EXPECT_NE(foldXor(0x1, 12), foldXor(0x1 | (1ull << 50), 12));
+}
+
+TEST(Bits, Mix64ChangesValue)
+{
+    EXPECT_NE(mix64(1), mix64(2));
+    EXPECT_EQ(mix64(42), mix64(42));
+}
+
+TEST(Types, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x12345), Addr{0x12340});
+    EXPECT_EQ(blockNumber(0x12345), Addr{0x48d});
+    EXPECT_EQ(pageNumber(0x12345), Addr{0x12});
+    EXPECT_EQ(pageOffset(0x12345), 0xdu);
+    EXPECT_EQ(blocksPerPage, 64u);
+}
+
+TEST(SignedSatCounter, Bounds5Bit)
+{
+    SignedSatCounter<5> counter;
+    EXPECT_EQ(counter.value(), 0);
+    for (int i = 0; i < 100; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 15);
+    for (int i = 0; i < 200; ++i)
+        counter.decrement();
+    EXPECT_EQ(counter.value(), -16);
+}
+
+TEST(SignedSatCounter, TrainMovesTowardOutcome)
+{
+    SignedSatCounter<5> counter;
+    counter.train(true);
+    EXPECT_EQ(counter.value(), 1);
+    counter.train(false);
+    counter.train(false);
+    EXPECT_EQ(counter.value(), -1);
+}
+
+TEST(SignedSatCounter, ConstructorClamps)
+{
+    SignedSatCounter<5> high(100);
+    EXPECT_EQ(high.value(), 15);
+    SignedSatCounter<5> low(-100);
+    EXPECT_EQ(low.value(), -16);
+}
+
+TEST(UnsignedSatCounter, SaturatesAndHalves)
+{
+    UnsignedSatCounter<4> counter;
+    bool saturated = false;
+    for (int i = 0; i < 20; ++i)
+        saturated = counter.increment();
+    EXPECT_TRUE(saturated);
+    EXPECT_EQ(counter.value(), 15u);
+    counter.halve();
+    EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversSmallRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximation)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        auto d = rng.geometric(8.0);
+        EXPECT_GE(d, 1u);
+        sum += double(d);
+    }
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Args, ParsesKeyValuePairs)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--name=test", "--flag"};
+    Args args(4, const_cast<char **>(argv),
+              {"alpha", "name", "flag", "unused"});
+    EXPECT_EQ(args.getInt("alpha", 0), 3);
+    EXPECT_EQ(args.get("name", ""), "test");
+    EXPECT_TRUE(args.has("flag"));
+    EXPECT_FALSE(args.has("unused"));
+    EXPECT_EQ(args.getInt("unused", 42), 42);
+}
+
+TEST(Args, DoubleValues)
+{
+    const char *argv[] = {"prog", "--ratio=0.75"};
+    Args args(2, const_cast<char **>(argv), {"ratio"});
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.75);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgsDeath, RejectsUnknownOption)
+{
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT(Args(2, const_cast<char **>(argv), {"known"}),
+                testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgsDeath, RejectsPositional)
+{
+    const char *argv[] = {"prog", "positional"};
+    EXPECT_EXIT(Args(2, const_cast<char **>(argv), {"x"}),
+                testing::ExitedWithCode(1), "positional");
+}
+
+} // namespace
+} // namespace pfsim

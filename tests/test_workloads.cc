@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the workload registry and mix generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/synthetic.hh"
+#include "workloads/mixes.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim::workloads
+{
+namespace
+{
+
+TEST(Registry, Spec17HasTwentyWorkloads)
+{
+    EXPECT_EQ(spec17Suite().size(), 20u);
+}
+
+TEST(Registry, Spec17MemIntensiveSubsetHasEleven)
+{
+    // The paper: 11 of 20 SPEC CPU 2017 applications have LLC MPKI > 1.
+    EXPECT_EQ(memIntensiveSubset(spec17Suite()).size(), 11u);
+}
+
+TEST(Registry, Spec06SuitePopulated)
+{
+    EXPECT_EQ(spec06Suite().size(), 16u);
+    EXPECT_GE(memIntensiveSubset(spec06Suite()).size(), 10u);
+}
+
+TEST(Registry, CloudSuiteHasFourApplications)
+{
+    EXPECT_EQ(cloudSuite().size(), 4u);
+}
+
+TEST(Registry, NamesAreUniqueAcrossSuites)
+{
+    std::set<std::string> names;
+    std::size_t total = 0;
+    for (const auto *suite :
+         {&spec17Suite(), &spec06Suite(), &cloudSuite()}) {
+        for (const Workload &workload : *suite) {
+            names.insert(workload.name);
+            ++total;
+        }
+    }
+    EXPECT_EQ(names.size(), total);
+}
+
+TEST(Registry, EveryWorkloadBuildsAValidConfig)
+{
+    for (const auto *suite :
+         {&spec17Suite(), &spec06Suite(), &cloudSuite()}) {
+        for (const Workload &workload : *suite) {
+            trace::SyntheticConfig config = workload.make();
+            EXPECT_FALSE(config.phases.empty()) << workload.name;
+            for (const auto &phase : config.phases) {
+                EXPECT_FALSE(phase.streams.empty()) << workload.name;
+                EXPECT_GT(phase.memRatio, 0.0) << workload.name;
+                EXPECT_LT(phase.memRatio, 1.0) << workload.name;
+            }
+            // The trace must actually produce instructions.
+            trace::SyntheticTrace trace(config);
+            Instruction instr;
+            EXPECT_TRUE(trace.next(instr)) << workload.name;
+        }
+    }
+}
+
+TEST(Registry, WorkloadSeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    std::size_t total = 0;
+    for (const auto *suite :
+         {&spec17Suite(), &spec06Suite(), &cloudSuite()}) {
+        for (const Workload &workload : *suite) {
+            seeds.insert(workload.make().seed);
+            ++total;
+        }
+    }
+    EXPECT_EQ(seeds.size(), total);
+}
+
+TEST(Registry, FindWorkloadLocatesEverySuite)
+{
+    EXPECT_EQ(findWorkload("603.bwaves_s-like").suite, "spec17");
+    EXPECT_EQ(findWorkload("429.mcf-like").suite, "spec06");
+    EXPECT_EQ(findWorkload("cassandra-like").suite, "cloud");
+}
+
+TEST(RegistryDeath, FindWorkloadFailsOnUnknownName)
+{
+    EXPECT_EXIT(findWorkload("no-such-workload"),
+                testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Registry, PaperNamedWorkloadsPresent)
+{
+    // The benchmarks the paper's narrative singles out must exist.
+    for (const char *name :
+         {"603.bwaves_s-like", "605.mcf_s-like", "607.cactuBSSN_s-like",
+          "623.xalancbmk_s-like", "649.fotonik3d_s-like"}) {
+        EXPECT_TRUE(findWorkload(name).memIntensive) << name;
+    }
+}
+
+TEST(Mixes, DeterministicForSameSeed)
+{
+    const auto pool = memIntensiveSubset(spec17Suite());
+    const auto a = makeMixes(pool, 4, 10, 123);
+    const auto b = makeMixes(pool, 4, 10, 123);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t m = 0; m < a.size(); ++m) {
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(a[m][c].name, b[m][c].name);
+    }
+}
+
+TEST(Mixes, DifferentSeedsDiffer)
+{
+    const auto pool = memIntensiveSubset(spec17Suite());
+    const auto a = makeMixes(pool, 4, 10, 1);
+    const auto b = makeMixes(pool, 4, 10, 2);
+    int differing = 0;
+    for (std::size_t m = 0; m < a.size(); ++m) {
+        for (std::size_t c = 0; c < 4; ++c)
+            differing += a[m][c].name != b[m][c].name;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Mixes, ShapeMatchesRequest)
+{
+    const auto mixes = makeMixes(spec17Suite(), 8, 5, 7);
+    EXPECT_EQ(mixes.size(), 5u);
+    for (const Mix &mix : mixes)
+        EXPECT_EQ(mix.size(), 8u);
+}
+
+TEST(Mixes, DrawsOnlyFromPool)
+{
+    const auto pool = memIntensiveSubset(spec17Suite());
+    std::set<std::string> pool_names;
+    for (const Workload &workload : pool)
+        pool_names.insert(workload.name);
+    for (const Mix &mix : makeMixes(pool, 4, 25, 99)) {
+        for (const Workload &workload : mix)
+            EXPECT_TRUE(pool_names.count(workload.name))
+                << workload.name;
+    }
+}
+
+TEST(Mixes, CoversThePoolEventually)
+{
+    const auto pool = memIntensiveSubset(spec17Suite());
+    std::set<std::string> drawn;
+    for (const Mix &mix : makeMixes(pool, 4, 50, 3)) {
+        for (const Workload &workload : mix)
+            drawn.insert(workload.name);
+    }
+    EXPECT_EQ(drawn.size(), pool.size());
+}
+
+} // namespace
+} // namespace pfsim::workloads
