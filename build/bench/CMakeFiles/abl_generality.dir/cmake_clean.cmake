@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_generality.dir/abl_generality.cc.o"
+  "CMakeFiles/abl_generality.dir/abl_generality.cc.o.d"
+  "abl_generality"
+  "abl_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_weight_bits.dir/abl_weight_bits.cc.o"
+  "CMakeFiles/abl_weight_bits.dir/abl_weight_bits.cc.o.d"
+  "abl_weight_bits"
+  "abl_weight_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weight_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

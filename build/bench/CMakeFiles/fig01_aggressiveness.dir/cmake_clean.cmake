@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_aggressiveness.dir/fig01_aggressiveness.cc.o"
+  "CMakeFiles/fig01_aggressiveness.dir/fig01_aggressiveness.cc.o.d"
+  "fig01_aggressiveness"
+  "fig01_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_weight_hist.dir/fig06_weight_hist.cc.o"
+  "CMakeFiles/fig06_weight_hist.dir/fig06_weight_hist.cc.o.d"
+  "fig06_weight_hist"
+  "fig06_weight_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_weight_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

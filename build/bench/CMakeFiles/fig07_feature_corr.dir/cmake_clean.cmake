@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_feature_corr.dir/fig07_feature_corr.cc.o"
+  "CMakeFiles/fig07_feature_corr.dir/fig07_feature_corr.cc.o.d"
+  "fig07_feature_corr"
+  "fig07_feature_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_feature_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

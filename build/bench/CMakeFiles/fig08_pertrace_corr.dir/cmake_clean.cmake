@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pertrace_corr.dir/fig08_pertrace_corr.cc.o"
+  "CMakeFiles/fig08_pertrace_corr.dir/fig08_pertrace_corr.cc.o.d"
+  "fig08_pertrace_corr"
+  "fig08_pertrace_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pertrace_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

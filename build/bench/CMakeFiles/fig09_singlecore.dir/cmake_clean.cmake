@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_singlecore.dir/fig09_singlecore.cc.o"
+  "CMakeFiles/fig09_singlecore.dir/fig09_singlecore.cc.o.d"
+  "fig09_singlecore"
+  "fig09_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

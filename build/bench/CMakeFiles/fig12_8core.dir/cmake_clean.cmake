@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_8core.dir/fig12_8core.cc.o"
+  "CMakeFiles/fig12_8core.dir/fig12_8core.cc.o.d"
+  "fig12_8core"
+  "fig12_8core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_8core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_crossval.dir/fig13_crossval.cc.o"
+  "CMakeFiles/fig13_crossval.dir/fig13_crossval.cc.o.d"
+  "fig13_crossval"
+  "fig13_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

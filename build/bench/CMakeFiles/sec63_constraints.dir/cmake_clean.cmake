@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_constraints.dir/sec63_constraints.cc.o"
+  "CMakeFiles/sec63_constraints.dir/sec63_constraints.cc.o.d"
+  "sec63_constraints"
+  "sec63_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

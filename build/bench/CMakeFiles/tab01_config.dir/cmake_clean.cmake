@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_config.dir/tab01_config.cc.o"
+  "CMakeFiles/tab01_config.dir/tab01_config.cc.o.d"
+  "tab01_config"
+  "tab01_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_anatomy.dir/filter_anatomy.cc.o"
+  "CMakeFiles/filter_anatomy.dir/filter_anatomy.cc.o.d"
+  "filter_anatomy"
+  "filter_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/pfsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/pfsim.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/pfsim.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/core/feature_analysis.cc" "src/CMakeFiles/pfsim.dir/core/feature_analysis.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/feature_analysis.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/CMakeFiles/pfsim.dir/core/features.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/features.cc.o.d"
+  "/root/repo/src/core/filter_tables.cc" "src/CMakeFiles/pfsim.dir/core/filter_tables.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/filter_tables.cc.o.d"
+  "/root/repo/src/core/generic_filter.cc" "src/CMakeFiles/pfsim.dir/core/generic_filter.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/generic_filter.cc.o.d"
+  "/root/repo/src/core/ppf.cc" "src/CMakeFiles/pfsim.dir/core/ppf.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/ppf.cc.o.d"
+  "/root/repo/src/core/spp_ppf.cc" "src/CMakeFiles/pfsim.dir/core/spp_ppf.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/spp_ppf.cc.o.d"
+  "/root/repo/src/core/storage.cc" "src/CMakeFiles/pfsim.dir/core/storage.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/storage.cc.o.d"
+  "/root/repo/src/core/weight_tables.cc" "src/CMakeFiles/pfsim.dir/core/weight_tables.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/core/weight_tables.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/pfsim.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/pfsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/perceptron_bp.cc" "src/CMakeFiles/pfsim.dir/cpu/perceptron_bp.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/cpu/perceptron_bp.cc.o.d"
+  "/root/repo/src/dram/dram.cc" "src/CMakeFiles/pfsim.dir/dram/dram.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/dram/dram.cc.o.d"
+  "/root/repo/src/prefetch/ampm.cc" "src/CMakeFiles/pfsim.dir/prefetch/ampm.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/ampm.cc.o.d"
+  "/root/repo/src/prefetch/bop.cc" "src/CMakeFiles/pfsim.dir/prefetch/bop.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/bop.cc.o.d"
+  "/root/repo/src/prefetch/ip_stride.cc" "src/CMakeFiles/pfsim.dir/prefetch/ip_stride.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/ip_stride.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/CMakeFiles/pfsim.dir/prefetch/next_line.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/next_line.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/pfsim.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/spp.cc" "src/CMakeFiles/pfsim.dir/prefetch/spp.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/spp.cc.o.d"
+  "/root/repo/src/prefetch/vldp.cc" "src/CMakeFiles/pfsim.dir/prefetch/vldp.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/prefetch/vldp.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/pfsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/pfsim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/pfsim.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/pfsim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/pfsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/pfsim.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/pearson.cc" "src/CMakeFiles/pfsim.dir/stats/pearson.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/stats/pearson.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/pfsim.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/pfsim.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/file_trace.cc" "src/CMakeFiles/pfsim.dir/trace/file_trace.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/trace/file_trace.cc.o.d"
+  "/root/repo/src/trace/instruction.cc" "src/CMakeFiles/pfsim.dir/trace/instruction.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/trace/instruction.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/CMakeFiles/pfsim.dir/trace/patterns.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/trace/patterns.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/pfsim.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/util/args.cc" "src/CMakeFiles/pfsim.dir/util/args.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/util/args.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pfsim.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/util/random.cc.o.d"
+  "/root/repo/src/workloads/cloud.cc" "src/CMakeFiles/pfsim.dir/workloads/cloud.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/workloads/cloud.cc.o.d"
+  "/root/repo/src/workloads/mixes.cc" "src/CMakeFiles/pfsim.dir/workloads/mixes.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/workloads/mixes.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/pfsim.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/spec06.cc" "src/CMakeFiles/pfsim.dir/workloads/spec06.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/workloads/spec06.cc.o.d"
+  "/root/repo/src/workloads/spec17.cc" "src/CMakeFiles/pfsim.dir/workloads/spec17.cc.o" "gcc" "src/CMakeFiles/pfsim.dir/workloads/spec17.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppf.dir/test_ppf.cc.o"
+  "CMakeFiles/test_ppf.dir/test_ppf.cc.o.d"
+  "test_ppf"
+  "test_ppf.pdb"
+  "test_ppf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spp.dir/test_spp.cc.o"
+  "CMakeFiles/test_spp.dir/test_spp.cc.o.d"
+  "test_spp"
+  "test_spp.pdb"
+  "test_spp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
