@@ -5,14 +5,20 @@
  *
  * Usage:
  *   quickstart [--workload=NAME] [--prefetcher=NAME]
- *              [--instructions=N] [--warmup=N]
+ *              [--instructions=N] [--warmup=N] [--audit[=N]]
+ *
+ * --audit[=N] runs the hardware-invariant audit (src/check) every N
+ * cycles (default 1, i.e. every cycle); any violation aborts with the
+ * component, cycle and offending entry.
  */
 
+#include <cstdint>
 #include <cstdio>
 
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "workloads/registry.hh"
 
 int
@@ -21,7 +27,8 @@ main(int argc, char **argv)
     using namespace pfsim;
 
     Args args(argc, argv,
-              {"workload", "prefetcher", "instructions", "warmup"});
+              {"workload", "prefetcher", "instructions", "warmup",
+               "audit"});
 
     const std::string workload_name =
         args.get("workload", "603.bwaves_s-like");
@@ -31,6 +38,12 @@ main(int argc, char **argv)
     run.simInstructions =
         InstrCount(args.getInt("instructions", 1000000));
     run.warmupInstructions = InstrCount(args.getInt("warmup", 250000));
+    if (args.has("audit")) {
+        const std::int64_t interval = args.getInt("audit", 1);
+        if (interval <= 0)
+            fatal("--audit interval must be positive");
+        run.auditInterval = std::uint64_t(interval);
+    }
 
     const workloads::Workload &workload =
         workloads::findWorkload(workload_name);
@@ -43,6 +56,10 @@ main(int argc, char **argv)
     std::printf("  instructions: %llu (+%llu warmup)\n",
                 (unsigned long long)run.simInstructions,
                 (unsigned long long)run.warmupInstructions);
+    if (run.auditInterval != 0) {
+        std::printf("  audit       : every %llu cycle(s)\n",
+                    (unsigned long long)run.auditInterval);
+    }
 
     const sim::RunResult result =
         sim::runSingleCore(config, workload, run);

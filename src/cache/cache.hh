@@ -172,7 +172,6 @@ class Cache : public MemoryLevel, public Requestor,
     std::size_t fillsPending() const { return fills_.size(); }
     std::size_t responsesPending() const { return responses_.size(); }
 
-  private:
     struct Block
     {
         bool valid = false;
@@ -182,6 +181,30 @@ class Cache : public MemoryLevel, public Requestor,
         Addr tag = 0;
     };
 
+    /** Read-only view of the tag store for the invariant auditor. */
+    struct AuditView
+    {
+        const CacheConfig *config;
+
+        /** Tag store, indexed set * ways + way. */
+        const std::vector<Block> *blocks;
+
+        const MshrFile *mshrs;
+        const ReplacementPolicy *policy;
+
+        std::size_t rqOccupancy;
+        std::size_t wqOccupancy;
+        std::size_t pqOccupancy;
+    };
+
+    AuditView
+    auditState() const
+    {
+        return {&config_, &blocks_,   &mshrs_,
+                policy_.get(), rq_.size(), wq_.size(), pq_.size()};
+    }
+
+  private:
     struct Response
     {
         Cycle ready;

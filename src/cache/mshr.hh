@@ -76,6 +76,9 @@ class MshrFile
     std::size_t used() const { return used_; }
     std::size_t capacity() const { return entries_.size(); }
 
+    /** Read-only view of the raw entries for the invariant auditor. */
+    const std::vector<MshrEntry> &auditState() const { return entries_; }
+
   private:
     std::vector<MshrEntry> entries_;
     std::size_t used_ = 0;

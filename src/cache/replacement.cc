@@ -44,6 +44,39 @@ LruPolicy::name() const
     return n;
 }
 
+bool
+LruPolicy::auditMetadata(std::string &why) const
+{
+    // The stamps must form a valid recency ordering: no stamp can be
+    // newer than the allocator, and within a set every touched way
+    // must be distinct (0 marks never-touched ways).
+    const std::size_t sets = ways_ == 0 ? 0 : lastTouch_.size() / ways_;
+    for (std::size_t set = 0; set < sets; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const std::uint64_t touch = lastTouch_[set * ways_ + w];
+            if (touch > stamp_) {
+                why = "set " + std::to_string(set) + " way " +
+                      std::to_string(w) + " stamp " +
+                      std::to_string(touch) + " > allocator " +
+                      std::to_string(stamp_);
+                return false;
+            }
+            if (touch == 0)
+                continue;
+            for (std::uint32_t v = 0; v < w; ++v) {
+                if (lastTouch_[set * ways_ + v] == touch) {
+                    why = "set " + std::to_string(set) + " ways " +
+                          std::to_string(v) + " and " +
+                          std::to_string(w) + " share stamp " +
+                          std::to_string(touch);
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
 void
 SrripPolicy::initialize(std::uint32_t sets, std::uint32_t ways)
 {
@@ -85,6 +118,20 @@ SrripPolicy::name() const
 {
     static const std::string n = "srrip";
     return n;
+}
+
+bool
+SrripPolicy::auditMetadata(std::string &why) const
+{
+    for (std::size_t i = 0; i < rrpv_.size(); ++i) {
+        if (rrpv_[i] > maxRrpv) {
+            why = "entry " + std::to_string(i) + " RRPV " +
+                  std::to_string(rrpv_[i]) + " > " +
+                  std::to_string(maxRrpv);
+            return false;
+        }
+    }
+    return true;
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -47,6 +47,19 @@ class ReplacementPolicy
     virtual std::uint32_t victim(std::uint32_t set) = 0;
 
     virtual const std::string &name() const = 0;
+
+    /**
+     * Invariant audit: true when the policy's per-way metadata is
+     * internally consistent (a valid recency ordering / in-range
+     * prediction values).  On failure, @p why names the offending
+     * entry.
+     */
+    virtual bool
+    auditMetadata(std::string &why) const
+    {
+        (void)why;
+        return true;
+    }
 };
 
 /** Least-recently-used replacement. */
@@ -57,6 +70,7 @@ class LruPolicy : public ReplacementPolicy
     void touch(std::uint32_t set, std::uint32_t way, Cycle now) override;
     std::uint32_t victim(std::uint32_t set) override;
     const std::string &name() const override;
+    bool auditMetadata(std::string &why) const override;
 
   private:
     std::uint32_t ways_ = 0;
@@ -82,6 +96,7 @@ class SrripPolicy : public ReplacementPolicy
                 Cycle now) override;
     std::uint32_t victim(std::uint32_t set) override;
     const std::string &name() const override;
+    bool auditMetadata(std::string &why) const override;
 
   private:
     static constexpr std::uint8_t maxRrpv = 3;

@@ -1,0 +1,62 @@
+#include "check/invariant.hh"
+
+#include "util/logging.hh"
+
+namespace pfsim::check
+{
+
+std::string
+Violation::format() const
+{
+    return "[audit] cycle " + std::to_string(cycle) + " " + component +
+           ": " + invariant + " (" + detail + ")";
+}
+
+void
+AuditContext::fail(const std::string &component,
+                   const std::string &invariant,
+                   const std::string &detail)
+{
+    violations_.push_back({component, invariant, detail, now_});
+}
+
+bool
+AuditContext::require(bool ok, const std::string &component,
+                      const std::string &invariant,
+                      const std::string &detail)
+{
+    if (!ok)
+        fail(component, invariant, detail);
+    return ok;
+}
+
+void
+AuditorRegistry::add(std::unique_ptr<Auditor> auditor)
+{
+    auditors_.push_back(std::move(auditor));
+}
+
+std::vector<Violation>
+AuditorRegistry::run(Cycle now)
+{
+    AuditContext ctx(now);
+    for (const auto &auditor : auditors_)
+        auditor->audit(ctx);
+    ++auditsRun_;
+    return ctx.violations();
+}
+
+void
+AuditorRegistry::enforce(Cycle now)
+{
+    const std::vector<Violation> violations = run(now);
+    if (violations.empty())
+        return;
+    for (const Violation &v : violations)
+        warn(v.format());
+    panic("invariant audit failed: " +
+          std::to_string(violations.size()) + " violation(s) at cycle " +
+          std::to_string(now) + "; first: " + violations.front().format());
+}
+
+} // namespace pfsim::check

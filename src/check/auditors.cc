@@ -1,0 +1,376 @@
+#include "check/auditors.hh"
+
+#include <bit>
+#include <cstddef>
+#include <cstdio>
+
+// The audit runs inside the simulated cycle loop, potentially every
+// cycle, so the hot per-entry loops below test the invariant with
+// plain comparisons and only construct report strings once a
+// violation is found.  ctx.require() (which builds its detail string
+// eagerly) is reserved for the once-per-pass configuration checks.
+
+namespace pfsim::check
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t value)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  (unsigned long long)value);
+    return buf;
+}
+
+} // namespace
+
+void
+auditWeightTables(AuditContext &ctx, const std::string &name,
+                  const ppf::WeightTables &tables)
+{
+    const ppf::WeightTables::AuditView view = tables.auditState();
+
+    ctx.require(view.clampMin <= 0 && 0 <= view.clampMax, name,
+                "clamp range must straddle zero",
+                "clamp [" + std::to_string(view.clampMin) + ", " +
+                    std::to_string(view.clampMax) + "]");
+
+    for (unsigned f = 0; f < ppf::numFeatures; ++f) {
+        const auto &table = (*view.tables)[f];
+        const bool enabled = (view.featureMask >> f) & 1;
+
+        if (table.size() != ppf::featureTableSizes[f]) {
+            ctx.fail(name, "weight table geometry matches Table 3",
+                     "feature " + std::to_string(f) + " holds " +
+                         std::to_string(table.size()) + " entries, "
+                         "expected " +
+                         std::to_string(ppf::featureTableSizes[f]));
+        }
+
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            const int w = table[i].value();
+            if (enabled ? (view.clampMin <= w && w <= view.clampMax)
+                        : w == 0) {
+                continue;
+            }
+            // One offender per table keeps reports short.
+            if (enabled) {
+                ctx.fail(name, "weight within clamp range",
+                         "feature " + std::to_string(f) + " index " +
+                             std::to_string(i) + " value " +
+                             std::to_string(w) + " outside [" +
+                             std::to_string(view.clampMin) + ", " +
+                             std::to_string(view.clampMax) + "]");
+            } else {
+                ctx.fail(name, "disabled feature must stay untrained",
+                         "feature " + std::to_string(f) + " index " +
+                             std::to_string(i) + " value " +
+                             std::to_string(w));
+            }
+            break;
+        }
+    }
+
+    const int enabled_count = std::popcount(view.featureMask);
+    ctx.require(tables.minSum() == enabled_count * view.clampMin &&
+                    tables.maxSum() == enabled_count * view.clampMax,
+                name, "sum envelope is popcount-derived",
+                "minSum " + std::to_string(tables.minSum()) +
+                    " maxSum " + std::to_string(tables.maxSum()) +
+                    " for " + std::to_string(enabled_count) +
+                    " enabled features");
+}
+
+void
+auditFilterTable(AuditContext &ctx, const std::string &name,
+                 const ppf::FilterTable &table,
+                 std::uint32_t configured_entries)
+{
+    const std::vector<ppf::FilterEntry> &entries = table.auditState();
+
+    ctx.require(table.entries() == configured_entries, name,
+                "table capacity matches configuration",
+                "holds " + std::to_string(table.entries()) +
+                    " slots, configured " +
+                    std::to_string(configured_entries));
+
+    std::size_t valid = 0;
+    bool tag_reported = false;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const ppf::FilterEntry &entry = entries[i];
+        if (!entry.valid)
+            continue;
+        ++valid;
+        if (entry.tag >= 64 && !tag_reported) {
+            tag_reported = true;
+            ctx.fail(name, "tag fits the 6-bit field (Table 2)",
+                     "slot " + std::to_string(i) + " tag " +
+                         std::to_string(entry.tag));
+        }
+    }
+
+    ctx.require(valid <= configured_entries, name,
+                "occupancy within configured capacity",
+                std::to_string(valid) + " valid entries in a " +
+                    std::to_string(configured_entries) +
+                    "-entry table");
+}
+
+void
+auditMshrFile(AuditContext &ctx, const std::string &name,
+              const cache::MshrFile &mshrs)
+{
+    const std::vector<cache::MshrEntry> &entries = mshrs.auditState();
+
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const cache::MshrEntry &entry = entries[i];
+        if (!entry.valid)
+            continue;
+        ++valid;
+
+        if (blockAlign(entry.addr) != entry.addr) {
+            ctx.fail(name, "MSHR address is block-aligned",
+                     "entry " + std::to_string(i) + " addr " +
+                         hex(entry.addr));
+        }
+        if (entry.allocCycle > ctx.now()) {
+            ctx.fail(name, "MSHR allocation cycle not in the future",
+                     "entry " + std::to_string(i) + " allocated at " +
+                         std::to_string(entry.allocCycle) + " > now " +
+                         std::to_string(ctx.now()));
+        }
+
+        for (const cache::Request &waiter : entry.waiters) {
+            if (blockAlign(waiter.addr) != entry.addr) {
+                ctx.fail(name, "merged waiter targets the MSHR's block",
+                         "entry " + std::to_string(i) + " addr " +
+                             hex(entry.addr) + " waiter addr " +
+                             hex(waiter.addr));
+                break;
+            }
+        }
+
+        for (std::size_t j = 0; j < i; ++j) {
+            if (entries[j].valid && entries[j].addr == entry.addr) {
+                ctx.fail(name, "one MSHR entry per block address",
+                         "entries " + std::to_string(j) + " and " +
+                             std::to_string(i) + " both track " +
+                             hex(entry.addr));
+            }
+        }
+    }
+
+    ctx.require(mshrs.used() == valid, name,
+                "used() matches the number of valid entries",
+                "used() = " + std::to_string(mshrs.used()) + ", " +
+                    std::to_string(valid) + " valid entries");
+    ctx.require(mshrs.used() <= mshrs.capacity(), name,
+                "occupancy within capacity",
+                std::to_string(mshrs.used()) + " used of " +
+                    std::to_string(mshrs.capacity()));
+}
+
+void
+WeightTableAuditor::audit(AuditContext &ctx) const
+{
+    auditWeightTables(ctx, name_, tables_);
+}
+
+void
+PpfAuditor::audit(AuditContext &ctx) const
+{
+    const ppf::Ppf::AuditView view = ppf_.auditState();
+    const ppf::PpfConfig &config = *view.config;
+
+    ctx.require(config.tauLo <= config.tauHi, name_,
+                "thresholds ordered: tau_lo <= tau_hi",
+                "tau_lo " + std::to_string(config.tauLo) +
+                    ", tau_hi " + std::to_string(config.tauHi));
+    ctx.require(config.thetaN <= 0 && 0 <= config.thetaP, name_,
+                "training saturation straddles zero: "
+                "theta_n <= 0 <= theta_p",
+                "theta_n " + std::to_string(config.thetaN) +
+                    ", theta_p " + std::to_string(config.thetaP));
+
+    auditWeightTables(ctx, name_ + ".weights", *view.weights);
+    auditFilterTable(ctx, name_ + ".prefetch_table",
+                     *view.prefetchTable,
+                     config.prefetchTableEntries);
+    auditFilterTable(ctx, name_ + ".reject_table", *view.rejectTable,
+                     config.rejectTableEntries);
+
+    if (view.sumValid) {
+        ctx.require(view.weights->minSum() <= view.lastSum &&
+                        view.lastSum <= view.weights->maxSum(),
+                    name_,
+                    "inference sum within the popcount envelope",
+                    "sum " + std::to_string(view.lastSum) +
+                        " outside [" +
+                        std::to_string(view.weights->minSum()) + ", " +
+                        std::to_string(view.weights->maxSum()) + "]");
+    }
+}
+
+void
+CacheAuditor::audit(AuditContext &ctx) const
+{
+    const cache::Cache::AuditView view = cache_.auditState();
+    const cache::CacheConfig &config = *view.config;
+    const std::uint32_t sets = config.sets;
+    const std::uint32_t ways = config.ways;
+
+    if (!ctx.require(view.blocks->size() ==
+                         std::size_t(sets) * ways,
+                     name_, "tag store geometry matches configuration",
+                     std::to_string(view.blocks->size()) +
+                         " blocks for " + std::to_string(sets) + "x" +
+                         std::to_string(ways))) {
+        return;
+    }
+
+    const cache::Cache::Block *blocks = view.blocks->data();
+    for (std::uint32_t set = 0; set < sets; ++set) {
+        const cache::Cache::Block *row =
+            blocks + std::size_t(set) * ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const cache::Cache::Block &b = row[w];
+            if (!b.valid)
+                continue;
+
+            if (blockAlign(b.tag) != b.tag) {
+                ctx.fail(name_, "resident tag is block-aligned",
+                         "set " + std::to_string(set) + " way " +
+                             std::to_string(w) + " tag " + hex(b.tag));
+            }
+            if ((std::uint32_t(b.tag >> blockShift) & (sets - 1)) !=
+                set) {
+                ctx.fail(name_, "resident tag maps to its set",
+                         "set " + std::to_string(set) + " way " +
+                             std::to_string(w) + " tag " + hex(b.tag));
+            }
+
+            for (std::uint32_t v = 0; v < w; ++v) {
+                if (row[v].valid && row[v].tag == b.tag) {
+                    ctx.fail(name_, "no duplicate tags within a set",
+                             "set " + std::to_string(set) + " ways " +
+                                 std::to_string(v) + " and " +
+                                 std::to_string(w) + " both hold " +
+                                 hex(b.tag));
+                }
+            }
+        }
+    }
+
+    ctx.require(view.rqOccupancy <= config.rqSize, name_,
+                "read queue within capacity",
+                std::to_string(view.rqOccupancy) + " of " +
+                    std::to_string(config.rqSize));
+    ctx.require(view.wqOccupancy <= config.wqSize, name_,
+                "writeback queue within capacity",
+                std::to_string(view.wqOccupancy) + " of " +
+                    std::to_string(config.wqSize));
+    ctx.require(view.pqOccupancy <= config.pqSize, name_,
+                "prefetch queue within capacity",
+                std::to_string(view.pqOccupancy) + " of " +
+                    std::to_string(config.pqSize));
+
+    auditMshrFile(ctx, name_ + ".mshr", *view.mshrs);
+
+    std::string why;
+    if (!view.policy->auditMetadata(why)) {
+        ctx.fail(name_, "replacement metadata is consistent", why);
+    }
+}
+
+void
+DramAuditor::audit(AuditContext &ctx) const
+{
+    const dram::DramConfig &config = dram_.config();
+    const std::vector<dram::Dram::Channel> &channels =
+        dram_.auditState();
+
+    ctx.require(config.writeDrainLow <= config.writeDrainHigh, name_,
+                "write drain watermarks ordered",
+                "low " + std::to_string(config.writeDrainLow) +
+                    " > high " + std::to_string(config.writeDrainHigh));
+
+    if (!ctx.require(channels.size() == config.channels, name_,
+                     "channel count matches configuration",
+                     std::to_string(channels.size()) + " of " +
+                         std::to_string(config.channels))) {
+        return;
+    }
+
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+        const dram::Dram::Channel &channel = channels[c];
+
+        if (channel.banks.size() != config.banks) {
+            ctx.fail(name_ + ".ch" + std::to_string(c),
+                     "bank count matches configuration",
+                     std::to_string(channel.banks.size()) + " of " +
+                         std::to_string(config.banks));
+            continue;
+        }
+        if (channel.readQ.size() > config.rqSize) {
+            ctx.fail(name_ + ".ch" + std::to_string(c),
+                     "read queue within capacity",
+                     std::to_string(channel.readQ.size()) + " of " +
+                         std::to_string(config.rqSize));
+        }
+        if (channel.writeQ.size() > config.wqSize) {
+            ctx.fail(name_ + ".ch" + std::to_string(c),
+                     "write queue within capacity",
+                     std::to_string(channel.writeQ.size()) + " of " +
+                         std::to_string(config.wqSize));
+        }
+
+        for (std::size_t b = 0; b < channel.banks.size(); ++b) {
+            const dram::Dram::Bank &bank = channel.banks[b];
+            if (bank.rowOpen && bank.openRow % config.banks != b) {
+                ctx.fail(name_ + ".ch" + std::to_string(c),
+                         "open row belongs to its bank",
+                         "bank " + std::to_string(b) + " holds row " +
+                             std::to_string(bank.openRow));
+            }
+        }
+
+        for (const dram::Dram::Pending &pending : channel.readQ) {
+            const std::uint64_t home =
+                blockNumber(pending.req.addr) & (config.channels - 1);
+            if (home != c) {
+                ctx.fail(name_ + ".ch" + std::to_string(c),
+                         "queued read belongs to its channel",
+                         "addr " + hex(pending.req.addr) +
+                             " maps to channel " +
+                             std::to_string(home));
+            }
+            if (pending.req.type == cache::AccessType::Writeback) {
+                ctx.fail(name_ + ".ch" + std::to_string(c),
+                         "read queue holds no writebacks",
+                         "addr " + hex(pending.req.addr));
+            }
+        }
+        for (const dram::Dram::Pending &pending : channel.writeQ) {
+            const std::uint64_t home =
+                blockNumber(pending.req.addr) & (config.channels - 1);
+            if (home != c) {
+                ctx.fail(name_ + ".ch" + std::to_string(c),
+                         "queued write belongs to its channel",
+                         "addr " + hex(pending.req.addr) +
+                             " maps to channel " +
+                             std::to_string(home));
+            }
+            if (pending.req.type != cache::AccessType::Writeback) {
+                ctx.fail(name_ + ".ch" + std::to_string(c),
+                         "write queue holds only writebacks",
+                         "addr " + hex(pending.req.addr));
+            }
+        }
+    }
+}
+
+} // namespace pfsim::check

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Per-component structural auditors.
+ *
+ * Each auditor validates one component instance against the invariants
+ * its design guarantees (paper Sections 3.1 and 4.2 for PPF's tables,
+ * the microarchitectural contracts for caches, MSHRs and DRAM).  All
+ * of them read the component through its narrow auditState() view and
+ * never mutate simulation state.
+ */
+
+#ifndef PFSIM_CHECK_AUDITORS_HH
+#define PFSIM_CHECK_AUDITORS_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "check/invariant.hh"
+#include "core/ppf.hh"
+#include "core/weight_tables.hh"
+#include "dram/dram.hh"
+
+namespace pfsim::check
+{
+
+/**
+ * Shared check bodies, reusable by auditors that embed another
+ * component (the PPF auditor covers its weight tables; the cache
+ * auditor covers its MSHR file).
+ */
+void auditWeightTables(AuditContext &ctx, const std::string &name,
+                       const ppf::WeightTables &tables);
+void auditFilterTable(AuditContext &ctx, const std::string &name,
+                      const ppf::FilterTable &table,
+                      std::uint32_t configured_entries);
+void auditMshrFile(AuditContext &ctx, const std::string &name,
+                   const cache::MshrFile &mshrs);
+
+/**
+ * Perceptron weight tables: per-entry clamp bounds, per-feature table
+ * geometry, untrained disabled features, and the popcount-derived
+ * min/max sum envelope.
+ */
+class WeightTableAuditor : public Auditor
+{
+  public:
+    WeightTableAuditor(std::string name,
+                       const ppf::WeightTables &tables)
+        : name_(std::move(name)), tables_(tables)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    void audit(AuditContext &ctx) const override;
+
+  private:
+    std::string name_;
+    const ppf::WeightTables &tables_;
+};
+
+/**
+ * The whole filter: threshold relationships (tau_lo <= tau_hi,
+ * theta_n <= 0 <= theta_p), Prefetch/Reject table capacity and tag
+ * width, the weight tables, and the last inference sum against the
+ * envelope.
+ */
+class PpfAuditor : public Auditor
+{
+  public:
+    PpfAuditor(std::string name, const ppf::Ppf &ppf)
+        : name_(std::move(name)), ppf_(ppf)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    void audit(AuditContext &ctx) const override;
+
+  private:
+    std::string name_;
+    const ppf::Ppf &ppf_;
+};
+
+/**
+ * One cache level: per-set tag uniqueness and residency, queue
+ * occupancy bounds, the MSHR file, and the replacement policy's
+ * metadata consistency.
+ */
+class CacheAuditor : public Auditor
+{
+  public:
+    CacheAuditor(std::string name, const cache::Cache &cache)
+        : name_(std::move(name)), cache_(cache)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    void audit(AuditContext &ctx) const override;
+
+  private:
+    std::string name_;
+    const cache::Cache &cache_;
+};
+
+/**
+ * The DRAM device: channel/bank geometry, queue occupancy bounds,
+ * request routing (every queued request belongs to its channel, write
+ * queues hold only writebacks) and bank/row-buffer consistency.
+ */
+class DramAuditor : public Auditor
+{
+  public:
+    DramAuditor(std::string name, const dram::Dram &dram)
+        : name_(std::move(name)), dram_(dram)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    void audit(AuditContext &ctx) const override;
+
+  private:
+    std::string name_;
+    const dram::Dram &dram_;
+};
+
+} // namespace pfsim::check
+
+#endif // PFSIM_CHECK_AUDITORS_HH

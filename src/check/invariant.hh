@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The hardware-invariant audit framework.
+ *
+ * PPF and the surrounding memory system are built out of tight
+ * structural invariants — clamped 5-bit weights, bounded filter
+ * tables, unique MSHR entries, per-set tag uniqueness — and silent
+ * corruption of any of them produces plausible-but-wrong results
+ * rather than crashes.  This layer makes those invariants mechanical:
+ * components expose narrow auditState() views, per-component Auditors
+ * validate them, and an AuditorRegistry hooked into the simulation
+ * loop re-validates every N cycles, aborting with component, cycle and
+ * offending entry on the first violation.
+ *
+ * Auditors are read-only and cheap by design: enabling --audit=N must
+ * never perturb simulation results, only confirm them.
+ */
+
+#ifndef PFSIM_CHECK_INVARIANT_HH
+#define PFSIM_CHECK_INVARIANT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pfsim::check
+{
+
+/** One detected invariant violation. */
+struct Violation
+{
+    /** Component instance, e.g. "core0.l2" or "ppf.weights". */
+    std::string component;
+
+    /** The invariant that failed, e.g. "weight within clamp range". */
+    std::string invariant;
+
+    /** The offending entry, e.g. "feature 3 index 1021 value 17". */
+    std::string detail;
+
+    /** Simulation cycle of the audit that caught it. */
+    Cycle cycle = 0;
+
+    /** Single-line report form. */
+    std::string format() const;
+};
+
+/** Collector an audit pass writes its findings into. */
+class AuditContext
+{
+  public:
+    explicit AuditContext(Cycle now) : now_(now) {}
+
+    Cycle now() const { return now_; }
+
+    /** Record a violation. */
+    void fail(const std::string &component, const std::string &invariant,
+              const std::string &detail);
+
+    /** Record a violation unless @p ok holds.  @return ok. */
+    bool require(bool ok, const std::string &component,
+                 const std::string &invariant, const std::string &detail);
+
+    bool clean() const { return violations_.empty(); }
+    const std::vector<Violation> &violations() const { return violations_; }
+
+  private:
+    Cycle now_;
+    std::vector<Violation> violations_;
+};
+
+/** A read-only structural checker over one component. */
+class Auditor
+{
+  public:
+    virtual ~Auditor() = default;
+
+    /** Component instance name used in violation reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Validate every invariant, recording failures into @p ctx. */
+    virtual void audit(AuditContext &ctx) const = 0;
+};
+
+/**
+ * The set of auditors attached to one simulated system, plus the
+ * every-N-cycles schedule the sim loop consults.
+ */
+class AuditorRegistry
+{
+  public:
+    /** Register an auditor (kept for the registry's lifetime). */
+    void add(std::unique_ptr<Auditor> auditor);
+
+    /** Audit every @p n cycles; 0 disables auditing. */
+    void setInterval(std::uint64_t n) { interval_ = n; }
+    std::uint64_t interval() const { return interval_; }
+
+    bool enabled() const { return interval_ != 0; }
+
+    /** True when the sim loop should audit at cycle @p now. */
+    bool due(Cycle now) const
+    {
+        return interval_ != 0 && now % interval_ == 0;
+    }
+
+    /** Run every auditor, collecting violations (does not abort). */
+    std::vector<Violation> run(Cycle now);
+
+    /**
+     * Run every auditor; on any violation, report all of them to
+     * stderr and abort via panic().
+     */
+    void enforce(Cycle now);
+
+    std::size_t size() const { return auditors_.size(); }
+
+    /** Number of completed audit passes (tests / reporting). */
+    std::uint64_t auditsRun() const { return auditsRun_; }
+
+  private:
+    std::uint64_t interval_ = 0;
+    std::uint64_t auditsRun_ = 0;
+    std::vector<std::unique_ptr<Auditor>> auditors_;
+};
+
+} // namespace pfsim::check
+
+#endif // PFSIM_CHECK_INVARIANT_HH

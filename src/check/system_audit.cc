@@ -1,0 +1,61 @@
+#include "check/system_audit.hh"
+
+#include <memory>
+#include <string>
+
+#include "check/auditors.hh"
+#include "core/generic_filter.hh"
+#include "core/spp_ppf.hh"
+
+namespace pfsim::check
+{
+
+namespace
+{
+
+/** Register the PPF auditor when @p prefetcher carries a filter. */
+void
+attachFilterAuditor(AuditorRegistry &registry,
+                    const std::string &name,
+                    const prefetch::Prefetcher &prefetcher)
+{
+    if (const auto *spp_ppf =
+            dynamic_cast<const ppf::SppPpfPrefetcher *>(&prefetcher);
+        spp_ppf != nullptr) {
+        registry.add(std::make_unique<PpfAuditor>(name,
+                                                  spp_ppf->filter()));
+    } else if (const auto *filtered =
+                   dynamic_cast<const ppf::FilteredPrefetcher *>(
+                       &prefetcher);
+               filtered != nullptr) {
+        registry.add(std::make_unique<PpfAuditor>(name,
+                                                  filtered->filter()));
+    }
+}
+
+} // namespace
+
+void
+attachSystemAuditors(sim::System &system, std::uint64_t interval)
+{
+    AuditorRegistry &registry = system.audit();
+
+    for (unsigned i = 0; i < system.coreCount(); ++i) {
+        const std::string core = "core" + std::to_string(i);
+        registry.add(std::make_unique<CacheAuditor>(core + ".l1i",
+                                                    system.l1i(i)));
+        registry.add(std::make_unique<CacheAuditor>(core + ".l1d",
+                                                    system.l1d(i)));
+        registry.add(std::make_unique<CacheAuditor>(core + ".l2",
+                                                    system.l2(i)));
+        attachFilterAuditor(registry, core + ".ppf",
+                            system.prefetcher(i));
+    }
+
+    registry.add(std::make_unique<CacheAuditor>("llc", system.llc()));
+    registry.add(std::make_unique<DramAuditor>("dram", system.dram()));
+
+    registry.setInterval(interval);
+}
+
+} // namespace pfsim::check

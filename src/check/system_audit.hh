@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Wires the per-component auditors onto a fully built System: every
+ * cache level (tag store, queues, MSHRs, replacement metadata), the
+ * DRAM device, and — when the configured prefetcher carries a
+ * perceptron filter — the PPF thresholds, weight tables and
+ * Prefetch/Reject tables.
+ */
+
+#ifndef PFSIM_CHECK_SYSTEM_AUDIT_HH
+#define PFSIM_CHECK_SYSTEM_AUDIT_HH
+
+#include <cstdint>
+
+#include "sim/system.hh"
+
+namespace pfsim::check
+{
+
+/**
+ * Register auditors for every component of @p system and arm the
+ * system's audit registry to run them every @p interval cycles.  The
+ * registered auditors reference the system's components, so the
+ * registry (owned by the system) must not outlive them — which the
+ * System guarantees by construction.
+ */
+void attachSystemAuditors(sim::System &system, std::uint64_t interval);
+
+} // namespace pfsim::check
+
+#endif // PFSIM_CHECK_SYSTEM_AUDIT_HH

@@ -19,7 +19,7 @@ FilterTable::FilterTable(std::uint32_t entries)
 std::uint32_t
 FilterTable::indexOf(Addr addr) const
 {
-    return std::uint32_t(blockNumber(addr)) & (table_.size() - 1);
+    return std::uint32_t(blockNumber(addr) & (table_.size() - 1));
 }
 
 std::uint8_t

@@ -66,6 +66,9 @@ class FilterTable
 
     std::uint32_t entries() const { return std::uint32_t(table_.size()); }
 
+    /** Read-only view of the raw entries for the invariant auditor. */
+    const std::vector<FilterEntry> &auditState() const { return table_; }
+
   private:
     std::uint32_t indexOf(Addr addr) const;
     std::uint8_t tagOf(Addr addr) const;

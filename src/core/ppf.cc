@@ -39,6 +39,8 @@ Ppf::test(const prefetch::SppCandidate &candidate)
     ++stats_.candidates;
     const FeatureInput input = buildInput(candidate);
     const int sum = weights_.sum(computeIndices(input));
+    lastSum_ = sum;
+    sumValid_ = true;
 
     if (sum >= config_.tauHi) {
         ++stats_.acceptedL2;

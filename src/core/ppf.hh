@@ -119,6 +119,26 @@ class Ppf : public prefetch::SppFilter
     /** Attach the Figure 6-8 instrumentation (optional). */
     void setAnalysis(FeatureAnalysis *analysis) { analysis_ = analysis; }
 
+    /** Read-only view of the filter's state for the invariant auditor. */
+    struct AuditView
+    {
+        const PpfConfig *config;
+        const WeightTables *weights;
+        const FilterTable *prefetchTable;
+        const FilterTable *rejectTable;
+
+        /** Most recent inference sum; meaningful when sumValid. */
+        int lastSum;
+        bool sumValid;
+    };
+
+    AuditView
+    auditState() const
+    {
+        return {&config_, &weights_, &prefetchTable_, &rejectTable_,
+                lastSum_, sumValid_};
+    }
+
   private:
     FeatureInput buildInput(const prefetch::SppCandidate &candidate)
         const;
@@ -133,6 +153,10 @@ class Ppf : public prefetch::SppFilter
 
     /** The last three demand PCs (PC-path feature input). */
     Pc pcHistory_[3] = {0, 0, 0};
+
+    /** Most recent inference sum, kept for the invariant auditor. */
+    int lastSum_ = 0;
+    bool sumValid_ = false;
 
     PpfStats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -12,8 +13,11 @@ WeightTables::WeightTables(std::uint32_t feature_mask,
                            unsigned clamp_bits)
     : featureMask_(feature_mask & ((1u << numFeatures) - 1))
 {
-    if (clamp_bits < 2 || clamp_bits > weightBits)
-        fatal("weight clamp width must be within [2, 5] bits");
+    if (clamp_bits < 2 || clamp_bits > weightBits) {
+        fatal("weight clamp width must be within [2, " +
+              std::to_string(weightBits) + "] bits, got " +
+              std::to_string(clamp_bits));
+    }
     clampMin_ = -(1 << (clamp_bits - 1));
     clampMax_ = (1 << (clamp_bits - 1)) - 1;
     for (unsigned f = 0; f < numFeatures; ++f)

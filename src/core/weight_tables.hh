@@ -64,6 +64,32 @@ class WeightTables
     int weightMin() const { return clampMin_; }
     int weightMax() const { return clampMax_; }
 
+    /** Read-only view of the raw storage for the invariant auditor. */
+    struct AuditView
+    {
+        std::uint32_t featureMask;
+        int clampMin;
+        int clampMax;
+        const std::array<std::vector<Weight>, numFeatures> *tables;
+    };
+
+    AuditView
+    auditState() const
+    {
+        return {featureMask_, clampMin_, clampMax_, &tables_};
+    }
+
+    /**
+     * Fault injection for auditor tests: overwrite one raw weight,
+     * bypassing the clamp applied by train().  Never used by the
+     * simulator itself.
+     */
+    void
+    poke(FeatureId feature, std::uint32_t index, int value)
+    {
+        tables_[unsigned(feature)][index].set(value);
+    }
+
   private:
     std::uint32_t featureMask_;
     int clampMin_;

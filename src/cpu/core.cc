@@ -187,7 +187,7 @@ Core::fetch(Cycle now)
 }
 
 void
-Core::issueLoads(Cycle now)
+Core::issueLoads(Cycle)
 {
     unsigned budget = config_.loadIssueWidth;
     while (budget > 0) {

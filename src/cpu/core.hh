@@ -140,7 +140,7 @@ class Core : public cache::Requestor
 
     void retire(Cycle now);
     void fetch(Cycle now);
-    void issueLoads(Cycle now);
+    void issueLoads(Cycle);
 
     bool robFull() const { return robCount_ == config_.robSize; }
     std::uint32_t robTail() const;

@@ -36,7 +36,7 @@ class PerceptronBp : public BranchPredictor
     static constexpr std::size_t tableSize = std::size_t{1} << tableBits;
 
     /** Training threshold (classic theta = 1.93 * h + 14). */
-    static constexpr int theta = 1.93 * 24 + 14;
+    static constexpr int theta = int(1.93 * 24 + 14);
 
     std::array<std::size_t, numTables> indices(Pc pc) const;
     int sum(const std::array<std::size_t, numTables> &idx) const;

@@ -106,7 +106,6 @@ class Dram : public cache::MemoryLevel
     std::size_t pendingReads() const;
     std::size_t pendingWrites() const;
 
-  private:
     struct Pending
     {
         cache::Request req;
@@ -129,6 +128,10 @@ class Dram : public cache::MemoryLevel
         bool drainingWrites = false;
     };
 
+    /** Read-only view of the channel state for the invariant auditor. */
+    const std::vector<Channel> &auditState() const { return channels_; }
+
+  private:
     struct Completion
     {
         Cycle ready;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "check/system_audit.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
 
@@ -24,6 +25,8 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
     }
 
     System system(config, sources);
+    if (run.auditInterval != 0)
+        check::attachSystemAuditors(system, run.auditInterval);
     system.runUntilRetired(run.warmupInstructions);
     system.resetStats();
 

@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include "check/system_audit.hh"
 #include "core/spp_ppf.hh"
 #include "trace/synthetic.hh"
 
@@ -13,6 +14,9 @@ runSingleCore(const SystemConfig &config,
 {
     trace::SyntheticTrace trace(workload.make());
     System system(config, {&trace});
+
+    if (run.auditInterval != 0)
+        check::attachSystemAuditors(system, run.auditInterval);
 
     if (analysis != nullptr) {
         if (auto *spp_ppf = dynamic_cast<ppf::SppPpfPrefetcher *>(

@@ -27,6 +27,13 @@ struct RunConfig
 {
     InstrCount warmupInstructions = 250000;
     InstrCount simInstructions = 1000000;
+
+    /**
+     * Run the hardware-invariant audit (src/check) every N cycles;
+     * 0 disables it.  Any violation aborts with component, cycle and
+     * offending entry.
+     */
+    std::uint64_t auditInterval = 0;
 };
 
 /** Everything measured by one single-core run. */

@@ -89,6 +89,9 @@ System::cycle()
         l2->tick(now_);
     llc_->tick(now_);
     dram_->tick(now_);
+
+    if (audit_.due(now_))
+        audit_.enforce(now_);
 }
 
 void

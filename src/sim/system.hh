@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/invariant.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
 #include "prefetch/prefetcher.hh"
@@ -61,6 +62,14 @@ class System
 
     const SystemConfig &config() const { return config_; }
 
+    /**
+     * The invariant audit registry: populate it (usually via
+     * check::attachSystemAuditors) and set an interval to have the
+     * sim loop re-validate structural invariants every N cycles.
+     */
+    check::AuditorRegistry &audit() { return audit_; }
+    const check::AuditorRegistry &audit() const { return audit_; }
+
   private:
     SystemConfig config_;
     std::unique_ptr<dram::Dram> dram_;
@@ -70,6 +79,7 @@ class System
     std::vector<std::unique_ptr<cache::Cache>> l1ds_;
     std::vector<std::unique_ptr<prefetch::Prefetcher>> prefetchers_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+    check::AuditorRegistry audit_;
     Cycle now_ = 0;
 };
 

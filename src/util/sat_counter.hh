@@ -32,7 +32,7 @@ class SignedSatCounter
 
     explicit constexpr
     SignedSatCounter(int initial)
-        : value_(clamp(initial))
+        : value_(std::int16_t(clamp(initial)))
     {
     }
 
@@ -64,7 +64,7 @@ class SignedSatCounter
             decrement();
     }
 
-    constexpr void set(int v) { value_ = clamp(v); }
+    constexpr void set(int v) { value_ = std::int16_t(clamp(v)); }
 
   private:
     static constexpr int

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the hardware-invariant audit subsystem (src/check): each
+ * corruption of auditor-visible state must be flagged with the right
+ * invariant, a clean system must audit clean every cycle end to end,
+ * and enforcement must abort on violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+#include "check/auditors.hh"
+#include "check/invariant.hh"
+#include "check/system_audit.hh"
+#include "core/filter_tables.hh"
+#include "core/ppf.hh"
+#include "core/weight_tables.hh"
+#include "sim/runner.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+using check::AuditContext;
+
+bool
+hasViolation(const AuditContext &ctx, const std::string &invariant)
+{
+    return std::any_of(
+        ctx.violations().begin(), ctx.violations().end(),
+        [&](const check::Violation &v) {
+            return v.invariant.find(invariant) != std::string::npos;
+        });
+}
+
+// --- weight tables ----------------------------------------------------
+
+TEST(WeightAudit, CleanAfterTraining)
+{
+    ppf::WeightTables tables;
+    ppf::FeatureIndices idx{};
+    for (int i = 0; i < 100; ++i) {
+        for (unsigned f = 0; f < ppf::numFeatures; ++f)
+            idx[f] = std::uint32_t(i) % ppf::featureTableSizes[f];
+        tables.train(idx, i % 3 == 0);
+    }
+
+    AuditContext ctx(0);
+    check::auditWeightTables(ctx, "weights", tables);
+    EXPECT_TRUE(ctx.clean()) << ctx.violations().front().format();
+}
+
+TEST(WeightAudit, FlagsOutOfRangeWeight)
+{
+    // 3-bit clamp: legal range [-4, 3].  Poke a raw 10 past it.
+    ppf::WeightTables tables(0x1ff, 3);
+    tables.poke(ppf::FeatureId::PhysAddr, 17, 10);
+
+    AuditContext ctx(42);
+    check::auditWeightTables(ctx, "weights", tables);
+    ASSERT_FALSE(ctx.clean());
+    EXPECT_TRUE(hasViolation(ctx, "weight within clamp range"));
+    EXPECT_EQ(ctx.violations().front().cycle, 42u);
+    EXPECT_NE(ctx.violations().front().detail.find("17"),
+              std::string::npos);
+}
+
+TEST(WeightAudit, FlagsTrainedDisabledFeature)
+{
+    // Feature 0 disabled: its table must stay all-zero.
+    ppf::WeightTables tables(0x1fe);
+    tables.poke(ppf::FeatureId::PhysAddr, 3, 1);
+
+    AuditContext ctx(0);
+    check::auditWeightTables(ctx, "weights", tables);
+    EXPECT_TRUE(hasViolation(ctx, "disabled feature must stay untrained"));
+}
+
+// --- MSHR file --------------------------------------------------------
+
+TEST(MshrAudit, CleanAfterAllocateAndRelease)
+{
+    cache::MshrFile mshrs(4);
+    mshrs.allocate(0x1000, 5);
+    cache::MshrEntry *e = mshrs.allocate(0x2000, 6);
+    mshrs.release(e);
+
+    AuditContext ctx(10);
+    check::auditMshrFile(ctx, "mshr", mshrs);
+    EXPECT_TRUE(ctx.clean()) << ctx.violations().front().format();
+}
+
+TEST(MshrAudit, FlagsDuplicateEntry)
+{
+    cache::MshrFile mshrs(4);
+    mshrs.allocate(0x1000, 0);
+    mshrs.allocate(0x2000, 0);
+    // Corrupt the second entry to collide with the first.
+    mshrs.find(0x2000)->addr = 0x1000;
+
+    AuditContext ctx(0);
+    check::auditMshrFile(ctx, "mshr", mshrs);
+    ASSERT_FALSE(ctx.clean());
+    EXPECT_TRUE(hasViolation(ctx, "one MSHR entry per block address"));
+}
+
+TEST(MshrAudit, FlagsMisalignedAddressAndFutureAllocation)
+{
+    cache::MshrFile mshrs(4);
+    mshrs.allocate(0x1000, 0);
+    mshrs.find(0x1000)->addr = 0x1003; // not block-aligned
+
+    AuditContext ctx(0);
+    check::auditMshrFile(ctx, "mshr", mshrs);
+    EXPECT_TRUE(hasViolation(ctx, "block-aligned"));
+
+    cache::MshrFile late(2);
+    late.allocate(0x4000, 100); // allocated "in the future"
+    AuditContext ctx2(50);
+    check::auditMshrFile(ctx2, "mshr", late);
+    EXPECT_TRUE(hasViolation(ctx2, "not in the future"));
+}
+
+// --- filter tables ----------------------------------------------------
+
+TEST(FilterAudit, FlagsOversizedTable)
+{
+    // A 16-slot table where the configuration promises 4: both the
+    // capacity mismatch and (once 5+ entries are live) the occupancy
+    // bound must trip.
+    ppf::FilterTable table(16);
+    ppf::FeatureInput features;
+    for (Addr block = 0; block < 8; ++block)
+        table.insert(block * blockSize, features, true);
+
+    AuditContext ctx(0);
+    check::auditFilterTable(ctx, "filter", table, 4);
+    ASSERT_FALSE(ctx.clean());
+    EXPECT_TRUE(hasViolation(ctx, "capacity matches configuration"));
+    EXPECT_TRUE(hasViolation(ctx, "occupancy within configured capacity"));
+}
+
+TEST(FilterAudit, CleanWhenSizedAsConfigured)
+{
+    ppf::FilterTable table(1024);
+    ppf::FeatureInput features;
+    for (Addr block = 0; block < 512; ++block)
+        table.insert(block * blockSize, features, true);
+
+    AuditContext ctx(0);
+    check::auditFilterTable(ctx, "filter", table, 1024);
+    EXPECT_TRUE(ctx.clean()) << ctx.violations().front().format();
+}
+
+// --- PPF --------------------------------------------------------------
+
+TEST(PpfAudit, CleanDefaultConfiguration)
+{
+    ppf::Ppf filter;
+    check::PpfAuditor auditor("ppf", filter);
+
+    AuditContext ctx(0);
+    auditor.audit(ctx);
+    EXPECT_TRUE(ctx.clean()) << ctx.violations().front().format();
+}
+
+TEST(PpfAudit, FlagsInvertedThresholds)
+{
+    ppf::PpfConfig config;
+    config.tauHi = 1;
+    config.tauLo = 5; // tau_lo > tau_hi: the band is inverted
+    ppf::Ppf filter(config);
+
+    AuditContext ctx(0);
+    check::PpfAuditor("ppf", filter).audit(ctx);
+    EXPECT_TRUE(hasViolation(ctx, "tau_lo <= tau_hi"));
+}
+
+TEST(PpfAudit, FlagsBadTrainingSaturation)
+{
+    ppf::PpfConfig config;
+    config.thetaP = -3; // positive saturation below zero
+    ppf::Ppf filter(config);
+
+    AuditContext ctx(0);
+    check::PpfAuditor("ppf", filter).audit(ctx);
+    EXPECT_TRUE(hasViolation(ctx, "theta_n <= 0 <= theta_p"));
+}
+
+// --- replacement metadata --------------------------------------------
+
+TEST(ReplacementAudit, LruAndSrripMetadataConsistent)
+{
+    cache::LruPolicy lru;
+    lru.initialize(4, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.touch(1, w, 0);
+    std::string why;
+    EXPECT_TRUE(lru.auditMetadata(why)) << why;
+
+    cache::SrripPolicy srrip;
+    srrip.initialize(4, 4);
+    srrip.insert(0, 2, 0);
+    srrip.touch(0, 2, 0);
+    EXPECT_TRUE(srrip.auditMetadata(why)) << why;
+}
+
+// --- registry ---------------------------------------------------------
+
+/** An auditor whose verdict the test controls. */
+class FlagOnDemand : public check::Auditor
+{
+  public:
+    explicit FlagOnDemand(bool fail) : fail_(fail) {}
+
+    const std::string &name() const override { return name_; }
+
+    void
+    audit(AuditContext &ctx) const override
+    {
+        ctx.require(!fail_, name_, "test invariant", "forced failure");
+    }
+
+  private:
+    bool fail_;
+    std::string name_ = "test.auditor";
+};
+
+TEST(Registry, ScheduleAndRunCounting)
+{
+    check::AuditorRegistry registry;
+    EXPECT_FALSE(registry.enabled());
+    EXPECT_FALSE(registry.due(0));
+
+    registry.setInterval(10);
+    EXPECT_TRUE(registry.enabled());
+    EXPECT_TRUE(registry.due(20));
+    EXPECT_FALSE(registry.due(21));
+
+    registry.add(std::make_unique<FlagOnDemand>(false));
+    EXPECT_EQ(registry.run(20).size(), 0u);
+    EXPECT_EQ(registry.auditsRun(), 1u);
+}
+
+TEST(Registry, RunCollectsViolations)
+{
+    check::AuditorRegistry registry;
+    registry.add(std::make_unique<FlagOnDemand>(false));
+    registry.add(std::make_unique<FlagOnDemand>(true));
+
+    const std::vector<check::Violation> violations = registry.run(7);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].component, "test.auditor");
+    EXPECT_EQ(violations[0].cycle, 7u);
+}
+
+TEST(RegistryDeathTest, EnforceAbortsOnViolation)
+{
+    check::AuditorRegistry registry;
+    registry.add(std::make_unique<FlagOnDemand>(true));
+    EXPECT_DEATH(registry.enforce(3), "invariant audit failed");
+}
+
+// --- end to end -------------------------------------------------------
+
+TEST(SystemAudit, RegistersAuditorsForEveryComponent)
+{
+    const sim::SystemConfig config =
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const workloads::Workload &workload =
+        workloads::findWorkload("603.bwaves_s-like");
+    trace::SyntheticTrace trace(workload.make());
+    sim::System system(config, {&trace});
+
+    check::attachSystemAuditors(system, 100);
+
+    // 1 core: L1I + L1D + L2 + PPF, plus the shared LLC and DRAM.
+    EXPECT_EQ(system.audit().size(), 6u);
+    EXPECT_EQ(system.audit().interval(), 100u);
+    EXPECT_TRUE(system.audit().run(0).empty());
+}
+
+TEST(SystemAudit, CleanEveryCycleEndToEnd)
+{
+    // The satellite acceptance run: a short synthetic SPP+PPF workload
+    // audited every single cycle must complete with zero violations
+    // (enforce() aborts the process otherwise).
+    sim::RunConfig run;
+    run.warmupInstructions = 1000;
+    run.simInstructions = 4000;
+    run.auditInterval = 1;
+
+    const sim::SystemConfig config =
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const sim::RunResult result = sim::runSingleCore(
+        config, workloads::findWorkload("605.mcf_s-like"), run);
+
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GE(result.core.instructions, run.simInstructions);
+}
+
+TEST(SystemAudit, AuditRunsAtConfiguredInterval)
+{
+    const sim::SystemConfig config =
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp");
+    const workloads::Workload &workload =
+        workloads::findWorkload("605.mcf_s-like");
+    trace::SyntheticTrace trace(workload.make());
+    sim::System system(config, {&trace});
+
+    check::attachSystemAuditors(system, 10);
+    for (int i = 0; i < 100; ++i)
+        system.cycle();
+
+    EXPECT_EQ(system.audit().auditsRun(), 10u);
+}
+
+} // namespace
+} // namespace pfsim

@@ -244,10 +244,10 @@ INSTANTIATE_TEST_SUITE_P(
                           "623.xalancbmk_s-like", "619.lbm_s-like",
                           "648.exchange2_s-like", "657.xz_s-like",
                           "cassandra-like", "410.bwaves-like")),
-    [](const auto &info) {
-        std::string name = std::get<0>(info.param);
+    [](const auto &param_info) {
+        std::string name = std::get<0>(param_info.param);
         name += "_";
-        for (char c : std::string(std::get<1>(info.param))) {
+        for (char c : std::string(std::get<1>(param_info.param))) {
             if (std::isalnum(static_cast<unsigned char>(c)))
                 name += c;
         }

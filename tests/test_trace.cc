@@ -351,9 +351,10 @@ TEST(SyntheticTrace, StoresTargetTheLoadedBlock)
         trace.next(instr);
         if (instr.isLoad())
             last_load = instr.loadAddr;
-        if (instr.isStore())
+        if (instr.isStore()) {
             EXPECT_EQ(blockAlign(instr.storeAddr),
                       blockAlign(last_load));
+        }
     }
 }
 

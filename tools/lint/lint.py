@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""pfsim project-rule linter.
+
+Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
+
+  1. No raw ``new`` / ``delete`` outside src/util — ownership lives in
+     smart pointers and containers everywhere else.
+  2. No ``rand()`` / ``srand()`` — all randomness goes through
+     util/random.hh so runs stay seed-reproducible.
+  3. Every ``fatal()`` / ``panic()`` call carries a non-empty message.
+  4. Every header under src/ is self-contained: it compiles alone
+     (checked with ``$CXX -fsyntax-only``).
+
+Exit status is non-zero when any rule is violated; each violation is
+reported as ``file:line: rule: detail``.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+CXX_SUFFIXES = {".cc", ".hh"}
+
+# Raw allocation: "new Type", "new (place) Type", "delete p",
+# "delete[] p".  Word-boundary anchored so "renew"/"deleted" and plain
+# words in comments like "a new instruction" do not match: the operator
+# must be followed by a type-ish token or bracket, and "delete" must not
+# be a defaulted/deleted special member (= delete).
+RAW_NEW_RE = re.compile(r"(?<![\w.])new\s+(?:\(|[A-Za-z_][\w:<>]*\s*[({\[;])")
+RAW_DELETE_RE = re.compile(r"(?<![\w.])delete\s*(?:\[\s*\])?\s+[A-Za-z_*(]")
+DEFAULTED_DELETE_RE = re.compile(r"=\s*delete")
+
+RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
+
+EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_strings(line: str) -> str:
+    """Replace string literals with a placeholder literal."""
+    return STRING_RE.sub('"s"', line)
+
+
+def iter_source_files(root: pathlib.Path):
+    for top in SOURCE_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                yield path
+
+
+def check_text_rules(root: pathlib.Path):
+    violations = []
+    for path in iter_source_files(root):
+        rel = path.relative_to(root)
+        in_util = rel.parts[:2] == ("src", "util")
+        in_block_comment = False
+        for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            if "/*" in line:
+                start = line.find("/*")
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    in_block_comment = True
+                    line = line[:start]
+                else:
+                    line = line[:start] + line[end + 2:]
+            # The message check runs with string literals intact (an
+            # empty literal IS the violation); the allocation checks
+            # run with them blanked so prose in messages cannot match.
+            line = LINE_COMMENT_RE.sub("", line)
+            if EMPTY_MESSAGE_RE.search(line):
+                violations.append(
+                    (rel, lineno, "empty-fatal-message",
+                     "fatal()/panic() must explain what went wrong"))
+            line = strip_strings(line)
+
+            if not in_util:
+                no_default = DEFAULTED_DELETE_RE.sub("", line)
+                if RAW_NEW_RE.search(line):
+                    violations.append(
+                        (rel, lineno, "no-raw-new",
+                         "raw operator new outside src/util; use "
+                         "std::make_unique or a container"))
+                if RAW_DELETE_RE.search(no_default):
+                    violations.append(
+                        (rel, lineno, "no-raw-delete",
+                         "raw operator delete outside src/util"))
+
+            if RAND_RE.search(line):
+                violations.append(
+                    (rel, lineno, "no-rand",
+                     "rand()/srand() is not seed-reproducible; use "
+                     "util/random.hh"))
+    return violations
+
+
+def check_headers_self_contained(root: pathlib.Path, cxx: str,
+                                 std: str):
+    violations = []
+    headers = sorted((root / "src").rglob("*.hh"))
+    for header in headers:
+        rel = header.relative_to(root)
+        result = subprocess.run(
+            [cxx, f"-std={std}", "-fsyntax-only", "-x", "c++",
+             "-I", str(root / "src"), str(header)],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            first = result.stderr.strip().splitlines()
+            detail = first[0] if first else "does not compile alone"
+            violations.append(
+                (rel, 1, "header-not-self-contained", detail))
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2])
+    parser.add_argument("--cxx", default="c++",
+                        help="compiler for the header self-containment "
+                             "check (empty string skips it)")
+    parser.add_argument("--std", default="c++20")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    violations = check_text_rules(root)
+    if args.cxx:
+        violations += check_headers_self_contained(root, args.cxx,
+                                                   args.std)
+
+    for rel, lineno, rule, detail in violations:
+        print(f"{rel}:{lineno}: {rule}: {detail}")
+
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: OK ({sum(1 for _ in iter_source_files(root))} files, "
+          f"{len(list((root / 'src').rglob('*.hh')))} headers checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
