@@ -6,6 +6,10 @@
  * Every bench accepts:
  *   --instructions=N  measured instructions per run (default 1M)
  *   --warmup=N        warmup instructions per run (default 250k)
+ *   --jobs=N          worker threads for sweeps (default: hardware
+ *                     concurrency; --jobs=1 runs serially).  Sweep
+ *                     results are bit-identical for every value; only
+ *                     wall-clock and stderr progress order change.
  * plus bench-specific flags documented in each binary.
  *
  * Default lengths are sized for a small CI container; the shapes the
@@ -18,10 +22,12 @@
 #define PFSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <mutex>
 #include <set>
 #include <string>
 
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -38,6 +44,7 @@ parseArgs(int argc, char **argv, std::set<std::string> extra = {})
 {
     extra.insert("instructions");
     extra.insert("warmup");
+    extra.insert("jobs");
     return Args(argc, argv, extra);
 }
 
@@ -50,6 +57,8 @@ runConfig(const Args &args)
         InstrCount(args.getInt("instructions", 1000000));
     run.warmupInstructions =
         InstrCount(args.getInt("warmup", 250000));
+    // 0 = hardware concurrency (resolved by the sweep engine).
+    run.jobs = unsigned(args.getInt("jobs", 0));
     return run;
 }
 
@@ -68,7 +77,43 @@ banner(const char *experiment, const char *paper_summary,
                 (unsigned long long)run.warmupInstructions);
     std::printf("================================================="
                 "=============\n\n");
+    // stderr, with the progress lines: stdout report output must stay
+    // byte-identical across --jobs values.
+    std::fprintf(stderr, "  [pool] %u worker thread(s)%s\n",
+                 sim::resolveJobs(run.jobs),
+                 run.jobs == 0 ? " (auto)" : "");
 }
+
+/**
+ * Thread-safe progress reporter for benches that drive their own run
+ * loops.  Each completed() call emits exactly one atomic stderr write
+ * ("  [run <done>/<total>] <what>\n"), so lines from concurrent jobs
+ * can interleave only whole, never mid-line.  (The sweep engines in
+ * sim/ carry their own equivalent reporter.)
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::size_t total) : total_(total) {}
+
+    /** Report one finished run described by @p what. */
+    void
+    completed(const std::string &what)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        char head[48];
+        std::snprintf(head, sizeof(head), "  [run %zu/%zu] ", done_,
+                      total_);
+        const std::string line = head + what + "\n";
+        std::fputs(line.c_str(), stderr);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+    std::size_t total_;
+};
 
 /** Pretty percent-over-baseline formatting. */
 inline std::string

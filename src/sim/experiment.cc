@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/parallel.hh"
 #include "stats/summary.hh"
 #include "util/logging.hh"
 
@@ -23,8 +24,11 @@ SweepRow::speedup(const std::string &prefetcher) const
     const auto with = results.find(prefetcher);
     if (base == results.end() || with == results.end())
         fatal("sweep row missing results for " + prefetcher);
-    if (base->second.ipc <= 0.0)
-        return 1.0;
+    if (base->second.ipc <= 0.0) {
+        fatal("sweep row for " + workload + ": baseline \"none\" IPC "
+              "is not positive; cannot compute a speedup for " +
+              prefetcher);
+    }
     return with->second.ipc / base->second.ipc;
 }
 
@@ -32,24 +36,49 @@ std::vector<SweepRow>
 sweepPrefetchers(const SystemConfig &base,
                  const std::vector<std::string> &prefetchers,
                  const std::vector<workloads::Workload> &workload_set,
-                 const RunConfig &run)
+                 const RunConfig &run, stats::FleetThroughput *fleet)
 {
     std::vector<std::string> all = {"none"};
     all.insert(all.end(), prefetchers.begin(), prefetchers.end());
 
-    std::vector<SweepRow> rows;
-    for (const auto &workload : workload_set) {
-        SweepRow row;
-        row.workload = workload.name;
-        for (const auto &name : all) {
-            std::fprintf(stderr, "  [run] %-24s %-10s ...",
-                         workload.name.c_str(), name.c_str());
-            std::fflush(stderr);
-            RunResult result =
-                runSingleCore(base.withPrefetcher(name), workload, run);
-            std::fprintf(stderr, " ipc=%.3f\n", result.ipc);
-            row.results.emplace(name, std::move(result));
+    // One slot per (workload, prefetcher) pair, owned by exactly one
+    // job: assembly below reads them in submission order, so the rows
+    // are bit-identical to a serial sweep for any jobs value.
+    std::vector<RunResult> slots(workload_set.size() * all.size());
+    std::vector<Job> job_list;
+    job_list.reserve(slots.size());
+    for (std::size_t w = 0; w < workload_set.size(); ++w) {
+        for (std::size_t p = 0; p < all.size(); ++p) {
+            job_list.push_back([&base, &workload_set, &all, &slots,
+                                &run, w, p]() -> JobReport {
+                RunResult result = runSingleCore(
+                    base.withPrefetcher(all[p]), workload_set[w], run);
+                char line[96];
+                std::snprintf(line, sizeof(line),
+                              "%-24s %-10s ipc=%.3f  %6.2f Mips",
+                              workload_set[w].name.c_str(),
+                              all[p].c_str(), result.ipc,
+                              result.throughput.mips());
+                JobReport report{line, result.throughput};
+                slots[w * all.size() + p] = std::move(result);
+                return report;
+            });
         }
+    }
+
+    const stats::FleetThroughput telemetry =
+        runJobs(job_list, run.jobs, "run");
+    if (fleet != nullptr)
+        *fleet = telemetry;
+
+    std::vector<SweepRow> rows;
+    rows.reserve(workload_set.size());
+    for (std::size_t w = 0; w < workload_set.size(); ++w) {
+        SweepRow row;
+        row.workload = workload_set[w].name;
+        for (std::size_t p = 0; p < all.size(); ++p)
+            row.results.emplace(all[p],
+                                std::move(slots[w * all.size() + p]));
         rows.push_back(std::move(row));
     }
     return rows;

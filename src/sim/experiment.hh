@@ -14,6 +14,7 @@
 
 #include "sim/multicore.hh"
 #include "sim/runner.hh"
+#include "stats/throughput.hh"
 #include "workloads/registry.hh"
 
 namespace pfsim::sim
@@ -30,19 +31,28 @@ struct SweepRow
     /** Keyed by prefetcher name; "none" is the baseline. */
     std::map<std::string, RunResult> results;
 
-    /** IPC speedup of @p prefetcher over the no-prefetch baseline. */
+    /**
+     * IPC speedup of @p prefetcher over the no-prefetch baseline.
+     * fatal() when either result is missing or the baseline IPC is
+     * not strictly positive — a speedup over nothing is meaningless.
+     */
     double speedup(const std::string &prefetcher) const;
 };
 
 /**
- * Run every workload under "none" plus @p prefetchers, printing one
- * progress line per run to stderr.
+ * Run every workload under "none" plus @p prefetchers on the job-pool
+ * sweep engine (sim/parallel.hh, run.jobs workers), printing one
+ * progress line per completed run to stderr.  Rows are assembled in
+ * workload order regardless of completion order, so results are
+ * bit-identical for every jobs value.  When @p fleet is non-null the
+ * sweep's aggregate simulation-throughput telemetry is stored there.
  */
 std::vector<SweepRow>
 sweepPrefetchers(const SystemConfig &base,
                  const std::vector<std::string> &prefetchers,
                  const std::vector<workloads::Workload> &workload_set,
-                 const RunConfig &run);
+                 const RunConfig &run,
+                 stats::FleetThroughput *fleet = nullptr);
 
 /** Geomean of per-workload speedups for @p prefetcher. */
 double geomeanSpeedup(const std::vector<SweepRow> &rows,

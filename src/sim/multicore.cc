@@ -1,8 +1,12 @@
 #include "sim/multicore.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <map>
 
 #include "check/system_audit.hh"
+#include "sim/parallel.hh"
+#include "stats/summary.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
 
@@ -15,6 +19,8 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
 {
     if (mix.size() != config.cores)
         fatal("mix size does not match core count");
+
+    const auto host_start = std::chrono::steady_clock::now();
 
     std::vector<std::unique_ptr<trace::SyntheticTrace>> traces;
     std::vector<trace::TraceSource *> sources;
@@ -68,7 +74,75 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
     }
     result.llc = system.llc().stats();
     result.dram = system.dram().stats();
+
+    // All cores simulate warmup plus at least their region of
+    // interest; watchdog_last holds the fleet's total retired count at
+    // the cycle the last core finished.
+    result.throughput.instructions =
+        config.cores * run.warmupInstructions + watchdog_last;
+    result.throughput.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
     return result;
+}
+
+std::vector<MixSweepRow>
+sweepMixes(const SystemConfig &base,
+           const std::vector<std::string> &prefetchers,
+           const std::vector<workloads::Mix> &mixes,
+           const RunConfig &run, stats::FleetThroughput *fleet)
+{
+    std::vector<std::string> all = {"none"};
+    all.insert(all.end(), prefetchers.begin(), prefetchers.end());
+
+    // Slot layout mirrors sweepPrefetchers: one owner per slot, rows
+    // assembled in submission order below.
+    std::vector<MixResult> slots(mixes.size() * all.size());
+    std::vector<Job> job_list;
+    job_list.reserve(slots.size());
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        for (std::size_t p = 0; p < all.size(); ++p) {
+            job_list.push_back([&base, &mixes, &all, &slots, &run, m,
+                                p]() -> JobReport {
+                MixResult result = runMix(base.withPrefetcher(all[p]),
+                                          mixes[m], run);
+                char line[96];
+                std::snprintf(line, sizeof(line),
+                              "mix%-3zu %-10s ipc(mean)=%.3f  "
+                              "%6.2f Mips",
+                              m, all[p].c_str(),
+                              stats::mean(result.ipc),
+                              result.throughput.mips());
+                JobReport report{line, result.throughput};
+                slots[m * all.size() + p] = std::move(result);
+                return report;
+            });
+        }
+    }
+
+    const stats::FleetThroughput telemetry =
+        runJobs(job_list, run.jobs, "mix");
+    if (fleet != nullptr)
+        *fleet = telemetry;
+
+    std::vector<MixSweepRow> rows(mixes.size());
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        for (std::size_t p = 0; p < all.size(); ++p)
+            rows[m].results.emplace(all[p],
+                                    std::move(slots[m * all.size() + p]));
+    }
+    return rows;
+}
+
+std::string
+IsolatedIpcCache::key(const SystemConfig &config,
+                      const workloads::Workload &workload,
+                      const RunConfig &run)
+{
+    return config.prefetcher + "|" + workload.name + "|" +
+        std::to_string(config.llc.sets) + "|" +
+        std::to_string(run.simInstructions);
 }
 
 double
@@ -76,14 +150,53 @@ IsolatedIpcCache::get(const SystemConfig &config,
                       const workloads::Workload &workload,
                       const RunConfig &run)
 {
-    const std::string key = config.prefetcher + "|" + workload.name +
-        "|" + std::to_string(config.llc.sets) + "|" +
-        std::to_string(run.simInstructions);
-    if (auto it = cache_.find(key); it != cache_.end())
+    const std::string k = key(config, workload, run);
+    if (auto it = cache_.find(k); it != cache_.end())
         return it->second;
     const RunResult result = runSingleCore(config, workload, run);
-    cache_[key] = result.ipc;
+    cache_[k] = result.ipc;
     return result.ipc;
+}
+
+void
+IsolatedIpcCache::prewarm(
+    const SystemConfig &config,
+    const std::vector<workloads::Workload> &workload_set,
+    const RunConfig &run)
+{
+    // Dedup against both the cache and repeats within workload_set.
+    std::vector<const workloads::Workload *> missing;
+    std::map<std::string, bool> queued;
+    for (const auto &workload : workload_set) {
+        const std::string k = key(config, workload, run);
+        if (cache_.count(k) != 0 || queued.count(k) != 0)
+            continue;
+        queued[k] = true;
+        missing.push_back(&workload);
+    }
+
+    std::vector<double> ipcs(missing.size(), 0.0);
+    std::vector<Job> job_list;
+    job_list.reserve(missing.size());
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        job_list.push_back([&config, &missing, &ipcs, &run,
+                            i]() -> JobReport {
+            const RunResult result =
+                runSingleCore(config, *missing[i], run);
+            char line[96];
+            std::snprintf(line, sizeof(line),
+                          "%-24s %-10s ipc=%.3f  %6.2f Mips",
+                          missing[i]->name.c_str(),
+                          config.prefetcher.c_str(), result.ipc,
+                          result.throughput.mips());
+            ipcs[i] = result.ipc;
+            return JobReport{line, result.throughput};
+        });
+    }
+    runJobs(job_list, run.jobs, "isolated");
+
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache_[key(config, *missing[i], run)] = ipcs[i];
 }
 
 double

@@ -15,6 +15,7 @@
 
 #include "sim/config.hh"
 #include "sim/runner.hh"
+#include "stats/throughput.hh"
 #include "workloads/mixes.hh"
 
 namespace pfsim::sim
@@ -31,11 +32,39 @@ struct MixResult
 
     cache::CacheStats llc;
     dram::DramStats dram;
+
+    /**
+     * Host-speed telemetry (wall-clock, simulated MIPS across all
+     * cores).  hostSeconds is the only non-deterministic field of a
+     * MixResult — comparisons must ignore it.
+     */
+    stats::RunThroughput throughput;
 };
 
 /** Run @p mix (one workload per core). */
 MixResult runMix(const SystemConfig &config,
                  const workloads::Mix &mix, const RunConfig &run);
+
+/** Results of one mix across several prefetchers. */
+struct MixSweepRow
+{
+    /** Keyed by prefetcher name; "none" is the baseline. */
+    std::map<std::string, MixResult> results;
+};
+
+/**
+ * Run every mix under "none" plus @p prefetchers on the job-pool
+ * sweep engine (sim/parallel.hh, run.jobs workers).  Rows follow the
+ * order of @p mixes regardless of completion order, so results are
+ * bit-identical for every jobs value.  When @p fleet is non-null the
+ * sweep's aggregate throughput telemetry is stored there.
+ */
+std::vector<MixSweepRow>
+sweepMixes(const SystemConfig &base,
+           const std::vector<std::string> &prefetchers,
+           const std::vector<workloads::Mix> &mixes,
+           const RunConfig &run,
+           stats::FleetThroughput *fleet = nullptr);
 
 /**
  * Memoising cache of isolated single-core IPCs, used by the weighted
@@ -50,7 +79,21 @@ class IsolatedIpcCache
                const workloads::Workload &workload,
                const RunConfig &run);
 
+    /**
+     * Fill the cache for every distinct workload in @p workload_set
+     * using the job pool (run.jobs workers), so later get() calls are
+     * hits.  The cache itself is not thread-safe; prewarm is the
+     * parallel path, get() stays serial.
+     */
+    void prewarm(const SystemConfig &config,
+                 const std::vector<workloads::Workload> &workload_set,
+                 const RunConfig &run);
+
   private:
+    static std::string key(const SystemConfig &config,
+                           const workloads::Workload &workload,
+                           const RunConfig &run);
+
     std::map<std::string, double> cache_;
 };
 

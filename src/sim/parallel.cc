@@ -1,0 +1,58 @@
+#include "sim/parallel.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/thread_pool.hh"
+
+namespace pfsim::sim
+{
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs == 0)
+        return util::hardwareConcurrency();
+    return jobs;
+}
+
+stats::FleetThroughput
+runJobs(const std::vector<Job> &job_list, unsigned jobs,
+        const std::string &tag)
+{
+    const unsigned workers = resolveJobs(jobs);
+    const std::size_t total = job_list.size();
+
+    stats::FleetThroughput fleet;
+    fleet.jobs = workers;
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    util::parallelFor(workers, total, [&](std::size_t i) {
+        const JobReport report = job_list[i]();
+
+        // Compose the whole progress line first, then emit it with one
+        // fputs under the lock: lines from concurrent jobs can only
+        // interleave whole, never mid-line.
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++done;
+        char head[48];
+        std::snprintf(head, sizeof(head), "  [%s %zu/%zu] ",
+                      tag.c_str(), done, total);
+        const std::string line = head + report.line + "\n";
+        std::fputs(line.c_str(), stderr);
+        fleet.add(report.throughput);
+    });
+    fleet.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+    std::fprintf(stderr, "  [%s] %s\n", tag.c_str(),
+                 fleet.summary().c_str());
+    return fleet;
+}
+
+} // namespace pfsim::sim

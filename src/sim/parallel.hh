@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Job-pool sweep engine: runs independent simulations side by side on
+ * a fixed-size worker pool while keeping results bit-identical to a
+ * serial sweep.
+ *
+ * Every (workload, prefetcher) single-core run and every multi-core
+ * mix run owns its whole system and RNG state, so runs are
+ * embarrassingly parallel; the only things the engine must get right
+ * are (1) results keyed by submission index, never completion order,
+ * (2) progress lines written as single atomic writes so they cannot
+ * interleave mid-line, and (3) fleet-wide simulation-throughput
+ * telemetry (stats/throughput.hh).
+ *
+ * sim::sweepPrefetchers and sim::sweepMixes are built on runJobs;
+ * bench binaries select the pool width with --jobs=N (RunConfig::jobs).
+ */
+
+#ifndef PFSIM_SIM_PARALLEL_HH
+#define PFSIM_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/throughput.hh"
+
+namespace pfsim::sim
+{
+
+/**
+ * Resolve a RunConfig::jobs value into a worker count: 0 (the
+ * default) selects the host's hardware concurrency, anything else is
+ * used as-is.  Always at least 1.
+ */
+unsigned resolveJobs(unsigned jobs);
+
+/** What one finished job reports back to the sweep engine. */
+struct JobReport
+{
+    /** Progress text for this run, without trailing newline. */
+    std::string line;
+
+    /** Host-speed telemetry folded into the fleet aggregate. */
+    stats::RunThroughput throughput;
+};
+
+/**
+ * One schedulable unit.  The callable runs a complete simulation,
+ * stores its result into a slot only it owns (pre-allocated by the
+ * caller, so assembly order never depends on completion order) and
+ * returns its progress report.
+ */
+using Job = std::function<JobReport()>;
+
+/**
+ * Run @p job_list on a pool of resolveJobs(@p jobs) workers
+ * (util/thread_pool.hh); jobs == 1 executes inline on the calling
+ * thread, preserving the serial behaviour exactly.
+ *
+ * Progress: one atomic stderr write per completed job of the form
+ * "  [<tag> <done>/<total>] <line>\n" (completion order), plus a
+ * fleet-throughput footer once all jobs finished.  Returns the fleet
+ * telemetry so callers can archive aggregate MIPS.
+ */
+stats::FleetThroughput runJobs(const std::vector<Job> &job_list,
+                               unsigned jobs, const std::string &tag);
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_PARALLEL_HH

@@ -1,5 +1,7 @@
 #include "sim/runner.hh"
 
+#include <chrono>
+
 #include "check/system_audit.hh"
 #include "core/spp_ppf.hh"
 #include "trace/synthetic.hh"
@@ -12,6 +14,7 @@ runSingleCore(const SystemConfig &config,
               const workloads::Workload &workload, const RunConfig &run,
               ppf::FeatureAnalysis *analysis)
 {
+    const auto host_start = std::chrono::steady_clock::now();
     trace::SyntheticTrace trace(workload.make());
     System system(config, {&trace});
 
@@ -51,6 +54,12 @@ runSingleCore(const SystemConfig &config,
         result.ppf = spp_ppf->filter().ppfStats();
     }
 
+    result.throughput.instructions =
+        run.warmupInstructions + result.core.instructions;
+    result.throughput.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include "prefetch/spp.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
+#include "stats/throughput.hh"
 #include "workloads/registry.hh"
 
 namespace pfsim::sim
@@ -34,6 +35,16 @@ struct RunConfig
      * offending entry.
      */
     std::uint64_t auditInterval = 0;
+
+    /**
+     * Worker threads for the sweep engines (sim/parallel.hh): 0 (the
+     * default) selects the host's hardware concurrency, 1 runs every
+     * job serially on the calling thread — today's behaviour.  Each
+     * individual run is always single-threaded; jobs only controls
+     * how many independent runs are in flight, and sweep results are
+     * bit-identical for every value.
+     */
+    unsigned jobs = 0;
 };
 
 /** Everything measured by one single-core run. */
@@ -54,6 +65,13 @@ struct RunResult
 
     /** Populated when the prefetcher is SPP+PPF. */
     ppf::PpfStats ppf;
+
+    /**
+     * Host-speed telemetry of this run (wall-clock, simulated MIPS).
+     * The only RunResult field that is *not* deterministic across
+     * repeats — comparisons and reports must ignore it.
+     */
+    stats::RunThroughput throughput;
 
     /** Total prefetches injected at the L2 (TOTAL_PF of Figure 1). */
     std::uint64_t

@@ -1,0 +1,53 @@
+#include "stats/throughput.hh"
+
+#include <cstdio>
+
+namespace pfsim::stats
+{
+
+double
+RunThroughput::mips() const
+{
+    if (hostSeconds <= 0.0)
+        return 0.0;
+    return double(instructions) / hostSeconds / 1e6;
+}
+
+void
+FleetThroughput::add(const RunThroughput &run)
+{
+    ++runs;
+    instructions += run.instructions;
+    busySeconds += run.hostSeconds;
+}
+
+double
+FleetThroughput::aggregateMips() const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return double(instructions) / wallSeconds / 1e6;
+}
+
+double
+FleetThroughput::poolSpeedup() const
+{
+    if (wallSeconds <= 0.0 || busySeconds <= 0.0)
+        return 1.0;
+    return busySeconds / wallSeconds;
+}
+
+std::string
+FleetThroughput::summary() const
+{
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%zu runs, %.1fM instructions in %.2fs wall "
+                  "(%u jobs, busy %.2fs): %.2f Mips aggregate, "
+                  "%.2fx pool speedup",
+                  runs, double(instructions) / 1e6, wallSeconds, jobs,
+                  busySeconds, aggregateMips(), poolSpeedup());
+    return buffer;
+}
+
+} // namespace pfsim::stats

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulation-throughput telemetry: how fast the *host* simulates, as
+ * opposed to how fast the simulated machine runs.
+ *
+ * Every run records its wall-clock cost and simulated instruction
+ * count; sweeps aggregate them fleet-wide.  Tracking MIPS (simulated
+ * million instructions per host-second) per run and per sweep lets
+ * BENCH_*.json archives catch host-speed regressions the IPC numbers
+ * cannot see.
+ */
+
+#ifndef PFSIM_STATS_THROUGHPUT_HH
+#define PFSIM_STATS_THROUGHPUT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pfsim::stats
+{
+
+/** Host-speed telemetry of one simulation run. */
+struct RunThroughput
+{
+    /** Simulated instructions, warmup included. */
+    std::uint64_t instructions = 0;
+
+    /** Wall-clock seconds the run took on its worker thread. */
+    double hostSeconds = 0.0;
+
+    /** Simulated million instructions per host-second; 0 if unknown. */
+    double mips() const;
+};
+
+/**
+ * Aggregate host-speed telemetry of a whole sweep.
+ *
+ * busySeconds sums every run's own wall-clock (what a serial sweep
+ * would roughly cost); wallSeconds is the sweep's elapsed time, so
+ * busySeconds / wallSeconds estimates the job pool's realised speedup.
+ */
+struct FleetThroughput
+{
+    std::size_t runs = 0;
+
+    /** Worker threads the sweep ran with. */
+    unsigned jobs = 1;
+
+    /** Total simulated instructions across all runs. */
+    std::uint64_t instructions = 0;
+
+    /** Sum of per-run host seconds (serial-equivalent cost). */
+    double busySeconds = 0.0;
+
+    /** Elapsed wall-clock of the whole sweep. */
+    double wallSeconds = 0.0;
+
+    /** Fold one finished run into the aggregate. */
+    void add(const RunThroughput &run);
+
+    /** Fleet MIPS: total instructions per elapsed host-second. */
+    double aggregateMips() const;
+
+    /** Realised pool speedup, busySeconds / wallSeconds; 1 if unknown. */
+    double poolSpeedup() const;
+
+    /** One-line human-readable summary for sweep footers. */
+    std::string summary() const;
+};
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_THROUGHPUT_HH

@@ -1,0 +1,118 @@
+#include "util/thread_pool.hh"
+
+#include <exception>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace pfsim::util
+{
+
+unsigned
+hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            panic("ThreadPool::submit after shutdown began");
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // One exception slot per index; each slot is written by exactly one
+    // task, and the pool's join provides the happens-before edge back
+    // to this thread, so no per-slot synchronisation is needed.
+    std::vector<std::exception_ptr> errors(count);
+    {
+        const std::size_t workers =
+            std::size_t(jobs) < count ? jobs : count;
+        ThreadPool pool{unsigned(workers)};
+        for (std::size_t i = 0; i < count; ++i) {
+            pool.submit([&fn, &errors, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace pfsim::util

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-size worker pool and an index-ordered parallel-for built on it.
+ *
+ * This is the only place in pfsim allowed to spawn raw std::threads
+ * (enforced by tools/lint rule no-raw-thread): every concurrent
+ * experiment goes through ThreadPool or parallelFor so determinism and
+ * exception handling are solved once.  Simulations themselves stay
+ * single-threaded; the pool only runs *independent* jobs side by side.
+ */
+
+#ifndef PFSIM_UTIL_THREAD_POOL_HH
+#define PFSIM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfsim::util
+{
+
+/** Host parallelism available to job pools; always at least 1. */
+unsigned hardwareConcurrency();
+
+/**
+ * A fixed set of worker threads draining a FIFO task queue.
+ *
+ * Tasks must not throw (parallelFor wraps arbitrary callables with the
+ * required capture); ordering of *execution* is unspecified, so tasks
+ * that care about result order must write to pre-assigned slots.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Waits for queued work, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned
+    workers() const
+    {
+        return unsigned(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Run @p fn(0) ... @p fn(count - 1) on up to @p jobs workers.
+ *
+ * With @p jobs <= 1 (or fewer than two items) the loop runs inline on
+ * the calling thread — no threads are spawned, byte-for-byte today's
+ * serial behaviour.  Otherwise min(jobs, count) workers drain the
+ * index range.
+ *
+ * The call returns only after every index has run.  If any invocation
+ * throws, the exception thrown by the *lowest* index is rethrown after
+ * completion, so failure reporting is deterministic regardless of
+ * interleaving.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace pfsim::util
+
+#endif // PFSIM_UTIL_THREAD_POOL_HH

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the concurrency substrate: the util thread pool, the
+ * sim job-pool sweep engine, throughput telemetry, and — the hard
+ * requirement — bit-identical sweep results for every --jobs value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/multicore.hh"
+#include "sim/parallel.hh"
+#include "stats/throughput.hh"
+#include "util/thread_pool.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+// --- util/thread_pool -------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    util::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableBetweenBatches)
+{
+    util::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> visits(257);
+    util::parallelFor(8, visits.size(),
+                      [&visits](std::size_t i) { ++visits[i]; });
+    for (const auto &visit : visits)
+        EXPECT_EQ(visit.load(), 1);
+}
+
+TEST(ParallelFor, ResultsLandInIndexOrderRegardlessOfCompletion)
+{
+    // Each task writes only its own slot; the assembled vector must be
+    // the identity permutation no matter how execution interleaved.
+    std::vector<std::size_t> slots(100, ~std::size_t{0});
+    util::parallelFor(7, slots.size(),
+                      [&slots](std::size_t i) { slots[i] = i; });
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        EXPECT_EQ(slots[i], i);
+}
+
+TEST(ParallelFor, SizeOneRunsInlineOnCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(5);
+    util::parallelFor(1, seen.size(), [&seen](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(
+        util::parallelFor(4, 16,
+                          [](std::size_t i) {
+                              if (i == 9)
+                                  throw std::runtime_error("boom 9");
+                          }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically)
+{
+    // Two throwing indices: the rethrown exception must always be the
+    // lower one, independent of which task finished first.
+    for (int repeat = 0; repeat < 5; ++repeat) {
+        try {
+            util::parallelFor(4, 16, [](std::size_t i) {
+                if (i == 3)
+                    throw std::runtime_error("boom 3");
+                if (i == 12)
+                    throw std::runtime_error("boom 12");
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &error) {
+            EXPECT_STREQ(error.what(), "boom 3");
+        }
+    }
+}
+
+TEST(ParallelFor, RemainingTasksStillRunAfterAThrow)
+{
+    std::atomic<int> count{0};
+    try {
+        util::parallelFor(4, 32, [&count](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("early");
+            ++count;
+        });
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(count.load(), 31);
+}
+
+TEST(ParallelFor, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(util::hardwareConcurrency(), 1u);
+    EXPECT_GE(sim::resolveJobs(0), 1u);
+    EXPECT_EQ(sim::resolveJobs(3), 3u);
+}
+
+// --- stats/throughput -------------------------------------------------
+
+TEST(Throughput, RunMipsAndFleetAggregation)
+{
+    stats::RunThroughput run;
+    EXPECT_DOUBLE_EQ(run.mips(), 0.0); // unmeasured -> 0, not inf
+    run.instructions = 2000000;
+    run.hostSeconds = 0.5;
+    EXPECT_DOUBLE_EQ(run.mips(), 4.0);
+
+    stats::FleetThroughput fleet;
+    fleet.jobs = 2;
+    fleet.add(run);
+    fleet.add(run);
+    fleet.wallSeconds = 0.5;
+    EXPECT_EQ(fleet.runs, 2u);
+    EXPECT_EQ(fleet.instructions, 4000000u);
+    EXPECT_DOUBLE_EQ(fleet.busySeconds, 1.0);
+    EXPECT_DOUBLE_EQ(fleet.aggregateMips(), 8.0);
+    EXPECT_DOUBLE_EQ(fleet.poolSpeedup(), 2.0);
+    EXPECT_FALSE(fleet.summary().empty());
+}
+
+// --- sim/parallel sweep engine ---------------------------------------
+
+TEST(RunJobs, ReportsFleetTelemetryAndRunsAllJobs)
+{
+    std::vector<int> slots(10, 0);
+    std::vector<sim::Job> jobs;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        jobs.push_back([&slots, i]() -> sim::JobReport {
+            slots[i] = int(i) + 1;
+            sim::JobReport report;
+            report.line = "job";
+            report.throughput.instructions = 1000;
+            report.throughput.hostSeconds = 0.001;
+            return report;
+        });
+    }
+    const stats::FleetThroughput fleet = sim::runJobs(jobs, 4, "test");
+    EXPECT_EQ(fleet.runs, 10u);
+    EXPECT_EQ(fleet.instructions, 10000u);
+    EXPECT_EQ(fleet.jobs, 4u);
+    EXPECT_GT(fleet.wallSeconds, 0.0);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        EXPECT_EQ(slots[i], int(i) + 1);
+}
+
+// Every deterministic field of a RunResult; bit-exact comparisons
+// (EXPECT_EQ on doubles is ==), since bit-identical results are the
+// engine's hard requirement.  throughput is telemetry and exempt.
+void
+expectIdenticalRunResults(const sim::RunResult &a,
+                          const sim::RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.prefetcher, b.prefetcher);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.l1d.demandMisses(), b.l1d.demandMisses());
+    EXPECT_EQ(a.l2.demandMisses(), b.l2.demandMisses());
+    EXPECT_EQ(a.l2.pfIssued, b.l2.pfIssued);
+    EXPECT_EQ(a.l2.pfUseful, b.l2.pfUseful);
+    EXPECT_EQ(a.llc.demandMisses(), b.llc.demandMisses());
+    EXPECT_EQ(a.llc.pfUseful, b.llc.pfUseful);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.spp.issued, b.spp.issued);
+    EXPECT_EQ(a.spp.triggers, b.spp.triggers);
+    EXPECT_EQ(a.ppf.candidates, b.ppf.candidates);
+    EXPECT_EQ(a.ppf.acceptedL2, b.ppf.acceptedL2);
+    EXPECT_EQ(a.ppf.acceptedLlc, b.ppf.acceptedLlc);
+    EXPECT_EQ(a.ppf.rejected, b.ppf.rejected);
+    EXPECT_EQ(a.ppf.trainUseful, b.ppf.trainUseful);
+}
+
+TEST(ParallelSweep, JobsFourMatchesSerialAcrossPaperLineup)
+{
+    sim::RunConfig run;
+    run.warmupInstructions = 5000;
+    run.simInstructions = 20000;
+    const std::vector<workloads::Workload> workload_set = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("623.xalancbmk_s-like"),
+    };
+    const sim::SystemConfig base = sim::SystemConfig::defaultConfig();
+
+    run.jobs = 1;
+    const auto serial = sim::sweepPrefetchers(
+        base, sim::paperPrefetchers(), workload_set, run);
+    run.jobs = 4;
+    const auto parallel = sim::sweepPrefetchers(
+        base, sim::paperPrefetchers(), workload_set, run);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t row = 0; row < serial.size(); ++row) {
+        EXPECT_EQ(serial[row].workload, parallel[row].workload);
+        ASSERT_EQ(serial[row].results.size(),
+                  parallel[row].results.size());
+        for (const auto &[name, result] : serial[row].results) {
+            ASSERT_TRUE(parallel[row].results.count(name)) << name;
+            expectIdenticalRunResults(result,
+                                      parallel[row].results.at(name));
+        }
+        for (const auto &name : sim::paperPrefetchers()) {
+            EXPECT_EQ(serial[row].speedup(name),
+                      parallel[row].speedup(name));
+        }
+    }
+}
+
+TEST(ParallelSweep, SweepReportsFleetThroughput)
+{
+    sim::RunConfig run;
+    run.warmupInstructions = 2000;
+    run.simInstructions = 10000;
+    run.jobs = 2;
+    stats::FleetThroughput fleet;
+    const auto rows = sim::sweepPrefetchers(
+        sim::SystemConfig::defaultConfig(), {"spp"},
+        {workloads::findWorkload("638.imagick_s-like")}, run, &fleet);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(fleet.runs, 2u); // "none" + "spp"
+    EXPECT_GT(fleet.instructions, 2u * run.simInstructions);
+    EXPECT_GT(fleet.busySeconds, 0.0);
+    EXPECT_GT(fleet.wallSeconds, 0.0);
+    EXPECT_GT(fleet.aggregateMips(), 0.0);
+}
+
+TEST(ParallelSweep, MixSweepJobsFourMatchesSerial)
+{
+    sim::RunConfig run;
+    run.warmupInstructions = 4000;
+    run.simInstructions = 15000;
+    const workloads::Mix mix_a = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("638.imagick_s-like"),
+    };
+    const workloads::Mix mix_b = {
+        workloads::findWorkload("623.xalancbmk_s-like"),
+        workloads::findWorkload("603.bwaves_s-like"),
+    };
+    const sim::SystemConfig base = sim::SystemConfig::defaultConfig(2);
+
+    run.jobs = 1;
+    const auto serial =
+        sim::sweepMixes(base, {"spp", "spp_ppf"}, {mix_a, mix_b}, run);
+    run.jobs = 4;
+    const auto parallel =
+        sim::sweepMixes(base, {"spp", "spp_ppf"}, {mix_a, mix_b}, run);
+
+    ASSERT_EQ(serial.size(), 2u);
+    ASSERT_EQ(parallel.size(), 2u);
+    for (std::size_t m = 0; m < serial.size(); ++m) {
+        ASSERT_EQ(serial[m].results.size(), 3u); // none + 2
+        for (const auto &[name, result] : serial[m].results) {
+            ASSERT_TRUE(parallel[m].results.count(name)) << name;
+            const auto &other = parallel[m].results.at(name);
+            EXPECT_EQ(result.workloads, other.workloads);
+            EXPECT_EQ(result.ipc, other.ipc); // vector<double>, ==
+            EXPECT_EQ(result.llc.demandMisses(),
+                      other.llc.demandMisses());
+            EXPECT_EQ(result.dram.reads, other.dram.reads);
+            EXPECT_EQ(result.throughput.instructions,
+                      other.throughput.instructions);
+        }
+    }
+}
+
+TEST(ParallelSweep, IsolatedCachePrewarmMatchesSerialGets)
+{
+    const sim::SystemConfig config = sim::SystemConfig::defaultConfig();
+    sim::RunConfig run;
+    run.warmupInstructions = 2000;
+    run.simInstructions = 10000;
+    const std::vector<workloads::Workload> workload_set = {
+        workloads::findWorkload("603.bwaves_s-like"),
+        workloads::findWorkload("638.imagick_s-like"),
+        workloads::findWorkload("603.bwaves_s-like"), // duplicate
+    };
+
+    sim::IsolatedIpcCache warmed;
+    run.jobs = 4;
+    warmed.prewarm(config, workload_set, run);
+
+    sim::IsolatedIpcCache serial;
+    for (const auto &workload : workload_set) {
+        EXPECT_EQ(warmed.get(config, workload, run),
+                  serial.get(config, workload, run))
+            << workload.name;
+    }
+}
+
+TEST(SweepRowDeath, ZeroBaselineIpcIsFatal)
+{
+    sim::SweepRow row;
+    row.workload = "synthetic";
+    sim::RunResult none;
+    none.ipc = 0.0;
+    sim::RunResult spp;
+    spp.ipc = 1.0;
+    row.results.emplace("none", none);
+    row.results.emplace("spp", spp);
+    EXPECT_EXIT(row.speedup("spp"), testing::ExitedWithCode(1),
+                "baseline \"none\" IPC is not positive");
+}
+
+TEST(SweepRowDeath, MissingResultIsFatal)
+{
+    sim::SweepRow row;
+    row.workload = "synthetic";
+    EXPECT_EXIT(row.speedup("spp"), testing::ExitedWithCode(1),
+                "missing results");
+}
+
+} // namespace
+} // namespace pfsim

@@ -10,6 +10,11 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
   3. Every ``fatal()`` / ``panic()`` call carries a non-empty message.
   4. Every header under src/ is self-contained: it compiles alone
      (checked with ``$CXX -fsyntax-only``).
+  5. No raw ``std::thread`` / ``std::jthread`` outside src/util and
+     src/sim/parallel.* — concurrency goes through the job pool
+     (util/thread_pool.hh) so sweeps stay deterministic and exception
+     handling is solved once.  ``std::thread::hardware_concurrency``
+     and ``std::this_thread`` are allowed everywhere.
 
 Exit status is non-zero when any rule is violated; each violation is
 reported as ``file:line: rule: detail``.
@@ -34,6 +39,12 @@ RAW_DELETE_RE = re.compile(r"(?<![\w.])delete\s*(?:\[\s*\])?\s+[A-Za-z_*(]")
 DEFAULTED_DELETE_RE = re.compile(r"=\s*delete")
 
 RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
+
+# Any mention of the thread types themselves (declaration, member,
+# vector element, spawn) counts; static member access like
+# std::thread::hardware_concurrency() does not, and std::this_thread
+# never matches the literal "std::thread".
+RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
 
 EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
 
@@ -61,6 +72,9 @@ def check_text_rules(root: pathlib.Path):
     for path in iter_source_files(root):
         rel = path.relative_to(root)
         in_util = rel.parts[:2] == ("src", "util")
+        may_thread = in_util or (
+            rel.parts[:2] == ("src", "sim")
+            and rel.name.startswith("parallel."))
         in_block_comment = False
         for lineno, raw in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -106,6 +120,14 @@ def check_text_rules(root: pathlib.Path):
                     (rel, lineno, "no-rand",
                      "rand()/srand() is not seed-reproducible; use "
                      "util/random.hh"))
+
+            if not may_thread and RAW_THREAD_RE.search(line):
+                violations.append(
+                    (rel, lineno, "no-raw-thread",
+                     "raw std::thread outside src/util and "
+                     "src/sim/parallel.*; run concurrent work "
+                     "through ThreadPool/parallelFor "
+                     "(util/thread_pool.hh)"))
     return violations
 
 
