@@ -54,11 +54,11 @@ runConfig(const Args &args)
 {
     sim::RunConfig run;
     run.simInstructions =
-        InstrCount(args.getInt("instructions", 1000000));
+        InstrCount(args.getUnsigned("instructions", 1000000));
     run.warmupInstructions =
-        InstrCount(args.getInt("warmup", 250000));
+        InstrCount(args.getUnsigned("warmup", 250000));
     // 0 = hardware concurrency (resolved by the sweep engine).
-    run.jobs = unsigned(args.getInt("jobs", 0));
+    run.jobs = unsigned(args.getUnsigned("jobs", 0));
     return run;
 }
 

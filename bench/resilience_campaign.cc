@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Resilience campaign: runs a matrix of PPF workloads under a seeded
+ * fault plan and reports how the system degrades and recovers —
+ * weight-flip recovery latency (online training re-convergence),
+ * trace-corruption repair counts, DRAM/MSHR backpressure effects, and
+ * fleet-level retry/degrade outcomes.
+ *
+ * Flags (plus the shared --instructions/--warmup/--jobs):
+ *   --faults=SPEC   fault plan (see fault/fault.hh for the grammar)
+ *   --seed=S        campaign seed; per-job streams derive from it
+ *   --retries=N     extra attempts per failed job (default 2)
+ *   --backoff-ms=N  base host backoff between attempts (default 0)
+ *   --timeout=SECS  per-run cooperative watchdog (default off; note
+ *                   that timeout-induced outcomes depend on host speed)
+ *   --workloads=K   memory-intensive workloads in the matrix (def. 4)
+ *   --audit=N       run the invariant audit every N cycles
+ *
+ * stdout is assembled from per-job slots in submission order, so for a
+ * fixed spec and seed it is byte-identical across repeated runs and
+ * across --jobs values.  Exit status: 0 clean, 2 when any row
+ * degraded.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "fault/fault.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv,
+                          {"faults", "seed", "retries", "backoff-ms",
+                           "timeout", "workloads", "audit"});
+    sim::RunConfig run = runConfig(args);
+    run.auditInterval = args.has("audit")
+        ? std::uint64_t(args.getUnsigned("audit", 10000))
+        : 0;
+
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse(args.get("faults", ""));
+    const std::uint64_t seed = args.getUnsigned("seed", 1);
+    const double timeout = args.getDouble("timeout", 0.0);
+
+    sim::FleetPolicy policy;
+    policy.maxRetries = unsigned(args.getUnsigned("retries", 2));
+    policy.backoffMs = unsigned(args.getUnsigned("backoff-ms", 0));
+    policy.degradeOnFailure = true;
+
+    banner("Resilience campaign — seeded faults, degraded-mode fleet",
+           "PPF's online training is the recovery mechanism: flipped "
+           "weights re-converge, so accuracy self-heals",
+           run);
+    std::printf("faults: %s\n", plan.summary().c_str());
+    std::printf("seed:   %llu, retries: %u, policy: degrade\n\n",
+                (unsigned long long)seed, policy.maxRetries);
+
+    const auto &suite = workloads::spec17Suite();
+    const auto subset = workloads::memIntensiveSubset(suite);
+    std::size_t matrix = args.getUnsigned("workloads", 4);
+    if (matrix == 0 || matrix > subset.size())
+        matrix = subset.size();
+
+    const sim::SystemConfig config =
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+
+    // One result slot per job, owned by exactly one job; stdout is
+    // assembled from the slots afterwards, never from completion
+    // order.
+    std::vector<sim::RunResult> slots(matrix);
+    std::vector<sim::Job> job_list;
+    job_list.reserve(matrix);
+    // Only the flaky job's (sequential) retries touch this counter.
+    auto flaky_left = std::make_shared<unsigned>(plan.job.flakyFails);
+    for (std::size_t j = 0; j < matrix; ++j) {
+        job_list.push_back([&, flaky_left, j]() -> sim::JobReport {
+            if (plan.job.crashIndex == std::int64_t(j)) {
+                throw fault::InjectedJobFault(
+                    "injected crash fault (job " + std::to_string(j) +
+                    " fails on every attempt)");
+            }
+            if (plan.job.flakyIndex == std::int64_t(j) &&
+                *flaky_left > 0) {
+                --*flaky_left;
+                throw fault::InjectedJobFault(
+                    "injected flaky fault (job " + std::to_string(j) +
+                    ", " + std::to_string(*flaky_left) +
+                    " failure(s) left)");
+            }
+            sim::RunConfig job_run = run;
+            job_run.faults = plan.anySystem() ? &plan : nullptr;
+            job_run.faultSeed = fault::deriveSeed(seed, j);
+            job_run.hostTimeoutSeconds = timeout;
+            sim::RunResult result =
+                sim::runSingleCore(config, subset[j], job_run);
+            sim::JobReport report;
+            report.line = result.workload + " IPC " +
+                          stats::TextTable::num(result.ipc, 3);
+            report.throughput = result.throughput;
+            slots[j] = std::move(result);
+            return report;
+        });
+    }
+
+    const sim::FleetReport fleet =
+        sim::runJobsResilient(job_list, run.jobs, "campaign", policy);
+
+    stats::TextTable table({"workload", "status", "attempts", "IPC",
+                            "wflip rec/tot", "rec cyc (mean/max)",
+                            "spp flip", "dram drop/delay", "mshr win",
+                            "trace corr/rep/drop"});
+    fault::FaultStats total;
+    for (std::size_t j = 0; j < matrix; ++j) {
+        const sim::JobOutcome &outcome = fleet.outcomes[j];
+        if (!outcome.ok) {
+            table.addRow({subset[j].name, "DEGRADED",
+                          std::to_string(outcome.attempts), "-", "-",
+                          "-", "-", "-", "-", "-"});
+            continue;
+        }
+        const sim::RunResult &r = slots[j];
+        const fault::FaultStats &f = r.faults;
+        total.add(f);
+        table.addRow(
+            {r.workload,
+             outcome.recoveredAfterRetry() ? "recovered" : "ok",
+             std::to_string(outcome.attempts),
+             stats::TextTable::num(r.ipc, 3),
+             std::to_string(f.weightFlipsRecovered) + "/" +
+                 std::to_string(f.weightFlips),
+             stats::TextTable::num(f.meanWeightRecoveryCycles(), 0) +
+                 "/" + std::to_string(f.weightRecoveryCyclesMax),
+             std::to_string(f.sppFlips),
+             std::to_string(f.dramDropped) + "/" +
+                 std::to_string(f.dramDelayed),
+             std::to_string(f.mshrSqueezeWindows),
+             std::to_string(f.traceCorrupted) + "/" +
+                 std::to_string(f.traceRepaired) + "/" +
+                 std::to_string(f.traceDropped)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    if (plan.weights.enabled()) {
+        std::printf("weight-flip recovery: %llu of %llu flips "
+                    "recovered via online training, mean %.0f cycles, "
+                    "max %llu\n",
+                    (unsigned long long)total.weightFlipsRecovered,
+                    (unsigned long long)total.weightFlips,
+                    total.meanWeightRecoveryCycles(),
+                    (unsigned long long)total.weightRecoveryCyclesMax);
+    }
+    std::printf("campaign: %zu runs, %zu degraded, %zu "
+                "recovered-after-retry\n",
+                fleet.outcomes.size(), fleet.degraded(),
+                fleet.recovered());
+
+    // Exit non-zero when degraded so CI and sweep drivers can tell a
+    // survived-but-wounded campaign from a clean one.
+    return fleet.degraded() > 0 ? 2 : 0;
+}

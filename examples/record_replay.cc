@@ -12,12 +12,14 @@
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "sim/runner.hh"
 #include "stats/table.hh"
 #include "trace/file_trace.hh"
 #include "trace/synthetic.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "workloads/registry.hh"
 
 int
@@ -60,7 +62,13 @@ main(int argc, char **argv)
     stats::TextTable table({"prefetcher", "IPC (replay)", "speedup"});
     double base_ipc = 0.0;
     for (const char *prefetcher : {"none", "spp", "spp_ppf"}) {
-        trace::FileTrace replay(path, true);
+        std::unique_ptr<trace::FileTrace> opened;
+        try {
+            opened = std::make_unique<trace::FileTrace>(path, true);
+        } catch (const trace::TraceError &e) {
+            fatal(e.what());
+        }
+        trace::FileTrace &replay = *opened;
         sim::System system(sim::SystemConfig::defaultConfig()
                                .withPrefetcher(prefetcher),
                            {&replay});

@@ -170,6 +170,9 @@ class Cache : public MemoryLevel, public Requestor,
     std::size_t pqSize() const { return pq_.size(); }
     std::size_t mshrUsed() const { return mshrs_.used(); }
     std::size_t fillsPending() const { return fills_.size(); }
+
+    /** Mutable MSHR file handle for fault injection (src/fault only). */
+    MshrFile &faultInjectMshrs() { return mshrs_; }
     std::size_t responsesPending() const { return responses_.size(); }
 
     struct Block

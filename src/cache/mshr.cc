@@ -25,6 +25,8 @@ MshrEntry *
 MshrFile::allocate(Addr addr, Cycle now)
 {
     assert(find(addr) == nullptr);
+    if (full())
+        return nullptr;
     for (auto &entry : entries_) {
         if (!entry.valid) {
             entry.valid = true;
@@ -42,6 +44,15 @@ MshrFile::allocate(Addr addr, Cycle now)
         }
     }
     return nullptr;
+}
+
+void
+MshrFile::faultInjectReserve(std::size_t count)
+{
+    // Never reserve the whole file: one usable entry keeps forward
+    // progress possible so a squeeze window models backpressure, not
+    // deadlock.
+    reserved_ = count >= entries_.size() ? entries_.size() - 1 : count;
 }
 
 void

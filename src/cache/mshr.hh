@@ -71,10 +71,21 @@ class MshrFile
     void release(MshrEntry *entry);
 
     /** True when no entry can be allocated. */
-    bool full() const { return used_ == entries_.size(); }
+    bool full() const { return used_ + reserved_ >= entries_.size(); }
 
     std::size_t used() const { return used_; }
     std::size_t capacity() const { return entries_.size(); }
+
+    /**
+     * Withhold @p count entries from allocation (fault injection;
+     * called only from src/fault).  Entries already in flight are
+     * untouched — the file just refuses new allocations while fewer
+     * than @p count entries are free.  Pass 0 to release the squeeze.
+     */
+    void faultInjectReserve(std::size_t count);
+
+    /** Entries currently withheld by fault injection. */
+    std::size_t faultReserved() const { return reserved_; }
 
     /** Read-only view of the raw entries for the invariant auditor. */
     const std::vector<MshrEntry> &auditState() const { return entries_; }
@@ -82,6 +93,7 @@ class MshrFile
   private:
     std::vector<MshrEntry> entries_;
     std::size_t used_ = 0;
+    std::size_t reserved_ = 0;
 };
 
 } // namespace pfsim::cache

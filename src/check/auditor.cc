@@ -47,16 +47,44 @@ AuditorRegistry::run(Cycle now)
 }
 
 void
+AuditorRegistry::tolerate(const std::string &invariant)
+{
+    tolerated_.insert(invariant);
+}
+
+bool
+AuditorRegistry::isTolerated(const std::string &invariant) const
+{
+    return tolerated_.count(invariant) != 0;
+}
+
+void
 AuditorRegistry::enforce(Cycle now)
 {
     const std::vector<Violation> violations = run(now);
     if (violations.empty())
         return;
-    for (const Violation &v : violations)
-        warn(v.format());
+
+    std::vector<const Violation *> hard;
+    for (const Violation &v : violations) {
+        if (isTolerated(v.invariant)) {
+            ++toleratedViolations_;
+            // Cap the warning stream: a long faulted run can tolerate
+            // thousands of violations; the count is in the stats.
+            if (toleratedViolations_ <= 8)
+                warn("tolerated (degraded mode): " + v.format());
+        } else {
+            hard.push_back(&v);
+        }
+    }
+    if (hard.empty())
+        return;
+
+    for (const Violation *v : hard)
+        warn(v->format());
     panic("invariant audit failed: " +
-          std::to_string(violations.size()) + " violation(s) at cycle " +
-          std::to_string(now) + "; first: " + violations.front().format());
+          std::to_string(hard.size()) + " violation(s) at cycle " +
+          std::to_string(now) + "; first: " + hard.front()->format());
 }
 
 } // namespace pfsim::check

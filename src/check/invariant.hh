@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -121,9 +122,30 @@ class AuditorRegistry
     /** Number of completed audit passes (tests / reporting). */
     std::uint64_t auditsRun() const { return auditsRun_; }
 
+    /**
+     * Degraded mode: violations of @p invariant are expected side
+     * effects of an armed fault injector, so enforce() reports them as
+     * warnings and keeps running instead of panicking.  Violations of
+     * every other invariant still abort — this is what lets audits
+     * under fault injection distinguish injected faults from real
+     * bugs.
+     */
+    void tolerate(const std::string &invariant);
+
+    /** True when @p invariant is tolerated. */
+    bool isTolerated(const std::string &invariant) const;
+
+    /** Violations waved through in degraded mode so far. */
+    std::uint64_t toleratedViolations() const
+    {
+        return toleratedViolations_;
+    }
+
   private:
     std::uint64_t interval_ = 0;
     std::uint64_t auditsRun_ = 0;
+    std::uint64_t toleratedViolations_ = 0;
+    std::set<std::string> tolerated_;
     std::vector<std::unique_ptr<Auditor>> auditors_;
 };
 

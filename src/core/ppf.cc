@@ -138,4 +138,22 @@ Ppf::onUselessEviction(Addr addr)
     }
 }
 
+int
+Ppf::faultInjectWeightFlip(FeatureId feature, std::uint32_t index,
+                           unsigned bit)
+{
+    const int pre = weights_.weight(feature, index);
+    const unsigned raw = unsigned(pre) & ((1u << weightBits) - 1u);
+    const unsigned flipped = raw ^ (1u << (bit % weightBits));
+    int value = int(flipped);
+    if ((flipped & (1u << (weightBits - 1u))) != 0)
+        value -= 1 << weightBits;
+    if (value < weights_.weightMin())
+        value = weights_.weightMin();
+    else if (value > weights_.weightMax())
+        value = weights_.weightMax();
+    weights_.poke(feature, index, value);
+    return value;
+}
+
 } // namespace pfsim::ppf

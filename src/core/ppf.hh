@@ -119,6 +119,16 @@ class Ppf : public prefetch::SppFilter
     /** Attach the Figure 6-8 instrumentation (optional). */
     void setAnalysis(FeatureAnalysis *analysis) { analysis_ = analysis; }
 
+    /**
+     * Flip bit @p bit (0..weightBits-1) of the stored two's-complement
+     * encoding of weight (@p feature, @p index) — a transient soft
+     * error (called only from src/fault).  The flipped value is
+     * re-clamped to the configured weight range, as real saturating
+     * hardware would on the next update.  @return the post-flip value.
+     */
+    int faultInjectWeightFlip(FeatureId feature, std::uint32_t index,
+                              unsigned bit);
+
     /** Read-only view of the filter's state for the invariant auditor. */
     struct AuditView
     {

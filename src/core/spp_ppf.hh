@@ -56,6 +56,7 @@ class SppPpfPrefetcher : public prefetch::Prefetcher
 
     Ppf &filter() { return ppf_; }
     const Ppf &filter() const { return ppf_; }
+    prefetch::SppPrefetcher &spp() { return *spp_; }
     const prefetch::SppPrefetcher &spp() const { return *spp_; }
 
   private:

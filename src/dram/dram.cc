@@ -163,12 +163,23 @@ Dram::schedule(Channel &channel, Cycle now)
     Pending pending = queue[pick];
     queue.erase(queue.begin() + std::ptrdiff_t(pick));
 
-    const Cycle completion = issue(channel, pending, now);
+    Cycle completion = issue(channel, pending, now);
     const bool is_write =
         pending.req.type == cache::AccessType::Writeback;
     if (is_write) {
         ++stats_.writes;
     } else {
+        if (faultHook_ != nullptr && pending.req.ret != nullptr) {
+            if (faultHook_->dropResponse(pending.req) &&
+                channel.readQ.size() < config_.rqSize) {
+                // Response lost after service: re-queue for retry with
+                // the original arrival cycle, so the eventual latency
+                // stat reflects the full (faulted) round trip.
+                channel.readQ.push_back(pending);
+                return true;
+            }
+            completion += faultHook_->responseDelay(pending.req);
+        }
         ++stats_.reads;
         stats_.readLatencySum += completion - pending.arrival;
         if (pending.req.ret != nullptr)

@@ -85,6 +85,27 @@ struct DramStats
     std::uint64_t readLatencySum = 0;
 };
 
+/**
+ * Fault hook consulted on the read-response path.  Implemented only by
+ * src/fault injectors; a null hook (the default) leaves behaviour
+ * bit-identical to a fault-free build.
+ */
+class DramFaultHook
+{
+  public:
+    virtual ~DramFaultHook() = default;
+
+    /**
+     * True when this serviced read's response should be lost: the
+     * request is re-queued and retried (bus/bank time already spent is
+     * wasted), never silently dropped.
+     */
+    virtual bool dropResponse(const cache::Request &req) = 0;
+
+    /** Extra cycles to add to this response's completion. */
+    virtual Cycle responseDelay(const cache::Request &req) = 0;
+};
+
 /** The DRAM device: the bottom of every hierarchy. */
 class Dram : public cache::MemoryLevel
 {
@@ -131,6 +152,9 @@ class Dram : public cache::MemoryLevel
     /** Read-only view of the channel state for the invariant auditor. */
     const std::vector<Channel> &auditState() const { return channels_; }
 
+    /** Install (or clear, with nullptr) the response fault hook. */
+    void faultInjectHook(DramFaultHook *hook) { faultHook_ = hook; }
+
   private:
     struct Completion
     {
@@ -156,6 +180,7 @@ class Dram : public cache::MemoryLevel
 
     DramConfig config_;
     std::vector<Channel> channels_;
+    DramFaultHook *faultHook_ = nullptr;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
     DramStats stats_;

@@ -1,0 +1,35 @@
+#include "fault/engine.hh"
+
+namespace pfsim::fault
+{
+
+void
+Injector::finish(Cycle now)
+{
+    (void)now;
+}
+
+Injector &
+FaultEngine::add(std::unique_ptr<Injector> injector)
+{
+    injectors_.push_back(std::move(injector));
+    return *injectors_.back();
+}
+
+void
+FaultEngine::finish(Cycle now)
+{
+    for (const auto &injector : injectors_)
+        injector->finish(now);
+}
+
+FaultStats
+FaultEngine::stats() const
+{
+    FaultStats total;
+    for (const auto &injector : injectors_)
+        injector->accumulate(total);
+    return total;
+}
+
+} // namespace pfsim::fault

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The fault engine: a per-run container of armed injectors, ticked by
+ * sim::System once per cycle.
+ *
+ * The engine is owned by the run driver (sim::runSingleCore) and
+ * attached to the System by non-owning pointer, mirroring how the
+ * audit registry is wired.  A run with no armed faults never creates
+ * an engine, so the zero-fault fast path is a single null check.
+ */
+
+#ifndef PFSIM_FAULT_ENGINE_HH
+#define PFSIM_FAULT_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "util/types.hh"
+
+namespace pfsim::fault
+{
+
+/**
+ * One armed fault source.  Injectors are constructed from
+ * (spec, derived seed) only, so the injection schedule is a pure
+ * function of the plan and the seed — never of wall-clock time or
+ * thread interleaving.
+ */
+class Injector
+{
+  public:
+    virtual ~Injector() = default;
+
+    /** Advance to cycle @p now; inject if an event is due. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Called once when the run ends, to settle pending bookkeeping. */
+    virtual void finish(Cycle now);
+
+    /** Fold this injector's counters into @p stats. */
+    virtual void accumulate(FaultStats &stats) const = 0;
+};
+
+/** The per-run collection of armed injectors. */
+class FaultEngine
+{
+  public:
+    /** Take ownership of @p injector and arm it. */
+    Injector &add(std::unique_ptr<Injector> injector);
+
+    /** Tick every armed injector. */
+    void
+    tick(Cycle now)
+    {
+        for (const auto &injector : injectors_)
+            injector->tick(now);
+    }
+
+    /** Settle bookkeeping at end of run (cycle @p now). */
+    void finish(Cycle now);
+
+    bool empty() const { return injectors_.empty(); }
+
+    /** Aggregate counters over all armed injectors. */
+    FaultStats stats() const;
+
+  private:
+    std::vector<std::unique_ptr<Injector>> injectors_;
+};
+
+} // namespace pfsim::fault
+
+#endif // PFSIM_FAULT_ENGINE_HH

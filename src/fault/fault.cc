@@ -1,0 +1,278 @@
+#include "fault/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pfsim::fault
+{
+
+namespace
+{
+
+/** Split @p text on @p sep, keeping empty pieces out. */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        const std::string piece = text.substr(
+            start, end == std::string::npos ? end : end - start);
+        if (!piece.empty())
+            parts.push_back(piece);
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    return parts;
+}
+
+double
+parseDouble(const std::string &kind, const std::string &key,
+            const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        fatal("--faults: " + kind + " " + key + " expects a number, "
+              "got \"" + value + "\"");
+    }
+    return v;
+}
+
+double
+parseRate(const std::string &kind, const std::string &key,
+          const std::string &value)
+{
+    const double v = parseDouble(kind, key, value);
+    if (v < 0.0 || v > 1.0) {
+        fatal("--faults: " + kind + " " + key + " must be within "
+              "[0, 1], got " + value);
+    }
+    return v;
+}
+
+std::int64_t
+parseInt(const std::string &kind, const std::string &key,
+         const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        fatal("--faults: " + kind + " " + key + " expects an integer, "
+              "got \"" + value + "\"");
+    }
+    return v;
+}
+
+std::uint64_t
+parseCount(const std::string &kind, const std::string &key,
+           const std::string &value)
+{
+    const std::int64_t v = parseInt(kind, key, value);
+    if (v < 0) {
+        fatal("--faults: " + kind + " " + key + " must be >= 0, got " +
+              value);
+    }
+    return std::uint64_t(v);
+}
+
+[[noreturn]] void
+unknownKey(const std::string &kind, const std::string &key,
+           const std::string &accepted)
+{
+    fatal("--faults: unknown " + kind + " key \"" + key +
+          "\"; accepted: " + accepted);
+}
+
+} // namespace
+
+bool
+FaultPlan::any() const
+{
+    return anySystem() || job.enabled();
+}
+
+bool
+FaultPlan::anySystem() const
+{
+    return trace.enabled() || weights.enabled() || spp.enabled() ||
+           dram.enabled() || mshr.enabled();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &clause : split(spec, ';')) {
+        const std::size_t colon = clause.find(':');
+        const std::string kind = clause.substr(0, colon);
+        const std::string rest =
+            colon == std::string::npos ? "" : clause.substr(colon + 1);
+
+        if (kind != "trace" && kind != "weights" && kind != "spp" &&
+            kind != "dram" && kind != "mshr" && kind != "job") {
+            fatal("--faults: unknown fault kind \"" + kind +
+                  "\"; accepted: trace, weights, spp, dram, mshr, job");
+        }
+
+        for (const std::string &pair : split(rest, ',')) {
+            const std::size_t eq = pair.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == pair.size()) {
+                fatal("--faults: expected key=value in \"" + pair +
+                      "\" (fault kind " + kind + ")");
+            }
+            const std::string key = pair.substr(0, eq);
+            const std::string value = pair.substr(eq + 1);
+
+            if (kind == "trace") {
+                if (key == "rate")
+                    plan.trace.rate = parseRate(kind, key, value);
+                else if (key == "budget")
+                    plan.trace.budget = parseRate(kind, key, value);
+                else
+                    unknownKey(kind, key, "rate, budget");
+            } else if (kind == "weights") {
+                if (key == "rate")
+                    plan.weights.rate = parseRate(kind, key, value);
+                else if (key == "burst")
+                    plan.weights.burst =
+                        unsigned(parseCount(kind, key, value));
+                else
+                    unknownKey(kind, key, "rate, burst");
+            } else if (kind == "spp") {
+                if (key == "rate")
+                    plan.spp.rate = parseRate(kind, key, value);
+                else
+                    unknownKey(kind, key, "rate");
+            } else if (kind == "dram") {
+                if (key == "drop")
+                    plan.dram.dropRate = parseRate(kind, key, value);
+                else if (key == "delay")
+                    plan.dram.delayRate = parseRate(kind, key, value);
+                else if (key == "extra")
+                    plan.dram.extraCycles = parseCount(kind, key, value);
+                else
+                    unknownKey(kind, key, "drop, delay, extra");
+            } else if (kind == "mshr") {
+                if (key == "reserve")
+                    plan.mshr.reserve =
+                        std::uint32_t(parseCount(kind, key, value));
+                else if (key == "period")
+                    plan.mshr.period = parseCount(kind, key, value);
+                else if (key == "duty")
+                    plan.mshr.duty = parseCount(kind, key, value);
+                else
+                    unknownKey(kind, key, "reserve, period, duty");
+            } else { // job
+                if (key == "crash")
+                    plan.job.crashIndex = parseInt(kind, key, value);
+                else if (key == "flaky")
+                    plan.job.flakyIndex = parseInt(kind, key, value);
+                else if (key == "fails")
+                    plan.job.flakyFails =
+                        unsigned(parseCount(kind, key, value));
+                else
+                    unknownKey(kind, key, "crash, flaky, fails");
+            }
+        }
+    }
+
+    if (plan.weights.enabled() && plan.weights.burst == 0)
+        fatal("--faults: weights burst must be >= 1");
+    if (plan.mshr.enabled()) {
+        if (plan.mshr.period == 0)
+            fatal("--faults: mshr period must be >= 1 cycle");
+        if (plan.mshr.duty == 0 || plan.mshr.duty > plan.mshr.period) {
+            fatal("--faults: mshr duty must be within [1, period=" +
+                  std::to_string(plan.mshr.period) + "] cycles");
+        }
+    }
+    if (plan.job.flakyIndex >= 0 && plan.job.flakyFails == 0)
+        fatal("--faults: job fails must be >= 1 for a flaky job");
+    return plan;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::string out;
+    auto append = [&out](const std::string &piece) {
+        if (!out.empty())
+            out += "; ";
+        out += piece;
+    };
+    if (trace.enabled()) {
+        append("trace rate=" + std::to_string(trace.rate) +
+               " budget=" + std::to_string(trace.budget));
+    }
+    if (weights.enabled()) {
+        append("weights rate=" + std::to_string(weights.rate) +
+               " burst=" + std::to_string(weights.burst));
+    }
+    if (spp.enabled())
+        append("spp rate=" + std::to_string(spp.rate));
+    if (dram.enabled()) {
+        append("dram drop=" + std::to_string(dram.dropRate) +
+               " delay=" + std::to_string(dram.delayRate) + " extra=" +
+               std::to_string(dram.extraCycles));
+    }
+    if (mshr.enabled()) {
+        append("mshr reserve=" + std::to_string(mshr.reserve) +
+               " period=" + std::to_string(mshr.period) + " duty=" +
+               std::to_string(mshr.duty));
+    }
+    if (job.enabled()) {
+        std::string piece = "job";
+        if (job.crashIndex >= 0)
+            piece += " crash=" + std::to_string(job.crashIndex);
+        if (job.flakyIndex >= 0) {
+            piece += " flaky=" + std::to_string(job.flakyIndex) +
+                     " fails=" + std::to_string(job.flakyFails);
+        }
+        append(piece);
+    }
+    return out.empty() ? "none" : out;
+}
+
+void
+FaultStats::add(const FaultStats &other)
+{
+    traceCorrupted += other.traceCorrupted;
+    traceRepaired += other.traceRepaired;
+    traceDropped += other.traceDropped;
+    weightFlips += other.weightFlips;
+    weightFlipsRecovered += other.weightFlipsRecovered;
+    weightRecoveryCyclesSum += other.weightRecoveryCyclesSum;
+    if (other.weightRecoveryCyclesMax > weightRecoveryCyclesMax)
+        weightRecoveryCyclesMax = other.weightRecoveryCyclesMax;
+    sppFlips += other.sppFlips;
+    dramDropped += other.dramDropped;
+    dramDelayed += other.dramDelayed;
+    mshrSqueezeWindows += other.mshrSqueezeWindows;
+}
+
+InjectedJobFault::InjectedJobFault(const std::string &what)
+    : std::runtime_error(what)
+{
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // One splitmix64 round over the mixed inputs: cheap, stateless and
+    // decorrelated for adjacent (base, stream) pairs.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace pfsim::fault

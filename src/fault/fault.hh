@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan describes a seeded fault campaign: which fault classes
+ * are armed, at what rates, and with which structural parameters.  It
+ * is parsed from the shared --faults=<spec> flag and carried (by
+ * pointer) inside sim::RunConfig, so every run of a sweep can rebuild
+ * its own injectors from (plan, seed, job index) — injections are a
+ * pure function of those three values, never of thread interleaving,
+ * which keeps faulted sweeps bit-identical across --jobs values.
+ *
+ * Spec grammar (see EXPERIMENTS.md):
+ *
+ *   <spec>  := <fault> [ ";" <fault> ]...
+ *   <fault> := <kind> [ ":" <key> "=" <value> [ "," <key> "=" <value> ]... ]
+ *   <kind>  := "trace" | "weights" | "spp" | "dram" | "mshr" | "job"
+ *
+ * Example:
+ *   --faults="weights:rate=0.00002;dram:drop=0.01,delay=0.05,extra=300"
+ *
+ * All rates are probabilities in [0, 1]; out-of-range or malformed
+ * values are rejected with a one-line actionable fatal().
+ */
+
+#ifndef PFSIM_FAULT_FAULT_HH
+#define PFSIM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hh"
+
+namespace pfsim::fault
+{
+
+/** Trace-input corruption: malformed records on the way into the core. */
+struct TraceFaultSpec
+{
+    /** Per-record probability of corrupting the record. */
+    double rate = 0.0;
+
+    /**
+     * Error budget: maximum tolerated fraction of repaired/dropped
+     * records before the run gives up with a structured failure
+     * (ErrorBudgetExceeded) instead of silently simulating garbage.
+     */
+    double budget = 0.25;
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** Transient soft errors in the PPF weight tables. */
+struct WeightFaultSpec
+{
+    /** Per-cycle probability of a bit-flip event. */
+    double rate = 0.0;
+
+    /** Bit flips injected per event. */
+    unsigned burst = 1;
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** Transient soft errors in SPP's signature/pattern tables. */
+struct SppFaultSpec
+{
+    /** Per-cycle probability of a bit-flip event. */
+    double rate = 0.0;
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** DRAM backpressure faults: lost and delayed responses. */
+struct DramFaultSpec
+{
+    /** Per-response probability that a read response is dropped and
+     *  must be re-issued by the controller (retried, not lost). */
+    double dropRate = 0.0;
+
+    /** Per-response probability of an extra completion delay. */
+    double delayRate = 0.0;
+
+    /** Extra cycles added to a delayed response. */
+    Cycle extraCycles = 200;
+
+    bool enabled() const { return dropRate > 0.0 || delayRate > 0.0; }
+};
+
+/** Forced MSHR exhaustion windows at the L2s. */
+struct MshrFaultSpec
+{
+    /** MSHR entries withheld from allocation during a window. */
+    std::uint32_t reserve = 0;
+
+    /** Cycles between window starts. */
+    Cycle period = 20000;
+
+    /** Window length in cycles (must not exceed period). */
+    Cycle duty = 5000;
+
+    bool enabled() const { return reserve > 0; }
+};
+
+/** Fleet-level job faults, applied by the campaign driver. */
+struct JobFaultSpec
+{
+    /** Submission index of a job that fails on every attempt; -1 off. */
+    std::int64_t crashIndex = -1;
+
+    /** Submission index of a job that fails @ref flakyFails times and
+     *  then succeeds; -1 off. */
+    std::int64_t flakyIndex = -1;
+
+    /** Failed attempts before a flaky job recovers. */
+    unsigned flakyFails = 1;
+
+    bool
+    enabled() const
+    {
+        return crashIndex >= 0 || flakyIndex >= 0;
+    }
+};
+
+/** A complete, validated fault campaign description. */
+struct FaultPlan
+{
+    TraceFaultSpec trace;
+    WeightFaultSpec weights;
+    SppFaultSpec spp;
+    DramFaultSpec dram;
+    MshrFaultSpec mshr;
+    JobFaultSpec job;
+
+    /** True when any fault class is armed. */
+    bool any() const;
+
+    /** True when any in-system (non-job) fault class is armed. */
+    bool anySystem() const;
+
+    /**
+     * Parse a --faults=<spec> string.  Unknown kinds/keys, rates
+     * outside [0, 1] and malformed numbers are fatal() with a one-line
+     * actionable message.  An empty spec yields an all-off plan.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** One-line human-readable summary of the armed fault classes. */
+    std::string summary() const;
+};
+
+/** Everything the injectors counted during one run. */
+struct FaultStats
+{
+    /** Trace records corrupted by the injector. */
+    std::uint64_t traceCorrupted = 0;
+
+    /** Malformed records repaired by the sanitizer (error-budget path). */
+    std::uint64_t traceRepaired = 0;
+
+    /** Records dropped (truncation holes). */
+    std::uint64_t traceDropped = 0;
+
+    std::uint64_t weightFlips = 0;
+    std::uint64_t weightFlipsRecovered = 0;
+
+    /** Sum/max of per-flip recovery latencies, in cycles, over the
+     *  recovered flips (see WeightFlipInjector for the definition). */
+    std::uint64_t weightRecoveryCyclesSum = 0;
+    Cycle weightRecoveryCyclesMax = 0;
+
+    std::uint64_t sppFlips = 0;
+
+    std::uint64_t dramDropped = 0;
+    std::uint64_t dramDelayed = 0;
+
+    /** Completed MSHR-exhaustion windows. */
+    std::uint64_t mshrSqueezeWindows = 0;
+
+    /** Mean weight-flip recovery latency over recovered flips. */
+    double
+    meanWeightRecoveryCycles() const
+    {
+        return weightFlipsRecovered == 0
+            ? 0.0
+            : double(weightRecoveryCyclesSum) /
+                double(weightFlipsRecovered);
+    }
+
+    /** Fold @p other into this. */
+    void add(const FaultStats &other);
+};
+
+/**
+ * Thrown by a campaign driver to model a job-level failure (the
+ * always-crashing or flaky job of a JobFaultSpec).  Distinct from
+ * simulator exceptions so a log line unambiguously says "injected".
+ */
+class InjectedJobFault : public std::runtime_error
+{
+  public:
+    explicit InjectedJobFault(const std::string &what);
+};
+
+/**
+ * Derive an independent injector seed from a campaign seed and a
+ * stream id (job index, injector kind).  splitmix64-based, so distinct
+ * streams are decorrelated even for adjacent ids.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
+} // namespace pfsim::fault
+
+#endif // PFSIM_FAULT_FAULT_HH

@@ -1,0 +1,335 @@
+#include "fault/injectors.hh"
+
+#include <cstdlib>
+#include <limits>
+
+namespace pfsim::fault
+{
+
+namespace
+{
+
+/** Addresses at or above this limit are treated as corrupt. */
+constexpr Addr addrLimit = Addr{1} << 48;
+
+/** Draw the next event cycle for a per-cycle event probability. */
+Cycle
+nextEventAfter(Rng &rng, Cycle now, double rate)
+{
+    if (rate <= 0.0)
+        return std::numeric_limits<Cycle>::max();
+    return now + rng.geometric(1.0 / rate);
+}
+
+} // namespace
+
+ErrorBudgetExceeded::ErrorBudgetExceeded(const std::string &what)
+    : std::runtime_error(what)
+{
+}
+
+CorruptingTrace::CorruptingTrace(trace::TraceSource &inner,
+                                 const TraceFaultSpec &spec,
+                                 std::uint64_t seed)
+    : inner_(inner), spec_(spec), rng_(seed)
+{
+}
+
+bool
+CorruptingTrace::next(Instruction &out)
+{
+    for (;;) {
+        if (!inner_.next(out))
+            return false;
+        if (!rng_.chance(spec_.rate))
+            return true;
+        switch (rng_.below(3)) {
+          case 0:
+            // Garbage flag byte: branch metadata inconsistent with the
+            // instruction class (a decoded-garbage-opcode stand-in).
+            out.isBranch = false;
+            out.branchTaken = true;
+            ++stats_.traceCorrupted;
+            return true;
+          case 1:
+            // Out-of-range load address, far beyond physical memory.
+            out.loadAddr = rng_.next() | (Addr{1} << 62);
+            ++stats_.traceCorrupted;
+            return true;
+          default:
+            // Dropped record: a truncation hole in the stream.
+            ++stats_.traceCorrupted;
+            ++stats_.traceDropped;
+            break;
+        }
+    }
+}
+
+const std::string &
+CorruptingTrace::name() const
+{
+    return inner_.name();
+}
+
+void
+CorruptingTrace::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+SanitizingTrace::SanitizingTrace(trace::TraceSource &inner, double budget)
+    : inner_(inner), budget_(budget)
+{
+}
+
+bool
+SanitizingTrace::next(Instruction &out)
+{
+    if (!inner_.next(out))
+        return false;
+    ++seen_;
+
+    bool repaired = false;
+    if (out.branchTaken && !out.isBranch) {
+        out.branchTaken = false;
+        repaired = true;
+    }
+    if (out.loadAddr >= addrLimit) {
+        out.loadAddr &= addrLimit - 1;
+        if (out.loadAddr == 0)
+            out.loadAddr = blockSize;
+        repaired = true;
+    }
+    if (out.storeAddr >= addrLimit) {
+        out.storeAddr &= addrLimit - 1;
+        if (out.storeAddr == 0)
+            out.storeAddr = blockSize;
+        repaired = true;
+    }
+    if (repaired)
+        ++stats_.traceRepaired;
+
+    // Enforce the error budget once enough records have been seen for
+    // the fraction to be meaningful.
+    if (seen_ >= 256 &&
+        double(stats_.traceRepaired) > budget_ * double(seen_)) {
+        throw ErrorBudgetExceeded(
+            "trace error budget exceeded: repaired " +
+            std::to_string(stats_.traceRepaired) + " of " +
+            std::to_string(seen_) + " records (budget " +
+            std::to_string(budget_) + ")");
+    }
+    return true;
+}
+
+const std::string &
+SanitizingTrace::name() const
+{
+    return inner_.name();
+}
+
+void
+SanitizingTrace::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+WeightFlipInjector::WeightFlipInjector(ppf::Ppf &ppf,
+                                       const WeightFaultSpec &spec,
+                                       std::uint64_t seed)
+    : ppf_(ppf), spec_(spec), rng_(seed)
+{
+    for (unsigned f = 0; f < ppf::numFeatures; ++f) {
+        if (ppf_.weights().enabled(ppf::FeatureId(f)))
+            enabled_.push_back(ppf::FeatureId(f));
+    }
+    nextEvent_ = enabled_.empty()
+        ? std::numeric_limits<Cycle>::max()
+        : nextEventAfter(rng_, 0, spec_.rate);
+}
+
+void
+WeightFlipInjector::tick(Cycle now)
+{
+    if (now >= nextEvent_) {
+        inject(now);
+        nextEvent_ = nextEventAfter(rng_, now, spec_.rate);
+    }
+    // Recovery scan: cheap enough every 64 cycles, and 64 cycles of
+    // quantisation noise is negligible against training timescales.
+    if (!outstanding_.empty() && (now & 63) == 0)
+        checkRecovery(now);
+}
+
+void
+WeightFlipInjector::inject(Cycle now)
+{
+    for (unsigned n = 0; n < spec_.burst; ++n) {
+        const ppf::FeatureId feature =
+            enabled_[rng_.below(enabled_.size())];
+        const std::uint32_t index = std::uint32_t(
+            rng_.below(ppf::featureTableSizes[unsigned(feature)]));
+        const unsigned bit = unsigned(rng_.below(ppf::weightBits));
+        const int pre = ppf_.weights().weight(feature, index);
+        const int post = ppf_.faultInjectWeightFlip(feature, index, bit);
+        ++stats_.weightFlips;
+        if (post == pre) {
+            // Clamping undid the flip: recovered instantly.
+            ++stats_.weightFlipsRecovered;
+        } else {
+            outstanding_.push_back({feature, index, pre, now});
+        }
+    }
+}
+
+void
+WeightFlipInjector::checkRecovery(Cycle now)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+        const OutstandingFlip &flip = outstanding_[i];
+        const int current =
+            ppf_.weights().weight(flip.feature, flip.index);
+        // Recovered once training has pulled the weight back to within
+        // one training step of its pre-flip value.
+        if (std::abs(current - flip.preValue) <= 1) {
+            const Cycle latency = now - flip.cycle;
+            ++stats_.weightFlipsRecovered;
+            stats_.weightRecoveryCyclesSum += latency;
+            if (latency > stats_.weightRecoveryCyclesMax)
+                stats_.weightRecoveryCyclesMax = latency;
+        } else {
+            outstanding_[kept++] = flip;
+        }
+    }
+    outstanding_.resize(kept);
+}
+
+void
+WeightFlipInjector::finish(Cycle now)
+{
+    checkRecovery(now);
+}
+
+void
+WeightFlipInjector::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+SppFlipInjector::SppFlipInjector(prefetch::SppPrefetcher &spp,
+                                 const SppFaultSpec &spec,
+                                 std::uint64_t seed)
+    : spp_(spp), spec_(spec), rng_(seed),
+      nextEvent_(nextEventAfter(rng_, 0, spec.rate))
+{
+}
+
+void
+SppFlipInjector::tick(Cycle now)
+{
+    if (now < nextEvent_)
+        return;
+    if (spp_.faultInjectBitFlip(rng_))
+        ++stats_.sppFlips;
+    nextEvent_ = nextEventAfter(rng_, now, spec_.rate);
+}
+
+void
+SppFlipInjector::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+DramFaultInjector::DramFaultInjector(dram::Dram &dram,
+                                     const DramFaultSpec &spec,
+                                     std::uint64_t seed)
+    : dram_(dram), spec_(spec), rng_(seed)
+{
+    dram_.faultInjectHook(this);
+}
+
+DramFaultInjector::~DramFaultInjector()
+{
+    dram_.faultInjectHook(nullptr);
+}
+
+void
+DramFaultInjector::tick(Cycle now)
+{
+    // Event-driven from the DRAM response path; nothing to do per
+    // cycle.
+    (void)now;
+}
+
+bool
+DramFaultInjector::dropResponse(const cache::Request &req)
+{
+    (void)req;
+    if (!rng_.chance(spec_.dropRate))
+        return false;
+    ++stats_.dramDropped;
+    return true;
+}
+
+Cycle
+DramFaultInjector::responseDelay(const cache::Request &req)
+{
+    (void)req;
+    if (!rng_.chance(spec_.delayRate))
+        return 0;
+    ++stats_.dramDelayed;
+    return spec_.extraCycles;
+}
+
+void
+DramFaultInjector::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+MshrSqueezeInjector::MshrSqueezeInjector(cache::MshrFile &mshrs,
+                                         const MshrFaultSpec &spec,
+                                         std::uint64_t seed)
+    : mshrs_(mshrs), spec_(spec)
+{
+    // A seeded phase offset decorrelates squeeze windows across cores
+    // while keeping them a pure function of the seed.
+    Rng rng(seed);
+    windowStart_ = rng.below(spec_.period);
+}
+
+void
+MshrSqueezeInjector::tick(Cycle now)
+{
+    if (!active_) {
+        if (now >= windowStart_) {
+            mshrs_.faultInjectReserve(spec_.reserve);
+            active_ = true;
+        }
+    } else if (now >= windowStart_ + spec_.duty) {
+        mshrs_.faultInjectReserve(0);
+        active_ = false;
+        ++stats_.mshrSqueezeWindows;
+        windowStart_ += spec_.period;
+    }
+}
+
+void
+MshrSqueezeInjector::finish(Cycle now)
+{
+    (void)now;
+    if (active_) {
+        mshrs_.faultInjectReserve(0);
+        active_ = false;
+        ++stats_.mshrSqueezeWindows;
+    }
+}
+
+void
+MshrSqueezeInjector::accumulate(FaultStats &stats) const
+{
+    stats.add(stats_);
+}
+
+} // namespace pfsim::fault

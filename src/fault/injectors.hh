@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The concrete fault injectors.
+ *
+ * Every injector owns its own Rng seeded via deriveSeed(), so each
+ * fault stream is independent and reproducible: the same (plan, seed)
+ * pair flips the same bits on the same cycles regardless of --jobs or
+ * host scheduling.
+ *
+ * Trace corruption is modelled as a pair of TraceSource decorators:
+ * CorruptingTrace damages records on the way out of the real source,
+ * and SanitizingTrace is the recovery path — it repairs what it can,
+ * counts what it repaired, and throws ErrorBudgetExceeded when the
+ * damage fraction exceeds the configured budget, turning silent
+ * garbage-in-garbage-out into a structured, retryable failure.
+ */
+
+#ifndef PFSIM_FAULT_INJECTORS_HH
+#define PFSIM_FAULT_INJECTORS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "core/ppf.hh"
+#include "dram/dram.hh"
+#include "fault/engine.hh"
+#include "fault/fault.hh"
+#include "prefetch/spp.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace pfsim::fault
+{
+
+/**
+ * Thrown when SanitizingTrace has repaired or dropped more than the
+ * configured fraction of records: the input is too damaged to trust.
+ */
+class ErrorBudgetExceeded : public std::runtime_error
+{
+  public:
+    explicit ErrorBudgetExceeded(const std::string &what);
+};
+
+/**
+ * TraceSource decorator that corrupts records: garbage flag bytes
+ * (branch metadata inconsistent with the instruction), out-of-range
+ * addresses, and dropped records (truncation holes).
+ */
+class CorruptingTrace : public trace::TraceSource
+{
+  public:
+    CorruptingTrace(trace::TraceSource &inner,
+                    const TraceFaultSpec &spec, std::uint64_t seed);
+
+    bool next(Instruction &out) override;
+    const std::string &name() const override;
+
+    /** Fold the corruption counters into @p stats. */
+    void accumulate(FaultStats &stats) const;
+
+  private:
+    trace::TraceSource &inner_;
+    TraceFaultSpec spec_;
+    Rng rng_;
+    FaultStats stats_;
+};
+
+/**
+ * TraceSource decorator that repairs malformed records and enforces
+ * the error budget.  This is the recovery path a production frontend
+ * would sit behind: damaged records are clamped back into the valid
+ * domain instead of feeding undefined state into the core.
+ */
+class SanitizingTrace : public trace::TraceSource
+{
+  public:
+    SanitizingTrace(trace::TraceSource &inner, double budget);
+
+    bool next(Instruction &out) override;
+    const std::string &name() const override;
+
+    /** Fold the repair counters into @p stats. */
+    void accumulate(FaultStats &stats) const;
+
+    std::uint64_t repaired() const { return stats_.traceRepaired; }
+
+  private:
+    trace::TraceSource &inner_;
+    double budget_;
+    std::uint64_t seen_ = 0;
+    FaultStats stats_;
+};
+
+/**
+ * Seeded bit-flips in the PPF weight tables, with recovery tracking:
+ * a flip is "recovered" once online training has driven the damaged
+ * weight back to within one training step of its pre-flip value.  The
+ * per-flip latency from injection to recovery is the re-convergence
+ * metric reported by the resilience campaign.
+ */
+class WeightFlipInjector : public Injector
+{
+  public:
+    WeightFlipInjector(ppf::Ppf &ppf, const WeightFaultSpec &spec,
+                       std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    void finish(Cycle now) override;
+    void accumulate(FaultStats &stats) const override;
+
+  private:
+    struct OutstandingFlip
+    {
+        ppf::FeatureId feature;
+        std::uint32_t index;
+        int preValue;
+        Cycle cycle;
+    };
+
+    void inject(Cycle now);
+    void checkRecovery(Cycle now);
+
+    ppf::Ppf &ppf_;
+    WeightFaultSpec spec_;
+    Rng rng_;
+    std::vector<ppf::FeatureId> enabled_;
+    Cycle nextEvent_;
+    std::vector<OutstandingFlip> outstanding_;
+    FaultStats stats_;
+};
+
+/** Seeded bit-flips in SPP's signature/pattern tables. */
+class SppFlipInjector : public Injector
+{
+  public:
+    SppFlipInjector(prefetch::SppPrefetcher &spp,
+                    const SppFaultSpec &spec, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    void accumulate(FaultStats &stats) const override;
+
+  private:
+    prefetch::SppPrefetcher &spp_;
+    SppFaultSpec spec_;
+    Rng rng_;
+    Cycle nextEvent_;
+    FaultStats stats_;
+};
+
+/**
+ * DRAM response faults: drops (response lost, request retried by the
+ * controller) and delays (extra completion latency).  Installed into
+ * the Dram via faultInjectHook(); tick() is a no-op because the hook
+ * is event-driven from the response path.
+ */
+class DramFaultInjector : public Injector, public dram::DramFaultHook
+{
+  public:
+    DramFaultInjector(dram::Dram &dram, const DramFaultSpec &spec,
+                      std::uint64_t seed);
+    ~DramFaultInjector() override;
+
+    void tick(Cycle now) override;
+    void accumulate(FaultStats &stats) const override;
+
+    bool dropResponse(const cache::Request &req) override;
+    Cycle responseDelay(const cache::Request &req) override;
+
+  private:
+    dram::Dram &dram_;
+    DramFaultSpec spec_;
+    Rng rng_;
+    FaultStats stats_;
+};
+
+/**
+ * Periodic MSHR-exhaustion windows: every period cycles, reserve part
+ * of a cache's MSHR file for duty cycles, forcing the miss path to
+ * exercise its backpressure/retry handling.
+ */
+class MshrSqueezeInjector : public Injector
+{
+  public:
+    MshrSqueezeInjector(cache::MshrFile &mshrs,
+                        const MshrFaultSpec &spec, std::uint64_t seed);
+
+    void tick(Cycle now) override;
+    void finish(Cycle now) override;
+    void accumulate(FaultStats &stats) const override;
+
+  private:
+    cache::MshrFile &mshrs_;
+    MshrFaultSpec spec_;
+    Cycle windowStart_;
+    bool active_ = false;
+    FaultStats stats_;
+};
+
+} // namespace pfsim::fault
+
+#endif // PFSIM_FAULT_INJECTORS_HH

@@ -1,0 +1,103 @@
+#include "fault/system_faults.hh"
+
+#include <memory>
+
+#include "core/generic_filter.hh"
+#include "core/spp_ppf.hh"
+#include "fault/injectors.hh"
+
+namespace pfsim::fault
+{
+
+namespace
+{
+
+/** Seed-stream bases, one per injector kind (cores offset within). */
+enum : std::uint64_t
+{
+    streamWeights = 0x100,
+    streamSpp = 0x200,
+    streamMshr = 0x300,
+    streamDram = 0x400,
+};
+
+/** The Ppf behind @p prefetcher, or nullptr when it has no filter. */
+ppf::Ppf *
+filterOf(prefetch::Prefetcher &prefetcher)
+{
+    if (auto *spp_ppf =
+            dynamic_cast<ppf::SppPpfPrefetcher *>(&prefetcher);
+        spp_ppf != nullptr) {
+        return &spp_ppf->filter();
+    }
+    if (auto *filtered =
+            dynamic_cast<ppf::FilteredPrefetcher *>(&prefetcher);
+        filtered != nullptr) {
+        return &filtered->filter();
+    }
+    return nullptr;
+}
+
+/** The SPP engine behind @p prefetcher, or nullptr. */
+prefetch::SppPrefetcher *
+sppOf(prefetch::Prefetcher &prefetcher)
+{
+    if (auto *spp_ppf =
+            dynamic_cast<ppf::SppPpfPrefetcher *>(&prefetcher);
+        spp_ppf != nullptr) {
+        return &spp_ppf->spp();
+    }
+    return dynamic_cast<prefetch::SppPrefetcher *>(&prefetcher);
+}
+
+} // namespace
+
+void
+attachSystemFaults(sim::System &system, const FaultPlan &plan,
+                   std::uint64_t seed, FaultEngine &engine)
+{
+    for (unsigned i = 0; i < system.coreCount(); ++i) {
+        if (plan.weights.enabled()) {
+            if (ppf::Ppf *filter = filterOf(system.prefetcher(i));
+                filter != nullptr) {
+                engine.add(std::make_unique<WeightFlipInjector>(
+                    *filter, plan.weights,
+                    deriveSeed(seed, streamWeights + i)));
+            }
+        }
+        if (plan.spp.enabled()) {
+            if (prefetch::SppPrefetcher *spp =
+                    sppOf(system.prefetcher(i));
+                spp != nullptr) {
+                engine.add(std::make_unique<SppFlipInjector>(
+                    *spp, plan.spp, deriveSeed(seed, streamSpp + i)));
+            }
+        }
+        if (plan.mshr.enabled()) {
+            engine.add(std::make_unique<MshrSqueezeInjector>(
+                system.l2(i).faultInjectMshrs(), plan.mshr,
+                deriveSeed(seed, streamMshr + i)));
+        }
+    }
+
+    if (plan.dram.enabled()) {
+        engine.add(std::make_unique<DramFaultInjector>(
+            system.dram(), plan.dram, deriveSeed(seed, streamDram)));
+    }
+
+    // Degraded-mode audits: a weight flip is re-clamped on injection
+    // and SPP counters saturate, so these invariants should hold even
+    // under fire — tolerating them is belt and braces that keeps an
+    // audited fault campaign from confusing an injected soft error
+    // with a simulator bug, while every untouched invariant still
+    // aborts on violation.
+    if (plan.weights.enabled()) {
+        system.audit().tolerate("weight within clamp range");
+        system.audit().tolerate("inference sum within the popcount "
+                                "envelope");
+    }
+
+    system.setFaultEngine(&engine);
+}
+
+} // namespace pfsim::fault

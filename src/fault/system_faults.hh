@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Wiring a FaultPlan into an assembled system, mirroring
+ * check::attachSystemAuditors.
+ */
+
+#ifndef PFSIM_FAULT_SYSTEM_FAULTS_HH
+#define PFSIM_FAULT_SYSTEM_FAULTS_HH
+
+#include <cstdint>
+
+#include "fault/engine.hh"
+#include "fault/fault.hh"
+#include "sim/system.hh"
+
+namespace pfsim::fault
+{
+
+/**
+ * Build every in-system injector the plan arms, register them with
+ * @p engine (which must outlive @p system's run), attach the engine to
+ * the system's cycle loop, and mark the audit invariants that armed
+ * soft-error injectors may legitimately violate as tolerated.
+ *
+ * Per-injector seeds are derived from (@p seed, injector kind, core),
+ * so a sweep passes each job its own seed and gets decorrelated but
+ * reproducible fault streams.
+ */
+void attachSystemFaults(sim::System &system, const FaultPlan &plan,
+                        std::uint64_t seed, FaultEngine &engine);
+
+} // namespace pfsim::fault
+
+#endif // PFSIM_FAULT_SYSTEM_FAULTS_HH

@@ -335,4 +335,43 @@ SppPrefetcher::name() const
     return n;
 }
 
+bool
+SppPrefetcher::faultInjectBitFlip(Rng &rng)
+{
+    // Half the events strike the Signature Table (only meaningful on a
+    // valid entry's compressed history); the rest strike the Pattern
+    // Table's learned deltas and occurrence counters.
+    if (rng.below(2) == 0) {
+        std::vector<std::size_t> valid;
+        for (std::size_t i = 0; i < st_.size(); ++i) {
+            if (st_[i].valid)
+                valid.push_back(i);
+        }
+        if (!valid.empty()) {
+            StEntry &entry = st_[valid[rng.below(valid.size())]];
+            const unsigned bit =
+                unsigned(rng.below(config_.signatureBits));
+            entry.signature =
+                std::uint16_t(entry.signature ^ (1u << bit));
+            return true;
+        }
+    }
+
+    PtEntry &entry = pt_[rng.below(pt_.size())];
+    PtSlot &slot = entry.slots[rng.below(entry.slots.size())];
+    switch (rng.below(3)) {
+      case 0:
+        // Delta field: 7-bit sign-magnitude encoding in hardware.
+        slot.delta =
+            std::int16_t(slot.delta ^ std::int16_t(1 << rng.below(7)));
+        return true;
+      case 1:
+        slot.count.set(slot.count.value() ^ (1u << rng.below(4)));
+        return true;
+      default:
+        entry.cSig.set(entry.cSig.value() ^ (1u << rng.below(4)));
+        return true;
+    }
+}
+
 } // namespace pfsim::prefetch

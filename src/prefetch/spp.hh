@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/random.hh"
 #include "util/sat_counter.hh"
 
 namespace pfsim::prefetch
@@ -172,6 +173,16 @@ class SppPrefetcher : public Prefetcher
 
     /** Encode a signed block delta into its 7-bit representation. */
     static std::uint32_t encodeDelta(int delta);
+
+    /**
+     * Flip one bit of the learned table state — a transient soft error
+     * (called only from src/fault).  Targets a valid Signature Table
+     * entry's compressed history, or a Pattern Table slot's delta or
+     * occurrence counter.  All draws come from @p rng, so identical
+     * seeds flip identical bits.  @return false when the tables are
+     * still cold and nothing was flipped.
+     */
+    bool faultInjectBitFlip(Rng &rng);
 
     /** Advance a signature by one delta. */
     std::uint32_t nextSignature(std::uint32_t sig, int delta) const;

@@ -1,13 +1,36 @@
 #include "sim/parallel.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 
 #include "util/thread_pool.hh"
 
 namespace pfsim::sim
 {
+
+namespace
+{
+
+/** First line of a (possibly multi-line) failure message. */
+std::string
+firstLine(const std::string &text)
+{
+    const std::size_t newline = text.find('\n');
+    return newline == std::string::npos ? text : text.substr(0, newline);
+}
+
+/** What to do after a failed attempt. */
+enum class FailAction
+{
+    Retry,    ///< attempts remain: back off and re-run
+    Degraded, ///< exhausted, policy degrades: row tagged, fleet lives
+    Rethrow,  ///< exhausted, legacy policy: propagate the exception
+};
+
+} // namespace
 
 unsigned
 resolveJobs(unsigned jobs)
@@ -17,42 +40,134 @@ resolveJobs(unsigned jobs)
     return jobs;
 }
 
-stats::FleetThroughput
-runJobs(const std::vector<Job> &job_list, unsigned jobs,
-        const std::string &tag)
+std::size_t
+FleetReport::degraded() const
+{
+    return std::size_t(std::count_if(
+        outcomes.begin(), outcomes.end(),
+        [](const JobOutcome &o) { return !o.ok; }));
+}
+
+std::size_t
+FleetReport::recovered() const
+{
+    return std::size_t(std::count_if(
+        outcomes.begin(), outcomes.end(),
+        [](const JobOutcome &o) { return o.recoveredAfterRetry(); }));
+}
+
+FleetReport
+runJobsResilient(const std::vector<Job> &job_list, unsigned jobs,
+                 const std::string &tag, const FleetPolicy &policy)
 {
     const unsigned workers = resolveJobs(jobs);
     const std::size_t total = job_list.size();
+    const bool resilient =
+        policy.maxRetries > 0 || policy.degradeOnFailure;
 
-    stats::FleetThroughput fleet;
-    fleet.jobs = workers;
+    FleetReport report;
+    report.throughput.jobs = workers;
+    report.outcomes.assign(total, JobOutcome{});
 
     std::mutex progress_mutex;
     std::size_t done = 0;
 
-    const auto wall_start = std::chrono::steady_clock::now();
-    util::parallelFor(workers, total, [&](std::size_t i) {
-        const JobReport report = job_list[i]();
-
-        // Compose the whole progress line first, then emit it with one
-        // fputs under the lock: lines from concurrent jobs can only
-        // interleave whole, never mid-line.
+    // Emit one whole progress line with a single fputs under the
+    // lock: lines from concurrent jobs can only interleave whole,
+    // never mid-line.
+    auto emit = [&](const std::string &text) {
         std::lock_guard<std::mutex> lock(progress_mutex);
         ++done;
         char head[48];
         std::snprintf(head, sizeof(head), "  [%s %zu/%zu] ",
                       tag.c_str(), done, total);
-        const std::string line = head + report.line + "\n";
-        std::fputs(line.c_str(), stderr);
-        fleet.add(report.throughput);
-    });
-    fleet.wallSeconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
+        std::fputs((head + text + "\n").c_str(), stderr);
+    };
 
-    std::fprintf(stderr, "  [%s] %s\n", tag.c_str(),
-                 fleet.summary().c_str());
-    return fleet;
+    auto on_fail = [&](std::size_t i, unsigned attempt,
+                       const std::string &message) {
+        JobOutcome &outcome = report.outcomes[i];
+        outcome.error = message;
+        outcome.attempts = attempt;
+        if (attempt <= policy.maxRetries)
+            return FailAction::Retry;
+        outcome.ok = false;
+        if (!policy.degradeOnFailure)
+            return FailAction::Rethrow;
+        emit("job " + std::to_string(i) + " DEGRADED after " +
+                    std::to_string(attempt) + " attempt(s): " + message);
+        return FailAction::Degraded;
+    };
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    util::parallelFor(workers, total, [&](std::size_t i) {
+        for (unsigned attempt = 1;; ++attempt) {
+            FailAction action = FailAction::Retry;
+            try {
+                const JobReport job_report = job_list[i]();
+                JobOutcome &outcome = report.outcomes[i];
+                outcome.ok = true;
+                outcome.attempts = attempt;
+                std::string line = job_report.line;
+                if (attempt > 1) {
+                    line += " (recovered after " +
+                            std::to_string(attempt - 1) + " retr" +
+                            (attempt == 2 ? "y)" : "ies)");
+                }
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ++done;
+                char head[48];
+                std::snprintf(head, sizeof(head), "  [%s %zu/%zu] ",
+                              tag.c_str(), done, total);
+                std::fputs((head + line + "\n").c_str(), stderr);
+                report.throughput.add(job_report.throughput);
+                return;
+            } catch (const std::exception &e) {
+                action = on_fail(i, attempt, firstLine(e.what()));
+                if (action == FailAction::Rethrow)
+                    throw;
+            } catch (...) {
+                action = on_fail(i, attempt, "unknown error");
+                if (action == FailAction::Rethrow)
+                    throw;
+            }
+            if (action == FailAction::Degraded)
+                return;
+            if (policy.backoffMs > 0) {
+                // Exponential, capped so a deep retry cannot shift
+                // into overflow or hour-long sleeps.
+                const unsigned shift = std::min(attempt - 1, 10u);
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::uint64_t(policy.backoffMs) << shift));
+            }
+        }
+    });
+    report.throughput.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    if (resilient) {
+        // Final summary distinguishing clean, recovered-after-retry
+        // and degraded sweeps; flushed so an archived log always ends
+        // with the verdict even if the process dies right after.
+        std::fprintf(stderr, "  [%s] %s | degraded=%zu recovered=%zu\n",
+                     tag.c_str(), report.throughput.summary().c_str(),
+                     report.degraded(), report.recovered());
+        std::fflush(stderr);
+    } else {
+        std::fprintf(stderr, "  [%s] %s\n", tag.c_str(),
+                     report.throughput.summary().c_str());
+    }
+    return report;
+}
+
+stats::FleetThroughput
+runJobs(const std::vector<Job> &job_list, unsigned jobs,
+        const std::string &tag)
+{
+    return runJobsResilient(job_list, jobs, tag, FleetPolicy{})
+        .throughput;
 }
 
 } // namespace pfsim::sim

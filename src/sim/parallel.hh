@@ -67,6 +67,71 @@ using Job = std::function<JobReport()>;
 stats::FleetThroughput runJobs(const std::vector<Job> &job_list,
                                unsigned jobs, const std::string &tag);
 
+/** How a resilient fleet treats failing jobs. */
+struct FleetPolicy
+{
+    /** Re-run a failed job up to this many extra attempts. */
+    unsigned maxRetries = 0;
+
+    /**
+     * Host milliseconds slept before retry attempt k, scaled as
+     * backoffMs << (k-1): transient host-level failures (memory
+     * pressure, a watchdog timeout) get breathing room.
+     */
+    unsigned backoffMs = 0;
+
+    /**
+     * When true, a job whose attempts are exhausted becomes a tagged
+     * degraded row and the sweep keeps going; when false, the failure
+     * propagates exactly like the legacy engine (first exception, by
+     * submission index, rethrown after in-flight jobs finish).
+     */
+    bool degradeOnFailure = false;
+};
+
+/** Per-job resolution of a resilient sweep. */
+struct JobOutcome
+{
+    /** The job eventually produced its result slot. */
+    bool ok = true;
+
+    /** Attempts consumed (1 = clean first run). */
+    unsigned attempts = 1;
+
+    /** First line of the final failure, empty when ok. */
+    std::string error;
+
+    /** Succeeded, but only after at least one retry. */
+    bool recoveredAfterRetry() const { return ok && attempts > 1; }
+};
+
+/** What a resilient sweep hands back to the campaign driver. */
+struct FleetReport
+{
+    stats::FleetThroughput throughput;
+
+    /** One outcome per job, keyed by submission index. */
+    std::vector<JobOutcome> outcomes;
+
+    /** Jobs that exhausted their attempts. */
+    std::size_t degraded() const;
+
+    /** Jobs that needed a retry but finished. */
+    std::size_t recovered() const;
+};
+
+/**
+ * runJobs with failure handling (the fault-campaign entry point):
+ * each job is retried per @p policy, a recovered job's progress line
+ * is tagged "(recovered after N retries)", and exhausted jobs become
+ * degraded rows instead of aborting the fleet.  The footer summarises
+ * degraded/recovered counts and is flushed, so archived logs always
+ * distinguish clean, recovered and degraded sweeps.
+ */
+FleetReport runJobsResilient(const std::vector<Job> &job_list,
+                             unsigned jobs, const std::string &tag,
+                             const FleetPolicy &policy);
+
 } // namespace pfsim::sim
 
 #endif // PFSIM_SIM_PARALLEL_HH

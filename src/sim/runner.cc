@@ -1,9 +1,13 @@
 #include "sim/runner.hh"
 
 #include <chrono>
+#include <functional>
+#include <memory>
 
 #include "check/system_audit.hh"
 #include "core/spp_ppf.hh"
+#include "fault/injectors.hh"
+#include "fault/system_faults.hh"
 #include "trace/synthetic.hh"
 
 namespace pfsim::sim
@@ -16,7 +20,26 @@ runSingleCore(const SystemConfig &config,
 {
     const auto host_start = std::chrono::steady_clock::now();
     trace::SyntheticTrace trace(workload.make());
-    System system(config, {&trace});
+
+    // Trace faults ride on decorators around the real source, so the
+    // fault-free path stays exactly the pre-fault pipeline.
+    const fault::FaultPlan *plan = run.faults;
+    std::unique_ptr<fault::CorruptingTrace> corrupting;
+    std::unique_ptr<fault::SanitizingTrace> sanitizing;
+    trace::TraceSource *source = &trace;
+    if (plan != nullptr && plan->trace.enabled()) {
+        corrupting = std::make_unique<fault::CorruptingTrace>(
+            trace, plan->trace, fault::deriveSeed(run.faultSeed, 1));
+        sanitizing = std::make_unique<fault::SanitizingTrace>(
+            *corrupting, plan->trace.budget);
+        source = sanitizing.get();
+    }
+
+    System system(config, {source});
+
+    fault::FaultEngine engine;
+    if (plan != nullptr && plan->anySystem())
+        fault::attachSystemFaults(system, *plan, run.faultSeed, engine);
 
     if (run.auditInterval != 0)
         check::attachSystemAuditors(system, run.auditInterval);
@@ -29,9 +52,24 @@ runSingleCore(const SystemConfig &config,
         }
     }
 
-    system.runUntilRetired(run.warmupInstructions);
+    std::function<bool()> abort_check;
+    if (run.hostTimeoutSeconds > 0.0) {
+        const auto deadline =
+            host_start +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(run.hostTimeoutSeconds));
+        abort_check = [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+        };
+    }
+
+    system.runUntilRetired(run.warmupInstructions, abort_check);
     system.resetStats();
-    system.runUntilRetired(run.simInstructions);
+    system.runUntilRetired(run.simInstructions, abort_check);
+
+    engine.finish(system.now());
+    system.setFaultEngine(nullptr);
 
     RunResult result;
     result.workload = workload.name;
@@ -53,6 +91,12 @@ runSingleCore(const SystemConfig &config,
         result.spp = spp_ppf->spp().sppStats();
         result.ppf = spp_ppf->filter().ppfStats();
     }
+
+    result.faults = engine.stats();
+    if (corrupting != nullptr)
+        corrupting->accumulate(result.faults);
+    if (sanitizing != nullptr)
+        sanitizing->accumulate(result.faults);
 
     result.throughput.instructions =
         run.warmupInstructions + result.core.instructions;

@@ -14,6 +14,7 @@
 #include "core/ppf.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
+#include "fault/fault.hh"
 #include "prefetch/spp.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
@@ -45,6 +46,28 @@ struct RunConfig
      * bit-identical for every value.
      */
     unsigned jobs = 0;
+
+    /**
+     * Armed fault campaign for this run (non-owning; null, the
+     * default, is the strictly fault-free fast path: no decorators,
+     * no engine, byte-identical to a build without src/fault).
+     */
+    const fault::FaultPlan *faults = nullptr;
+
+    /**
+     * Seed for this run's injector streams; a sweep derives one per
+     * job (fault::deriveSeed(campaign seed, job index)) so faulted
+     * sweeps stay bit-identical across --jobs values.
+     */
+    std::uint64_t faultSeed = 1;
+
+    /**
+     * Cooperative per-run watchdog: the run throws RunAborted once it
+     * has consumed this much host wall-clock.  0 disables.  A
+     * resilient sweep (sim/parallel.hh) turns the abort into a retry
+     * or a degraded row.
+     */
+    double hostTimeoutSeconds = 0.0;
 };
 
 /** Everything measured by one single-core run. */
@@ -65,6 +88,13 @@ struct RunResult
 
     /** Populated when the prefetcher is SPP+PPF. */
     ppf::PpfStats ppf;
+
+    /**
+     * Fault-injection counters (zero for fault-free runs): flips
+     * injected and recovered, records corrupted/repaired, responses
+     * dropped/delayed, squeeze windows completed.
+     */
+    fault::FaultStats faults;
 
     /**
      * Host-speed telemetry of this run (wall-clock, simulated MIPS).

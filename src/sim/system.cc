@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "core/generic_filter.hh"
+#include "fault/engine.hh"
 #include "prefetch/ampm.hh"
 #include "prefetch/bop.hh"
 #include "prefetch/ip_stride.hh"
@@ -90,12 +91,21 @@ System::cycle()
     llc_->tick(now_);
     dram_->tick(now_);
 
+    if (faults_ != nullptr)
+        faults_->tick(now_);
     if (audit_.due(now_))
         audit_.enforce(now_);
 }
 
 void
 System::runUntilRetired(InstrCount target)
+{
+    runUntilRetired(target, {});
+}
+
+void
+System::runUntilRetired(InstrCount target,
+                        const std::function<bool()> &abort_check)
 {
     // Watchdog: a correctly wired system always makes forward progress;
     // a deadlock here is a simulator bug, not a workload property.
@@ -114,6 +124,10 @@ System::runUntilRetired(InstrCount target)
             last_progress = now_;
         } else if (now_ - last_progress > 1000000) {
             panic("system made no retirement progress for 1M cycles");
+        }
+        if (abort_check && (now_ & 0x1fff) == 0 && abort_check()) {
+            throw RunAborted("run aborted by watchdog at cycle " +
+                             std::to_string(now_));
         }
         cycle();
     }

@@ -7,7 +7,9 @@
 #ifndef PFSIM_SIM_SYSTEM_HH
 #define PFSIM_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -18,8 +20,24 @@
 #include "sim/config.hh"
 #include "trace/source.hh"
 
+namespace pfsim::fault
+{
+class FaultEngine;
+} // namespace pfsim::fault
+
 namespace pfsim::sim
 {
+
+/**
+ * Thrown when a cooperative abort check cancels a run — the per-job
+ * timeout watchdog of a resilient sweep.  The fleet treats it like any
+ * other job failure: retry, then degrade.
+ */
+class RunAborted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Build the configured L2 prefetcher by name. */
 std::unique_ptr<prefetch::Prefetcher>
@@ -44,6 +62,14 @@ class System
 
     /** Run until every core has retired @p target instructions. */
     void runUntilRetired(InstrCount target);
+
+    /**
+     * As above, but poll @p abort_check every few thousand cycles and
+     * throw RunAborted when it returns true (cooperative watchdog; an
+     * empty function disables the check).
+     */
+    void runUntilRetired(InstrCount target,
+                         const std::function<bool()> &abort_check);
 
     /** Reset every statistics block (end of warmup). */
     void resetStats();
@@ -70,6 +96,13 @@ class System
     check::AuditorRegistry &audit() { return audit_; }
     const check::AuditorRegistry &audit() const { return audit_; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault engine, ticked once per
+     * cycle after the components and before the audit.  Non-owning;
+     * null for every fault-free run.
+     */
+    void setFaultEngine(fault::FaultEngine *engine) { faults_ = engine; }
+
   private:
     SystemConfig config_;
     std::unique_ptr<dram::Dram> dram_;
@@ -80,6 +113,7 @@ class System
     std::vector<std::unique_ptr<prefetch::Prefetcher>> prefetchers_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     check::AuditorRegistry audit_;
+    fault::FaultEngine *faults_ = nullptr;
     Cycle now_ = 0;
 };
 

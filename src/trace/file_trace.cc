@@ -32,6 +32,11 @@ unpackU64(const unsigned char *in)
 
 } // namespace
 
+TraceError::TraceError(Kind kind, const std::string &what)
+    : std::runtime_error(what), kind_(kind)
+{
+}
+
 void
 recordTrace(TraceSource &source, const std::string &path,
             InstrCount count)
@@ -68,19 +73,43 @@ FileTrace::FileTrace(const std::string &path, bool loop)
     : loop_(loop), name_(path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr)
-        fatal("cannot open trace file: " + path);
+    if (file == nullptr) {
+        throw TraceError(TraceError::Kind::OpenFailed,
+                         "cannot open trace file: " + path);
+    }
 
     unsigned char header[16];
     if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
         std::memcmp(header, magic, 8) != 0) {
         std::fclose(file);
-        fatal("not a pfsim trace file: " + path);
+        throw TraceError(TraceError::Kind::BadMagic,
+                         "not a pfsim trace file: " + path);
     }
     const std::uint64_t count = unpackU64(header + 8);
     if (count == 0) {
         std::fclose(file);
-        fatal("empty trace file: " + path);
+        throw TraceError(TraceError::Kind::Empty,
+                         "empty trace file: " + path);
+    }
+
+    // Validate the promised length against the actual file size up
+    // front: a corrupt count field must not become a giant reserve()
+    // or a long partial read before the error surfaces.
+    const long data_start = std::ftell(file);
+    std::fseek(file, 0, SEEK_END);
+    const long file_end = std::ftell(file);
+    std::fseek(file, data_start, SEEK_SET);
+    const std::uint64_t available =
+        data_start >= 0 && file_end >= data_start
+            ? std::uint64_t(file_end - data_start) / recordBytes
+            : 0;
+    if (available < count) {
+        std::fclose(file);
+        throw TraceError(
+            TraceError::Kind::TruncatedRecord,
+            "truncated trace file: " + path + " promises " +
+                std::to_string(count) + " records but holds " +
+                std::to_string(available));
     }
 
     records_.reserve(count);
@@ -88,7 +117,20 @@ FileTrace::FileTrace(const std::string &path, bool loop)
     for (std::uint64_t i = 0; i < count; ++i) {
         if (std::fread(record, 1, recordBytes, file) != recordBytes) {
             std::fclose(file);
-            fatal("truncated trace file: " + path);
+            throw TraceError(
+                TraceError::Kind::TruncatedRecord,
+                "truncated trace file: " + path + " promises " +
+                    std::to_string(count) + " records, record " +
+                    std::to_string(i) + " is incomplete");
+        }
+        if ((record[24] & ~7) != 0) {
+            std::fclose(file);
+            throw TraceError(
+                TraceError::Kind::GarbageRecord,
+                "malformed trace record " + std::to_string(i) +
+                    " in " + path + ": reserved flag bits set "
+                    "(flag byte " +
+                    std::to_string(unsigned(record[24])) + ")");
         }
         Instruction instr;
         instr.pc = unpackU64(record);

@@ -18,6 +18,7 @@
 #ifndef PFSIM_TRACE_FILE_TRACE_HH
 #define PFSIM_TRACE_FILE_TRACE_HH
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,33 @@
 
 namespace pfsim::trace
 {
+
+/**
+ * Structured trace-input failure.  Malformed input files are an
+ * environment problem, not a simulator bug, so FileTrace reports them
+ * as a typed, catchable error (a resilient sweep turns it into a
+ * degraded row) instead of aborting the process.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    /** What exactly is wrong with the file. */
+    enum class Kind
+    {
+        OpenFailed,      ///< file missing or unreadable
+        BadMagic,        ///< not a pfsim trace (or short header)
+        Empty,           ///< zero-record trace
+        TruncatedRecord, ///< count promises more records than exist
+        GarbageRecord,   ///< record uses reserved flag bits
+    };
+
+    TraceError(Kind kind, const std::string &what);
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
 
 /** Capture @p count instructions from @p source into @p path. */
 void recordTrace(TraceSource &source, const std::string &path,
@@ -39,6 +67,8 @@ class FileTrace : public TraceSource
      * @param path file written by recordTrace
      * @param loop when true, wrap around at end-of-trace (so warmup +
      *        measurement can exceed the recorded length)
+     * @throws TraceError when the file is missing, not a pfsim trace,
+     *         empty, truncated, or contains malformed records
      */
     explicit FileTrace(const std::string &path, bool loop = true);
 

@@ -1,5 +1,6 @@
 #include "util/args.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -49,7 +50,31 @@ Args::getInt(const std::string &name, std::int64_t def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("--" + name + " expects an integer, got \"" +
+              it->second + "\"");
+    }
+    if (errno == ERANGE) {
+        fatal("--" + name + "=" + it->second +
+              " overflows a 64-bit integer");
+    }
+    return v;
+}
+
+std::uint64_t
+Args::getUnsigned(const std::string &name, std::uint64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::int64_t v = getInt(name, 0);
+    if (v < 0) {
+        fatal("--" + name + " must be >= 0, got " + it->second);
+    }
+    return std::uint64_t(v);
 }
 
 double
@@ -58,7 +83,18 @@ Args::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtod(it->second.c_str(), nullptr);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        fatal("--" + name + " expects a number, got \"" +
+              it->second + "\"");
+    }
+    if (errno == ERANGE) {
+        fatal("--" + name + "=" + it->second +
+              " is out of range for a double");
+    }
+    return v;
 }
 
 } // namespace pfsim

@@ -34,10 +34,24 @@ class Args
     std::string get(const std::string &name,
                     const std::string &def) const;
 
-    /** Integer value of --name=value, or @p def when absent. */
+    /**
+     * Integer value of --name=value, or @p def when absent.  Malformed
+     * or overflowing values abort with a one-line actionable message.
+     */
     std::int64_t getInt(const std::string &name, std::int64_t def) const;
 
-    /** Double value of --name=value, or @p def when absent. */
+    /**
+     * Non-negative integer value of --name=value, or @p def when
+     * absent.  Negative values abort: use this for counts and sizes
+     * (--jobs=-1 is a usage error, not a huge unsigned number).
+     */
+    std::uint64_t getUnsigned(const std::string &name,
+                              std::uint64_t def) const;
+
+    /**
+     * Double value of --name=value, or @p def when absent.  Malformed
+     * or overflowing values abort with a one-line actionable message.
+     */
     double getDouble(const std::string &name, double def) const;
 
   private:

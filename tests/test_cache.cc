@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -146,6 +147,62 @@ TEST(MshrFile, AllocateFindRelease)
     mshrs.release(a);
     EXPECT_FALSE(mshrs.full());
     EXPECT_EQ(mshrs.find(0x1000), nullptr);
+}
+
+TEST(Cache, MshrSqueezeBackpressuresMissesUntilReleased)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory); // 4 MSHRs
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    // Squeeze: 3 of the 4 MSHRs withheld, so distinct-block misses
+    // must serialise through the single remaining entry.
+    cache.faultInjectMshrs().faultInjectReserve(3);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(cache.addRead(
+            load(0x10000 + Addr(i) * blockSize, &requestor, i)));
+    }
+    ++now;
+    cache.tick(now);
+    EXPECT_EQ(memory.reads.size(), 1u);
+    EXPECT_TRUE(cache.faultInjectMshrs().full());
+
+    // Releasing the squeeze lets the queued misses proceed, and every
+    // request still completes: backpressure stalls, it never loses.
+    cache.faultInjectMshrs().faultInjectReserve(0);
+    for (int c = 0; c < 4; ++c) {
+        ++now;
+        cache.tick(now); // memory left unanswered: no MSHR recycling
+    }
+    EXPECT_EQ(memory.reads.size(), 4u);
+    run(cache, memory, now, 10);
+    EXPECT_EQ(requestor.completions.size(), 4u);
+}
+
+TEST(Cache, MshrSqueezeStillCompletesWhileActive)
+{
+    FakeMemory memory;
+    Cache cache(smallConfig(), &memory);
+    FakeRequestor requestor;
+    Cycle now = 0;
+
+    cache.faultInjectMshrs().faultInjectReserve(3);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(cache.addRead(
+            load(0x20000 + Addr(i) * blockSize, &requestor, i)));
+    }
+    std::size_t max_used = 0;
+    for (int c = 0; c < 100; ++c) {
+        ++now;
+        cache.tick(now);
+        max_used = std::max(max_used, cache.faultInjectMshrs().used());
+        memory.answerAll(now);
+    }
+    // All misses drained one at a time through the squeezed file.
+    EXPECT_EQ(requestor.completions.size(), 4u);
+    EXPECT_EQ(max_used, 1u);
+    EXPECT_EQ(memory.totalReads, 4u);
 }
 
 TEST(Cache, MissForwardsToLowerAndFills)

@@ -240,6 +240,97 @@ TEST(Dram, ReadQueueCapacityEnforced)
         read(Addr(config.rqSize) * blockSize, &requestor, 1000)));
 }
 
+/** A scriptable fault hook: drop the first N responses, delay all. */
+class ScriptedFaultHook : public DramFaultHook
+{
+  public:
+    bool
+    dropResponse(const cache::Request &) override
+    {
+        if (drops == 0)
+            return false;
+        --drops;
+        return true;
+    }
+
+    Cycle responseDelay(const cache::Request &) override { return extra; }
+
+    unsigned drops = 0;
+    Cycle extra = 0;
+};
+
+TEST(DramFault, NullRatesLeaveTimingUntouched)
+{
+    FakeRequestor base_req, hook_req;
+    Cycle now = 0;
+
+    Dram baseline(DramConfig{});
+    ASSERT_TRUE(baseline.addRead(read(0x10000, &base_req, 1)));
+    run(baseline, now, 400);
+
+    Dram hooked(DramConfig{});
+    ScriptedFaultHook hook; // armed but all-zero: must be a no-op
+    hooked.faultInjectHook(&hook);
+    now = 0;
+    ASSERT_TRUE(hooked.addRead(read(0x10000, &hook_req, 1)));
+    run(hooked, now, 400);
+
+    ASSERT_EQ(base_req.completions.size(), 1u);
+    ASSERT_EQ(hook_req.completions.size(), 1u);
+    EXPECT_EQ(base_req.completions[0].second,
+              hook_req.completions[0].second);
+}
+
+TEST(DramFault, DelayedResponseAddsExtraCycles)
+{
+    FakeRequestor base_req, hook_req;
+    Cycle now = 0;
+
+    Dram baseline(DramConfig{});
+    baseline.addRead(read(0x10000, &base_req, 1));
+    run(baseline, now, 1000);
+    ASSERT_EQ(base_req.completions.size(), 1u);
+
+    Dram hooked(DramConfig{});
+    ScriptedFaultHook hook;
+    hook.extra = 150;
+    hooked.faultInjectHook(&hook);
+    now = 0;
+    hooked.addRead(read(0x10000, &hook_req, 1));
+    run(hooked, now, 1000);
+    ASSERT_EQ(hook_req.completions.size(), 1u);
+
+    EXPECT_EQ(hook_req.completions[0].second,
+              base_req.completions[0].second + 150);
+}
+
+TEST(DramFault, DroppedResponseIsRetriedNotLost)
+{
+    FakeRequestor base_req, hook_req;
+    Cycle now = 0;
+
+    Dram baseline(DramConfig{});
+    baseline.addRead(read(0x10000, &base_req, 1));
+    run(baseline, now, 2000);
+    ASSERT_EQ(base_req.completions.size(), 1u);
+
+    Dram hooked(DramConfig{});
+    ScriptedFaultHook hook;
+    hook.drops = 1;
+    hooked.faultInjectHook(&hook);
+    now = 0;
+    hooked.addRead(read(0x10000, &hook_req, 1));
+    run(hooked, now, 2000);
+
+    // The read completes exactly once, later than the clean run (the
+    // first service attempt's bus/bank time was wasted), and the
+    // dropped attempt is not double-counted in the read stats.
+    ASSERT_EQ(hook_req.completions.size(), 1u);
+    EXPECT_GT(hook_req.completions[0].second,
+              base_req.completions[0].second);
+    EXPECT_EQ(hooked.stats().reads, 1u);
+}
+
 TEST(Dram, ResetStatsZeroes)
 {
     Dram dram(DramConfig{});

@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Unit tests for the fault-injection layer: plan parsing, seed
+ * derivation, injector determinism (same seed => same faults), the
+ * trace corruption/sanitation pair with its error budget, and the
+ * retry/degrade semantics of the resilient sweep fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "core/ppf.hh"
+#include "dram/dram.hh"
+#include "fault/engine.hh"
+#include "fault/fault.hh"
+#include "fault/injectors.hh"
+#include "sim/parallel.hh"
+#include "trace/source.hh"
+
+namespace pfsim::fault
+{
+namespace
+{
+
+// ---------------------------------------------------------------- plan
+
+TEST(FaultPlan, EmptySpecArmsNothing)
+{
+    const FaultPlan plan = FaultPlan::parse("");
+    EXPECT_FALSE(plan.any());
+    EXPECT_FALSE(plan.anySystem());
+    EXPECT_EQ(plan.summary(), "none");
+}
+
+TEST(FaultPlan, FullSpecRoundTrips)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "trace:rate=0.01,budget=0.3;weights:rate=0.001,burst=2;"
+        "spp:rate=0.002;dram:drop=0.01,delay=0.02,extra=300;"
+        "mshr:reserve=4,period=1000,duty=100;job:crash=2");
+    EXPECT_DOUBLE_EQ(plan.trace.rate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.trace.budget, 0.3);
+    EXPECT_DOUBLE_EQ(plan.weights.rate, 0.001);
+    EXPECT_EQ(plan.weights.burst, 2u);
+    EXPECT_DOUBLE_EQ(plan.spp.rate, 0.002);
+    EXPECT_DOUBLE_EQ(plan.dram.dropRate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.dram.delayRate, 0.02);
+    EXPECT_EQ(plan.dram.extraCycles, 300u);
+    EXPECT_EQ(plan.mshr.reserve, 4u);
+    EXPECT_EQ(plan.mshr.period, 1000u);
+    EXPECT_EQ(plan.mshr.duty, 100u);
+    EXPECT_EQ(plan.job.crashIndex, 2);
+    EXPECT_TRUE(plan.any());
+    EXPECT_TRUE(plan.anySystem());
+    EXPECT_NE(plan.summary(), "none");
+}
+
+TEST(FaultPlan, JobOnlySpecIsNotSystemFault)
+{
+    const FaultPlan plan = FaultPlan::parse("job:flaky=1,fails=2");
+    EXPECT_TRUE(plan.any());
+    EXPECT_FALSE(plan.anySystem());
+    EXPECT_EQ(plan.job.flakyIndex, 1);
+    EXPECT_EQ(plan.job.flakyFails, 2u);
+}
+
+TEST(FaultPlanDeath, RejectsUnknownKind)
+{
+    EXPECT_EXIT(FaultPlan::parse("bogus:rate=0.1"),
+                testing::ExitedWithCode(1), "unknown fault kind");
+}
+
+TEST(FaultPlanDeath, RejectsUnknownKey)
+{
+    EXPECT_EXIT(FaultPlan::parse("trace:frequency=0.1"),
+                testing::ExitedWithCode(1), "unknown trace key");
+}
+
+TEST(FaultPlanDeath, RejectsRateOutsideUnitInterval)
+{
+    EXPECT_EXIT(FaultPlan::parse("trace:rate=1.5"),
+                testing::ExitedWithCode(1),
+                "trace rate must be within");
+}
+
+TEST(FaultPlanDeath, RejectsMalformedNumber)
+{
+    EXPECT_EXIT(FaultPlan::parse("spp:rate=lots"),
+                testing::ExitedWithCode(1), "expects a number");
+}
+
+TEST(FaultPlanDeath, RejectsMissingValue)
+{
+    EXPECT_EXIT(FaultPlan::parse("trace:rate"),
+                testing::ExitedWithCode(1), "expected key=value");
+}
+
+TEST(FaultPlanDeath, RejectsDutyLongerThanPeriod)
+{
+    EXPECT_EXIT(
+        FaultPlan::parse("mshr:reserve=4,period=100,duty=200"),
+        testing::ExitedWithCode(1), "mshr duty must be within");
+}
+
+TEST(FaultPlanDeath, RejectsZeroBurst)
+{
+    EXPECT_EXIT(FaultPlan::parse("weights:rate=0.1,burst=0"),
+                testing::ExitedWithCode(1), "burst must be >= 1");
+}
+
+TEST(FaultPlanDeath, RejectsFlakyWithoutFailures)
+{
+    EXPECT_EXIT(FaultPlan::parse("job:flaky=0,fails=0"),
+                testing::ExitedWithCode(1), "fails must be >= 1");
+}
+
+TEST(DeriveSeed, DistinctStreamsDecorrelate)
+{
+    const std::uint64_t a = deriveSeed(1, 0);
+    const std::uint64_t b = deriveSeed(1, 1);
+    const std::uint64_t c = deriveSeed(2, 0);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    // Pure function: same inputs, same stream.
+    EXPECT_EQ(deriveSeed(1, 0), a);
+}
+
+// ------------------------------------------------------ trace faults
+
+/** An endless, deterministic, well-formed instruction stream. */
+class CleanTrace : public trace::TraceSource
+{
+  public:
+    bool
+    next(Instruction &out) override
+    {
+        out = Instruction{};
+        out.pc = 0x400000 + 4 * (n_ % 1024);
+        out.loadAddr = (Addr{1} << 30) + blockSize * (n_ % 4096);
+        ++n_;
+        return true;
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    std::string name_ = "clean";
+};
+
+/** Replays a fixed script of (possibly malformed) instructions. */
+class ScriptedTrace : public trace::TraceSource
+{
+  public:
+    explicit ScriptedTrace(std::vector<Instruction> script)
+        : script_(std::move(script))
+    {
+    }
+
+    bool
+    next(Instruction &out) override
+    {
+        if (pos_ >= script_.size())
+            pos_ = 0;
+        out = script_[pos_++];
+        return true;
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::vector<Instruction> script_;
+    std::size_t pos_ = 0;
+    std::string name_ = "scripted";
+};
+
+TEST(CorruptingTrace, SameSeedCorruptsIdentically)
+{
+    TraceFaultSpec spec;
+    spec.rate = 0.2;
+
+    CleanTrace clean_a, clean_b;
+    CorruptingTrace a(clean_a, spec, 42);
+    CorruptingTrace b(clean_b, spec, 42);
+    for (int i = 0; i < 5000; ++i) {
+        Instruction ia, ib;
+        ASSERT_TRUE(a.next(ia));
+        ASSERT_TRUE(b.next(ib));
+        EXPECT_EQ(ia.pc, ib.pc);
+        EXPECT_EQ(ia.loadAddr, ib.loadAddr);
+        EXPECT_EQ(ia.isBranch, ib.isBranch);
+        EXPECT_EQ(ia.branchTaken, ib.branchTaken);
+    }
+    FaultStats sa, sb;
+    a.accumulate(sa);
+    b.accumulate(sb);
+    EXPECT_GT(sa.traceCorrupted, 0u);
+    EXPECT_EQ(sa.traceCorrupted, sb.traceCorrupted);
+    EXPECT_EQ(sa.traceDropped, sb.traceDropped);
+}
+
+TEST(CorruptingTrace, DifferentSeedsDiverge)
+{
+    TraceFaultSpec spec;
+    spec.rate = 0.2;
+
+    CleanTrace clean_a, clean_b;
+    CorruptingTrace a(clean_a, spec, 1);
+    CorruptingTrace b(clean_b, spec, 2);
+    bool diverged = false;
+    for (int i = 0; i < 5000 && !diverged; ++i) {
+        Instruction ia, ib;
+        a.next(ia);
+        b.next(ib);
+        diverged = ia.loadAddr != ib.loadAddr ||
+                   ia.branchTaken != ib.branchTaken;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(SanitizingTrace, RepairsMalformedRecords)
+{
+    Instruction garbage_flags;
+    garbage_flags.pc = 0x1000;
+    garbage_flags.branchTaken = true; // taken but not a branch
+
+    Instruction wild_load;
+    wild_load.pc = 0x1004;
+    wild_load.loadAddr = (Addr{1} << 62) | 0x1234;
+
+    Instruction healthy;
+    healthy.pc = 0x1008;
+    healthy.loadAddr = Addr{1} << 30;
+
+    ScriptedTrace source({garbage_flags, wild_load, healthy});
+    SanitizingTrace sanitizer(source, 1.0);
+
+    Instruction out;
+    ASSERT_TRUE(sanitizer.next(out));
+    EXPECT_FALSE(out.branchTaken);
+
+    ASSERT_TRUE(sanitizer.next(out));
+    EXPECT_LT(out.loadAddr, Addr{1} << 48);
+    EXPECT_NE(out.loadAddr, 0u);
+
+    ASSERT_TRUE(sanitizer.next(out));
+    EXPECT_EQ(out.loadAddr, Addr{1} << 30);
+
+    EXPECT_EQ(sanitizer.repaired(), 2u);
+}
+
+TEST(SanitizingTrace, ThrowsOnceErrorBudgetExceeded)
+{
+    Instruction wild;
+    wild.pc = 0x1000;
+    wild.loadAddr = Addr{1} << 60; // always repaired
+
+    ScriptedTrace source({wild});
+    SanitizingTrace sanitizer(source, 0.1);
+    Instruction out;
+    // The budget is only enforced after enough records for the
+    // fraction to be meaningful, then trips immediately at 100%
+    // damage.
+    for (int i = 0; i < 255; ++i)
+        ASSERT_TRUE(sanitizer.next(out));
+    EXPECT_THROW(sanitizer.next(out), ErrorBudgetExceeded);
+}
+
+TEST(SanitizingTrace, CleanStreamPassesUntouched)
+{
+    CleanTrace clean;
+    SanitizingTrace sanitizer(clean, 0.0);
+    Instruction out;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(sanitizer.next(out));
+    EXPECT_EQ(sanitizer.repaired(), 0u);
+}
+
+// ------------------------------------------------------ weight flips
+
+TEST(WeightFlip, FlipSetsExactBitAndReclamps)
+{
+    ppf::Ppf ppf;
+    const auto feature = ppf::FeatureId(0);
+    // Untrained weight is 0; flipping bit 0 yields +1.
+    EXPECT_EQ(ppf.weights().weight(feature, 7), 0);
+    EXPECT_EQ(ppf.faultInjectWeightFlip(feature, 7, 0), 1);
+    EXPECT_EQ(ppf.weights().weight(feature, 7), 1);
+    // Flipping the sign bit of the stored encoding of 1 gives
+    // 0b10001 = -15 in 5-bit two's complement.
+    EXPECT_EQ(ppf.faultInjectWeightFlip(feature, 7, 4), -15);
+}
+
+TEST(WeightFlip, NarrowClampReboundsFlippedWeight)
+{
+    ppf::PpfConfig config;
+    config.weightClampBits = 3; // weights clamped to [-4, 3]
+    ppf::Ppf ppf(config);
+    const auto feature = ppf::FeatureId(0);
+    // Flipping bit 3 of 0 would give raw 8 = -24 sign-extended... but
+    // any post-flip value is re-clamped into the configured range, as
+    // saturating hardware would enforce on the next update.
+    const int post = ppf.faultInjectWeightFlip(feature, 3, 3);
+    EXPECT_GE(post, ppf.weights().weightMin());
+    EXPECT_LE(post, ppf.weights().weightMax());
+}
+
+TEST(WeightFlipInjector, SameSeedFlipsSameWeights)
+{
+    WeightFaultSpec spec;
+    spec.rate = 0.01;
+    spec.burst = 2;
+
+    ppf::Ppf ppf_a, ppf_b;
+    WeightFlipInjector a(ppf_a, spec, 99);
+    WeightFlipInjector b(ppf_b, spec, 99);
+    for (Cycle now = 0; now < 20000; ++now) {
+        a.tick(now);
+        b.tick(now);
+    }
+    a.finish(20000);
+    b.finish(20000);
+
+    FaultStats sa, sb;
+    a.accumulate(sa);
+    b.accumulate(sb);
+    EXPECT_GT(sa.weightFlips, 0u);
+    EXPECT_EQ(sa.weightFlips, sb.weightFlips);
+    EXPECT_EQ(sa.weightFlipsRecovered, sb.weightFlipsRecovered);
+    EXPECT_EQ(sa.weightRecoveryCyclesSum, sb.weightRecoveryCyclesSum);
+
+    // The damaged state must be identical too, not just the counters.
+    for (unsigned f = 0; f < ppf::numFeatures; ++f) {
+        const auto feature = ppf::FeatureId(f);
+        for (std::uint32_t i = 0; i < ppf::featureTableSizes[f]; ++i) {
+            ASSERT_EQ(ppf_a.weights().weight(feature, i),
+                      ppf_b.weights().weight(feature, i));
+        }
+    }
+}
+
+TEST(WeightFlipInjector, RecoveryBookkeepingIsConsistent)
+{
+    WeightFaultSpec spec;
+    spec.rate = 0.05;
+
+    ppf::Ppf ppf;
+    WeightFlipInjector injector(ppf, spec, 7);
+    for (Cycle now = 0; now < 50000; ++now)
+        injector.tick(now);
+    injector.finish(50000);
+
+    FaultStats stats;
+    injector.accumulate(stats);
+    EXPECT_GT(stats.weightFlips, 0u);
+    EXPECT_LE(stats.weightFlipsRecovered, stats.weightFlips);
+    // A flip of bit 0 on an untrained (zero) weight lands within one
+    // training step of its pre-flip value, so some flips recover with
+    // a finite latency even without a running training loop.
+    EXPECT_GT(stats.weightFlipsRecovered, 0u);
+    EXPECT_LE(stats.weightRecoveryCyclesMax, 50000u);
+    if (stats.weightFlipsRecovered > 0) {
+        EXPECT_GE(stats.meanWeightRecoveryCycles(), 0.0);
+    }
+}
+
+// ------------------------------------------------------ MSHR squeeze
+
+TEST(MshrFile, FaultReserveWithholdsEntries)
+{
+    cache::MshrFile mshrs(8);
+    mshrs.faultInjectReserve(4);
+    EXPECT_EQ(mshrs.faultReserved(), 4u);
+    for (Addr a = 0; a < 4; ++a)
+        ASSERT_NE(mshrs.allocate(0x1000 + a * blockSize, 1), nullptr);
+    // The fifth allocation hits the squeezed ceiling.
+    EXPECT_TRUE(mshrs.full());
+    EXPECT_EQ(mshrs.allocate(0x9000, 2), nullptr);
+    // Releasing the squeeze restores the full capacity.
+    mshrs.faultInjectReserve(0);
+    EXPECT_FALSE(mshrs.full());
+    EXPECT_NE(mshrs.allocate(0x9000, 3), nullptr);
+}
+
+TEST(MshrFile, FaultReserveNeverDeadlocksTheFile)
+{
+    cache::MshrFile mshrs(8);
+    // Reserving the whole file would deadlock the miss path; the
+    // squeeze is clamped so one entry always remains allocatable.
+    mshrs.faultInjectReserve(100);
+    EXPECT_EQ(mshrs.faultReserved(), 7u);
+    EXPECT_FALSE(mshrs.full());
+    EXPECT_NE(mshrs.allocate(0x1000, 1), nullptr);
+    EXPECT_TRUE(mshrs.full());
+}
+
+TEST(MshrSqueezeInjector, WindowsOpenAndCloseDeterministically)
+{
+    MshrFaultSpec spec;
+    spec.reserve = 4;
+    spec.period = 1000;
+    spec.duty = 100;
+
+    cache::MshrFile mshrs(8);
+    MshrSqueezeInjector injector(mshrs, spec, 11);
+    std::vector<Cycle> transitions;
+    bool squeezed = false;
+    for (Cycle now = 0; now < 3500; ++now) {
+        injector.tick(now);
+        const bool active = mshrs.faultReserved() > 0;
+        if (active != squeezed) {
+            transitions.push_back(now);
+            squeezed = active;
+        }
+        EXPECT_TRUE(mshrs.faultReserved() == 0 ||
+                    mshrs.faultReserved() == 4);
+    }
+    injector.finish(3500);
+    EXPECT_EQ(mshrs.faultReserved(), 0u);
+
+    // Three whole periods => at least three open/close pairs, spaced
+    // one period apart.
+    ASSERT_GE(transitions.size(), 6u);
+    EXPECT_EQ(transitions[2] - transitions[0], spec.period);
+
+    FaultStats stats;
+    injector.accumulate(stats);
+    EXPECT_GE(stats.mshrSqueezeWindows, 3u);
+
+    // Determinism: a twin injector with the same seed transitions on
+    // the same cycles.
+    cache::MshrFile twin_mshrs(8);
+    MshrSqueezeInjector twin(twin_mshrs, spec, 11);
+    std::vector<Cycle> twin_transitions;
+    squeezed = false;
+    for (Cycle now = 0; now < 3500; ++now) {
+        twin.tick(now);
+        const bool active = twin_mshrs.faultReserved() > 0;
+        if (active != squeezed) {
+            twin_transitions.push_back(now);
+            squeezed = active;
+        }
+    }
+    EXPECT_EQ(transitions, twin_transitions);
+}
+
+// ------------------------------------------------------- DRAM faults
+
+TEST(DramFaultInjector, SameSeedSameDropAndDelaySequence)
+{
+    DramFaultSpec spec;
+    spec.dropRate = 0.2;
+    spec.delayRate = 0.3;
+    spec.extraCycles = 123;
+
+    dram::Dram dram_a((dram::DramConfig{}));
+    dram::Dram dram_b((dram::DramConfig{}));
+    DramFaultInjector a(dram_a, spec, 5);
+    DramFaultInjector b(dram_b, spec, 5);
+
+    cache::Request req;
+    req.addr = 0x1000;
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.dropResponse(req), b.dropResponse(req));
+        EXPECT_EQ(a.responseDelay(req), b.responseDelay(req));
+    }
+    FaultStats sa, sb;
+    a.accumulate(sa);
+    b.accumulate(sb);
+    EXPECT_GT(sa.dramDropped, 0u);
+    EXPECT_GT(sa.dramDelayed, 0u);
+    EXPECT_EQ(sa.dramDropped, sb.dramDropped);
+    EXPECT_EQ(sa.dramDelayed, sb.dramDelayed);
+}
+
+TEST(DramFaultInjector, DelayReturnsConfiguredExtraCycles)
+{
+    DramFaultSpec spec;
+    spec.delayRate = 1.0;
+    spec.extraCycles = 250;
+
+    dram::Dram dram((dram::DramConfig{}));
+    DramFaultInjector injector(dram, spec, 1);
+    cache::Request req;
+    EXPECT_EQ(injector.responseDelay(req), 250u);
+    EXPECT_FALSE(injector.dropResponse(req)); // dropRate = 0
+}
+
+// ------------------------------------------------------- fault engine
+
+/** Minimal injector that counts its ticks into sppFlips. */
+class CountingInjector : public Injector
+{
+  public:
+    void tick(Cycle) override { ++ticks_; }
+
+    void
+    accumulate(FaultStats &stats) const override
+    {
+        stats.sppFlips += ticks_;
+    }
+
+  private:
+    std::uint64_t ticks_ = 0;
+};
+
+TEST(FaultEngine, AggregatesAcrossInjectors)
+{
+    FaultEngine engine;
+    EXPECT_TRUE(engine.empty());
+    engine.add(std::make_unique<CountingInjector>());
+    engine.add(std::make_unique<CountingInjector>());
+    EXPECT_FALSE(engine.empty());
+    for (Cycle now = 0; now < 10; ++now)
+        engine.tick(now);
+    engine.finish(10);
+    EXPECT_EQ(engine.stats().sppFlips, 20u);
+}
+
+// ---------------------------------------------------- resilient fleet
+
+TEST(ResilientFleet, CrashJobDegradesAfterExhaustedRetries)
+{
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    policy.degradeOnFailure = true;
+
+    std::vector<sim::Job> jobs;
+    unsigned crash_attempts = 0;
+    jobs.push_back([]() -> sim::JobReport { return {}; });
+    jobs.push_back([&crash_attempts]() -> sim::JobReport {
+        ++crash_attempts;
+        throw InjectedJobFault("always fails");
+    });
+    jobs.push_back([]() -> sim::JobReport { return {}; });
+
+    const sim::FleetReport report =
+        sim::runJobsResilient(jobs, 1, "test", policy);
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_FALSE(report.outcomes[1].ok);
+    EXPECT_EQ(report.outcomes[1].attempts, 3u);
+    EXPECT_EQ(crash_attempts, 3u);
+    EXPECT_NE(report.outcomes[1].error.find("always fails"),
+              std::string::npos);
+    EXPECT_TRUE(report.outcomes[2].ok);
+    EXPECT_EQ(report.degraded(), 1u);
+    EXPECT_EQ(report.recovered(), 0u);
+}
+
+TEST(ResilientFleet, FlakyJobRecoversAfterRetry)
+{
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    policy.degradeOnFailure = true;
+
+    unsigned failures_left = 2;
+    std::vector<sim::Job> jobs;
+    jobs.push_back([&failures_left]() -> sim::JobReport {
+        if (failures_left > 0) {
+            --failures_left;
+            throw InjectedJobFault("transient");
+        }
+        return {};
+    });
+
+    const sim::FleetReport report =
+        sim::runJobsResilient(jobs, 1, "test", policy);
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 3u);
+    EXPECT_TRUE(report.outcomes[0].recoveredAfterRetry());
+    EXPECT_EQ(report.degraded(), 0u);
+    EXPECT_EQ(report.recovered(), 1u);
+}
+
+TEST(ResilientFleet, DefaultPolicyPropagatesTheFailure)
+{
+    // Without degradeOnFailure the legacy contract holds: the first
+    // failing job's exception reaches the caller.
+    std::vector<sim::Job> jobs;
+    jobs.push_back([]() -> sim::JobReport {
+        throw InjectedJobFault("fatal job fault");
+    });
+    EXPECT_THROW(sim::runJobsResilient(jobs, 1, "test",
+                                       sim::FleetPolicy{}),
+                 InjectedJobFault);
+}
+
+TEST(ResilientFleet, OutcomesAreIndependentOfWorkerCount)
+{
+    sim::FleetPolicy policy;
+    policy.maxRetries = 1;
+    policy.degradeOnFailure = true;
+
+    auto build = [](std::vector<sim::Job> &jobs) {
+        for (int j = 0; j < 6; ++j) {
+            if (j == 2) {
+                jobs.push_back([]() -> sim::JobReport {
+                    throw InjectedJobFault("crash");
+                });
+            } else {
+                jobs.push_back([]() -> sim::JobReport { return {}; });
+            }
+        }
+    };
+    std::vector<sim::Job> serial_jobs, pooled_jobs;
+    build(serial_jobs);
+    build(pooled_jobs);
+
+    const sim::FleetReport serial =
+        sim::runJobsResilient(serial_jobs, 1, "test", policy);
+    const sim::FleetReport pooled =
+        sim::runJobsResilient(pooled_jobs, 4, "test", policy);
+    ASSERT_EQ(serial.outcomes.size(), pooled.outcomes.size());
+    for (std::size_t j = 0; j < serial.outcomes.size(); ++j) {
+        EXPECT_EQ(serial.outcomes[j].ok, pooled.outcomes[j].ok);
+        EXPECT_EQ(serial.outcomes[j].attempts,
+                  pooled.outcomes[j].attempts);
+    }
+}
+
+} // namespace
+} // namespace pfsim::fault

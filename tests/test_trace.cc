@@ -437,20 +437,114 @@ TEST(FileTrace, PreservesDependentFlags)
     EXPECT_TRUE(any_dependent);
 }
 
-TEST(FileTraceDeath, MissingFileIsFatal)
+TEST(FileTraceError, MissingFileThrowsOpenFailed)
 {
-    EXPECT_EXIT(FileTrace("/nonexistent/trace.bin"),
-                testing::ExitedWithCode(1), "cannot open trace file");
+    try {
+        FileTrace replay("/nonexistent/trace.bin");
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.kind(), TraceError::Kind::OpenFailed);
+        EXPECT_NE(std::string(e.what()).find("cannot open trace file"),
+                  std::string::npos);
+    }
 }
 
-TEST(FileTraceDeath, GarbageFileIsFatal)
+TEST(FileTraceError, GarbageFileThrowsBadMagic)
 {
     TempTraceFile file;
     std::FILE *f = std::fopen(file.path().c_str(), "wb");
     std::fputs("this is not a trace", f);
     std::fclose(f);
-    EXPECT_EXIT(FileTrace(file.path()), testing::ExitedWithCode(1),
-                "not a pfsim trace file");
+    try {
+        FileTrace replay(file.path());
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.kind(), TraceError::Kind::BadMagic);
+    }
+}
+
+TEST(FileTraceError, ShortHeaderThrowsBadMagic)
+{
+    TempTraceFile file;
+    std::FILE *f = std::fopen(file.path().c_str(), "wb");
+    std::fputs("PFSIM", f); // shorter than magic + count
+    std::fclose(f);
+    EXPECT_THROW(FileTrace{file.path()}, TraceError);
+}
+
+TEST(FileTraceError, EmptyTraceThrowsEmpty)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 0);
+    try {
+        FileTrace replay(file.path());
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.kind(), TraceError::Kind::Empty);
+    }
+}
+
+TEST(FileTraceError, TruncatedTailRecordThrows)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 50);
+
+    // Chop the last record in half.
+    std::FILE *f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(file.path().c_str(), size - 12), 0);
+
+    try {
+        FileTrace replay(file.path());
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.kind(), TraceError::Kind::TruncatedRecord);
+        EXPECT_NE(std::string(e.what()).find("promises"),
+                  std::string::npos);
+    }
+}
+
+TEST(FileTraceError, OverstatedCountThrowsTruncated)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 10);
+
+    // Rewrite the count field to promise far more records than the
+    // file holds: must fail up front, not allocate gigabytes.
+    std::FILE *f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    const unsigned char count[8] = {0, 0, 0, 0, 0, 0, 0, 0x7f};
+    std::fwrite(count, 1, sizeof(count), f);
+    std::fclose(f);
+    EXPECT_THROW(FileTrace{file.path()}, TraceError);
+}
+
+TEST(FileTraceError, ReservedFlagBitsThrowGarbageRecord)
+{
+    TempTraceFile file;
+    SyntheticTrace original(simpleConfig());
+    recordTrace(original, file.path(), 10);
+
+    // Poison the flag byte of record 3 (offset 16 header + 3*25 + 24).
+    std::FILE *f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16 + 3 * 25 + 24, SEEK_SET);
+    std::fputc(0xA5, f);
+    std::fclose(f);
+
+    try {
+        FileTrace replay(file.path());
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.kind(), TraceError::Kind::GarbageRecord);
+    }
 }
 
 } // namespace

@@ -237,6 +237,48 @@ TEST(Args, DoubleValues)
     EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
 }
 
+TEST(Args, GetUnsignedAcceptsCounts)
+{
+    const char *argv[] = {"prog", "--jobs=4",
+                          "--big=9223372036854775807"};
+    Args args(3, const_cast<char **>(argv), {"jobs", "big"});
+    EXPECT_EQ(args.getUnsigned("jobs", 0), 4u);
+    EXPECT_EQ(args.getUnsigned("missing", 7), 7u);
+    EXPECT_EQ(args.getUnsigned("big", 0), 9223372036854775807u);
+}
+
+TEST(ArgsDeath, RejectsMalformedInteger)
+{
+    const char *argv[] = {"prog", "--alpha=12abc"};
+    Args args(2, const_cast<char **>(argv), {"alpha"});
+    EXPECT_EXIT(args.getInt("alpha", 0), testing::ExitedWithCode(1),
+                "--alpha expects an integer");
+}
+
+TEST(ArgsDeath, RejectsOverflowingInteger)
+{
+    const char *argv[] = {"prog", "--alpha=99999999999999999999"};
+    Args args(2, const_cast<char **>(argv), {"alpha"});
+    EXPECT_EXIT(args.getInt("alpha", 0), testing::ExitedWithCode(1),
+                "overflows");
+}
+
+TEST(ArgsDeath, RejectsNegativeCount)
+{
+    const char *argv[] = {"prog", "--jobs=-1"};
+    Args args(2, const_cast<char **>(argv), {"jobs"});
+    EXPECT_EXIT(args.getUnsigned("jobs", 0),
+                testing::ExitedWithCode(1), "--jobs must be >= 0");
+}
+
+TEST(ArgsDeath, RejectsMalformedDouble)
+{
+    const char *argv[] = {"prog", "--ratio=half"};
+    Args args(2, const_cast<char **>(argv), {"ratio"});
+    EXPECT_EXIT(args.getDouble("ratio", 0.0),
+                testing::ExitedWithCode(1), "--ratio expects a number");
+}
+
 TEST(ArgsDeath, RejectsUnknownOption)
 {
     const char *argv[] = {"prog", "--bogus=1"};

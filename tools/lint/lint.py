@@ -15,6 +15,11 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      (util/thread_pool.hh) so sweeps stay deterministic and exception
      handling is solved once.  ``std::thread::hardware_concurrency``
      and ``std::this_thread`` are allowed everywhere.
+  6. ``faultInject*`` hooks are called only from src/fault (and from
+     tests) — the hardware model must never perturb itself.  Header
+     files are exempt (that is where the hooks are declared), and
+     ``Class::faultInjectX`` definitions in the owning .cc are not
+     calls.
 
 Exit status is non-zero when any rule is violated; each violation is
 reported as ``file:line: rule: detail``.
@@ -48,6 +53,11 @@ RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
 
 EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
 
+# A faultInject* call site: the lookbehind rejects qualified names
+# (``MshrFile::faultInjectReserve`` is the definition, not a call) and
+# partial identifiers.
+FAULT_HOOK_RE = re.compile(r"(?<![:\w])faultInject\w*\s*\(")
+
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -75,6 +85,9 @@ def check_text_rules(root: pathlib.Path):
         may_thread = in_util or (
             rel.parts[:2] == ("src", "sim")
             and rel.name.startswith("parallel."))
+        may_fault_inject = (rel.parts[0] == "tests"
+                            or rel.parts[:2] == ("src", "fault")
+                            or rel.suffix == ".hh")
         in_block_comment = False
         for lineno, raw in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -120,6 +133,13 @@ def check_text_rules(root: pathlib.Path):
                     (rel, lineno, "no-rand",
                      "rand()/srand() is not seed-reproducible; use "
                      "util/random.hh"))
+
+            if not may_fault_inject and FAULT_HOOK_RE.search(line):
+                violations.append(
+                    (rel, lineno, "fault-hook-confinement",
+                     "faultInject* hooks may only be called from "
+                     "src/fault (and tests); the model must not "
+                     "perturb itself"))
 
             if not may_thread and RAW_THREAD_RE.search(line):
                 violations.append(
