@@ -10,6 +10,10 @@
  *                     concurrency; --jobs=1 runs serially).  Sweep
  *                     results are bit-identical for every value; only
  *                     wall-clock and stderr progress order change.
+ *   --fast-path[=off] idle-cycle skipping in the simulation kernel
+ *                     (default on).  Statistics are bit-identical
+ *                     either way; =off exists to validate and measure
+ *                     the fast path.
  * plus bench-specific flags documented in each binary.
  *
  * Default lengths are sized for a small CI container; the shapes the
@@ -45,6 +49,7 @@ parseArgs(int argc, char **argv, std::set<std::string> extra = {})
     extra.insert("instructions");
     extra.insert("warmup");
     extra.insert("jobs");
+    extra.insert("fast-path");
     return Args(argc, argv, extra);
 }
 
@@ -59,6 +64,7 @@ runConfig(const Args &args)
         InstrCount(args.getUnsigned("warmup", 250000));
     // 0 = hardware concurrency (resolved by the sweep engine).
     run.jobs = unsigned(args.getUnsigned("jobs", 0));
+    run.fastPath = args.get("fast-path", "on") != "off";
     return run;
 }
 

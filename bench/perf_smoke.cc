@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Perf-regression smoke harness: simulate a fixed scenario set with
+ * the kernel fast path on and off, assert the statistics are
+ * identical either way, and archive host-speed telemetry
+ * (results/bench_throughput.json) for tools/perf/compare.py.
+ *
+ * Scenarios stress the kernel differently:
+ *  - pointer_chase: a distilled dependent chase, MLP = 1 — almost
+ *    every cycle waits on one DRAM access, the fast path's best case;
+ *  - 605.mcf_s-like: pointer chasing diluted with cache-resident
+ *    reuse, the paper's canonical low-MLP workload;
+ *  - 619.lbm_s-like: dense streaming — the machine is almost always
+ *    busy, the fast path's worst case (must not regress);
+ *  - mix4: a 4-core memory-intensive mix over the shared LLC/DRAM.
+ *
+ * Flags: --instructions, --warmup, --out=<path> (report destination)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hh"
+#include "sim/multicore.hh"
+#include "stats/perf_report.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace pfsim;
+
+/**
+ * The distilled pointer-chase/low-MLP kernel: a single dependent
+ * chain over a footprint far beyond the LLC, so every load is a miss
+ * serialised behind the previous one.  This is the access pattern the
+ * registry's 605.mcf_s-like dilutes with cache-resident reuse.
+ */
+workloads::Workload
+pointerChaseKernel()
+{
+    trace::StreamConfig chase;
+    chase.kind = trace::PatternKind::PointerChase;
+    chase.weight = 1.0;
+    chase.footprintBlocks = std::uint64_t{1} << 20; // 64 MiB
+
+    trace::PhaseConfig phase;
+    phase.streams = {chase};
+    phase.memRatio = 0.25;
+    phase.storeProb = 0.0;
+    phase.mispredictRate = 0.0;
+
+    workloads::Workload workload;
+    workload.name = "pointer_chase";
+    workload.suite = "bench";
+    workload.memIntensive = true;
+    workload.make = [phase] {
+        trace::SyntheticConfig config;
+        config.name = "pointer_chase";
+        config.seed = 271;
+        config.phases = {phase};
+        return config;
+    };
+    return workload;
+}
+
+/** Deterministic fingerprint of a single-core run's statistics. */
+std::string
+digest(const sim::RunResult &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "i=%llu c=%llu b=%llu mp=%llu ld=%llu st=%llu "
+        "rob=%llu lq=%llu sq=%llu "
+        "l2la=%llu l2lh=%llu l2pf=%llu l2pu=%llu l2pl=%llu "
+        "llcla=%llu llcpu=%llu "
+        "dr=%llu dw=%llu drh=%llu dlat=%llu",
+        (unsigned long long)r.core.instructions,
+        (unsigned long long)r.core.cycles,
+        (unsigned long long)r.core.branches,
+        (unsigned long long)r.core.mispredicts,
+        (unsigned long long)r.core.loads,
+        (unsigned long long)r.core.stores,
+        (unsigned long long)r.core.robFullStalls,
+        (unsigned long long)r.core.lqFullStalls,
+        (unsigned long long)r.core.sqFullStalls,
+        (unsigned long long)r.l2.loadAccess,
+        (unsigned long long)r.l2.loadHit,
+        (unsigned long long)r.l2.pfIssued,
+        (unsigned long long)r.l2.pfUseful,
+        (unsigned long long)r.l2.pfLate,
+        (unsigned long long)r.llc.loadAccess,
+        (unsigned long long)r.llc.pfUseful,
+        (unsigned long long)r.dram.reads,
+        (unsigned long long)r.dram.writes,
+        (unsigned long long)r.dram.rowHits,
+        (unsigned long long)r.dram.readLatencySum);
+    return buf;
+}
+
+/** Deterministic fingerprint of a multi-core run's statistics. */
+std::string
+digest(const sim::MixResult &r)
+{
+    std::string out;
+    char buf[160];
+    for (double ipc : r.ipc) {
+        std::snprintf(buf, sizeof(buf), "ipc=%.17g ", ipc);
+        out += buf;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "llcla=%llu llclh=%llu llcpu=%llu dr=%llu dw=%llu dlat=%llu",
+        (unsigned long long)r.llc.loadAccess,
+        (unsigned long long)r.llc.loadHit,
+        (unsigned long long)r.llc.pfUseful,
+        (unsigned long long)r.dram.reads,
+        (unsigned long long)r.dram.writes,
+        (unsigned long long)r.dram.readLatencySum);
+    out += buf;
+    return out;
+}
+
+/** One measured scenario: fast path off, then on, stats must match. */
+struct Measured
+{
+    std::string digestOff;
+    std::string digestOn;
+    stats::RunThroughput off;
+    stats::RunThroughput on;
+    std::uint64_t simCycles = 0;
+};
+
+Measured
+measureSingleCore(const sim::SystemConfig &config,
+                  const workloads::Workload &workload,
+                  sim::RunConfig run)
+{
+    Measured m;
+    run.fastPath = false;
+    const sim::RunResult naive = runSingleCore(config, workload, run);
+    run.fastPath = true;
+    const sim::RunResult fast = runSingleCore(config, workload, run);
+    m.digestOff = digest(naive);
+    m.digestOn = digest(fast);
+    m.off = naive.throughput;
+    m.on = fast.throughput;
+    m.simCycles = fast.core.cycles;
+    return m;
+}
+
+Measured
+measureMix(const sim::SystemConfig &config, const workloads::Mix &mix,
+           sim::RunConfig run)
+{
+    Measured m;
+    run.fastPath = false;
+    const sim::MixResult naive = runMix(config, mix, run);
+    run.fastPath = true;
+    const sim::MixResult fast = runMix(config, mix, run);
+    m.digestOff = digest(naive);
+    m.digestOn = digest(fast);
+    m.off = naive.throughput;
+    m.on = fast.throughput;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pfsim;
+    using namespace pfsim::bench;
+
+    Args args = parseArgs(argc, argv, {"out"});
+    sim::RunConfig run = runConfig(args);
+    if (!args.has("instructions"))
+        run.simInstructions = 500000;
+    if (!args.has("warmup"))
+        run.warmupInstructions = 100000;
+    const std::string out =
+        args.get("out", "results/bench_throughput.json");
+
+    banner("perf smoke — simulation-kernel throughput harness",
+           "fast path must be >= 1.5x on pointer-chase workloads and "
+           "statistically invisible everywhere",
+           run);
+
+    const sim::SystemConfig one =
+        sim::SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const sim::SystemConfig four =
+        sim::SystemConfig::defaultConfig(4).withPrefetcher("spp_ppf");
+    const auto pool =
+        workloads::memIntensiveSubset(workloads::spec17Suite());
+    const auto mix = workloads::makeMixes(pool, 4, 1, 42).front();
+
+    struct Scenario
+    {
+        std::string name;
+        Measured measured;
+    };
+    // With MLP = 1 every instruction costs ~25x the sim cycles of the
+    // other scenarios, so the chase runs a proportionally smaller slice.
+    sim::RunConfig chase_run = run;
+    chase_run.simInstructions = run.simInstructions / 10;
+    chase_run.warmupInstructions = run.warmupInstructions / 10;
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(
+        {"pointer_chase/spp_ppf/1core",
+         measureSingleCore(one, pointerChaseKernel(), chase_run)});
+    scenarios.push_back(
+        {"605.mcf_s-like/spp_ppf/1core",
+         measureSingleCore(one, workloads::findWorkload("605.mcf_s-like"),
+                           run)});
+    scenarios.push_back(
+        {"619.lbm_s-like/spp_ppf/1core",
+         measureSingleCore(one, workloads::findWorkload("619.lbm_s-like"),
+                           run)});
+    scenarios.push_back({"mix4/spp_ppf/4core", measureMix(four, mix, run)});
+
+    stats::PerfReport report;
+    bool ok = true;
+    stats::TextTable table(
+        {"scenario", "mips (fast)", "mips (naive)", "speedup", "stats"});
+    for (const Scenario &s : scenarios) {
+        const Measured &m = s.measured;
+        const bool equal = m.digestOff == m.digestOn;
+        if (!equal) {
+            ok = false;
+            std::fprintf(stderr,
+                         "FAIL %s: fast-path stats diverge\n"
+                         "  naive: %s\n  fast:  %s\n",
+                         s.name.c_str(), m.digestOff.c_str(),
+                         m.digestOn.c_str());
+        }
+
+        stats::PerfScenario record;
+        record.name = s.name;
+        record.instructions = m.on.instructions;
+        record.simCycles = m.simCycles;
+        record.hostSeconds = m.on.hostSeconds;
+        if (m.on.hostSeconds > 0.0)
+            record.speedupVsNaive = m.off.hostSeconds / m.on.hostSeconds;
+        report.scenarios.push_back(record);
+
+        char mips_on[32], mips_off[32], speedup[32];
+        std::snprintf(mips_on, sizeof(mips_on), "%.2f", m.on.mips());
+        std::snprintf(mips_off, sizeof(mips_off), "%.2f", m.off.mips());
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      record.speedupVsNaive);
+        table.addRow({s.name, mips_on, mips_off, speedup,
+                      equal ? "identical" : "DIVERGED"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    report.sampleRss();
+    if (!report.writeJson(out))
+        ok = false;
+    else
+        std::printf("report: %s (max rss %llu KiB)\n", out.c_str(),
+                    (unsigned long long)report.maxRssKb);
+
+    if (!ok) {
+        std::fprintf(stderr, "perf_smoke: FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -6,10 +6,14 @@
  * Usage:
  *   quickstart [--workload=NAME] [--prefetcher=NAME]
  *              [--instructions=N] [--warmup=N] [--audit[=N]]
+ *              [--fast-path[=off]]
  *
  * --audit[=N] runs the hardware-invariant audit (src/check) every N
  * cycles (default 1, i.e. every cycle); any violation aborts with the
  * component, cycle and offending entry.
+ *
+ * --fast-path=off disables idle-cycle skipping (DESIGN.md §9); the
+ * printed numbers are identical either way.
  */
 
 #include <cstdint>
@@ -28,7 +32,7 @@ main(int argc, char **argv)
 
     Args args(argc, argv,
               {"workload", "prefetcher", "instructions", "warmup",
-               "audit"});
+               "audit", "fast-path"});
 
     const std::string workload_name =
         args.get("workload", "603.bwaves_s-like");
@@ -44,6 +48,7 @@ main(int argc, char **argv)
             fatal("--audit interval must be positive");
         run.auditInterval = std::uint64_t(interval);
     }
+    run.fastPath = args.get("fast-path", "on") != "off";
 
     const workloads::Workload &workload =
         workloads::findWorkload(workload_name);

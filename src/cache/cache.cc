@@ -16,7 +16,10 @@ CacheConfig::capacityBytes() const
 
 Cache::Cache(CacheConfig config, MemoryLevel *lower)
     : config_(std::move(config)), lower_(lower),
-      mshrs_(config_.mshrs)
+      mshrs_(config_.mshrs), rq_(config_.rqSize), wq_(config_.wqSize),
+      pq_(config_.pqSize),
+      responses_(std::size_t(config_.rqSize) + config_.pqSize),
+      fills_(config_.mshrs)
 {
     if (!isPowerOf2(config_.sets))
         fatal(config_.name + ": set count must be a power of two");
@@ -430,6 +433,24 @@ Cache::tick(Cycle now)
         pq_.pop_front();
         --budget;
     }
+}
+
+Cycle
+Cache::nextEventCycle(Cycle now) const
+{
+    // Any queued request or arrived fill is (re)tried on the very next
+    // tick — including retries stalled on downstream backpressure,
+    // which is conservative but always correct: a stalled retry means
+    // the level below is busy anyway.
+    if (!fills_.empty() || !wq_.empty() || !rq_.empty() || !pq_.empty())
+        return now + 1;
+    // Responses are enqueued ready-ordered (every push is tick cycle
+    // plus the constant hit latency), so the front is the earliest.
+    if (!responses_.empty()) {
+        const Cycle ready = responses_.front().ready;
+        return ready <= now ? now + 1 : ready;
+    }
+    return noEventCycle;
 }
 
 bool

@@ -18,7 +18,6 @@
 #define PFSIM_CACHE_CACHE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "cache/replacement.hh"
 #include "cache/request.hh"
 #include "prefetch/prefetcher.hh"
+#include "util/ring_buffer.hh"
 #include "util/types.hh"
 
 namespace pfsim::cache
@@ -138,6 +138,24 @@ class Cache : public MemoryLevel, public Requestor,
     bool addPrefetch(const Request &req) override;
     void tick(Cycle now) override;
 
+    /**
+     * Earliest cycle after @p now at which ticking this cache could do
+     * observable work: the next tick while any request, fill or
+     * prefetch queue holds an entry, the maturity cycle of the oldest
+     * latency-delayed response, or noEventCycle when fully drained.
+     * May under-promise but never over-promise idleness.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bring the cache's notion of "last ticked cycle" to @p now
+     * without doing any work.  Used by the fast path when every
+     * skipped tick is provably a no-op: requests enqueued by the core
+     * before this cache's next real tick must be stamped with the same
+     * cycle the naive loop would have stamped.
+     */
+    void syncClock(Cycle now) { now_ = now; }
+
     // Requestor (responses from the lower level)
     void returnData(const Request &req, Cycle now) override;
 
@@ -244,11 +262,11 @@ class Cache : public MemoryLevel, public Requestor,
     std::unique_ptr<ReplacementPolicy> policy_;
     MshrFile mshrs_;
 
-    std::deque<Request> rq_;
-    std::deque<Request> wq_;
-    std::deque<Request> pq_;
-    std::deque<Response> responses_;
-    std::deque<Response> fills_;
+    util::RingBuffer<Request> rq_;
+    util::RingBuffer<Request> wq_;
+    util::RingBuffer<Request> pq_;
+    util::RingBuffer<Response> responses_;
+    util::RingBuffer<Response> fills_;
 
     /** Pending eviction context for the prefetcher fill() hook. */
     prefetch::FillInfo pendingFillInfo_;

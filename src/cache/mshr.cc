@@ -31,6 +31,9 @@ MshrFile::allocate(Addr addr, Cycle now)
         if (!entry.valid) {
             entry.valid = true;
             entry.addr = addr;
+            // clear() keeps the vector's capacity: waiter lists are
+            // pooled across allocations, so steady-state misses do not
+            // allocate.
             entry.waiters.clear();
             entry.prefetchOnly = false;
             entry.dirtyOnFill = false;

@@ -39,19 +39,20 @@ auditWeightTables(AuditContext &ctx, const std::string &name,
                     std::to_string(view.clampMax) + "]");
 
     for (unsigned f = 0; f < ppf::numFeatures; ++f) {
-        const auto &table = (*view.tables)[f];
+        const std::uint32_t begin = view.offsets[f];
+        const std::uint32_t end = view.offsets[f + 1];
         const bool enabled = (view.featureMask >> f) & 1;
 
-        if (table.size() != ppf::featureTableSizes[f]) {
+        if (end - begin != ppf::featureTableSizes[f]) {
             ctx.fail(name, "weight table geometry matches Table 3",
                      "feature " + std::to_string(f) + " holds " +
-                         std::to_string(table.size()) + " entries, "
+                         std::to_string(end - begin) + " entries, "
                          "expected " +
                          std::to_string(ppf::featureTableSizes[f]));
         }
 
-        for (std::size_t i = 0; i < table.size(); ++i) {
-            const int w = table[i].value();
+        for (std::uint32_t i = begin; i < end; ++i) {
+            const int w = view.weights[i];
             if (enabled ? (view.clampMin <= w && w <= view.clampMax)
                         : w == 0) {
                 continue;
@@ -60,14 +61,14 @@ auditWeightTables(AuditContext &ctx, const std::string &name,
             if (enabled) {
                 ctx.fail(name, "weight within clamp range",
                          "feature " + std::to_string(f) + " index " +
-                             std::to_string(i) + " value " +
+                             std::to_string(i - begin) + " value " +
                              std::to_string(w) + " outside [" +
                              std::to_string(view.clampMin) + ", " +
                              std::to_string(view.clampMax) + "]");
             } else {
                 ctx.fail(name, "disabled feature must stay untrained",
                          "feature " + std::to_string(f) + " index " +
-                             std::to_string(i) + " value " +
+                             std::to_string(i - begin) + " value " +
                              std::to_string(w));
             }
             break;

@@ -20,51 +20,40 @@ WeightTables::WeightTables(std::uint32_t feature_mask,
     }
     clampMin_ = -(1 << (clamp_bits - 1));
     clampMax_ = (1 << (clamp_bits - 1)) - 1;
-    for (unsigned f = 0; f < numFeatures; ++f)
-        tables_[f].assign(featureTableSizes[f], Weight{});
-}
 
-bool
-WeightTables::enabled(FeatureId feature) const
-{
-    return (featureMask_ >> unsigned(feature)) & 1;
-}
-
-int
-WeightTables::sum(const FeatureIndices &idx) const
-{
-    int s = 0;
+    std::uint32_t offset = 0;
     for (unsigned f = 0; f < numFeatures; ++f) {
-        if ((featureMask_ >> f) & 1)
-            s += tables_[f][idx[f]].value();
+        offsets_[f] = offset;
+        offset += featureTableSizes[f];
+        mult_[f] = std::int32_t((featureMask_ >> f) & 1);
     }
-    return s;
+    offsets_[numFeatures] = offset;
+    flat_.assign(offset, 0);
 }
 
 void
 WeightTables::train(const FeatureIndices &idx, bool positive)
 {
+    // A stored weight is always within [clampMin_, clampMax_], itself
+    // within the physical 5-bit range, so one clamp of value +/- 1 is
+    // exactly the old saturate-at-5-bits-then-clamp sequence.
+    const int step = positive ? 1 : -1;
     for (unsigned f = 0; f < numFeatures; ++f) {
         if ((featureMask_ >> f) & 1) {
-            Weight &w = tables_[f][idx[f]];
-            w.train(positive);
-            w.set(std::clamp(w.value(), clampMin_, clampMax_));
+            std::int8_t &w = flat_[offsets_[f] + idx[f]];
+            w = std::int8_t(
+                std::clamp(int(w) + step, clampMin_, clampMax_));
         }
     }
-}
-
-int
-WeightTables::weight(FeatureId feature, std::uint32_t index) const
-{
-    return tables_[unsigned(feature)][index].value();
 }
 
 stats::Histogram
 WeightTables::weightHistogram(FeatureId feature) const
 {
     stats::Histogram hist(Weight::min, Weight::max);
-    for (const Weight &w : tables_[unsigned(feature)])
-        hist.add(w.value());
+    const unsigned f = unsigned(feature);
+    for (std::uint32_t i = offsets_[f]; i < offsets_[f + 1]; ++i)
+        hist.add(flat_[i]);
     return hist;
 }
 

@@ -2,6 +2,11 @@
  * @file
  * The hashed-perceptron weight tables of PPF: one table per feature,
  * 5-bit saturating weights in [-16, +15] (paper Section 3.1).
+ *
+ * Storage is one flat std::int8_t array with per-feature offsets so
+ * the inference sum — the hottest loop in the filter — is a single
+ * branch-free pass: nine loads, nine 0/1 multiplies, no per-feature
+ * vector indirection.
  */
 
 #ifndef PFSIM_CORE_WEIGHT_TABLES_HH
@@ -21,7 +26,7 @@ namespace pfsim::ppf
 /** Weight width in bits (Section 3.1: 5 bits is the sweet spot). */
 inline constexpr unsigned weightBits = 5;
 
-/** One 5-bit perceptron weight. */
+/** One 5-bit perceptron weight (range constants; storage is flat). */
 using Weight = SignedSatCounter<weightBits>;
 
 /** The per-feature weight tables. */
@@ -38,8 +43,19 @@ class WeightTables
     explicit WeightTables(std::uint32_t feature_mask = 0x1ff,
                           unsigned clamp_bits = weightBits);
 
-    /** Sum the weights selected by @p idx over enabled features. */
-    int sum(const FeatureIndices &idx) const;
+    /**
+     * Sum the weights selected by @p idx over enabled features.
+     * Branch-free: disabled features multiply by 0 instead of
+     * branching, so the loop vectorises and never mispredicts.
+     */
+    int
+    sum(const FeatureIndices &idx) const
+    {
+        int s = 0;
+        for (unsigned f = 0; f < numFeatures; ++f)
+            s += int(flat_[offsets_[f] + idx[f]]) * mult_[f];
+        return s;
+    }
 
     /**
      * Perceptron update: move every enabled selected weight one step
@@ -48,10 +64,18 @@ class WeightTables
     void train(const FeatureIndices &idx, bool positive);
 
     /** Read one weight (analysis / tests). */
-    int weight(FeatureId feature, std::uint32_t index) const;
+    int
+    weight(FeatureId feature, std::uint32_t index) const
+    {
+        return flat_[offsets_[unsigned(feature)] + index];
+    }
 
     /** True when @p feature participates in predictions. */
-    bool enabled(FeatureId feature) const;
+    bool
+    enabled(FeatureId feature) const
+    {
+        return (featureMask_ >> unsigned(feature)) & 1;
+    }
 
     /** Histogram of a feature's trained weights (Figure 6). */
     stats::Histogram weightHistogram(FeatureId feature) const;
@@ -64,37 +88,51 @@ class WeightTables
     int weightMin() const { return clampMin_; }
     int weightMax() const { return clampMax_; }
 
-    /** Read-only view of the raw storage for the invariant auditor. */
+    /**
+     * Read-only view of the raw storage for the invariant auditor:
+     * feature f's table is weights[offsets[f]] .. weights[offsets[f+1]]
+     * (offsets has numFeatures + 1 fence posts).
+     */
     struct AuditView
     {
         std::uint32_t featureMask;
         int clampMin;
         int clampMax;
-        const std::array<std::vector<Weight>, numFeatures> *tables;
+        const std::int8_t *weights;
+        const std::uint32_t *offsets;
     };
 
     AuditView
     auditState() const
     {
-        return {featureMask_, clampMin_, clampMax_, &tables_};
+        return {featureMask_, clampMin_, clampMax_, flat_.data(),
+                offsets_.data()};
     }
 
     /**
      * Fault injection for auditor tests: overwrite one raw weight,
-     * bypassing the clamp applied by train().  Never used by the
+     * clamped only to the physical 5-bit range and bypassing the
+     * configured clamp applied by train().  Never used by the
      * simulator itself.
      */
     void
     poke(FeatureId feature, std::uint32_t index, int value)
     {
-        tables_[unsigned(feature)][index].set(value);
+        const int v = value < Weight::min
+            ? Weight::min
+            : (value > Weight::max ? Weight::max : value);
+        flat_[offsets_[unsigned(feature)] + index] = std::int8_t(v);
     }
 
   private:
     std::uint32_t featureMask_;
     int clampMin_;
     int clampMax_;
-    std::array<std::vector<Weight>, numFeatures> tables_;
+    /** Fence-post offsets of each feature's table within flat_. */
+    std::array<std::uint32_t, numFeatures + 1> offsets_;
+    /** 0/1 per-feature multiplier derived from featureMask_. */
+    std::array<std::int32_t, numFeatures> mult_;
+    std::vector<std::int8_t> flat_;
 };
 
 } // namespace pfsim::ppf

@@ -279,4 +279,90 @@ Core::tick(Cycle now)
     issueLoads(now);
 }
 
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+
+    // The common running-core case first, with O(1) checks: an
+    // unblocked front end with instructions to pull or dispatch makes
+    // the core busy every cycle.
+    const bool fetch_live =
+        !fetchBlockPending_ && (havePending_ || !traceExhausted_);
+    if (fetch_live && next >= fetchResumeCycle_) {
+        if (!havePending_)
+            return next; // would pull from the trace
+        if (blockAlign(pending_.pc) != lastFetchBlock_)
+            return next; // would probe the L1I
+        const bool stalled = robFull() ||
+            (pending_.isLoad() && lqUsed_ == config_.lqSize) ||
+            (pending_.isStore() && sqUsed_ == config_.sqSize);
+        if (!stalled)
+            return next; // would dispatch
+        // A pure structural stall only accrues its stall counter each
+        // cycle (replayed by skipIdle); it breaks on retirement or an
+        // L1D response, both covered by the events below.
+    }
+
+    Cycle event = noEventCycle;
+
+    // Retirement: a completed head retires once its result matures.
+    // An incomplete head is waiting on a cache response, and the cache
+    // holding it reports the wake-up.
+    if (robCount_ > 0) {
+        const RobEntry &head = rob_[robHead_];
+        if (head.completed) {
+            if (head.readyCycle <= next)
+                return next;
+            event = head.readyCycle;
+        }
+    }
+
+    // Mispredict bubble: fetch resumes (or resumes stalling) at
+    // fetchResumeCycle_.
+    if (fetch_live && fetchResumeCycle_ > next &&
+        fetchResumeCycle_ < event) {
+        event = fetchResumeCycle_;
+    }
+
+    // Issue: any dispatch-complete load whose producer has resolved,
+    // or any store RFO not yet sent, is issued on the next tick.
+    for (const LqEntry &lq : lq_) {
+        if (!lq.valid || lq.issued)
+            continue;
+        if (lq.dependent) {
+            const LqEntry &dep = lq_[lq.depSlot];
+            if (dep.valid && dep.seq == lq.depSeq && !dep.completed)
+                continue;
+        }
+        return next;
+    }
+    for (const SqEntry &sq : sq_) {
+        if (sq.valid && !sq.issued)
+            return next;
+    }
+    return event;
+}
+
+void
+Core::skipIdle(Cycle now, Cycle delta)
+{
+    stats_.cycles += delta;
+
+    // Replay the front end's per-cycle stall accounting.  The skipped
+    // span never crosses fetchResumeCycle_ while the front end has
+    // work (nextEventCycle reports the resume as an event), so the
+    // whole span is either silent or one uniform stall.
+    if (fetchBlockPending_ || !havePending_ ||
+        now + 1 < fetchResumeCycle_) {
+        return;
+    }
+    if (robFull())
+        stats_.robFullStalls += delta;
+    else if (pending_.isLoad() && lqUsed_ == config_.lqSize)
+        stats_.lqFullStalls += delta;
+    else if (pending_.isStore() && sqUsed_ == config_.sqSize)
+        stats_.sqFullStalls += delta;
+}
+
 } // namespace pfsim::cpu

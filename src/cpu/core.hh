@@ -86,6 +86,25 @@ class Core : public cache::Requestor
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle after @p now at which ticking this core could do
+     * observable work beyond the bookkeeping skipIdle() replays (cycle
+     * and stall counters).  Returning now + 1 means "busy, do not
+     * skip"; noEventCycle means the core is fully drained and waiting
+     * on nothing internal.  May under-promise (claim an earlier cycle
+     * than necessary) but must never over-promise idleness.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account for @p delta consecutive skipped cycles following
+     * @p now, during which nextEventCycle() guaranteed every tick
+     * would have been a statistics-only no-op: the cycle counter
+     * always advances, and a front-end stalled on a full ROB/LQ/SQ
+     * accrues its per-cycle stall counter.
+     */
+    void skipIdle(Cycle now, Cycle delta);
+
     // cache::Requestor (L1D / L1I responses)
     void returnData(const cache::Request &req, Cycle now) override;
 

@@ -26,8 +26,11 @@ Dram::Dram(DramConfig config)
     if (!isPowerOf2(config_.channels))
         fatal("DRAM channel count must be a power of two");
     channels_.resize(config_.channels);
-    for (auto &channel : channels_)
+    for (auto &channel : channels_) {
         channel.banks.resize(config_.banks);
+        channel.readQ = util::RingBuffer<Pending>(config_.rqSize);
+        channel.writeQ = util::RingBuffer<Pending>(config_.wqSize);
+    }
 }
 
 unsigned
@@ -126,7 +129,7 @@ Dram::schedule(Channel &channel, Cycle now)
 
     const bool prefer_writes =
         channel.drainingWrites || channel.readQ.empty();
-    std::deque<Pending> &queue =
+    util::RingBuffer<Pending> &queue =
         prefer_writes && !channel.writeQ.empty() ? channel.writeQ
                                                  : channel.readQ;
     if (queue.empty())
@@ -161,7 +164,7 @@ Dram::schedule(Channel &channel, Cycle now)
         return false;
 
     Pending pending = queue[pick];
-    queue.erase(queue.begin() + std::ptrdiff_t(pick));
+    queue.erase(pick);
 
     Cycle completion = issue(channel, pending, now);
     const bool is_write =
@@ -204,6 +207,46 @@ Dram::tick(Cycle now)
         // (busFreeCycle) are what bound latency and bandwidth.
         schedule(channel, now);
     }
+}
+
+Cycle
+Dram::nextEventCycle(Cycle now) const
+{
+    Cycle event = noEventCycle;
+    if (!completions_.empty()) {
+        const Cycle ready = completions_.top().ready;
+        if (ready <= now + 1)
+            return now + 1;
+        event = ready;
+    }
+
+    // schedule() is a no-op until some request in the channel's
+    // *selected* queue reaches a ready bank, so the earliest such
+    // cycle is the channel's next event.  Queue sizes are frozen
+    // while the kernel skips, which pins both the write-drain
+    // hysteresis (projected one update below, its fixed point under
+    // frozen sizes) and the queue selection itself.
+    for (const auto &channel : channels_) {
+        bool draining = channel.drainingWrites;
+        if (!draining && channel.writeQ.size() > config_.writeDrainHigh)
+            draining = true;
+        else if (draining &&
+                 channel.writeQ.size() < config_.writeDrainLow)
+            draining = false;
+
+        const bool prefer_writes = draining || channel.readQ.empty();
+        const util::RingBuffer<Pending> &queue =
+            prefer_writes && !channel.writeQ.empty() ? channel.writeQ
+                                                     : channel.readQ;
+        for (const Pending &pending : queue) {
+            const Bank &bank = channel.banks[bankOf(pending.req.addr)];
+            if (bank.readyCycle <= now + 1)
+                return now + 1;
+            if (bank.readyCycle < event)
+                event = bank.readyCycle;
+        }
+    }
+    return event;
 }
 
 std::size_t

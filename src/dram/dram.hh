@@ -15,12 +15,12 @@
 #define PFSIM_DRAM_DRAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "cache/request.hh"
+#include "util/ring_buffer.hh"
 #include "util/types.hh"
 
 namespace pfsim::dram
@@ -117,6 +117,15 @@ class Dram : public cache::MemoryLevel
     bool addPrefetch(const cache::Request &req) override;
     void tick(Cycle now) override;
 
+    /**
+     * Earliest cycle after @p now at which ticking the DRAM could do
+     * observable work: the next tick while any channel queue holds a
+     * request, the ready cycle of the earliest pending completion, or
+     * noEventCycle when fully drained.  May under-promise but never
+     * over-promise idleness.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const DramStats &stats() const { return stats_; }
     const DramConfig &config() const { return config_; }
 
@@ -142,8 +151,8 @@ class Dram : public cache::MemoryLevel
 
     struct Channel
     {
-        std::deque<Pending> readQ;
-        std::deque<Pending> writeQ;
+        util::RingBuffer<Pending> readQ;
+        util::RingBuffer<Pending> writeQ;
         std::vector<Bank> banks;
         Cycle busFreeCycle = 0;
         bool drainingWrites = false;

@@ -35,6 +35,15 @@ class Injector
     /** Advance to cycle @p now; inject if an event is due. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Earliest cycle after @p now at which this injector must be
+     * ticked (fast-path contract: may under-promise, never
+     * over-promise idleness).  The conservative default — busy every
+     * cycle — keeps any injector that does not override this exactly
+     * on its naive-loop schedule.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now + 1; }
+
     /** Called once when the run ends, to settle pending bookkeeping. */
     virtual void finish(Cycle now);
 
@@ -55,6 +64,19 @@ class FaultEngine
     {
         for (const auto &injector : injectors_)
             injector->tick(now);
+    }
+
+    /** Earliest next-event cycle over every armed injector. */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        Cycle event = noEventCycle;
+        for (const auto &injector : injectors_) {
+            const Cycle e = injector->nextEventCycle(now);
+            if (e < event)
+                event = e;
+        }
+        return event;
     }
 
     /** Settle bookkeeping at end of run (cycle @p now). */

@@ -161,6 +161,21 @@ WeightFlipInjector::tick(Cycle now)
         checkRecovery(now);
 }
 
+Cycle
+WeightFlipInjector::nextEventCycle(Cycle now) const
+{
+    Cycle event = nextEvent_ <= now ? now + 1 : nextEvent_;
+    if (!outstanding_.empty()) {
+        // The recovery scan runs on every 64-cycle boundary while
+        // flips are outstanding; fast-forwarding past one would change
+        // the recorded recovery latencies.
+        const Cycle scan = (now + 64) & ~Cycle{63};
+        if (scan < event)
+            event = scan;
+    }
+    return event;
+}
+
 void
 WeightFlipInjector::inject(Cycle now)
 {
@@ -235,6 +250,12 @@ SppFlipInjector::tick(Cycle now)
     nextEvent_ = nextEventAfter(rng_, now, spec_.rate);
 }
 
+Cycle
+SppFlipInjector::nextEventCycle(Cycle now) const
+{
+    return nextEvent_ <= now ? now + 1 : nextEvent_;
+}
+
 void
 SppFlipInjector::accumulate(FaultStats &stats) const
 {
@@ -260,6 +281,14 @@ DramFaultInjector::tick(Cycle now)
     // Event-driven from the DRAM response path; nothing to do per
     // cycle.
     (void)now;
+}
+
+Cycle
+DramFaultInjector::nextEventCycle(Cycle now) const
+{
+    // Purely hook-driven: ticking never does anything.
+    (void)now;
+    return noEventCycle;
 }
 
 bool
@@ -313,6 +342,14 @@ MshrSqueezeInjector::tick(Cycle now)
         ++stats_.mshrSqueezeWindows;
         windowStart_ += spec_.period;
     }
+}
+
+Cycle
+MshrSqueezeInjector::nextEventCycle(Cycle now) const
+{
+    const Cycle edge =
+        active_ ? windowStart_ + spec_.duty : windowStart_;
+    return edge <= now ? now + 1 : edge;
 }
 
 void

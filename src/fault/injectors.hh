@@ -110,6 +110,7 @@ class WeightFlipInjector : public Injector
                        std::uint64_t seed);
 
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
     void finish(Cycle now) override;
     void accumulate(FaultStats &stats) const override;
 
@@ -142,6 +143,7 @@ class SppFlipInjector : public Injector
                     const SppFaultSpec &spec, std::uint64_t seed);
 
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
     void accumulate(FaultStats &stats) const override;
 
   private:
@@ -166,6 +168,7 @@ class DramFaultInjector : public Injector, public dram::DramFaultHook
     ~DramFaultInjector() override;
 
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
     void accumulate(FaultStats &stats) const override;
 
     bool dropResponse(const cache::Request &req) override;
@@ -190,6 +193,7 @@ class MshrSqueezeInjector : public Injector
                         const MshrFaultSpec &spec, std::uint64_t seed);
 
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
     void finish(Cycle now) override;
     void accumulate(FaultStats &stats) const override;
 

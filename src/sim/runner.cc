@@ -36,6 +36,7 @@ runSingleCore(const SystemConfig &config,
     }
 
     System system(config, {source});
+    system.setFastPath(run.fastPath);
 
     fault::FaultEngine engine;
     if (plan != nullptr && plan->anySystem())

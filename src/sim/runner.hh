@@ -38,6 +38,13 @@ struct RunConfig
     std::uint64_t auditInterval = 0;
 
     /**
+     * Idle-cycle skipping in the simulation kernel (--fast-path).
+     * Statistics are bit-identical either way; off only costs host
+     * time and exists to validate (and measure) the fast path.
+     */
+    bool fastPath = true;
+
+    /**
      * Worker threads for the sweep engines (sim/parallel.hh): 0 (the
      * default) selects the host's hardware concurrency, 1 runs every
      * job serially on the calling thread — today's behaviour.  Each

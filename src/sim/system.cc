@@ -97,6 +97,110 @@ System::cycle()
         audit_.enforce(now_);
 }
 
+Cycle
+System::nextEventCycle() const
+{
+    const Cycle busy = now_ + 1;
+    Cycle event = noEventCycle;
+
+    // Cheapest and most-likely-busy components first: as soon as
+    // anything reports work on the next tick, the answer is final and
+    // the remaining checks are skipped.
+    for (const auto &core : cores_) {
+        const Cycle e = core->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    for (const auto &l1d : l1ds_) {
+        const Cycle e = l1d->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    for (const auto &l1i : l1is_) {
+        const Cycle e = l1i->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    for (const auto &l2 : l2s_) {
+        const Cycle e = l2->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    {
+        const Cycle e = llc_->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    {
+        const Cycle e = dram_->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    if (faults_ != nullptr) {
+        const Cycle e = faults_->nextEventCycle(now_);
+        if (e == busy)
+            return busy;
+        if (e < event)
+            event = e;
+    }
+    // The audit must fire on exactly the cycles the naive loop would
+    // audit, so an audit boundary is an event like any other.
+    if (audit_.enabled()) {
+        const Cycle due =
+            (now_ / audit_.interval() + 1) * audit_.interval();
+        if (due < event)
+            event = due;
+    }
+    return event;
+}
+
+void
+System::step(Cycle limit)
+{
+    if (fastPath_ && now_ + 1 >= probeAt_) {
+        Cycle next = nextEventCycle();
+        if (next > limit)
+            next = limit;
+        if (next <= now_ + 1) {
+            // Busy: back off exponentially so saturated phases pay
+            // for the scan on ever fewer cycles.
+            probeAt_ = now_ + 1 + probeBackoff_;
+            probeBackoff_ = probeBackoff_ >= 16 ? 16 : probeBackoff_ * 2;
+        } else {
+            probeBackoff_ = 1;
+            // Cycles (now_, next) are provably statistics-only no-ops:
+            // batch the cores' cycle/stall accounting, stamp the cache
+            // clocks as if they had ticked through, and jump.
+            const Cycle synced = next - 1;
+            const Cycle delta = synced - now_;
+            skippedCycles_ += delta;
+            for (auto &core : cores_)
+                core->skipIdle(now_, delta);
+            for (auto &l1d : l1ds_)
+                l1d->syncClock(synced);
+            for (auto &l1i : l1is_)
+                l1i->syncClock(synced);
+            for (auto &l2 : l2s_)
+                l2->syncClock(synced);
+            llc_->syncClock(synced);
+            now_ = synced;
+        }
+    }
+    cycle();
+}
+
 void
 System::runUntilRetired(InstrCount target)
 {
@@ -112,12 +216,24 @@ System::runUntilRetired(InstrCount target,
     InstrCount last_retired = 0;
     Cycle last_progress = now_;
 
+    // Hoisted off the per-cycle path: the std::function emptiness test
+    // runs once, and the full min-over-cores rescan runs only when the
+    // cached laggard core reaches the target.
+    const bool check_abort = bool(abort_check);
+    std::size_t laggard = 0;
+
     for (;;) {
-        InstrCount min_retired = ~InstrCount{0};
-        for (auto &core : cores_)
-            min_retired = std::min(min_retired, core->retired());
-        if (min_retired >= target)
-            return;
+        InstrCount min_retired = cores_[laggard]->retired();
+        if (min_retired >= target) {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                if (cores_[i]->retired() < min_retired) {
+                    min_retired = cores_[i]->retired();
+                    laggard = i;
+                }
+            }
+            if (min_retired >= target)
+                return;
+        }
 
         if (min_retired != last_retired) {
             last_retired = min_retired;
@@ -125,11 +241,21 @@ System::runUntilRetired(InstrCount target,
         } else if (now_ - last_progress > 1000000) {
             panic("system made no retirement progress for 1M cycles");
         }
-        if (abort_check && (now_ & 0x1fff) == 0 && abort_check()) {
+        if (check_abort && (now_ & 0x1fff) == 0 && abort_check()) {
             throw RunAborted("run aborted by watchdog at cycle " +
                              std::to_string(now_));
         }
-        cycle();
+
+        // Never fast-forward past the cycle the watchdog would fire,
+        // nor past an abort-poll boundary: both cadences stay exactly
+        // as the naive loop observes them.
+        Cycle limit = last_progress + 1000001;
+        if (check_abort) {
+            const Cycle poll = ((now_ >> 13) + 1) << 13;
+            if (poll < limit)
+                limit = poll;
+        }
+        step(limit);
     }
 }
 

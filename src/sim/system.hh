@@ -57,6 +57,36 @@ class System
     /** Advance the whole machine one cycle. */
     void cycle();
 
+    /**
+     * Advance the whole machine by one *productive* cycle: with the
+     * fast path enabled, first fast-forward over any provably idle
+     * cycles (batching their statistics via Core::skipIdle and
+     * re-stamping the cache clocks), then run one real cycle().  The
+     * resulting state and statistics are bit-identical to calling
+     * cycle() in a loop.  now() never exceeds @p limit, so callers can
+     * keep watchdog and abort cadences exact.  With the fast path
+     * disabled this is exactly one cycle().
+     */
+    void step(Cycle limit);
+
+    /**
+     * Earliest cycle after now() at which any component could do
+     * observable work (see the per-component nextEventCycle
+     * contracts), including the next audit boundary.  Returns
+     * noEventCycle when the machine is fully drained.
+     */
+    Cycle nextEventCycle() const;
+
+    /** Enable or disable idle-cycle skipping (default: enabled). */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+    bool fastPath() const { return fastPath_; }
+
+    /**
+     * Cycles the fast path jumped over instead of ticking (host-side
+     * telemetry; not a simulated statistic).
+     */
+    std::uint64_t skippedCycles() const { return skippedCycles_; }
+
     /** Current cycle. */
     Cycle now() const { return now_; }
 
@@ -115,6 +145,20 @@ class System
     check::AuditorRegistry audit_;
     fault::FaultEngine *faults_ = nullptr;
     Cycle now_ = 0;
+    bool fastPath_ = true;
+
+    /**
+     * Adaptive probe back-off for step(): consecutive busy probes
+     * double the gap to the next nextEventCycle() scan (capped), so a
+     * saturated machine pays the scan on a vanishing fraction of
+     * cycles.  Skipping fewer cycles than possible is always safe —
+     * an unprobed cycle simply runs naively — so this only trades a
+     * little skip coverage for bounded overhead.  The schedule is a
+     * pure function of simulated state, keeping runs deterministic.
+     */
+    Cycle probeAt_ = 0;
+    Cycle probeBackoff_ = 1;
+    std::uint64_t skippedCycles_ = 0;
 };
 
 } // namespace pfsim::sim

@@ -1,0 +1,97 @@
+#include "stats/perf_report.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/resource.h>
+#include <sys/stat.h>
+
+namespace pfsim::stats
+{
+
+double
+PerfScenario::mips() const
+{
+    if (hostSeconds <= 0.0)
+        return 0.0;
+    return double(instructions) / hostSeconds / 1e6;
+}
+
+void
+PerfReport::sampleRss()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+        maxRssKb = std::uint64_t(usage.ru_maxrss);
+}
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+PerfReport::json() const
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"pfsim-bench-throughput-v1\",\n";
+    out += "  \"max_rss_kb\": " + std::to_string(maxRssKb) + ",\n";
+    out += "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const PerfScenario &s = scenarios[i];
+        out += "    {\n";
+        out += "      \"name\": \"" + s.name + "\",\n";
+        out += "      \"instructions\": " +
+            std::to_string(s.instructions) + ",\n";
+        out += "      \"sim_cycles\": " + std::to_string(s.simCycles) +
+            ",\n";
+        out += "      \"host_seconds\": ";
+        appendNumber(out, s.hostSeconds);
+        out += ",\n      \"mips\": ";
+        appendNumber(out, s.mips());
+        out += ",\n      \"speedup_vs_naive\": ";
+        appendNumber(out, s.speedupVsNaive);
+        out += "\n    }";
+        out += i + 1 < scenarios.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+PerfReport::writeJson(const std::string &path) const
+{
+    // Best-effort single-level mkdir covers the results/ convention.
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0)
+        ::mkdir(path.substr(0, slash).c_str(), 0777);
+
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "perf_report: cannot write %s: %s\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    const std::string text = json();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    std::fclose(file);
+    if (!ok) {
+        std::fprintf(stderr, "perf_report: short write to %s\n",
+                     path.c_str());
+    }
+    return ok;
+}
+
+} // namespace pfsim::stats

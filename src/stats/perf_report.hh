@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Machine-readable host-performance reports: the perf-regression
+ * harness (bench/perf_smoke) measures a fixed set of scenarios and
+ * archives them as JSON, and tools/perf/compare.py diffs two archives
+ * to catch simulator-speed regressions that IPC numbers cannot see.
+ */
+
+#ifndef PFSIM_STATS_PERF_REPORT_HH
+#define PFSIM_STATS_PERF_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfsim::stats
+{
+
+/** One measured scenario of a perf report. */
+struct PerfScenario
+{
+    /** Stable scenario identifier (compare.py joins on it). */
+    std::string name;
+
+    /** Simulated instructions, warmup included. */
+    std::uint64_t instructions = 0;
+
+    /** Simulated cycles at the end of the run. */
+    std::uint64_t simCycles = 0;
+
+    /** Wall-clock seconds the scenario took on the host. */
+    double hostSeconds = 0.0;
+
+    /**
+     * Host speedup of this scenario with the kernel fast path on over
+     * the naive cycle loop; 0 when not measured.
+     */
+    double speedupVsNaive = 0.0;
+
+    /** Simulated million instructions per host-second. */
+    double mips() const;
+};
+
+/** A full perf report: scenarios plus host-side context. */
+struct PerfReport
+{
+    std::vector<PerfScenario> scenarios;
+
+    /** Peak resident set size of the process, in KiB (getrusage). */
+    std::uint64_t maxRssKb = 0;
+
+    /** Record the current process peak RSS into maxRssKb. */
+    void sampleRss();
+
+    /** Serialize to the bench_throughput.json schema. */
+    std::string json() const;
+
+    /**
+     * Write json() to @p path, creating parent directories as needed.
+     * @return false (with a stderr diagnostic) on I/O failure.
+     */
+    bool writeJson(const std::string &path) const;
+};
+
+} // namespace pfsim::stats
+
+#endif // PFSIM_STATS_PERF_REPORT_HH

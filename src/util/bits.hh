@@ -34,6 +34,13 @@ isPowerOf2(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+/** Smallest power of two >= @p v (v must leave room for one). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
 /** Integer log2 of a power of two. */
 constexpr unsigned
 log2i(std::uint64_t v)

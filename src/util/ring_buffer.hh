@@ -1,0 +1,210 @@
+/**
+ * @file
+ * A power-of-two ring buffer for the simulator's hot queues.
+ *
+ * The cycle loop pushes and pops queue entries tens of millions of
+ * times per simulated second; std::deque pays for that flexibility
+ * with segmented storage, per-segment allocation and an indirection on
+ * every access.  This buffer keeps the elements in one contiguous
+ * power-of-two array and addresses them with a mask, so front(),
+ * push_back() and pop_front() are a handful of instructions with no
+ * allocator traffic in the steady state.
+ *
+ * Popped slots are not destroyed: the element object stays in place
+ * and is overwritten by assignment on the next push, so element types
+ * with internal capacity (vectors, strings) keep their allocations
+ * pooled across requests.
+ *
+ * Logical index 0 is always the front.  Iterators address elements by
+ * their position relative to the buffer head, so they stay valid
+ * across push_back() and pop_front() of *other* elements; only
+ * capacity growth (push_back on a full buffer) and erase() invalidate
+ * them, exactly like the capacity rule for std::vector.
+ */
+
+#ifndef PFSIM_UTIL_RING_BUFFER_HH
+#define PFSIM_UTIL_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hh"
+
+namespace pfsim::util
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    /**
+     * @param capacity initial capacity; rounded up to a power of two.
+     * The buffer grows by doubling if pushed past it, so a capacity
+     * sized to the configured queue limit never reallocates.
+     */
+    explicit RingBuffer(std::size_t capacity = 8)
+        : slots_(roundUpPow2(capacity < 2 ? 2 : capacity)),
+          mask_(slots_.size() - 1)
+    {
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Element at logical index @p i (0 is the front). */
+    T &
+    operator[](std::size_t i)
+    {
+        assert(i < count_);
+        return slots_[(head_ + i) & mask_];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < count_);
+        return slots_[(head_ + i) & mask_];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[count_ - 1]; }
+    const T &back() const { return (*this)[count_ - 1]; }
+
+    /** Append a copy of @p value, growing if full. */
+    void
+    push_back(const T &value)
+    {
+        if (count_ == slots_.size())
+            grow();
+        slots_[(head_ + count_) & mask_] = value;
+        ++count_;
+    }
+
+    void
+    push_back(T &&value)
+    {
+        if (count_ == slots_.size())
+            grow();
+        slots_[(head_ + count_) & mask_] = std::move(value);
+        ++count_;
+    }
+
+    /**
+     * Drop the front element.  The slot's object is left in place to
+     * be reused by a later push, keeping its internal allocations.
+     */
+    void
+    pop_front()
+    {
+        assert(count_ > 0);
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    /** Order-preserving erase of logical index @p i (shifts the tail). */
+    void
+    erase(std::size_t i)
+    {
+        assert(i < count_);
+        for (std::size_t j = i; j + 1 < count_; ++j)
+            (*this)[j] = std::move((*this)[j + 1]);
+        --count_;
+    }
+
+    /** Drop every element (slots keep their pooled storage). */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /**
+     * Forward iterator over logical positions.  Stable across
+     * push_back and pop_front of other elements; invalidated by
+     * growth and erase.
+     */
+    template <typename Buffer, typename Value>
+    class Iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = Value *;
+        using reference = Value &;
+
+        Iterator() = default;
+        Iterator(Buffer *buffer, std::size_t index)
+            : buffer_(buffer), index_(index)
+        {
+        }
+
+        reference operator*() const { return (*buffer_)[index_]; }
+        pointer operator->() const { return &(*buffer_)[index_]; }
+
+        Iterator &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+
+        Iterator
+        operator++(int)
+        {
+            Iterator prev = *this;
+            ++index_;
+            return prev;
+        }
+
+        bool
+        operator==(const Iterator &other) const
+        {
+            return buffer_ == other.buffer_ && index_ == other.index_;
+        }
+
+        bool operator!=(const Iterator &other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        Buffer *buffer_ = nullptr;
+        std::size_t index_ = 0;
+    };
+
+    using iterator = Iterator<RingBuffer, T>;
+    using const_iterator = Iterator<const RingBuffer, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count_}; }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = std::move((*this)[i]);
+        slots_ = std::move(bigger);
+        mask_ = slots_.size() - 1;
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t mask_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace pfsim::util
+
+#endif // PFSIM_UTIL_RING_BUFFER_HH

@@ -21,6 +21,13 @@ using Cycle = std::uint64_t;
 /** An instruction count. */
 using InstrCount = std::uint64_t;
 
+/**
+ * The "no scheduled event" sentinel returned by nextEventCycle()
+ * implementations: the component is fully drained and will not act
+ * until some other component hands it work.
+ */
+inline constexpr Cycle noEventCycle = ~Cycle{0};
+
 /** A program counter value. */
 using Pc = std::uint64_t;
 

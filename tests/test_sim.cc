@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include "check/system_audit.hh"
+#include "fault/fault.hh"
 #include "sim/experiment.hh"
 #include "sim/multicore.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 #include "trace/synthetic.hh"
+#include "workloads/mixes.hh"
 #include "workloads/registry.hh"
 
 namespace pfsim::sim
@@ -232,6 +235,140 @@ TEST(Experiment, SweepComputesSpeedups)
     EXPECT_GT(rows[0].speedup("spp"), 0.5);
     EXPECT_LT(rows[0].speedup("spp"), 2.0);
     EXPECT_GT(geomeanSpeedup(rows, "spp"), 0.0);
+}
+
+// ------------------------------------------------------------ FastPath
+//
+// The kernel fast path (System::step idle-cycle skipping) must be
+// observationally invisible: every statistic, on every workload shape,
+// has to come out bit-identical to the naive one-cycle() loop.
+
+void
+expectSameCoreStats(const cpu::CoreStats &a, const cpu::CoreStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.robFullStalls, b.robFullStalls);
+    EXPECT_EQ(a.lqFullStalls, b.lqFullStalls);
+    EXPECT_EQ(a.sqFullStalls, b.sqFullStalls);
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    expectSameCoreStats(a.core, b.core);
+    EXPECT_EQ(a.l2.loadAccess, b.l2.loadAccess);
+    EXPECT_EQ(a.l2.loadHit, b.l2.loadHit);
+    EXPECT_EQ(a.l2.pfIssued, b.l2.pfIssued);
+    EXPECT_EQ(a.l2.pfUseful, b.l2.pfUseful);
+    EXPECT_EQ(a.l2.pfLate, b.l2.pfLate);
+    EXPECT_EQ(a.llc.loadAccess, b.llc.loadAccess);
+    EXPECT_EQ(a.llc.pfUseful, b.llc.pfUseful);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.writes, b.dram.writes);
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits);
+    EXPECT_EQ(a.dram.rowMisses, b.dram.rowMisses);
+    EXPECT_EQ(a.dram.busBusyCycles, b.dram.busBusyCycles);
+    EXPECT_EQ(a.dram.readLatencySum, b.dram.readLatencySum);
+}
+
+TEST(FastPath, SingleCoreStatsIdentical)
+{
+    RunConfig run;
+    run.warmupInstructions = 20000;
+    run.simInstructions = 60000;
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("605.mcf_s-like");
+
+    run.fastPath = false;
+    const RunResult naive = runSingleCore(config, workload, run);
+    run.fastPath = true;
+    const RunResult fast = runSingleCore(config, workload, run);
+    expectSameRun(naive, fast);
+}
+
+TEST(FastPath, MulticoreStatsIdentical)
+{
+    RunConfig run;
+    run.warmupInstructions = 5000;
+    run.simInstructions = 20000;
+    const SystemConfig config =
+        SystemConfig::defaultConfig(2).withPrefetcher("spp_ppf");
+    const workloads::Mix mix = {
+        workloads::findWorkload("605.mcf_s-like"),
+        workloads::findWorkload("619.lbm_s-like")};
+
+    run.fastPath = false;
+    const MixResult naive = runMix(config, mix, run);
+    run.fastPath = true;
+    const MixResult fast = runMix(config, mix, run);
+
+    ASSERT_EQ(naive.ipc.size(), fast.ipc.size());
+    for (std::size_t i = 0; i < naive.ipc.size(); ++i)
+        EXPECT_DOUBLE_EQ(naive.ipc[i], fast.ipc[i]);
+    EXPECT_EQ(naive.llc.loadAccess, fast.llc.loadAccess);
+    EXPECT_EQ(naive.llc.pfUseful, fast.llc.pfUseful);
+    EXPECT_EQ(naive.dram.reads, fast.dram.reads);
+    EXPECT_EQ(naive.dram.readLatencySum, fast.dram.readLatencySum);
+}
+
+TEST(FastPath, FaultCampaignStatsIdentical)
+{
+    // Every injector advances its own RNG per decision, so identical
+    // fault counters on/off prove the skip never swallowed an event.
+    const fault::FaultPlan plan = fault::FaultPlan::parse(
+        "weights:rate=0.0005,burst=2;spp:rate=0.0005;"
+        "dram:drop=0.01,delay=0.02,extra=300;"
+        "mshr:reserve=4,period=4000,duty=800");
+    RunConfig run;
+    run.warmupInstructions = 10000;
+    run.simInstructions = 40000;
+    run.faults = &plan;
+    run.faultSeed = 7;
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("605.mcf_s-like");
+
+    run.fastPath = false;
+    const RunResult naive = runSingleCore(config, workload, run);
+    run.fastPath = true;
+    const RunResult fast = runSingleCore(config, workload, run);
+
+    expectSameRun(naive, fast);
+    EXPECT_EQ(naive.faults.weightFlips, fast.faults.weightFlips);
+    EXPECT_EQ(naive.faults.weightFlipsRecovered,
+              fast.faults.weightFlipsRecovered);
+}
+
+TEST(FastPath, AuditCadenceIdentical)
+{
+    // The audit must fire on exactly the naive loop's boundaries even
+    // when the kernel jumps over them — regression for the audit-as-
+    // event clause in System::nextEventCycle().
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("605.mcf_s-like");
+
+    auto run_once = [&](bool fast) {
+        trace::SyntheticTrace trace(workload.make());
+        System system(config, {&trace});
+        system.setFastPath(fast);
+        check::attachSystemAuditors(system, 5000);
+        system.runUntilRetired(30000);
+        return std::pair<Cycle, std::uint64_t>(
+            system.now(), system.audit().auditsRun());
+    };
+
+    const auto naive = run_once(false);
+    const auto fast = run_once(true);
+    EXPECT_EQ(naive.first, fast.first);
+    EXPECT_EQ(naive.second, fast.second);
+    EXPECT_GT(fast.second, 0u);
 }
 
 } // namespace

@@ -8,9 +8,13 @@
 
 #include <set>
 
+#include <string>
+#include <vector>
+
 #include "util/args.hh"
 #include "util/bits.hh"
 #include "util/random.hh"
+#include "util/ring_buffer.hh"
 #include "util/sat_counter.hh"
 #include "util/types.hh"
 
@@ -291,6 +295,99 @@ TEST(ArgsDeath, RejectsPositional)
     const char *argv[] = {"prog", "positional"};
     EXPECT_EXIT(Args(2, const_cast<char **>(argv), {"x"}),
                 testing::ExitedWithCode(1), "positional");
+}
+
+// ---------------------------------------------------------- RingBuffer
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(util::RingBuffer<int>(1).capacity(), 2u);
+    EXPECT_EQ(util::RingBuffer<int>(5).capacity(), 8u);
+    EXPECT_EQ(util::RingBuffer<int>(8).capacity(), 8u);
+    EXPECT_EQ(util::RingBuffer<int>(9).capacity(), 16u);
+}
+
+TEST(RingBuffer, FifoOrderAcrossWrapAround)
+{
+    util::RingBuffer<int> buf(4);
+    // Interleave pushes and pops so head laps the array several times.
+    int pushed = 0, popped = 0;
+    for (int round = 0; round < 10; ++round) {
+        while (buf.size() < 3)
+            buf.push_back(pushed++);
+        while (!buf.empty()) {
+            EXPECT_EQ(buf.front(), popped);
+            buf.pop_front();
+            ++popped;
+        }
+    }
+    EXPECT_EQ(pushed, popped);
+    EXPECT_EQ(buf.capacity(), 4u); // never grew
+}
+
+TEST(RingBuffer, FullAndEmptyBoundaries)
+{
+    util::RingBuffer<int> buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.size(), 0u);
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(i);
+    EXPECT_EQ(buf.size(), buf.capacity());
+    // Pushing past capacity grows by doubling and preserves order.
+    buf.push_back(4);
+    EXPECT_EQ(buf.capacity(), 8u);
+    EXPECT_EQ(buf.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(buf[std::size_t(i)], i);
+}
+
+TEST(RingBuffer, IteratorsStableAcrossPushAndPopOfOtherElements)
+{
+    util::RingBuffer<std::string> buf(8);
+    buf.push_back("a");
+    buf.push_back("b");
+    buf.push_back("c");
+
+    auto it = buf.begin();
+    ++it; // logical position 1: "b"
+    buf.push_back("d"); // no growth: capacity 8
+    EXPECT_EQ(*it, "b");
+    buf.pop_front(); // head moves: position 1 is now "c"
+    EXPECT_EQ(*it, "c");
+
+    std::string walked;
+    for (const std::string &s : buf)
+        walked += s;
+    EXPECT_EQ(walked, "bcd");
+}
+
+TEST(RingBuffer, EraseShiftsTailAndPreservesOrder)
+{
+    util::RingBuffer<int> buf(4);
+    // Offset the head first so erase crosses the wrap point.
+    buf.push_back(-1);
+    buf.push_back(-2);
+    buf.pop_front();
+    buf.pop_front();
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(i);
+    buf.erase(1);
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf[0], 0);
+    EXPECT_EQ(buf[1], 2);
+    EXPECT_EQ(buf[2], 3);
+}
+
+TEST(RingBuffer, ClearKeepsStorage)
+{
+    util::RingBuffer<int> buf(4);
+    for (int i = 0; i < 3; ++i)
+        buf.push_back(i);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.capacity(), 4u);
+    buf.push_back(7);
+    EXPECT_EQ(buf.front(), 7);
 }
 
 } // namespace

@@ -20,6 +20,10 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      files are exempt (that is where the hooks are declared), and
      ``Class::faultInjectX`` definitions in the owning .cc are not
      calls.
+  7. No ``std::deque`` in src/cache or src/dram — the simulation
+     kernel's hot queues use util/ring_buffer.hh, which keeps entries
+     contiguous and allocation-free in the steady state
+     (``std::priority_queue`` over a vector remains fine).
 
 Exit status is non-zero when any rule is violated; each violation is
 reported as ``file:line: rule: detail``.
@@ -52,6 +56,10 @@ RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
 RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
 
 EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
+
+# std::deque in the hot memory-system queues (the <deque> include also
+# counts: there is no legitimate use left in those directories).
+HOT_DEQUE_RE = re.compile(r"std::deque\b|#\s*include\s*<deque>")
 
 # A faultInject* call site: the lookbehind rejects qualified names
 # (``MshrFile::faultInjectReserve`` is the definition, not a call) and
@@ -88,6 +96,8 @@ def check_text_rules(root: pathlib.Path):
         may_fault_inject = (rel.parts[0] == "tests"
                             or rel.parts[:2] == ("src", "fault")
                             or rel.suffix == ".hh")
+        hot_queue_dir = rel.parts[:2] in (("src", "cache"),
+                                          ("src", "dram"))
         in_block_comment = False
         for lineno, raw in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -140,6 +150,12 @@ def check_text_rules(root: pathlib.Path):
                      "faultInject* hooks may only be called from "
                      "src/fault (and tests); the model must not "
                      "perturb itself"))
+
+            if hot_queue_dir and HOT_DEQUE_RE.search(line):
+                violations.append(
+                    (rel, lineno, "no-hot-deque",
+                     "std::deque in src/cache|src/dram; the kernel's "
+                     "hot queues use util/ring_buffer.hh"))
 
             if not may_thread and RAW_THREAD_RE.search(line):
                 violations.append(

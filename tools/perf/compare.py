@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Diff two pfsim bench_throughput.json reports.
+
+Usage:
+    compare.py BASELINE.json CURRENT.json [--max-regression FRAC]
+
+Joins scenarios by name and compares MIPS.  Any scenario that lost
+more than 10% prints a WARN line; any scenario that lost more than
+--max-regression (default 0.10) fails the comparison with exit code 1.
+CI runs with --max-regression 0.5 so shared-runner noise only warns,
+while a >2x slowdown (ratio < 0.5) still hard-fails.
+
+Scenarios present in only one report are reported and fail the
+comparison: a vanished scenario usually means the harness silently
+stopped covering it.
+"""
+
+import argparse
+import json
+import sys
+
+WARN_REGRESSION = 0.10
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        sys.exit(f"compare: cannot read {path}: {err}")
+    if report.get("schema") != "pfsim-bench-throughput-v1":
+        sys.exit(f"compare: {path}: unknown schema "
+                 f"{report.get('schema')!r}")
+    return {s["name"]: s for s in report.get("scenarios", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two bench_throughput.json reports.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.10, metavar="FRAC",
+        help="fail when a scenario's MIPS drops by more than this "
+             "fraction (default: 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failed = False
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in current:
+            print(f"FAIL {name}: missing from current report")
+            failed = True
+            continue
+        if name not in baseline:
+            print(f"NEW  {name}: {current[name]['mips']:.2f} MIPS "
+                  "(no baseline)")
+            continue
+
+        base_mips = baseline[name]["mips"]
+        cur_mips = current[name]["mips"]
+        if base_mips <= 0:
+            print(f"SKIP {name}: baseline has no timing")
+            continue
+
+        ratio = cur_mips / base_mips
+        line = (f"{name}: {base_mips:.2f} -> {cur_mips:.2f} MIPS "
+                f"({ratio:.1%} of baseline)")
+        if ratio < 1.0 - args.max_regression:
+            print(f"FAIL {line}")
+            failed = True
+        elif ratio < 1.0 - WARN_REGRESSION:
+            print(f"WARN {line}")
+        else:
+            print(f"ok   {line}")
+
+    if failed:
+        print(f"compare: regression beyond "
+              f"{args.max_regression:.0%} threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Self-test for compare.py: injected regressions must flip the exit
+code.  Registered with ctest as perf.compare_selftest."""
+
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def report(path, mips_by_name):
+    scenarios = [
+        {
+            "name": name,
+            "instructions": 1000000,
+            "sim_cycles": 2000000,
+            "host_seconds": 1.0,
+            "mips": mips,
+            "speedup_vs_naive": 1.0,
+        }
+        for name, mips in mips_by_name.items()
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "pfsim-bench-throughput-v1",
+                   "max_rss_kb": 1, "scenarios": scenarios}, handle)
+
+
+def run(compare, baseline, current, *extra):
+    return subprocess.run(
+        [sys.executable, compare, baseline, current, *extra],
+        capture_output=True, text=True).returncode
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: test_compare.py path/to/compare.py")
+    compare = sys.argv[1]
+
+    failures = []
+
+    def expect(name, got, want):
+        if got != want:
+            failures.append(f"{name}: exit {got}, expected {want}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = f"{tmp}/base.json"
+        cur = f"{tmp}/cur.json"
+        report(base, {"a": 10.0, "b": 10.0})
+
+        # A 20% regression on one scenario must fail by default.
+        report(cur, {"a": 8.0, "b": 10.0})
+        expect("20pct-regression", run(compare, base, cur), 1)
+
+        # ... but only warn under the CI threshold (hard-fail at >2x).
+        expect("20pct-warn-only",
+               run(compare, base, cur, "--max-regression", "0.5"), 0)
+
+        # A 60% regression (>2x slowdown) fails even the CI threshold.
+        report(cur, {"a": 4.0, "b": 10.0})
+        expect("2x-regression",
+               run(compare, base, cur, "--max-regression", "0.5"), 1)
+
+        # Small noise passes; improvements pass.
+        report(cur, {"a": 9.5, "b": 12.0})
+        expect("noise-passes", run(compare, base, cur), 0)
+
+        # A scenario vanishing from the current report fails.
+        report(cur, {"a": 10.0})
+        expect("missing-scenario", run(compare, base, cur), 1)
+
+    if failures:
+        print("\n".join(failures))
+        return 1
+    print("compare.py self-test: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
