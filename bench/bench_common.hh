@@ -14,6 +14,18 @@
  *                     (default on).  Statistics are bit-identical
  *                     either way; =off exists to validate and measure
  *                     the fast path.
+ *   --checkpoint-dir=PATH
+ *                     content-addressed checkpoint store directory
+ *                     (default: off).  Runs restore their warmup from
+ *                     a matching checkpoint, or simulate it once and
+ *                     publish for later jobs.  Report output (stdout)
+ *                     stays byte-identical; hit/miss telemetry goes
+ *                     to stderr with the sweep footer.
+ *   --warmup-reuse[=off]
+ *                     warmup reuse master switch.  Bare --warmup-reuse
+ *                     also defaults --checkpoint-dir to
+ *                     results/checkpoints; =off forces every run to
+ *                     simulate its own warmup.
  * plus bench-specific flags documented in each binary.
  *
  * Default lengths are sized for a small CI container; the shapes the
@@ -50,6 +62,8 @@ parseArgs(int argc, char **argv, std::set<std::string> extra = {})
     extra.insert("warmup");
     extra.insert("jobs");
     extra.insert("fast-path");
+    extra.insert("checkpoint-dir");
+    extra.insert("warmup-reuse");
     return Args(argc, argv, extra);
 }
 
@@ -65,6 +79,13 @@ runConfig(const Args &args)
     // 0 = hardware concurrency (resolved by the sweep engine).
     run.jobs = unsigned(args.getUnsigned("jobs", 0));
     run.fastPath = args.get("fast-path", "on") != "off";
+    run.warmupReuse = args.get("warmup-reuse", "on") != "off";
+    run.checkpointDir = args.get("checkpoint-dir", "");
+    // Bare --warmup-reuse implies the default store location.
+    if (run.checkpointDir.empty() && run.warmupReuse &&
+        args.has("warmup-reuse")) {
+        run.checkpointDir = "results/checkpoints";
+    }
     return run;
 }
 

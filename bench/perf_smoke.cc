@@ -12,13 +12,19 @@
  *    reuse, the paper's canonical low-MLP workload;
  *  - 619.lbm_s-like: dense streaming — the machine is almost always
  *    busy, the fast path's worst case (must not regress);
- *  - mix4: a 4-core memory-intensive mix over the shared LLC/DRAM.
+ *  - mix4: a 4-core memory-intensive mix over the shared LLC/DRAM;
+ *  - warmup_reuse: the same run cold (simulate warmup, publish a
+ *    checkpoint) then warm (restore it) — statistics must match and
+ *    speedup_vs_naive records the measured warmup-reuse gain.
  *
  * Flags: --instructions, --warmup, --out=<path> (report destination)
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+
+#include <unistd.h>
 
 #include "bench_common.hh"
 #include "sim/multicore.hh"
@@ -150,6 +156,40 @@ measureSingleCore(const sim::SystemConfig &config,
     return m;
 }
 
+/**
+ * Warmup reuse: the "naive" leg simulates the warmup and publishes a
+ * checkpoint into a throwaway store, the "fast" leg restores it.  The
+ * usual digest comparison doubles as the restore-vs-rerun stat
+ * identity check; unexpected store behaviour (a cold run that hits, a
+ * warm run that misses) is folded into the digest so it fails the
+ * same way.
+ */
+Measured
+measureWarmupReuse(const sim::SystemConfig &config,
+                   const workloads::Workload &workload,
+                   sim::RunConfig run)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("pfsim_perf_smoke_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    run.checkpointDir = dir.string();
+    run.fastPath = true;
+
+    Measured m;
+    const sim::RunResult cold = runSingleCore(config, workload, run);
+    const sim::RunResult warm = runSingleCore(config, workload, run);
+    m.digestOff = digest(cold) +
+        (cold.throughput.checkpointMisses == 1 ? "" : " NOT-A-MISS");
+    m.digestOn = digest(warm) +
+        (warm.throughput.checkpointHits == 1 ? "" : " NOT-A-HIT");
+    m.off = cold.throughput;
+    m.on = warm.throughput;
+    m.simCycles = warm.core.cycles;
+    std::filesystem::remove_all(dir);
+    return m;
+}
+
 Measured
 measureMix(const sim::SystemConfig &config, const workloads::Mix &mix,
            sim::RunConfig run)
@@ -220,6 +260,17 @@ main(int argc, char **argv)
          measureSingleCore(one, workloads::findWorkload("619.lbm_s-like"),
                            run)});
     scenarios.push_back({"mix4/spp_ppf/4core", measureMix(four, mix, run)});
+
+    // Warmup-dominated split, so the restored leg's saving is visible
+    // against the measured region.
+    sim::RunConfig reuse_run = run;
+    reuse_run.warmupInstructions = run.warmupInstructions * 4;
+    reuse_run.simInstructions = run.simInstructions / 5;
+    scenarios.push_back(
+        {"warmup_reuse/spp_ppf/1core",
+         measureWarmupReuse(one,
+                            workloads::findWorkload("605.mcf_s-like"),
+                            reuse_run)});
 
     stats::PerfReport report;
     bool ok = true;

@@ -29,6 +29,12 @@
 #include "util/ring_buffer.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::cache
 {
 
@@ -224,6 +230,10 @@ class Cache : public MemoryLevel, public Requestor,
         return {&config_, &blocks_,   &mshrs_,
                 policy_.get(), rq_.size(), wq_.size(), pq_.size()};
     }
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     struct Response

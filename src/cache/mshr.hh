@@ -13,6 +13,12 @@
 #include "cache/request.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::cache
 {
 
@@ -89,6 +95,10 @@ class MshrFile
 
     /** Read-only view of the raw entries for the invariant auditor. */
     const std::vector<MshrEntry> &auditState() const { return entries_; }
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     std::vector<MshrEntry> entries_;

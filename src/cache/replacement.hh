@@ -14,6 +14,12 @@
 
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::cache
 {
 
@@ -60,6 +66,14 @@ class ReplacementPolicy
         (void)why;
         return true;
     }
+
+    /**
+     * Snapshot support: policies with mutable metadata override both
+     * (definitions in snapshot/state_io.cc); stateless policies keep
+     * the no-op defaults.
+     */
+    virtual void serialize(snapshot::Sink &) const {}
+    virtual void deserialize(snapshot::Source &) {}
 };
 
 /** Least-recently-used replacement. */
@@ -71,6 +85,8 @@ class LruPolicy : public ReplacementPolicy
     std::uint32_t victim(std::uint32_t set) override;
     const std::string &name() const override;
     bool auditMetadata(std::string &why) const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     std::uint32_t ways_ = 0;
@@ -97,6 +113,8 @@ class SrripPolicy : public ReplacementPolicy
     std::uint32_t victim(std::uint32_t set) override;
     const std::string &name() const override;
     bool auditMetadata(std::string &why) const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     static constexpr std::uint8_t maxRrpv = 3;

@@ -1,0 +1,85 @@
+#include "check/snapshot_audit.hh"
+
+#include <cstddef>
+#include <utility>
+
+#include "snapshot/serial.hh"
+
+namespace pfsim::check
+{
+
+bool
+auditSnapshotImage(const std::vector<std::uint8_t> &bytes,
+                   std::string &why)
+{
+    try {
+        snapshot::Source src(bytes.data(), bytes.size());
+        if (src.u32() != snapshot::snapshotMagic) {
+            why = "bad magic: not a pfsim checkpoint";
+            return false;
+        }
+        const std::uint32_t version = src.u32();
+        if (version != snapshot::snapshotVersion) {
+            why = "format version " + std::to_string(version) +
+                ", this build reads version " +
+                std::to_string(snapshot::snapshotVersion);
+            return false;
+        }
+        src.u64(); // config digest: opaque without a live config
+        const std::uint32_t count = src.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::string name = src.str();
+            const std::uint64_t length = src.u64();
+            const std::uint32_t stored_crc = src.u32();
+            if (length > src.size() - src.offset()) {
+                why = "section '" + name + "' is truncated";
+                return false;
+            }
+            if (snapshot::crc32(src.cursor(), std::size_t(length)) !=
+                stored_crc) {
+                why = "section '" + name + "' failed its CRC check";
+                return false;
+            }
+            src.advance(std::size_t(length));
+        }
+        if (!src.exhausted()) {
+            why = "trailing bytes after the last section";
+            return false;
+        }
+    } catch (const snapshot::SnapshotError &err) {
+        why = err.what();
+        return false;
+    }
+    return true;
+}
+
+SnapshotAuditor::SnapshotAuditor(std::string name,
+                                 snapshot::SimulationView view,
+                                 Cycle minGap)
+    : name_(std::move(name)), view_(std::move(view)), minGap_(minGap)
+{
+}
+
+void
+SnapshotAuditor::audit(AuditContext &ctx) const
+{
+    if (ctx.now() < nextDue_)
+        return;
+    nextDue_ = ctx.now() + minGap_;
+
+    const std::vector<std::uint8_t> first =
+        snapshot::saveSimulation(view_, 0);
+    const std::vector<std::uint8_t> second =
+        snapshot::saveSimulation(view_, 0);
+    if (!ctx.require(first == second, name_,
+                     "serialization is deterministic",
+                     "two consecutive saves differ")) {
+        return;
+    }
+
+    std::string why;
+    ctx.require(auditSnapshotImage(first, why), name_,
+                "snapshot image is structurally sound", why);
+}
+
+} // namespace pfsim::check

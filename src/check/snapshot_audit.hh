@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Snapshot auditing: read-only validation of checkpoint images and of
+ * the serializer itself.
+ *
+ * Two layers:
+ *
+ *  - auditSnapshotImage() walks an image's framing — magic, version,
+ *    section names/lengths/CRCs — without deserializing anything, so
+ *    any caller (tests, tools, the sweep fleet) can vet a checkpoint
+ *    file cheaply before trusting it.
+ *
+ *  - SnapshotAuditor plugs into the invariant-audit registry: each
+ *    pass serializes the live simulation twice and requires the images
+ *    to be byte-identical (a non-deterministic serializer would break
+ *    the content-addressed store's "racing writers produce identical
+ *    files" guarantee) and structurally valid per auditSnapshotImage.
+ *    Like every auditor it is strictly read-only: serialize() never
+ *    mutates component state.  Unlike the structural auditors a full
+ *    pass is expensive, so it self-throttles to a minimum cycle gap
+ *    between passes regardless of the registry interval.
+ */
+
+#ifndef PFSIM_CHECK_SNAPSHOT_AUDIT_HH
+#define PFSIM_CHECK_SNAPSHOT_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hh"
+#include "snapshot/snapshot.hh"
+
+namespace pfsim::check
+{
+
+/**
+ * Validate @p bytes as a structurally sound snapshot image: magic,
+ * readable version, and every section's framing and CRC.  Does not
+ * deserialize and needs no live simulation.  @return true when sound;
+ * otherwise false with a one-line reason in @p why.
+ */
+bool auditSnapshotImage(const std::vector<std::uint8_t> &bytes,
+                        std::string &why);
+
+/** Round-trip determinism auditor over a live simulation. */
+class SnapshotAuditor : public Auditor
+{
+  public:
+    /**
+     * @param name component instance name for violation reports
+     * @param view the live objects to snapshot; must outlive the
+     * auditor (guaranteed when both live in the same run scope)
+     * @param minGap minimum cycles between full passes.  Serializing
+     * the whole machine twice costs orders of magnitude more than the
+     * structural auditors, so under --audit=1 this auditor
+     * self-throttles to one pass per @p minGap cycles (0 = run at
+     * every audit boundary); the first call always runs.
+     */
+    SnapshotAuditor(std::string name, snapshot::SimulationView view,
+                    Cycle minGap = 16384);
+
+    const std::string &name() const override { return name_; }
+    void audit(AuditContext &ctx) const override;
+
+  private:
+    std::string name_;
+    snapshot::SimulationView view_;
+    Cycle minGap_;
+    // Throttle bookkeeping, not simulation state: mutating it keeps
+    // audit() observably read-only w.r.t. the simulated machine.
+    mutable Cycle nextDue_ = 0;
+};
+
+} // namespace pfsim::check
+
+#endif // PFSIM_CHECK_SNAPSHOT_AUDIT_HH

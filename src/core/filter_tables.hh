@@ -18,6 +18,12 @@
 #include "core/features.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::ppf
 {
 
@@ -68,6 +74,10 @@ class FilterTable
 
     /** Read-only view of the raw entries for the invariant auditor. */
     const std::vector<FilterEntry> &auditState() const { return table_; }
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     std::uint32_t indexOf(Addr addr) const;

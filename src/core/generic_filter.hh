@@ -50,6 +50,10 @@ class FilteredPrefetcher : public prefetch::Prefetcher,
     const Ppf &filter() const { return ppf_; }
     const prefetch::Prefetcher &base() const { return *base_; }
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     // prefetch::PrefetchIssuer — interposed between the base
     // prefetcher and the host cache.

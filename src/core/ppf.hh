@@ -149,6 +149,13 @@ class Ppf : public prefetch::SppFilter
                 lastSum_, sumValid_};
     }
 
+    /**
+     * Snapshot support (definitions in snapshot/state_io.cc).  The
+     * analysis attachment is unowned wiring and is not serialized.
+     */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
+
   private:
     FeatureInput buildInput(const prefetch::SppCandidate &candidate)
         const;

@@ -59,6 +59,10 @@ class SppPpfPrefetcher : public prefetch::Prefetcher
     prefetch::SppPrefetcher &spp() { return *spp_; }
     const prefetch::SppPrefetcher &spp() const { return *spp_; }
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     Ppf ppf_;
     std::unique_ptr<prefetch::SppPrefetcher> spp_;

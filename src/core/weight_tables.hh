@@ -20,6 +20,12 @@
 #include "stats/histogram.hh"
 #include "util/sat_counter.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::ppf
 {
 
@@ -123,6 +129,10 @@ class WeightTables
             : (value > Weight::max ? Weight::max : value);
         flat_[offsets_[unsigned(feature)] + index] = std::int8_t(v);
     }
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     std::uint32_t featureMask_;

@@ -14,6 +14,12 @@
 #include "util/sat_counter.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::cpu
 {
 
@@ -30,6 +36,13 @@ class BranchPredictor
     virtual void update(Pc pc, bool taken) = 0;
 
     virtual const std::string &name() const = 0;
+
+    /**
+     * Snapshot support: stateful predictors override both
+     * (definitions in snapshot/state_io.cc).
+     */
+    virtual void serialize(snapshot::Sink &) const {}
+    virtual void deserialize(snapshot::Source &) {}
 };
 
 /** 2-bit bimodal predictor (baseline / testing). */
@@ -41,6 +54,8 @@ class BimodalPredictor : public BranchPredictor
     bool predict(Pc pc) override;
     void update(Pc pc, bool taken) override;
     const std::string &name() const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     std::vector<SignedSatCounter<2>> table_;

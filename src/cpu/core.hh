@@ -29,6 +29,12 @@ namespace pfsim::cache
 class Cache;
 } // namespace pfsim::cache
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::cpu
 {
 
@@ -122,6 +128,10 @@ class Core : public cache::Requestor
     unsigned lqOccupancy() const { return lqUsed_; }
     unsigned sqOccupancy() const { return sqUsed_; }
     bool fetchBlocked() const { return fetchBlockPending_; }
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     enum class Kind : std::uint8_t { Alu, Branch, Load, Store };

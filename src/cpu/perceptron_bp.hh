@@ -29,6 +29,8 @@ class PerceptronBp : public BranchPredictor
     bool predict(Pc pc) override;
     void update(Pc pc, bool taken) override;
     const std::string &name() const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     static constexpr unsigned numTables = 4;

@@ -23,6 +23,12 @@
 #include "util/ring_buffer.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::dram
 {
 
@@ -163,6 +169,13 @@ class Dram : public cache::MemoryLevel
 
     /** Install (or clear, with nullptr) the response fault hook. */
     void faultInjectHook(DramFaultHook *hook) { faultHook_ = hook; }
+
+    /**
+     * Snapshot support (definitions in snapshot/state_io.cc).  The
+     * fault hook is an unowned wiring pointer and is not serialized.
+     */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     struct Completion

@@ -18,6 +18,12 @@
 #include "fault/fault.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::fault
 {
 
@@ -49,6 +55,13 @@ class Injector
 
     /** Fold this injector's counters into @p stats. */
     virtual void accumulate(FaultStats &stats) const = 0;
+
+    /**
+     * Snapshot support: stateful injectors override both
+     * (definitions in snapshot/state_io.cc).
+     */
+    virtual void serialize(snapshot::Sink &) const {}
+    virtual void deserialize(snapshot::Source &) {}
 };
 
 /** The per-run collection of armed injectors. */
@@ -86,6 +99,14 @@ class FaultEngine
 
     /** Aggregate counters over all armed injectors. */
     FaultStats stats() const;
+
+    /**
+     * Snapshot support (definitions in snapshot/state_io.cc): the
+     * engine on both sides must hold the same armed injectors, in the
+     * same order, which follows from an identical fault plan.
+     */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     std::vector<std::unique_ptr<Injector>> injectors_;

@@ -63,6 +63,10 @@ class CorruptingTrace : public trace::TraceSource
     /** Fold the corruption counters into @p stats. */
     void accumulate(FaultStats &stats) const;
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
+
   private:
     trace::TraceSource &inner_;
     TraceFaultSpec spec_;
@@ -89,6 +93,10 @@ class SanitizingTrace : public trace::TraceSource
 
     std::uint64_t repaired() const { return stats_.traceRepaired; }
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
+
   private:
     trace::TraceSource &inner_;
     double budget_;
@@ -113,6 +121,8 @@ class WeightFlipInjector : public Injector
     Cycle nextEventCycle(Cycle now) const override;
     void finish(Cycle now) override;
     void accumulate(FaultStats &stats) const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     struct OutstandingFlip
@@ -145,6 +155,8 @@ class SppFlipInjector : public Injector
     void tick(Cycle now) override;
     Cycle nextEventCycle(Cycle now) const override;
     void accumulate(FaultStats &stats) const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     prefetch::SppPrefetcher &spp_;
@@ -174,6 +186,9 @@ class DramFaultInjector : public Injector, public dram::DramFaultHook
     bool dropResponse(const cache::Request &req) override;
     Cycle responseDelay(const cache::Request &req) override;
 
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     dram::Dram &dram_;
     DramFaultSpec spec_;
@@ -196,6 +211,8 @@ class MshrSqueezeInjector : public Injector
     Cycle nextEventCycle(Cycle now) const override;
     void finish(Cycle now) override;
     void accumulate(FaultStats &stats) const override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     cache::MshrFile &mshrs_;

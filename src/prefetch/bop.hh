@@ -63,6 +63,10 @@ class BopPrefetcher : public Prefetcher
     /** True while prefetching is enabled (testing/introspection). */
     bool prefetchEnabled() const { return prefetchOn_; }
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     void resetRound();
     void learn(Addr block);

@@ -18,6 +18,12 @@
 #include "cache/request.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::prefetch
 {
 
@@ -111,6 +117,14 @@ class Prefetcher
 
     /** Prefetcher name for reports. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Snapshot support: stateful prefetchers override both
+     * (definitions in snapshot/state_io.cc); stateless ones (none,
+     * next-line) keep the no-op defaults.
+     */
+    virtual void serialize(snapshot::Sink &) const {}
+    virtual void deserialize(snapshot::Source &) {}
 
   protected:
     PrefetchIssuer *issuer_ = nullptr;

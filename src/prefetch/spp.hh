@@ -187,6 +187,10 @@ class SppPrefetcher : public Prefetcher
     /** Advance a signature by one delta. */
     std::uint32_t nextSignature(std::uint32_t sig, int delta) const;
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     struct StEntry
     {

@@ -57,6 +57,10 @@ class VldpPrefetcher : public Prefetcher
     void fill(const FillInfo &info) override;
     const std::string &name() const override;
 
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
   private:
     struct DhbEntry
     {

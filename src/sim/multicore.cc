@@ -6,6 +6,8 @@
 
 #include "check/system_audit.hh"
 #include "sim/parallel.hh"
+#include "snapshot/checkpoint_store.hh"
+#include "snapshot/snapshot.hh"
 #include "stats/summary.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
@@ -34,7 +36,58 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
     system.setFastPath(run.fastPath);
     if (run.auditInterval != 0)
         check::attachSystemAuditors(system, run.auditInterval);
-    system.runUntilRetired(run.warmupInstructions);
+
+    // Warmup reuse, mirroring runSingleCore: the mix key joins the
+    // workload names and the digest covers every core's trace config.
+    // Mixes never run with a fault plan, so the view has no fault
+    // decorators or engine.
+    const bool reuse = run.warmupReuse && !run.checkpointDir.empty() &&
+        run.warmupInstructions > 0;
+    std::uint64_t ckpt_hits = 0;
+    std::uint64_t ckpt_misses = 0;
+    std::uint64_t warmup_cycles_saved = 0;
+    if (reuse) {
+        snapshot::SimulationView view;
+        view.system = &system;
+        for (const auto &trace : traces)
+            view.traces.push_back(trace.get());
+
+        std::string key;
+        std::vector<trace::SyntheticConfig> workload_configs;
+        for (const auto &workload : mix) {
+            if (!key.empty())
+                key += "+";
+            key += workload.name;
+            workload_configs.push_back(workload.make());
+        }
+        const std::uint64_t digest =
+            snapshot::warmupDigest(config, run.warmupInstructions,
+                                   workload_configs, nullptr, 0);
+        const snapshot::CheckpointStore store(run.checkpointDir);
+        bool restored = false;
+        std::vector<std::uint8_t> image;
+        if (store.tryLoad(key, digest, image)) {
+            try {
+                snapshot::restoreSimulation(image, view, digest);
+                restored = true;
+            } catch (const snapshot::SnapshotError &err) {
+                warn("checkpoint " + store.pathFor(key, digest) +
+                     " unusable (" + std::string(err.what()) +
+                     "); re-simulating warmup");
+            }
+        }
+        if (restored) {
+            ckpt_hits = 1;
+            warmup_cycles_saved = system.now();
+        } else {
+            system.runUntilRetired(run.warmupInstructions);
+            store.publish(key, digest,
+                          snapshot::saveSimulation(view, digest));
+            ckpt_misses = 1;
+        }
+    } else {
+        system.runUntilRetired(run.warmupInstructions);
+    }
     system.resetStats();
 
     // Region of interest: each core's first simInstructions after
@@ -84,6 +137,9 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
     // the cycle the last core finished.
     result.throughput.instructions =
         config.cores * run.warmupInstructions + watchdog_last;
+    result.throughput.checkpointHits = ckpt_hits;
+    result.throughput.checkpointMisses = ckpt_misses;
+    result.throughput.warmupCyclesSaved = warmup_cycles_saved;
     result.throughput.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)

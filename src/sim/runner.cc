@@ -4,11 +4,15 @@
 #include <functional>
 #include <memory>
 
+#include "check/snapshot_audit.hh"
 #include "check/system_audit.hh"
 #include "core/spp_ppf.hh"
 #include "fault/injectors.hh"
 #include "fault/system_faults.hh"
+#include "snapshot/checkpoint_store.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/synthetic.hh"
+#include "util/logging.hh"
 
 namespace pfsim::sim
 {
@@ -65,7 +69,60 @@ runSingleCore(const SystemConfig &config,
         };
     }
 
-    system.runUntilRetired(run.warmupInstructions, abort_check);
+    // Warmup reuse: with a checkpoint store configured, restore the
+    // post-warmup machine state when a matching image exists, else
+    // simulate the warmup and publish one for later jobs.  An unusable
+    // image (truncated, corrupt, version or digest skew) is rejected
+    // by restoreSimulation before any live state is touched, so the
+    // fallback warmup runs on an untouched System and the measured
+    // region stays bit-identical to a straight-through run.
+    const bool reuse = run.warmupReuse && !run.checkpointDir.empty() &&
+        run.warmupInstructions > 0;
+    std::uint64_t ckpt_hits = 0;
+    std::uint64_t ckpt_misses = 0;
+    std::uint64_t warmup_cycles_saved = 0;
+    snapshot::SimulationView view;
+    view.system = &system;
+    view.traces = {&trace};
+    view.corrupting = corrupting.get();
+    view.sanitizing = sanitizing.get();
+    view.faults = engine.empty() ? nullptr : &engine;
+
+    if (run.auditInterval != 0) {
+        system.audit().add(std::make_unique<check::SnapshotAuditor>(
+            "snapshot", view));
+    }
+
+    if (reuse) {
+        const std::uint64_t digest = snapshot::warmupDigest(
+            config, run.warmupInstructions, {workload.make()}, plan,
+            run.faultSeed);
+        const snapshot::CheckpointStore store(run.checkpointDir);
+        bool restored = false;
+        std::vector<std::uint8_t> image;
+        if (store.tryLoad(workload.name, digest, image)) {
+            try {
+                snapshot::restoreSimulation(image, view, digest);
+                restored = true;
+            } catch (const snapshot::SnapshotError &err) {
+                warn("checkpoint " +
+                     store.pathFor(workload.name, digest) +
+                     " unusable (" + std::string(err.what()) +
+                     "); re-simulating warmup");
+            }
+        }
+        if (restored) {
+            ckpt_hits = 1;
+            warmup_cycles_saved = system.now();
+        } else {
+            system.runUntilRetired(run.warmupInstructions, abort_check);
+            store.publish(workload.name, digest,
+                          snapshot::saveSimulation(view, digest));
+            ckpt_misses = 1;
+        }
+    } else {
+        system.runUntilRetired(run.warmupInstructions, abort_check);
+    }
     system.resetStats();
     system.runUntilRetired(run.simInstructions, abort_check);
 
@@ -101,6 +158,9 @@ runSingleCore(const SystemConfig &config,
 
     result.throughput.instructions =
         run.warmupInstructions + result.core.instructions;
+    result.throughput.checkpointHits = ckpt_hits;
+    result.throughput.checkpointMisses = ckpt_misses;
+    result.throughput.warmupCyclesSaved = warmup_cycles_saved;
     result.throughput.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)

@@ -75,6 +75,23 @@ struct RunConfig
      * or a degraded row.
      */
     double hostTimeoutSeconds = 0.0;
+
+    /**
+     * Directory of the content-addressed checkpoint store
+     * (--checkpoint-dir).  Empty (the default) disables warmup reuse
+     * entirely; when set, a run first looks for a checkpoint keyed by
+     * (workload, warmupDigest) and either restores it — skipping the
+     * warmup simulation — or simulates the warmup and publishes one.
+     * Measured-region statistics are bit-identical either way.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Master switch for warmup reuse (--warmup-reuse[=off]); only
+     * meaningful when checkpointDir is set.  Off forces every run to
+     * simulate its own warmup even with a store configured.
+     */
+    bool warmupReuse = true;
 };
 
 /** Everything measured by one single-core run. */

@@ -25,6 +25,12 @@ namespace pfsim::fault
 class FaultEngine;
 } // namespace pfsim::fault
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::sim
 {
 
@@ -132,6 +138,17 @@ class System
      * null for every fault-free run.
      */
     void setFaultEngine(fault::FaultEngine *engine) { faults_ = engine; }
+
+    /**
+     * Snapshot support (definitions in snapshot/state_io.cc): the
+     * clock, the fast-path probe schedule and every component, with a
+     * shared pointer registry for in-flight Request::ret links.  The
+     * audit registry and fault-engine attachment are wiring, not
+     * state, and are not serialized; fastPath_ is a host-side mode
+     * that must not leak from the saving run into the restoring one.
+     */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
 
   private:
     SystemConfig config_;

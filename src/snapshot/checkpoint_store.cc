@@ -1,0 +1,139 @@
+#include "snapshot/checkpoint_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace pfsim::snapshot
+{
+
+namespace
+{
+
+/** Reduce a workload name to filesystem-safe characters. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (const char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '-' || c == '_' || c == '.';
+        out.push_back(safe ? c : '_');
+    }
+    return out.empty() ? std::string("unnamed") : out;
+}
+
+std::string
+hexDigest(std::uint64_t digest)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buffer;
+}
+
+/** RAII stdio handle so every exit path closes the file. */
+struct File
+{
+    std::FILE *handle;
+
+    File(const std::string &path, const char *mode)
+        : handle(std::fopen(path.c_str(), mode))
+    {
+    }
+
+    ~File()
+    {
+        if (handle != nullptr)
+            std::fclose(handle);
+    }
+
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+};
+
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir))
+{
+}
+
+std::string
+CheckpointStore::pathFor(const std::string &workload_key,
+                         std::uint64_t digest) const
+{
+    return dir_ + "/" + sanitizeKey(workload_key) + "-" +
+        hexDigest(digest) + ".ckpt";
+}
+
+bool
+CheckpointStore::tryLoad(const std::string &workload_key,
+                         std::uint64_t digest,
+                         std::vector<std::uint8_t> &bytes) const
+{
+    const std::string path = pathFor(workload_key, digest);
+    File file(path, "rb");
+    if (file.handle == nullptr)
+        return false;
+
+    bytes.clear();
+    std::uint8_t chunk[65536];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file.handle)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    if (std::ferror(file.handle) != 0) {
+        warn("checkpoint " + path + " could not be read");
+        return false;
+    }
+    return true;
+}
+
+void
+CheckpointStore::publish(const std::string &workload_key,
+                         std::uint64_t digest,
+                         const std::vector<std::uint8_t> &bytes) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn("checkpoint directory " + dir_ +
+             " could not be created: " + ec.message());
+        return;
+    }
+
+    const std::string path = pathFor(workload_key, digest);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        File file(tmp, "wb");
+        if (file.handle == nullptr) {
+            warn("checkpoint " + tmp + " could not be opened");
+            return;
+        }
+        const std::size_t wrote =
+            std::fwrite(bytes.data(), 1, bytes.size(), file.handle);
+        if (wrote != bytes.size()) {
+            warn("checkpoint " + tmp + " could not be written");
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+
+    // Atomic last-writer-wins publication; racing writers of the same
+    // key are writing identical content, so any winner is correct.
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("checkpoint " + path +
+             " could not be published: " + ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace pfsim::snapshot

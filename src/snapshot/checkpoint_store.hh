@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Content-addressed checkpoint store for warmup reuse.
+ *
+ * Checkpoints live as flat files under one directory, keyed by the
+ * workload name plus the warmup-relevant config digest:
+ *
+ *     <dir>/<workload>-<digest hex>.ckpt
+ *
+ * The digest in the key makes the store content-addressed: any config
+ * change that could alter warmup state lands on a different file, so
+ * stale checkpoints are never *matched*, only orphaned.  Publication
+ * is single-writer-atomic — the image is written to a process-unique
+ * temporary name and renamed into place — so concurrent sweep jobs
+ * racing to publish the same key simply last-write an identical file,
+ * and no reader ever observes a half-written checkpoint.
+ *
+ * Reads are deliberately permissive: tryLoad only answers "are there
+ * bytes under this key"; validation (magic/version/digest/CRC) happens
+ * in restoreSimulation, whose SnapshotError the caller turns into a
+ * warn-and-resimulate fallback.
+ */
+
+#ifndef PFSIM_SNAPSHOT_CHECKPOINT_STORE_HH
+#define PFSIM_SNAPSHOT_CHECKPOINT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfsim::snapshot
+{
+
+/** A directory of keyed checkpoint images. */
+class CheckpointStore
+{
+  public:
+    explicit CheckpointStore(std::string dir);
+
+    /** The file path a (workload, digest) key maps to. */
+    std::string pathFor(const std::string &workload_key,
+                        std::uint64_t digest) const;
+
+    /**
+     * Load the raw image stored under the key into @p bytes.
+     * @return false when no readable file exists (a checkpoint miss);
+     * corrupt content is returned as-is for restoreSimulation to
+     * reject.
+     */
+    bool tryLoad(const std::string &workload_key, std::uint64_t digest,
+                 std::vector<std::uint8_t> &bytes) const;
+
+    /**
+     * Atomically publish @p bytes under the key (write to a temporary
+     * file, then rename).  Failures are reported with warn() and
+     * swallowed: a run that cannot publish still completes.
+     */
+    void publish(const std::string &workload_key, std::uint64_t digest,
+                 const std::vector<std::uint8_t> &bytes) const;
+
+    const std::string &directory() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+} // namespace pfsim::snapshot
+
+#endif // PFSIM_SNAPSHOT_CHECKPOINT_STORE_HH

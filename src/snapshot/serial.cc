@@ -1,0 +1,59 @@
+#include "snapshot/serial.hh"
+
+namespace pfsim::snapshot
+{
+
+namespace
+{
+
+/** Build the reflected CRC-32 table once (IEEE 802.3 polynomial). */
+struct Crc32Table
+{
+    std::uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const Crc32Table table;
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table.entries[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint32_t
+Sink::pointerId(const void *p) const
+{
+    if (p == nullptr)
+        return 0;
+    for (std::size_t i = 0; i < pointers_.size(); ++i) {
+        if (pointers_[i] == p)
+            return std::uint32_t(i + 1);
+    }
+    throw SnapshotError("unregistered component pointer in snapshot");
+}
+
+void *
+Source::pointerAt(std::uint32_t id) const
+{
+    if (id == 0)
+        return nullptr;
+    if (id > pointers_.size())
+        throw SnapshotError("snapshot pointer id out of range");
+    return pointers_[id - 1];
+}
+
+} // namespace pfsim::snapshot

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Binary serialization primitives for simulator snapshots.
+ *
+ * Sink and Source implement an explicit little-endian wire format so a
+ * checkpoint written on any host restores bit-identically on any other.
+ * Every multi-byte value is written byte-by-byte; floating-point values
+ * travel as their IEEE-754 bit patterns.  A shared pointer registry
+ * translates the component cross-pointers inside in-flight requests
+ * (Request::ret) into stable small integers: both sides register the
+ * same objects in the same order, so id N names the same component on
+ * save and on restore.
+ *
+ * All framing/validation failures throw SnapshotError; the checkpoint
+ * store turns that into a warn-and-resimulate fallback, while a direct
+ * restore (mismatched build or config) turns it into a one-line fatal.
+ */
+
+#ifndef PFSIM_SNAPSHOT_SERIAL_HH
+#define PFSIM_SNAPSHOT_SERIAL_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/ring_buffer.hh"
+
+namespace pfsim::snapshot
+{
+
+/** Thrown on any malformed, truncated or mismatched snapshot. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) over @p size bytes. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** A growable little-endian byte buffer being written. */
+class Sink
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(std::uint8_t(v & 0xff));
+        u8(std::uint8_t(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(std::uint16_t(v & 0xffff));
+        u16(std::uint16_t(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(std::uint32_t(v & 0xffffffffu));
+        u32(std::uint32_t(v >> 32));
+    }
+
+    void i8(std::int8_t v) { u8(std::uint8_t(v)); }
+    void i16(std::int16_t v) { u16(std::uint16_t(v)); }
+    void i32(std::int32_t v) { u32(std::uint32_t(v)); }
+    void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern, so restores are bit-exact. */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(std::uint32_t(s.size()));
+        for (const char c : s)
+            u8(std::uint8_t(c));
+    }
+
+    /** Append @p size raw bytes verbatim. */
+    void
+    raw(const std::uint8_t *data, std::size_t size)
+    {
+        bytes_.insert(bytes_.end(), data, data + size);
+    }
+
+    /**
+     * Register a component pointer; the registration order defines the
+     * pointer ids, so save and restore must register identically.
+     */
+    void registerPointer(const void *p) { pointers_.push_back(p); }
+
+    /**
+     * The id of a registered pointer: 0 for nullptr, 1 + registration
+     * index otherwise.  An unregistered pointer is a wiring bug and
+     * throws.
+     */
+    std::uint32_t pointerId(const void *p) const;
+
+    const std::vector<std::uint8_t> &buffer() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::vector<const void *> pointers_;
+};
+
+/** A bounds-checked little-endian byte buffer being read. */
+class Source
+{
+  public:
+    Source(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        require(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        const std::uint16_t hi = u8();
+        return std::uint16_t(lo | (hi << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        const std::uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::int8_t i8() { return std::int8_t(u8()); }
+    std::int16_t i16() { return std::int16_t(u16()); }
+    std::int32_t i32() { return std::int32_t(u32()); }
+    std::int64_t i64() { return std::int64_t(u64()); }
+
+    bool b() { return u8() != 0; }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        require(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    /** Read @p size raw bytes into @p out. */
+    void
+    raw(std::uint8_t *out, std::size_t size)
+    {
+        require(size);
+        for (std::size_t i = 0; i < size; ++i)
+            out[i] = data_[pos_ + i];
+        pos_ += size;
+    }
+
+    /** Register a pointer; must mirror the Sink registration order. */
+    void registerPointer(void *p) { pointers_.push_back(p); }
+
+    /** Resolve a pointer id (0 is nullptr); out of range throws. */
+    void *pointerAt(std::uint32_t id) const;
+
+    /** Pointer to the next unread byte (section framing). */
+    const std::uint8_t *cursor() const { return data_ + pos_; }
+
+    /** Skip @p size bytes (section framing). */
+    void
+    advance(std::size_t size)
+    {
+        require(size);
+        pos_ += size;
+    }
+
+    std::size_t offset() const { return pos_; }
+    std::size_t size() const { return size_; }
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    void
+    require(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw SnapshotError("truncated snapshot data");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::vector<void *> pointers_;
+};
+
+/** Write a ring buffer: element count, then each element via @p fn. */
+template <typename T, typename WriteFn>
+void
+writeRing(Sink &sink, const util::RingBuffer<T> &ring, WriteFn fn)
+{
+    sink.u32(std::uint32_t(ring.size()));
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        fn(sink, ring[i]);
+}
+
+/**
+ * Read a ring buffer written by writeRing().  The buffer is cleared
+ * and refilled front-to-back; with a same-config restore the element
+ * count never exceeds the configured capacity, so no growth happens.
+ */
+template <typename T, typename ReadFn>
+void
+readRing(Source &src, util::RingBuffer<T> &ring, ReadFn fn)
+{
+    ring.clear();
+    const std::uint32_t n = src.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        T value{};
+        fn(src, value);
+        ring.push_back(value);
+    }
+}
+
+/** Write a Signed/UnsignedSatCounter through its value() accessor. */
+template <typename Counter>
+void
+writeCounter(Sink &sink, const Counter &counter)
+{
+    sink.i64(std::int64_t(counter.value()));
+}
+
+/** Restore a saturating counter via its clamping set(). */
+template <typename Counter>
+void
+readCounter(Source &src, Counter &counter)
+{
+    counter.set(static_cast<decltype(counter.value())>(src.i64()));
+}
+
+/** Write the full xoshiro256** state of @p rng. */
+inline void
+writeRng(Sink &sink, const Rng &rng)
+{
+    for (const std::uint64_t word : rng.state())
+        sink.u64(word);
+}
+
+/** Restore an Rng to a previously written state. */
+inline void
+readRng(Source &src, Rng &rng)
+{
+    std::array<std::uint64_t, 4> state;
+    for (std::uint64_t &word : state)
+        word = src.u64();
+    rng.setState(state);
+}
+
+} // namespace pfsim::snapshot
+
+#endif // PFSIM_SNAPSHOT_SERIAL_HH

@@ -1,0 +1,355 @@
+#include "snapshot/snapshot.hh"
+
+#include <string>
+
+namespace pfsim::snapshot
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit over a byte buffer. */
+std::uint64_t
+fnv1a64(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const std::uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Append one named, CRC-protected section to the snapshot image. */
+void
+appendSection(Sink &out, const std::string &name, const Sink &payload)
+{
+    const std::vector<std::uint8_t> &bytes = payload.buffer();
+    out.str(name);
+    out.u64(bytes.size());
+    out.u32(crc32(bytes.data(), bytes.size()));
+    out.raw(bytes.data(), bytes.size());
+}
+
+/** True when the view carries any fault state worth a section. */
+bool
+hasFaultSection(const SimulationView &view)
+{
+    return view.corrupting != nullptr || view.sanitizing != nullptr ||
+        (view.faults != nullptr && !view.faults->empty());
+}
+
+/** The expected section names for @p view, in file order. */
+std::vector<std::string>
+sectionNames(const SimulationView &view)
+{
+    std::vector<std::string> names = {"system"};
+    for (std::size_t i = 0; i < view.traces.size(); ++i)
+        names.push_back("trace" + std::to_string(i));
+    if (hasFaultSection(view))
+        names.push_back("faults");
+    return names;
+}
+
+void
+serializeFaults(Sink &sink, const SimulationView &view)
+{
+    sink.b(view.corrupting != nullptr);
+    if (view.corrupting != nullptr)
+        view.corrupting->serialize(sink);
+    sink.b(view.sanitizing != nullptr);
+    if (view.sanitizing != nullptr)
+        view.sanitizing->serialize(sink);
+    sink.b(view.faults != nullptr);
+    if (view.faults != nullptr)
+        view.faults->serialize(sink);
+}
+
+void
+deserializeFaults(Source &src, const SimulationView &view)
+{
+    if (src.b() != (view.corrupting != nullptr))
+        throw SnapshotError(
+            "trace-corruption state present/absent mismatch");
+    if (view.corrupting != nullptr)
+        view.corrupting->deserialize(src);
+    if (src.b() != (view.sanitizing != nullptr))
+        throw SnapshotError(
+            "trace-sanitizer state present/absent mismatch");
+    if (view.sanitizing != nullptr)
+        view.sanitizing->deserialize(src);
+    if (src.b() != (view.faults != nullptr))
+        throw SnapshotError("fault-engine state present/absent mismatch");
+    if (view.faults != nullptr)
+        view.faults->deserialize(src);
+}
+
+void
+serializeSection(Sink &sink, const SimulationView &view,
+                 const std::string &name)
+{
+    if (name == "system") {
+        view.system->serialize(sink);
+    } else if (name == "faults") {
+        serializeFaults(sink, view);
+    } else {
+        const std::size_t index =
+            std::size_t(std::stoul(name.substr(5)));
+        view.traces[index]->serialize(sink);
+    }
+}
+
+void
+deserializeSection(Source &src, const SimulationView &view,
+                   const std::string &name)
+{
+    if (name == "system") {
+        view.system->deserialize(src);
+    } else if (name == "faults") {
+        deserializeFaults(src, view);
+    } else {
+        const std::size_t index =
+            std::size_t(std::stoul(name.substr(5)));
+        view.traces[index]->deserialize(src);
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+saveSimulation(const SimulationView &view, std::uint64_t config_digest)
+{
+    const std::vector<std::string> names = sectionNames(view);
+
+    Sink out;
+    out.u32(snapshotMagic);
+    out.u32(snapshotVersion);
+    out.u64(config_digest);
+    out.u32(std::uint32_t(names.size()));
+    for (const std::string &name : names) {
+        Sink payload;
+        serializeSection(payload, view, name);
+        appendSection(out, name, payload);
+    }
+    return out.buffer();
+}
+
+void
+restoreSimulation(const std::vector<std::uint8_t> &bytes,
+                  const SimulationView &view,
+                  std::uint64_t expected_digest)
+{
+    Source src(bytes.data(), bytes.size());
+
+    if (src.u32() != snapshotMagic)
+        throw SnapshotError("bad magic: not a pfsim checkpoint");
+    const std::uint32_t version = src.u32();
+    if (version != snapshotVersion)
+        throw SnapshotError(
+            "format version " + std::to_string(version) +
+            ", this build reads version " +
+            std::to_string(snapshotVersion));
+    const std::uint64_t digest = src.u64();
+    if (digest != expected_digest)
+        throw SnapshotError(
+            "config digest mismatch: checkpoint was taken under a "
+            "different warmup-relevant configuration");
+
+    const std::vector<std::string> expected = sectionNames(view);
+    const std::uint32_t count = src.u32();
+    if (count != expected.size())
+        throw SnapshotError(
+            "section count " + std::to_string(count) + ", expected " +
+            std::to_string(expected.size()));
+
+    // Phase 1: verify the entire image — names, framing, CRCs — before
+    // touching any live state, so a corrupt checkpoint rejects without
+    // leaving the simulator half-restored (the fallback path re-runs
+    // the warmup on this same System).
+    struct SectionSlice
+    {
+        const std::string *name;
+        const std::uint8_t *payload;
+        std::size_t length;
+    };
+    std::vector<SectionSlice> slices;
+    slices.reserve(expected.size());
+    for (const std::string &name : expected) {
+        const std::string found = src.str();
+        if (found != name)
+            throw SnapshotError("section '" + found +
+                                "' where '" + name + "' was expected");
+        const std::uint64_t length = src.u64();
+        const std::uint32_t stored_crc = src.u32();
+        if (length > src.size() - src.offset())
+            throw SnapshotError("section '" + name +
+                                "' is truncated");
+        const std::uint8_t *payload = src.cursor();
+        if (crc32(payload, std::size_t(length)) != stored_crc)
+            throw SnapshotError("section '" + name +
+                                "' failed its CRC check");
+        src.advance(std::size_t(length));
+        slices.push_back({&name, payload, std::size_t(length)});
+    }
+    if (!src.exhausted())
+        throw SnapshotError("trailing bytes after the last section");
+
+    // Phase 2: deserialize.  Every slice already passed its CRC, so a
+    // failure here means a semantically inconsistent image produced by
+    // a buggy writer — still a SnapshotError, but the view's state is
+    // undefined afterwards.
+    for (const SectionSlice &slice : slices) {
+        Source section(slice.payload, slice.length);
+        deserializeSection(section, view, *slice.name);
+        if (!section.exhausted())
+            throw SnapshotError("section '" + *slice.name +
+                                "' has trailing bytes");
+    }
+}
+
+namespace
+{
+
+void
+digestCacheConfig(Sink &sink, const cache::CacheConfig &config)
+{
+    sink.str(config.name);
+    sink.u32(config.sets);
+    sink.u32(config.ways);
+    sink.u32(config.latency);
+    sink.u32(config.mshrs);
+    sink.u32(config.rqSize);
+    sink.u32(config.wqSize);
+    sink.u32(config.pqSize);
+    sink.u32(config.maxTagsPerCycle);
+    sink.b(config.writeAllocateDirty);
+    sink.str(config.replacement);
+}
+
+void
+digestCoreConfig(Sink &sink, const cpu::CoreConfig &config)
+{
+    sink.u32(config.fetchWidth);
+    sink.u32(config.retireWidth);
+    sink.u32(config.robSize);
+    sink.u32(config.lqSize);
+    sink.u32(config.sqSize);
+    sink.u32(config.loadIssueWidth);
+    sink.u32(config.mispredictPenalty);
+    sink.u32(config.aluLatency);
+    sink.str(config.branchPredictor);
+}
+
+void
+digestDramConfig(Sink &sink, const dram::DramConfig &config)
+{
+    sink.str(config.name);
+    sink.u32(config.channels);
+    sink.u32(config.banks);
+    sink.u64(config.rowBytes);
+    sink.u64(config.rowHitLatency);
+    sink.u64(config.rowMissLatency);
+    sink.u64(config.rowConflictLatency);
+    sink.u64(config.transferCycles);
+    sink.u32(config.rqSize);
+    sink.u32(config.wqSize);
+    sink.u32(config.writeDrainHigh);
+    sink.u32(config.writeDrainLow);
+}
+
+void
+digestSppConfig(Sink &sink, const prefetch::SppConfig &config)
+{
+    sink.u32(config.stSets);
+    sink.u32(config.stWays);
+    sink.u32(config.ptEntries);
+    sink.u32(config.ghrEntries);
+    sink.u32(config.signatureBits);
+    sink.i32(config.prefetchThreshold);
+    sink.i32(config.fillThreshold);
+    sink.u32(config.maxDepth);
+    sink.u32(config.maxPrefetchesPerTrigger);
+    sink.u32(config.forcedDepth);
+    sink.i32(config.filteredFloor);
+}
+
+void
+digestPpfConfig(Sink &sink, const ppf::PpfConfig &config)
+{
+    sink.i32(config.tauHi);
+    sink.i32(config.tauLo);
+    sink.i32(config.thetaP);
+    sink.i32(config.thetaN);
+    sink.u32(config.prefetchTableEntries);
+    sink.u32(config.rejectTableEntries);
+    sink.u32(config.featureMask);
+    sink.u32(config.weightClampBits);
+}
+
+void
+digestStreamConfig(Sink &sink, const trace::StreamConfig &config)
+{
+    sink.u32(std::uint32_t(config.kind));
+    sink.f64(config.weight);
+    sink.u32(std::uint32_t(config.deltas.size()));
+    for (const int delta : config.deltas)
+        sink.i32(delta);
+    sink.f64(config.breakProb);
+    sink.b(config.pageSelective);
+    sink.i32(config.stride);
+    sink.i32(config.jitter);
+    sink.u32(config.burstLen);
+    sink.u64(config.footprintBlocks);
+    sink.f64(config.coldProb);
+}
+
+void
+digestSyntheticConfig(Sink &sink, const trace::SyntheticConfig &config)
+{
+    sink.str(config.name);
+    sink.u64(config.seed);
+    sink.u32(std::uint32_t(config.phases.size()));
+    for (const trace::PhaseConfig &phase : config.phases) {
+        sink.u32(std::uint32_t(phase.streams.size()));
+        for (const trace::StreamConfig &stream : phase.streams)
+            digestStreamConfig(sink, stream);
+        sink.f64(phase.memRatio);
+        sink.f64(phase.storeProb);
+        sink.f64(phase.mispredictRate);
+        sink.u64(phase.length);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+warmupDigest(const sim::SystemConfig &config,
+             InstrCount warmup_instructions,
+             const std::vector<trace::SyntheticConfig> &workloads,
+             const fault::FaultPlan *plan, std::uint64_t fault_seed)
+{
+    Sink sink;
+    sink.u32(snapshotVersion);
+    sink.u32(config.cores);
+    digestCoreConfig(sink, config.core);
+    digestCacheConfig(sink, config.l1i);
+    digestCacheConfig(sink, config.l1d);
+    digestCacheConfig(sink, config.l2);
+    digestCacheConfig(sink, config.llc);
+    digestDramConfig(sink, config.dram);
+    sink.str(config.prefetcher);
+    digestSppConfig(sink, config.sppConfig);
+    digestSppConfig(sink, config.sppPpfConfig.spp);
+    digestPpfConfig(sink, config.sppPpfConfig.ppf);
+    sink.u64(warmup_instructions);
+    sink.u32(std::uint32_t(workloads.size()));
+    for (const trace::SyntheticConfig &workload : workloads)
+        digestSyntheticConfig(sink, workload);
+    if (plan != nullptr && plan->any()) {
+        sink.str(plan->summary());
+        sink.u64(fault_seed);
+    }
+    return fnv1a64(sink.buffer());
+}
+
+} // namespace pfsim::snapshot

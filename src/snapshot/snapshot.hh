@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Whole-simulator snapshots: versioned, CRC-checked binary images of a
+ * System plus its trace sources and armed fault injectors.
+ *
+ * Snapshot layout (all integers little-endian, see serial.hh):
+ *
+ *   header   magic u32, format version u32, config digest u64,
+ *            section count u32
+ *   section  name str, payload length u64, payload crc32 u32, payload
+ *
+ * Sections appear in a fixed order: "system" (the full machine state,
+ * with one shared pointer registry for in-flight Request::ret links),
+ * one "trace<i>" per core's synthetic trace cursor, and — only when a
+ * fault campaign is armed — "faults" (decorator and injector streams).
+ *
+ * The config digest is a 64-bit FNV-1a hash over every warmup-relevant
+ * parameter (see warmupDigest); restoring a snapshot whose digest does
+ * not match the live configuration throws SnapshotError, as does any
+ * magic/version/CRC/framing mismatch.  Callers decide the policy:
+ * sim::runSingleCore falls back to re-simulating the warmup with a
+ * warning, while a direct restore treats it as fatal.
+ */
+
+#ifndef PFSIM_SNAPSHOT_SNAPSHOT_HH
+#define PFSIM_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/engine.hh"
+#include "fault/injectors.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "snapshot/serial.hh"
+#include "trace/synthetic.hh"
+
+namespace pfsim::snapshot
+{
+
+/** Snapshot file magic: "PFS1" read as a little-endian u32. */
+inline constexpr std::uint32_t snapshotMagic = 0x31534650u;
+
+/** Bump on any wire-format change; mismatches fail closed. */
+inline constexpr std::uint32_t snapshotVersion = 1;
+
+/**
+ * The live objects one snapshot covers.  The caller owns everything;
+ * the same view shape (same trace count, same fault decorators) must
+ * be supplied on save and on restore.
+ */
+struct SimulationView
+{
+    sim::System *system = nullptr;
+
+    /** One per core, in core order. */
+    std::vector<trace::SyntheticTrace *> traces;
+
+    /** Armed trace-fault decorators, or null on fault-free runs. */
+    fault::CorruptingTrace *corrupting = nullptr;
+    fault::SanitizingTrace *sanitizing = nullptr;
+
+    /** The run's fault engine, or null when no injector is armed. */
+    fault::FaultEngine *faults = nullptr;
+};
+
+/** Serialize @p view into a self-validating snapshot image. */
+std::vector<std::uint8_t> saveSimulation(const SimulationView &view,
+                                         std::uint64_t config_digest);
+
+/**
+ * Restore @p view from @p bytes.  Throws SnapshotError (one-line
+ * message) on bad magic, version skew, a digest different from
+ * @p expected_digest, a CRC mismatch, or any framing error.  The whole
+ * image is verified before any live state is touched, so those
+ * rejections leave @p view unmodified and callers may fall back to
+ * simulating the warmup on the same System.  Only a CRC-valid but
+ * semantically inconsistent image (a buggy writer) can fail mid-
+ * deserialize and leave the view in an undefined state.
+ */
+void restoreSimulation(const std::vector<std::uint8_t> &bytes,
+                       const SimulationView &view,
+                       std::uint64_t expected_digest);
+
+/**
+ * Digest every parameter that shapes post-warmup simulator state: the
+ * full SystemConfig, the warmup length, each workload's synthetic
+ * trace description, and — when armed — the fault plan and seed.
+ * Deliberately excluded: fastPath, jobs and auditInterval, which are
+ * guaranteed stats-invariant, and the measured-region length, which
+ * only matters after the checkpoint is taken.
+ */
+std::uint64_t
+warmupDigest(const sim::SystemConfig &config,
+             InstrCount warmup_instructions,
+             const std::vector<trace::SyntheticConfig> &workloads,
+             const fault::FaultPlan *plan, std::uint64_t fault_seed);
+
+} // namespace pfsim::snapshot
+
+#endif // PFSIM_SNAPSHOT_SNAPSHOT_HH

@@ -1,0 +1,1386 @@
+/**
+ * @file
+ * Every component's serialize()/deserialize() definition, in one TU.
+ *
+ * Snapshots must write private microarchitectural state (ROB slots,
+ * MSHR waiters, replacement stamps, perceptron weights), so the
+ * accessors are member functions — but their *definitions* all live
+ * here, keeping the wire format reviewable in one place and keeping
+ * the component headers free of serialization detail (they only carry
+ * declarations against forward-declared Sink/Source).
+ *
+ * Wire-format rules:
+ *  - every variable-length container writes its element count first,
+ *    and restore checks that count against the live structure (sized
+ *    by configuration), so a config-skewed image fails loudly instead
+ *    of corrupting memory;
+ *  - cross-component pointers (Request::ret) travel as registry ids
+ *    (see serial.hh); sim::System registers every Requestor in a fixed
+ *    order on both sides;
+ *  - nothing derived purely from configuration (table geometries,
+ *    strides, offsets) is serialized.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+#include "core/filter_tables.hh"
+#include "core/generic_filter.hh"
+#include "core/ppf.hh"
+#include "core/spp_ppf.hh"
+#include "core/weight_tables.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/core.hh"
+#include "cpu/perceptron_bp.hh"
+#include "dram/dram.hh"
+#include "fault/engine.hh"
+#include "fault/injectors.hh"
+#include "prefetch/ampm.hh"
+#include "prefetch/bop.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/vldp.hh"
+#include "sim/system.hh"
+#include "snapshot/serial.hh"
+#include "trace/patterns.hh"
+#include "trace/synthetic.hh"
+
+namespace pfsim
+{
+
+namespace
+{
+
+/** Restore-side guard: a stored count must match the live structure. */
+void
+checkCount(std::uint64_t stored, std::uint64_t live, const char *what)
+{
+    if (stored != live)
+        throw snapshot::SnapshotError(
+            std::string(what) +
+            " count mismatch between snapshot and live configuration");
+}
+
+void
+writeRequest(snapshot::Sink &sink, const cache::Request &req)
+{
+    sink.u64(req.addr);
+    sink.u8(std::uint8_t(req.type));
+    sink.u64(req.pc);
+    sink.i32(req.coreId);
+    sink.u64(req.enqueueCycle);
+    sink.u32(sink.pointerId(req.ret));
+    sink.u64(req.token);
+    sink.b(req.fillThisLevel);
+    sink.b(req.prefetcherNotified);
+}
+
+void
+readRequest(snapshot::Source &src, cache::Request &req)
+{
+    req.addr = src.u64();
+    req.type = cache::AccessType(src.u8());
+    req.pc = src.u64();
+    req.coreId = src.i32();
+    req.enqueueCycle = src.u64();
+    req.ret = static_cast<cache::Requestor *>(src.pointerAt(src.u32()));
+    req.token = src.u64();
+    req.fillThisLevel = src.b();
+    req.prefetcherNotified = src.b();
+}
+
+void
+writeInstruction(snapshot::Sink &sink, const Instruction &inst)
+{
+    sink.u64(inst.pc);
+    sink.u64(inst.loadAddr);
+    sink.u64(inst.storeAddr);
+    sink.b(inst.isBranch);
+    sink.b(inst.branchTaken);
+    sink.b(inst.dependsOnPrev);
+}
+
+void
+readInstruction(snapshot::Source &src, Instruction &inst)
+{
+    inst.pc = src.u64();
+    inst.loadAddr = src.u64();
+    inst.storeAddr = src.u64();
+    inst.isBranch = src.b();
+    inst.branchTaken = src.b();
+    inst.dependsOnPrev = src.b();
+}
+
+void
+writeFillInfo(snapshot::Sink &sink, const prefetch::FillInfo &info)
+{
+    sink.u64(info.addr);
+    sink.b(info.wasPrefetch);
+    sink.b(info.lateUseful);
+    sink.b(info.evictedValid);
+    sink.u64(info.evictedAddr);
+    sink.b(info.evictedUnusedPrefetch);
+    sink.u64(info.cycle);
+}
+
+void
+readFillInfo(snapshot::Source &src, prefetch::FillInfo &info)
+{
+    info.addr = src.u64();
+    info.wasPrefetch = src.b();
+    info.lateUseful = src.b();
+    info.evictedValid = src.b();
+    info.evictedAddr = src.u64();
+    info.evictedUnusedPrefetch = src.b();
+    info.cycle = src.u64();
+}
+
+void
+writeFeatureInput(snapshot::Sink &sink, const ppf::FeatureInput &input)
+{
+    sink.u64(input.triggerAddr);
+    sink.u64(input.pc);
+    sink.u64(input.pc1);
+    sink.u64(input.pc2);
+    sink.u64(input.pc3);
+    sink.i32(input.depth);
+    sink.i32(input.delta);
+    sink.i32(input.confidence);
+    sink.u32(input.signature);
+}
+
+void
+readFeatureInput(snapshot::Source &src, ppf::FeatureInput &input)
+{
+    input.triggerAddr = src.u64();
+    input.pc = src.u64();
+    input.pc1 = src.u64();
+    input.pc2 = src.u64();
+    input.pc3 = src.u64();
+    input.depth = src.i32();
+    input.delta = src.i32();
+    input.confidence = src.i32();
+    input.signature = src.u32();
+}
+
+void
+writeFaultStats(snapshot::Sink &sink, const fault::FaultStats &stats)
+{
+    sink.u64(stats.traceCorrupted);
+    sink.u64(stats.traceRepaired);
+    sink.u64(stats.traceDropped);
+    sink.u64(stats.weightFlips);
+    sink.u64(stats.weightFlipsRecovered);
+    sink.u64(stats.weightRecoveryCyclesSum);
+    sink.u64(stats.weightRecoveryCyclesMax);
+    sink.u64(stats.sppFlips);
+    sink.u64(stats.dramDropped);
+    sink.u64(stats.dramDelayed);
+    sink.u64(stats.mshrSqueezeWindows);
+}
+
+void
+readFaultStats(snapshot::Source &src, fault::FaultStats &stats)
+{
+    stats.traceCorrupted = src.u64();
+    stats.traceRepaired = src.u64();
+    stats.traceDropped = src.u64();
+    stats.weightFlips = src.u64();
+    stats.weightFlipsRecovered = src.u64();
+    stats.weightRecoveryCyclesSum = src.u64();
+    stats.weightRecoveryCyclesMax = src.u64();
+    stats.sppFlips = src.u64();
+    stats.dramDropped = src.u64();
+    stats.dramDelayed = src.u64();
+    stats.mshrSqueezeWindows = src.u64();
+}
+
+} // namespace
+
+} // namespace pfsim
+
+// ---------------------------------------------------------------------
+// cache
+// ---------------------------------------------------------------------
+
+namespace pfsim::cache
+{
+
+void
+MshrFile::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(entries_.size()));
+    for (const MshrEntry &entry : entries_) {
+        sink.b(entry.valid);
+        sink.u64(entry.addr);
+        sink.u32(std::uint32_t(entry.waiters.size()));
+        for (const Request &waiter : entry.waiters)
+            writeRequest(sink, waiter);
+        sink.b(entry.prefetchOnly);
+        sink.b(entry.dirtyOnFill);
+        sink.b(entry.rfoSeen);
+        sink.b(entry.demandMergedIntoPrefetch);
+        sink.u64(entry.pc);
+        sink.i32(entry.coreId);
+        sink.u64(entry.allocCycle);
+    }
+    sink.u64(std::uint64_t(used_));
+    sink.u64(std::uint64_t(reserved_));
+}
+
+void
+MshrFile::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), entries_.size(), "MSHR entry");
+    for (MshrEntry &entry : entries_) {
+        entry.valid = src.b();
+        entry.addr = src.u64();
+        const std::uint32_t waiters = src.u32();
+        entry.waiters.clear();
+        for (std::uint32_t i = 0; i < waiters; ++i) {
+            Request req;
+            readRequest(src, req);
+            entry.waiters.push_back(req);
+        }
+        entry.prefetchOnly = src.b();
+        entry.dirtyOnFill = src.b();
+        entry.rfoSeen = src.b();
+        entry.demandMergedIntoPrefetch = src.b();
+        entry.pc = src.u64();
+        entry.coreId = src.i32();
+        entry.allocCycle = src.u64();
+    }
+    used_ = std::size_t(src.u64());
+    reserved_ = std::size_t(src.u64());
+}
+
+void
+LruPolicy::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(stamp_);
+    sink.u32(std::uint32_t(lastTouch_.size()));
+    for (const std::uint64_t stamp : lastTouch_)
+        sink.u64(stamp);
+}
+
+void
+LruPolicy::deserialize(snapshot::Source &src)
+{
+    stamp_ = src.u64();
+    checkCount(src.u32(), lastTouch_.size(), "LRU metadata");
+    for (std::uint64_t &stamp : lastTouch_)
+        stamp = src.u64();
+}
+
+void
+SrripPolicy::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(rrpv_.size()));
+    for (const std::uint8_t rrpv : rrpv_)
+        sink.u8(rrpv);
+}
+
+void
+SrripPolicy::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), rrpv_.size(), "SRRIP metadata");
+    for (std::uint8_t &rrpv : rrpv_)
+        rrpv = src.u8();
+}
+
+void
+Cache::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(blocks_.size()));
+    for (const Block &block : blocks_) {
+        sink.b(block.valid);
+        sink.b(block.dirty);
+        sink.b(block.prefetched);
+        sink.u64(block.tag);
+    }
+    policy_->serialize(sink);
+    mshrs_.serialize(sink);
+
+    const auto write_request = [](snapshot::Sink &out,
+                                  const Request &req) {
+        writeRequest(out, req);
+    };
+    snapshot::writeRing(sink, rq_, write_request);
+    snapshot::writeRing(sink, wq_, write_request);
+    snapshot::writeRing(sink, pq_, write_request);
+
+    const auto write_response = [](snapshot::Sink &out,
+                                   const Response &response) {
+        out.u64(response.ready);
+        writeRequest(out, response.req);
+    };
+    snapshot::writeRing(sink, responses_, write_response);
+    snapshot::writeRing(sink, fills_, write_response);
+
+    writeFillInfo(sink, pendingFillInfo_);
+    sink.u64(now_);
+
+    sink.u64(stats_.loadAccess);
+    sink.u64(stats_.loadHit);
+    sink.u64(stats_.rfoAccess);
+    sink.u64(stats_.rfoHit);
+    sink.u64(stats_.writebackAccess);
+    sink.u64(stats_.writebackHit);
+    sink.u64(stats_.pfIssued);
+    sink.u64(stats_.pfDroppedHit);
+    sink.u64(stats_.pfDroppedMshr);
+    sink.u64(stats_.pfDroppedFull);
+    sink.u64(stats_.pfToLower);
+    sink.u64(stats_.pfFill);
+    sink.u64(stats_.pfUseful);
+    sink.u64(stats_.pfLate);
+    sink.u64(stats_.pfUselessEvict);
+    sink.u64(stats_.writebacks);
+    sink.u64(stats_.missLatencySum);
+    sink.u64(stats_.missLatencyCount);
+}
+
+void
+Cache::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), blocks_.size(), "cache block");
+    for (Block &block : blocks_) {
+        block.valid = src.b();
+        block.dirty = src.b();
+        block.prefetched = src.b();
+        block.tag = src.u64();
+    }
+    policy_->deserialize(src);
+    mshrs_.deserialize(src);
+
+    const auto read_request = [](snapshot::Source &in, Request &req) {
+        readRequest(in, req);
+    };
+    snapshot::readRing(src, rq_, read_request);
+    snapshot::readRing(src, wq_, read_request);
+    snapshot::readRing(src, pq_, read_request);
+
+    const auto read_response = [](snapshot::Source &in,
+                                  Response &response) {
+        response.ready = in.u64();
+        readRequest(in, response.req);
+    };
+    snapshot::readRing(src, responses_, read_response);
+    snapshot::readRing(src, fills_, read_response);
+
+    readFillInfo(src, pendingFillInfo_);
+    now_ = src.u64();
+
+    stats_.loadAccess = src.u64();
+    stats_.loadHit = src.u64();
+    stats_.rfoAccess = src.u64();
+    stats_.rfoHit = src.u64();
+    stats_.writebackAccess = src.u64();
+    stats_.writebackHit = src.u64();
+    stats_.pfIssued = src.u64();
+    stats_.pfDroppedHit = src.u64();
+    stats_.pfDroppedMshr = src.u64();
+    stats_.pfDroppedFull = src.u64();
+    stats_.pfToLower = src.u64();
+    stats_.pfFill = src.u64();
+    stats_.pfUseful = src.u64();
+    stats_.pfLate = src.u64();
+    stats_.pfUselessEvict = src.u64();
+    stats_.writebacks = src.u64();
+    stats_.missLatencySum = src.u64();
+    stats_.missLatencyCount = src.u64();
+}
+
+} // namespace pfsim::cache
+
+// ---------------------------------------------------------------------
+// cpu
+// ---------------------------------------------------------------------
+
+namespace pfsim::cpu
+{
+
+void
+BimodalPredictor::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(table_.size()));
+    for (const auto &counter : table_)
+        snapshot::writeCounter(sink, counter);
+}
+
+void
+BimodalPredictor::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), table_.size(), "bimodal predictor entry");
+    for (auto &counter : table_)
+        snapshot::readCounter(src, counter);
+}
+
+void
+PerceptronBp::serialize(snapshot::Sink &sink) const
+{
+    for (unsigned t = 0; t < numTables; ++t) {
+        sink.u32(std::uint32_t(tables_[t].size()));
+        for (const auto &weight : tables_[t])
+            snapshot::writeCounter(sink, weight);
+    }
+    sink.u64(history_);
+}
+
+void
+PerceptronBp::deserialize(snapshot::Source &src)
+{
+    for (unsigned t = 0; t < numTables; ++t) {
+        checkCount(src.u32(), tables_[t].size(),
+                   "perceptron predictor table");
+        for (auto &weight : tables_[t])
+            snapshot::readCounter(src, weight);
+    }
+    history_ = src.u64();
+}
+
+void
+Core::serialize(snapshot::Sink &sink) const
+{
+    branchPredictor_->serialize(sink);
+
+    sink.u32(std::uint32_t(rob_.size()));
+    for (const RobEntry &entry : rob_) {
+        sink.b(entry.completed);
+        sink.u64(entry.readyCycle);
+        sink.u8(std::uint8_t(entry.kind));
+        sink.u16(entry.lqSlot);
+    }
+    sink.u32(robHead_);
+    sink.u32(robCount_);
+
+    sink.u32(std::uint32_t(lq_.size()));
+    for (const LqEntry &entry : lq_) {
+        sink.b(entry.valid);
+        sink.b(entry.issued);
+        sink.b(entry.completed);
+        sink.u64(entry.addr);
+        sink.u64(entry.pc);
+        sink.u32(entry.robIndex);
+        sink.u64(entry.seq);
+        sink.b(entry.dependent);
+        sink.u16(entry.depSlot);
+        sink.u64(entry.depSeq);
+    }
+    sink.u32(lqUsed_);
+
+    sink.u32(std::uint32_t(sq_.size()));
+    for (const SqEntry &entry : sq_) {
+        sink.b(entry.valid);
+        sink.b(entry.issued);
+        sink.u64(entry.addr);
+        sink.u64(entry.pc);
+    }
+    sink.u32(sqUsed_);
+
+    sink.u64(fetchResumeCycle_);
+    sink.b(fetchBlockPending_);
+    sink.u64(lastFetchBlock_);
+    sink.b(haveLastLoad_);
+    sink.u16(lastLoadSlot_);
+    sink.u64(lastLoadSeq_);
+    sink.u64(nextLoadSeq_);
+    sink.b(traceExhausted_);
+    sink.b(havePending_);
+    writeInstruction(sink, pending_);
+
+    sink.u64(stats_.instructions);
+    sink.u64(stats_.cycles);
+    sink.u64(stats_.branches);
+    sink.u64(stats_.mispredicts);
+    sink.u64(stats_.loads);
+    sink.u64(stats_.stores);
+    sink.u64(stats_.robFullStalls);
+    sink.u64(stats_.lqFullStalls);
+    sink.u64(stats_.sqFullStalls);
+}
+
+void
+Core::deserialize(snapshot::Source &src)
+{
+    branchPredictor_->deserialize(src);
+
+    checkCount(src.u32(), rob_.size(), "ROB entry");
+    for (RobEntry &entry : rob_) {
+        entry.completed = src.b();
+        entry.readyCycle = src.u64();
+        entry.kind = Kind(src.u8());
+        entry.lqSlot = src.u16();
+    }
+    robHead_ = src.u32();
+    robCount_ = src.u32();
+
+    checkCount(src.u32(), lq_.size(), "load queue entry");
+    for (LqEntry &entry : lq_) {
+        entry.valid = src.b();
+        entry.issued = src.b();
+        entry.completed = src.b();
+        entry.addr = src.u64();
+        entry.pc = src.u64();
+        entry.robIndex = src.u32();
+        entry.seq = src.u64();
+        entry.dependent = src.b();
+        entry.depSlot = src.u16();
+        entry.depSeq = src.u64();
+    }
+    lqUsed_ = src.u32();
+
+    checkCount(src.u32(), sq_.size(), "store queue entry");
+    for (SqEntry &entry : sq_) {
+        entry.valid = src.b();
+        entry.issued = src.b();
+        entry.addr = src.u64();
+        entry.pc = src.u64();
+    }
+    sqUsed_ = src.u32();
+
+    fetchResumeCycle_ = src.u64();
+    fetchBlockPending_ = src.b();
+    lastFetchBlock_ = src.u64();
+    haveLastLoad_ = src.b();
+    lastLoadSlot_ = src.u16();
+    lastLoadSeq_ = src.u64();
+    nextLoadSeq_ = src.u64();
+    traceExhausted_ = src.b();
+    havePending_ = src.b();
+    readInstruction(src, pending_);
+
+    stats_.instructions = src.u64();
+    stats_.cycles = src.u64();
+    stats_.branches = src.u64();
+    stats_.mispredicts = src.u64();
+    stats_.loads = src.u64();
+    stats_.stores = src.u64();
+    stats_.robFullStalls = src.u64();
+    stats_.lqFullStalls = src.u64();
+    stats_.sqFullStalls = src.u64();
+}
+
+} // namespace pfsim::cpu
+
+// ---------------------------------------------------------------------
+// dram
+// ---------------------------------------------------------------------
+
+namespace pfsim::dram
+{
+
+void
+Dram::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(channels_.size()));
+    const auto write_pending = [](snapshot::Sink &out,
+                                  const Pending &pending) {
+        writeRequest(out, pending.req);
+        out.u64(pending.arrival);
+    };
+    for (const Channel &channel : channels_) {
+        snapshot::writeRing(sink, channel.readQ, write_pending);
+        snapshot::writeRing(sink, channel.writeQ, write_pending);
+        sink.u32(std::uint32_t(channel.banks.size()));
+        for (const Bank &bank : channel.banks) {
+            sink.b(bank.rowOpen);
+            sink.u64(bank.openRow);
+            sink.u64(bank.readyCycle);
+        }
+        sink.u64(channel.busFreeCycle);
+        sink.b(channel.drainingWrites);
+    }
+
+    // Drain a copy of the completion heap in ready order; restore
+    // re-pushes, reproducing an equivalent heap.
+    auto pending_completions = completions_;
+    sink.u32(std::uint32_t(pending_completions.size()));
+    while (!pending_completions.empty()) {
+        const Completion &completion = pending_completions.top();
+        sink.u64(completion.ready);
+        writeRequest(sink, completion.req);
+        pending_completions.pop();
+    }
+
+    sink.u64(stats_.reads);
+    sink.u64(stats_.writes);
+    sink.u64(stats_.rowHits);
+    sink.u64(stats_.rowMisses);
+    sink.u64(stats_.rowConflicts);
+    sink.u64(stats_.busBusyCycles);
+    sink.u64(stats_.readLatencySum);
+}
+
+void
+Dram::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), channels_.size(), "DRAM channel");
+    const auto read_pending = [](snapshot::Source &in,
+                                 Pending &pending) {
+        readRequest(in, pending.req);
+        pending.arrival = in.u64();
+    };
+    for (Channel &channel : channels_) {
+        snapshot::readRing(src, channel.readQ, read_pending);
+        snapshot::readRing(src, channel.writeQ, read_pending);
+        checkCount(src.u32(), channel.banks.size(), "DRAM bank");
+        for (Bank &bank : channel.banks) {
+            bank.rowOpen = src.b();
+            bank.openRow = src.u64();
+            bank.readyCycle = src.u64();
+        }
+        channel.busFreeCycle = src.u64();
+        channel.drainingWrites = src.b();
+    }
+
+    completions_ = {};
+    const std::uint32_t completions = src.u32();
+    for (std::uint32_t i = 0; i < completions; ++i) {
+        Completion completion{};
+        completion.ready = src.u64();
+        readRequest(src, completion.req);
+        completions_.push(completion);
+    }
+
+    stats_.reads = src.u64();
+    stats_.writes = src.u64();
+    stats_.rowHits = src.u64();
+    stats_.rowMisses = src.u64();
+    stats_.rowConflicts = src.u64();
+    stats_.busBusyCycles = src.u64();
+    stats_.readLatencySum = src.u64();
+}
+
+} // namespace pfsim::dram
+
+// ---------------------------------------------------------------------
+// prefetch
+// ---------------------------------------------------------------------
+
+namespace pfsim::prefetch
+{
+
+void
+SppPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(st_.size()));
+    for (const StEntry &entry : st_) {
+        sink.b(entry.valid);
+        sink.u16(entry.tag);
+        sink.u8(entry.lastOffset);
+        sink.u16(entry.signature);
+        sink.u64(entry.lru);
+    }
+
+    sink.u32(std::uint32_t(pt_.size()));
+    for (const PtEntry &entry : pt_) {
+        snapshot::writeCounter(sink, entry.cSig);
+        for (const PtSlot &slot : entry.slots) {
+            sink.i16(slot.delta);
+            snapshot::writeCounter(sink, slot.count);
+        }
+    }
+
+    sink.u32(std::uint32_t(ghr_.size()));
+    for (const GhrEntry &entry : ghr_) {
+        sink.b(entry.valid);
+        sink.u16(entry.signature);
+        sink.i32(entry.confidence);
+        sink.u8(entry.lastOffset);
+        sink.i16(entry.delta);
+    }
+
+    sink.u64(std::uint64_t(ghrNext_));
+    sink.u64(lruStamp_);
+    sink.u64(cTotal_);
+    sink.u64(cUseful_);
+
+    sink.u64(stats_.triggers);
+    sink.u64(stats_.issued);
+    sink.u64(stats_.depthSum);
+    sink.u64(stats_.candidates);
+    sink.u64(stats_.filterDropped);
+    sink.u64(stats_.ghrBootstraps);
+}
+
+void
+SppPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), st_.size(), "SPP signature table entry");
+    for (StEntry &entry : st_) {
+        entry.valid = src.b();
+        entry.tag = src.u16();
+        entry.lastOffset = src.u8();
+        entry.signature = src.u16();
+        entry.lru = src.u64();
+    }
+
+    checkCount(src.u32(), pt_.size(), "SPP pattern table entry");
+    for (PtEntry &entry : pt_) {
+        snapshot::readCounter(src, entry.cSig);
+        for (PtSlot &slot : entry.slots) {
+            slot.delta = src.i16();
+            snapshot::readCounter(src, slot.count);
+        }
+    }
+
+    checkCount(src.u32(), ghr_.size(), "SPP GHR entry");
+    for (GhrEntry &entry : ghr_) {
+        entry.valid = src.b();
+        entry.signature = src.u16();
+        entry.confidence = src.i32();
+        entry.lastOffset = src.u8();
+        entry.delta = src.i16();
+    }
+
+    ghrNext_ = std::size_t(src.u64());
+    lruStamp_ = src.u64();
+    cTotal_ = src.u64();
+    cUseful_ = src.u64();
+
+    stats_.triggers = src.u64();
+    stats_.issued = src.u64();
+    stats_.depthSum = src.u64();
+    stats_.candidates = src.u64();
+    stats_.filterDropped = src.u64();
+    stats_.ghrBootstraps = src.u64();
+}
+
+void
+IpStridePrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(table_.size()));
+    for (const Entry &entry : table_) {
+        sink.b(entry.valid);
+        sink.u64(entry.tag);
+        sink.u64(entry.lastBlock);
+        sink.i64(entry.stride);
+        snapshot::writeCounter(sink, entry.confidence);
+    }
+}
+
+void
+IpStridePrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), table_.size(), "IP-stride table entry");
+    for (Entry &entry : table_) {
+        entry.valid = src.b();
+        entry.tag = src.u64();
+        entry.lastBlock = src.u64();
+        entry.stride = src.i64();
+        snapshot::readCounter(src, entry.confidence);
+    }
+}
+
+void
+BopPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(scores_.size()));
+    for (const int score : scores_)
+        sink.i32(score);
+    sink.u64(std::uint64_t(testIndex_));
+    sink.i32(rounds_);
+    sink.i32(prefetchOffset_);
+    sink.b(prefetchOn_);
+    sink.u32(std::uint32_t(rrTable_.size()));
+    for (const Addr addr : rrTable_)
+        sink.u64(addr);
+}
+
+void
+BopPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), scores_.size(), "BOP score");
+    for (int &score : scores_)
+        score = src.i32();
+    testIndex_ = std::size_t(src.u64());
+    rounds_ = src.i32();
+    prefetchOffset_ = src.i32();
+    prefetchOn_ = src.b();
+    checkCount(src.u32(), rrTable_.size(), "BOP recent-request entry");
+    for (Addr &addr : rrTable_)
+        addr = src.u64();
+}
+
+void
+AmpmPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(zones_.size()));
+    for (const Zone &zone : zones_) {
+        sink.b(zone.valid);
+        sink.u64(zone.page);
+        sink.u64(zone.accessed);
+        sink.u64(zone.prefetched);
+        sink.u64(zone.lastUse);
+    }
+    sink.u64(useStamp_);
+}
+
+void
+AmpmPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), zones_.size(), "AMPM zone");
+    for (Zone &zone : zones_) {
+        zone.valid = src.b();
+        zone.page = src.u64();
+        zone.accessed = src.u64();
+        zone.prefetched = src.u64();
+        zone.lastUse = src.u64();
+    }
+    useStamp_ = src.u64();
+}
+
+void
+VldpPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(dhb_.size()));
+    for (const DhbEntry &entry : dhb_) {
+        sink.b(entry.valid);
+        sink.u64(entry.page);
+        sink.i32(entry.lastOffset);
+        for (const int delta : entry.deltas)
+            sink.i32(delta);
+        sink.u32(entry.deltaCount);
+        sink.u64(entry.lastUse);
+    }
+    for (const auto &table : dpt_) {
+        sink.u32(std::uint32_t(table.size()));
+        for (const DptEntry &entry : table) {
+            sink.b(entry.valid);
+            sink.u32(entry.key);
+            sink.i32(entry.prediction);
+            snapshot::writeCounter(sink, entry.accuracy);
+        }
+    }
+    for (const OptEntry &entry : opt_) {
+        sink.b(entry.valid);
+        sink.i32(entry.firstDelta);
+        snapshot::writeCounter(sink, entry.accuracy);
+    }
+    sink.u64(useStamp_);
+}
+
+void
+VldpPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), dhb_.size(), "VLDP history entry");
+    for (DhbEntry &entry : dhb_) {
+        entry.valid = src.b();
+        entry.page = src.u64();
+        entry.lastOffset = src.i32();
+        for (int &delta : entry.deltas)
+            delta = src.i32();
+        entry.deltaCount = src.u32();
+        entry.lastUse = src.u64();
+    }
+    for (auto &table : dpt_) {
+        checkCount(src.u32(), table.size(), "VLDP prediction entry");
+        for (DptEntry &entry : table) {
+            entry.valid = src.b();
+            entry.key = src.u32();
+            entry.prediction = src.i32();
+            snapshot::readCounter(src, entry.accuracy);
+        }
+    }
+    for (OptEntry &entry : opt_) {
+        entry.valid = src.b();
+        entry.firstDelta = src.i32();
+        snapshot::readCounter(src, entry.accuracy);
+    }
+    useStamp_ = src.u64();
+}
+
+} // namespace pfsim::prefetch
+
+// ---------------------------------------------------------------------
+// ppf
+// ---------------------------------------------------------------------
+
+namespace pfsim::ppf
+{
+
+void
+WeightTables::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(flat_.size()));
+    for (const std::int8_t weight : flat_)
+        sink.i8(weight);
+}
+
+void
+WeightTables::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), flat_.size(), "PPF weight");
+    for (std::int8_t &weight : flat_)
+        weight = src.i8();
+}
+
+void
+FilterTable::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(table_.size()));
+    for (const FilterEntry &entry : table_) {
+        sink.b(entry.valid);
+        sink.u8(entry.tag);
+        sink.b(entry.useful);
+        sink.b(entry.prefetched);
+        writeFeatureInput(sink, entry.features);
+    }
+}
+
+void
+FilterTable::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), table_.size(), "PPF filter-table entry");
+    for (FilterEntry &entry : table_) {
+        entry.valid = src.b();
+        entry.tag = src.u8();
+        entry.useful = src.b();
+        entry.prefetched = src.b();
+        readFeatureInput(src, entry.features);
+    }
+}
+
+void
+Ppf::serialize(snapshot::Sink &sink) const
+{
+    weights_.serialize(sink);
+    prefetchTable_.serialize(sink);
+    rejectTable_.serialize(sink);
+    for (const Pc pc : pcHistory_)
+        sink.u64(pc);
+    sink.i32(lastSum_);
+    sink.b(sumValid_);
+
+    sink.u64(stats_.candidates);
+    sink.u64(stats_.acceptedL2);
+    sink.u64(stats_.acceptedLlc);
+    sink.u64(stats_.rejected);
+    sink.u64(stats_.trainUseful);
+    sink.u64(stats_.trainFalseNegative);
+    sink.u64(stats_.trainUselessEvict);
+}
+
+void
+Ppf::deserialize(snapshot::Source &src)
+{
+    weights_.deserialize(src);
+    prefetchTable_.deserialize(src);
+    rejectTable_.deserialize(src);
+    for (Pc &pc : pcHistory_)
+        pc = src.u64();
+    lastSum_ = src.i32();
+    sumValid_ = src.b();
+
+    stats_.candidates = src.u64();
+    stats_.acceptedL2 = src.u64();
+    stats_.acceptedLlc = src.u64();
+    stats_.rejected = src.u64();
+    stats_.trainUseful = src.u64();
+    stats_.trainFalseNegative = src.u64();
+    stats_.trainUselessEvict = src.u64();
+}
+
+void
+SppPpfPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    ppf_.serialize(sink);
+    spp_->serialize(sink);
+}
+
+void
+SppPpfPrefetcher::deserialize(snapshot::Source &src)
+{
+    ppf_.deserialize(src);
+    spp_->deserialize(src);
+}
+
+void
+FilteredPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    base_->serialize(sink);
+    ppf_.serialize(sink);
+    sink.u64(triggerAddr_);
+    sink.u64(triggerPc_);
+}
+
+void
+FilteredPrefetcher::deserialize(snapshot::Source &src)
+{
+    base_->deserialize(src);
+    ppf_.deserialize(src);
+    triggerAddr_ = src.u64();
+    triggerPc_ = src.u64();
+}
+
+} // namespace pfsim::ppf
+
+// ---------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------
+
+namespace pfsim::trace
+{
+
+void
+StreamPattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(nextAddr_);
+}
+
+void
+StreamPattern::deserialize(snapshot::Source &src)
+{
+    nextAddr_ = src.u64();
+}
+
+void
+StridePattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(nextAddr_);
+}
+
+void
+StridePattern::deserialize(snapshot::Source &src)
+{
+    nextAddr_ = src.u64();
+}
+
+void
+DeltaSeqPattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(page_);
+    sink.u32(offset_);
+    sink.u64(std::uint64_t(step_));
+}
+
+void
+DeltaSeqPattern::deserialize(snapshot::Source &src)
+{
+    page_ = src.u64();
+    offset_ = src.u32();
+    step_ = std::size_t(src.u64());
+}
+
+void
+PageShufflePattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(page_);
+    sink.u64(std::uint64_t(step_));
+}
+
+void
+PageShufflePattern::deserialize(snapshot::Source &src)
+{
+    // order_ is a pure function of page_, so rebuild instead of
+    // storing the permutation; buildOrder() resets step_, so restore
+    // the cursor afterwards.
+    page_ = src.u64();
+    buildOrder();
+    step_ = std::size_t(src.u64());
+}
+
+void
+RegionSweepPattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(nextAddr_);
+}
+
+void
+RegionSweepPattern::deserialize(snapshot::Source &src)
+{
+    nextAddr_ = src.u64();
+}
+
+void
+BurstStridePattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(page_);
+    sink.i32(offset_);
+    sink.u32(pos_);
+}
+
+void
+BurstStridePattern::deserialize(snapshot::Source &src)
+{
+    page_ = src.u64();
+    offset_ = src.i32();
+    pos_ = src.u32();
+}
+
+void
+PointerChasePattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(state_);
+}
+
+void
+PointerChasePattern::deserialize(snapshot::Source &src)
+{
+    state_ = src.u64();
+}
+
+void
+HotReusePattern::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(coldPage_);
+}
+
+void
+HotReusePattern::deserialize(snapshot::Source &src)
+{
+    coldPage_ = src.u64();
+}
+
+void
+SyntheticTrace::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(std::uint64_t(phaseIndex_));
+    sink.u64(entryCount_);
+    sink.u64(phaseRemaining_);
+    snapshot::writeRng(sink, rng_);
+    sink.u32(std::uint32_t(streams_.size()));
+    for (const StreamState &stream : streams_)
+        stream.pattern->serialize(sink);
+    sink.u32(std::uint32_t(pending_.size()));
+    for (const Instruction &inst : pending_)
+        writeInstruction(sink, inst);
+}
+
+void
+SyntheticTrace::deserialize(snapshot::Source &src)
+{
+    // Rebuild the phase's stream/PC scaffolding through enterPhase()
+    // (which derives it from config alone and does not consume rng_),
+    // then overwrite the counters and per-pattern cursors it reset.
+    const std::size_t phase = std::size_t(src.u64());
+    const std::uint64_t entries = src.u64();
+    entryCount_ = entries - 1;
+    enterPhase(phase);
+    phaseRemaining_ = src.u64();
+    snapshot::readRng(src, rng_);
+    checkCount(src.u32(), streams_.size(), "trace stream");
+    for (StreamState &stream : streams_)
+        stream.pattern->deserialize(src);
+    pending_.clear();
+    const std::uint32_t pending = src.u32();
+    for (std::uint32_t i = 0; i < pending; ++i) {
+        Instruction inst;
+        readInstruction(src, inst);
+        pending_.push_back(inst);
+    }
+}
+
+} // namespace pfsim::trace
+
+// ---------------------------------------------------------------------
+// fault
+// ---------------------------------------------------------------------
+
+namespace pfsim::fault
+{
+
+void
+CorruptingTrace::serialize(snapshot::Sink &sink) const
+{
+    snapshot::writeRng(sink, rng_);
+    writeFaultStats(sink, stats_);
+}
+
+void
+CorruptingTrace::deserialize(snapshot::Source &src)
+{
+    snapshot::readRng(src, rng_);
+    readFaultStats(src, stats_);
+}
+
+void
+SanitizingTrace::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(seen_);
+    writeFaultStats(sink, stats_);
+}
+
+void
+SanitizingTrace::deserialize(snapshot::Source &src)
+{
+    seen_ = src.u64();
+    readFaultStats(src, stats_);
+}
+
+void
+WeightFlipInjector::serialize(snapshot::Sink &sink) const
+{
+    snapshot::writeRng(sink, rng_);
+    sink.u64(nextEvent_);
+    sink.u32(std::uint32_t(outstanding_.size()));
+    for (const OutstandingFlip &flip : outstanding_) {
+        sink.u32(std::uint32_t(flip.feature));
+        sink.u32(flip.index);
+        sink.i32(flip.preValue);
+        sink.u64(flip.cycle);
+    }
+    writeFaultStats(sink, stats_);
+}
+
+void
+WeightFlipInjector::deserialize(snapshot::Source &src)
+{
+    snapshot::readRng(src, rng_);
+    nextEvent_ = src.u64();
+    outstanding_.clear();
+    const std::uint32_t count = src.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        OutstandingFlip flip{};
+        flip.feature = ppf::FeatureId(src.u32());
+        flip.index = src.u32();
+        flip.preValue = src.i32();
+        flip.cycle = src.u64();
+        outstanding_.push_back(flip);
+    }
+    readFaultStats(src, stats_);
+}
+
+void
+SppFlipInjector::serialize(snapshot::Sink &sink) const
+{
+    snapshot::writeRng(sink, rng_);
+    sink.u64(nextEvent_);
+    writeFaultStats(sink, stats_);
+}
+
+void
+SppFlipInjector::deserialize(snapshot::Source &src)
+{
+    snapshot::readRng(src, rng_);
+    nextEvent_ = src.u64();
+    readFaultStats(src, stats_);
+}
+
+void
+DramFaultInjector::serialize(snapshot::Sink &sink) const
+{
+    snapshot::writeRng(sink, rng_);
+    writeFaultStats(sink, stats_);
+}
+
+void
+DramFaultInjector::deserialize(snapshot::Source &src)
+{
+    snapshot::readRng(src, rng_);
+    readFaultStats(src, stats_);
+}
+
+void
+MshrSqueezeInjector::serialize(snapshot::Sink &sink) const
+{
+    sink.u64(windowStart_);
+    sink.b(active_);
+    writeFaultStats(sink, stats_);
+}
+
+void
+MshrSqueezeInjector::deserialize(snapshot::Source &src)
+{
+    windowStart_ = src.u64();
+    active_ = src.b();
+    readFaultStats(src, stats_);
+}
+
+void
+FaultEngine::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(injectors_.size()));
+    for (const auto &injector : injectors_)
+        injector->serialize(sink);
+}
+
+void
+FaultEngine::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), injectors_.size(), "fault injector");
+    for (const auto &injector : injectors_)
+        injector->deserialize(src);
+}
+
+} // namespace pfsim::fault
+
+// ---------------------------------------------------------------------
+// sim
+// ---------------------------------------------------------------------
+
+namespace pfsim::sim
+{
+
+void
+System::serialize(snapshot::Sink &sink) const
+{
+    // Register every Requestor a Request::ret can point at, in a fixed
+    // order mirrored by deserialize(): per core {core, l1i, l1d, l2},
+    // then the LLC.  Registration must precede any writeRequest call.
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(cores_[i].get()));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(l1is_[i].get()));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(l1ds_[i].get()));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(l2s_[i].get()));
+    }
+    sink.registerPointer(
+        static_cast<const cache::Requestor *>(llc_.get()));
+
+    sink.u64(now_);
+    sink.u64(probeAt_);
+    sink.u64(probeBackoff_);
+    sink.u64(skippedCycles_);
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i]->serialize(sink);
+        l1is_[i]->serialize(sink);
+        l1ds_[i]->serialize(sink);
+        l2s_[i]->serialize(sink);
+        prefetchers_[i]->serialize(sink);
+    }
+    llc_->serialize(sink);
+    dram_->serialize(sink);
+}
+
+void
+System::deserialize(snapshot::Source &src)
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        src.registerPointer(
+            static_cast<cache::Requestor *>(cores_[i].get()));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(l1is_[i].get()));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(l1ds_[i].get()));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(l2s_[i].get()));
+    }
+    src.registerPointer(static_cast<cache::Requestor *>(llc_.get()));
+
+    now_ = src.u64();
+    probeAt_ = src.u64();
+    probeBackoff_ = src.u64();
+    skippedCycles_ = src.u64();
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i]->deserialize(src);
+        l1is_[i]->deserialize(src);
+        l1ds_[i]->deserialize(src);
+        l2s_[i]->deserialize(src);
+        prefetchers_[i]->deserialize(src);
+    }
+    llc_->deserialize(src);
+    dram_->deserialize(src);
+}
+
+} // namespace pfsim::sim

@@ -19,6 +19,9 @@ FleetThroughput::add(const RunThroughput &run)
     ++runs;
     instructions += run.instructions;
     busySeconds += run.hostSeconds;
+    checkpointHits += run.checkpointHits;
+    checkpointMisses += run.checkpointMisses;
+    warmupCyclesSaved += run.warmupCyclesSaved;
 }
 
 double
@@ -40,13 +43,24 @@ FleetThroughput::poolSpeedup() const
 std::string
 FleetThroughput::summary() const
 {
-    char buffer[160];
-    std::snprintf(buffer, sizeof(buffer),
-                  "%zu runs, %.1fM instructions in %.2fs wall "
-                  "(%u jobs, busy %.2fs): %.2f Mips aggregate, "
-                  "%.2fx pool speedup",
-                  runs, double(instructions) / 1e6, wallSeconds, jobs,
-                  busySeconds, aggregateMips(), poolSpeedup());
+    char buffer[240];
+    int used = std::snprintf(
+        buffer, sizeof(buffer),
+        "%zu runs, %.1fM instructions in %.2fs wall "
+        "(%u jobs, busy %.2fs): %.2f Mips aggregate, "
+        "%.2fx pool speedup",
+        runs, double(instructions) / 1e6, wallSeconds, jobs,
+        busySeconds, aggregateMips(), poolSpeedup());
+    if (checkpointHits + checkpointMisses > 0 && used > 0 &&
+        std::size_t(used) < sizeof(buffer)) {
+        std::snprintf(
+            buffer + used, sizeof(buffer) - std::size_t(used),
+            "; checkpoints %llu hit / %llu miss, %.1fM warmup "
+            "cycles saved",
+            static_cast<unsigned long long>(checkpointHits),
+            static_cast<unsigned long long>(checkpointMisses),
+            double(warmupCyclesSaved) / 1e6);
+    }
     return buffer;
 }
 

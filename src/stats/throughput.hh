@@ -29,6 +29,15 @@ struct RunThroughput
     /** Wall-clock seconds the run took on its worker thread. */
     double hostSeconds = 0.0;
 
+    /** 1 when this run restored its warmup from a checkpoint. */
+    std::uint64_t checkpointHits = 0;
+
+    /** 1 when this run simulated warmup and published a checkpoint. */
+    std::uint64_t checkpointMisses = 0;
+
+    /** Warmup cycles skipped thanks to a checkpoint restore. */
+    std::uint64_t warmupCyclesSaved = 0;
+
     /** Simulated million instructions per host-second; 0 if unknown. */
     double mips() const;
 };
@@ -55,6 +64,15 @@ struct FleetThroughput
 
     /** Elapsed wall-clock of the whole sweep. */
     double wallSeconds = 0.0;
+
+    /** Runs that restored warmup from the checkpoint store. */
+    std::uint64_t checkpointHits = 0;
+
+    /** Runs that simulated warmup and published a checkpoint. */
+    std::uint64_t checkpointMisses = 0;
+
+    /** Total warmup cycles skipped via checkpoint restores. */
+    std::uint64_t warmupCyclesSaved = 0;
 
     /** Fold one finished run into the aggregate. */
     void add(const RunThroughput &run);

@@ -42,6 +42,12 @@
 #include "util/random.hh"
 #include "util/types.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::trace
 {
 
@@ -61,6 +67,15 @@ class AddressPattern
 
     /** Produce the next reference of this stream. */
     virtual Reference next(Rng &rng) = 0;
+
+    /**
+     * Snapshot support: patterns with a mutable cursor override both
+     * (definitions in snapshot/state_io.cc).  Configuration-derived
+     * state (strides, delta lists, footprints) is not serialized; it
+     * is rebuilt from the trace config on restore.
+     */
+    virtual void serialize(snapshot::Sink &) const {}
+    virtual void deserialize(snapshot::Source &) {}
 };
 
 /** Unit-stride streaming over consecutive pages from @p base. */
@@ -69,6 +84,8 @@ class StreamPattern : public AddressPattern
   public:
     explicit StreamPattern(Addr base);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr nextAddr_;
@@ -80,6 +97,8 @@ class StridePattern : public AddressPattern
   public:
     StridePattern(Addr base, int stride_blocks);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr nextAddr_;
@@ -111,6 +130,8 @@ class DeltaSeqPattern : public AddressPattern
     DeltaSeqPattern(Addr base, std::vector<int> deltas,
                     double break_prob, bool page_selective = false);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     void advancePage();
@@ -132,6 +153,8 @@ class PageShufflePattern : public AddressPattern
   public:
     explicit PageShufflePattern(Addr base);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     void buildOrder();
@@ -151,6 +174,8 @@ class RegionSweepPattern : public AddressPattern
   public:
     RegionSweepPattern(Addr base, int max_jitter_blocks);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr nextAddr_;
@@ -172,6 +197,8 @@ class BurstStridePattern : public AddressPattern
     BurstStridePattern(Addr base, int stride_blocks,
                        unsigned burst_len);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr page_;
@@ -192,6 +219,8 @@ class PointerChasePattern : public AddressPattern
   public:
     PointerChasePattern(Addr base, std::uint64_t footprint_blocks);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr base_;
@@ -209,6 +238,8 @@ class HotReusePattern : public AddressPattern
     HotReusePattern(Addr base, std::uint64_t hot_blocks,
                     double cold_prob);
     Reference next(Rng &rng) override;
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
 
   private:
     Addr base_;

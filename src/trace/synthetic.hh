@@ -108,6 +108,15 @@ class SyntheticTrace : public TraceSource
     bool next(Instruction &out) override;
     const std::string &name() const override { return config_.name; }
 
+    /**
+     * Snapshot support (definitions in snapshot/state_io.cc): the
+     * generator cursor — phase position, RNG, per-pattern cursors and
+     * buffered instructions — so a restored trace resumes exactly
+     * where the saved one stopped.
+     */
+    void serialize(snapshot::Sink &sink) const;
+    void deserialize(snapshot::Source &src);
+
   private:
     /** Per-stream runtime state. */
     struct StreamState

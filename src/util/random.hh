@@ -12,6 +12,8 @@
 #ifndef PFSIM_UTIL_RANDOM_HH
 #define PFSIM_UTIL_RANDOM_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace pfsim
@@ -23,6 +25,21 @@ class Rng
   public:
     /** Construct from a 64-bit seed, expanded with splitmix64. */
     explicit Rng(std::uint64_t seed);
+
+    /** The full generator state, for snapshot/restore. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore a previously captured state. */
+    void
+    setState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            s_[i] = state[i];
+    }
 
     /** Next raw 64-bit value. */
     std::uint64_t next();

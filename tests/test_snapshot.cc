@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Tests for the snapshot & warmup-reuse subsystem (src/snapshot): the
+ * wire-format primitives, per-component round trips, whole-simulator
+ * save/restore bit-identity, fail-closed rejection of damaged or
+ * mismatched images, and the end-to-end checkpoint store — a restored
+ * run must produce statistics identical to a straight-through run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cache/mshr.hh"
+#include "check/invariant.hh"
+#include "check/snapshot_audit.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "snapshot/checkpoint_store.hh"
+#include "snapshot/serial.hh"
+#include "snapshot/snapshot.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+// --- wire-format primitives -------------------------------------------
+
+TEST(Serial, Crc32KnownVector)
+{
+    const std::uint8_t digits[] = {'1', '2', '3', '4', '5',
+                                   '6', '7', '8', '9'};
+    EXPECT_EQ(snapshot::crc32(digits, sizeof(digits)), 0xCBF43926u);
+    EXPECT_EQ(snapshot::crc32(digits, 0), 0u);
+}
+
+TEST(Serial, PrimitivesRoundTrip)
+{
+    snapshot::Sink sink;
+    sink.u8(0xab);
+    sink.u16(0x1234);
+    sink.u32(0xdeadbeef);
+    sink.u64(0x0123456789abcdefull);
+    sink.i32(-42);
+    sink.i64(-1);
+    sink.b(true);
+    sink.b(false);
+    sink.f64(-0.125);
+    sink.str("warmup");
+    sink.str("");
+
+    snapshot::Source src(sink.buffer().data(), sink.buffer().size());
+    EXPECT_EQ(src.u8(), 0xab);
+    EXPECT_EQ(src.u16(), 0x1234);
+    EXPECT_EQ(src.u32(), 0xdeadbeefu);
+    EXPECT_EQ(src.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(src.i32(), -42);
+    EXPECT_EQ(src.i64(), -1);
+    EXPECT_TRUE(src.b());
+    EXPECT_FALSE(src.b());
+    EXPECT_EQ(src.f64(), -0.125);
+    EXPECT_EQ(src.str(), "warmup");
+    EXPECT_EQ(src.str(), "");
+    EXPECT_TRUE(src.exhausted());
+}
+
+TEST(Serial, LittleEndianOnTheWire)
+{
+    snapshot::Sink sink;
+    sink.u32(0x01020304u);
+    ASSERT_EQ(sink.buffer().size(), 4u);
+    EXPECT_EQ(sink.buffer()[0], 0x04);
+    EXPECT_EQ(sink.buffer()[3], 0x01);
+}
+
+TEST(Serial, TruncatedReadThrows)
+{
+    const std::uint8_t two[] = {1, 2};
+    snapshot::Source src(two, sizeof(two));
+    EXPECT_THROW(src.u32(), snapshot::SnapshotError);
+}
+
+TEST(Serial, PointerRegistry)
+{
+    int a = 0, b = 0;
+    snapshot::Sink sink;
+    sink.registerPointer(&a);
+    sink.registerPointer(&b);
+    EXPECT_EQ(sink.pointerId(nullptr), 0u);
+    EXPECT_EQ(sink.pointerId(&a), 1u);
+    EXPECT_EQ(sink.pointerId(&b), 2u);
+    int stranger = 0;
+    EXPECT_THROW(sink.pointerId(&stranger), snapshot::SnapshotError);
+
+    snapshot::Source src(nullptr, 0);
+    src.registerPointer(&a);
+    EXPECT_EQ(src.pointerAt(0), nullptr);
+    EXPECT_EQ(src.pointerAt(1), &a);
+    EXPECT_THROW(src.pointerAt(2), snapshot::SnapshotError);
+}
+
+// --- per-component round trips ----------------------------------------
+
+// Mirror System::serialize's pointer registration so component images
+// extracted from one system can be replayed into another.
+void
+registerPointers(snapshot::Sink &sink, sim::System &sys)
+{
+    for (unsigned i = 0; i < sys.coreCount(); ++i) {
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(&sys.core(i)));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(&sys.l1i(i)));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(&sys.l1d(i)));
+        sink.registerPointer(
+            static_cast<const cache::Requestor *>(&sys.l2(i)));
+    }
+    sink.registerPointer(
+        static_cast<const cache::Requestor *>(&sys.llc()));
+}
+
+void
+registerPointers(snapshot::Source &src, sim::System &sys)
+{
+    for (unsigned i = 0; i < sys.coreCount(); ++i) {
+        src.registerPointer(
+            static_cast<cache::Requestor *>(&sys.core(i)));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(&sys.l1i(i)));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(&sys.l1d(i)));
+        src.registerPointer(
+            static_cast<cache::Requestor *>(&sys.l2(i)));
+    }
+    src.registerPointer(static_cast<cache::Requestor *>(&sys.llc()));
+}
+
+TEST(ComponentRoundTrip, MshrFile)
+{
+    cache::MshrFile original(8);
+    cache::MshrEntry *entry = original.allocate(0x1000, 7);
+    ASSERT_NE(entry, nullptr);
+    entry->prefetchOnly = true;
+    entry->demandMergedIntoPrefetch = true;
+    entry->pc = 0x4004;
+    cache::Request waiter;
+    waiter.addr = 0x1000;
+    waiter.type = cache::AccessType::Rfo;
+    waiter.token = 3;
+    entry->waiters.push_back(waiter);
+    original.allocate(0x2040, 9)->dirtyOnFill = true;
+
+    snapshot::Sink first;
+    original.serialize(first);
+
+    cache::MshrFile restored(8);
+    snapshot::Source src(first.buffer().data(), first.buffer().size());
+    restored.deserialize(src);
+    EXPECT_TRUE(src.exhausted());
+    EXPECT_EQ(restored.used(), 2u);
+    ASSERT_NE(restored.find(0x1000), nullptr);
+    EXPECT_TRUE(restored.find(0x1000)->prefetchOnly);
+    EXPECT_EQ(restored.find(0x1000)->waiters.size(), 1u);
+    EXPECT_EQ(restored.find(0x1000)->waiters[0].token, 3u);
+
+    snapshot::Sink second;
+    restored.serialize(second);
+    EXPECT_EQ(first.buffer(), second.buffer());
+}
+
+TEST(ComponentRoundTrip, MshrCapacityMismatchRejected)
+{
+    cache::MshrFile original(8);
+    snapshot::Sink sink;
+    original.serialize(sink);
+
+    cache::MshrFile smaller(4);
+    snapshot::Source src(sink.buffer().data(), sink.buffer().size());
+    EXPECT_THROW(smaller.deserialize(src), snapshot::SnapshotError);
+}
+
+// Warm two same-config systems to different depths, then copy one
+// component's state across and require the re-serialized image to be
+// byte-identical to the original.
+class WarmPair : public ::testing::Test
+{
+  protected:
+    void
+    warm(const std::string &prefetcher)
+    {
+        config_ = sim::SystemConfig::defaultConfig();
+        config_.prefetcher = prefetcher;
+        const workloads::Workload &workload =
+            workloads::spec17Suite().front();
+        traceA_ =
+            std::make_unique<trace::SyntheticTrace>(workload.make());
+        traceB_ =
+            std::make_unique<trace::SyntheticTrace>(workload.make());
+        sysA_ = std::make_unique<sim::System>(
+            config_, std::vector<trace::TraceSource *>{traceA_.get()});
+        sysB_ = std::make_unique<sim::System>(
+            config_, std::vector<trace::TraceSource *>{traceB_.get()});
+        sysA_->runUntilRetired(30000);
+        sysB_->runUntilRetired(4000);
+    }
+
+    // Serialize a component of A, replay into B, re-serialize from B.
+    template <typename Fn>
+    void
+    expectRoundTrip(Fn component)
+    {
+        snapshot::Sink first;
+        registerPointers(first, *sysA_);
+        component(*sysA_).serialize(first);
+
+        snapshot::Source src(first.buffer().data(),
+                             first.buffer().size());
+        registerPointers(src, *sysB_);
+        component(*sysB_).deserialize(src);
+        EXPECT_TRUE(src.exhausted());
+
+        snapshot::Sink second;
+        registerPointers(second, *sysB_);
+        component(*sysB_).serialize(second);
+        EXPECT_EQ(first.buffer(), second.buffer());
+    }
+
+    sim::SystemConfig config_;
+    std::unique_ptr<trace::SyntheticTrace> traceA_, traceB_;
+    std::unique_ptr<sim::System> sysA_, sysB_;
+};
+
+TEST_F(WarmPair, Cache)
+{
+    warm("spp_ppf");
+    expectRoundTrip([](sim::System &s) -> cache::Cache & {
+        return s.l1d(0);
+    });
+    expectRoundTrip([](sim::System &s) -> cache::Cache & {
+        return s.l2(0);
+    });
+    expectRoundTrip([](sim::System &s) -> cache::Cache & {
+        return s.llc();
+    });
+}
+
+TEST_F(WarmPair, SppAndPpf)
+{
+    warm("spp_ppf");
+    expectRoundTrip([](sim::System &s) -> prefetch::Prefetcher & {
+        return s.prefetcher(0);
+    });
+}
+
+TEST_F(WarmPair, Dram)
+{
+    warm("spp");
+    expectRoundTrip([](sim::System &s) -> dram::Dram & {
+        return s.dram();
+    });
+}
+
+TEST_F(WarmPair, Core)
+{
+    warm("spp");
+    expectRoundTrip([](sim::System &s) -> cpu::Core & {
+        return s.core(0);
+    });
+}
+
+TEST(ComponentRoundTrip, TraceCursor)
+{
+    // Several pattern kinds plus a phase transition, so every cursor
+    // field (phase position, RNG, per-pattern state, pending buffer)
+    // is live when the snapshot is taken.
+    trace::SyntheticConfig config;
+    config.name = "cursor-test";
+    config.seed = 99;
+    trace::PhaseConfig phase1;
+    phase1.length = 12000;
+    trace::StreamConfig stream;
+    stream.kind = trace::PatternKind::PageShuffle;
+    phase1.streams.push_back(stream);
+    stream.kind = trace::PatternKind::PointerChase;
+    phase1.streams.push_back(stream);
+    config.phases.push_back(phase1);
+    trace::PhaseConfig phase2;
+    trace::StreamConfig s2;
+    s2.kind = trace::PatternKind::DeltaSeq;
+    s2.breakProb = 0.05;
+    phase2.streams.push_back(s2);
+    s2.kind = trace::PatternKind::HotReuse;
+    phase2.streams.push_back(s2);
+    config.phases.push_back(phase2);
+
+    trace::SyntheticTrace original(config);
+    Instruction scratch;
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_TRUE(original.next(scratch));
+
+    snapshot::Sink sink;
+    original.serialize(sink);
+    trace::SyntheticTrace restored(config);
+    snapshot::Source src(sink.buffer().data(), sink.buffer().size());
+    restored.deserialize(src);
+    EXPECT_TRUE(src.exhausted());
+
+    // The restored cursor must continue the exact same stream.
+    for (int i = 0; i < 8000; ++i) {
+        Instruction a, b;
+        ASSERT_TRUE(original.next(a));
+        ASSERT_TRUE(restored.next(b));
+        ASSERT_EQ(a.pc, b.pc) << "diverged at instruction " << i;
+        ASSERT_EQ(a.loadAddr, b.loadAddr);
+        ASSERT_EQ(a.storeAddr, b.storeAddr);
+        ASSERT_EQ(a.isBranch, b.isBranch);
+        ASSERT_EQ(a.branchTaken, b.branchTaken);
+        ASSERT_EQ(a.dependsOnPrev, b.dependsOnPrev);
+    }
+}
+
+// --- whole-simulator snapshots ----------------------------------------
+
+snapshot::SimulationView
+viewOf(sim::System &sys, trace::SyntheticTrace &trace)
+{
+    snapshot::SimulationView view;
+    view.system = &sys;
+    view.traces = {&trace};
+    return view;
+}
+
+TEST(FullSnapshot, RestoredRunMatchesStraightThrough)
+{
+    const sim::SystemConfig config = [] {
+        sim::SystemConfig c = sim::SystemConfig::defaultConfig();
+        c.prefetcher = "spp_ppf";
+        return c;
+    }();
+    const workloads::Workload &workload =
+        workloads::spec17Suite().front();
+
+    trace::SyntheticTrace traceA(workload.make());
+    sim::System sysA(config,
+                     std::vector<trace::TraceSource *>{&traceA});
+    sysA.runUntilRetired(25000);
+    const std::vector<std::uint8_t> image =
+        snapshot::saveSimulation(viewOf(sysA, traceA), 0x5eed);
+
+    // Restore into a *fresh* system and continue both side by side.
+    trace::SyntheticTrace traceB(workload.make());
+    sim::System sysB(config,
+                     std::vector<trace::TraceSource *>{&traceB});
+    snapshot::restoreSimulation(image, viewOf(sysB, traceB), 0x5eed);
+    EXPECT_EQ(sysB.now(), sysA.now());
+
+    sysA.resetStats();
+    sysB.resetStats();
+    sysA.runUntilRetired(25000);
+    sysB.runUntilRetired(25000);
+    EXPECT_EQ(sysA.now(), sysB.now());
+
+    const cpu::CoreStats coreA = sysA.core(0).stats();
+    const cpu::CoreStats coreB = sysB.core(0).stats();
+    EXPECT_EQ(coreA.instructions, coreB.instructions);
+    EXPECT_EQ(coreA.cycles, coreB.cycles);
+    EXPECT_EQ(coreA.mispredicts, coreB.mispredicts);
+    EXPECT_EQ(coreA.loads, coreB.loads);
+
+    const cache::CacheStats l2A = sysA.l2(0).stats();
+    const cache::CacheStats l2B = sysB.l2(0).stats();
+    EXPECT_EQ(l2A.pfIssued, l2B.pfIssued);
+    EXPECT_EQ(l2A.pfUseful, l2B.pfUseful);
+    EXPECT_EQ(l2A.demandMisses(), l2B.demandMisses());
+    EXPECT_EQ(sysA.llc().stats().demandMisses(),
+              sysB.llc().stats().demandMisses());
+    EXPECT_EQ(sysA.dram().stats().reads, sysB.dram().stats().reads);
+
+    // And the post-run machine states are byte-identical.
+    EXPECT_EQ(snapshot::saveSimulation(viewOf(sysA, traceA), 0x5eed),
+              snapshot::saveSimulation(viewOf(sysB, traceB), 0x5eed));
+}
+
+class SavedImage : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        config_ = sim::SystemConfig::defaultConfig();
+        config_.prefetcher = "spp";
+        const workloads::Workload &workload =
+            workloads::spec17Suite().front();
+        trace_ =
+            std::make_unique<trace::SyntheticTrace>(workload.make());
+        sys_ = std::make_unique<sim::System>(
+            config_, std::vector<trace::TraceSource *>{trace_.get()});
+        sys_->runUntilRetired(8000);
+        image_ = snapshot::saveSimulation(viewOf(*sys_, *trace_), 77);
+    }
+
+    void
+    expectRejected(std::vector<std::uint8_t> bytes,
+                   const std::string &needle,
+                   std::uint64_t digest = 77)
+    {
+        try {
+            snapshot::restoreSimulation(bytes, viewOf(*sys_, *trace_),
+                                        digest);
+            FAIL() << "restore accepted a damaged image";
+        } catch (const snapshot::SnapshotError &err) {
+            EXPECT_NE(std::string(err.what()).find(needle),
+                      std::string::npos)
+                << err.what();
+        }
+        std::string why;
+        if (digest == 77) { // structural damage: the auditor agrees
+            EXPECT_FALSE(check::auditSnapshotImage(bytes, why));
+        }
+    }
+
+    sim::SystemConfig config_;
+    std::unique_ptr<trace::SyntheticTrace> trace_;
+    std::unique_ptr<sim::System> sys_;
+    std::vector<std::uint8_t> image_;
+};
+
+TEST_F(SavedImage, AuditorAcceptsSoundImage)
+{
+    std::string why;
+    EXPECT_TRUE(check::auditSnapshotImage(image_, why)) << why;
+
+    check::SnapshotAuditor auditor("snapshot",
+                                   viewOf(*sys_, *trace_));
+    check::AuditContext ctx(sys_->now());
+    auditor.audit(ctx);
+    EXPECT_TRUE(ctx.clean());
+}
+
+TEST_F(SavedImage, BadMagicRejected)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes[0] ^= 0xff;
+    expectRejected(bytes, "bad magic");
+}
+
+TEST_F(SavedImage, VersionSkewRejected)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes[4] += 1;
+    expectRejected(bytes, "format version");
+}
+
+TEST_F(SavedImage, DigestMismatchRejected)
+{
+    try {
+        snapshot::restoreSimulation(image_, viewOf(*sys_, *trace_),
+                                    78);
+        FAIL() << "restore accepted a foreign config digest";
+    } catch (const snapshot::SnapshotError &err) {
+        EXPECT_NE(std::string(err.what()).find("config digest"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(SavedImage, FlippedPayloadByteRejected)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes[bytes.size() / 2] ^= 0x01;
+    expectRejected(bytes, "CRC");
+}
+
+TEST_F(SavedImage, TruncationRejected)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes.resize(bytes.size() / 2);
+    expectRejected(bytes, "truncated");
+}
+
+TEST_F(SavedImage, TrailingBytesRejected)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes.push_back(0);
+    expectRejected(bytes, "trailing bytes");
+}
+
+TEST_F(SavedImage, RejectionLeavesStateUntouched)
+{
+    std::vector<std::uint8_t> bytes = image_;
+    bytes[bytes.size() - 5] ^= 0x40;
+    expectRejected(bytes, "CRC");
+    // The failed restore must not have perturbed the live machine.
+    EXPECT_EQ(snapshot::saveSimulation(viewOf(*sys_, *trace_), 77),
+              image_);
+}
+
+// --- digest sensitivity -----------------------------------------------
+
+TEST(WarmupDigest, CoversWarmupRelevantKnobsOnly)
+{
+    const sim::SystemConfig config = sim::SystemConfig::defaultConfig();
+    const workloads::Workload &workload =
+        workloads::spec17Suite().front();
+    const std::vector<trace::SyntheticConfig> traces = {
+        workload.make()};
+    const std::uint64_t base =
+        snapshot::warmupDigest(config, 20000, traces, nullptr, 0);
+
+    // Deterministic across calls.
+    EXPECT_EQ(base,
+              snapshot::warmupDigest(config, 20000, traces, nullptr, 0));
+
+    // Sensitive to the warmup length, the prefetcher and the workload.
+    EXPECT_NE(base,
+              snapshot::warmupDigest(config, 20001, traces, nullptr, 0));
+    EXPECT_NE(base,
+              snapshot::warmupDigest(config.withPrefetcher("spp_ppf"),
+                                     20000, traces, nullptr, 0));
+    const std::vector<trace::SyntheticConfig> other = {
+        workloads::spec17Suite().at(1).make()};
+    EXPECT_NE(base,
+              snapshot::warmupDigest(config, 20000, other, nullptr, 0));
+}
+
+// --- the checkpoint store and end-to-end warmup reuse -----------------
+
+class CheckpointDir : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+            ("pfsim_snapshot_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointDir, StorePublishAndLoad)
+{
+    const snapshot::CheckpointStore store(dir_.string());
+    const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5};
+
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(store.tryLoad("wl", 0xabc, loaded));
+
+    store.publish("wl", 0xabc, bytes);
+    ASSERT_TRUE(store.tryLoad("wl", 0xabc, loaded));
+    EXPECT_EQ(loaded, bytes);
+
+    // Other keys stay misses; hostile names cannot escape the dir
+    // (path separators are sanitized out of the key).
+    EXPECT_FALSE(store.tryLoad("wl", 0xabd, loaded));
+    const std::filesystem::path hostile(
+        store.pathFor("../../../etc/pw", 1));
+    EXPECT_EQ(hostile.parent_path(), dir_);
+    EXPECT_EQ(hostile.filename().string().find('/'),
+              std::string::npos);
+}
+
+void
+expectSameStats(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_EQ(a.l1d.demandMisses(), b.l1d.demandMisses());
+    EXPECT_EQ(a.l2.pfIssued, b.l2.pfIssued);
+    EXPECT_EQ(a.l2.pfUseful, b.l2.pfUseful);
+    EXPECT_EQ(a.l2.demandMisses(), b.l2.demandMisses());
+    EXPECT_EQ(a.llc.demandMisses(), b.llc.demandMisses());
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits);
+    EXPECT_EQ(a.spp.issued, b.spp.issued);
+    EXPECT_EQ(a.ppf.candidates, b.ppf.candidates);
+    EXPECT_EQ(a.ppf.rejected, b.ppf.rejected);
+}
+
+TEST_F(CheckpointDir, RestoredRunStatsIdentical)
+{
+    sim::SystemConfig config = sim::SystemConfig::defaultConfig();
+    config.prefetcher = "spp_ppf";
+    const workloads::Workload &workload =
+        workloads::spec17Suite().front();
+
+    for (const bool fast_path : {true, false}) {
+        sim::RunConfig run;
+        run.warmupInstructions = 20000;
+        run.simInstructions = 20000;
+        run.fastPath = fast_path;
+        const sim::RunResult plain =
+            sim::runSingleCore(config, workload, run);
+
+        run.checkpointDir = dir_.string();
+        const sim::RunResult cold =
+            sim::runSingleCore(config, workload, run);
+        // The digest excludes fastPath (stats-invariant), so the
+        // second loop iteration hits the checkpoint the first one
+        // published instead of missing cold.
+        EXPECT_EQ(cold.throughput.checkpointMisses,
+                  fast_path ? 1u : 0u);
+        EXPECT_EQ(cold.throughput.checkpointHits, fast_path ? 0u : 1u);
+
+        const sim::RunResult warm =
+            sim::runSingleCore(config, workload, run);
+        EXPECT_EQ(warm.throughput.checkpointHits, 1u);
+        EXPECT_GT(warm.throughput.warmupCyclesSaved, 0u);
+
+        expectSameStats(plain, cold);
+        expectSameStats(plain, warm);
+
+        // --warmup-reuse=off bypasses a populated store.
+        run.warmupReuse = false;
+        const sim::RunResult bypassed =
+            sim::runSingleCore(config, workload, run);
+        EXPECT_EQ(bypassed.throughput.checkpointHits, 0u);
+        expectSameStats(plain, bypassed);
+    }
+}
+
+TEST_F(CheckpointDir, CorruptCheckpointFallsBackAndRepublishes)
+{
+    sim::SystemConfig config = sim::SystemConfig::defaultConfig();
+    config.prefetcher = "spp";
+    const workloads::Workload &workload =
+        workloads::spec17Suite().front();
+    sim::RunConfig run;
+    run.warmupInstructions = 20000;
+    run.simInstructions = 20000;
+    run.checkpointDir = dir_.string();
+
+    const sim::RunResult cold =
+        sim::runSingleCore(config, workload, run);
+    EXPECT_EQ(cold.throughput.checkpointMisses, 1u);
+
+    // Damage the published image mid-payload.
+    std::filesystem::path victim;
+    for (const auto &entry : std::filesystem::directory_iterator(dir_))
+        victim = entry.path();
+    ASSERT_FALSE(victim.empty());
+    {
+        std::FILE *file = std::fopen(victim.c_str(), "r+b");
+        ASSERT_NE(file, nullptr);
+        std::fseek(file, 64, SEEK_SET);
+        std::fputc(0xee, file);
+        std::fclose(file);
+    }
+
+    // The damaged image is rejected, warmup re-simulated, and the
+    // repaired checkpoint republished for the next run to hit.
+    const sim::RunResult fallback =
+        sim::runSingleCore(config, workload, run);
+    EXPECT_EQ(fallback.throughput.checkpointMisses, 1u);
+    EXPECT_EQ(fallback.throughput.checkpointHits, 0u);
+    expectSameStats(cold, fallback);
+
+    const sim::RunResult repaired =
+        sim::runSingleCore(config, workload, run);
+    EXPECT_EQ(repaired.throughput.checkpointHits, 1u);
+    expectSameStats(cold, repaired);
+}
+
+TEST_F(CheckpointDir, SweepIdenticalAcrossJobsAndReuse)
+{
+    sim::SystemConfig config = sim::SystemConfig::defaultConfig();
+    const std::vector<workloads::Workload> workload_set(
+        workloads::spec17Suite().begin(),
+        workloads::spec17Suite().begin() + 2);
+    const std::vector<std::string> prefetchers = {"spp"};
+
+    sim::RunConfig run;
+    run.warmupInstructions = 20000;
+    run.simInstructions = 20000;
+    run.jobs = 1;
+    const std::vector<sim::SweepRow> plain = sim::sweepPrefetchers(
+        config, prefetchers, workload_set, run);
+
+    run.checkpointDir = dir_.string();
+    stats::FleetThroughput cold_fleet;
+    const std::vector<sim::SweepRow> cold = sim::sweepPrefetchers(
+        config, prefetchers, workload_set, run, &cold_fleet);
+    EXPECT_EQ(cold_fleet.checkpointMisses, cold_fleet.runs);
+
+    run.jobs = 4;
+    stats::FleetThroughput warm_fleet;
+    const std::vector<sim::SweepRow> warm = sim::sweepPrefetchers(
+        config, prefetchers, workload_set, run, &warm_fleet);
+    EXPECT_EQ(warm_fleet.checkpointHits, warm_fleet.runs);
+    EXPECT_GT(warm_fleet.warmupCyclesSaved, 0u);
+    EXPECT_NE(warm_fleet.summary().find("checkpoints"),
+              std::string::npos);
+
+    ASSERT_EQ(plain.size(), cold.size());
+    ASSERT_EQ(plain.size(), warm.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        for (const char *pf : {"none", "spp"}) {
+            expectSameStats(plain[i].results.at(pf),
+                            cold[i].results.at(pf));
+            expectSameStats(plain[i].results.at(pf),
+                            warm[i].results.at(pf));
+        }
+        EXPECT_EQ(plain[i].speedup("spp"), warm[i].speedup("spp"));
+    }
+}
+
+} // namespace
+} // namespace pfsim

@@ -24,6 +24,14 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      kernel's hot queues use util/ring_buffer.hh, which keeps entries
      contiguous and allocation-free in the steady state
      (``std::priority_queue`` over a vector remains fine).
+  8. Raw file I/O on simulator state — ``fopen`` or the
+     ``<fstream>`` family inside src/ — is confined to src/snapshot,
+     the one subsystem allowed to persist and reload machine state.
+     Existing non-state I/O keeps its exemption: trace/file_trace.cc
+     (trace ingest) and stats/perf_report.cc (report emission).
+     fprintf/fputs on already-open streams (stdout/stderr logging) are
+     not file I/O and never match.  Tests, benches and tools are
+     exempt.
 
 Exit status is non-zero when any rule is violated; each violation is
 reported as ``file:line: rule: detail``.
@@ -60,6 +68,15 @@ EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
 # std::deque in the hot memory-system queues (the <deque> include also
 # counts: there is no legitimate use left in those directories).
 HOT_DEQUE_RE = re.compile(r"std::deque\b|#\s*include\s*<deque>")
+
+# Raw file I/O: an fopen() call or any <fstream>-family use.  The
+# lookbehind keeps fprintf/fputs/reopen-style identifiers from
+# matching; fread/fwrite/fclose only ever follow an fopen, so matching
+# the open is enough to confine the whole idiom.
+FILE_IO_RE = re.compile(
+    r"(?<![\w.])(?:std::)?fopen\s*\("
+    r"|std::[io]?fstream\b"
+    r"|#\s*include\s*<fstream>")
 
 # A faultInject* call site: the lookbehind rejects qualified names
 # (``MshrFile::faultInjectReserve`` is the definition, not a call) and
@@ -98,6 +115,10 @@ def check_text_rules(root: pathlib.Path):
                             or rel.suffix == ".hh")
         hot_queue_dir = rel.parts[:2] in (("src", "cache"),
                                           ("src", "dram"))
+        may_file_io = (rel.parts[0] != "src"
+                       or rel.parts[:2] == ("src", "snapshot")
+                       or str(rel) in ("src/trace/file_trace.cc",
+                                       "src/stats/perf_report.cc"))
         in_block_comment = False
         for lineno, raw in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -150,6 +171,13 @@ def check_text_rules(root: pathlib.Path):
                      "faultInject* hooks may only be called from "
                      "src/fault (and tests); the model must not "
                      "perturb itself"))
+
+            if not may_file_io and FILE_IO_RE.search(line):
+                violations.append(
+                    (rel, lineno, "file-io-confinement",
+                     "raw file I/O in src/ belongs to src/snapshot; "
+                     "persist simulator state through the checkpoint "
+                     "store"))
 
             if hot_queue_dir and HOT_DEQUE_RE.search(line):
                 violations.append(
