@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""pfsim-analyze: token-aware static analysis for the simulator.
+
+Runs the project's structural checkers — the guarantees the compiler
+and the runtime tests cannot express — over the real tree:
+
+  snapshot     every serialized class persists every data member in
+               both directions, or carries a reviewed suppression
+               (tools/analyze/check_snapshot.py)
+  registry     every state-bearing class under src/ serializes or is
+               explicitly excluded (tools/analyze/check_registry.py)
+  determinism  no wall-clock, pointer-identity or unordered-iteration
+               leak into results (tools/analyze/check_determinism.py)
+
+All three share the comment/string-stripping lexer (cpplex.py) and
+declaration parser (cppdecl.py) that tools/lint/lint.py also builds
+on.  Each checker is registered as its own ctest (analyze.snapshot,
+analyze.registry, analyze.determinism) and the suite runs in the CI
+``analyze`` job.
+
+Exit status is non-zero when any checker reports a violation; each
+violation prints as ``file:line: rule: detail``.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_determinism  # noqa: E402
+import check_registry     # noqa: E402
+import check_snapshot     # noqa: E402
+
+CHECKERS = {
+    "snapshot": check_snapshot.check,
+    "registry": check_registry.check,
+    "determinism": check_determinism.check,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(
+                            __file__).resolve().parents[2])
+    parser.add_argument("--checker", choices=[*CHECKERS, "all"],
+                        default="all")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    selected = (CHECKERS if args.checker == "all"
+                else {args.checker: CHECKERS[args.checker]})
+    violations = []
+    for name, fn in selected.items():
+        violations.extend(fn(root))
+
+    for rel, lineno, rule, detail in violations:
+        print(f"{rel}:{lineno}: {rule}: {detail}")
+    if violations:
+        print(f"analyze: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"analyze: OK ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

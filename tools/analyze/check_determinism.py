@@ -1,0 +1,266 @@
+"""Determinism checker.
+
+The distributed sweep fleet (ROADMAP item 1) and the content-addressed
+checkpoint store both rest on one promise: the same configuration
+produces byte-identical output on every host, at every ``--jobs=N``,
+across save/restore.  Three lexical classes of C++ quietly break that
+promise; this checker bans them from src/:
+
+  ``wall-clock``       any time source — ``std::chrono`` clocks,
+                       ``::time``/``std::time``, ``gettimeofday``,
+                       ``clock_gettime``, ``localtime``/``gmtime``/
+                       ``strftime`` — outside the allowlisted
+                       telemetry set (MIPS reporting reads the host
+                       clock but never feeds simulated state).
+  ``pointer-identity`` pointer values laundered into integers or text:
+                       ``%p`` in a format string, casts through
+                       ``uintptr_t``/``intptr_t``, ``std::hash`` over
+                       a pointer type.  Pointer values differ per run
+                       (ASLR) and per host; anything keyed or printed
+                       from them diverges.
+  ``unordered-escape`` iteration over a ``std::unordered_*`` container
+                       whose loop body lets the (implementation-
+                       defined) visit order escape: stream insertion,
+                       printf-family calls, serialization sinks, or
+                       ``push_back`` into an ordered container.  Also
+                       any ``unordered_`` type mentioned inside
+                       src/snapshot (serialized state must have a
+                       defined order end to end).
+
+Allowlist: ``determinism_allowlist.txt``, keyed ``<rule> <path>`` with
+a mandatory reason, so every exemption is a reviewed decision.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Set, Tuple
+
+import cpplex
+from cpplex import Tok
+from suppress import Suppressions
+
+ALLOWLIST = "determinism_allowlist.txt"
+
+WALL_CLOCK_IDS = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec_get", "localtime",
+    "gmtime", "mktime", "strftime", "ftime",
+}
+PRINT_FAMILY = {"printf", "fprintf", "sprintf", "snprintf", "puts",
+                "fputs", "vprintf", "vfprintf"}
+UNORDERED_TYPES = {"unordered_map", "unordered_set",
+                   "unordered_multimap", "unordered_multiset"}
+
+Violation = Tuple[str, int, str, str]
+
+
+def _match_brace(toks: List[Tok], open_index: int) -> int:
+    depth = 0
+    for i in range(open_index, len(toks)):
+        t = toks[i]
+        if t.kind == "punct":
+            if t.value == "{":
+                depth += 1
+            elif t.value == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return len(toks) - 1
+
+
+def _prev_tok(toks: List[Tok], i: int) -> Optional[Tok]:
+    return toks[i - 1] if i > 0 else None
+
+
+def _scan_wall_clock(toks: List[Tok], rel: str,
+                     out: List[Violation]) -> None:
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.value in WALL_CLOCK_IDS:
+            out.append((rel, t.line, "wall-clock",
+                        f"'{t.value}' is a host time source; "
+                        f"simulated behaviour must depend only on "
+                        f"simulated cycles (telemetry goes through "
+                        f"the allowlist)"))
+        elif t.value == "time":
+            prev = _prev_tok(toks, i)
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if (prev is not None and prev.kind == "punct"
+                    and prev.value == "::"
+                    and nxt is not None and nxt.kind == "punct"
+                    and nxt.value == "("):
+                out.append((rel, t.line, "wall-clock",
+                            "'time()' reads the host clock"))
+
+
+def _scan_pointer_identity(toks: List[Tok], rel: str,
+                           out: List[Violation]) -> None:
+    for i, t in enumerate(toks):
+        if t.kind == "str" and "%p" in t.value:
+            out.append((rel, t.line, "pointer-identity",
+                        "'%p' formats a pointer value; addresses "
+                        "differ per run (ASLR) and per host"))
+        elif t.kind == "id" and t.value in ("uintptr_t", "intptr_t"):
+            out.append((rel, t.line, "pointer-identity",
+                        f"'{t.value}' turns a pointer into an "
+                        f"integer; anything derived from it is "
+                        f"run-specific (cross-component references "
+                        f"travel as registry ids, see "
+                        f"snapshot/serial.hh)"))
+        elif (t.kind == "id" and t.value == "hash"
+              and i >= 2 and toks[i - 1].value == "::"
+              and toks[i - 2].value == "std"
+              and i + 1 < len(toks) and toks[i + 1].value == "<"):
+            j = i + 1
+            depth = 0
+            for j in range(i + 1, min(i + 24, len(toks))):
+                tv = toks[j].value
+                if tv == "<":
+                    depth += 1
+                elif tv == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tv == "*" and depth == 1:
+                    out.append((rel, t.line, "pointer-identity",
+                                "std::hash over a pointer type "
+                                "hashes the address, not the object"))
+                    break
+
+
+def _unordered_names(toks: List[Tok]) -> Set[str]:
+    """Names declared in this file with a std::unordered_* type.
+
+    Heuristic: after an ``unordered_*`` token, the first identifier at
+    template-angle depth zero ends the declarator — that is the
+    variable/member name.
+    """
+    names: Set[str] = set()
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.value in UNORDERED_TYPES:
+            depth = 0
+            j = i + 1
+            while j < n:
+                tv = toks[j]
+                if tv.kind == "punct":
+                    if tv.value == "<":
+                        depth += 1
+                    elif tv.value == ">":
+                        depth -= 1
+                        if depth < 0:
+                            break
+                    elif tv.value == ">>":
+                        depth -= 2
+                    elif depth <= 0 and tv.value in (";", ")", "{",
+                                                     "="):
+                        break
+                elif tv.kind == "id" and depth <= 0:
+                    names.add(tv.value)
+                    break
+                j += 1
+        i += 1
+    return names
+
+
+def _loop_body_escapes(body: List[Tok]) -> Optional[str]:
+    for t in body:
+        if t.kind == "punct" and t.value == "<<":
+            return "stream insertion ('<<')"
+        if t.kind == "id" and t.value in PRINT_FAMILY:
+            return f"'{t.value}'"
+        if t.kind == "id" and t.value in ("sink", "Sink"):
+            return "a serialization sink"
+        if t.kind == "id" and t.value == "push_back":
+            return "'push_back' (materializes the visit order)"
+    return None
+
+
+def _scan_unordered_escape(toks: List[Tok], rel: str,
+                           out: List[Violation]) -> None:
+    names = _unordered_names(toks)
+    if not names:
+        return
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.value == "for" and i + 1 < n
+                and toks[i + 1].value == "("):
+            continue
+        close = i + 1
+        depth = 0
+        colon = -1
+        for close in range(i + 1, n):
+            tv = toks[close]
+            if tv.kind == "punct":
+                if tv.value == "(":
+                    depth += 1
+                elif tv.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tv.value == ":" and depth == 1 and colon < 0:
+                    colon = close
+        if colon < 0:
+            continue    # classic for loop
+        range_ids = {x.value for x in toks[colon + 1:close]
+                     if x.kind == "id"}
+        if not (range_ids & names):
+            continue
+        if close + 1 < n and toks[close + 1].value == "{":
+            body = toks[close + 2:_match_brace(toks, close + 1)]
+        else:       # single-statement body
+            body = []
+            for j in range(close + 1, n):
+                if toks[j].kind == "punct" and toks[j].value == ";":
+                    break
+                body.append(toks[j])
+        escape = _loop_body_escapes(body)
+        if escape:
+            out.append(
+                (rel, t.line, "unordered-escape",
+                 f"iteration over unordered container "
+                 f"'{', '.join(sorted(range_ids & names))}' feeds "
+                 f"{escape}; visit order is implementation-defined "
+                 f"— iterate a sorted copy or an ordered container"))
+
+
+def check(root: pathlib.Path,
+          allowlist_path: Optional[pathlib.Path] = None
+          ) -> List[Violation]:
+    allow = Suppressions(
+        allowlist_path
+        or pathlib.Path(__file__).resolve().parent / ALLOWLIST,
+        key_fields=2)
+    violations: List[Violation] = []
+
+    paths = sorted((root / "src").rglob("*.cc"))
+    paths += sorted((root / "src").rglob("*.hh"))
+    for path in paths:
+        rel = str(path.relative_to(root))
+        toks = cpplex.lex_file(path)
+        found: List[Violation] = []
+        _scan_wall_clock(toks, rel, found)
+        _scan_pointer_identity(toks, rel, found)
+        _scan_unordered_escape(toks, rel, found)
+        if rel.startswith("src/snapshot"):
+            for t in toks:
+                if t.kind == "id" and t.value in UNORDERED_TYPES:
+                    found.append(
+                        (rel, t.line, "unordered-escape",
+                         f"'{t.value}' inside src/snapshot: "
+                         f"serialized state needs a defined order"))
+        for v in found:
+            if allow.match(f"{v[2]} {v[0]}"):
+                continue
+            violations.append(v)
+
+    for key, lineno in allow.unused():
+        violations.append(
+            (str(allow.path), lineno, "determinism",
+             f"stale allowlist entry '{key}': nothing left to "
+             f"exempt; delete the entry"))
+    return violations

@@ -1,0 +1,96 @@
+"""State-registry coverage checker — the other half of the snapshot
+hole.
+
+check_snapshot proves that classes which *do* serialize cover all
+their members.  This checker proves that classes which *should*
+serialize actually do.  A class under src/ is presumed to hold
+checkpoint-relevant simulation state when either
+
+  - it declares a cycle-path method (``tick``/``cycle``) and has at
+    least one non-static, non-const data member (a ticking component
+    that owns mutable fields advances them), or
+  - it is named in ``state_registry.txt``, the explicit registry of
+    state-bearing classes the heuristic cannot see (trace generators,
+    table classes mutated from operate/train paths, ...).
+
+Every such class must declare both ``serialize`` and ``deserialize``,
+or appear in ``state_registry_exclusions.txt`` with a written reason
+(host-side orchestration, stats sinks reset per run, ...).  Registry
+entries that name classes the parser cannot find, and stale
+exclusions, are violations — both files can only describe the tree.
+
+A new PMP or Pythia-style backend (ROADMAP item 2) that adds a
+ticking/registered class without snapshot support therefore fails the
+build here, not in a divergent sweep three PRs later.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Tuple
+
+import cppdecl
+from suppress import Suppressions
+
+REGISTRY = "state_registry.txt"
+EXCLUSIONS = "state_registry_exclusions.txt"
+TICK_METHODS = {"tick", "cycle"}
+
+Violation = Tuple[str, int, str, str]
+
+
+def _strip_root_ns(qualname: str) -> str:
+    return qualname[len("pfsim::"):] if qualname.startswith(
+        "pfsim::") else qualname
+
+
+def check(root: pathlib.Path,
+          registry_path: Optional[pathlib.Path] = None,
+          exclusions_path: Optional[pathlib.Path] = None
+          ) -> List[Violation]:
+    here = pathlib.Path(__file__).resolve().parent
+    registry = Suppressions(registry_path or here / REGISTRY)
+    exclusions = Suppressions(exclusions_path or here / EXCLUSIONS)
+    violations: List[Violation] = []
+
+    classes: List[cppdecl.ClassDecl] = []
+    for header in sorted((root / "src").rglob("*.hh")):
+        rel = str(header.relative_to(root))
+        classes.extend(cppdecl.classes_in_file(header, rel))
+
+    seen_keys = set()
+    for decl in classes:
+        key = _strip_root_ns(decl.qualname)
+        seen_keys.add(key)
+        mutable_members = [m for m in decl.members if not m.is_const]
+        ticks = bool(decl.methods & TICK_METHODS)
+        registered = registry.match(key)
+        if not (ticks or registered) or not mutable_members:
+            continue
+        if {"serialize", "deserialize"} <= decl.methods:
+            continue
+        if exclusions.match(key):
+            continue
+        why = ("declares a cycle-path method "
+               f"({', '.join(sorted(decl.methods & TICK_METHODS))})"
+               if ticks else
+               f"is registered as state-bearing in {REGISTRY}")
+        violations.append(
+            (decl.path, decl.line, "state-registry",
+             f"{key} {why} and holds "
+             f"{len(mutable_members)} mutable member(s) "
+             f"({mutable_members[0].name}, ...) but declares no "
+             f"serialize()/deserialize(); checkpoint it or exclude "
+             f"it with a reason in {EXCLUSIONS}"))
+
+    for key, lineno in registry.unused():
+        violations.append(
+            (str(registry.path), lineno, "state-registry",
+             f"stale registry entry '{key}': no such class found "
+             f"under src/; fix or delete the entry"))
+    for key, lineno in exclusions.unused():
+        violations.append(
+            (str(exclusions.path), lineno, "state-registry",
+             f"stale exclusion '{key}': class gone or now "
+             f"serialized; delete the entry"))
+    return violations

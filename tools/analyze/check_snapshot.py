@@ -1,0 +1,250 @@
+"""Snapshot-completeness checker.
+
+The wire format lives in one TU (src/snapshot/state_io.cc); the data
+it must cover lives in the component headers.  Nothing ties the two
+together at compile time, so a new data member silently rots the
+serializer: snapshots keep round-tripping structurally while restored
+machines diverge from saved ones.  This checker closes that gap
+statically:
+
+  1. every ``Class::serialize`` / ``Class::deserialize`` definition in
+     state_io.cc is paired with the class's declaration (parsed from
+     its owning header) and each non-static data member must be
+     referenced *in both bodies* — or listed in
+     ``snapshot_suppressions.txt`` with a written reason (config-
+     derived values, unowned wiring pointers, instrumentation);
+  2. free helper pairs (``writeRequest``/``readRequest`` over value
+     structs) are held to the same standard against the struct they
+     take by reference;
+  3. partially-serialized support structs: if *any* member of a struct
+     declared in a serialized class's header is referenced by that
+     header's serialize/deserialize bodies, *all* of its members must
+     be (a field added to MshrEntry but not persisted trips here);
+  4. a class with only one direction defined, and stale suppressions,
+     are violations in their own right.
+
+Member-reference granularity is the identifier token: ``stats_`` in
+the body covers the ``stats_`` member; ``entry.addr`` covers ``addr``.
+That is deliberately name-based, not type-based — it is what a
+reviewer checks by eye, mechanized.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Set, Tuple
+
+import cppdecl
+import cpplex
+from suppress import Suppressions
+
+STATE_IO = pathlib.Path("src") / "snapshot" / "state_io.cc"
+SUPPRESSIONS = "snapshot_suppressions.txt"
+
+Violation = Tuple[str, int, str, str]
+
+
+def _strip_root_ns(qualname: str) -> str:
+    return qualname[len("pfsim::"):] if qualname.startswith(
+        "pfsim::") else qualname
+
+
+def _body_ids(body) -> Set[str]:
+    return {t.value for t in body if t.kind == "id"}
+
+
+class _IoDef:
+    def __init__(self):
+        self.ser = None     # FuncDef
+        self.deser = None   # FuncDef
+
+
+def _helper_struct_name(params) -> Optional[str]:
+    """For writeX/readX helpers: the qualified type of the non-Sink/
+    Source reference parameter, e.g. ``cache::Request``."""
+    groups: List[List] = [[]]
+    depth = 0
+    for t in params:
+        if t.kind == "punct" and t.value in ("(", "<", "["):
+            depth += 1
+        elif t.kind == "punct" and t.value in (")", ">", "]"):
+            depth -= 1
+        if t.kind == "punct" and t.value == "," and depth == 0:
+            groups.append([])
+        else:
+            groups[-1].append(t)
+    for group in groups:
+        ids = [t.value for t in group if t.kind == "id"]
+        if not ids or "Sink" in ids or "Source" in ids:
+            continue
+        # Type ids minus cv-qualifiers and the parameter name (last).
+        type_ids = [v for v in ids if v != "const"]
+        if len(type_ids) >= 2:
+            return "::".join(type_ids[:-1])
+        if len(type_ids) == 1:
+            return type_ids[0]
+    return None
+
+
+def _find_class(classes: List[cppdecl.ClassDecl],
+                qual: str) -> Optional[cppdecl.ClassDecl]:
+    """Match ``a::b::C`` against parsed qualnames by suffix."""
+    suffix = "::" + qual
+    best = None
+    for c in classes:
+        if c.qualname == qual or c.qualname.endswith(suffix):
+            if best is not None and best.qualname != c.qualname:
+                return None     # ambiguous
+            best = c
+    return best
+
+
+def check(root: pathlib.Path,
+          state_io: Optional[pathlib.Path] = None,
+          suppressions_path: Optional[pathlib.Path] = None
+          ) -> List[Violation]:
+    violations: List[Violation] = []
+    state_io = state_io or (root / STATE_IO)
+    sup = Suppressions(
+        suppressions_path
+        or pathlib.Path(__file__).resolve().parent / SUPPRESSIONS)
+
+    # ---- declarations: every class in every src header -------------
+    classes: List[cppdecl.ClassDecl] = []
+    classes_by_path: Dict[str, List[cppdecl.ClassDecl]] = {}
+    for header in sorted((root / "src").rglob("*.hh")):
+        rel = str(header.relative_to(root))
+        parsed = cppdecl.classes_in_file(header, rel)
+        classes.extend(parsed)
+        classes_by_path[rel] = parsed
+
+    # ---- definitions: serialize/deserialize bodies in state_io -----
+    rel_io = str(state_io.relative_to(root)) if state_io.is_relative_to(
+        root) else str(state_io)
+    defs = cppdecl.parse_function_defs(cpplex.lex_file(state_io),
+                                       rel_io)
+    by_class: Dict[str, _IoDef] = {}
+    helpers: Dict[str, _IoDef] = {}      # struct qual -> write/read
+    for fd in defs:
+        parts = fd.qualname.split("::")
+        if parts[-1] in ("serialize", "deserialize") and len(parts) > 1:
+            cls = "::".join(parts[:-1])
+            entry = by_class.setdefault(cls, _IoDef())
+            if parts[-1] == "serialize":
+                entry.ser = fd
+            else:
+                entry.deser = fd
+        elif parts[-1].startswith(("write", "read")):
+            struct = _helper_struct_name(fd.params)
+            if struct is None:
+                continue
+            entry = helpers.setdefault(struct, _IoDef())
+            if parts[-1].startswith("write"):
+                entry.ser = fd
+            else:
+                entry.deser = fd
+
+    checked_structs: Set[str] = set()
+
+    def check_members(decl: cppdecl.ClassDecl, ser_ids: Set[str],
+                      deser_ids: Set[str]) -> None:
+        checked_structs.add(decl.qualname)
+        key_base = _strip_root_ns(decl.qualname)
+        if sup.match(f"{key_base}::*"):
+            return
+        for m in decl.members:
+            in_ser = m.name in ser_ids
+            in_deser = m.name in deser_ids
+            if in_ser and in_deser:
+                continue
+            if sup.match(f"{key_base}::{m.name}"):
+                continue
+            if not in_ser and not in_deser:
+                detail = ("not referenced by serialize() or "
+                          "deserialize()")
+            elif not in_deser:
+                detail = "written by serialize() but never restored"
+            else:
+                detail = "restored by deserialize() but never saved"
+            violations.append(
+                (decl.path, m.line, "snapshot-completeness",
+                 f"{key_base}::{m.name} {detail}; persist it in "
+                 f"{rel_io} or add a reviewed suppression"))
+
+    # ---- rule 1: member serialize/deserialize pairs ----------------
+    header_bodies: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    for cls_qual, entry in sorted(by_class.items()):
+        decl = _find_class(classes, cls_qual)
+        if decl is None:
+            violations.append(
+                (rel_io, (entry.ser or entry.deser).line,
+                 "snapshot-completeness",
+                 f"cannot locate the declaration of {cls_qual} in any "
+                 f"src/ header (parser gap or dead serializer)"))
+            continue
+        if entry.ser is None or entry.deser is None:
+            have, miss = (("serialize", "deserialize")
+                          if entry.deser is None
+                          else ("deserialize", "serialize"))
+            violations.append(
+                (rel_io, (entry.ser or entry.deser).line,
+                 "snapshot-completeness",
+                 f"{_strip_root_ns(cls_qual)} defines {have}() but "
+                 f"not {miss}(): one-way state cannot round-trip"))
+            continue
+        ser_ids = _body_ids(entry.ser.body)
+        deser_ids = _body_ids(entry.deser.body)
+        check_members(decl, ser_ids, deser_ids)
+        prev = header_bodies.setdefault(decl.path, (set(), set()))
+        prev[0].update(ser_ids)
+        prev[1].update(deser_ids)
+
+    # ---- rule 2: free helper pairs over value structs --------------
+    for struct_qual, entry in sorted(helpers.items()):
+        decl = _find_class(classes, struct_qual)
+        if decl is None:
+            continue        # helper over a non-project type
+        if entry.ser is None or entry.deser is None:
+            have, miss = (("write", "read") if entry.deser is None
+                          else ("read", "write"))
+            violations.append(
+                (rel_io, (entry.ser or entry.deser).line,
+                 "snapshot-completeness",
+                 f"{_strip_root_ns(decl.qualname)} has a {have} "
+                 f"helper but no matching {miss} helper"))
+            continue
+        check_members(decl, _body_ids(entry.ser.body),
+                      _body_ids(entry.deser.body))
+
+    # ---- rule 3: partially-covered support structs -----------------
+    for path, (ser_ids, deser_ids) in sorted(header_bodies.items()):
+        for decl in classes_by_path.get(path, []):
+            if decl.qualname in checked_structs or not decl.members:
+                continue
+            names = [m.name for m in decl.members]
+            referenced = [n for n in names
+                          if n in ser_ids or n in deser_ids]
+            if not referenced:
+                continue    # struct plays no part in serialization
+            key_base = _strip_root_ns(decl.qualname)
+            if sup.match(f"{key_base}::*"):
+                continue
+            for m in decl.members:
+                if m.name in ser_ids and m.name in deser_ids:
+                    continue
+                if sup.match(f"{key_base}::{m.name}"):
+                    continue
+                violations.append(
+                    (decl.path, m.line, "snapshot-completeness",
+                     f"{key_base}::{m.name}: sibling members "
+                     f"({', '.join(referenced[:3])}...) are "
+                     f"serialized via {path}'s owners but this one "
+                     f"is not"))
+
+    # ---- stale suppressions ----------------------------------------
+    for key, lineno in sup.unused():
+        violations.append(
+            (str(sup.path), lineno, "snapshot-completeness",
+             f"stale suppression '{key}': no such unserialized "
+             f"member remains; delete the entry"))
+    return violations

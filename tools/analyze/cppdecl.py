@@ -1,0 +1,412 @@
+"""Lightweight C++ declaration parser on top of cpplex.
+
+Extracts the two shapes the analyzers need, without attempting to be a
+real C++ front end:
+
+  - ``parse_classes``: every class/struct *definition* (including
+    nested ones) with its namespace-qualified name, its non-static
+    data members, and the names of its declared methods.
+  - ``parse_function_defs``: every namespace-scope function
+    *definition* (``void Qual::name(...) [const] { ... }``) with its
+    qualified name, parameter tokens and body token slice — enough to
+    find ``Class::serialize`` definitions in state_io.cc and inspect
+    which members they touch.
+
+Good-enough rules, documented rather than hidden:
+
+  - Macros are not expanded; templates are not instantiated; the
+    parser tracks braces/parens/angles lexically.
+  - ``<`` opens a template-argument list only when it directly follows
+    an identifier, ``::`` or ``>`` — the member declarations this
+    project writes never contain a bare less-than outside an
+    initializer, and initializers are skipped wholesale.
+  - ``static``/``constexpr`` members are not instance state and are
+    dropped; ``const`` and ``mutable`` members are kept and flagged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, NamedTuple, Optional
+
+from cpplex import Tok, lex_file
+
+
+class Member(NamedTuple):
+    name: str
+    line: int
+    is_const: bool
+    is_mutable: bool
+
+
+@dataclasses.dataclass
+class ClassDecl:
+    name: str           # unqualified
+    qualname: str       # namespace- and enclosing-class-qualified
+    line: int
+    path: str           # repo-relative file the definition lives in
+    members: List[Member]
+    methods: set        # declared method names (incl. inline-defined)
+    nested: List[str]   # qualnames of directly nested class definitions
+
+
+class FuncDef(NamedTuple):
+    qualname: str       # e.g. pfsim::cache::MshrFile::serialize
+    line: int
+    params: List[Tok]   # tokens between the parameter parens
+    body: List[Tok]     # tokens between the body braces
+
+
+_SKIP_STATEMENT_LEADS = {"using", "typedef", "friend", "static_assert",
+                         "template"}
+_ACCESS = {"public", "protected", "private"}
+_NOT_MEMBER_NAMES = {"const", "mutable", "static", "constexpr",
+                     "volatile", "inline", "virtual", "explicit",
+                     "operator", "override", "final", "noexcept",
+                     "default", "delete", "class", "struct", "enum",
+                     "unsigned", "signed", "int", "long", "short",
+                     "char", "bool", "float", "double", "auto", "void"}
+
+
+def _match_brace(toks: List[Tok], open_index: int) -> int:
+    """Index of the '}' matching toks[open_index] == '{'."""
+    depth = 0
+    i = open_index
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "punct":
+            if t.value == "{":
+                depth += 1
+            elif t.value == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n - 1
+
+
+def _angle_tracks(prev: Optional[Tok]) -> bool:
+    """Does '<' after ``prev`` open a template-argument list?"""
+    if prev is None:
+        return False
+    return (prev.kind == "id"
+            or (prev.kind == "punct" and prev.value in ("::", ">")))
+
+
+def _member_names(stmt: List[Tok]) -> List[Member]:
+    """Extract declarator names from one member-declaration statement.
+
+    ``stmt`` excludes the terminating ';'.  Returns [] for non-data
+    statements (the caller has already filtered the obvious ones).
+    """
+    flat = [t.value for t in stmt if t.kind == "id"]
+    if not flat:
+        return []
+    if flat[0] in _SKIP_STATEMENT_LEADS or "friend" in flat[:2]:
+        return []
+    if "static" in flat or "constexpr" in flat:
+        return []    # not per-instance state
+    is_const = "const" in flat
+    is_mutable = "mutable" in flat
+
+    members: List[Member] = []
+    angle = 0
+    skipping_init = False
+    depth = 0  # (), {}, [] nesting inside the statement
+    prev: Optional[Tok] = None
+    for i, t in enumerate(stmt):
+        nxt = stmt[i + 1] if i + 1 < len(stmt) else None
+        if t.kind == "punct":
+            if t.value in ("(", "{", "["):
+                depth += 1
+            elif t.value in (")", "}", "]"):
+                depth -= 1
+            elif t.value == "=" and depth == 0 and angle == 0:
+                skipping_init = True
+            elif t.value == "," and depth == 0 and angle == 0:
+                skipping_init = False
+            elif not skipping_init and depth == 0:
+                if t.value == "<" and _angle_tracks(prev):
+                    angle += 1
+                elif t.value == ">" and angle > 0:
+                    angle -= 1
+                elif t.value == ">>" and angle > 0:
+                    angle = max(0, angle - 2)
+        elif (t.kind == "id" and not skipping_init and depth == 0
+              and angle == 0 and t.value not in _NOT_MEMBER_NAMES):
+            terminator = (nxt is None
+                          or (nxt.kind == "punct"
+                              and nxt.value in (";", "=", "{", "[",
+                                                ",", ":")))
+            qualified = (prev is not None and prev.kind == "punct"
+                         and prev.value == "::")
+            if terminator and not qualified:
+                members.append(Member(t.value, t.line, is_const,
+                                      is_mutable))
+        prev = t
+    return members
+
+
+def _first_toplevel_paren(stmt: List[Tok]) -> int:
+    """Index of the first '(' outside template angles, or -1."""
+    angle = 0
+    prev: Optional[Tok] = None
+    for i, t in enumerate(stmt):
+        if t.kind == "punct":
+            if t.value == "<" and _angle_tracks(prev):
+                angle += 1
+            elif t.value == ">" and angle > 0:
+                angle -= 1
+            elif t.value == ">>" and angle > 0:
+                angle = max(0, angle - 2)
+            elif t.value == "(" and angle == 0:
+                return i
+        prev = t
+    return -1
+
+
+def _method_name(stmt: List[Tok], paren: int) -> Optional[str]:
+    if paren == 0:
+        return None
+    t = stmt[paren - 1]
+    if t.kind == "id":
+        return t.value
+    if t.kind == "punct" and paren >= 2:
+        before = stmt[paren - 2]
+        if before.kind == "id" and before.value == "operator":
+            return "operator" + t.value
+    return None
+
+
+def _parse_class_body(toks: List[Tok], start: int, end: int,
+                      decl: ClassDecl, path: str,
+                      out: List[ClassDecl]) -> None:
+    """Parse tokens of one class body (exclusive of its braces)."""
+    i = start
+    stmt: List[Tok] = []
+    while i < end:
+        t = toks[i]
+        if (t.kind == "id" and t.value in _ACCESS and i + 1 < end
+                and toks[i + 1].kind == "punct"
+                and toks[i + 1].value == ":"):
+            stmt = []
+            i += 2
+            continue
+        if t.kind == "pp":
+            i += 1
+            continue
+        if t.kind == "punct" and t.value == ";":
+            values = [x.value for x in stmt if x.kind == "id"]
+            if values and values[0] not in ("class", "struct", "enum"):
+                paren = _first_toplevel_paren(stmt)
+                if paren >= 0:
+                    name = _method_name(stmt, paren)
+                    if name:
+                        decl.methods.add(name)
+                else:
+                    decl.members.extend(_member_names(stmt))
+            stmt = []
+            i += 1
+            continue
+        if t.kind == "punct" and t.value == "{":
+            values = [x.value for x in stmt if x.kind == "id"]
+            close = _match_brace(toks, i)
+            if values and values[0] == "enum":
+                i = close + 1       # enum body; declarators till ';'
+                continue
+            if values and values[0] in ("class", "struct", "union"):
+                nested = _parse_class_at(toks, stmt, i, close, path,
+                                         decl.qualname, out)
+                if nested is not None:
+                    decl.nested.append(nested.qualname)
+                stmt = []           # `} name_;` declarators still land
+                i = close + 1       # in the next ';' pass as members
+                continue
+            paren = _first_toplevel_paren(stmt)
+            has_init = any(x.kind == "punct" and x.value == "="
+                           for x in stmt)
+            if paren >= 0 and not has_init:
+                # Inline method definition.
+                name = _method_name(stmt, paren)
+                if name:
+                    decl.methods.add(name)
+                stmt = []
+                i = close + 1
+                continue
+            # Brace initializer (`int x_{0};` / `T y_ = {..};`): treat
+            # the braces as part of the statement and keep collecting.
+            i = close + 1
+            continue
+        stmt.append(t)
+        i += 1
+    # Trailing statement without ';' (malformed): ignore.
+
+
+def _parse_class_at(toks: List[Tok], head: List[Tok], open_brace: int,
+                    close_brace: int, path: str, scope: str,
+                    out: List[ClassDecl]) -> Optional[ClassDecl]:
+    """``head`` holds tokens from 'class'/'struct' up to '{'."""
+    name = None
+    for i, t in enumerate(head):
+        if t.kind == "id" and t.value in ("class", "struct", "union"):
+            for t2 in head[i + 1:]:
+                if t2.kind == "punct" and t2.value in (":", "{"):
+                    break
+                if t2.kind == "id" and t2.value not in ("final",
+                                                        "alignas"):
+                    name = t2.value
+                # stop at the first name; base list ids come after ':'
+                if name:
+                    break
+            break
+    if not name:
+        return None      # anonymous aggregate
+    qual = f"{scope}::{name}" if scope else name
+    decl = ClassDecl(name=name, qualname=qual, line=head[0].line,
+                     path=path, members=[], methods=set(), nested=[])
+    out.append(decl)
+    _parse_class_body(toks, open_brace + 1, close_brace, decl, path,
+                      out)
+    return decl
+
+
+def _namespace_name(toks: List[Tok], i: int):
+    """After toks[i]=='namespace', return (name, index_of_brace) or
+    (None, advance_index) when it is not a namespace definition."""
+    parts = []
+    j = i + 1
+    n = len(toks)
+    while j < n:
+        t = toks[j]
+        if t.kind == "id":
+            parts.append(t.value)
+            j += 1
+        elif t.kind == "punct" and t.value == "::":
+            j += 1
+        elif t.kind == "punct" and t.value == "{":
+            return "::".join(parts), j
+        else:        # alias (`namespace x = y;`) or using-directive
+            return None, j
+    return None, j
+
+
+def parse_classes(toks: List[Tok], path: str) -> List[ClassDecl]:
+    """Every class/struct definition in the token stream."""
+    out: List[ClassDecl] = []
+    _scan_scope(toks, 0, len(toks), "", path, out, None)
+    return out
+
+
+def parse_function_defs(toks: List[Tok], path: str) -> List[FuncDef]:
+    """Every namespace-scope function definition."""
+    out: List[FuncDef] = []
+    _scan_scope(toks, 0, len(toks), "", path, [], out)
+    return out
+
+
+def _scan_scope(toks: List[Tok], start: int, end: int, scope: str,
+                path: str, classes: List[ClassDecl],
+                funcs: Optional[List[FuncDef]]) -> None:
+    """Walk one namespace scope, recursing into nested namespaces."""
+    i = start
+    stmt: List[Tok] = []
+    while i < end:
+        t = toks[i]
+        if t.kind == "pp":
+            i += 1
+            continue
+        if t.kind == "id" and t.value == "namespace" and not stmt:
+            name, j = _namespace_name(toks, i)
+            if name is None:
+                while j < end and not (toks[j].kind == "punct"
+                                       and toks[j].value == ";"):
+                    j += 1
+                i = j + 1
+                continue
+            close = _match_brace(toks, j)
+            inner = (f"{scope}::{name}" if scope and name
+                     else (name or scope))
+            _scan_scope(toks, j + 1, close, inner, path, classes,
+                        funcs)
+            i = close + 1
+            continue
+        if t.kind == "punct" and t.value == ";":
+            stmt = []
+            i += 1
+            continue
+        if t.kind == "punct" and t.value == "{":
+            close = _match_brace(toks, i)
+            values = [x.value for x in stmt if x.kind == "id"]
+            if values and values[0] == "enum":
+                i = close + 1
+                continue
+            if any(v in ("class", "struct", "union") for v in values):
+                _parse_class_at(toks, stmt, i, close, path, scope,
+                                classes)
+                stmt = []
+                i = close + 1
+                continue
+            paren = _first_toplevel_paren(stmt)
+            if paren >= 0 and funcs is not None:
+                qual = _qualified_name_before(stmt, paren)
+                if qual:
+                    params = _params_of(stmt, paren)
+                    out_body = toks[i + 1:close]
+                    funcs.append(FuncDef(
+                        qualname=(f"{scope}::{qual}" if scope
+                                  else qual),
+                        line=stmt[0].line, params=params,
+                        body=out_body))
+            stmt = []
+            i = close + 1
+            continue
+        stmt.append(t)
+        i += 1
+
+
+def _qualified_name_before(stmt: List[Tok], paren: int) -> Optional[str]:
+    """Trailing ``A::B::name`` chain ending right before ``paren``."""
+    parts: List[str] = []
+    j = paren - 1
+    expect_id = True
+    while j >= 0:
+        t = stmt[j]
+        if expect_id and t.kind == "id":
+            parts.append(t.value)
+            expect_id = False
+            j -= 1
+        elif (not expect_id and t.kind == "punct"
+              and t.value == "::"):
+            expect_id = True
+            j -= 1
+        else:
+            break
+    if not parts or expect_id:
+        return None
+    return "::".join(reversed(parts))
+
+
+def _params_of(stmt: List[Tok], paren: int) -> List[Tok]:
+    depth = 0
+    out = []
+    for t in stmt[paren:]:
+        if t.kind == "punct" and t.value == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        if t.kind == "punct" and t.value == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        if depth >= 1:
+            out.append(t)
+    return out
+
+
+def classes_in_file(path, relpath: str) -> List[ClassDecl]:
+    return parse_classes(lex_file(path), relpath)
+
+
+def function_defs_in_file(path, relpath: str) -> List[FuncDef]:
+    return parse_function_defs(lex_file(path), relpath)

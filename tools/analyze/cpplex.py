@@ -1,0 +1,180 @@
+"""Token-aware C++ lexer shared by tools/analyze and tools/lint.
+
+The project's checkers used to be regex-over-raw-lines with hand-tuned
+guards against comments and string literals; every new rule re-solved
+the same false-positive problems.  This module solves them once: it
+turns a translation unit into a flat token stream with comments gone
+and string/char literals kept as single tokens, so checkers match
+structure instead of text.
+
+Deliberately *not* a C++ parser: no preprocessing (macros are left as
+identifiers), no semantic analysis.  Just enough lexical structure for
+project rules:
+
+  - kinds: ``id`` (identifiers and keywords), ``num``, ``str``,
+    ``chr``, ``punct`` (multi-char operators are single tokens, e.g.
+    ``::``, ``->``, ``<<``), and ``pp`` (a whole preprocessor
+    directive, line continuations folded).
+  - ``//`` and ``/* */`` comments are dropped.
+  - raw strings ``R"delim(...)delim"`` are handled.
+  - every token carries its 1-based source line.
+
+The stream is line-faithful: ``Tok.line`` is where the token *starts*,
+so violations report real locations.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class Tok(NamedTuple):
+    kind: str  # id | num | str | chr | punct | pp
+    value: str
+    line: int
+
+
+# Longest-first so "::" wins over ":", "->" over "-", "<<=" over "<<".
+_PUNCTS = (
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+    "(", ")", "[", "]", "{", "}", "<", ">", ";", ":", ",", ".", "?",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=",
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def lex(text: str) -> List[Tok]:
+    """Tokenize C++ source ``text``; comments vanish, literals fold."""
+    toks: List[Tok] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor directive: swallow the logical line (with \
+        # continuations) into one 'pp' token.
+        if c == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            toks.append(Tok("pp", text[start:i], start_line))
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                while i < n and text[i] != "\n":
+                    i += 1
+                continue
+            if text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                if end < 0:
+                    end = n
+                line += text.count("\n", i, end)
+                i = min(end + 2, n)
+                continue
+
+        # Raw string literal: R"delim( ... )delim"
+        if c == "R" and text[i:i + 2] == 'R"':
+            close_paren = text.find("(", i + 2)
+            if close_paren >= 0 and close_paren - (i + 2) <= 16:
+                delim = text[i + 2:close_paren]
+                terminator = ")" + delim + '"'
+                end = text.find(terminator, close_paren + 1)
+                if end >= 0:
+                    start_line = line
+                    end += len(terminator)
+                    line += text.count("\n", i, end)
+                    toks.append(Tok("str", text[i:end], start_line))
+                    i = end
+                    continue
+
+        # Ordinary string / char literal (prefixes like u8"", L'' are
+        # lexed as an id token followed by the literal, which is fine
+        # for every checker we have).
+        if c == '"' or c == "'":
+            quote = c
+            start = i
+            start_line = line
+            i += 1
+            while i < n:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == "\n":  # unterminated; be forgiving
+                    break
+                if text[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            toks.append(Tok("str" if quote == '"' else "chr",
+                            text[start:i], start_line))
+            continue
+
+        # Identifier / keyword.
+        if c in _ID_START:
+            start = i
+            while i < n and text[i] in _ID_CONT:
+                i += 1
+            toks.append(Tok("id", text[start:i], line))
+            continue
+
+        # Number (good enough: digits, hex, separators, suffixes,
+        # exponent signs).
+        if c in _DIGITS or (c == "." and i + 1 < n
+                            and text[i + 1] in _DIGITS):
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch in _ID_CONT or ch in "'.":
+                    i += 1
+                elif ch in "+-" and text[i - 1] in "eEpP":
+                    i += 1
+                else:
+                    break
+            toks.append(Tok("num", text[start:i], line))
+            continue
+
+        # Punctuation, longest match first.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += len(p)
+                break
+        else:
+            # Unknown byte (e.g. backslash outside a directive): skip.
+            i += 1
+
+    return toks
+
+
+def lex_file(path) -> List[Tok]:
+    return lex(path.read_text(encoding="utf-8"))

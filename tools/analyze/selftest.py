@@ -1,0 +1,429 @@
+#!/usr/bin/env python3
+"""Self-tests for the pfsim-analyze suite (ctest: analyze.selftest).
+
+Every layer is exercised against fixtures with *known* violations and
+known-clean near-misses, so a regression in the lexer, the declaration
+parser or a checker fails here — not by silently passing a broken tree.
+The key negative test: adding an unserialized member to a fixture class
+must fail the snapshot checker.
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_determinism     # noqa: E402
+import check_registry        # noqa: E402
+import check_snapshot        # noqa: E402
+import cppdecl               # noqa: E402
+import cpplex                # noqa: E402
+from suppress import Suppressions, SuppressionError  # noqa: E402
+
+
+class Fixture:
+    """A throwaway repo tree: write files, run a checker, inspect."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+
+    def write(self, rel: str, text: str) -> pathlib.Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def cleanup(self):
+        self._tmp.cleanup()
+
+
+class LexerTests(unittest.TestCase):
+    def test_comments_vanish_strings_fold(self):
+        toks = cpplex.lex(
+            'int x = 1; // new Foo\n'
+            '/* delete y */ const char* s = "std::thread";\n')
+        values = [t.value for t in toks if t.kind == "id"]
+        self.assertNotIn("new", values)
+        self.assertNotIn("delete", values)
+        strs = [t for t in toks if t.kind == "str"]
+        self.assertEqual([s.value for s in strs], ['"std::thread"'])
+        self.assertEqual(strs[0].line, 2)
+
+    def test_raw_string_and_pp(self):
+        toks = cpplex.lex('#include <deque>\n'
+                          'auto r = R"(rand( fatal( )";\n')
+        self.assertEqual(toks[0].kind, "pp")
+        self.assertIn("<deque>", toks[0].value)
+        self.assertNotIn("rand",
+                         [t.value for t in toks if t.kind == "id"])
+
+    def test_multichar_punct_and_lines(self):
+        toks = cpplex.lex("a::b\n->c <<= d;")
+        puncts = [t.value for t in toks if t.kind == "punct"]
+        self.assertEqual(puncts, ["::", "->", "<<=", ";"])
+        arrow = next(t for t in toks if t.value == "->")
+        self.assertEqual(arrow.line, 2)
+
+    def test_continuation_in_directive(self):
+        toks = cpplex.lex("#define M(x) \\\n  ((x) + 1)\nint y;\n")
+        self.assertEqual(toks[0].kind, "pp")
+        self.assertIn("(x) + 1", toks[0].value)
+        self.assertEqual([t.value for t in toks if t.kind == "id"],
+                         ["int", "y"])
+
+
+HEADER_FIXTURE = """
+#pragma once
+#include <cstdint>
+namespace pfsim::cache {
+class Cache {
+ public:
+  void serialize(snapshot::Sink& sink) const;
+  void deserialize(snapshot::Source& src);
+  void tick();
+  struct Entry {
+    uint64_t addr_ = 0;
+    bool valid_{false};
+  };
+ private:
+  static constexpr int kWays = 8;
+  const uint64_t setMask_ = 0;
+  mutable uint64_t probes_ = 0;
+  uint64_t hits_ = 0;
+  std::vector<Entry> entries_;
+};
+uint64_t freeHelper(const Cache& c);
+}
+"""
+
+
+class DeclTests(unittest.TestCase):
+    def setUp(self):
+        self.classes = cppdecl.parse_classes(
+            cpplex.lex(HEADER_FIXTURE), "src/cache/cache.hh")
+
+    def decl(self, qual):
+        return next(c for c in self.classes if c.qualname == qual)
+
+    def test_members_methods_nested(self):
+        cache = self.decl("pfsim::cache::Cache")
+        names = {m.name for m in cache.members}
+        self.assertEqual(names, {"setMask_", "probes_", "hits_",
+                                 "entries_"})
+        self.assertNotIn("kWays", names)    # static constexpr skipped
+        self.assertLessEqual({"serialize", "deserialize", "tick"},
+                             cache.methods)
+        self.assertIn("pfsim::cache::Cache::Entry", cache.nested)
+        entry = self.decl("pfsim::cache::Cache::Entry")
+        self.assertEqual({m.name for m in entry.members},
+                         {"addr_", "valid_"})
+
+    def test_const_mutable_flags(self):
+        cache = self.decl("pfsim::cache::Cache")
+        by_name = {m.name: m for m in cache.members}
+        self.assertTrue(by_name["setMask_"].is_const)
+        self.assertTrue(by_name["probes_"].is_mutable)
+        self.assertFalse(by_name["hits_"].is_const)
+
+    def test_function_defs(self):
+        toks = cpplex.lex(
+            "namespace pfsim::cache {\n"
+            "void Cache::serialize(snapshot::Sink& sink) const {\n"
+            "  sink.u64(hits_);\n}\n"
+            "}\n"
+            "namespace {\n"
+            "void writeEntry(Sink& s, const cache::Request& r) {}\n"
+            "}\n")
+        defs = cppdecl.parse_function_defs(toks, "x.cc")
+        quals = {d.qualname for d in defs}
+        self.assertIn("pfsim::cache::Cache::serialize", quals)
+        self.assertIn("writeEntry", quals)
+        ser = next(d for d in defs
+                   if d.qualname.endswith("::serialize"))
+        self.assertIn("hits_", {t.value for t in ser.body
+                                if t.kind == "id"})
+
+
+class SuppressTests(unittest.TestCase):
+    def test_reason_mandatory(self):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        path = fx.write("s.txt", "cache::Cache::x_\n")
+        with self.assertRaises(SuppressionError):
+            Suppressions(path)
+
+    def test_duplicate_rejected(self):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        path = fx.write("s.txt", "a::b_ why\na::b_ again\n")
+        with self.assertRaises(SuppressionError):
+            Suppressions(path)
+
+    def test_unused_tracking(self):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        sup = Suppressions(fx.write("s.txt", "# c\nused why\nidle why\n"))
+        self.assertTrue(sup.match("used"))
+        self.assertFalse(sup.match("absent"))
+        self.assertEqual([k for k, _ in sup.unused()], ["idle"])
+
+
+SNAP_HEADER = """
+#pragma once
+namespace pfsim::ppf {{
+class Table {{
+ public:
+  void serialize(snapshot::Sink& sink) const;
+  void deserialize(snapshot::Source& source);
+ private:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;{extra_member}
+}};
+}}
+"""
+
+SNAP_IO = """
+#include "ppf/table.hh"
+namespace pfsim::ppf {{
+void Table::serialize(snapshot::Sink& sink) const {{
+  sink.u64(hits_);
+  sink.u64(misses_);{ser_extra}
+}}
+void Table::deserialize(snapshot::Source& source) {{
+  hits_ = source.u64();
+  misses_ = source.u64();{deser_extra}
+}}
+}}
+"""
+
+
+class SnapshotCheckerTests(unittest.TestCase):
+    def build(self, extra_member="", ser_extra="", deser_extra="",
+              suppressions=None, io_text=None, header_text=None):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        fx.write("src/ppf/table.hh", header_text or SNAP_HEADER.format(
+            extra_member=extra_member))
+        io = fx.write("src/snapshot/state_io.cc",
+                      io_text or SNAP_IO.format(ser_extra=ser_extra,
+                                                deser_extra=deser_extra))
+        sup = fx.root / "sup.txt"
+        if suppressions is not None:
+            sup.write_text(suppressions, encoding="utf-8")
+        return check_snapshot.check(fx.root, state_io=io,
+                                    suppressions_path=sup)
+
+    def test_complete_class_is_clean(self):
+        self.assertEqual(self.build(), [])
+
+    def test_new_member_without_serialization_fails(self):
+        # THE acceptance test: add a member, persist nothing -> caught.
+        violations = self.build(extra_member="\n  uint64_t epoch_ = 0;")
+        self.assertEqual(len(violations), 1)
+        path, line, rule, detail = violations[0]
+        self.assertEqual(rule, "snapshot-completeness")
+        self.assertIn("ppf::Table::epoch_", detail)
+        self.assertIn("not referenced", detail)
+
+    def test_member_missing_from_one_direction(self):
+        violations = self.build(
+            extra_member="\n  uint64_t epoch_ = 0;",
+            ser_extra="\n  sink.u64(epoch_);")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("never restored", violations[0][3])
+
+    def test_suppression_with_reason_covers(self):
+        violations = self.build(
+            extra_member="\n  uint64_t epoch_ = 0;",
+            suppressions="ppf::Table::epoch_ rebuilt from config\n")
+        self.assertEqual(violations, [])
+
+    def test_stale_suppression_is_a_violation(self):
+        violations = self.build(
+            suppressions="ppf::Table::gone_ member was deleted\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("stale suppression", violations[0][3])
+
+    def test_one_direction_only(self):
+        io = ("namespace pfsim::ppf {\n"
+              "void Table::serialize(snapshot::Sink& sink) const {\n"
+              "  sink.u64(hits_); sink.u64(misses_);\n}\n}\n")
+        violations = self.build(io_text=io)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("not deserialize()", violations[0][3])
+
+    def test_helper_pair_member_gap(self):
+        header = ("#pragma once\n"
+                  "namespace pfsim::cache {\n"
+                  "struct Request { uint64_t addr = 0; int kind = 0; };\n"
+                  "}\n")
+        io = ("namespace pfsim::snapshot {\n"
+              "void writeRequest(Sink& sink, const cache::Request& r) {\n"
+              "  sink.u64(r.addr); sink.u32(r.kind);\n}\n"
+              "void readRequest(Source& src, cache::Request& r) {\n"
+              "  r.addr = src.u64();\n}\n}\n")
+        violations = self.build(header_text=header, io_text=io)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("cache::Request::kind", violations[0][3])
+        self.assertIn("never restored", violations[0][3])
+
+    def test_partial_support_struct(self):
+        header = SNAP_HEADER.format(extra_member=(
+            "\n  struct Line { uint64_t tag_ = 0; bool dirty_ = false;"
+            " };\n  Line line_;"))
+        io = SNAP_IO.format(
+            ser_extra="\n  sink.u64(line_.tag_);",
+            deser_extra="\n  line_.tag_ = source.u64();")
+        violations = self.build(header_text=header, io_text=io)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("Table::Line::dirty_", violations[0][3])
+        self.assertIn("sibling members", violations[0][3])
+
+
+REG_HEADER = """
+#pragma once
+namespace pfsim::dram {{
+class Dram {{
+ public:
+  void tick();{io_decls}
+ private:
+  uint64_t row_ = 0;
+}};
+}}
+"""
+
+
+class RegistryCheckerTests(unittest.TestCase):
+    def build(self, io_decls="", registry="", exclusions="",
+              header_text=None):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        fx.write("src/dram/dram.hh", header_text or REG_HEADER.format(
+            io_decls=io_decls))
+        reg = fx.write("reg.txt", registry)
+        exc = fx.write("exc.txt", exclusions)
+        return check_registry.check(fx.root, registry_path=reg,
+                                    exclusions_path=exc)
+
+    def test_ticking_class_without_serialize_fails(self):
+        violations = self.build()
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0][2], "state-registry")
+        self.assertIn("dram::Dram", violations[0][3])
+        self.assertIn("cycle-path", violations[0][3])
+
+    def test_serialized_ticking_class_is_clean(self):
+        decls = ("\n  void serialize(snapshot::Sink& sink) const;"
+                 "\n  void deserialize(snapshot::Source& src);")
+        self.assertEqual(self.build(io_decls=decls), [])
+
+    def test_exclusion_with_reason_covers(self):
+        violations = self.build(
+            exclusions="dram::Dram host-side orchestration only\n")
+        self.assertEqual(violations, [])
+
+    def test_registry_flags_non_ticking_state(self):
+        header = ("#pragma once\nnamespace pfsim::ppf {\n"
+                  "class Weights { int w_ = 0; };\n}\n")
+        violations = self.build(
+            header_text=header,
+            registry="ppf::Weights trained from the operate path\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("registered as state-bearing", violations[0][3])
+
+    def test_registry_entry_for_missing_class_is_stale(self):
+        decls = ("\n  void serialize(snapshot::Sink& sink) const;"
+                 "\n  void deserialize(snapshot::Source& src);")
+        violations = self.build(
+            io_decls=decls,
+            registry="dram::Gone deleted two PRs ago\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("stale registry entry", violations[0][3])
+
+    def test_stale_exclusion_is_a_violation(self):
+        decls = ("\n  void serialize(snapshot::Sink& sink) const;"
+                 "\n  void deserialize(snapshot::Source& src);")
+        violations = self.build(
+            io_decls=decls,
+            exclusions="dram::Dram no longer needs excluding\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("stale exclusion", violations[0][3])
+
+
+class DeterminismCheckerTests(unittest.TestCase):
+    def build(self, files, allowlist=""):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        for rel, text in files.items():
+            fx.write(rel, text)
+        allow = fx.write("allow.txt", allowlist)
+        return check_determinism.check(fx.root, allowlist_path=allow)
+
+    def test_wall_clock_flagged_and_allowlisted(self):
+        src = ("void f() { auto t0 ="
+               " std::chrono::steady_clock::now(); }\n")
+        violations = self.build({"src/sim/mips.cc": src})
+        self.assertEqual([v[2] for v in violations], ["wall-clock"])
+        clean = self.build(
+            {"src/sim/mips.cc": src},
+            allowlist="wall-clock src/sim/mips.cc MIPS telemetry\n")
+        self.assertEqual(clean, [])
+
+    def test_stale_allowlist_entry(self):
+        violations = self.build(
+            {"src/sim/mips.cc": "void f() {}\n"},
+            allowlist="wall-clock src/sim/mips.cc MIPS telemetry\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("stale allowlist", violations[0][3])
+
+    def test_pointer_identity(self):
+        src = ('void f(void* p) {\n'
+               '  printf("%p", p);\n'
+               '  auto k = reinterpret_cast<uintptr_t>(p);\n'
+               '  std::hash<Node*> h;\n}\n')
+        violations = self.build({"src/util/dbg.cc": src})
+        self.assertEqual([v[2] for v in violations],
+                         ["pointer-identity"] * 3)
+
+    def test_hash_of_value_type_is_clean(self):
+        src = "std::hash<std::string> h;\n"
+        self.assertEqual(self.build({"src/util/h.cc": src}), [])
+
+    def test_unordered_iteration_escape(self):
+        src = ("#include <unordered_map>\n"
+               "std::unordered_map<int, int> table_;\n"
+               "void dump(std::ostream& os) {\n"
+               "  for (const auto& kv : table_) { os << kv.first; }\n"
+               "}\n")
+        violations = self.build({"src/stats/dump.cc": src})
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0][2], "unordered-escape")
+        self.assertIn("table_", violations[0][3])
+
+    def test_unordered_accumulation_is_clean(self):
+        src = ("std::unordered_map<int, int> table_;\n"
+               "int total() {\n"
+               "  int s = 0;\n"
+               "  for (const auto& kv : table_) s += kv.second;\n"
+               "  return s;\n}\n")
+        self.assertEqual(self.build({"src/stats/sum.cc": src}), [])
+
+    def test_ordered_map_escape_is_clean(self):
+        src = ("std::map<int, int> table_;\n"
+               "void dump(std::ostream& os) {\n"
+               "  for (const auto& kv : table_) { os << kv.first; }\n"
+               "}\n")
+        self.assertEqual(self.build({"src/stats/omap.cc": src}), [])
+
+    def test_unordered_banned_in_snapshot(self):
+        src = "std::unordered_map<int, int> ids_;\n"
+        violations = self.build({"src/snapshot/reg.cc": src})
+        self.assertEqual(len(violations), 1)
+        self.assertIn("src/snapshot", violations[0][3])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

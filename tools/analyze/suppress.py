@@ -1,0 +1,68 @@
+"""Reviewed suppression files for the analyzers.
+
+One format for every checker: a line is
+
+    <key>  <reason...>
+
+where ``<key>`` is checker-specific (``cache::Cache::config_`` for the
+snapshot checker, ``wall-clock src/sim/runner.cc`` uses two key fields
+for the determinism checker) and ``<reason>`` is mandatory free text —
+a suppression without a written reason is itself an error, which is
+what makes the file reviewable.  ``#`` starts a comment; blank lines
+are ignored.
+
+Unused suppressions are errors too: when the code a suppression
+excused goes away, the entry must go with it, so the file never
+accumulates dead excuses that later mask real violations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Tuple
+
+
+class SuppressionError(Exception):
+    pass
+
+
+class Suppressions:
+    def __init__(self, path: pathlib.Path, key_fields: int = 1):
+        self.path = path
+        self._entries: Dict[str, Tuple[int, str]] = {}
+        self._used: set = set()
+        if not path.exists():
+            return
+        for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, key_fields)
+            if len(parts) <= key_fields:
+                raise SuppressionError(
+                    f"{path}:{lineno}: suppression for "
+                    f"'{parts[0] if parts else ''}' carries no reason "
+                    f"(format: <key> <why it is exempt>)")
+            key = " ".join(parts[:key_fields])
+            reason = parts[key_fields].strip()
+            if key in self._entries:
+                raise SuppressionError(
+                    f"{path}:{lineno}: duplicate suppression '{key}'")
+            self._entries[key] = (lineno, reason)
+
+    def match(self, key: str) -> bool:
+        if key in self._entries:
+            self._used.add(key)
+            return True
+        return False
+
+    def reason(self, key: str) -> str:
+        return self._entries[key][1]
+
+    def entries(self) -> Dict[str, Tuple[int, str]]:
+        return dict(self._entries)
+
+    def unused(self) -> List[Tuple[str, int]]:
+        return sorted((k, ln) for k, (ln, _r) in self._entries.items()
+                      if k not in self._used)

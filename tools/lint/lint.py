@@ -9,7 +9,10 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      util/random.hh so runs stay seed-reproducible.
   3. Every ``fatal()`` / ``panic()`` call carries a non-empty message.
   4. Every header under src/ is self-contained: it compiles alone
-     (checked with ``$CXX -fsyntax-only``).
+     (checked with ``$CXX -fsyntax-only``).  Results are cached under
+     ``--cache-dir`` keyed by the content of the header's project
+     include closure plus the compiler identity, and cache misses
+     compile in parallel — an unchanged tree re-lints in milliseconds.
   5. No raw ``std::thread`` / ``std::jthread`` outside src/util and
      src/sim/parallel.* — concurrency goes through the job pool
      (util/thread_pool.hh) so sweeps stay deterministic and exception
@@ -33,63 +36,34 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      not file I/O and never match.  Tests, benches and tools are
      exempt.
 
+The text rules run on the token stream produced by the shared lexer
+(tools/analyze/cpplex.py): comments are gone and string/char literals
+are single tokens before any rule looks at the code, so none of the
+rules needs its own comment/string false-positive guards, and prose
+like "a new instruction" or a quoted "std::thread" can never match.
+
 Exit status is non-zero when any rule is violated; each violation is
 reported as ``file:line: rule: detail``.
 """
 
 import argparse
+import concurrent.futures
+import hashlib
+import os
 import pathlib
 import re
 import subprocess
 import sys
 
+sys.path.insert(0, str(pathlib.Path(
+    __file__).resolve().parents[1] / "analyze"))
+
+import cpplex  # noqa: E402
+
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 CXX_SUFFIXES = {".cc", ".hh"}
 
-# Raw allocation: "new Type", "new (place) Type", "delete p",
-# "delete[] p".  Word-boundary anchored so "renew"/"deleted" and plain
-# words in comments like "a new instruction" do not match: the operator
-# must be followed by a type-ish token or bracket, and "delete" must not
-# be a defaulted/deleted special member (= delete).
-RAW_NEW_RE = re.compile(r"(?<![\w.])new\s+(?:\(|[A-Za-z_][\w:<>]*\s*[({\[;])")
-RAW_DELETE_RE = re.compile(r"(?<![\w.])delete\s*(?:\[\s*\])?\s+[A-Za-z_*(]")
-DEFAULTED_DELETE_RE = re.compile(r"=\s*delete")
-
-RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
-
-# Any mention of the thread types themselves (declaration, member,
-# vector element, spawn) counts; static member access like
-# std::thread::hardware_concurrency() does not, and std::this_thread
-# never matches the literal "std::thread".
-RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
-
-EMPTY_MESSAGE_RE = re.compile(r"\b(fatal|panic)\s*\(\s*(\"\"\s*)?\)")
-
-# std::deque in the hot memory-system queues (the <deque> include also
-# counts: there is no legitimate use left in those directories).
-HOT_DEQUE_RE = re.compile(r"std::deque\b|#\s*include\s*<deque>")
-
-# Raw file I/O: an fopen() call or any <fstream>-family use.  The
-# lookbehind keeps fprintf/fputs/reopen-style identifiers from
-# matching; fread/fwrite/fclose only ever follow an fopen, so matching
-# the open is enough to confine the whole idiom.
-FILE_IO_RE = re.compile(
-    r"(?<![\w.])(?:std::)?fopen\s*\("
-    r"|std::[io]?fstream\b"
-    r"|#\s*include\s*<fstream>")
-
-# A faultInject* call site: the lookbehind rejects qualified names
-# (``MshrFile::faultInjectReserve`` is the definition, not a call) and
-# partial identifiers.
-FAULT_HOOK_RE = re.compile(r"(?<![:\w])faultInject\w*\s*\(")
-
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
-
-
-def strip_strings(line: str) -> str:
-    """Replace string literals with a placeholder literal."""
-    return STRING_RE.sub('"s"', line)
+INCLUDE_RE = re.compile(r'#\s*include\s*["<]([^">]+)[">]')
 
 
 def iter_source_files(root: pathlib.Path):
@@ -102,114 +76,251 @@ def iter_source_files(root: pathlib.Path):
                 yield path
 
 
+def _tok_at(toks, i):
+    return toks[i] if 0 <= i < len(toks) else None
+
+
+def _value(tok):
+    return tok.value if tok is not None else None
+
+
+def check_file_tokens(rel: pathlib.PurePath, toks):
+    """Apply rules 1-3 and 5-8 to one file's token stream."""
+    violations = []
+    in_util = rel.parts[:2] == ("src", "util")
+    may_thread = in_util or (
+        rel.parts[:2] == ("src", "sim")
+        and rel.name.startswith("parallel."))
+    may_fault_inject = (rel.parts[0] == "tests"
+                        or rel.parts[:2] == ("src", "fault")
+                        or rel.suffix == ".hh")
+    hot_queue_dir = rel.parts[:2] in (("src", "cache"),
+                                      ("src", "dram"))
+    may_file_io = (rel.parts[0] != "src"
+                   or rel.parts[:2] == ("src", "snapshot")
+                   or str(rel) in ("src/trace/file_trace.cc",
+                                   "src/stats/perf_report.cc"))
+
+    for i, t in enumerate(toks):
+        prev = _value(_tok_at(toks, i - 1))
+        prev2 = _value(_tok_at(toks, i - 2))
+        nxt = _value(_tok_at(toks, i + 1))
+
+        if t.kind == "pp":
+            directive = t.value
+            if hot_queue_dir and "<deque>" in directive:
+                violations.append(
+                    (rel, t.line, "no-hot-deque",
+                     "std::deque in src/cache|src/dram; the kernel's "
+                     "hot queues use util/ring_buffer.hh"))
+            if not may_file_io and "<fstream>" in directive:
+                violations.append(
+                    (rel, t.line, "file-io-confinement",
+                     "raw file I/O in src/ belongs to src/snapshot; "
+                     "persist simulator state through the checkpoint "
+                     "store"))
+            continue
+        if t.kind != "id":
+            continue
+
+        # Rule 1 — raw allocation.  Any `new`/`delete` keyword token is
+        # the real operator (comments and strings no longer exist at
+        # this layer); `= delete` and `operator new/delete` are the
+        # only non-allocating spellings.
+        if not in_util:
+            if t.value == "new" and prev != "operator":
+                violations.append(
+                    (rel, t.line, "no-raw-new",
+                     "raw operator new outside src/util; use "
+                     "std::make_unique or a container"))
+            elif (t.value == "delete" and prev not in ("=", "operator")):
+                violations.append(
+                    (rel, t.line, "no-raw-delete",
+                     "raw operator delete outside src/util"))
+
+        # Rule 2 — rand()/srand(); qualified names (util::rand) and
+        # member access (gen.rand()) are other functions.
+        if (t.value in ("rand", "srand") and nxt == "("
+                and prev not in (".", "->", "::")):
+            violations.append(
+                (rel, t.line, "no-rand",
+                 "rand()/srand() is not seed-reproducible; use "
+                 "util/random.hh"))
+
+        # Rule 3 — fatal()/panic() with no message (or an empty
+        # string literal).
+        if t.value in ("fatal", "panic") and nxt == "(":
+            after = _tok_at(toks, i + 2)
+            after2 = _tok_at(toks, i + 3)
+            if (_value(after) == ")"
+                    or (after is not None and after.kind == "str"
+                        and after.value == '""'
+                        and _value(after2) == ")")):
+                violations.append(
+                    (rel, t.line, "empty-fatal-message",
+                     "fatal()/panic() must explain what went wrong"))
+
+        # Rule 5 — raw std::thread/std::jthread; static member access
+        # (std::thread::hardware_concurrency) stays allowed, and
+        # std::this_thread is a different token.
+        if (not may_thread and t.value in ("thread", "jthread")
+                and prev == "::" and prev2 == "std" and nxt != "::"):
+            violations.append(
+                (rel, t.line, "no-raw-thread",
+                 "raw std::thread outside src/util and "
+                 "src/sim/parallel.*; run concurrent work "
+                 "through ThreadPool/parallelFor "
+                 "(util/thread_pool.hh)"))
+
+        # Rule 6 — faultInject* call sites; `Class::faultInjectX` is
+        # the definition, not a call.
+        if (not may_fault_inject and t.value.startswith("faultInject")
+                and nxt == "(" and prev != "::"):
+            violations.append(
+                (rel, t.line, "fault-hook-confinement",
+                 "faultInject* hooks may only be called from "
+                 "src/fault (and tests); the model must not "
+                 "perturb itself"))
+
+        # Rule 7 — std::deque in the hot memory-system directories.
+        if (hot_queue_dir and t.value == "deque" and prev == "::"
+                and prev2 == "std"):
+            violations.append(
+                (rel, t.line, "no-hot-deque",
+                 "std::deque in src/cache|src/dram; the kernel's "
+                 "hot queues use util/ring_buffer.hh"))
+
+        # Rule 8 — raw file I/O outside src/snapshot.
+        if not may_file_io:
+            if t.value == "fopen" and nxt == "(" and prev not in (
+                    ".", "->"):
+                violations.append(
+                    (rel, t.line, "file-io-confinement",
+                     "raw file I/O in src/ belongs to src/snapshot; "
+                     "persist simulator state through the checkpoint "
+                     "store"))
+            elif (t.value in ("ifstream", "ofstream", "fstream")
+                  and prev == "::" and prev2 == "std"):
+                violations.append(
+                    (rel, t.line, "file-io-confinement",
+                     "raw file I/O in src/ belongs to src/snapshot; "
+                     "persist simulator state through the checkpoint "
+                     "store"))
+    return violations
+
+
 def check_text_rules(root: pathlib.Path):
     violations = []
     for path in iter_source_files(root):
         rel = path.relative_to(root)
-        in_util = rel.parts[:2] == ("src", "util")
-        may_thread = in_util or (
-            rel.parts[:2] == ("src", "sim")
-            and rel.name.startswith("parallel."))
-        may_fault_inject = (rel.parts[0] == "tests"
-                            or rel.parts[:2] == ("src", "fault")
-                            or rel.suffix == ".hh")
-        hot_queue_dir = rel.parts[:2] in (("src", "cache"),
-                                          ("src", "dram"))
-        may_file_io = (rel.parts[0] != "src"
-                       or rel.parts[:2] == ("src", "snapshot")
-                       or str(rel) in ("src/trace/file_trace.cc",
-                                       "src/stats/perf_report.cc"))
-        in_block_comment = False
-        for lineno, raw in enumerate(
-                path.read_text(encoding="utf-8").splitlines(), start=1):
-            line = raw
-            if in_block_comment:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = line[end + 2:]
-                in_block_comment = False
-            if "/*" in line:
-                start = line.find("/*")
-                end = line.find("*/", start + 2)
-                if end < 0:
-                    in_block_comment = True
-                    line = line[:start]
-                else:
-                    line = line[:start] + line[end + 2:]
-            # The message check runs with string literals intact (an
-            # empty literal IS the violation); the allocation checks
-            # run with them blanked so prose in messages cannot match.
-            line = LINE_COMMENT_RE.sub("", line)
-            if EMPTY_MESSAGE_RE.search(line):
-                violations.append(
-                    (rel, lineno, "empty-fatal-message",
-                     "fatal()/panic() must explain what went wrong"))
-            line = strip_strings(line)
-
-            if not in_util:
-                no_default = DEFAULTED_DELETE_RE.sub("", line)
-                if RAW_NEW_RE.search(line):
-                    violations.append(
-                        (rel, lineno, "no-raw-new",
-                         "raw operator new outside src/util; use "
-                         "std::make_unique or a container"))
-                if RAW_DELETE_RE.search(no_default):
-                    violations.append(
-                        (rel, lineno, "no-raw-delete",
-                         "raw operator delete outside src/util"))
-
-            if RAND_RE.search(line):
-                violations.append(
-                    (rel, lineno, "no-rand",
-                     "rand()/srand() is not seed-reproducible; use "
-                     "util/random.hh"))
-
-            if not may_fault_inject and FAULT_HOOK_RE.search(line):
-                violations.append(
-                    (rel, lineno, "fault-hook-confinement",
-                     "faultInject* hooks may only be called from "
-                     "src/fault (and tests); the model must not "
-                     "perturb itself"))
-
-            if not may_file_io and FILE_IO_RE.search(line):
-                violations.append(
-                    (rel, lineno, "file-io-confinement",
-                     "raw file I/O in src/ belongs to src/snapshot; "
-                     "persist simulator state through the checkpoint "
-                     "store"))
-
-            if hot_queue_dir and HOT_DEQUE_RE.search(line):
-                violations.append(
-                    (rel, lineno, "no-hot-deque",
-                     "std::deque in src/cache|src/dram; the kernel's "
-                     "hot queues use util/ring_buffer.hh"))
-
-            if not may_thread and RAW_THREAD_RE.search(line):
-                violations.append(
-                    (rel, lineno, "no-raw-thread",
-                     "raw std::thread outside src/util and "
-                     "src/sim/parallel.*; run concurrent work "
-                     "through ThreadPool/parallelFor "
-                     "(util/thread_pool.hh)"))
+        toks = cpplex.lex(path.read_text(encoding="utf-8"))
+        violations.extend(check_file_tokens(rel, toks))
     return violations
 
 
+# ---------------------------------------------------------------------
+# Rule 4 — header self-containment, parallel with a content-hash cache.
+# ---------------------------------------------------------------------
+
+def _include_closure(root: pathlib.Path, header: pathlib.Path):
+    """The header plus every project header it reaches transitively.
+
+    Includes are resolved the way the check compiles them: against
+    ``-I src`` and relative to the including file.  System headers
+    resolve to nothing and simply do not contribute to the key.
+    """
+    src = root / "src"
+    closure = []
+    seen = set()
+    stack = [header]
+    while stack:
+        current = stack.pop()
+        if current in seen or not current.is_file():
+            continue
+        seen.add(current)
+        text = current.read_text(encoding="utf-8")
+        closure.append((current, text))
+        for name in INCLUDE_RE.findall(text):
+            for candidate in (src / name, current.parent / name):
+                if candidate.is_file():
+                    stack.append(candidate)
+                    break
+    closure.sort(key=lambda item: str(item[0]))
+    return closure
+
+
+def _compiler_identity(cxx: str) -> str:
+    try:
+        probe = subprocess.run([cxx, "--version"], capture_output=True,
+                               text=True)
+        first = probe.stdout.splitlines()
+        return first[0] if first else cxx
+    except OSError:
+        return cxx
+
+
+def _header_key(root, header, cxx_identity, std) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"{cxx_identity}\n-std={std}\n".encode())
+    for path, text in _include_closure(root, header):
+        rel = path.relative_to(root)
+        digest.update(f"{rel}\n".encode())
+        digest.update(hashlib.sha256(text.encode()).digest())
+    return digest.hexdigest()
+
+
+def _compile_header(root, header, cxx, std):
+    result = subprocess.run(
+        [cxx, f"-std={std}", "-fsyntax-only", "-x", "c++",
+         "-I", str(root / "src"), str(header)],
+        capture_output=True, text=True)
+    if result.returncode == 0:
+        return None
+    first = result.stderr.strip().splitlines()
+    return first[0] if first else "does not compile alone"
+
+
 def check_headers_self_contained(root: pathlib.Path, cxx: str,
-                                 std: str):
+                                 std: str, cache_dir: pathlib.Path,
+                                 jobs: int):
     violations = []
     headers = sorted((root / "src").rglob("*.hh"))
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    cxx_identity = _compiler_identity(cxx)
+
+    pending = []        # (header, key) needing a real compile
     for header in headers:
-        rel = header.relative_to(root)
-        result = subprocess.run(
-            [cxx, f"-std={std}", "-fsyntax-only", "-x", "c++",
-             "-I", str(root / "src"), str(header)],
-            capture_output=True, text=True)
-        if result.returncode != 0:
-            first = result.stderr.strip().splitlines()
-            detail = first[0] if first else "does not compile alone"
-            violations.append(
-                (rel, 1, "header-not-self-contained", detail))
+        key = _header_key(root, header, cxx_identity, std)
+        cached = cache_dir / key
+        if cached.is_file():
+            text = cached.read_text(encoding="utf-8")
+            if text != "ok\n":
+                violations.append(
+                    (header.relative_to(root), 1,
+                     "header-not-self-contained",
+                     text.split("\n", 1)[1].strip() or
+                     "does not compile alone"))
+        else:
+            pending.append((header, key))
+
+    if pending:
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=max(1, jobs)) as pool:
+            details = pool.map(
+                lambda item: _compile_header(root, item[0], cxx, std),
+                pending)
+        for (header, key), detail in zip(pending, details):
+            cached = cache_dir / key
+            if detail is None:
+                cached.write_text("ok\n", encoding="utf-8")
+            else:
+                # Failures are cached too: the key covers the whole
+                # include closure, so any fix changes the key.
+                cached.write_text(f"fail\n{detail}\n",
+                                  encoding="utf-8")
+                violations.append(
+                    (header.relative_to(root), 1,
+                     "header-not-self-contained", detail))
     return violations
 
 
@@ -221,13 +332,21 @@ def main() -> int:
                         help="compiler for the header self-containment "
                              "check (empty string skips it)")
     parser.add_argument("--std", default="c++20")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help="header-check result cache (default: "
+                             "<root>/build/lint_header_cache)")
+    parser.add_argument("--jobs", type=int,
+                        default=min(32, os.cpu_count() or 1),
+                        help="parallel header compiles on cache miss")
     args = parser.parse_args()
 
     root = args.root.resolve()
     violations = check_text_rules(root)
     if args.cxx:
-        violations += check_headers_self_contained(root, args.cxx,
-                                                   args.std)
+        cache_dir = (args.cache_dir
+                     or root / "build" / "lint_header_cache")
+        violations += check_headers_self_contained(
+            root, args.cxx, args.std, cache_dir, args.jobs)
 
     for rel, lineno, rule, detail in violations:
         print(f"{rel}:{lineno}: {rule}: {detail}")

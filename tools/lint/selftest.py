@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Self-tests for the project linter (ctest: lint.selftest).
+
+Each text rule is probed with a known violation *and* the near-miss
+that used to need a hand-tuned guard (the same construct inside a
+comment or string, a qualified call, `= delete`, ...).  The header
+self-containment check is exercised end to end against a fixture tree,
+including the content-hash cache: the second run must be served
+entirely from cache — the test makes a real compile impossible and
+still expects the same answer.
+"""
+
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(
+    __file__).resolve().parents[1] / "analyze"))
+
+import cpplex    # noqa: E402
+import lint      # noqa: E402
+
+
+def run_rules(rel: str, text: str):
+    """Rule hits for one pseudo-file: list of (rule, line)."""
+    violations = lint.check_file_tokens(pathlib.PurePosixPath(rel),
+                                        cpplex.lex(text))
+    return [(rule, line) for _rel, line, rule, _detail in violations]
+
+
+class TextRuleTests(unittest.TestCase):
+    def assertFlags(self, rel, text, rule):
+        hits = run_rules(rel, text)
+        self.assertIn(rule, [r for r, _ in hits],
+                      f"expected {rule} in {rel}: {text!r} -> {hits}")
+
+    def assertClean(self, rel, text):
+        self.assertEqual(run_rules(rel, text), [],
+                         f"expected no hits in {rel}: {text!r}")
+
+    # -- rule 1: raw new/delete --------------------------------------
+    def test_raw_new_delete(self):
+        self.assertFlags("src/cache/c.cc", "p = new Block(4);",
+                         "no-raw-new")
+        self.assertFlags("src/cache/c.cc", "delete p;",
+                         "no-raw-delete")
+
+    def test_new_near_misses(self):
+        self.assertClean("src/cache/c.cc", "// allocate a new Block\n")
+        self.assertClean("src/cache/c.cc", 'log("new Block made");')
+        self.assertClean("src/cache/c.cc", "Cache(Cache&&) = delete;")
+        self.assertClean("src/cache/c.cc", "int renewal = news[0];")
+        self.assertClean("src/util/arena.cc",
+                         "void* p = new char[n]; delete[] q;")
+
+    # -- rule 2: rand ------------------------------------------------
+    def test_rand(self):
+        self.assertFlags("src/trace/t.cc", "int r = rand();", "no-rand")
+        self.assertFlags("src/trace/t.cc", "srand(7);", "no-rand")
+        self.assertClean("src/trace/t.cc", "int r = gen.rand();")
+        self.assertClean("src/trace/t.cc", "int r = util::rand();")
+        self.assertClean("src/trace/t.cc", "int rando = random_;")
+
+    # -- rule 3: empty fatal/panic -----------------------------------
+    def test_empty_fatal(self):
+        self.assertFlags("src/sim/s.cc", "fatal();",
+                         "empty-fatal-message")
+        self.assertFlags("src/sim/s.cc", 'panic("");',
+                         "empty-fatal-message")
+        self.assertClean("src/sim/s.cc", 'fatal("mshr overflow");')
+
+    # -- rule 5: raw std::thread -------------------------------------
+    def test_raw_thread(self):
+        self.assertFlags("src/sim/runner.cc", "std::thread worker;",
+                         "no-raw-thread")
+        self.assertFlags("src/cache/c.cc", "std::jthread j(fn);",
+                         "no-raw-thread")
+
+    def test_thread_near_misses(self):
+        self.assertClean("src/sim/runner.cc",
+                         "auto n = std::thread::hardware_concurrency();")
+        self.assertClean("src/sim/runner.cc",
+                         "std::this_thread::yield();")
+        self.assertClean("src/sim/runner.cc", '// spawn a std::thread')
+        self.assertClean("src/sim/parallel.cc", "std::thread worker;")
+        self.assertClean("src/util/thread_pool.cc",
+                         "std::thread worker;")
+
+    # -- rule 6: faultInject confinement -----------------------------
+    def test_fault_hooks(self):
+        self.assertFlags("src/dram/dram.cc", "faultInjectBit(addr);",
+                         "fault-hook-confinement")
+        self.assertClean("src/fault/inject.cc",
+                         "faultInjectBit(addr);")
+        self.assertClean("src/dram/dram.hh", "void faultInjectBit(x);")
+        self.assertClean("src/dram/dram.cc",
+                         "void Dram::faultInjectBit(uint64_t a) {}")
+        self.assertClean("tests/test_fault.cc",
+                         "faultInjectBit(addr);")
+
+    # -- rule 7: deque in hot dirs -----------------------------------
+    def test_hot_deque(self):
+        self.assertFlags("src/cache/mshr.cc", "#include <deque>\n",
+                         "no-hot-deque")
+        self.assertFlags("src/dram/chan.cc", "std::deque<Req> q_;",
+                         "no-hot-deque")
+        self.assertClean("src/trace/t.cc", "std::deque<Req> q_;")
+        self.assertClean("src/cache/mshr.cc", "// was a std::deque")
+
+    # -- rule 8: file I/O confinement --------------------------------
+    def test_file_io(self):
+        self.assertFlags("src/dram/d.cc", 'FILE* f = fopen(p, "r");',
+                         "file-io-confinement")
+        self.assertFlags("src/cache/c.cc", "#include <fstream>\n",
+                         "file-io-confinement")
+        self.assertFlags("src/ppf/p.cc", "std::ofstream out(path);",
+                         "file-io-confinement")
+
+    def test_file_io_exemptions(self):
+        self.assertClean("src/snapshot/store.cc",
+                         "std::ofstream out(path);")
+        self.assertClean("src/trace/file_trace.cc",
+                         "std::ifstream in(path);")
+        self.assertClean("src/stats/perf_report.cc",
+                         "std::ofstream out(path);")
+        self.assertClean("tools/sweep/gen.cc",
+                         "std::ofstream out(path);")
+        self.assertClean("src/dram/d.cc",
+                         'fprintf(stderr, "MIPS %f", m);')
+
+
+GOOD_HH = """#pragma once
+#include <cstdint>
+inline std::uint64_t twice(std::uint64_t v) { return v * 2; }
+"""
+
+BAD_HH = """#pragma once
+inline std::string name() { return "x"; }  // missing <string>
+"""
+
+
+@unittest.skipUnless(shutil.which(os.environ.get("CXX", "c++")),
+                     "no C++ compiler on PATH")
+class HeaderCheckTests(unittest.TestCase):
+    def setUp(self):
+        self.cxx = os.environ.get("CXX", "c++")
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.root = pathlib.Path(self._tmp.name)
+        self.cache = self.root / "cache"
+        (self.root / "src").mkdir()
+        (self.root / "src" / "good.hh").write_text(GOOD_HH)
+        (self.root / "src" / "bad.hh").write_text(BAD_HH)
+
+    def run_check(self):
+        return lint.check_headers_self_contained(
+            self.root, self.cxx, "c++20", self.cache, jobs=2)
+
+    def test_detects_and_caches(self):
+        first = self.run_check()
+        self.assertEqual([str(rel) for rel, *_ in first],
+                         ["src/bad.hh"])
+        self.assertEqual(first[0][2], "header-not-self-contained")
+
+        # Second run must come entirely from cache: make real
+        # compilation impossible and expect the identical verdict.
+        orig = lint._compile_header
+        lint._compile_header = lambda *a: self.fail(
+            "cache miss on unchanged tree")
+        try:
+            second = self.run_check()
+        finally:
+            lint._compile_header = orig
+        self.assertEqual(first, second)
+
+    def test_cache_invalidates_on_edit(self):
+        self.run_check()
+        # Fix bad.hh; its content hash changes, so it recompiles.
+        (self.root / "src" / "bad.hh").write_text(
+            "#pragma once\n#include <string>\n"
+            'inline std::string name() { return "x"; }\n')
+        self.assertEqual(self.run_check(), [])
+
+    def test_cache_keys_include_closure(self):
+        (self.root / "src" / "dep.hh").write_text(
+            "#pragma once\nusing feature_t = int;\n")
+        (self.root / "src" / "user.hh").write_text(
+            '#pragma once\n#include "dep.hh"\n'
+            "inline feature_t zero() { return 0; }\n")
+        self.assertEqual([str(rel) for rel, *_ in self.run_check()],
+                         ["src/bad.hh"])
+        # Break the *dependency*; user.hh's own bytes are unchanged
+        # but its closure hash is not — the cache must not mask this.
+        (self.root / "src" / "dep.hh").write_text("#pragma once\n")
+        violating = {str(rel) for rel, *_ in self.run_check()}
+        self.assertIn("src/user.hh", violating)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
