@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/request.hh"
+#include "util/small_vector.hh"
 #include "util/types.hh"
 
 namespace pfsim::snapshot
@@ -30,8 +31,13 @@ struct MshrEntry
     /** Block address of the miss. */
     Addr addr = 0;
 
-    /** Requests merged into this miss, to notify on fill. */
-    std::vector<Request> waiters;
+    /**
+     * Requests merged into this miss, to notify on fill.  Small-buffer
+     * storage: the common 1-4 waiter case stays inside the entry (no
+     * per-miss heap traffic); deeper merge chains spill once and the
+     * spill capacity is pooled across reuse.
+     */
+    util::SmallVector<Request, 4> waiters;
 
     /** True when the entry was allocated by a prefetch. */
     bool prefetchOnly = false;

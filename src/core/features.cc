@@ -1,5 +1,6 @@
 #include "core/features.hh"
 
+#include "core/simd.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -86,6 +87,161 @@ computeIndices(const FeatureInput &input)
             panic("feature index out of range");
     }
     return idx;
+}
+
+SharedIndexContext
+makeSharedContext(const FeatureInput &input)
+{
+    SharedIndexContext ctx;
+    ctx.physIdx = std::uint32_t(foldXor(input.triggerAddr, 12));
+    ctx.lineIdx =
+        std::uint32_t(foldXor(input.triggerAddr >> blockShift, 12));
+    ctx.pageFold =
+        std::uint32_t(foldXor(input.triggerAddr >> pageShift, 12));
+    const std::uint64_t pc_path =
+        input.pc1 ^ (input.pc2 >> 1) ^ (input.pc3 >> 2);
+    ctx.pcPathIdx = std::uint32_t(foldXor(pc_path, 11));
+    ctx.pcFold = std::uint32_t(foldXor(input.pc, 10));
+    return ctx;
+}
+
+bool
+sharesContext(const FeatureInput &a, const FeatureInput &b)
+{
+    return a.triggerAddr == b.triggerAddr && a.pc == b.pc &&
+           a.pc1 == b.pc1 && a.pc2 == b.pc2 && a.pc3 == b.pc3;
+}
+
+FeatureIndices
+computeIndices(const SharedIndexContext &ctx,
+               const FeatureInput &input)
+{
+    FeatureIndices idx;
+
+    idx[unsigned(FeatureId::PhysAddr)] = ctx.physIdx;
+    idx[unsigned(FeatureId::CacheLine)] = ctx.lineIdx;
+    idx[unsigned(FeatureId::PageAddr)] = ctx.pageFold;
+
+    idx[unsigned(FeatureId::PageAddrXorConf)] = std::uint32_t(
+        (ctx.pageFold ^ std::uint32_t(input.confidence)) & mask(12));
+
+    idx[unsigned(FeatureId::PcPath)] = ctx.pcPathIdx;
+
+    idx[unsigned(FeatureId::SigXorDelta)] = std::uint32_t(
+        (input.signature ^ encodeDelta(input.delta)) & mask(11));
+
+    idx[unsigned(FeatureId::PcXorDepth)] = std::uint32_t(
+        (ctx.pcFold ^ std::uint32_t(input.depth)) & mask(10));
+
+    idx[unsigned(FeatureId::PcXorDelta)] = std::uint32_t(
+        (ctx.pcFold ^ encodeDelta(input.delta)) & mask(10));
+
+    int conf = input.confidence;
+    if (conf < 0)
+        conf = 0;
+    if (conf > 127)
+        conf = 127;
+    idx[unsigned(FeatureId::Confidence)] = std::uint32_t(conf);
+
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        if (idx[f] >= featureTableSizes[f])
+            panic("feature index out of range");
+    }
+    return idx;
+}
+
+void
+fillSharedBurstIndices(const SharedIndexContext &ctx,
+                       const FeatureInput *inputs, std::size_t n,
+                       const std::uint32_t *table_offsets,
+                       std::size_t stride, std::uint32_t *abs_idx)
+{
+    constexpr std::size_t cap = simd::batchWidth;
+    if (n > stride || stride != cap)
+        panic("fillSharedBurstIndices: stride must be the kernel "
+              "batch width");
+
+    // Transpose the per-candidate fields into dense rows first: the
+    // row computations below then run over flat uint32 arrays with a
+    // compile-time trip count — straight-line code the compiler turns
+    // into a handful of vector ops — instead of striding through the
+    // FeatureInput structs once per feature.  The full-burst case
+    // (the steady state: SPP's lookahead bursts fill every lane) runs
+    // the gather with a compile-time trip count so the compiler emits
+    // no per-lane exit branches; partial bursts take the runtime-n
+    // loop and zero the tail lanes the full-width rows will read.
+    std::uint32_t encv[cap];
+    std::uint32_t sigv[cap];
+    std::uint32_t conf_raw[cap];
+    std::uint32_t conf_clamp[cap];
+    std::uint32_t depthv[cap];
+    const auto gather = [&](std::size_t count) {
+        for (std::size_t c = 0; c < count; ++c) {
+            const FeatureInput &input = inputs[c];
+            encv[c] = encodeDelta(input.delta);
+            sigv[c] = input.signature;
+            conf_raw[c] = std::uint32_t(input.confidence);
+            int conf = input.confidence;
+            if (conf < 0)
+                conf = 0;
+            if (conf > 127)
+                conf = 127;
+            conf_clamp[c] = std::uint32_t(conf);
+            depthv[c] = std::uint32_t(input.depth);
+        }
+    };
+    if (n == cap) {
+        gather(cap);
+    } else {
+        gather(n);
+        for (std::size_t c = n; c < cap; ++c) {
+            encv[c] = 0;
+            sigv[c] = 0;
+            conf_raw[c] = 0;
+            conf_clamp[c] = 0;
+            depthv[c] = 0;
+        }
+    }
+
+    // Row order is burstPerCandidateFeatures; each row is the exact
+    // expression of computeIndices(ctx, input) for that feature,
+    // fused with the table-offset add.  One loop per row, each a
+    // contiguous full-width store the vectorizer maps onto packed ops
+    // (a fused c-major loop would leave strided stores it cannot
+    // merge).
+    const std::uint32_t off_page_conf =
+        table_offsets[unsigned(FeatureId::PageAddrXorConf)];
+    const std::uint32_t off_sig_delta =
+        table_offsets[unsigned(FeatureId::SigXorDelta)];
+    const std::uint32_t off_pc_depth =
+        table_offsets[unsigned(FeatureId::PcXorDepth)];
+    const std::uint32_t off_pc_delta =
+        table_offsets[unsigned(FeatureId::PcXorDelta)];
+    const std::uint32_t off_conf =
+        table_offsets[unsigned(FeatureId::Confidence)];
+    for (std::size_t c = 0; c < cap; ++c)
+        abs_idx[0 * cap + c] =
+            off_page_conf + ((ctx.pageFold ^ conf_raw[c]) & mask(12));
+    for (std::size_t c = 0; c < cap; ++c)
+        abs_idx[1 * cap + c] =
+            off_sig_delta + ((sigv[c] ^ encv[c]) & mask(11));
+    for (std::size_t c = 0; c < cap; ++c)
+        abs_idx[2 * cap + c] =
+            off_pc_depth + ((ctx.pcFold ^ depthv[c]) & mask(10));
+    for (std::size_t c = 0; c < cap; ++c)
+        abs_idx[3 * cap + c] =
+            off_pc_delta + ((ctx.pcFold ^ encv[c]) & mask(10));
+    for (std::size_t c = 0; c < cap; ++c)
+        abs_idx[4 * cap + c] = off_conf + conf_clamp[c];
+
+    // Unused lanes point at weight 0: a full-width gather reads them
+    // in-bounds and the kernel discards the result.
+    if (n < cap) {
+        for (std::size_t r = 0; r < burstPerCandidateFeatures.size();
+             ++r)
+            for (std::size_t c = n; c < cap; ++c)
+                abs_idx[r * cap + c] = 0;
+    }
 }
 
 } // namespace pfsim::ppf

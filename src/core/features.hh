@@ -13,6 +13,7 @@
 #define PFSIM_CORE_FEATURES_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -94,6 +95,100 @@ using FeatureIndices = std::array<std::uint32_t, numFeatures>;
  * the corresponding featureTableSizes bound.
  */
 FeatureIndices computeIndices(const FeatureInput &input);
+
+/**
+ * The burst-invariant part of the feature indices.  Every candidate
+ * of one SPP lookahead burst shares its trigger address, trigger PC
+ * and PC history, so the address folds and PC hashes — the expensive
+ * part of computeIndices() — are computed once per burst and only the
+ * per-candidate depth/delta/confidence/signature mixes remain.
+ */
+struct SharedIndexContext
+{
+    std::uint32_t physIdx = 0;   ///< foldXor(triggerAddr, 12)
+    std::uint32_t lineIdx = 0;   ///< foldXor(triggerAddr >> 6, 12)
+    std::uint32_t pageFold = 0;  ///< foldXor(triggerAddr >> 12, 12)
+    std::uint32_t pcPathIdx = 0; ///< foldXor(pc1^(pc2>>1)^(pc3>>2), 11)
+    std::uint32_t pcFold = 0;    ///< foldXor(pc, 10)
+};
+
+/** Precompute the shared folds of @p input's trigger/PC context. */
+SharedIndexContext makeSharedContext(const FeatureInput &input);
+
+/**
+ * The burst-invariant features: their index — and therefore their
+ * weight — is the same for every candidate of a shared burst, so the
+ * batched path folds their weights into one per-burst bias instead of
+ * gathering identical values per lane.
+ */
+inline constexpr std::array<FeatureId, 4> burstSharedFeatures = {
+    FeatureId::PhysAddr,
+    FeatureId::CacheLine,
+    FeatureId::PageAddr,
+    FeatureId::PcPath,
+};
+
+/** The per-candidate features, in the row order of the batched
+ *  kernel's index layout (fillSharedBurstIndices). */
+inline constexpr std::array<FeatureId, 5> burstPerCandidateFeatures = {
+    FeatureId::PageAddrXorConf,
+    FeatureId::SigXorDelta,
+    FeatureId::PcXorDepth,
+    FeatureId::PcXorDelta,
+    FeatureId::Confidence,
+};
+
+/**
+ * The absolute flat-array indices of the burst-shared features'
+ * weights — out[k] for burstSharedFeatures[k] — bit-identical to
+ * table_offsets[f] + computeIndices(ctx, input)[f] for any input
+ * sharing @p ctx.
+ */
+inline void
+sharedAbsIndices(const SharedIndexContext &ctx,
+                 const std::uint32_t *table_offsets, std::uint32_t *out)
+{
+    out[0] = table_offsets[unsigned(FeatureId::PhysAddr)] + ctx.physIdx;
+    out[1] =
+        table_offsets[unsigned(FeatureId::CacheLine)] + ctx.lineIdx;
+    out[2] =
+        table_offsets[unsigned(FeatureId::PageAddr)] + ctx.pageFold;
+    out[3] = table_offsets[unsigned(FeatureId::PcPath)] + ctx.pcPathIdx;
+}
+
+/** True when @p a and @p b may share one SharedIndexContext. */
+bool sharesContext(const FeatureInput &a, const FeatureInput &b);
+
+/**
+ * computeIndices() with the shared folds hoisted out: bit-identical
+ * to computeIndices(input) whenever @p ctx was built from an input
+ * that sharesContext() with @p input.
+ */
+FeatureIndices computeIndices(const SharedIndexContext &ctx,
+                              const FeatureInput &input);
+
+/**
+ * The fused burst variant: write the @p n candidates' per-candidate
+ * feature indices straight into the feature-major layout
+ * WeightTables::sumBurst() consumes — row r holds feature
+ * burstPerCandidateFeatures[r], abs_idx[r * stride + c] =
+ * table_offsets[f] + index of that feature for inputs[c], with unused
+ * lanes c >= n zeroed so full-width gathers stay in-bounds.  The
+ * burst-shared features are not filled (their weights travel as the
+ * sumBurst bias; see sharedAbsIndices).  @p stride must be the kernel
+ * batch width (WeightTables::batchCapacity) and n <= stride.
+ *
+ * Index values are bit-identical to computeIndices(ctx, inputs[c]):
+ * the same expressions run here, only the per-candidate FeatureIndices
+ * array and its range-check pass are skipped — every index is bounded
+ * by construction (folds and masks), which the equivalence tests
+ * assert against the checked path.
+ */
+void fillSharedBurstIndices(const SharedIndexContext &ctx,
+                            const FeatureInput *inputs, std::size_t n,
+                            const std::uint32_t *table_offsets,
+                            std::size_t stride,
+                            std::uint32_t *abs_idx);
 
 } // namespace pfsim::ppf
 

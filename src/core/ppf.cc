@@ -33,12 +33,84 @@ Ppf::inferenceSum(const prefetch::SppCandidate &candidate) const
     return weights_.sum(computeIndices(buildInput(candidate)));
 }
 
+void
+Ppf::beginBatch(const prefetch::SppCandidate *candidates,
+                std::size_t count)
+{
+    if (count > prefetch::SppFilter::maxBatch)
+        count = prefetch::SppFilter::maxBatch;
+    batchSize_ = count;
+    batchNext_ = 0;
+    if (count == 0)
+        return;
+
+    // An SPP burst shares its trigger address and PC across every
+    // candidate (the PC history is ours and cannot move mid-call), so
+    // the address folds and PC hashes are hoisted and computed once;
+    // a mixed burst falls back to the full per-candidate computation.
+    // Either way the sums are exactly sum(computeIndices(input)).
+    bool shared = true;
+    for (std::size_t c = 0; c < count; ++c) {
+        batch_[c].candidate = candidates[c];
+        shared = shared &&
+            candidates[c].triggerAddr == candidates[0].triggerAddr &&
+            candidates[c].pc == candidates[0].pc;
+    }
+
+    FeatureInput inputs[prefetch::SppFilter::maxBatch];
+    for (std::size_t c = 0; c < count; ++c)
+        inputs[c] = buildInput(candidates[c]);
+
+    std::int32_t sums[prefetch::SppFilter::maxBatch];
+    if (shared) {
+        // Fused hot path: indices land straight in the feature-major
+        // absolute layout the batched kernel consumes.
+        static_assert(prefetch::SppFilter::maxBatch <=
+                      WeightTables::batchCapacity);
+        const SharedIndexContext ctx = makeSharedContext(inputs[0]);
+        std::uint32_t shared_abs[burstSharedFeatures.size()];
+        sharedAbsIndices(ctx, weights_.tableOffsets(), shared_abs);
+        std::uint32_t abs_idx[burstPerCandidateFeatures.size() *
+                              WeightTables::batchCapacity];
+        fillSharedBurstIndices(ctx, inputs, count,
+                               weights_.tableOffsets(),
+                               WeightTables::batchCapacity, abs_idx);
+        weights_.sumBurst(abs_idx, count, sums,
+                          weights_.burstBias(shared_abs));
+    } else {
+        FeatureIndices indices[prefetch::SppFilter::maxBatch];
+        for (std::size_t c = 0; c < count; ++c)
+            indices[c] = computeIndices(inputs[c]);
+        weights_.sumBatch(indices, count, sums);
+    }
+    for (std::size_t c = 0; c < count; ++c)
+        batch_[c].sum = sums[c];
+}
+
+const Ppf::BatchEntry *
+Ppf::batchLookup(const prefetch::SppCandidate &candidate)
+{
+    for (std::size_t j = batchNext_; j < batchSize_; ++j) {
+        if (batch_[j].candidate == candidate) {
+            batchNext_ = j + 1;
+            ++batchSumHits_;
+            return &batch_[j];
+        }
+    }
+    return nullptr;
+}
+
 prefetch::SppFilter::Decision
 Ppf::test(const prefetch::SppCandidate &candidate)
 {
     ++stats_.candidates;
-    const FeatureInput input = buildInput(candidate);
-    const int sum = weights_.sum(computeIndices(input));
+    int sum;
+    if (const BatchEntry *cached = batchLookup(candidate);
+        cached != nullptr) {
+        sum = cached->sum;
+    } else {
+        sum = weights_.sum(computeIndices(buildInput(candidate)));
+    }
     lastSum_ = sum;
     sumValid_ = true;
 
@@ -52,7 +124,10 @@ Ppf::test(const prefetch::SppCandidate &candidate)
     }
     ++stats_.rejected;
     recordDisplacedOutcome(*rejectTable_.slot(candidate.addr));
-    rejectTable_.insert(candidate.addr, input, false);
+    // The drop path needs the FeatureInput; rebuilding it here is
+    // bit-identical (pure function of candidate + PC history) and
+    // keeps the accept path free of the copy.
+    rejectTable_.insert(candidate.addr, buildInput(candidate), false);
     return Decision::Drop;
 }
 
@@ -102,6 +177,10 @@ Ppf::train(const FilterEntry &entry, bool positive)
 void
 Ppf::onDemand(Addr addr, Pc pc)
 {
+    // Training and the PC-history shift below change what a sum would
+    // be; any precomputed burst is stale from here on.
+    invalidateBatch();
+
     // A demand to a block the filter prefetched: correct positive.
     if (FilterEntry *entry = prefetchTable_.find(addr);
         entry != nullptr && !entry->useful) {
@@ -130,6 +209,7 @@ Ppf::onDemand(Addr addr, Pc pc)
 void
 Ppf::onUselessEviction(Addr addr)
 {
+    invalidateBatch();
     if (FilterEntry *entry = prefetchTable_.find(addr);
         entry != nullptr && !entry->useful) {
         ++stats_.trainUselessEvict;
@@ -142,6 +222,7 @@ int
 Ppf::faultInjectWeightFlip(FeatureId feature, std::uint32_t index,
                            unsigned bit)
 {
+    invalidateBatch();
     const int pre = weights_.weight(feature, index);
     const unsigned raw = unsigned(pre) & ((1u << weightBits) - 1u);
     const unsigned flipped = raw ^ (1u << (bit % weightBits));

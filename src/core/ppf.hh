@@ -25,6 +25,8 @@
 #ifndef PFSIM_CORE_PPF_HH
 #define PFSIM_CORE_PPF_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "core/feature_analysis.hh"
@@ -91,6 +93,12 @@ class Ppf : public prefetch::SppFilter
   public:
     explicit Ppf(PpfConfig config = {});
 
+    // prefetch::SppFilter: precompute one lookahead burst's feature
+    // indices and inference sums in a single batched kernel pass;
+    // the upcoming test() calls are served from this cache.
+    void beginBatch(const prefetch::SppCandidate *candidates,
+                    std::size_t count) override;
+
     // prefetch::SppFilter: inference (step 1).
     Decision test(const prefetch::SppCandidate &candidate) override;
 
@@ -115,6 +123,17 @@ class Ppf : public prefetch::SppFilter
     const PpfStats &ppfStats() const { return stats_; }
     const PpfConfig &config() const { return config_; }
     const WeightTables &weights() const { return weights_; }
+
+    /** test() calls served from the batched-inference cache (host
+     *  telemetry for tests/benches; not simulated machine state). */
+    std::uint64_t batchSumHits() const { return batchSumHits_; }
+
+    /**
+     * Pin the weight kernel (tests and benches; simulation behaviour
+     * is kernel-independent by construction).  @return false when the
+     * host cannot run @p k; the current kernel is kept.
+     */
+    bool forceKernel(simd::Kernel k) { return weights_.forceKernel(k); }
 
     /** Attach the Figure 6-8 instrumentation (optional). */
     void setAnalysis(FeatureAnalysis *analysis) { analysis_ = analysis; }
@@ -162,6 +181,42 @@ class Ppf : public prefetch::SppFilter
     void train(const FilterEntry &entry, bool positive);
     void recordDisplacedOutcome(const FilterEntry &displaced);
 
+    /**
+     * One precomputed burst candidate (beginBatch).  Only the
+     * candidate (for the lookup match) and its sum are kept; a served
+     * test() that still needs the FeatureInput — the reject-table
+     * insert on a drop — rebuilds it with buildInput(), bit-identical
+     * because the invalidation contract guarantees the PC history has
+     * not moved since beginBatch().
+     */
+    struct BatchEntry
+    {
+        prefetch::SppCandidate candidate;
+        int sum = 0;
+    };
+
+    /**
+     * Drop the precomputed burst.  Called on every path that mutates
+     * the weights or the PC history (training feedback, restores,
+     * fault injection), so a cached sum can never go stale: between
+     * beginBatch() and the test() calls it serves, nothing the sum
+     * depends on can change.
+     */
+    void
+    invalidateBatch()
+    {
+        batchSize_ = 0;
+        batchNext_ = 0;
+    }
+
+    /**
+     * The cached entry for @p candidate, or nullptr.  Consumption
+     * follows batch order (the burst contract), so matching resumes
+     * where the previous test() left off.
+     */
+    const BatchEntry *batchLookup(
+        const prefetch::SppCandidate &candidate);
+
     PpfConfig config_;
     WeightTables weights_;
     FilterTable prefetchTable_;
@@ -174,6 +229,14 @@ class Ppf : public prefetch::SppFilter
     /** Most recent inference sum, kept for the invariant auditor. */
     int lastSum_ = 0;
     bool sumValid_ = false;
+
+    /** Precomputed burst cache (transient; never serialized). */
+    std::array<BatchEntry, prefetch::SppFilter::maxBatch> batch_;
+    std::size_t batchSize_ = 0;
+    std::size_t batchNext_ = 0;
+
+    /** Host-side telemetry: cache-served test() calls. */
+    std::uint64_t batchSumHits_ = 0;
 
     PpfStats stats_;
 };

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * The SIMD kernels behind PPF's weight tables, and the one header in
+ * the tree allowed to include CPU intrinsics (lint rule 9).
+ *
+ * Three implementations of the same two kernels — batched inference
+ * sum and single-candidate train — selected once at construction by
+ * runtime CPU detection:
+ *
+ *   Scalar  portable reference; always available, always the
+ *           correctness oracle.
+ *   Sse2    x86-64 baseline: 4 candidates per pass, vertical 32-bit
+ *           adds, scalar weight loads (SSE2 has no gather).
+ *   Avx2    8 candidates per pass via vpgatherdd byte-offset gathers
+ *           straight out of the flat weight array.
+ *
+ * Every implementation is bit-identical to Scalar by construction:
+ * weights are int8, sums are exact int32 additions (associative, so
+ * lane order cannot matter), disabled features are masked with the
+ * same 0/-0x1 multiplier trick as the scalar 0/1 multiply, and the
+ * train kernel clamps with the same [lo, hi] bounds in the same
+ * single-clamp order as WeightTables::train always has.  The flat
+ * array carries gatherPadBytes of tail padding so a kernel may read
+ * up to 4 bytes per weight (WeightTables allocates it; the padding
+ * is storage-only and never serialized).  The current kernels use
+ * scalar byte loads — vpgatherdd was measured slower on
+ * GDS-mitigated server parts — but the padding keeps a true gather
+ * legal should one win elsewhere.
+ *
+ * There is deliberately no vectorized single-candidate sum: with only
+ * numFeatures weights per candidate, gather setup costs more than the
+ * nine scalar loads it replaces (measured ~4x slower on Skylake-class
+ * hardware), so WeightTables::sum() always runs the scalar loop and
+ * the vector kernels earn their keep at batch width.
+ *
+ * Compile-time gating: PFSIM_SIMD_LEVEL (set by the PFSIM_SIMD CMake
+ * option) caps the dispatch — 0 forces Scalar and compiles no
+ * intrinsics at all, 1 caps at Sse2, 2 (the default) enables the full
+ * runtime dispatch.  The AVX2 functions carry a target attribute, so
+ * they build correctly even without -mavx2 and are only ever called
+ * behind the runtime check.
+ */
+
+#ifndef PFSIM_CORE_SIMD_HH
+#define PFSIM_CORE_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef PFSIM_SIMD_LEVEL
+#define PFSIM_SIMD_LEVEL 2
+#endif
+
+#if defined(__x86_64__) && PFSIM_SIMD_LEVEL > 0
+#define PFSIM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PFSIM_SIMD_X86 0
+#endif
+
+namespace pfsim::simd
+{
+
+/** Kernel implementation the weight tables dispatch to. */
+enum class Kernel
+{
+    Scalar,
+    Sse2,
+    Avx2,
+};
+
+/** Bytes of tail padding after the last weight, enough for a kernel
+ *  to read 4 bytes per weight (e.g. a vpgatherdd-based one);
+ *  harmless (and allocated) for every kernel. */
+inline constexpr std::size_t gatherPadBytes = 3;
+
+/** Widest batch a single kernel pass handles (one AVX2 vector). */
+inline constexpr std::size_t batchWidth = 8;
+
+inline const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+      case Kernel::Scalar:
+        return "scalar";
+      case Kernel::Sse2:
+        return "sse2";
+      case Kernel::Avx2:
+        return "avx2";
+    }
+    return "scalar";
+}
+
+/** True when @p k can run on this build and this host CPU. */
+inline bool
+kernelSupported(Kernel k)
+{
+    switch (k) {
+      case Kernel::Scalar:
+        return true;
+      case Kernel::Sse2:
+        return PFSIM_SIMD_X86 != 0 && PFSIM_SIMD_LEVEL >= 1;
+      case Kernel::Avx2:
+#if PFSIM_SIMD_X86 && PFSIM_SIMD_LEVEL >= 2
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+/**
+ * The kernel auto-dispatch picks on this build and host.  SSE2 is
+ * preferred over AVX2 when both are available: the AVX2 kernel must
+ * live behind a `target("avx2")` attribute (the build never passes
+ * -mavx2 globally), which blocks inlining into the dispatch wrapper,
+ * and the resulting call overhead measured slightly slower than the
+ * fully-inlined SSE2 path on Skylake-class hosts.  AVX2 stays
+ * selectable via WeightTables::forceKernel for hardware where it
+ * wins — every kernel produces identical bytes, so the choice is
+ * speed-only.
+ */
+inline Kernel
+detectKernel()
+{
+    if (kernelSupported(Kernel::Sse2))
+        return Kernel::Sse2;
+    return Kernel::Scalar;
+}
+
+/**
+ * Scalar batched sum, the reference all other kernels must match
+ * bit-for-bit.  @p idx is feature-major: feature f's index for
+ * candidate c is idx[f * batchWidth + c], already absolute into
+ * @p flat.  @p mult is the 0/1 per-feature enable multiplier.
+ * @p bias seeds every lane's accumulator — callers hoist the weights
+ * of burst-invariant features into it (int32 addition is associative
+ * and commutative, so folding them in first cannot change the sum).
+ */
+inline void
+sumBatchScalar(const std::int8_t *flat, const std::uint32_t *idx,
+               const std::int32_t *mult, unsigned nfeat, std::size_t n,
+               std::int32_t *out, std::int32_t bias = 0)
+{
+    for (std::size_t c = 0; c < n; ++c) {
+        std::int32_t s = bias;
+        for (unsigned f = 0; f < nfeat; ++f)
+            s += std::int32_t(flat[idx[f * batchWidth + c]]) * mult[f];
+        out[c] = s;
+    }
+}
+
+#if PFSIM_SIMD_X86
+
+/**
+ * SSE2 batched sum: candidates vertical in 4-wide int32 lanes, scalar
+ * sign-extending weight loads, disabled features AND-masked to zero
+ * (identical to multiplying by 0).
+ */
+inline void
+sumBatchSse2(const std::int8_t *flat, const std::uint32_t *idx,
+             const std::int32_t *mult, unsigned nfeat, std::size_t n,
+             std::int32_t *out, std::int32_t bias = 0)
+{
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        __m128i acc = _mm_set1_epi32(bias);
+        for (unsigned f = 0; f < nfeat; ++f) {
+            const std::uint32_t *row = idx + f * batchWidth + c;
+            const __m128i w = _mm_set_epi32(
+                std::int32_t(flat[row[3]]), std::int32_t(flat[row[2]]),
+                std::int32_t(flat[row[1]]), std::int32_t(flat[row[0]]));
+            // -mult is 0 or ~0: the AND replicates the 0/1 multiply.
+            const __m128i enable = _mm_set1_epi32(-mult[f]);
+            acc = _mm_add_epi32(acc, _mm_and_si128(w, enable));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + c), acc);
+    }
+    if (c < n)
+        sumBatchScalar(flat, idx + c, mult, nfeat, n - c, out + c,
+                       bias);
+}
+
+/**
+ * SSE2 train: features 0..7 move one step and clamp in parallel
+ * 16-bit lanes; only enabled lanes are stored back, so a disabled
+ * weight parked outside [lo, hi] by fault injection is never
+ * re-clamped (exactly the scalar loop's behaviour).  Features beyond
+ * the vector width fall back to the scalar rule.
+ */
+inline void
+trainSse2(std::int8_t *flat, const std::uint32_t *idx,
+          std::uint32_t feature_mask, unsigned nfeat, int step, int lo,
+          int hi)
+{
+    const unsigned vec = nfeat < 8 ? nfeat : 8;
+    alignas(16) std::int8_t buf[16] = {};
+    for (unsigned f = 0; f < vec; ++f)
+        buf[f] = flat[idx[f]];
+
+    const __m128i packed =
+        _mm_load_si128(reinterpret_cast<const __m128i *>(buf));
+    __m128i w = _mm_srai_epi16(_mm_unpacklo_epi8(packed, packed), 8);
+    w = _mm_add_epi16(w, _mm_set1_epi16(std::int16_t(step)));
+    w = _mm_min_epi16(w, _mm_set1_epi16(std::int16_t(hi)));
+    w = _mm_max_epi16(w, _mm_set1_epi16(std::int16_t(lo)));
+    // Values sit in [lo, hi], inside int8, so the saturating pack is
+    // exact.
+    const __m128i narrow = _mm_packs_epi16(w, w);
+    _mm_store_si128(reinterpret_cast<__m128i *>(buf), narrow);
+
+    for (unsigned f = 0; f < vec; ++f) {
+        if ((feature_mask >> f) & 1)
+            flat[idx[f]] = buf[f];
+    }
+    for (unsigned f = vec; f < nfeat; ++f) {
+        if ((feature_mask >> f) & 1) {
+            const int v = int(flat[idx[f]]) + step;
+            flat[idx[f]] =
+                std::int8_t(v < lo ? lo : (v > hi ? hi : v));
+        }
+    }
+}
+
+#if PFSIM_SIMD_LEVEL >= 2
+
+/**
+ * AVX2 batched sum: a full 8-wide row per add, so each feature costs
+ * one masked 256-bit accumulate instead of SSE2's two.  The weights
+ * are fetched with eight scalar sign-extending byte loads rather
+ * than vpgatherdd: on GDS-mitigated server parts the gather is
+ * microcoded and measured ~15% slower end-to-end than the scalar
+ * loads, and the loads keep the kernel inside the flat array's
+ * logical bytes (no tail-padding requirement).
+ */
+__attribute__((target("avx2"))) inline void
+sumBatchAvx2(const std::int8_t *flat, const std::uint32_t *idx,
+             const std::int32_t *mult, unsigned nfeat, std::size_t n,
+             std::int32_t *out, std::int32_t bias = 0)
+{
+    __m256i acc = _mm256_set1_epi32(bias);
+    for (unsigned f = 0; f < nfeat; ++f) {
+        const std::uint32_t *row = idx + f * batchWidth;
+        const __m256i w = _mm256_set_epi32(
+            std::int32_t(flat[row[7]]), std::int32_t(flat[row[6]]),
+            std::int32_t(flat[row[5]]), std::int32_t(flat[row[4]]),
+            std::int32_t(flat[row[3]]), std::int32_t(flat[row[2]]),
+            std::int32_t(flat[row[1]]), std::int32_t(flat[row[0]]));
+        // -mult is 0 or ~0: the AND replicates the 0/1 multiply.
+        const __m256i enable = _mm256_set1_epi32(-mult[f]);
+        acc = _mm256_add_epi32(acc, _mm256_and_si256(w, enable));
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    for (std::size_t c = 0; c < n; ++c)
+        out[c] = lanes[c];
+}
+
+#endif // PFSIM_SIMD_LEVEL >= 2
+#endif // PFSIM_SIMD_X86
+
+/**
+ * Dispatched batched sum over up to batchWidth candidates.  Layout
+ * and semantics of sumBatchScalar; every kernel produces the same
+ * bytes in @p out.
+ */
+inline void
+sumBatch(Kernel k, const std::int8_t *flat, const std::uint32_t *idx,
+         const std::int32_t *mult, unsigned nfeat, std::size_t n,
+         std::int32_t *out, std::int32_t bias = 0)
+{
+#if PFSIM_SIMD_X86
+#if PFSIM_SIMD_LEVEL >= 2
+    if (k == Kernel::Avx2) {
+        sumBatchAvx2(flat, idx, mult, nfeat, n, out, bias);
+        return;
+    }
+#endif
+    if (k != Kernel::Scalar) {
+        sumBatchSse2(flat, idx, mult, nfeat, n, out, bias);
+        return;
+    }
+#else
+    (void)k;
+#endif
+    sumBatchScalar(flat, idx, mult, nfeat, n, out, bias);
+}
+
+/** Dispatched single-candidate train (absolute indices). */
+inline void
+train(Kernel k, std::int8_t *flat, const std::uint32_t *idx,
+      std::uint32_t feature_mask, unsigned nfeat, int step, int lo,
+      int hi)
+{
+#if PFSIM_SIMD_X86
+    if (k != Kernel::Scalar) {
+        trainSse2(flat, idx, feature_mask, nfeat, step, lo, hi);
+        return;
+    }
+#else
+    (void)k;
+#endif
+    for (unsigned f = 0; f < nfeat; ++f) {
+        if ((feature_mask >> f) & 1) {
+            const int v = int(flat[idx[f]]) + step;
+            flat[idx[f]] =
+                std::int8_t(v < lo ? lo : (v > hi ? hi : v));
+        }
+    }
+}
+
+} // namespace pfsim::simd
+
+#endif // PFSIM_CORE_SIMD_HH

@@ -1,6 +1,5 @@
 #include "core/weight_tables.hh"
 
-#include <algorithm>
 #include <bit>
 #include <string>
 
@@ -11,7 +10,8 @@ namespace pfsim::ppf
 
 WeightTables::WeightTables(std::uint32_t feature_mask,
                            unsigned clamp_bits)
-    : featureMask_(feature_mask & ((1u << numFeatures) - 1))
+    : featureMask_(feature_mask & ((1u << numFeatures) - 1)),
+      kernel_(simd::detectKernel())
 {
     if (clamp_bits < 2 || clamp_bits > weightBits) {
         fatal("weight clamp width must be within [2, " +
@@ -28,7 +28,57 @@ WeightTables::WeightTables(std::uint32_t feature_mask,
         mult_[f] = std::int32_t((featureMask_ >> f) & 1);
     }
     offsets_[numFeatures] = offset;
-    flat_.assign(offset, 0);
+    for (std::size_t r = 0; r < burstPerCandidateFeatures.size(); ++r)
+        burstMult_[r] = mult_[unsigned(burstPerCandidateFeatures[r])];
+    // Tail padding keeps the AVX2 4-byte gather in-bounds on the last
+    // weights; the pad bytes are storage-only and never serialized.
+    flat_.assign(offset + simd::gatherPadBytes, 0);
+
+    minSum_ = int(std::popcount(featureMask_)) * clampMin_;
+    maxSum_ = int(std::popcount(featureMask_)) * clampMax_;
+}
+
+void
+WeightTables::sumBatch(const FeatureIndices *idx, std::size_t n,
+                       std::int32_t *out) const
+{
+    for (std::size_t base = 0; base < n; base += batchCapacity) {
+        const std::size_t chunk = n - base < batchCapacity
+            ? n - base
+            : batchCapacity;
+        // Feature-major absolute offsets; unused lanes point at
+        // weight 0 so full-width gathers stay in-bounds (their result
+        // is discarded).  The transpose walks candidate-major so each
+        // FeatureIndices array is read once, front to back, with
+        // compile-time trip counts the compiler fully unrolls.
+        std::uint32_t abs_idx[numFeatures * batchCapacity] = {};
+        if (chunk == batchCapacity) {
+            for (std::size_t c = 0; c < batchCapacity; ++c) {
+                const FeatureIndices &one = idx[base + c];
+                for (unsigned f = 0; f < numFeatures; ++f)
+                    abs_idx[f * batchCapacity + c] =
+                        offsets_[f] + one[f];
+            }
+        } else {
+            for (std::size_t c = 0; c < chunk; ++c) {
+                const FeatureIndices &one = idx[base + c];
+                for (unsigned f = 0; f < numFeatures; ++f)
+                    abs_idx[f * batchCapacity + c] =
+                        offsets_[f] + one[f];
+            }
+        }
+        simd::sumBatch(kernel_, flat_.data(), abs_idx, mult_.data(),
+                       numFeatures, chunk, out + base);
+    }
+}
+
+void
+WeightTables::sumBurst(const std::uint32_t *abs_idx, std::size_t n,
+                       std::int32_t *out, std::int32_t bias) const
+{
+    simd::sumBatch(kernel_, flat_.data(), abs_idx, burstMult_.data(),
+                   unsigned(burstPerCandidateFeatures.size()), n, out,
+                   bias);
 }
 
 void
@@ -37,14 +87,11 @@ WeightTables::train(const FeatureIndices &idx, bool positive)
     // A stored weight is always within [clampMin_, clampMax_], itself
     // within the physical 5-bit range, so one clamp of value +/- 1 is
     // exactly the old saturate-at-5-bits-then-clamp sequence.
-    const int step = positive ? 1 : -1;
-    for (unsigned f = 0; f < numFeatures; ++f) {
-        if ((featureMask_ >> f) & 1) {
-            std::int8_t &w = flat_[offsets_[f] + idx[f]];
-            w = std::int8_t(
-                std::clamp(int(w) + step, clampMin_, clampMax_));
-        }
-    }
+    std::uint32_t abs_idx[numFeatures];
+    for (unsigned f = 0; f < numFeatures; ++f)
+        abs_idx[f] = offsets_[f] + idx[f];
+    simd::train(kernel_, flat_.data(), abs_idx, featureMask_,
+                numFeatures, positive ? 1 : -1, clampMin_, clampMax_);
 }
 
 stats::Histogram
@@ -55,18 +102,6 @@ WeightTables::weightHistogram(FeatureId feature) const
     for (std::uint32_t i = offsets_[f]; i < offsets_[f + 1]; ++i)
         hist.add(flat_[i]);
     return hist;
-}
-
-int
-WeightTables::minSum() const
-{
-    return int(std::popcount(featureMask_)) * clampMin_;
-}
-
-int
-WeightTables::maxSum() const
-{
-    return int(std::popcount(featureMask_)) * clampMax_;
 }
 
 } // namespace pfsim::ppf

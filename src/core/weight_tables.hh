@@ -5,8 +5,13 @@
  *
  * Storage is one flat std::int8_t array with per-feature offsets so
  * the inference sum — the hottest loop in the filter — is a single
- * branch-free pass: nine loads, nine 0/1 multiplies, no per-feature
- * vector indirection.
+ * branch-free pass.  Batched sums and the train loop dispatch at
+ * construction to the best kernel the host supports (core/simd.hh:
+ * scalar, SSE2 or AVX2 gathers); single-candidate sums stay scalar,
+ * where they are fastest.  Every kernel is bit-identical to the
+ * scalar reference, so figures, audits and snapshots cannot tell them
+ * apart.  The flat array carries a few bytes of gather tail padding;
+ * only the logical weights are serialized or audited.
  */
 
 #ifndef PFSIM_CORE_WEIGHT_TABLES_HH
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "core/features.hh"
+#include "core/simd.hh"
 #include "stats/histogram.hh"
 #include "util/sat_counter.hh"
 
@@ -39,6 +45,9 @@ using Weight = SignedSatCounter<weightBits>;
 class WeightTables
 {
   public:
+    /** Largest candidate batch one sumBatch() call accepts. */
+    static constexpr std::size_t batchCapacity = simd::batchWidth;
+
     /**
      * @param feature_mask bit f enables feature f; disabled features
      * contribute 0 to sums and are never trained (ablation studies).
@@ -52,7 +61,10 @@ class WeightTables
     /**
      * Sum the weights selected by @p idx over enabled features.
      * Branch-free: disabled features multiply by 0 instead of
-     * branching, so the loop vectorises and never mispredicts.
+     * branching.  Always the scalar loop regardless of the dispatch
+     * kernel — at one candidate per call, gather setup costs more
+     * than nine scalar loads (see simd.hh); the vector kernels serve
+     * sumBatch()/sumBurst(), which are bit-identical to this loop.
      */
     int
     sum(const FeatureIndices &idx) const
@@ -61,6 +73,58 @@ class WeightTables
         for (unsigned f = 0; f < numFeatures; ++f)
             s += int(flat_[offsets_[f] + idx[f]]) * mult_[f];
         return s;
+    }
+
+    /**
+     * Sum @p n candidates (at most batchCapacity) in one kernel pass:
+     * out[c] == sum(idx[c]) for every c, bit-identically.
+     */
+    void sumBatch(const FeatureIndices *idx, std::size_t n,
+                  std::int32_t *out) const;
+
+    /**
+     * The shared half of a burst's sum: the weights of the
+     * burst-invariant features (burstSharedFeatures), masked by their
+     * enables, folded into one scalar.  @p shared_abs comes from
+     * sharedAbsIndices().  Computed once per burst and passed to
+     * sumBurst() as the lane bias — int32 addition is associative and
+     * commutative, so the reordering cannot change any sum.
+     */
+    std::int32_t
+    burstBias(const std::uint32_t *shared_abs) const
+    {
+        std::int32_t s = 0;
+        for (std::size_t k = 0; k < burstSharedFeatures.size(); ++k) {
+            s += std::int32_t(flat_[shared_abs[k]]) *
+                 mult_[unsigned(burstSharedFeatures[k])];
+        }
+        return s;
+    }
+
+    /**
+     * Sum a burst already laid out for the kernel: @p abs_idx holds
+     * the per-candidate features only (row r is feature
+     * burstPerCandidateFeatures[r]) with batchCapacity stride,
+     * absolute into the flat array, unused lanes 0; @p bias is the
+     * burst's burstBias().  fillSharedBurstIndices() produces exactly
+     * this layout from tableOffsets(); out[c] == sum(candidate c's
+     * indices) bit-identically.  This is the inference hot path: no
+     * transpose, no per-candidate index array, and the shared
+     * features' weights are read once per burst instead of once per
+     * lane.
+     */
+    void sumBurst(const std::uint32_t *abs_idx, std::size_t n,
+                  std::int32_t *out, std::int32_t bias) const;
+
+    /**
+     * Fence-post table offsets (numFeatures + 1 entries): feature f's
+     * weights start at tableOffsets()[f] in the flat array.  Callers
+     * preparing sumBurst() input add these to the per-feature indices.
+     */
+    const std::uint32_t *
+    tableOffsets() const
+    {
+        return offsets_.data();
     }
 
     /**
@@ -86,13 +150,33 @@ class WeightTables
     /** Histogram of a feature's trained weights (Figure 6). */
     stats::Histogram weightHistogram(FeatureId feature) const;
 
-    /** Smallest / largest possible sum given the enabled features. */
-    int minSum() const;
-    int maxSum() const;
+    /**
+     * Smallest / largest possible sum given the enabled features.
+     * Cached at construction — audit passes consult these on every
+     * sample and must not rescan or recount anything per call.
+     */
+    int minSum() const { return minSum_; }
+    int maxSum() const { return maxSum_; }
 
     /** Effective weight range after clamping. */
     int weightMin() const { return clampMin_; }
     int weightMax() const { return clampMax_; }
+
+    /** The kernel sum()/train() dispatch to. */
+    simd::Kernel kernel() const { return kernel_; }
+
+    /**
+     * Force a specific kernel (equivalence tests).  @return false
+     * when @p k is unsupported on this build/host (kernel unchanged).
+     */
+    bool
+    forceKernel(simd::Kernel k)
+    {
+        if (!simd::kernelSupported(k))
+            return false;
+        kernel_ = k;
+        return true;
+    }
 
     /**
      * Read-only view of the raw storage for the invariant auditor:
@@ -142,7 +226,21 @@ class WeightTables
     std::array<std::uint32_t, numFeatures + 1> offsets_;
     /** 0/1 per-feature multiplier derived from featureMask_. */
     std::array<std::int32_t, numFeatures> mult_;
+    /** mult_ repacked in burstPerCandidateFeatures row order, the
+     *  enable vector of the sumBurst() kernel rows. */
+    std::array<std::int32_t, burstPerCandidateFeatures.size()>
+        burstMult_;
+    /**
+     * All weights back to back, plus simd::gatherPadBytes of zero
+     * tail padding for the AVX2 gather; the logical weight count is
+     * offsets_[numFeatures].
+     */
     std::vector<std::int8_t> flat_;
+    /** Kernel chosen by simd::detectKernel() at construction. */
+    simd::Kernel kernel_;
+    /** Cached sum bounds (popcount(mask) * clamp edge). */
+    int minSum_;
+    int maxSum_;
 };
 
 } // namespace pfsim::ppf

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/small_vector.hh"
+
 namespace pfsim::prefetch
 {
 
@@ -60,7 +62,10 @@ AmpmPrefetcher::operate(const OperateInfo &info)
     zone->accessed |= std::uint64_t{1} << line;
 
     // Gather stride candidates whose history supports continuation.
-    std::vector<int> candidates;
+    // At most two per stride magnitude, so the default configuration
+    // (maxStride 16) stays entirely in the inline buffer: this runs on
+    // every demand access and must not touch the heap.
+    util::SmallVector<int, 32> candidates;
     for (int mag = 1; mag <= config_.maxStride; ++mag) {
         for (int k : {mag, -mag}) {
             const int target = line + k;

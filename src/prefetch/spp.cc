@@ -198,7 +198,16 @@ SppPrefetcher::lookahead(Addr page, unsigned offset, std::uint32_t sig,
         if (c_sig == 0)
             break;
 
-        // Evaluate every delta slot at this depth.
+        // Evaluate every delta slot at this depth.  Candidates that
+        // pass the static gates are collected into one burst so an
+        // attached filter can precompute its inference for all of
+        // them in a single batched kernel pass; the dynamic
+        // per-trigger issue cap is applied at emit time with the same
+        // sequential count the per-slot loop used, so the emitted set
+        // and every side effect are identical to emitting in place.
+        static_assert(SppConfig::ptDeltaSlots <= SppFilter::maxBatch);
+        std::array<SppCandidate, SppConfig::ptDeltaSlots> burst;
+        std::size_t burst_count = 0;
         int best_delta = 0;
         double best_conf = -1.0;
         for (const auto &slot : entry.slots) {
@@ -218,8 +227,6 @@ SppPrefetcher::lookahead(Addr page, unsigned offset, std::uint32_t sig,
             const int target = cur_offset + int(slot.delta);
             if (target < 0 || target >= int(blocksPerPage))
                 continue; // cross-page handled via the GHR below
-            if (issued_this_trigger >= config_.maxPrefetchesPerTrigger)
-                continue;
 
             const bool above_tp =
                 p_d >= double(config_.prefetchThreshold);
@@ -240,7 +247,15 @@ SppPrefetcher::lookahead(Addr page, unsigned offset, std::uint32_t sig,
             candidate.delta = slot.delta;
             candidate.signature = cur_sig;
             candidate.fillL2 = p_d >= double(config_.fillThreshold);
-            if (emitCandidate(candidate))
+            burst[burst_count++] = candidate;
+        }
+
+        if (filter_ != nullptr && burst_count > 0)
+            filter_->beginBatch(burst.data(), burst_count);
+        for (std::size_t i = 0; i < burst_count; ++i) {
+            if (issued_this_trigger >= config_.maxPrefetchesPerTrigger)
+                break;
+            if (emitCandidate(burst[i]))
                 ++issued_this_trigger;
         }
 

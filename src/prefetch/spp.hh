@@ -25,6 +25,7 @@
 #define PFSIM_PREFETCH_SPP_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -107,6 +108,9 @@ struct SppCandidate
 
     /** SPP's own fill-level suggestion (P_d >= T_f). */
     bool fillL2 = false;
+
+    /** Member-wise equality (batch-handoff matching in the filter). */
+    bool operator==(const SppCandidate &) const = default;
 };
 
 /** Decision interface PPF implements. */
@@ -120,7 +124,29 @@ class SppFilter
         FillLlc,
     };
 
+    /** Largest burst beginBatch() is ever handed. */
+    static constexpr std::size_t maxBatch = 8;
+
     virtual ~SppFilter() = default;
+
+    /**
+     * Announce the candidates of one lookahead burst before they are
+     * test()ed individually.  Purely a performance hint: a filter may
+     * precompute its inference for the whole burst in one batched
+     * kernel pass and serve the upcoming test() calls from that
+     * cache.  The contract: every candidate subsequently test()ed
+     * before the next beginBatch() is drawn from @p candidates in
+     * order (possibly skipping some), and the caller guarantees no
+     * training feedback arrives between beginBatch() and those
+     * test() calls.  The default does nothing, so filters that do
+     * not batch are unaffected.
+     */
+    virtual void
+    beginBatch(const SppCandidate *candidates, std::size_t count)
+    {
+        (void)candidates;
+        (void)count;
+    }
 
     /** Decide the fate of one candidate. */
     virtual Decision test(const SppCandidate &candidate) = 0;

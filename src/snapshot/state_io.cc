@@ -907,17 +907,22 @@ namespace pfsim::ppf
 void
 WeightTables::serialize(snapshot::Sink &sink) const
 {
-    sink.u32(std::uint32_t(flat_.size()));
-    for (const std::int8_t weight : flat_)
-        sink.i8(weight);
+    // Only the logical weights travel; the flat_ tail padding the
+    // SIMD gather needs (simd::gatherPadBytes) is storage-only, so
+    // images are identical whichever kernel produced them.
+    const std::uint32_t logical = offsets_[numFeatures];
+    sink.u32(logical);
+    for (std::uint32_t i = 0; i < logical; ++i)
+        sink.i8(flat_[i]);
 }
 
 void
 WeightTables::deserialize(snapshot::Source &src)
 {
-    checkCount(src.u32(), flat_.size(), "PPF weight");
-    for (std::int8_t &weight : flat_)
-        weight = src.i8();
+    const std::uint32_t logical = offsets_[numFeatures];
+    checkCount(src.u32(), logical, "PPF weight");
+    for (std::uint32_t i = 0; i < logical; ++i)
+        flat_[i] = src.i8();
 }
 
 void
@@ -969,6 +974,8 @@ Ppf::serialize(snapshot::Sink &sink) const
 void
 Ppf::deserialize(snapshot::Source &src)
 {
+    // The restored weights invalidate any precomputed burst sums.
+    invalidateBatch();
     weights_.deserialize(src);
     prefetchTable_.deserialize(src);
     rejectTable_.deserialize(src);

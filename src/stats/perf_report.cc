@@ -18,12 +18,25 @@ PerfScenario::mips() const
     return double(instructions) / hostSeconds / 1e6;
 }
 
+std::uint64_t
+currentPeakRssKb()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return std::uint64_t(usage.ru_maxrss);
+}
+
+void
+PerfScenario::sampleRss()
+{
+    maxRssKb = currentPeakRssKb();
+}
+
 void
 PerfReport::sampleRss()
 {
-    struct rusage usage;
-    if (getrusage(RUSAGE_SELF, &usage) == 0)
-        maxRssKb = std::uint64_t(usage.ru_maxrss);
+    maxRssKb = currentPeakRssKb();
 }
 
 namespace
@@ -61,6 +74,8 @@ PerfReport::json() const
         appendNumber(out, s.mips());
         out += ",\n      \"speedup_vs_naive\": ";
         appendNumber(out, s.speedupVsNaive);
+        out += ",\n      \"max_rss_kb\": " +
+            std::to_string(s.maxRssKb);
         out += "\n    }";
         out += i + 1 < scenarios.size() ? ",\n" : "\n";
     }

@@ -16,6 +16,9 @@
 namespace pfsim::stats
 {
 
+/** Current process peak RSS in KiB (getrusage; 0 on failure). */
+std::uint64_t currentPeakRssKb();
+
 /** One measured scenario of a perf report. */
 struct PerfScenario
 {
@@ -36,6 +39,17 @@ struct PerfScenario
      * the naive cycle loop; 0 when not measured.
      */
     double speedupVsNaive = 0.0;
+
+    /**
+     * Process peak RSS in KiB sampled right after this scenario ran.
+     * Peak RSS is monotone over the process lifetime, so a jump from
+     * one scenario to the next attributes the growth to that scenario
+     * — this is how compare.py catches pool or arena leaks.
+     */
+    std::uint64_t maxRssKb = 0;
+
+    /** Record the current process peak RSS into maxRssKb. */
+    void sampleRss();
 
     /** Simulated million instructions per host-second. */
     double mips() const;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A small-buffer vector for the simulation kernel's hot paths: the
+ * first InlineCapacity elements live inside the object, so the
+ * steady-state case (MSHR waiter lists, burst scratch) never touches
+ * the heap.  Rare overflows spill into a std::vector whose capacity
+ * is retained across clear(), so even a spilled container allocates
+ * only on its first overflow — the same pooling contract as
+ * util/ring_buffer.hh.
+ *
+ * Deliberately minimal: push_back/clear/size/iteration/indexing, the
+ * operations the kernel needs.  T must be default-constructible and
+ * copyable (inline slots are value storage, as in std::array).
+ */
+
+#ifndef PFSIM_UTIL_SMALL_VECTOR_HH
+#define PFSIM_UTIL_SMALL_VECTOR_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace pfsim::util
+{
+
+template <typename T, std::size_t InlineCapacity>
+class SmallVector
+{
+    static_assert(InlineCapacity > 0,
+                  "inline storage must hold at least one element");
+
+  public:
+    SmallVector() = default;
+
+    void
+    push_back(const T &value)
+    {
+        if (!spilled()) {
+            if (inlineSize_ < InlineCapacity) {
+                inline_[inlineSize_++] = value;
+                return;
+            }
+            // First overflow: move the inline elements to the spill
+            // vector.  Its capacity is retained across clear(), so
+            // this allocates at most once per container lifetime.
+            spill_.reserve(InlineCapacity * 2);
+            spill_.assign(inline_.begin(), inline_.end());
+        }
+        spill_.push_back(value);
+    }
+
+    /** Keeps the spill capacity — pooled like RingBuffer slots. */
+    void
+    clear()
+    {
+        inlineSize_ = 0;
+        spill_.clear();
+    }
+
+    std::size_t
+    size() const
+    {
+        return spilled() ? spill_.size() : inlineSize_;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size(); }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size(); }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T *data() { return spilled() ? spill_.data() : inline_.data(); }
+
+    const T *
+    data() const
+    {
+        return spilled() ? spill_.data() : inline_.data();
+    }
+
+    /** True while elements live in the heap spill (tests). */
+    bool spilled() const { return !spill_.empty(); }
+
+  private:
+    std::array<T, InlineCapacity> inline_{};
+    std::size_t inlineSize_ = 0;
+    std::vector<T> spill_;
+};
+
+} // namespace pfsim::util
+
+#endif // PFSIM_UTIL_SMALL_VECTOR_HH

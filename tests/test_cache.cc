@@ -149,6 +149,37 @@ TEST(MshrFile, AllocateFindRelease)
     EXPECT_EQ(mshrs.find(0x1000), nullptr);
 }
 
+TEST(MshrFile, WaiterListStaysInlineInSteadyState)
+{
+    MshrFile mshrs(2);
+    MshrEntry *e = mshrs.allocate(0x1000, 1);
+    ASSERT_NE(e, nullptr);
+
+    // The common merge depth (<= 4 waiters) never touches the heap;
+    // deeper chains spill and keep working.
+    Request req;
+    for (int i = 0; i < 4; ++i) {
+        req.token = std::uint64_t(i);
+        e->waiters.push_back(req);
+    }
+    EXPECT_FALSE(e->waiters.spilled());
+    EXPECT_EQ(e->waiters.size(), 4u);
+
+    req.token = 4;
+    e->waiters.push_back(req);
+    EXPECT_TRUE(e->waiters.spilled());
+    EXPECT_EQ(e->waiters.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(e->waiters[i].token, i);
+
+    // release() clears the list; the recycled entry starts inline.
+    mshrs.release(e);
+    MshrEntry *again = mshrs.allocate(0x2000, 2);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(again->waiters.size(), 0u);
+    EXPECT_FALSE(again->waiters.spilled());
+}
+
 TEST(Cache, MshrSqueezeBackpressuresMissesUntilReleased)
 {
     FakeMemory memory;

@@ -16,6 +16,7 @@
 #include "util/random.hh"
 #include "util/ring_buffer.hh"
 #include "util/sat_counter.hh"
+#include "util/small_vector.hh"
 #include "util/types.hh"
 
 namespace pfsim
@@ -388,6 +389,79 @@ TEST(RingBuffer, ClearKeepsStorage)
     EXPECT_EQ(buf.capacity(), 4u);
     buf.push_back(7);
     EXPECT_EQ(buf.front(), 7);
+}
+
+TEST(SmallVector, InlineUntilCapacityThenSpills)
+{
+    util::SmallVector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i * 10);
+    EXPECT_FALSE(v.spilled());
+    EXPECT_EQ(v.size(), 4u);
+
+    v.push_back(40);
+    EXPECT_TRUE(v.spilled());
+    EXPECT_EQ(v.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(v[std::size_t(i)], i * 10);
+}
+
+TEST(SmallVector, IterationCoversBothStorages)
+{
+    util::SmallVector<int, 2> v;
+    int sum = 0;
+    for (int i = 1; i <= 2; ++i)
+        v.push_back(i);
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 3);
+
+    for (int i = 3; i <= 6; ++i)
+        v.push_back(i);
+    sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 21);
+    EXPECT_TRUE(v.spilled());
+}
+
+TEST(SmallVector, ClearReturnsToInlineAndKeepsSpillCapacity)
+{
+    util::SmallVector<int, 2> v;
+    for (int i = 0; i < 6; ++i)
+        v.push_back(i);
+    ASSERT_TRUE(v.spilled());
+    const int *spill_data = v.data();
+
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_FALSE(v.spilled());
+
+    // Small refills live inline again...
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_FALSE(v.spilled());
+
+    // ... and a re-spill reuses the retained heap block: the pooled
+    // steady state allocates at most once per container lifetime.
+    v.push_back(3);
+    EXPECT_TRUE(v.spilled());
+    EXPECT_EQ(v.data(), spill_data);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[1], 2);
+    EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVector, MutableThroughIndexAndData)
+{
+    util::SmallVector<int, 3> v;
+    v.push_back(5);
+    v[0] = 9;
+    EXPECT_EQ(*v.data(), 9);
+    const util::SmallVector<int, 3> &cv = v;
+    EXPECT_EQ(cv[0], 9);
+    EXPECT_EQ(cv.end() - cv.begin(), 1);
 }
 
 } // namespace

@@ -1,0 +1,660 @@
+/**
+ * @file
+ * The vector-kernel equivalence suite: every SIMD kernel the host can
+ * run must be bit-identical to the scalar reference — same sums, same
+ * clamp order, same saturation, same snapshot bytes.  The simulator's
+ * determinism story depends on this file: figures and checkpoints are
+ * produced on whatever kernel the host dispatches to, and they must
+ * not be able to tell.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ppf.hh"
+#include "core/simd.hh"
+#include "core/weight_tables.hh"
+#include "snapshot/serial.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace pfsim;
+using ppf::FeatureId;
+using ppf::FeatureIndices;
+using ppf::featureTableSizes;
+using ppf::numFeatures;
+using ppf::WeightTables;
+
+/** Heap-allocation counter for the allocation-free guarantees. */
+std::size_t g_allocations = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocations;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+/** Every kernel this build + host can actually run. */
+std::vector<simd::Kernel>
+supportedKernels()
+{
+    std::vector<simd::Kernel> kernels;
+    for (simd::Kernel k : {simd::Kernel::Scalar, simd::Kernel::Sse2,
+                           simd::Kernel::Avx2}) {
+        if (simd::kernelSupported(k))
+            kernels.push_back(k);
+    }
+    return kernels;
+}
+
+FeatureIndices
+randomIndices(Rng &rng)
+{
+    FeatureIndices idx;
+    for (unsigned f = 0; f < numFeatures; ++f)
+        idx[f] = std::uint32_t(rng.below(featureTableSizes[f]));
+    return idx;
+}
+
+/** All weights equal, feature by feature, index by index. */
+void
+expectSameWeights(const WeightTables &a, const WeightTables &b)
+{
+    for (unsigned f = 0; f < numFeatures; ++f) {
+        for (std::uint32_t i = 0; i < featureTableSizes[f]; ++i) {
+            ASSERT_EQ(a.weight(FeatureId(f), i),
+                      b.weight(FeatureId(f), i))
+                << "feature " << f << " index " << i;
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+snapshotBytes(const WeightTables &w)
+{
+    snapshot::Sink sink;
+    w.serialize(sink);
+    return sink.buffer();
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(simd::kernelSupported(simd::Kernel::Scalar));
+    WeightTables w;
+    EXPECT_TRUE(w.forceKernel(simd::Kernel::Scalar));
+    EXPECT_EQ(w.kernel(), simd::Kernel::Scalar);
+}
+
+TEST(SimdDispatch, UnsupportedKernelRefusedAndKept)
+{
+    WeightTables w;
+    const simd::Kernel before = w.kernel();
+    for (simd::Kernel k : {simd::Kernel::Sse2, simd::Kernel::Avx2}) {
+        if (!simd::kernelSupported(k)) {
+            EXPECT_FALSE(w.forceKernel(k));
+            EXPECT_EQ(w.kernel(), before);
+        }
+    }
+}
+
+/**
+ * Exhaustive cross-kernel sweep over the configuration space: every
+ * clamp width, masks covering all-enabled, all-disabled, alternating
+ * and every single feature, with weights poked to the clamp edges —
+ * including a disabled feature parked OUTSIDE the configured clamp
+ * range (only poke/fault-injection can do that), which the train
+ * kernels must leave untouched rather than helpfully re-clamp.
+ */
+TEST(KernelEquivalence, ExhaustiveConfigSweep)
+{
+    const auto kernels = supportedKernels();
+    const std::uint32_t masks[] = {0x1ff, 0x000, 0x155, 0x0aa,
+                                   0x001, 0x002, 0x004, 0x008,
+                                   0x010, 0x020, 0x040, 0x080,
+                                   0x100, 0x1fe, 0x0ff};
+
+    for (unsigned clamp_bits = 2; clamp_bits <= 5; ++clamp_bits) {
+        for (std::uint32_t mask : masks) {
+            std::vector<WeightTables> tables;
+            for (simd::Kernel k : kernels) {
+                tables.emplace_back(mask, clamp_bits);
+                ASSERT_TRUE(tables.back().forceKernel(k));
+            }
+            WeightTables &ref = tables.front();  // scalar
+
+            // Identical pokes everywhere: clamp edges, physical
+            // extremes (legal for disabled features via poke) and a
+            // spread of interior values.
+            Rng seed(0x5eed0 + clamp_bits * 31 + mask);
+            for (unsigned f = 0; f < numFeatures; ++f) {
+                const int values[] = {ref.weightMin(), ref.weightMax(),
+                                      -16, 15, -1, 0, 1,
+                                      int(seed.range(-16, 15))};
+                for (std::size_t v = 0; v < std::size(values); ++v) {
+                    const auto i = std::uint32_t(
+                        seed.below(featureTableSizes[f]));
+                    for (WeightTables &w : tables)
+                        w.poke(FeatureId(f), i, values[v]);
+                }
+            }
+
+            // Sums agree on every kernel, one candidate at a time and
+            // batched at every batch size.
+            Rng rng(0xabc0 + clamp_bits + mask);
+            for (int round = 0; round < 64; ++round) {
+                FeatureIndices idx[WeightTables::batchCapacity];
+                for (auto &one : idx)
+                    one = randomIndices(rng);
+                const int expect0 = ref.sum(idx[0]);
+                for (WeightTables &w : tables) {
+                    EXPECT_EQ(w.sum(idx[0]), expect0);
+                    for (std::size_t n = 1;
+                         n <= WeightTables::batchCapacity; ++n) {
+                        std::int32_t out[WeightTables::batchCapacity];
+                        w.sumBatch(idx, n, out);
+                        for (std::size_t c = 0; c < n; ++c)
+                            EXPECT_EQ(out[c], ref.sum(idx[c]));
+                    }
+                }
+
+                // Train every instance identically, to saturation and
+                // back, and compare the full weight state.
+                const FeatureIndices tidx = randomIndices(rng);
+                const bool up = rng.chance(0.5);
+                for (int step = 0; step < 3; ++step) {
+                    for (WeightTables &w : tables)
+                        w.train(tidx, up);
+                }
+                for (std::size_t t = 1; t < tables.size(); ++t)
+                    expectSameWeights(ref, tables[t]);
+            }
+        }
+    }
+}
+
+/** Saturation at the clamp edges is identical on every kernel. */
+TEST(KernelEquivalence, TrainSaturatesIdentically)
+{
+    const auto kernels = supportedKernels();
+    for (unsigned clamp_bits = 2; clamp_bits <= 5; ++clamp_bits) {
+        std::vector<WeightTables> tables;
+        for (simd::Kernel k : kernels) {
+            tables.emplace_back(0x1ff, clamp_bits);
+            ASSERT_TRUE(tables.back().forceKernel(k));
+        }
+        Rng rng(7 * clamp_bits);
+        const FeatureIndices idx = randomIndices(rng);
+
+        for (int i = 0; i < 40; ++i)
+            for (WeightTables &w : tables)
+                w.train(idx, true);
+        for (WeightTables &w : tables) {
+            for (unsigned f = 0; f < numFeatures; ++f)
+                EXPECT_EQ(w.weight(FeatureId(f), idx[f]),
+                          w.weightMax());
+        }
+        for (int i = 0; i < 80; ++i)
+            for (WeightTables &w : tables)
+                w.train(idx, false);
+        for (WeightTables &w : tables) {
+            for (unsigned f = 0; f < numFeatures; ++f)
+                EXPECT_EQ(w.weight(FeatureId(f), idx[f]),
+                          w.weightMin());
+        }
+    }
+}
+
+/**
+ * The 1M-op randomized fuzz: a scalar reference and one instance per
+ * supported SIMD kernel absorb the identical operation stream; sums
+ * must match op for op, and the final serialized state must be the
+ * same bytes.
+ */
+TEST(KernelEquivalence, FuzzMillionOps)
+{
+    const auto kernels = supportedKernels();
+    std::vector<WeightTables> tables;
+    for (simd::Kernel k : kernels) {
+        tables.emplace_back();
+        ASSERT_TRUE(tables.back().forceKernel(k));
+    }
+    WeightTables &ref = tables.front();
+
+    Rng rng(0xf022);
+    constexpr int ops = 1'000'000;
+    std::uint64_t mismatches = 0;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t kind = rng.below(10);
+        if (kind < 6) {                     // single sum
+            const FeatureIndices idx = randomIndices(rng);
+            const int expect = ref.sum(idx);
+            for (WeightTables &w : tables)
+                mismatches += w.sum(idx) != expect;
+        } else if (kind < 8) {              // batched sum
+            FeatureIndices idx[WeightTables::batchCapacity];
+            const std::size_t n =
+                1 + rng.below(WeightTables::batchCapacity);
+            for (std::size_t c = 0; c < n; ++c)
+                idx[c] = randomIndices(rng);
+            std::int32_t expect[WeightTables::batchCapacity];
+            for (std::size_t c = 0; c < n; ++c)
+                expect[c] = ref.sum(idx[c]);
+            for (WeightTables &w : tables) {
+                std::int32_t out[WeightTables::batchCapacity];
+                w.sumBatch(idx, n, out);
+                for (std::size_t c = 0; c < n; ++c)
+                    mismatches += out[c] != expect[c];
+            }
+        } else {                            // train
+            const FeatureIndices idx = randomIndices(rng);
+            const bool up = rng.chance(0.5);
+            for (WeightTables &w : tables)
+                w.train(idx, up);
+        }
+    }
+    EXPECT_EQ(mismatches, 0u);
+
+    const std::vector<std::uint8_t> ref_bytes = snapshotBytes(ref);
+    for (std::size_t t = 1; t < tables.size(); ++t) {
+        expectSameWeights(ref, tables[t]);
+        EXPECT_EQ(snapshotBytes(tables[t]), ref_bytes)
+            << "snapshot bytes differ on kernel "
+            << simd::kernelName(tables[t].kernel());
+    }
+}
+
+/** Snapshots restore across kernels: bytes are kernel-independent. */
+TEST(KernelEquivalence, SnapshotRoundTripAcrossKernels)
+{
+    WeightTables writer;
+    Rng rng(0x60a7);
+    for (int i = 0; i < 5000; ++i)
+        writer.train(randomIndices(rng), rng.chance(0.5));
+
+    for (simd::Kernel k : supportedKernels()) {
+        snapshot::Sink sink;
+        writer.serialize(sink);
+        snapshot::Source src(sink.buffer().data(),
+                             sink.buffer().size());
+        WeightTables reader;
+        ASSERT_TRUE(reader.forceKernel(k));
+        reader.deserialize(src);
+        expectSameWeights(writer, reader);
+        Rng probe(0xbeef);
+        for (int i = 0; i < 256; ++i) {
+            const FeatureIndices idx = randomIndices(probe);
+            EXPECT_EQ(reader.sum(idx), writer.sum(idx));
+        }
+    }
+}
+
+/** The AVX2 gather tail padding stays zero through heavy training. */
+TEST(KernelEquivalence, GatherPaddingStaysZero)
+{
+    WeightTables w;
+    Rng rng(0x9ad);
+    for (int i = 0; i < 20000; ++i)
+        w.train(randomIndices(rng), rng.chance(0.5));
+    const WeightTables::AuditView view = w.auditState();
+    const std::uint32_t logical = view.offsets[numFeatures];
+    for (std::size_t p = 0; p < simd::gatherPadBytes; ++p)
+        EXPECT_EQ(view.weights[logical + p], 0);
+}
+
+/** sum(), sumBatch() and train() never heap-allocate. */
+TEST(AllocationFree, KernelHotPath)
+{
+    WeightTables w;
+    Rng rng(0xa110c);
+    FeatureIndices idx[WeightTables::batchCapacity];
+    for (auto &one : idx)
+        one = randomIndices(rng);
+    std::int32_t out[WeightTables::batchCapacity];
+
+    const std::size_t before = g_allocations;
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        acc += w.sum(idx[0]);
+        w.sumBatch(idx, WeightTables::batchCapacity, out);
+        w.train(idx[i % WeightTables::batchCapacity], (i & 1) != 0);
+    }
+    EXPECT_EQ(g_allocations, before) << "hot path allocated (acc="
+                                     << acc << ")";
+}
+
+// ---------------------------------------------------------------------
+// Shared-context index hoisting (the batched burst's fast path).
+// ---------------------------------------------------------------------
+
+ppf::FeatureInput
+randomInput(Rng &rng)
+{
+    ppf::FeatureInput input;
+    input.triggerAddr = rng.next();
+    input.pc = rng.next();
+    input.pc1 = rng.next();
+    input.pc2 = rng.next();
+    input.pc3 = rng.next();
+    input.depth = int(rng.below(16)) + 1;
+    input.delta = int(rng.range(-64, 64));
+    input.confidence = int(rng.range(-5, 130)); // incl. out-of-range
+    input.signature = std::uint32_t(rng.below(1u << 12));
+    return input;
+}
+
+TEST(SharedIndexContext, MatchesFullComputationExactly)
+{
+    Rng rng(0xc0ffee);
+    for (int i = 0; i < 20000; ++i) {
+        // One burst: shared trigger/PC context, varying per-candidate
+        // fields (including edge confidences and negative deltas).
+        ppf::FeatureInput base = randomInput(rng);
+        const ppf::SharedIndexContext ctx =
+            ppf::makeSharedContext(base);
+        for (int c = 0; c < 4; ++c) {
+            ppf::FeatureInput cand = base;
+            cand.depth = int(rng.below(16)) + 1;
+            cand.delta = int(rng.range(-64, 64));
+            cand.confidence = int(rng.range(-5, 130));
+            cand.signature = std::uint32_t(rng.below(1u << 12));
+            ASSERT_TRUE(ppf::sharesContext(base, cand));
+            EXPECT_EQ(ppf::computeIndices(ctx, cand),
+                      ppf::computeIndices(cand));
+        }
+    }
+}
+
+TEST(SharedIndexContext, SharesContextDetectsDifferences)
+{
+    Rng rng(0x51deb);
+    const ppf::FeatureInput base = randomInput(rng);
+    ppf::FeatureInput other = base;
+    EXPECT_TRUE(ppf::sharesContext(base, other));
+    other.triggerAddr ^= 1;
+    EXPECT_FALSE(ppf::sharesContext(base, other));
+    other = base;
+    other.pc ^= 1;
+    EXPECT_FALSE(ppf::sharesContext(base, other));
+    other = base;
+    other.pc2 ^= 1;
+    EXPECT_FALSE(ppf::sharesContext(base, other));
+    other = base;
+    other.delta += 1;   // per-candidate field: still shareable
+    EXPECT_TRUE(ppf::sharesContext(base, other));
+}
+
+TEST(SharedIndexContext, BurstFillMatchesCheckedPath)
+{
+    // The fused fill skips the per-index range-check pass on the
+    // grounds that every value is bounded by construction; this test
+    // is that ground: each filled lane must equal table offset plus
+    // the checked computeIndices() value, shared features must land
+    // in sharedAbsIndices(), and unused lanes must point at weight 0.
+    constexpr std::size_t stride = WeightTables::batchCapacity;
+    constexpr std::size_t rows = ppf::burstPerCandidateFeatures.size();
+    const WeightTables w;
+    Rng rng(0xb1157);
+    for (int i = 0; i < 5000; ++i) {
+        ppf::FeatureInput burst[stride];
+        burst[0] = randomInput(rng);
+        const std::size_t n = rng.below(stride) + 1;
+        for (std::size_t c = 1; c < n; ++c) {
+            burst[c] = burst[0];
+            burst[c].depth = int(rng.below(16)) + 1;
+            burst[c].delta = int(rng.range(-64, 64));
+            burst[c].confidence = int(rng.range(-5, 130));
+            burst[c].signature = std::uint32_t(rng.below(1u << 12));
+        }
+        const ppf::SharedIndexContext ctx =
+            ppf::makeSharedContext(burst[0]);
+
+        std::uint32_t shared_abs[ppf::burstSharedFeatures.size()];
+        ppf::sharedAbsIndices(ctx, w.tableOffsets(), shared_abs);
+
+        std::uint32_t abs_idx[rows * stride];
+        for (std::uint32_t &lane : abs_idx)
+            lane = 0xdeadbeef; // catch unwritten lanes
+        ppf::fillSharedBurstIndices(ctx, burst, n, w.tableOffsets(),
+                                    stride, abs_idx);
+
+        for (std::size_t c = 0; c < n; ++c) {
+            const FeatureIndices checked =
+                ppf::computeIndices(ctx, burst[c]);
+            for (std::size_t r = 0; r < rows; ++r) {
+                const unsigned f =
+                    unsigned(ppf::burstPerCandidateFeatures[r]);
+                ASSERT_EQ(abs_idx[r * stride + c],
+                          w.tableOffsets()[f] + checked[f])
+                    << "feature " << f << " lane " << c;
+            }
+            for (std::size_t k = 0;
+                 k < ppf::burstSharedFeatures.size(); ++k) {
+                const unsigned f =
+                    unsigned(ppf::burstSharedFeatures[k]);
+                ASSERT_EQ(shared_abs[k],
+                          w.tableOffsets()[f] + checked[f])
+                    << "shared feature " << f;
+            }
+        }
+        for (std::size_t c = n; c < stride; ++c) {
+            for (std::size_t r = 0; r < rows; ++r)
+                ASSERT_EQ(abs_idx[r * stride + c], 0u)
+                    << "unused lane " << c << " row " << r;
+        }
+    }
+}
+
+TEST(KernelEquivalence, SumBurstMatchesPerCandidateSum)
+{
+    // The fused burst entry point must agree with the scalar
+    // single-candidate sum on every kernel, including after training
+    // has moved the weights and with features ablated away on both
+    // sides of the shared/per-candidate split.
+    constexpr std::size_t stride = WeightTables::batchCapacity;
+    for (simd::Kernel k : supportedKernels()) {
+    for (std::uint32_t mask : {0x1ffu, 0x0a5u, 0x15au}) {
+        WeightTables w(mask);
+        ASSERT_TRUE(w.forceKernel(k));
+        Rng rng(0x5eed + std::uint64_t(k) + mask);
+        for (std::size_t i = 0; i < 5000; ++i)
+            w.train(randomIndices(rng), (i & 1) != 0);
+
+        for (int i = 0; i < 2000; ++i) {
+            ppf::FeatureInput burst[stride];
+            burst[0] = randomInput(rng);
+            const std::size_t n = rng.below(stride) + 1;
+            for (std::size_t c = 1; c < n; ++c) {
+                burst[c] = burst[0];
+                burst[c].depth = int(rng.below(16)) + 1;
+                burst[c].delta = int(rng.range(-64, 64));
+                burst[c].confidence = int(rng.range(-5, 130));
+                burst[c].signature =
+                    std::uint32_t(rng.below(1u << 12));
+            }
+            const ppf::SharedIndexContext ctx =
+                ppf::makeSharedContext(burst[0]);
+            std::uint32_t shared_abs[ppf::burstSharedFeatures.size()];
+            ppf::sharedAbsIndices(ctx, w.tableOffsets(), shared_abs);
+            std::uint32_t
+                abs_idx[ppf::burstPerCandidateFeatures.size() *
+                        stride];
+            ppf::fillSharedBurstIndices(ctx, burst, n,
+                                        w.tableOffsets(), stride,
+                                        abs_idx);
+            std::int32_t sums[stride];
+            w.sumBurst(abs_idx, n, sums, w.burstBias(shared_abs));
+            for (std::size_t c = 0; c < n; ++c) {
+                ASSERT_EQ(sums[c],
+                          w.sum(ppf::computeIndices(burst[c])))
+                    << "kernel " << unsigned(k) << " mask " << mask
+                    << " lane " << c;
+            }
+        }
+    }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ppf batched-inference cache.
+// ---------------------------------------------------------------------
+
+prefetch::SppCandidate
+makeCandidate(Addr trigger, Pc pc, int depth, int delta)
+{
+    prefetch::SppCandidate cand;
+    cand.triggerAddr = trigger;
+    cand.pc = pc;
+    cand.depth = depth;
+    cand.delta = delta;
+    cand.addr = trigger + Addr(std::int64_t(delta) * 64 * depth);
+    cand.confidence = 90 - 10 * depth;
+    cand.signature = 0x123;
+    return cand;
+}
+
+TEST(PpfBatch, BatchedAndUnbatchedDecisionsIdentical)
+{
+    ppf::Ppf batched;
+    ppf::Ppf plain;
+    Rng rng(0x7e57);
+
+    for (int burst = 0; burst < 2000; ++burst) {
+        const Addr trigger = (rng.below(256) << 12) |
+                             (rng.below(64) << 6);
+        const Pc pc = 0x1000 + (rng.below(32) << 2);
+        prefetch::SppCandidate cands[4];
+        for (int c = 0; c < 4; ++c)
+            cands[c] = makeCandidate(trigger, pc, c + 1,
+                                     int(rng.range(1, 8)));
+
+        batched.beginBatch(cands, 4);
+        for (int c = 0; c < 4; ++c) {
+            EXPECT_EQ(batched.test(cands[c]), plain.test(cands[c]));
+        }
+        // Identical training feedback on both filters.
+        if (burst % 3 == 0) {
+            const Addr addr = cands[rng.below(4)].addr;
+            batched.onDemand(addr, pc);
+            plain.onDemand(addr, pc);
+        }
+    }
+
+    const ppf::PpfStats &a = batched.ppfStats();
+    const ppf::PpfStats &b = plain.ppfStats();
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.acceptedL2, b.acceptedL2);
+    EXPECT_EQ(a.acceptedLlc, b.acceptedLlc);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.trainFalseNegative, b.trainFalseNegative);
+
+    // The batched filter actually served from its cache.
+    EXPECT_EQ(batched.batchSumHits(), 4u * 2000u);
+    EXPECT_EQ(plain.batchSumHits(), 0u);
+}
+
+TEST(PpfBatch, ConsumesSubsequenceInOrder)
+{
+    ppf::Ppf filter;
+    prefetch::SppCandidate cands[6];
+    for (int c = 0; c < 6; ++c)
+        cands[c] = makeCandidate(0x4000, 0x88, c + 1, 2);
+
+    filter.beginBatch(cands, 6);
+    // The SPP cap gate may skip candidates; consumption must follow
+    // batch order as a subsequence.
+    EXPECT_EQ(filter.test(cands[1]), ppf::Ppf::Decision::Drop);
+    EXPECT_EQ(filter.test(cands[3]), ppf::Ppf::Decision::Drop);
+    EXPECT_EQ(filter.test(cands[5]), ppf::Ppf::Decision::Drop);
+    EXPECT_EQ(filter.batchSumHits(), 3u);
+
+    // Going backwards is not a subsequence: served by full fallback.
+    EXPECT_EQ(filter.test(cands[0]), ppf::Ppf::Decision::Drop);
+    EXPECT_EQ(filter.batchSumHits(), 3u);
+}
+
+TEST(PpfBatch, FeedbackInvalidatesCache)
+{
+    ppf::Ppf filter;
+    prefetch::SppCandidate cands[4];
+    for (int c = 0; c < 4; ++c)
+        cands[c] = makeCandidate(0x8000, 0x44, c + 1, 3);
+
+    filter.beginBatch(cands, 4);
+    (void)filter.test(cands[0]);
+    EXPECT_EQ(filter.batchSumHits(), 1u);
+
+    // Training changes the weights: the rest of the batch is stale
+    // and must be recomputed, not served.
+    filter.onDemand(cands[0].addr, 0x44);
+    (void)filter.test(cands[1]);
+    EXPECT_EQ(filter.batchSumHits(), 1u);
+}
+
+TEST(PpfBatch, BatchedInferenceMatchesInferenceSum)
+{
+    ppf::Ppf filter;
+    Rng rng(0x1dea);
+    for (int i = 0; i < 500; ++i) {
+        const Addr trigger = rng.below(1u << 20) << 6;
+        prefetch::SppCandidate cands[8];
+        for (int c = 0; c < 8; ++c)
+            cands[c] = makeCandidate(trigger, 0x77, c + 1,
+                                     int(rng.range(-4, 4)));
+        filter.beginBatch(cands, 8);
+        for (int c = 0; c < 8; ++c) {
+            const int expect = filter.inferenceSum(cands[c]);
+            (void)filter.test(cands[c]);
+            const ppf::Ppf::AuditView view = filter.auditState();
+            ASSERT_TRUE(view.sumValid);
+            EXPECT_EQ(view.lastSum, expect);
+        }
+    }
+}
+
+} // namespace

@@ -35,6 +35,11 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      fprintf/fputs on already-open streams (stdout/stderr logging) are
      not file I/O and never match.  Tests, benches and tools are
      exempt.
+  9. SIMD intrinsics headers (``<immintrin.h>`` and friends) are
+     included only by src/core/simd.hh, the one header that wraps the
+     vector kernels behind a scalar-equivalent interface.  Everything
+     else — including tests and benches — programs against simd.hh, so
+     a kernel change or a new architecture touches exactly one file.
 
 The text rules run on the token stream produced by the shared lexer
 (tools/analyze/cpplex.py): comments are gone and string/char literals
@@ -84,8 +89,17 @@ def _value(tok):
     return tok.value if tok is not None else None
 
 
+INTRINSICS_HEADERS = (
+    "<immintrin.h>", "<emmintrin.h>", "<xmmintrin.h>",
+    "<pmmintrin.h>", "<tmmintrin.h>", "<smmintrin.h>",
+    "<nmmintrin.h>", "<wmmintrin.h>", "<avxintrin.h>",
+    "<avx2intrin.h>", "<x86intrin.h>", "<x86gprintrin.h>",
+    "<arm_neon.h>", "<arm_sve.h>",
+)
+
+
 def check_file_tokens(rel: pathlib.PurePath, toks):
-    """Apply rules 1-3 and 5-8 to one file's token stream."""
+    """Apply rules 1-3 and 5-9 to one file's token stream."""
     violations = []
     in_util = rel.parts[:2] == ("src", "util")
     may_thread = in_util or (
@@ -100,6 +114,7 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                    or rel.parts[:2] == ("src", "snapshot")
                    or str(rel) in ("src/trace/file_trace.cc",
                                    "src/stats/perf_report.cc"))
+    may_intrinsics = str(rel) == "src/core/simd.hh"
 
     for i, t in enumerate(toks):
         prev = _value(_tok_at(toks, i - 1))
@@ -119,6 +134,13 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                      "raw file I/O in src/ belongs to src/snapshot; "
                      "persist simulator state through the checkpoint "
                      "store"))
+            if (not may_intrinsics
+                    and any(h in directive for h in INTRINSICS_HEADERS)):
+                violations.append(
+                    (rel, t.line, "intrinsics-confinement",
+                     "SIMD intrinsics headers are included only by "
+                     "src/core/simd.hh; program against its kernel "
+                     "interface instead"))
             continue
         if t.kind != "id":
             continue

@@ -132,6 +132,27 @@ class TextRuleTests(unittest.TestCase):
         self.assertClean("src/dram/d.cc",
                          'fprintf(stderr, "MIPS %f", m);')
 
+    # -- rule 9: intrinsics confinement ------------------------------
+    def test_intrinsics_confinement(self):
+        self.assertFlags("src/cache/c.cc", "#include <immintrin.h>\n",
+                         "intrinsics-confinement")
+        self.assertFlags("src/core/weight_tables.cc",
+                         "#include <emmintrin.h>\n",
+                         "intrinsics-confinement")
+        self.assertFlags("tests/test_simd.cc",
+                         "#include <x86intrin.h>\n",
+                         "intrinsics-confinement")
+        self.assertFlags("bench/kern.cc", "#include <arm_neon.h>\n",
+                         "intrinsics-confinement")
+
+    def test_intrinsics_exemptions(self):
+        self.assertClean("src/core/simd.hh",
+                         "#include <immintrin.h>\n")
+        self.assertClean("src/cache/c.cc",
+                         "// gathers via <immintrin.h> wrappers\n")
+        self.assertClean("src/cache/c.cc",
+                         '#include "core/simd.hh"\n')
+
 
 GOOD_HH = """#pragma once
 #include <cstdint>

@@ -3,6 +3,7 @@
 
 Usage:
     compare.py BASELINE.json CURRENT.json [--max-regression FRAC]
+               [--max-rss-growth FRAC]
 
 Joins scenarios by name and compares MIPS.  Any scenario that lost
 more than 10% prints a WARN line; any scenario that lost more than
@@ -10,9 +11,20 @@ more than 10% prints a WARN line; any scenario that lost more than
 CI runs with --max-regression 0.5 so shared-runner noise only warns,
 while a >2x slowdown (ratio < 0.5) still hard-fails.
 
+Memory is gated too: a scenario whose peak RSS (``max_rss_kb``,
+sampled right after the scenario ran) grew by more than
+--max-rss-growth (default 0.25) over the baseline fails the
+comparison.  MIPS can stay flat while a pool or arena leaks; RSS
+growth is how that shows up.  Baselines predating per-scenario RSS
+are skipped scenario-by-scenario but still checked at report level.
+
 Scenarios present in only one report are reported and fail the
 comparison: a vanished scenario usually means the harness silently
 stopped covering it.
+
+The final summary line carries each scenario's speedup ratio
+(current MIPS / baseline MIPS) so a single log line answers "what
+did this change do to simulator speed, per workload".
 """
 
 import argparse
@@ -31,7 +43,19 @@ def load(path):
     if report.get("schema") != "pfsim-bench-throughput-v1":
         sys.exit(f"compare: {path}: unknown schema "
                  f"{report.get('schema')!r}")
-    return {s["name"]: s for s in report.get("scenarios", [])}
+    return report, {s["name"]: s for s in report.get("scenarios", [])}
+
+
+def check_rss(name, base_kb, cur_kb, max_growth):
+    """One RSS comparison; prints its verdict.  Returns True on fail."""
+    if not base_kb:
+        return False          # no baseline sample to compare against
+    growth = cur_kb / base_kb - 1.0
+    if growth > max_growth:
+        print(f"FAIL {name}: max_rss_kb {base_kb} -> {cur_kb} "
+              f"(+{growth:.0%}, limit +{max_growth:.0%})")
+        return True
+    return False
 
 
 def main():
@@ -43,12 +67,17 @@ def main():
         "--max-regression", type=float, default=0.10, metavar="FRAC",
         help="fail when a scenario's MIPS drops by more than this "
              "fraction (default: 0.10)")
+    parser.add_argument(
+        "--max-rss-growth", type=float, default=0.25, metavar="FRAC",
+        help="fail when a scenario's max_rss_kb grows by more than "
+             "this fraction (default: 0.25)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    base_report, baseline = load(args.baseline)
+    cur_report, current = load(args.current)
 
     failed = False
+    ratios = []
     for name in sorted(baseline.keys() | current.keys()):
         if name not in current:
             print(f"FAIL {name}: missing from current report")
@@ -66,6 +95,7 @@ def main():
             continue
 
         ratio = cur_mips / base_mips
+        ratios.append((name, ratio))
         line = (f"{name}: {base_mips:.2f} -> {cur_mips:.2f} MIPS "
                 f"({ratio:.1%} of baseline)")
         if ratio < 1.0 - args.max_regression:
@@ -76,10 +106,23 @@ def main():
         else:
             print(f"ok   {line}")
 
+        failed |= check_rss(name,
+                            baseline[name].get("max_rss_kb", 0),
+                            current[name].get("max_rss_kb", 0),
+                            args.max_rss_growth)
+
+    # Whole-process peak as a backstop (also covers old baselines
+    # that predate per-scenario RSS samples).
+    failed |= check_rss("<report>", base_report.get("max_rss_kb", 0),
+                        cur_report.get("max_rss_kb", 0),
+                        args.max_rss_growth)
+
+    summary = " ".join(f"{name}={ratio:.2f}x" for name, ratio in ratios)
     if failed:
-        print(f"compare: regression beyond "
-              f"{args.max_regression:.0%} threshold")
+        print(f"compare: regression beyond threshold; "
+              f"speedup {summary}")
         return 1
+    print(f"compare: ok; speedup {summary}")
     return 0
 
 

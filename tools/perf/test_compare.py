@@ -8,7 +8,8 @@ import sys
 import tempfile
 
 
-def report(path, mips_by_name):
+def report(path, mips_by_name, rss_by_name=None, total_rss=1):
+    rss_by_name = rss_by_name or {}
     scenarios = [
         {
             "name": name,
@@ -17,18 +18,20 @@ def report(path, mips_by_name):
             "host_seconds": 1.0,
             "mips": mips,
             "speedup_vs_naive": 1.0,
+            "max_rss_kb": rss_by_name.get(name, 1000),
         }
         for name, mips in mips_by_name.items()
     ]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"schema": "pfsim-bench-throughput-v1",
-                   "max_rss_kb": 1, "scenarios": scenarios}, handle)
+                   "max_rss_kb": total_rss,
+                   "scenarios": scenarios}, handle)
 
 
 def run(compare, baseline, current, *extra):
     return subprocess.run(
         [sys.executable, compare, baseline, current, *extra],
-        capture_output=True, text=True).returncode
+        capture_output=True, text=True)
 
 
 def main():
@@ -38,9 +41,10 @@ def main():
 
     failures = []
 
-    def expect(name, got, want):
-        if got != want:
-            failures.append(f"{name}: exit {got}, expected {want}")
+    def expect(name, proc, want):
+        if proc.returncode != want:
+            failures.append(f"{name}: exit {proc.returncode}, "
+                            f"expected {want}\n{proc.stdout}")
 
     with tempfile.TemporaryDirectory() as tmp:
         base = f"{tmp}/base.json"
@@ -64,9 +68,40 @@ def main():
         report(cur, {"a": 9.5, "b": 12.0})
         expect("noise-passes", run(compare, base, cur), 0)
 
+        # The summary line reports each scenario's speedup ratio.
+        proc = run(compare, base, cur)
+        last = proc.stdout.strip().splitlines()[-1]
+        if "a=0.95x" not in last or "b=1.20x" not in last:
+            failures.append(f"summary-ratios: missing per-scenario "
+                            f"ratios in {last!r}")
+
         # A scenario vanishing from the current report fails.
         report(cur, {"a": 10.0})
         expect("missing-scenario", run(compare, base, cur), 1)
+
+        # Per-scenario RSS growth beyond 25% fails even with MIPS flat
+        # (a leaking pool shows up here, not in timing).
+        report(cur, {"a": 10.0, "b": 10.0},
+               rss_by_name={"a": 1300, "b": 1000})
+        expect("rss-growth-fails", run(compare, base, cur), 1)
+        expect("rss-growth-custom-limit",
+               run(compare, base, cur, "--max-rss-growth", "0.5"), 0)
+
+        # RSS within the limit passes.
+        report(cur, {"a": 10.0, "b": 10.0},
+               rss_by_name={"a": 1200, "b": 1000})
+        expect("rss-stable-passes", run(compare, base, cur), 0)
+
+        # Report-level RSS backstop (covers baselines without
+        # per-scenario samples).
+        report(cur, {"a": 10.0, "b": 10.0}, total_rss=2)
+        expect("report-rss-fails", run(compare, base, cur), 1)
+
+        # A baseline without RSS samples is skipped, not failed.
+        report(base, {"a": 10.0}, rss_by_name={"a": 0}, total_rss=0)
+        report(cur, {"a": 10.0}, rss_by_name={"a": 5000},
+               total_rss=5000)
+        expect("no-baseline-rss-skips", run(compare, base, cur), 0)
 
     if failures:
         print("\n".join(failures))
