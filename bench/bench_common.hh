@@ -26,6 +26,20 @@
  *                     also defaults --checkpoint-dir to
  *                     results/checkpoints; =off forces every run to
  *                     simulate its own warmup.
+ *   --shards=N[,respawn=K,heartbeat=MS]
+ *                     crash-isolated sweep service (sim/service):
+ *                     dispatch sweeps to N supervised worker
+ *                     *processes* instead of the in-process thread
+ *                     pool.  stdout stays byte-identical to every
+ *                     --jobs value; a worker SIGSEGV/OOM/SIGKILL
+ *                     re-queues its job, respawn=K bounds worker
+ *                     deaths charged to one job before it is
+ *                     quarantined, heartbeat=MS tunes the liveness
+ *                     watchdog (0 disables it).
+ *   --resume=PATH     resume an interrupted sharded campaign from its
+ *                     write-ahead journal (default location
+ *                     results/campaign.journal): finalized rows replay
+ *                     without re-running.  Requires --shards.
  * plus bench-specific flags documented in each binary.
  *
  * Default lengths are sized for a small CI container; the shapes the
@@ -45,9 +59,11 @@
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
+#include "sim/service/service.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "workloads/mixes.hh"
 #include "workloads/registry.hh"
 
@@ -64,7 +80,18 @@ parseArgs(int argc, char **argv, std::set<std::string> extra = {})
     extra.insert("fast-path");
     extra.insert("checkpoint-dir");
     extra.insert("warmup-reuse");
-    return Args(argc, argv, extra);
+    extra.insert("shards");
+    extra.insert("resume");
+    extra.insert("worker");
+    // The sweep service re-execs this binary as shard workers, so it
+    // must learn the exact command line before any campaign starts.
+    sim::service::initWorkerCommand(argc, argv);
+    Args args(argc, argv, extra);
+    if (args.has("worker")) {
+        sim::service::enterWorkerMode(
+            sim::service::parseWorkerSpec(args.get("worker", "")));
+    }
+    return args;
 }
 
 /** Build the run-length config from the shared flags. */
@@ -86,6 +113,24 @@ runConfig(const Args &args)
         args.has("warmup-reuse")) {
         run.checkpointDir = "results/checkpoints";
     }
+    if (args.has("shards")) {
+        const sim::service::ShardSpec spec =
+            sim::service::parseShardSpec(args.get("shards", ""));
+        run.shards = spec.shards;
+        run.shardRespawn = spec.respawn;
+        run.shardHeartbeatMs = spec.heartbeatMs;
+    }
+    if (args.has("resume")) {
+        if (run.shards == 0 && !sim::service::workerMode())
+            fatal("--resume requires --shards=N (the journal belongs "
+                  "to the sharded sweep service)");
+        const std::string path =
+            args.get("resume", run.journalPath);
+        if (path.empty())
+            fatal("--resume expects a journal path");
+        run.journalPath = path;
+        run.resumeCampaign = true;
+    }
     return run;
 }
 
@@ -105,7 +150,17 @@ banner(const char *experiment, const char *paper_summary,
     std::printf("================================================="
                 "=============\n\n");
     // stderr, with the progress lines: stdout report output must stay
-    // byte-identical across --jobs values.
+    // byte-identical across --jobs values.  A shard worker stays
+    // silent: the coordinator owns the banner and the progress stream.
+    if (sim::service::workerMode())
+        return;
+    if (run.shards > 0) {
+        std::fprintf(stderr,
+                     "  [service] %u shard worker process(es), respawn "
+                     "budget %u, heartbeat %u ms\n",
+                     run.shards, run.shardRespawn, run.shardHeartbeatMs);
+        return;
+    }
     std::fprintf(stderr, "  [pool] %u worker thread(s)%s\n",
                  sim::resolveJobs(run.jobs),
                  run.jobs == 0 ? " (auto)" : "");

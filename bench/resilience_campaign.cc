@@ -6,7 +6,8 @@
  * trace-corruption repair counts, DRAM/MSHR backpressure effects, and
  * fleet-level retry/degrade outcomes.
  *
- * Flags (plus the shared --instructions/--warmup/--jobs):
+ * Flags (plus the shared --instructions/--warmup/--jobs/--shards/
+ * --resume):
  *   --faults=SPEC   fault plan (see fault/fault.hh for the grammar)
  *   --seed=S        campaign seed; per-job streams derive from it
  *   --retries=N     extra attempts per failed job (default 2)
@@ -15,17 +16,27 @@
  *                   that timeout-induced outcomes depend on host speed)
  *   --workloads=K   memory-intensive workloads in the matrix (def. 4)
  *   --audit=N       run the invariant audit every N cycles
+ *   --kill-workers=N
+ *                   crash-campaign mode (requires --shards): SIGKILL N
+ *                   shard workers at spaced points mid-campaign; the
+ *                   fleet must re-queue their jobs and still produce
+ *                   stdout byte-identical to an undisturbed run
  *
  * stdout is assembled from per-job slots in submission order, so for a
- * fixed spec and seed it is byte-identical across repeated runs and
- * across --jobs values.  Exit status: 0 clean, 2 when any row
- * degraded.
+ * fixed spec and seed it is byte-identical across repeated runs,
+ * across --jobs values and across --shards values — even with
+ * --kill-workers crash injection.  A --faults=job:abort=J plan makes
+ * job J hard-kill its own worker process on every attempt (SIGKILL to
+ * self under --shards, a plain injected fault in the thread pool), so
+ * the coordinator's poison-job quarantine path is testable end to end.
+ * Exit status: 0 clean, 2 when any row degraded.
  */
 
 #include <memory>
 
 #include "bench_common.hh"
 #include "fault/fault.hh"
+#include "sim/service/wire.hh"
 
 int
 main(int argc, char **argv)
@@ -35,16 +46,27 @@ main(int argc, char **argv)
 
     Args args = parseArgs(argc, argv,
                           {"faults", "seed", "retries", "backoff-ms",
-                           "timeout", "workloads", "audit"});
+                           "timeout", "workloads", "audit",
+                           "kill-workers"});
     sim::RunConfig run = runConfig(args);
     run.auditInterval = args.has("audit")
         ? std::uint64_t(args.getUnsigned("audit", 10000))
         : 0;
+    if (args.has("kill-workers")) {
+        if (run.shards == 0 && !sim::service::workerMode())
+            fatal("--kill-workers requires --shards=N (it kills shard "
+                  "worker processes)");
+        run.shardKillWorkers =
+            unsigned(args.getUnsigned("kill-workers", 0));
+    }
 
     const fault::FaultPlan plan =
         fault::FaultPlan::parse(args.get("faults", ""));
     const std::uint64_t seed = args.getUnsigned("seed", 1);
     const double timeout = args.getDouble("timeout", 0.0);
+    // On the RunConfig too, so the sharded coordinator's job-timeout
+    // watchdog can hard-enforce it on wedged workers.
+    run.hostTimeoutSeconds = timeout;
 
     sim::FleetPolicy policy;
     policy.maxRetries = unsigned(args.getUnsigned("retries", 2));
@@ -72,16 +94,27 @@ main(int argc, char **argv)
     // assembled from the slots afterwards, never from completion
     // order.
     std::vector<sim::RunResult> slots(matrix);
-    std::vector<sim::Job> job_list;
+    std::vector<sim::ShardJob> job_list;
     job_list.reserve(matrix);
     // Only the flaky job's (sequential) retries touch this counter.
     auto flaky_left = std::make_shared<unsigned>(plan.job.flakyFails);
     for (std::size_t j = 0; j < matrix; ++j) {
-        job_list.push_back([&, flaky_left, j]() -> sim::JobReport {
+        sim::ShardJob job;
+        job.run = [&, flaky_left, j]() -> sim::JobReport {
             if (plan.job.crashIndex == std::int64_t(j)) {
                 throw fault::InjectedJobFault(
                     "injected crash fault (job " + std::to_string(j) +
                     " fails on every attempt)");
+            }
+            if (plan.job.abortIndex == std::int64_t(j)) {
+                // Hard process death: under --shards the worker really
+                // dies (poison-job quarantine); the thread pool treats
+                // it as a plain injected failure.
+                if (sim::service::workerMode())
+                    sim::service::crashWorkerForTest();
+                throw fault::InjectedJobFault(
+                    "injected abort fault (job " + std::to_string(j) +
+                    " kills its worker on every attempt)");
             }
             if (plan.job.flakyIndex == std::int64_t(j) &&
                 *flaky_left > 0) {
@@ -103,11 +136,18 @@ main(int argc, char **argv)
             report.throughput = result.throughput;
             slots[j] = std::move(result);
             return report;
-        });
+        };
+        job.save = [&slots, j](snapshot::Sink &sink) {
+            sim::service::writeRunResult(sink, slots[j]);
+        };
+        job.load = [&slots, j](snapshot::Source &src) {
+            sim::service::readRunResult(src, slots[j]);
+        };
+        job_list.push_back(std::move(job));
     }
 
     const sim::FleetReport fleet =
-        sim::runJobsResilient(job_list, run.jobs, "campaign", policy);
+        sim::runJobsFleet(job_list, run, "campaign", policy);
 
     stats::TextTable table({"workload", "status", "attempts", "IPC",
                             "wflip rec/tot", "rec cyc (mean/max)",

@@ -179,8 +179,10 @@ FaultPlan::parse(const std::string &spec)
                 else if (key == "fails")
                     plan.job.flakyFails =
                         unsigned(parseCount(kind, key, value));
+                else if (key == "abort")
+                    plan.job.abortIndex = parseInt(kind, key, value);
                 else
-                    unknownKey(kind, key, "crash, flaky, fails");
+                    unknownKey(kind, key, "crash, flaky, fails, abort");
             }
         }
     }
@@ -237,6 +239,8 @@ FaultPlan::summary() const
             piece += " flaky=" + std::to_string(job.flakyIndex) +
                      " fails=" + std::to_string(job.flakyFails);
         }
+        if (job.abortIndex >= 0)
+            piece += " abort=" + std::to_string(job.abortIndex);
         append(piece);
     }
     return out.empty() ? "none" : out;

@@ -116,10 +116,18 @@ struct JobFaultSpec
     /** Failed attempts before a flaky job recovers. */
     unsigned flakyFails = 1;
 
+    /**
+     * Submission index of a job that hard-kills its own process on
+     * every attempt (SIGKILL in a shard worker, an injected exception
+     * in a thread pool); -1 off.  Exercises the sweep service's crash
+     * isolation and poison-job quarantine paths.
+     */
+    std::int64_t abortIndex = -1;
+
     bool
     enabled() const
     {
-        return crashIndex >= 0 || flakyIndex >= 0;
+        return crashIndex >= 0 || flakyIndex >= 0 || abortIndex >= 0;
     }
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "sim/parallel.hh"
+#include "sim/service/wire.hh"
 #include "stats/summary.hh"
 #include "util/logging.hh"
 
@@ -45,12 +46,14 @@ sweepPrefetchers(const SystemConfig &base,
     // job: assembly below reads them in submission order, so the rows
     // are bit-identical to a serial sweep for any jobs value.
     std::vector<RunResult> slots(workload_set.size() * all.size());
-    std::vector<Job> job_list;
+    std::vector<ShardJob> job_list;
     job_list.reserve(slots.size());
     for (std::size_t w = 0; w < workload_set.size(); ++w) {
         for (std::size_t p = 0; p < all.size(); ++p) {
-            job_list.push_back([&base, &workload_set, &all, &slots,
-                                &run, w, p]() -> JobReport {
+            const std::size_t slot = w * all.size() + p;
+            ShardJob job;
+            job.run = [&base, &workload_set, &all, &slots, &run, w, p,
+                       slot]() -> JobReport {
                 RunResult result = runSingleCore(
                     base.withPrefetcher(all[p]), workload_set[w], run);
                 char line[96];
@@ -60,14 +63,21 @@ sweepPrefetchers(const SystemConfig &base,
                               all[p].c_str(), result.ipc,
                               result.throughput.mips());
                 JobReport report{line, result.throughput};
-                slots[w * all.size() + p] = std::move(result);
+                slots[slot] = std::move(result);
                 return report;
-            });
+            };
+            job.save = [&slots, slot](snapshot::Sink &sink) {
+                service::writeRunResult(sink, slots[slot]);
+            };
+            job.load = [&slots, slot](snapshot::Source &src) {
+                service::readRunResult(src, slots[slot]);
+            };
+            job_list.push_back(std::move(job));
         }
     }
 
     const stats::FleetThroughput telemetry =
-        runJobs(job_list, run.jobs, "run");
+        runJobsFleet(job_list, run, "run").throughput;
     if (fleet != nullptr)
         *fleet = telemetry;
 

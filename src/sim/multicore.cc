@@ -6,6 +6,7 @@
 
 #include "check/system_audit.hh"
 #include "sim/parallel.hh"
+#include "sim/service/wire.hh"
 #include "snapshot/checkpoint_store.hh"
 #include "snapshot/snapshot.hh"
 #include "stats/summary.hh"
@@ -159,12 +160,14 @@ sweepMixes(const SystemConfig &base,
     // Slot layout mirrors sweepPrefetchers: one owner per slot, rows
     // assembled in submission order below.
     std::vector<MixResult> slots(mixes.size() * all.size());
-    std::vector<Job> job_list;
+    std::vector<ShardJob> job_list;
     job_list.reserve(slots.size());
     for (std::size_t m = 0; m < mixes.size(); ++m) {
         for (std::size_t p = 0; p < all.size(); ++p) {
-            job_list.push_back([&base, &mixes, &all, &slots, &run, m,
-                                p]() -> JobReport {
+            const std::size_t slot = m * all.size() + p;
+            ShardJob job;
+            job.run = [&base, &mixes, &all, &slots, &run, m, p,
+                       slot]() -> JobReport {
                 MixResult result = runMix(base.withPrefetcher(all[p]),
                                           mixes[m], run);
                 char line[96];
@@ -175,14 +178,21 @@ sweepMixes(const SystemConfig &base,
                               stats::mean(result.ipc),
                               result.throughput.mips());
                 JobReport report{line, result.throughput};
-                slots[m * all.size() + p] = std::move(result);
+                slots[slot] = std::move(result);
                 return report;
-            });
+            };
+            job.save = [&slots, slot](snapshot::Sink &sink) {
+                service::writeMixResult(sink, slots[slot]);
+            };
+            job.load = [&slots, slot](snapshot::Source &src) {
+                service::readMixResult(src, slots[slot]);
+            };
+            job_list.push_back(std::move(job));
         }
     }
 
     const stats::FleetThroughput telemetry =
-        runJobs(job_list, run.jobs, "mix");
+        runJobsFleet(job_list, run, "mix").throughput;
     if (fleet != nullptr)
         *fleet = telemetry;
 
@@ -236,11 +246,11 @@ IsolatedIpcCache::prewarm(
     }
 
     std::vector<double> ipcs(missing.size(), 0.0);
-    std::vector<Job> job_list;
+    std::vector<ShardJob> job_list;
     job_list.reserve(missing.size());
     for (std::size_t i = 0; i < missing.size(); ++i) {
-        job_list.push_back([&config, &missing, &ipcs, &run,
-                            i]() -> JobReport {
+        ShardJob job;
+        job.run = [&config, &missing, &ipcs, &run, i]() -> JobReport {
             const RunResult result =
                 runSingleCore(config, *missing[i], run);
             char line[96];
@@ -251,9 +261,16 @@ IsolatedIpcCache::prewarm(
                           result.throughput.mips());
             ipcs[i] = result.ipc;
             return JobReport{line, result.throughput};
-        });
+        };
+        job.save = [&ipcs, i](snapshot::Sink &sink) {
+            sink.f64(ipcs[i]);
+        };
+        job.load = [&ipcs, i](snapshot::Source &src) {
+            ipcs[i] = src.f64();
+        };
+        job_list.push_back(std::move(job));
     }
-    runJobs(job_list, run.jobs, "isolated");
+    runJobsFleet(job_list, run, "isolated");
 
     for (std::size_t i = 0; i < missing.size(); ++i)
         cache_[key(config, *missing[i], run)] = ipcs[i];

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/service/service.hh"
 #include "util/thread_pool.hh"
 
 namespace pfsim::sim
@@ -168,6 +169,20 @@ runJobs(const std::vector<Job> &job_list, unsigned jobs,
 {
     return runJobsResilient(job_list, jobs, tag, FleetPolicy{})
         .throughput;
+}
+
+FleetReport
+runJobsFleet(const std::vector<ShardJob> &job_list,
+             const RunConfig &run, const std::string &tag,
+             const FleetPolicy &policy)
+{
+    if (service::workerMode() || run.shards > 0)
+        return service::runShardedJobs(job_list, run, tag, policy);
+    std::vector<Job> plain;
+    plain.reserve(job_list.size());
+    for (const ShardJob &job : job_list)
+        plain.push_back(job.run);
+    return runJobsResilient(plain, run.jobs, tag, policy);
 }
 
 } // namespace pfsim::sim

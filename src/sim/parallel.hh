@@ -26,8 +26,16 @@
 
 #include "stats/throughput.hh"
 
+namespace pfsim::snapshot
+{
+class Sink;
+class Source;
+} // namespace pfsim::snapshot
+
 namespace pfsim::sim
 {
+
+struct RunConfig;
 
 /**
  * Resolve a RunConfig::jobs value into a worker count: 0 (the
@@ -131,6 +139,33 @@ struct FleetReport
 FleetReport runJobsResilient(const std::vector<Job> &job_list,
                              unsigned jobs, const std::string &tag,
                              const FleetPolicy &policy);
+
+/**
+ * A Job that can also move its result slot across a process boundary:
+ * save serializes the slot the run callable filled, load restores a
+ * slot another process computed.  The hooks use the snapshot wire
+ * format (explicit little-endian, doubles as bit patterns), so a
+ * sharded sweep assembles slots bit-identical to an in-process one.
+ */
+struct ShardJob
+{
+    Job run;
+    std::function<void(snapshot::Sink &)> save;
+    std::function<void(snapshot::Source &)> load;
+};
+
+/**
+ * The fleet entry point every engine campaign goes through.  Plain
+ * thread-pool scheduling when RunConfig::shards == 0 (bit-identical
+ * to runJobsResilient); with --shards=N the campaign is dispatched to
+ * the multi-process sweep service (sim/service): worker processes,
+ * crash isolation, heartbeat watchdogs and the resumable campaign
+ * journal.  stdout assembled from the slots is byte-identical across
+ * all three modes (--jobs=1, --jobs=N, --shards=N).
+ */
+FleetReport runJobsFleet(const std::vector<ShardJob> &job_list,
+                         const RunConfig &run, const std::string &tag,
+                         const FleetPolicy &policy = FleetPolicy{});
 
 } // namespace pfsim::sim
 

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <memory>
 
@@ -69,6 +70,26 @@ runSingleCore(const SystemConfig &config,
         };
     }
 
+    // A watchdog abort names the run it cancelled and its wall-clock
+    // cost, so a sweep's degraded row tells which job blew the budget
+    // without correlating timestamps by hand.
+    auto run_guarded = [&](InstrCount instructions) {
+        try {
+            system.runUntilRetired(instructions, abort_check);
+        } catch (const RunAborted &err) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - host_start)
+                    .count();
+            char elapsed_text[32];
+            std::snprintf(elapsed_text, sizeof(elapsed_text), "%.1f",
+                          elapsed);
+            throw RunAborted(std::string(err.what()) + " (" +
+                             workload.name + "/" + config.prefetcher +
+                             " after " + elapsed_text + "s host)");
+        }
+    };
+
     // Warmup reuse: with a checkpoint store configured, restore the
     // post-warmup machine state when a matching image exists, else
     // simulate the warmup and publish one for later jobs.  An unusable
@@ -115,16 +136,16 @@ runSingleCore(const SystemConfig &config,
             ckpt_hits = 1;
             warmup_cycles_saved = system.now();
         } else {
-            system.runUntilRetired(run.warmupInstructions, abort_check);
+            run_guarded(run.warmupInstructions);
             store.publish(workload.name, digest,
                           snapshot::saveSimulation(view, digest));
             ckpt_misses = 1;
         }
     } else {
-        system.runUntilRetired(run.warmupInstructions, abort_check);
+        run_guarded(run.warmupInstructions);
     }
     system.resetStats();
-    system.runUntilRetired(run.simInstructions, abort_check);
+    run_guarded(run.simInstructions);
 
     engine.finish(system.now());
     system.setFaultEngine(nullptr);

@@ -92,6 +92,49 @@ struct RunConfig
      * simulate its own warmup even with a store configured.
      */
     bool warmupReuse = true;
+
+    /**
+     * Shard worker *processes* for the sweep engines
+     * (--shards=N[,respawn=K,heartbeat=MS]).  0 (the default) keeps
+     * the in-process thread pool; N >= 1 dispatches campaigns to the
+     * crash-isolated sweep service (sim/service), whose stdout is
+     * byte-identical to every --jobs value.
+     */
+    unsigned shards = 0;
+
+    /**
+     * Worker deaths charged to a single job before the coordinator
+     * quarantines it as poison (degraded row / fatal per FleetPolicy).
+     */
+    unsigned shardRespawn = 3;
+
+    /**
+     * Shard worker heartbeat period in milliseconds; the coordinator
+     * SIGKILLs and respawns a worker silent for ~5 periods.  0
+     * disables the liveness watchdog.
+     */
+    unsigned shardHeartbeatMs = 250;
+
+    /**
+     * Campaign journal location (write-ahead log of finalized jobs,
+     * sharded runs only).
+     */
+    std::string journalPath = "results/campaign.journal";
+
+    /**
+     * Resume from journalPath (--resume=PATH): rows already finalized
+     * there replay without re-running; a journal that fails its
+     * fail-closed validation restarts the campaign from scratch.
+     */
+    bool resumeCampaign = false;
+
+    /**
+     * Fault-injection hook for the crash-campaign mode: SIGKILL this
+     * many workers at spaced points mid-campaign
+     * (resilience_campaign --kill-workers=N).  Final stdout must stay
+     * byte-identical regardless.
+     */
+    unsigned shardKillWorkers = 0;
 };
 
 /** Everything measured by one single-core run. */

@@ -1,0 +1,247 @@
+#include "sim/service/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/service/protocol.hh"
+#include "snapshot/serial.hh"
+
+namespace pfsim::sim::service
+{
+
+namespace
+{
+
+/** "PFCJ" little-endian. */
+constexpr std::uint32_t kMagic = 0x4a434650u;
+constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint8_t kCampaignRecord = 1;
+constexpr std::uint8_t kJobRecord = 2;
+
+/** Same sanity cap as the pipe protocol: a corrupted length field
+ *  must become a load failure, not a giant allocation. */
+constexpr std::uint32_t kMaxBody = 1u << 28;
+
+[[noreturn]] void
+ioError(const std::string &what)
+{
+    throw ServiceError(what + ": " + std::strerror(errno));
+}
+
+void
+writeAllFd(int fd, const std::uint8_t *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("journal write failed");
+        }
+        data += n;
+        size -= std::size_t(n);
+    }
+}
+
+std::vector<std::uint8_t>
+readWholeFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        ioError("cannot open journal " + path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            ioError("cannot read journal " + path);
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+JournalCampaign
+decodeCampaign(snapshot::Source &body)
+{
+    JournalCampaign campaign;
+    campaign.ordinal = body.u32();
+    campaign.jobCount = body.u32();
+    campaign.tag = body.str();
+    return campaign;
+}
+
+JournalRecord
+decodeRecord(snapshot::Source &body)
+{
+    JournalRecord record;
+    record.campaign = body.u32();
+    record.index = body.u32();
+    record.ok = body.b();
+    record.attempts = body.u32();
+    record.error = body.str();
+    record.line = body.str();
+    record.payload.assign(body.u32(), 0);
+    if (!record.payload.empty())
+        body.raw(record.payload.data(), record.payload.size());
+    return record;
+}
+
+} // namespace
+
+Journal
+Journal::create(const std::string &path, std::uint64_t identity)
+{
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_APPEND |
+                              O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        ioError("cannot create journal " + path);
+    Journal journal(fd);
+    snapshot::Sink header;
+    header.u32(kMagic);
+    header.u32(kVersion);
+    header.u64(identity);
+    writeAllFd(fd, header.buffer().data(), header.buffer().size());
+    if (::fsync(fd) != 0)
+        ioError("cannot fsync journal " + path);
+    return journal;
+}
+
+Journal
+Journal::resume(const std::string &path, std::uint64_t identity,
+                JournalContents &contents)
+{
+    const std::vector<std::uint8_t> bytes = readWholeFile(path);
+    try {
+        snapshot::Source src(bytes.data(), bytes.size());
+        if (bytes.size() < 16 || src.u32() != kMagic)
+            throw ServiceError("not a campaign journal");
+        if (const std::uint32_t version = src.u32();
+            version != kVersion) {
+            throw ServiceError("journal format version " +
+                               std::to_string(version) +
+                               " (this build writes " +
+                               std::to_string(kVersion) + ")");
+        }
+        if (src.u64() != identity) {
+            throw ServiceError(
+                "journal was written by a different command line; "
+                "resume requires the identical bench invocation");
+        }
+        while (!src.exhausted()) {
+            const std::uint8_t type = src.u8();
+            const std::uint32_t length = src.u32();
+            if (length > kMaxBody)
+                throw ServiceError("journal record length corrupt");
+            std::vector<std::uint8_t> body(length, 0);
+            if (length > 0)
+                src.raw(body.data(), body.size());
+            const std::uint32_t crc = src.u32();
+            if (snapshot::crc32(body.data(), body.size()) != crc)
+                throw ServiceError("journal record CRC mismatch");
+            snapshot::Source record(body.data(), body.size());
+            if (type == kCampaignRecord) {
+                contents.campaigns.push_back(decodeCampaign(record));
+            } else if (type == kJobRecord) {
+                contents.records.push_back(decodeRecord(record));
+            } else {
+                throw ServiceError("unknown journal record type " +
+                                   std::to_string(type));
+            }
+            if (!record.exhausted())
+                throw ServiceError("journal record has trailing bytes");
+        }
+    } catch (const snapshot::SnapshotError &) {
+        // Torn tail from a mid-append kill, or outright corruption:
+        // fail closed and let the coordinator restart from scratch.
+        throw ServiceError("journal record truncated");
+    }
+
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0)
+        ioError("cannot reopen journal " + path);
+    return Journal(fd);
+}
+
+Journal::Journal(Journal &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Journal &
+Journal::operator=(Journal &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Journal::append(std::uint8_t type, const std::vector<std::uint8_t> &body)
+{
+    snapshot::Sink frame;
+    frame.u8(type);
+    frame.u32(std::uint32_t(body.size()));
+    if (!body.empty())
+        frame.raw(body.data(), body.size());
+    frame.u32(snapshot::crc32(body.data(), body.size()));
+    // One write so concurrent readers (and a mid-append kill) see
+    // either no record or a whole frame; fsync so a completed job
+    // survives the coordinator dying right after.
+    writeAllFd(fd_, frame.buffer().data(), frame.buffer().size());
+    if (::fsync(fd_) != 0)
+        ioError("cannot fsync journal");
+}
+
+void
+Journal::appendCampaign(const JournalCampaign &campaign)
+{
+    snapshot::Sink body;
+    body.u32(campaign.ordinal);
+    body.u32(campaign.jobCount);
+    body.str(campaign.tag);
+    append(kCampaignRecord, body.buffer());
+}
+
+void
+Journal::appendRecord(const JournalRecord &record)
+{
+    snapshot::Sink body;
+    body.u32(record.campaign);
+    body.u32(record.index);
+    body.b(record.ok);
+    body.u32(record.attempts);
+    body.str(record.error);
+    body.str(record.line);
+    body.u32(std::uint32_t(record.payload.size()));
+    if (!record.payload.empty())
+        body.raw(record.payload.data(), record.payload.size());
+    append(kJobRecord, body.buffer());
+}
+
+} // namespace pfsim::sim::service

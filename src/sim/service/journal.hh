@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Write-ahead campaign journal: the coordinator's durable record of
+ * completed jobs, enabling --resume after a coordinator kill.
+ *
+ * File layout (all little-endian via snapshot/serial.hh):
+ *
+ *   header   "PFCJ" magic (u32), format version (u32), command
+ *            identity digest (u64)
+ *   records  repeated frames of u8 record type, u32 body length,
+ *            body bytes, u32 CRC-32 over the body
+ *
+ * Record type 1 opens a campaign (ordinal, job count, tag); type 2
+ * finalizes one job of the newest campaign (index, outcome, progress
+ * line, serialized result slot).  Each record is appended with a
+ * single O_APPEND write followed by fsync, so a crash leaves at most
+ * one torn tail record.
+ *
+ * Loading is fail-closed: a bad magic, version or identity digest, a
+ * truncated frame or a CRC mismatch rejects the *entire* journal with
+ * ServiceError — the coordinator then warns and restarts the campaign
+ * from scratch rather than resuming from a file it cannot trust.
+ *
+ * Journal records must replay identically on any host, so this
+ * subsystem never records wall-clock readings or pointer identity;
+ * tools/analyze/check_determinism.py enforces that without an
+ * allowlist escape for these files.
+ */
+
+#ifndef PFSIM_SIM_SERVICE_JOURNAL_HH
+#define PFSIM_SIM_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfsim::sim::service
+{
+
+/** One campaign opened inside a journal. */
+struct JournalCampaign
+{
+    /** 1-based engine-call ordinal within the bench process. */
+    std::uint32_t ordinal = 0;
+
+    /** Submitted job count, used to validate a resume. */
+    std::uint32_t jobCount = 0;
+
+    /** Progress tag ("run", "mix", "campaign", ...). */
+    std::string tag;
+};
+
+/** One finalized job. */
+struct JournalRecord
+{
+    /** Ordinal of the campaign this job belongs to. */
+    std::uint32_t campaign = 0;
+
+    /** Submission index within the campaign. */
+    std::uint32_t index = 0;
+
+    /** False for a degraded row (slot payload empty). */
+    bool ok = true;
+
+    /** Attempts consumed (JobOutcome::attempts). */
+    std::uint32_t attempts = 1;
+
+    /** First line of the final failure, empty when ok. */
+    std::string error;
+
+    /** Progress line, so a resumed row replays the exact stderr. */
+    std::string line;
+
+    /** Serialized result slot (wire.hh format), empty when !ok. */
+    std::vector<std::uint8_t> payload;
+};
+
+/** Everything recovered from a journal on resume. */
+struct JournalContents
+{
+    std::vector<JournalCampaign> campaigns;
+    std::vector<JournalRecord> records;
+};
+
+/** An open journal being appended by the coordinator. */
+class Journal
+{
+  public:
+    /**
+     * Create (or truncate) the journal at @p path and write the file
+     * header.  @p identity digests the bench command line so a resume
+     * with different arguments is rejected instead of splicing
+     * incompatible results.  I/O errors throw ServiceError.
+     */
+    static Journal create(const std::string &path,
+                          std::uint64_t identity);
+
+    /**
+     * Validate and load an existing journal fail-closed, returning a
+     * handle positioned for further appends.  Any corruption —
+     * truncated frame, CRC mismatch, version or identity skew —
+     * throws ServiceError and leaves the file untouched.
+     */
+    static Journal resume(const std::string &path,
+                          std::uint64_t identity,
+                          JournalContents &contents);
+
+    Journal(Journal &&other) noexcept;
+    Journal &operator=(Journal &&other) noexcept;
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+    ~Journal();
+
+    /** Append a campaign-open record (single write + fsync). */
+    void appendCampaign(const JournalCampaign &campaign);
+
+    /** Append a finalized-job record (single write + fsync). */
+    void appendRecord(const JournalRecord &record);
+
+  private:
+    explicit Journal(int fd) : fd_(fd) {}
+
+    void append(std::uint8_t type,
+                const std::vector<std::uint8_t> &body);
+
+    int fd_ = -1;
+};
+
+} // namespace pfsim::sim::service
+
+#endif // PFSIM_SIM_SERVICE_JOURNAL_HH

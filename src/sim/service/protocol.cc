@@ -1,0 +1,115 @@
+#include "sim/service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "snapshot/serial.hh"
+
+namespace pfsim::sim::service
+{
+
+namespace
+{
+
+/** "PFSM" little-endian; catches stream desync and foreign writers. */
+constexpr std::uint32_t kMagic = 0x4d534650u;
+
+/**
+ * Largest accepted payload.  Real payloads are a few KiB (one
+ * RunResult); the cap turns a corrupted length field into a framing
+ * error instead of a multi-gigabyte allocation.
+ */
+constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+void
+writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServiceError(std::string("pipe write failed: ") +
+                               std::strerror(errno));
+        }
+        data += n;
+        size -= std::size_t(n);
+    }
+}
+
+/**
+ * Fill @p size bytes from @p fd.  Returns false only on EOF before
+ * the first byte with @p eof_ok; EOF later is always a torn frame.
+ */
+bool
+readAll(int fd, std::uint8_t *data, std::size_t size, bool eof_ok)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::read(fd, data + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServiceError(std::string("pipe read failed: ") +
+                               std::strerror(errno));
+        }
+        if (n == 0) {
+            if (got == 0 && eof_ok)
+                return false;
+            throw ServiceError("pipe closed mid-frame (peer died)");
+        }
+        got += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeFrame(int fd, MsgType type,
+           const std::vector<std::uint8_t> &payload)
+{
+    snapshot::Sink head;
+    head.u32(kMagic);
+    head.u8(std::uint8_t(type));
+    head.u32(std::uint32_t(payload.size()));
+    head.u32(snapshot::crc32(payload.data(), payload.size()));
+    writeAll(fd, head.buffer().data(), head.buffer().size());
+    if (!payload.empty())
+        writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    std::uint8_t head[13];
+    if (!readAll(fd, head, sizeof(head), true))
+        return false;
+    snapshot::Source src(head, sizeof(head));
+    if (src.u32() != kMagic)
+        throw ServiceError("bad frame magic (stream desynchronized)");
+    const std::uint8_t type = src.u8();
+    if (type < std::uint8_t(MsgType::CampaignBegin) ||
+        type > std::uint8_t(MsgType::Shutdown)) {
+        throw ServiceError("unknown frame type " +
+                           std::to_string(type));
+    }
+    const std::uint32_t length = src.u32();
+    const std::uint32_t crc = src.u32();
+    if (length > kMaxPayload) {
+        throw ServiceError("frame payload length " +
+                           std::to_string(length) +
+                           " exceeds the protocol cap");
+    }
+    out.payload.assign(length, 0);
+    if (length > 0)
+        readAll(fd, out.payload.data(), length, false);
+    if (snapshot::crc32(out.payload.data(), out.payload.size()) != crc)
+        throw ServiceError("frame payload CRC mismatch");
+    out.type = MsgType(type);
+    return true;
+}
+
+} // namespace pfsim::sim::service

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Pipe message protocol between the sweep coordinator and its shard
+ * worker processes.
+ *
+ * Every message is one length-prefixed frame built from the snapshot
+ * serialization primitives (snapshot/serial.hh): a fixed 13-byte
+ * little-endian header (magic, message type, payload length, payload
+ * CRC-32) followed by the payload bytes.  The CRC makes a torn or
+ * corrupted pipe read detectable instead of silently desynchronizing
+ * the stream: any framing violation throws ServiceError, which the
+ * coordinator treats exactly like the worker dying.
+ *
+ * Frames are written with a blocking write loop and read with a
+ * blocking read loop; a clean EOF *between* frames is reported as
+ * end-of-stream (the peer exited), while EOF *inside* a frame is a
+ * protocol error (the peer died mid-message).
+ */
+
+#ifndef PFSIM_SIM_SERVICE_PROTOCOL_HH
+#define PFSIM_SIM_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pfsim::sim::service
+{
+
+/** Thrown on any pipe, framing or protocol-state violation. */
+class ServiceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Message types of the coordinator/worker protocol. */
+enum class MsgType : std::uint8_t
+{
+    /**
+     * worker -> coordinator: the worker's bench main reached an engine
+     * campaign.  Payload: campaign ordinal (u32), job count (u32),
+     * tag (str).  The coordinator answers CampaignReplay for already
+     * completed campaigns or CampaignLive for the one being served.
+     */
+    CampaignBegin = 1,
+
+    /** coordinator -> worker: serve jobs of this campaign.  Empty. */
+    CampaignLive = 2,
+
+    /**
+     * coordinator -> worker: this campaign already ran; replay its
+     * archived results so the worker's bench main reaches the live
+     * campaign with identical state.  Payload: record count (u32),
+     * then per record job index (u32), attempts (u32), ok (b), and
+     * when ok the slot payload (u32 length + raw bytes).
+     */
+    CampaignReplay = 3,
+
+    /** coordinator -> worker: run one job.  Payload: job index (u32). */
+    RunJob = 4,
+
+    /**
+     * worker -> coordinator: a job finished.  Payload: job index
+     * (u32), progress line (str), RunThroughput, slot payload (u32
+     * length + raw bytes produced by the job's save hook).
+     */
+    JobDone = 5,
+
+    /**
+     * worker -> coordinator: a job threw.  Payload: job index (u32),
+     * first line of the failure (str).
+     */
+    JobFailed = 6,
+
+    /** worker -> coordinator: liveness beacon.  Empty. */
+    Heartbeat = 7,
+
+    /** coordinator -> worker: no more jobs; exit cleanly.  Empty. */
+    Shutdown = 8,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Heartbeat;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Write one frame to @p fd, looping over partial writes.  A broken
+ * pipe (the peer died) or any other write error throws ServiceError.
+ */
+void writeFrame(int fd, MsgType type,
+                const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read one frame from @p fd into @p out.  Returns false on a clean
+ * EOF at a frame boundary; throws ServiceError on EOF mid-frame, bad
+ * magic, an unknown message type, an oversized length or a payload
+ * CRC mismatch.
+ */
+bool readFrame(int fd, Frame &out);
+
+} // namespace pfsim::sim::service
+
+#endif // PFSIM_SIM_SERVICE_PROTOCOL_HH

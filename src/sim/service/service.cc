@@ -1,0 +1,979 @@
+#include "sim/service/service.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/service/journal.hh"
+#include "sim/service/protocol.hh"
+#include "sim/service/supervisor.hh"
+#include "sim/service/wire.hh"
+#include "snapshot/serial.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace pfsim::sim::service
+{
+
+namespace
+{
+
+constexpr std::size_t kNone = std::size_t(-1);
+
+/** First line of a (possibly multi-line) failure message. */
+std::string
+firstLine(const std::string &text)
+{
+    const std::size_t newline = text.find('\n');
+    return newline == std::string::npos ? text : text.substr(0, newline);
+}
+
+/**
+ * Per-process service state.  A bench process is either the
+ * coordinator (campaign counter, replay archive, journal) or one
+ * worker (pipe fds, write lock shared with the heartbeat thread).
+ */
+struct Session
+{
+    std::vector<std::string> command;
+    bool worker = false;
+    WorkerSpec spec;
+
+    /** Engine campaigns seen so far (1-based ordinals). */
+    unsigned campaignOrdinal = 0;
+
+    /** Finalized records per completed campaign (worker replay). */
+    std::map<unsigned, std::vector<JournalRecord>> archive;
+
+    /** Campaign headers / records recovered from a resumed journal. */
+    std::map<unsigned, JournalCampaign> resumedCampaigns;
+    std::map<unsigned, std::map<unsigned, JournalRecord>> resumedRecords;
+
+    std::unique_ptr<Journal> journal;
+    bool journalReady = false;
+
+    /** Serializes worker-pipe writes against the heartbeat thread. */
+    std::mutex workerWrite;
+
+    std::atomic<bool> muteHeartbeats{false};
+};
+
+Session &
+session()
+{
+    static Session instance;
+    return instance;
+}
+
+/** Flags that select scheduling, not results: excluded from the
+ *  journal's command-identity digest so --resume may change them. */
+bool
+isSchedulingFlag(const std::string &arg)
+{
+    static const char *const prefixes[] = {
+        "--jobs", "--shards", "--resume", "--worker", "--kill-workers"};
+    for (const char *prefix : prefixes) {
+        if (arg == prefix)
+            return true;
+        if (arg.rfind(std::string(prefix) + "=", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** FNV-1a over the result-affecting args of the bench command. */
+std::uint64_t
+commandIdentity(const std::vector<std::string> &command)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](unsigned char c) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    };
+    for (const std::string &arg : command) {
+        if (isSchedulingFlag(arg))
+            continue;
+        for (const char c : arg)
+            mix(static_cast<unsigned char>(c));
+        mix(0);
+    }
+    return hash;
+}
+
+void
+ensureParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos || slash == 0)
+        return;
+    // Single level is all the default results/ layout needs; a deeper
+    // custom path must already exist (create() reports the failure).
+    ::mkdir(path.substr(0, slash).c_str(), 0755);
+}
+
+/**
+ * Open (or resume) the campaign journal once per coordinator
+ * process.  A resumed journal that fails fail-closed validation is
+ * discarded with a warning and the campaign restarts from scratch.
+ */
+void
+openJournal(Session &s, const RunConfig &run)
+{
+    if (s.journalReady)
+        return;
+    s.journalReady = true;
+    if (run.journalPath.empty())
+        return;
+    const std::uint64_t identity = commandIdentity(s.command);
+    ensureParentDir(run.journalPath);
+    if (run.resumeCampaign) {
+        JournalContents contents;
+        try {
+            s.journal = std::make_unique<Journal>(Journal::resume(
+                run.journalPath, identity, contents));
+            for (const JournalCampaign &campaign : contents.campaigns)
+                s.resumedCampaigns[campaign.ordinal] = campaign;
+            for (JournalRecord &record : contents.records) {
+                s.resumedRecords[record.campaign][record.index] =
+                    std::move(record);
+            }
+            return;
+        } catch (const ServiceError &err) {
+            warn("campaign journal " + run.journalPath + " unusable (" +
+                 std::string(err.what()) +
+                 "); restarting the campaign from scratch");
+            s.resumedCampaigns.clear();
+            s.resumedRecords.clear();
+        }
+    }
+    try {
+        s.journal = std::make_unique<Journal>(
+            Journal::create(run.journalPath, identity));
+    } catch (const ServiceError &err) {
+        warn("cannot write campaign journal " + run.journalPath + " (" +
+             std::string(err.what()) +
+             "); campaign will not be resumable");
+    }
+}
+
+/**
+ * Serve this process's share of a live campaign: announce the
+ * campaign, then run jobs the coordinator assigns until Shutdown.
+ * For campaigns the coordinator already completed, decode the replay
+ * it sends so the bench main converges to the same state.  Exits the
+ * process after its live campaign (each campaign spawns fresh
+ * workers).
+ */
+FleetReport
+workerServe(const std::vector<ShardJob> &jobs, const RunConfig &run,
+            const std::string &tag)
+{
+    Session &s = session();
+    const unsigned ordinal = ++s.campaignOrdinal;
+    const int read_fd = s.spec.readFd;
+    const int write_fd = s.spec.writeFd;
+
+    auto send = [&](MsgType type,
+                    const std::vector<std::uint8_t> &payload) {
+        std::lock_guard<std::mutex> lock(s.workerWrite);
+        writeFrame(write_fd, type, payload);
+    };
+
+    {
+        snapshot::Sink hello;
+        hello.u32(ordinal);
+        hello.u32(std::uint32_t(jobs.size()));
+        hello.str(tag);
+        send(MsgType::CampaignBegin, hello.buffer());
+    }
+
+    Frame frame;
+    try {
+        if (!readFrame(read_fd, frame))
+            std::exit(3); // coordinator gone
+    } catch (const ServiceError &) {
+        std::exit(3);
+    }
+
+    if (frame.type == MsgType::CampaignReplay) {
+        snapshot::Source src(frame.payload.data(),
+                             frame.payload.size());
+        FleetReport report;
+        report.outcomes.assign(jobs.size(), JobOutcome{});
+        const std::uint32_t count = src.u32();
+        for (std::uint32_t k = 0; k < count; ++k) {
+            const std::uint32_t index = src.u32();
+            const bool ok = src.b();
+            const std::uint32_t attempts = src.u32();
+            const std::string error = src.str();
+            std::vector<std::uint8_t> payload(src.u32(), 0);
+            if (!payload.empty())
+                src.raw(payload.data(), payload.size());
+            if (index >= jobs.size())
+                std::exit(3);
+            JobOutcome &outcome = report.outcomes[index];
+            outcome.ok = ok;
+            outcome.attempts = attempts;
+            outcome.error = error;
+            if (ok) {
+                snapshot::Source slot(payload.data(), payload.size());
+                jobs[index].load(slot);
+            }
+        }
+        return report; // bench main continues to the live campaign
+    }
+    if (frame.type != MsgType::CampaignLive)
+        std::exit(3);
+
+    // Liveness beacons from a side thread, so a worker wedged inside
+    // a job still registers as alive (a *silent* worker is the
+    // watchdog's kill signal, a slow one is the timeout watchdog's).
+    std::atomic<bool> stop{false};
+    std::thread beat;
+    if (run.shardHeartbeatMs > 0) {
+        beat = std::thread([&] {
+            while (!stop.load()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(run.shardHeartbeatMs));
+                if (stop.load())
+                    break;
+                if (s.muteHeartbeats.load())
+                    continue;
+                try {
+                    send(MsgType::Heartbeat, {});
+                } catch (const ServiceError &) {
+                    break; // coordinator died; main loop exits too
+                }
+            }
+        });
+    }
+
+    for (;;) {
+        bool got = false;
+        try {
+            got = readFrame(read_fd, frame);
+        } catch (const ServiceError &) {
+            got = false;
+        }
+        if (!got || frame.type == MsgType::Shutdown)
+            break;
+        if (frame.type != MsgType::RunJob)
+            continue;
+        snapshot::Source src(frame.payload.data(),
+                             frame.payload.size());
+        const std::uint32_t index = src.u32();
+        if (index >= jobs.size())
+            break;
+        try {
+            const JobReport job_report = jobs[index].run();
+            snapshot::Sink slot;
+            jobs[index].save(slot);
+            snapshot::Sink body;
+            body.u32(index);
+            writeJobReport(body, job_report);
+            body.u32(std::uint32_t(slot.buffer().size()));
+            body.raw(slot.buffer().data(), slot.buffer().size());
+            send(MsgType::JobDone, body.buffer());
+        } catch (const std::exception &e) {
+            snapshot::Sink body;
+            body.u32(index);
+            body.str(firstLine(e.what()));
+            send(MsgType::JobFailed, body.buffer());
+        } catch (...) {
+            snapshot::Sink body;
+            body.u32(index);
+            body.str("unknown error");
+            send(MsgType::JobFailed, body.buffer());
+        }
+    }
+
+    stop.store(true);
+    if (beat.joinable())
+        beat.join();
+    std::exit(0);
+}
+
+/**
+ * Coordinate one campaign across the shard worker fleet.  The
+ * scheduling loop is single-threaded: poll worker pipes, absorb
+ * frames, reap the dead, run the watchdogs, hand out work.
+ */
+FleetReport
+coordinate(const std::vector<ShardJob> &jobs, const RunConfig &run,
+           const std::string &tag, const FleetPolicy &policy)
+{
+    Session &s = session();
+    if (s.command.empty()) {
+        fatal("sharded sweep requested before the service learned the "
+              "worker command (bench_common::parseArgs not called)");
+    }
+    const unsigned ordinal = ++s.campaignOrdinal;
+    const std::size_t total = jobs.size();
+    const bool resilient =
+        policy.maxRetries > 0 || policy.degradeOnFailure;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    openJournal(s, run);
+
+    FleetReport report;
+    report.throughput.jobs = run.shards;
+    report.outcomes.assign(total, JobOutcome{});
+
+    std::size_t done = 0;
+    auto emit = [&](const std::string &text) {
+        ++done;
+        char head[48];
+        std::snprintf(head, sizeof(head), "  [%s %zu/%zu] ",
+                      tag.c_str(), done, total);
+        std::fputs((head + text + "\n").c_str(), stderr);
+    };
+
+    std::vector<JournalRecord> &archive = s.archive[ordinal];
+
+    // Campaign header: a resumed campaign must describe the same job
+    // list; a fresh one is journaled before any job runs.
+    if (const auto it = s.resumedCampaigns.find(ordinal);
+        it != s.resumedCampaigns.end()) {
+        if (it->second.jobCount != total || it->second.tag != tag) {
+            fatal("--resume: journal campaign " +
+                  std::to_string(ordinal) + " was recorded as " +
+                  std::to_string(it->second.jobCount) + " \"" +
+                  it->second.tag + "\" job(s) but this run builds " +
+                  std::to_string(total) + " \"" + tag +
+                  "\" job(s); resume requires the identical command");
+        }
+    } else if (s.journal != nullptr) {
+        JournalCampaign header;
+        header.ordinal = ordinal;
+        header.jobCount = std::uint32_t(total);
+        header.tag = tag;
+        s.journal->appendCampaign(header);
+    }
+
+    std::vector<char> decided(total, 0);
+    std::vector<unsigned> attempts(total, 0); // failed job attempts
+    std::vector<unsigned> crashes(total, 0);  // worker deaths charged
+    std::vector<std::uint64_t> not_before(total, 0);
+    std::vector<std::size_t> queue;
+    std::size_t queue_head = 0;
+    std::size_t open = total;
+    std::size_t resumed_rows = 0;
+    unsigned worker_deaths = 0;
+
+    auto journalRecord = [&](std::size_t i, const std::string &line,
+                             std::vector<std::uint8_t> payload) {
+        JournalRecord record;
+        record.campaign = ordinal;
+        record.index = std::uint32_t(i);
+        record.ok = report.outcomes[i].ok;
+        record.attempts = report.outcomes[i].attempts;
+        record.error = report.outcomes[i].error;
+        record.line = line;
+        record.payload = std::move(payload);
+        if (s.journal != nullptr)
+            s.journal->appendRecord(record);
+        archive.push_back(std::move(record));
+    };
+
+    // Absorb resumed rows: load their slots, replay their progress
+    // lines, and take them out of the schedule.
+    if (const auto it = s.resumedRecords.find(ordinal);
+        it != s.resumedRecords.end()) {
+        for (const auto &[index, record] : it->second) {
+            if (index >= total || decided[index] != 0)
+                continue;
+            JobOutcome &outcome = report.outcomes[index];
+            outcome.ok = record.ok;
+            outcome.attempts = record.attempts;
+            outcome.error = record.error;
+            if (record.ok) {
+                try {
+                    snapshot::Source slot(record.payload.data(),
+                                          record.payload.size());
+                    jobs[index].load(slot);
+                } catch (const snapshot::SnapshotError &) {
+                    // The slot does not decode against this build:
+                    // schedule the job instead of trusting it.
+                    outcome = JobOutcome{};
+                    continue;
+                }
+            }
+            decided[index] = 1;
+            --open;
+            ++resumed_rows;
+            archive.push_back(record);
+            emit(record.line + " (resumed)");
+        }
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+        if (decided[i] == 0)
+            queue.push_back(i);
+    }
+
+    // Worker-kill fault injection: SIGKILL the delivering worker at
+    // evenly spaced completion counts (crash-campaign mode).
+    std::vector<std::size_t> kill_at;
+    if (run.shardKillWorkers > 0 && open > 1) {
+        for (unsigned k = 1; k <= run.shardKillWorkers; ++k) {
+            std::size_t point = open * k / (run.shardKillWorkers + 1);
+            point = std::min(std::max<std::size_t>(point, 1), open - 1);
+            kill_at.push_back(point);
+        }
+    }
+    std::size_t next_kill = 0;
+    std::size_t completed_live = 0;
+    std::size_t pending_kill = kNone;
+
+    Supervisor sup(s.command);
+    std::vector<std::string> timeout_msg; // per worker, non-empty =
+                                          // watchdog job-timeout kill
+    std::vector<std::string> kill_reason; // per worker crash label
+    unsigned startup_deaths = 0;
+    bool any_begin = false;
+
+    const std::uint64_t stale_ms = std::max<std::uint64_t>(
+        5ull * run.shardHeartbeatMs, 1000);
+
+    auto spawnIfNeeded = [&] {
+        std::size_t live = 0;
+        for (const WorkerProc &w : sup.workers())
+            live += w.live ? 1 : 0;
+        const std::size_t want =
+            std::min<std::size_t>(std::max(1u, run.shards), open);
+        while (live < want) {
+            sup.spawn();
+            timeout_msg.resize(sup.workers().size());
+            kill_reason.resize(sup.workers().size());
+            ++live;
+        }
+    };
+
+    auto onJobDone = [&](std::size_t i, const JobReport &job_report,
+                         std::vector<std::uint8_t> payload) {
+        JobOutcome &outcome = report.outcomes[i];
+        outcome.ok = true;
+        outcome.attempts = attempts[i] + 1;
+        snapshot::Source slot(payload.data(), payload.size());
+        jobs[i].load(slot);
+        std::string line = job_report.line;
+        if (outcome.attempts > 1) {
+            line += " (recovered after " +
+                    std::to_string(outcome.attempts - 1) + " retr" +
+                    (outcome.attempts == 2 ? "y)" : "ies)");
+        }
+        decided[i] = 1;
+        --open;
+        journalRecord(i, line, std::move(payload));
+        emit(line);
+        report.throughput.add(job_report.throughput);
+    };
+
+    auto onJobFailure = [&](std::size_t i, const std::string &message) {
+        ++attempts[i];
+        JobOutcome &outcome = report.outcomes[i];
+        outcome.error = message;
+        outcome.attempts = attempts[i];
+        if (attempts[i] <= policy.maxRetries) {
+            if (policy.backoffMs > 0) {
+                const unsigned shift = std::min(attempts[i] - 1, 10u);
+                not_before[i] =
+                    monotonicMillis() +
+                    (std::uint64_t(policy.backoffMs) << shift);
+            }
+            queue.push_back(i);
+            return;
+        }
+        outcome.ok = false;
+        if (!policy.degradeOnFailure) {
+            fatal("job " + std::to_string(i) + " failed after " +
+                  std::to_string(attempts[i]) + " attempt(s): " +
+                  message);
+        }
+        const std::string text =
+            "job " + std::to_string(i) + " DEGRADED after " +
+            std::to_string(attempts[i]) + " attempt(s): " + message;
+        decided[i] = 1;
+        --open;
+        journalRecord(i, text, {});
+        emit(text);
+    };
+
+    auto quarantine = [&](std::size_t i, const std::string &reason) {
+        JobOutcome &outcome = report.outcomes[i];
+        outcome.ok = false;
+        outcome.attempts = attempts[i] + crashes[i];
+        outcome.error = reason;
+        if (!policy.degradeOnFailure) {
+            fatal("job " + std::to_string(i) + " crashed its worker " +
+                  std::to_string(crashes[i]) +
+                  " time(s); quarantined as a poison job (" + reason +
+                  ")");
+        }
+        const std::string text =
+            "job " + std::to_string(i) + " DEGRADED after " +
+            std::to_string(crashes[i]) + " worker crash(es): " + reason;
+        decided[i] = 1;
+        --open;
+        journalRecord(i, text, {});
+        emit(text);
+    };
+
+    auto handleDeath = [&](std::size_t wi) {
+        WorkerProc &w = sup.workers()[wi];
+        if (w.shuttingDown)
+            return;
+        ++worker_deaths;
+        if (!w.sawBegin && !any_begin) {
+            if (++startup_deaths >= 3) {
+                fatal("shard workers keep dying before their first "
+                      "campaign; exec of \"" + s.command[0] +
+                      "\" failing?");
+            }
+        }
+        if (w.inFlight >= 0) {
+            const std::size_t i = std::size_t(w.inFlight);
+            w.inFlight = -1;
+            if (!timeout_msg[wi].empty()) {
+                // Watchdog job-timeout kill: consumes a FleetPolicy
+                // attempt, exactly like a cooperative RunAborted.
+                const std::string message = timeout_msg[wi];
+                timeout_msg[wi].clear();
+                onJobFailure(i, message);
+            } else {
+                ++crashes[i];
+                const std::string reason = kill_reason[wi].empty()
+                    ? std::string("worker crashed")
+                    : kill_reason[wi];
+                kill_reason[wi].clear();
+                if (crashes[i] > run.shardRespawn) {
+                    quarantine(i, reason);
+                } else {
+                    // Silent crash recovery: the re-run keeps stdout
+                    // byte-identical, so only stderr notes it.
+                    std::fprintf(stderr,
+                                 "  [%s] %s: job %zu re-queued "
+                                 "(worker crash %u of %u tolerated)\n",
+                                 tag.c_str(), reason.c_str(), i,
+                                 crashes[i], run.shardRespawn + 1);
+                    queue.push_back(i);
+                }
+            }
+        }
+        if (open > 0)
+            spawnIfNeeded();
+    };
+
+    auto assignTo = [&](std::size_t wi) {
+        WorkerProc &w = sup.workers()[wi];
+        if (!w.live || !w.sawBegin || w.shuttingDown || w.inFlight >= 0)
+            return;
+        const std::uint64_t t = monotonicMillis();
+        for (std::size_t k = queue_head; k < queue.size(); ++k) {
+            const std::size_t i = queue[k];
+            if (decided[i] != 0) {
+                if (k == queue_head)
+                    ++queue_head;
+                continue;
+            }
+            if (not_before[i] > t)
+                continue;
+            queue.erase(queue.begin() + std::ptrdiff_t(k));
+            snapshot::Sink body;
+            body.u32(std::uint32_t(i));
+            try {
+                writeFrame(w.toWorker, MsgType::RunJob, body.buffer());
+            } catch (const ServiceError &) {
+                queue.insert(queue.begin() + std::ptrdiff_t(k), i);
+                sup.kill(w);
+                return;
+            }
+            w.inFlight = std::int64_t(i);
+            w.jobStartMs = t;
+            return;
+        }
+    };
+
+    auto handleFrame = [&](std::size_t wi, const Frame &frame) {
+        WorkerProc &w = sup.workers()[wi];
+        w.lastBeatMs = monotonicMillis();
+        switch (frame.type) {
+        case MsgType::CampaignBegin: {
+            snapshot::Source src(frame.payload.data(),
+                                 frame.payload.size());
+            const std::uint32_t worker_ordinal = src.u32();
+            const std::uint32_t count = src.u32();
+            const std::string worker_tag = src.str();
+            if (worker_ordinal < ordinal) {
+                // The worker is catching up through a campaign this
+                // process already finished: replay the archive.
+                const auto it = s.archive.find(worker_ordinal);
+                if (it == s.archive.end()) {
+                    fatal("worker announced campaign " +
+                          std::to_string(worker_ordinal) +
+                          " which the coordinator never ran; bench "
+                          "main is not deterministic across processes");
+                }
+                snapshot::Sink body;
+                body.u32(std::uint32_t(it->second.size()));
+                for (const JournalRecord &record : it->second) {
+                    body.u32(record.index);
+                    body.b(record.ok);
+                    body.u32(record.attempts);
+                    body.str(record.error);
+                    body.u32(std::uint32_t(record.payload.size()));
+                    if (!record.payload.empty()) {
+                        body.raw(record.payload.data(),
+                                 record.payload.size());
+                    }
+                }
+                writeFrame(w.toWorker, MsgType::CampaignReplay,
+                           body.buffer());
+                return;
+            }
+            if (worker_ordinal != ordinal || count != total ||
+                worker_tag != tag) {
+                fatal("worker/coordinator campaign divergence: worker "
+                      "announced campaign " +
+                      std::to_string(worker_ordinal) + " \"" +
+                      worker_tag + "\" with " + std::to_string(count) +
+                      " job(s), coordinator is at campaign " +
+                      std::to_string(ordinal) + " \"" + tag + "\" with " +
+                      std::to_string(total) + " job(s)");
+            }
+            w.sawBegin = true;
+            any_begin = true;
+            writeFrame(w.toWorker, MsgType::CampaignLive, {});
+            return;
+        }
+        case MsgType::Heartbeat:
+            return;
+        case MsgType::JobDone: {
+            snapshot::Source src(frame.payload.data(),
+                                 frame.payload.size());
+            const std::uint32_t index = src.u32();
+            JobReport job_report;
+            readJobReport(src, job_report);
+            std::vector<std::uint8_t> payload(src.u32(), 0);
+            if (!payload.empty())
+                src.raw(payload.data(), payload.size());
+            if (w.inFlight != std::int64_t(index) || index >= total ||
+                decided[index] != 0) {
+                throw ServiceError("unexpected JobDone for job " +
+                                   std::to_string(index));
+            }
+            w.inFlight = -1;
+            onJobDone(index, job_report, std::move(payload));
+            ++completed_live;
+            if (next_kill < kill_at.size() &&
+                completed_live >= kill_at[next_kill]) {
+                ++next_kill;
+                pending_kill = wi;
+            }
+            return;
+        }
+        case MsgType::JobFailed: {
+            snapshot::Source src(frame.payload.data(),
+                                 frame.payload.size());
+            const std::uint32_t index = src.u32();
+            const std::string message = src.str();
+            if (w.inFlight != std::int64_t(index) || index >= total) {
+                throw ServiceError("unexpected JobFailed for job " +
+                                   std::to_string(index));
+            }
+            w.inFlight = -1;
+            onJobFailure(index, message);
+            return;
+        }
+        default:
+            throw ServiceError("unexpected frame from worker");
+        }
+    };
+
+    auto watchdogs = [&] {
+        const std::uint64_t t = monotonicMillis();
+        for (std::size_t wi = 0; wi < sup.workers().size(); ++wi) {
+            WorkerProc &w = sup.workers()[wi];
+            if (!w.live || w.shuttingDown)
+                continue;
+            if (!w.sawBegin) {
+                // Startup grace: exec + bench re-init + replay of
+                // earlier campaigns, generously bounded.
+                if (t - w.lastBeatMs > 30000) {
+                    kill_reason[wi] = "worker stalled before its "
+                                      "first campaign";
+                    sup.kill(w);
+                }
+                continue;
+            }
+            if (run.shardHeartbeatMs > 0 &&
+                t - w.lastBeatMs > stale_ms) {
+                kill_reason[wi] =
+                    "worker heartbeat stale for " +
+                    std::to_string(t - w.lastBeatMs) +
+                    " ms (killed by fleet watchdog)";
+                sup.kill(w);
+                continue;
+            }
+            if (w.inFlight >= 0 && run.hostTimeoutSeconds > 0.0) {
+                // Grace past the cooperative deadline: the in-job
+                // abort poll gets first chance to fire.
+                const std::uint64_t budget_ms =
+                    std::uint64_t(run.hostTimeoutSeconds * 1000.0) +
+                    stale_ms;
+                const std::uint64_t elapsed = t - w.jobStartMs;
+                if (elapsed > budget_ms) {
+                    char text[160];
+                    std::snprintf(
+                        text, sizeof(text),
+                        "job %lld exceeded hostTimeoutSeconds=%g "
+                        "(worker killed by fleet watchdog after "
+                        "%.1fs)",
+                        static_cast<long long>(w.inFlight),
+                        run.hostTimeoutSeconds,
+                        double(elapsed) / 1000.0);
+                    timeout_msg[wi] = text;
+                    sup.kill(w);
+                }
+            }
+        }
+    };
+
+    if (open > 0)
+        spawnIfNeeded();
+
+    while (open > 0) {
+        for (std::size_t wi = 0; wi < sup.workers().size(); ++wi)
+            assignTo(wi);
+        if (pending_kill != kNone) {
+            // Injected mid-flight kill, after assignment so the
+            // victim usually has a fresh job in flight.
+            sup.kill(sup.workers()[pending_kill]);
+            kill_reason[pending_kill] = "injected worker kill";
+            pending_kill = kNone;
+        }
+        for (std::size_t wi : sup.poll(50)) {
+            WorkerProc &w = sup.workers()[wi];
+            if (!w.live)
+                continue;
+            try {
+                Frame frame;
+                if (readFrame(w.fromWorker, frame))
+                    handleFrame(wi, frame);
+                // false: clean EOF — the exit is reaped below.
+            } catch (const ServiceError &) {
+                sup.kill(w);
+            } catch (const snapshot::SnapshotError &) {
+                sup.kill(w);
+            }
+        }
+        for (std::size_t wi : sup.reapDead())
+            handleDeath(wi);
+        watchdogs();
+    }
+
+    // Campaign done: ask live workers to exit, reap briefly, and let
+    // ~Supervisor SIGKILL any straggler.
+    for (WorkerProc &w : sup.workers()) {
+        if (!w.live)
+            continue;
+        w.shuttingDown = true;
+        try {
+            writeFrame(w.toWorker, MsgType::Shutdown, {});
+        } catch (const ServiceError &) {
+        }
+    }
+    const std::uint64_t drain_deadline = monotonicMillis() + 2000;
+    for (;;) {
+        sup.reapDead();
+        const bool all_dead = std::none_of(
+            sup.workers().begin(), sup.workers().end(),
+            [](const WorkerProc &w) { return w.live; });
+        if (all_dead || monotonicMillis() > drain_deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    report.throughput.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    std::fprintf(stderr,
+                 "  [%s] service: %u shard(s), %zu resumed row(s), %u "
+                 "worker death(s)\n",
+                 tag.c_str(), std::max(1u, run.shards), resumed_rows,
+                 worker_deaths);
+    if (resilient) {
+        std::fprintf(stderr, "  [%s] %s | degraded=%zu recovered=%zu\n",
+                     tag.c_str(), report.throughput.summary().c_str(),
+                     report.degraded(), report.recovered());
+        std::fflush(stderr);
+    } else {
+        std::fprintf(stderr, "  [%s] %s\n", tag.c_str(),
+                     report.throughput.summary().c_str());
+    }
+    return report;
+}
+
+} // namespace
+
+ShardSpec
+parseShardSpec(const std::string &spec)
+{
+    if (spec.empty()) {
+        fatal("--shards expects N[,respawn=K,heartbeat=MS], e.g. "
+              "--shards=4");
+    }
+    ShardSpec out;
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string piece = spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (piece.empty())
+            fatal("--shards: empty element in \"" + spec + "\"");
+        if (first) {
+            out.shards = unsigned(
+                parseUnsignedValue("--shards", piece));
+            if (out.shards == 0)
+                fatal("--shards: shard count must be >= 1");
+            first = false;
+        } else {
+            const std::size_t eq = piece.find('=');
+            if (eq == std::string::npos) {
+                fatal("--shards: expected key=value, got \"" + piece +
+                      "\"; accepted: respawn, heartbeat");
+            }
+            const std::string key = piece.substr(0, eq);
+            const std::string value = piece.substr(eq + 1);
+            if (key == "respawn") {
+                out.respawn = unsigned(
+                    parseUnsignedValue("--shards respawn", value));
+            } else if (key == "heartbeat") {
+                out.heartbeatMs = unsigned(
+                    parseUnsignedValue("--shards heartbeat", value));
+            } else {
+                fatal("--shards: unknown key \"" + key +
+                      "\"; accepted: respawn, heartbeat");
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+WorkerSpec
+parseWorkerSpec(const std::string &spec)
+{
+    const std::size_t comma = spec.find(',');
+    if (spec.empty() || comma == std::string::npos ||
+        spec.find(',', comma + 1) != std::string::npos) {
+        fatal("--worker expects R,W pipe fds (internal flag appended "
+              "by the shard coordinator)");
+    }
+    WorkerSpec out;
+    out.readFd = int(parseUnsignedValue("--worker read fd",
+                                        spec.substr(0, comma)));
+    out.writeFd = int(parseUnsignedValue("--worker write fd",
+                                         spec.substr(comma + 1)));
+    return out;
+}
+
+void
+initWorkerCommand(int argc, char **argv)
+{
+    Session &s = session();
+    s.command.clear();
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--worker" || arg.rfind("--worker=", 0) == 0)
+            continue;
+        s.command.push_back(arg);
+    }
+}
+
+void
+enterWorkerMode(const WorkerSpec &spec)
+{
+    Session &s = session();
+    s.worker = true;
+    s.spec = spec;
+    // The heartbeat thread may write after the coordinator dies;
+    // EPIPE (handled) must not become SIGPIPE (fatal).
+    std::signal(SIGPIPE, SIG_IGN);
+    // The worker re-runs the whole bench main; its copy of the stdout
+    // report must never mix into the coordinator's byte-exact output.
+    const int null_fd = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+    if (null_fd >= 0) {
+        ::dup2(null_fd, 1);
+        ::close(null_fd);
+    }
+}
+
+bool
+workerMode()
+{
+    return session().worker;
+}
+
+FleetReport
+runShardedJobs(const std::vector<ShardJob> &job_list,
+               const RunConfig &run, const std::string &tag,
+               const FleetPolicy &policy)
+{
+    if (session().worker)
+        return workerServe(job_list, run, tag);
+    return coordinate(job_list, run, tag, policy);
+}
+
+void
+crashWorkerForTest()
+{
+    std::fflush(nullptr);
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(3); // unreachable; keeps [[noreturn]] honest
+}
+
+void
+setWorkerCommandForTest(const std::vector<std::string> &command)
+{
+    session().command = command;
+}
+
+void
+muteHeartbeatsForTest(bool mute)
+{
+    session().muteHeartbeats.store(mute);
+}
+
+void
+resetSessionForTest()
+{
+    Session &s = session();
+    s.command.clear();
+    s.worker = false;
+    s.spec = WorkerSpec{};
+    s.campaignOrdinal = 0;
+    s.archive.clear();
+    s.resumedCampaigns.clear();
+    s.resumedRecords.clear();
+    s.journal.reset();
+    s.journalReady = false;
+    s.muteHeartbeats.store(false);
+}
+
+} // namespace pfsim::sim::service

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Crash-isolated multi-process sweep service.
+ *
+ * With --shards=N a bench process becomes the *coordinator*: it
+ * fork/execs N copies of its own binary in --worker mode, schedules
+ * the campaign's jobs across them over CRC-framed pipes, and streams
+ * results back keyed by submission index, so stdout stays
+ * byte-identical to the in-process thread pool (--jobs=N).  Worker
+ * processes re-run the bench main; for engine campaigns the
+ * coordinator has already completed, they request a replay of the
+ * archived results so their bench state converges before they start
+ * serving live jobs.
+ *
+ * Robustness model:
+ *  - A worker death (SIGSEGV, OOM kill, injected SIGKILL) re-queues
+ *    its in-flight job on a respawned worker without consuming a
+ *    FleetPolicy attempt; after the per-job crash budget
+ *    (--shards=N,respawn=K) the job is quarantined as poison.
+ *  - Workers heartbeat; the coordinator watchdog SIGKILLs a worker
+ *    whose heartbeats stall, and one whose in-flight job exceeds
+ *    RunConfig::hostTimeoutSeconds past the cooperative deadline —
+ *    making the timeout enforceable even for jobs that never reach
+ *    their abort poll.
+ *  - Every finalized job is appended to a write-ahead journal
+ *    (journal.hh); --resume=<journal> replays finished rows and
+ *    re-runs only the rest.
+ */
+
+#ifndef PFSIM_SIM_SERVICE_SERVICE_HH
+#define PFSIM_SIM_SERVICE_SERVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+#include "sim/runner.hh"
+
+namespace pfsim::sim::service
+{
+
+/** Parsed --shards=N[,respawn=K,heartbeat=MS] specification. */
+struct ShardSpec
+{
+    /** Worker processes (>= 1). */
+    unsigned shards = 1;
+
+    /** Worker deaths charged to one job before quarantine. */
+    unsigned respawn = 3;
+
+    /** Worker heartbeat period in ms; 0 disables the liveness
+     *  watchdog (the job timeout watchdog still runs). */
+    unsigned heartbeatMs = 250;
+};
+
+/**
+ * Parse a --shards value.  Malformed specs (zero shards, unknown
+ * keys, non-numeric values) abort with a one-line usage message, in
+ * the style of the --faults grammar.
+ */
+ShardSpec parseShardSpec(const std::string &spec);
+
+/** Parsed --worker=R,W pipe fds (internal flag added by spawn). */
+struct WorkerSpec
+{
+    int readFd = -1;
+    int writeFd = -1;
+};
+
+/** Parse a --worker value; malformed specs abort. */
+WorkerSpec parseWorkerSpec(const std::string &spec);
+
+/**
+ * Record this process's argv as the command used to exec shard
+ * workers.  Called once from bench_common::parseArgs; any existing
+ * --worker flag is stripped (each spawn appends its own).
+ */
+void initWorkerCommand(int argc, char **argv);
+
+/**
+ * Enter worker mode: remember the command pipe fds and redirect
+ * stdout to /dev/null so the worker's copy of the bench report never
+ * pollutes the coordinator's byte-identical output.
+ */
+void enterWorkerMode(const WorkerSpec &spec);
+
+/** True when this process runs as a shard worker. */
+bool workerMode();
+
+/**
+ * The sharded engine behind sim::runJobsFleet: serves jobs over the
+ * worker pipe in a worker process, or coordinates the worker fleet
+ * otherwise.  Call through runJobsFleet, which also handles the
+ * in-process (shards == 0) path.
+ */
+FleetReport runShardedJobs(const std::vector<ShardJob> &job_list,
+                           const RunConfig &run, const std::string &tag,
+                           const FleetPolicy &policy);
+
+/**
+ * Die exactly like a crashing shard: SIGKILL to self.  Used by the
+ * fault injector's job:abort=J plan and the service tests; never
+ * returns.
+ */
+[[noreturn]] void crashWorkerForTest();
+
+/** Test hook: set the worker exec command without a real argv. */
+void setWorkerCommandForTest(const std::vector<std::string> &command);
+
+/**
+ * Test hook: silence (or restore) the worker heartbeat thread, so
+ * tests can wedge a live worker and watch the staleness watchdog
+ * kill it.
+ */
+void muteHeartbeatsForTest(bool mute);
+
+/**
+ * Test hook: forget all session service state — campaign counter,
+ * replay archive, journal handle, worker command — so one test
+ * process can run several independent coordinator campaigns.
+ */
+void resetSessionForTest();
+
+} // namespace pfsim::sim::service
+
+#endif // PFSIM_SIM_SERVICE_SERVICE_HH

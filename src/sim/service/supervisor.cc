@@ -1,0 +1,185 @@
+#include "sim/service/supervisor.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/service/protocol.hh"
+
+namespace pfsim::sim::service
+{
+
+std::uint64_t
+monotonicMillis()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace
+{
+
+void
+closeQuietly(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Supervisor::Supervisor(std::vector<std::string> command)
+    : command_(std::move(command))
+{
+    // A worker dying between poll() and our write would otherwise
+    // deliver SIGPIPE and kill the whole campaign; with it ignored
+    // the write fails with EPIPE, which the scheduler handles as a
+    // normal worker death.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+Supervisor::~Supervisor()
+{
+    for (WorkerProc &worker : workers_) {
+        if (worker.live)
+            kill(worker);
+    }
+    for (WorkerProc &worker : workers_) {
+        if (!worker.live)
+            continue;
+        int status = 0;
+        ::waitpid(worker.pid, &status, 0);
+        worker.live = false;
+        closeQuietly(worker.toWorker);
+        closeQuietly(worker.fromWorker);
+    }
+}
+
+std::size_t
+Supervisor::spawn()
+{
+    // Both pipes are created close-on-exec so sibling workers never
+    // inherit this pair; the child re-enables its own two ends below.
+    int command_pipe[2];
+    int result_pipe[2];
+    if (::pipe2(command_pipe, O_CLOEXEC) != 0) {
+        throw ServiceError(std::string("cannot create worker pipe: ") +
+                           std::strerror(errno));
+    }
+    if (::pipe2(result_pipe, O_CLOEXEC) != 0) {
+        const int saved = errno;
+        ::close(command_pipe[0]);
+        ::close(command_pipe[1]);
+        throw ServiceError(std::string("cannot create worker pipe: ") +
+                           std::strerror(saved));
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const int saved = errno;
+        ::close(command_pipe[0]);
+        ::close(command_pipe[1]);
+        ::close(result_pipe[0]);
+        ::close(result_pipe[1]);
+        throw ServiceError(std::string("cannot fork worker: ") +
+                           std::strerror(saved));
+    }
+
+    if (pid == 0) {
+        // Child: keep the read end of the command pipe and the write
+        // end of the result pipe across exec, drop the rest.
+        ::close(command_pipe[1]);
+        ::close(result_pipe[0]);
+        ::fcntl(command_pipe[0], F_SETFD, 0);
+        ::fcntl(result_pipe[1], F_SETFD, 0);
+        const std::string worker_flag =
+            "--worker=" + std::to_string(command_pipe[0]) + "," +
+            std::to_string(result_pipe[1]);
+        std::vector<char *> argv;
+        argv.reserve(command_.size() + 2);
+        for (const std::string &arg : command_)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(const_cast<char *>(worker_flag.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        // exec failed: exit raw (no atexit handlers of the half-forked
+        // coordinator image); the coordinator sees a startup death.
+        ::_exit(127);
+    }
+
+    ::close(command_pipe[0]);
+    ::close(result_pipe[1]);
+
+    WorkerProc worker;
+    worker.pid = pid;
+    worker.toWorker = command_pipe[1];
+    worker.fromWorker = result_pipe[0];
+    worker.live = true;
+    worker.lastBeatMs = monotonicMillis();
+    workers_.push_back(worker);
+    return workers_.size() - 1;
+}
+
+void
+Supervisor::kill(WorkerProc &worker)
+{
+    if (worker.live && worker.pid > 0)
+        ::kill(worker.pid, SIGKILL);
+}
+
+std::vector<std::size_t>
+Supervisor::reapDead()
+{
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        WorkerProc &worker = workers_[i];
+        if (!worker.live)
+            continue;
+        int status = 0;
+        const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+        if (reaped != worker.pid)
+            continue;
+        worker.live = false;
+        closeQuietly(worker.toWorker);
+        closeQuietly(worker.fromWorker);
+        dead.push_back(i);
+    }
+    return dead;
+}
+
+std::vector<std::size_t>
+Supervisor::poll(unsigned timeout_ms)
+{
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> index_of;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].live || workers_[i].fromWorker < 0)
+            continue;
+        fds.push_back({workers_[i].fromWorker, POLLIN, 0});
+        index_of.push_back(i);
+    }
+    std::vector<std::size_t> ready;
+    if (fds.empty())
+        return ready;
+    const int n = ::poll(fds.data(), nfds_t(fds.size()),
+                         int(timeout_ms));
+    if (n <= 0)
+        return ready;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+        if (fds[k].revents != 0)
+            ready.push_back(index_of[k]);
+    }
+    return ready;
+}
+
+} // namespace pfsim::sim::service

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Worker-process supervision for the sweep service: spawning shard
+ * workers (fork/exec of the bench's own binary in --worker mode),
+ * polling their pipes, hard-killing wedged ones and reaping corpses.
+ *
+ * All raw process plumbing in the simulator lives in this subsystem;
+ * tools/lint rule 10 rejects fork/exec/kill/pipe calls anywhere else
+ * under src/.
+ */
+
+#ifndef PFSIM_SIM_SERVICE_SUPERVISOR_HH
+#define PFSIM_SIM_SERVICE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace pfsim::sim::service
+{
+
+/** Monotonic host milliseconds (heartbeat and watchdog arithmetic). */
+std::uint64_t monotonicMillis();
+
+/** Coordinator-side state of one shard worker process. */
+struct WorkerProc
+{
+    pid_t pid = -1;
+
+    /** Write end of the coordinator -> worker command pipe. */
+    int toWorker = -1;
+
+    /** Read end of the worker -> coordinator result pipe. */
+    int fromWorker = -1;
+
+    /** Process believed alive (not yet reaped). */
+    bool live = false;
+
+    /** Shutdown sent; a subsequent exit is expected, not a crash. */
+    bool shuttingDown = false;
+
+    /** Reached its first CampaignBegin (startup sanity signal). */
+    bool sawBegin = false;
+
+    /** Job index in flight on this worker, -1 when idle. */
+    std::int64_t inFlight = -1;
+
+    /** monotonicMillis() of the last frame received. */
+    std::uint64_t lastBeatMs = 0;
+
+    /** monotonicMillis() when the in-flight job was assigned. */
+    std::uint64_t jobStartMs = 0;
+};
+
+/**
+ * Owns the worker table.  The destructor SIGKILLs and reaps anything
+ * still alive, so a coordinator unwinding on an exception never
+ * leaks orphan simulator processes.
+ */
+class Supervisor
+{
+  public:
+    /**
+     * @param command the argv to exec per worker; "--worker=R,W" with
+     * that worker's inherited pipe fds is appended automatically.
+     */
+    explicit Supervisor(std::vector<std::string> command);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Fork/exec one worker and return its table index.  The pipe ends
+     * kept by the coordinator are O_CLOEXEC so workers never inherit
+     * each other's pipes; the child clears the flag on its own two
+     * fds between fork and exec.  Throws ServiceError when the host
+     * refuses pipes or processes.
+     */
+    std::size_t spawn();
+
+    /** SIGKILL @p worker (idempotent; reap still happens later). */
+    void kill(WorkerProc &worker);
+
+    /**
+     * Reap exited workers without blocking; each newly dead worker is
+     * marked !live, its pipe ends closed, and its index returned.
+     */
+    std::vector<std::size_t> reapDead();
+
+    /**
+     * Wait up to @p timeout_ms for result-pipe activity and return
+     * the indices of workers with a readable frame or a hangup.
+     */
+    std::vector<std::size_t> poll(unsigned timeout_ms);
+
+    std::vector<WorkerProc> &workers() { return workers_; }
+
+  private:
+    std::vector<std::string> command_;
+    std::vector<WorkerProc> workers_;
+};
+
+} // namespace pfsim::sim::service
+
+#endif // PFSIM_SIM_SERVICE_SUPERVISOR_HH

@@ -1,0 +1,280 @@
+#include "sim/service/wire.hh"
+
+namespace pfsim::sim::service
+{
+
+void
+writeCoreStats(snapshot::Sink &sink, const cpu::CoreStats &s)
+{
+    sink.u64(s.instructions);
+    sink.u64(s.cycles);
+    sink.u64(s.branches);
+    sink.u64(s.mispredicts);
+    sink.u64(s.loads);
+    sink.u64(s.stores);
+    sink.u64(s.robFullStalls);
+    sink.u64(s.lqFullStalls);
+    sink.u64(s.sqFullStalls);
+}
+
+void
+readCoreStats(snapshot::Source &src, cpu::CoreStats &s)
+{
+    s.instructions = src.u64();
+    s.cycles = src.u64();
+    s.branches = src.u64();
+    s.mispredicts = src.u64();
+    s.loads = src.u64();
+    s.stores = src.u64();
+    s.robFullStalls = src.u64();
+    s.lqFullStalls = src.u64();
+    s.sqFullStalls = src.u64();
+}
+
+void
+writeCacheStats(snapshot::Sink &sink, const cache::CacheStats &s)
+{
+    sink.u64(s.loadAccess);
+    sink.u64(s.loadHit);
+    sink.u64(s.rfoAccess);
+    sink.u64(s.rfoHit);
+    sink.u64(s.writebackAccess);
+    sink.u64(s.writebackHit);
+    sink.u64(s.pfIssued);
+    sink.u64(s.pfDroppedHit);
+    sink.u64(s.pfDroppedMshr);
+    sink.u64(s.pfDroppedFull);
+    sink.u64(s.pfToLower);
+    sink.u64(s.pfFill);
+    sink.u64(s.pfUseful);
+    sink.u64(s.pfLate);
+    sink.u64(s.pfUselessEvict);
+    sink.u64(s.writebacks);
+    sink.u64(s.missLatencySum);
+    sink.u64(s.missLatencyCount);
+}
+
+void
+readCacheStats(snapshot::Source &src, cache::CacheStats &s)
+{
+    s.loadAccess = src.u64();
+    s.loadHit = src.u64();
+    s.rfoAccess = src.u64();
+    s.rfoHit = src.u64();
+    s.writebackAccess = src.u64();
+    s.writebackHit = src.u64();
+    s.pfIssued = src.u64();
+    s.pfDroppedHit = src.u64();
+    s.pfDroppedMshr = src.u64();
+    s.pfDroppedFull = src.u64();
+    s.pfToLower = src.u64();
+    s.pfFill = src.u64();
+    s.pfUseful = src.u64();
+    s.pfLate = src.u64();
+    s.pfUselessEvict = src.u64();
+    s.writebacks = src.u64();
+    s.missLatencySum = src.u64();
+    s.missLatencyCount = src.u64();
+}
+
+void
+writeDramStats(snapshot::Sink &sink, const dram::DramStats &s)
+{
+    sink.u64(s.reads);
+    sink.u64(s.writes);
+    sink.u64(s.rowHits);
+    sink.u64(s.rowMisses);
+    sink.u64(s.rowConflicts);
+    sink.u64(s.busBusyCycles);
+    sink.u64(s.readLatencySum);
+}
+
+void
+readDramStats(snapshot::Source &src, dram::DramStats &s)
+{
+    s.reads = src.u64();
+    s.writes = src.u64();
+    s.rowHits = src.u64();
+    s.rowMisses = src.u64();
+    s.rowConflicts = src.u64();
+    s.busBusyCycles = src.u64();
+    s.readLatencySum = src.u64();
+}
+
+void
+writeSppStats(snapshot::Sink &sink, const prefetch::SppStats &s)
+{
+    sink.u64(s.triggers);
+    sink.u64(s.issued);
+    sink.u64(s.depthSum);
+    sink.u64(s.candidates);
+    sink.u64(s.filterDropped);
+    sink.u64(s.ghrBootstraps);
+}
+
+void
+readSppStats(snapshot::Source &src, prefetch::SppStats &s)
+{
+    s.triggers = src.u64();
+    s.issued = src.u64();
+    s.depthSum = src.u64();
+    s.candidates = src.u64();
+    s.filterDropped = src.u64();
+    s.ghrBootstraps = src.u64();
+}
+
+void
+writePpfStats(snapshot::Sink &sink, const ppf::PpfStats &s)
+{
+    sink.u64(s.candidates);
+    sink.u64(s.acceptedL2);
+    sink.u64(s.acceptedLlc);
+    sink.u64(s.rejected);
+    sink.u64(s.trainUseful);
+    sink.u64(s.trainFalseNegative);
+    sink.u64(s.trainUselessEvict);
+}
+
+void
+readPpfStats(snapshot::Source &src, ppf::PpfStats &s)
+{
+    s.candidates = src.u64();
+    s.acceptedL2 = src.u64();
+    s.acceptedLlc = src.u64();
+    s.rejected = src.u64();
+    s.trainUseful = src.u64();
+    s.trainFalseNegative = src.u64();
+    s.trainUselessEvict = src.u64();
+}
+
+void
+writeFaultStats(snapshot::Sink &sink, const fault::FaultStats &s)
+{
+    sink.u64(s.traceCorrupted);
+    sink.u64(s.traceRepaired);
+    sink.u64(s.traceDropped);
+    sink.u64(s.weightFlips);
+    sink.u64(s.weightFlipsRecovered);
+    sink.u64(s.weightRecoveryCyclesSum);
+    sink.u64(s.weightRecoveryCyclesMax);
+    sink.u64(s.sppFlips);
+    sink.u64(s.dramDropped);
+    sink.u64(s.dramDelayed);
+    sink.u64(s.mshrSqueezeWindows);
+}
+
+void
+readFaultStats(snapshot::Source &src, fault::FaultStats &s)
+{
+    s.traceCorrupted = src.u64();
+    s.traceRepaired = src.u64();
+    s.traceDropped = src.u64();
+    s.weightFlips = src.u64();
+    s.weightFlipsRecovered = src.u64();
+    s.weightRecoveryCyclesSum = src.u64();
+    s.weightRecoveryCyclesMax = src.u64();
+    s.sppFlips = src.u64();
+    s.dramDropped = src.u64();
+    s.dramDelayed = src.u64();
+    s.mshrSqueezeWindows = src.u64();
+}
+
+void
+writeRunThroughput(snapshot::Sink &sink, const stats::RunThroughput &t)
+{
+    sink.u64(t.instructions);
+    sink.f64(t.hostSeconds);
+    sink.u64(t.checkpointHits);
+    sink.u64(t.checkpointMisses);
+    sink.u64(t.warmupCyclesSaved);
+}
+
+void
+readRunThroughput(snapshot::Source &src, stats::RunThroughput &t)
+{
+    t.instructions = src.u64();
+    t.hostSeconds = src.f64();
+    t.checkpointHits = src.u64();
+    t.checkpointMisses = src.u64();
+    t.warmupCyclesSaved = src.u64();
+}
+
+void
+writeJobReport(snapshot::Sink &sink, const JobReport &report)
+{
+    sink.str(report.line);
+    writeRunThroughput(sink, report.throughput);
+}
+
+void
+readJobReport(snapshot::Source &src, JobReport &report)
+{
+    report.line = src.str();
+    readRunThroughput(src, report.throughput);
+}
+
+void
+writeRunResult(snapshot::Sink &sink, const RunResult &r)
+{
+    sink.str(r.workload);
+    sink.str(r.prefetcher);
+    sink.f64(r.ipc);
+    writeCoreStats(sink, r.core);
+    writeCacheStats(sink, r.l1d);
+    writeCacheStats(sink, r.l2);
+    writeCacheStats(sink, r.llc);
+    writeDramStats(sink, r.dram);
+    writeSppStats(sink, r.spp);
+    writePpfStats(sink, r.ppf);
+    writeFaultStats(sink, r.faults);
+    writeRunThroughput(sink, r.throughput);
+}
+
+void
+readRunResult(snapshot::Source &src, RunResult &r)
+{
+    r.workload = src.str();
+    r.prefetcher = src.str();
+    r.ipc = src.f64();
+    readCoreStats(src, r.core);
+    readCacheStats(src, r.l1d);
+    readCacheStats(src, r.l2);
+    readCacheStats(src, r.llc);
+    readDramStats(src, r.dram);
+    readSppStats(src, r.spp);
+    readPpfStats(src, r.ppf);
+    readFaultStats(src, r.faults);
+    readRunThroughput(src, r.throughput);
+}
+
+void
+writeMixResult(snapshot::Sink &sink, const MixResult &r)
+{
+    sink.str(r.prefetcher);
+    sink.u32(std::uint32_t(r.workloads.size()));
+    for (const std::string &name : r.workloads)
+        sink.str(name);
+    sink.u32(std::uint32_t(r.ipc.size()));
+    for (const double value : r.ipc)
+        sink.f64(value);
+    writeCacheStats(sink, r.llc);
+    writeDramStats(sink, r.dram);
+    writeRunThroughput(sink, r.throughput);
+}
+
+void
+readMixResult(snapshot::Source &src, MixResult &r)
+{
+    r.prefetcher = src.str();
+    r.workloads.resize(src.u32());
+    for (std::string &name : r.workloads)
+        name = src.str();
+    r.ipc.resize(src.u32());
+    for (double &value : r.ipc)
+        value = src.f64();
+    readCacheStats(src, r.llc);
+    readDramStats(src, r.dram);
+    readRunThroughput(src, r.throughput);
+}
+
+} // namespace pfsim::sim::service

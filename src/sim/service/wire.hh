@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Result serialization for the sweep service: writeX/readX pairs that
+ * move a finished job's result slot (RunResult, MixResult or a plain
+ * double) across the worker pipe and into the campaign journal.
+ *
+ * The same wire rules as simulator snapshots apply — explicit
+ * little-endian, doubles as IEEE-754 bit patterns — so a slot decoded
+ * by the coordinator is bit-identical to the one the worker computed,
+ * and sharded stdout matches the in-process thread pool byte for
+ * byte.  tools/analyze/check_snapshot.py scans this file exactly like
+ * snapshot/state_io.cc: every writeX member store must have the
+ * matching readX load, so a stats struct gaining a field without wire
+ * coverage fails CI.
+ */
+
+#ifndef PFSIM_SIM_SERVICE_WIRE_HH
+#define PFSIM_SIM_SERVICE_WIRE_HH
+
+#include "sim/multicore.hh"
+#include "sim/parallel.hh"
+#include "sim/runner.hh"
+#include "snapshot/serial.hh"
+
+namespace pfsim::sim::service
+{
+
+void writeCoreStats(snapshot::Sink &sink, const cpu::CoreStats &s);
+void readCoreStats(snapshot::Source &src, cpu::CoreStats &s);
+
+void writeCacheStats(snapshot::Sink &sink, const cache::CacheStats &s);
+void readCacheStats(snapshot::Source &src, cache::CacheStats &s);
+
+void writeDramStats(snapshot::Sink &sink, const dram::DramStats &s);
+void readDramStats(snapshot::Source &src, dram::DramStats &s);
+
+void writeSppStats(snapshot::Sink &sink, const prefetch::SppStats &s);
+void readSppStats(snapshot::Source &src, prefetch::SppStats &s);
+
+void writePpfStats(snapshot::Sink &sink, const ppf::PpfStats &s);
+void readPpfStats(snapshot::Source &src, ppf::PpfStats &s);
+
+void writeFaultStats(snapshot::Sink &sink, const fault::FaultStats &s);
+void readFaultStats(snapshot::Source &src, fault::FaultStats &s);
+
+void writeRunThroughput(snapshot::Sink &sink,
+                        const stats::RunThroughput &t);
+void readRunThroughput(snapshot::Source &src, stats::RunThroughput &t);
+
+void writeJobReport(snapshot::Sink &sink, const JobReport &report);
+void readJobReport(snapshot::Source &src, JobReport &report);
+
+void writeRunResult(snapshot::Sink &sink, const RunResult &r);
+void readRunResult(snapshot::Source &src, RunResult &r);
+
+void writeMixResult(snapshot::Sink &sink, const MixResult &r);
+void readMixResult(snapshot::Source &src, MixResult &r);
+
+} // namespace pfsim::sim::service
+
+#endif // PFSIM_SIM_SERVICE_WIRE_HH

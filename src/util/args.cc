@@ -8,6 +8,28 @@
 namespace pfsim
 {
 
+std::int64_t
+parseIntValue(const std::string &what, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        fatal(what + " expects an integer, got \"" + value + "\"");
+    if (errno == ERANGE)
+        fatal(what + "=" + value + " overflows a 64-bit integer");
+    return v;
+}
+
+std::uint64_t
+parseUnsignedValue(const std::string &what, const std::string &value)
+{
+    const std::int64_t v = parseIntValue(what, value);
+    if (v < 0)
+        fatal(what + " must be >= 0, got " + value);
+    return std::uint64_t(v);
+}
+
 Args::Args(int argc, char **argv, const std::set<std::string> &known)
 {
     for (int i = 1; i < argc; ++i) {
@@ -50,18 +72,7 @@ Args::getInt(const std::string &name, std::int64_t def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    errno = 0;
-    char *end = nullptr;
-    const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0') {
-        fatal("--" + name + " expects an integer, got \"" +
-              it->second + "\"");
-    }
-    if (errno == ERANGE) {
-        fatal("--" + name + "=" + it->second +
-              " overflows a 64-bit integer");
-    }
-    return v;
+    return parseIntValue("--" + name, it->second);
 }
 
 std::uint64_t
@@ -70,11 +81,7 @@ Args::getUnsigned(const std::string &name, std::uint64_t def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    const std::int64_t v = getInt(name, 0);
-    if (v < 0) {
-        fatal("--" + name + " must be >= 0, got " + it->second);
-    }
-    return std::uint64_t(v);
+    return parseUnsignedValue("--" + name, it->second);
 }
 
 double

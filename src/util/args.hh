@@ -17,6 +17,18 @@
 namespace pfsim
 {
 
+/**
+ * Parse one integer option value.  @p what names the flag (or the
+ * sub-key of a structured spec, e.g. "--shards respawn") in the
+ * one-line fatal emitted for malformed or overflowing input.
+ */
+std::int64_t parseIntValue(const std::string &what,
+                           const std::string &value);
+
+/** parseIntValue restricted to non-negative values. */
+std::uint64_t parseUnsignedValue(const std::string &what,
+                                 const std::string &value);
+
 /** Parsed command-line arguments of the form --key=value or --flag. */
 class Args
 {

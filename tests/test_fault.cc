@@ -69,6 +69,21 @@ TEST(FaultPlan, JobOnlySpecIsNotSystemFault)
     EXPECT_EQ(plan.job.flakyFails, 2u);
 }
 
+TEST(FaultPlan, AbortSpecParsesAndSummarizes)
+{
+    const FaultPlan plan = FaultPlan::parse("job:abort=3");
+    EXPECT_EQ(plan.job.abortIndex, 3);
+    EXPECT_TRUE(plan.any());
+    EXPECT_FALSE(plan.anySystem());
+    EXPECT_NE(plan.summary().find("abort=3"), std::string::npos);
+}
+
+TEST(FaultPlanDeath, RejectsUnknownJobKey)
+{
+    EXPECT_EXIT(FaultPlan::parse("job:kill=1"),
+                testing::ExitedWithCode(1), "abort");
+}
+
 TEST(FaultPlanDeath, RejectsUnknownKind)
 {
     EXPECT_EXIT(FaultPlan::parse("bogus:rate=0.1"),

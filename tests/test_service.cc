@@ -1,0 +1,809 @@
+/**
+ * @file
+ * Tests for the crash-isolated sweep service (sim/service): the
+ * coordinator/worker frame protocol, the write-ahead campaign journal
+ * with its fail-closed resume, the --shards/--worker spec parsers, and
+ * end-to-end coordinator campaigns against real worker processes.
+ *
+ * This binary is its own worker: the coordinator tests exec
+ * /proc/self/exe with --service-child=<mode>, and main() routes such
+ * invocations into runServiceChild() instead of the gtest harness
+ * (which is also why this target links gtest, not gtest_main).  Child
+ * modes re-create the failure menagerie — a worker SIGKILLed mid-job,
+ * a poison job that kills every host, a thrown job failure, a wedged
+ * worker with muted heartbeats, a runaway job that never returns —
+ * so every supervision path is exercised against real processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/parallel.hh"
+#include "sim/runner.hh"
+#include "sim/service/journal.hh"
+#include "sim/service/protocol.hh"
+#include "sim/service/service.hh"
+#include "snapshot/serial.hh"
+
+namespace pfsim
+{
+namespace
+{
+
+namespace svc = sim::service;
+
+/** Absolute path of this test binary (the worker exec target). */
+std::string
+selfExe()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+/**
+ * A campaign of n jobs where job i computes base + i*i into slots[i].
+ * The identical builder runs in the coordinator (load hooks only) and
+ * in the worker children (run + save), so slot values crossing the
+ * pipe are directly checkable.  @p hook runs first inside each job —
+ * the child modes hang their misbehaviour there.
+ */
+std::vector<sim::ShardJob>
+makeCampaign(std::size_t n, std::uint64_t base,
+             std::vector<std::uint64_t> &slots,
+             std::function<void(std::size_t)> hook = {})
+{
+    std::vector<sim::ShardJob> jobs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        jobs[i].run = [&slots, i, base, hook] {
+            if (hook)
+                hook(i);
+            slots[i] = base + i * i;
+            sim::JobReport report;
+            report.line = "job " + std::to_string(i);
+            return report;
+        };
+        jobs[i].save = [&slots, i](snapshot::Sink &sink) {
+            sink.u64(slots[i]);
+        };
+        jobs[i].load = [&slots, i](snapshot::Source &src) {
+            slots[i] = src.u64();
+        };
+    }
+    return jobs;
+}
+
+// ------------------------------------------------------- child modes
+
+struct ChildOpts
+{
+    std::string mode;
+    std::string worker;
+    std::string marker;
+    std::size_t njobs = 4;
+    std::int64_t index = -1;
+    unsigned heartbeat = 50;
+};
+
+/** True exactly once: the first caller creates the marker file. */
+bool
+firstVisit(const std::string &marker)
+{
+    if (marker.empty() || std::filesystem::exists(marker))
+        return false;
+    std::ofstream(marker) << "visited\n";
+    return true;
+}
+
+} // namespace
+
+/** Worker-mode entry: serve campaigns per --service-child=<mode>. */
+int
+runServiceChild(int argc, char **argv)
+{
+    ChildOpts opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg.rfind("--service-child=", 0) == 0)
+            opt.mode = value("--service-child=");
+        else if (arg.rfind("--worker=", 0) == 0)
+            opt.worker = value("--worker=");
+        else if (arg.rfind("--marker=", 0) == 0)
+            opt.marker = value("--marker=");
+        else if (arg.rfind("--njobs=", 0) == 0)
+            opt.njobs = std::stoul(value("--njobs="));
+        else if (arg.rfind("--index=", 0) == 0)
+            opt.index = std::stol(value("--index="));
+        else if (arg.rfind("--heartbeat=", 0) == 0)
+            opt.heartbeat = unsigned(std::stoul(value("--heartbeat=")));
+    }
+    svc::enterWorkerMode(svc::parseWorkerSpec(opt.worker));
+
+    sim::RunConfig run;
+    run.shards = 1; // worker mode ignores the count
+    run.shardHeartbeatMs = opt.heartbeat;
+    run.journalPath.clear();
+
+    auto hook = [&opt](std::size_t i) {
+        if (opt.index < 0 || std::int64_t(i) != opt.index)
+            return;
+        if (opt.mode == "poison") {
+            svc::crashWorkerForTest();
+        } else if (opt.mode == "crash-once") {
+            if (firstVisit(opt.marker))
+                svc::crashWorkerForTest();
+        } else if (opt.mode == "throw") {
+            throw std::runtime_error("injected worker exception\n"
+                                     "with a second line");
+        } else if (opt.mode == "throw-once") {
+            if (firstVisit(opt.marker))
+                throw std::runtime_error("injected flaky failure");
+        } else if (opt.mode == "wedge") {
+            if (firstVisit(opt.marker)) {
+                svc::muteHeartbeatsForTest(true);
+                std::this_thread::sleep_for(std::chrono::seconds(30));
+            }
+        } else if (opt.mode == "sleep") {
+            std::this_thread::sleep_for(std::chrono::seconds(30));
+        }
+    };
+
+    std::vector<std::uint64_t> slots(opt.njobs, 0);
+    auto jobs = makeCampaign(opt.njobs, 1, slots, hook);
+    sim::runJobsFleet(jobs, run, "svc");
+
+    if (opt.mode == "two-phase") {
+        // A worker that reaches this point was spawned for campaign 2
+        // and had campaign 1 replayed into its slots; phase 2's values
+        // derive from them, so wrong replay state is observable.
+        const std::uint64_t base2 =
+            std::accumulate(slots.begin(), slots.end(),
+                            std::uint64_t(7));
+        std::vector<std::uint64_t> slots2(opt.njobs, 0);
+        auto phase2 = makeCampaign(opt.njobs, base2, slots2);
+        sim::runJobsFleet(phase2, run, "svc2");
+    }
+    return 0;
+}
+
+namespace
+{
+
+// ------------------------------------------------------ spec parsing
+
+TEST(ShardSpec, ParsesCountAndDefaults)
+{
+    const svc::ShardSpec spec = svc::parseShardSpec("4");
+    EXPECT_EQ(spec.shards, 4u);
+    EXPECT_EQ(spec.respawn, 3u);
+    EXPECT_EQ(spec.heartbeatMs, 250u);
+}
+
+TEST(ShardSpec, ParsesRespawnAndHeartbeat)
+{
+    const svc::ShardSpec spec =
+        svc::parseShardSpec("8,respawn=1,heartbeat=10");
+    EXPECT_EQ(spec.shards, 8u);
+    EXPECT_EQ(spec.respawn, 1u);
+    EXPECT_EQ(spec.heartbeatMs, 10u);
+}
+
+TEST(ShardSpecDeath, RejectsEmptySpec)
+{
+    EXPECT_EXIT(svc::parseShardSpec(""),
+                testing::ExitedWithCode(1), "--shards=4");
+}
+
+TEST(ShardSpecDeath, RejectsZeroShards)
+{
+    EXPECT_EXIT(svc::parseShardSpec("0"),
+                testing::ExitedWithCode(1), "must be >= 1");
+}
+
+TEST(ShardSpecDeath, RejectsMalformedCount)
+{
+    EXPECT_EXIT(svc::parseShardSpec("many"),
+                testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(ShardSpecDeath, RejectsUnknownKey)
+{
+    EXPECT_EXIT(svc::parseShardSpec("2,retries=5"),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ShardSpecDeath, RejectsBareKey)
+{
+    EXPECT_EXIT(svc::parseShardSpec("2,respawn"),
+                testing::ExitedWithCode(1), "expected key=value");
+}
+
+TEST(WorkerSpec, ParsesPipeFds)
+{
+    const svc::WorkerSpec spec = svc::parseWorkerSpec("3,4");
+    EXPECT_EQ(spec.readFd, 3);
+    EXPECT_EQ(spec.writeFd, 4);
+}
+
+TEST(WorkerSpecDeath, RejectsMissingComma)
+{
+    EXPECT_EXIT(svc::parseWorkerSpec("3"),
+                testing::ExitedWithCode(1), "R,W pipe fds");
+}
+
+TEST(WorkerSpecDeath, RejectsExtraField)
+{
+    EXPECT_EXIT(svc::parseWorkerSpec("3,4,5"),
+                testing::ExitedWithCode(1), "R,W pipe fds");
+}
+
+// --------------------------------------------------- frame protocol
+
+TEST(Protocol, FramesRoundTripOverPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    std::vector<std::uint8_t> small = {1, 2, 3};
+    std::vector<std::uint8_t> big(4096);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = std::uint8_t(i * 7);
+
+    svc::writeFrame(fds[1], svc::MsgType::Heartbeat, {});
+    svc::writeFrame(fds[1], svc::MsgType::RunJob, small);
+    svc::writeFrame(fds[1], svc::MsgType::JobDone, big);
+    ::close(fds[1]);
+
+    svc::Frame frame;
+    ASSERT_TRUE(svc::readFrame(fds[0], frame));
+    EXPECT_EQ(frame.type, svc::MsgType::Heartbeat);
+    EXPECT_TRUE(frame.payload.empty());
+    ASSERT_TRUE(svc::readFrame(fds[0], frame));
+    EXPECT_EQ(frame.type, svc::MsgType::RunJob);
+    EXPECT_EQ(frame.payload, small);
+    ASSERT_TRUE(svc::readFrame(fds[0], frame));
+    EXPECT_EQ(frame.type, svc::MsgType::JobDone);
+    EXPECT_EQ(frame.payload, big);
+    // Writer gone at a frame boundary: clean end-of-stream.
+    EXPECT_FALSE(svc::readFrame(fds[0], frame));
+    ::close(fds[0]);
+}
+
+TEST(Protocol, CorruptedPayloadFailsTheCrc)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    svc::writeFrame(fds[1], svc::MsgType::RunJob, {10, 20, 30, 40});
+    ::close(fds[1]);
+
+    std::vector<std::uint8_t> bytes(13 + 4);
+    ASSERT_EQ(::read(fds[0], bytes.data(), bytes.size()),
+              ssize_t(bytes.size()));
+    ::close(fds[0]);
+    bytes[14] ^= 0x40; // second payload byte
+
+    int corrupt[2];
+    ASSERT_EQ(::pipe(corrupt), 0);
+    ASSERT_EQ(::write(corrupt[1], bytes.data(), bytes.size()),
+              ssize_t(bytes.size()));
+    ::close(corrupt[1]);
+    svc::Frame frame;
+    EXPECT_THROW(svc::readFrame(corrupt[0], frame), svc::ServiceError);
+    ::close(corrupt[0]);
+}
+
+TEST(Protocol, EofMidFrameIsAProtocolError)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    svc::writeFrame(fds[1], svc::MsgType::JobDone, {1, 2, 3, 4, 5, 6});
+
+    std::vector<std::uint8_t> bytes(13 + 6);
+    ASSERT_EQ(::read(fds[0], bytes.data(), bytes.size()),
+              ssize_t(bytes.size()));
+    ::close(fds[1]);
+
+    int torn[2];
+    ASSERT_EQ(::pipe(torn), 0);
+    // Header plus half the payload, then the writer dies.
+    ASSERT_EQ(::write(torn[1], bytes.data(), 16), 16);
+    ::close(torn[1]);
+    svc::Frame frame;
+    EXPECT_THROW(svc::readFrame(torn[0], frame), svc::ServiceError);
+    ::close(torn[0]);
+    ::close(fds[0]);
+}
+
+TEST(Protocol, BadMagicThrows)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::uint8_t junk[13] = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_EQ(::write(fds[1], junk, sizeof(junk)),
+              ssize_t(sizeof(junk)));
+    ::close(fds[1]);
+    svc::Frame frame;
+    EXPECT_THROW(svc::readFrame(fds[0], frame), svc::ServiceError);
+    ::close(fds[0]);
+}
+
+// ------------------------------------------------------ the journal
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char tmpl[] = "/tmp/pfsim-journal-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        path_ = dir_ + "/campaign.journal";
+    }
+
+    void TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    /** A journal with one campaign header and three job records. */
+    void writeReference(std::uint64_t identity = 0x1234)
+    {
+        svc::Journal journal = svc::Journal::create(path_, identity);
+        svc::JournalCampaign campaign;
+        campaign.ordinal = 1;
+        campaign.jobCount = 3;
+        campaign.tag = "run";
+        journal.appendCampaign(campaign);
+        for (std::uint32_t i = 0; i < 3; ++i) {
+            svc::JournalRecord record;
+            record.campaign = 1;
+            record.index = i;
+            record.ok = true;
+            record.attempts = i + 1;
+            record.line = "job " + std::to_string(i);
+            record.payload = {std::uint8_t(i), 0x55};
+            journal.appendRecord(record);
+        }
+    }
+
+    std::string dir_;
+    std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripsCampaignsAndRecords)
+{
+    writeReference();
+    svc::JournalContents contents;
+    svc::Journal journal = svc::Journal::resume(path_, 0x1234, contents);
+    ASSERT_EQ(contents.campaigns.size(), 1u);
+    EXPECT_EQ(contents.campaigns[0].ordinal, 1u);
+    EXPECT_EQ(contents.campaigns[0].jobCount, 3u);
+    EXPECT_EQ(contents.campaigns[0].tag, "run");
+    ASSERT_EQ(contents.records.size(), 3u);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(contents.records[i].index, i);
+        EXPECT_EQ(contents.records[i].attempts, i + 1);
+        EXPECT_TRUE(contents.records[i].ok);
+        EXPECT_EQ(contents.records[i].line,
+                  "job " + std::to_string(i));
+        EXPECT_EQ(contents.records[i].payload,
+                  (std::vector<std::uint8_t>{std::uint8_t(i), 0x55}));
+    }
+}
+
+TEST_F(JournalTest, ResumedHandleAppends)
+{
+    writeReference();
+    {
+        svc::JournalContents contents;
+        svc::Journal journal =
+            svc::Journal::resume(path_, 0x1234, contents);
+        svc::JournalRecord extra;
+        extra.campaign = 1;
+        extra.index = 9;
+        extra.line = "late row";
+        journal.appendRecord(extra);
+    }
+    svc::JournalContents contents;
+    svc::Journal journal = svc::Journal::resume(path_, 0x1234, contents);
+    ASSERT_EQ(contents.records.size(), 4u);
+    EXPECT_EQ(contents.records[3].index, 9u);
+}
+
+TEST_F(JournalTest, RejectsIdentitySkew)
+{
+    writeReference(0x1234);
+    svc::JournalContents contents;
+    EXPECT_THROW(svc::Journal::resume(path_, 0x4321, contents),
+                 svc::ServiceError);
+}
+
+TEST_F(JournalTest, RejectsTruncatedTail)
+{
+    writeReference();
+    const auto size = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, size - 1);
+    svc::JournalContents contents;
+    EXPECT_THROW(svc::Journal::resume(path_, 0x1234, contents),
+                 svc::ServiceError);
+}
+
+TEST_F(JournalTest, RejectsCrcCorruption)
+{
+    writeReference();
+    std::fstream file(path_, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    const auto size = std::filesystem::file_size(path_);
+    file.seekg(std::streamoff(size) - 6);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = char(byte ^ 0x01);
+    file.seekp(std::streamoff(size) - 6);
+    file.write(&byte, 1);
+    file.close();
+    svc::JournalContents contents;
+    EXPECT_THROW(svc::Journal::resume(path_, 0x1234, contents),
+                 svc::ServiceError);
+}
+
+TEST_F(JournalTest, RejectsForeignFile)
+{
+    std::ofstream(path_) << "this is not a journal at all\n";
+    svc::JournalContents contents;
+    EXPECT_THROW(svc::Journal::resume(path_, 0x1234, contents),
+                 svc::ServiceError);
+}
+
+// -------------------------------------- coordinator over real workers
+
+class ServiceCampaignTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        svc::resetSessionForTest();
+        char tmpl[] = "/tmp/pfsim-service-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        run_.shards = 2;
+        run_.shardHeartbeatMs = 50;
+        run_.journalPath.clear();
+    }
+
+    void TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+        svc::resetSessionForTest();
+    }
+
+    /** Point the coordinator at this binary in --service-child mode. */
+    void useChild(const std::string &mode, std::size_t njobs,
+                  std::int64_t index = -1, bool marker = false)
+    {
+        std::vector<std::string> command = {
+            selfExe(),
+            "--service-child=" + mode,
+            "--njobs=" + std::to_string(njobs),
+            "--heartbeat=" + std::to_string(run_.shardHeartbeatMs),
+        };
+        if (index >= 0)
+            command.push_back("--index=" + std::to_string(index));
+        if (marker)
+            command.push_back("--marker=" + dir_ + "/marker");
+        svc::setWorkerCommandForTest(command);
+    }
+
+    void expectSlots(const std::vector<std::uint64_t> &slots,
+                     std::uint64_t base)
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            EXPECT_EQ(slots[i], base + i * i) << "slot " << i;
+    }
+
+    std::string dir_;
+    sim::RunConfig run_;
+};
+
+TEST_F(ServiceCampaignTest, CampaignAssemblesSlotsBySubmissionIndex)
+{
+    const std::size_t n = 6;
+    useChild("normal", n);
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc");
+    expectSlots(slots, 1);
+    ASSERT_EQ(report.outcomes.size(), n);
+    for (const sim::JobOutcome &outcome : report.outcomes) {
+        EXPECT_TRUE(outcome.ok);
+        EXPECT_EQ(outcome.attempts, 1u);
+    }
+    EXPECT_EQ(report.degraded(), 0u);
+    EXPECT_EQ(report.throughput.jobs, 2u);
+}
+
+TEST_F(ServiceCampaignTest, ReplayConvergesWorkersOfLaterCampaigns)
+{
+    const std::size_t n = 4;
+    useChild("two-phase", n);
+    std::vector<std::uint64_t> slots(n, 0);
+    auto phase1 = makeCampaign(n, 1, slots);
+    sim::runJobsFleet(phase1, run_, "svc");
+    expectSlots(slots, 1);
+
+    // Campaign 2's workers are fresh processes that had campaign 1
+    // replayed; their phase-2 base is derived from the replayed slots.
+    const std::uint64_t base2 = std::accumulate(
+        slots.begin(), slots.end(), std::uint64_t(7));
+    std::vector<std::uint64_t> slots2(n, 0);
+    auto phase2 = makeCampaign(n, base2, slots2);
+    sim::runJobsFleet(phase2, run_, "svc2");
+    expectSlots(slots2, base2);
+}
+
+TEST_F(ServiceCampaignTest, WorkerCrashRequeuesWithoutConsumingAttempt)
+{
+    const std::size_t n = 5;
+    useChild("crash-once", n, 2, true);
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    // Default policy: a worker crash is not a job failure, so the
+    // campaign completes without any FleetPolicy budget at all.
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc");
+    expectSlots(slots, 1);
+    EXPECT_TRUE(report.outcomes[2].ok);
+    EXPECT_EQ(report.outcomes[2].attempts, 1u);
+}
+
+TEST_F(ServiceCampaignTest, PoisonJobIsQuarantinedAsDegraded)
+{
+    const std::size_t n = 5;
+    useChild("poison", n, 1);
+    run_.shardRespawn = 1; // two crashes, then quarantine
+    sim::FleetPolicy policy;
+    policy.degradeOnFailure = true;
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc", policy);
+    EXPECT_FALSE(report.outcomes[1].ok);
+    EXPECT_NE(report.outcomes[1].error.find("worker crash"),
+              std::string::npos);
+    EXPECT_EQ(report.degraded(), 1u);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i == 1)
+            continue;
+        EXPECT_TRUE(report.outcomes[i].ok) << "job " << i;
+        EXPECT_EQ(slots[i], 1 + i * i) << "job " << i;
+    }
+}
+
+TEST_F(ServiceCampaignTest, ThrownFailureConsumesAttemptsAndDegrades)
+{
+    const std::size_t n = 4;
+    useChild("throw", n, 3);
+    sim::FleetPolicy policy;
+    policy.maxRetries = 1;
+    policy.degradeOnFailure = true;
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc", policy);
+    EXPECT_FALSE(report.outcomes[3].ok);
+    EXPECT_EQ(report.outcomes[3].attempts, 2u);
+    // Only the first line of the thrown message crosses the pipe.
+    EXPECT_EQ(report.outcomes[3].error, "injected worker exception");
+    EXPECT_EQ(report.degraded(), 1u);
+}
+
+TEST_F(ServiceCampaignTest, FlakyThrowRecoversAfterRetry)
+{
+    const std::size_t n = 4;
+    useChild("throw-once", n, 0, true);
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    policy.degradeOnFailure = true;
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc", policy);
+    expectSlots(slots, 1);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 2u);
+    EXPECT_TRUE(report.outcomes[0].recoveredAfterRetry());
+    EXPECT_EQ(report.recovered(), 1u);
+}
+
+TEST_F(ServiceCampaignTest, HeartbeatWatchdogKillsWedgedWorker)
+{
+    const std::size_t n = 4;
+    useChild("wedge", n, 1, true);
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    // The wedged worker mutes its heartbeats and sleeps for 30s; the
+    // watchdog must kill it after ~1s of staleness and the re-run
+    // completes the campaign well before the sleep would.
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc");
+    expectSlots(slots, 1);
+    EXPECT_TRUE(report.outcomes[1].ok);
+    EXPECT_EQ(report.outcomes[1].attempts, 1u);
+}
+
+TEST_F(ServiceCampaignTest, HostTimeoutWatchdogDegradesRunawayJob)
+{
+    const std::size_t n = 3;
+    useChild("sleep", n, 2);
+    run_.hostTimeoutSeconds = 0.2;
+    sim::FleetPolicy policy;
+    policy.degradeOnFailure = true;
+    std::vector<std::uint64_t> slots(n, 0);
+    auto jobs = makeCampaign(n, 1, slots);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc", policy);
+    EXPECT_FALSE(report.outcomes[2].ok);
+    EXPECT_NE(report.outcomes[2].error.find("hostTimeoutSeconds"),
+              std::string::npos);
+    EXPECT_EQ(report.degraded(), 1u);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_TRUE(report.outcomes[1].ok);
+}
+
+// ------------------------------------------------- resumed campaigns
+
+class ServiceResumeTest : public ServiceCampaignTest
+{
+  protected:
+    void SetUp() override
+    {
+        ServiceCampaignTest::SetUp();
+        run_.journalPath = dir_ + "/campaign.journal";
+    }
+
+    /** Run one flaky campaign to completion, journaled. */
+    void runReferenceCampaign(std::vector<std::uint64_t> &slots)
+    {
+        useChild("throw-once", slots.size(), 1, true);
+        sim::FleetPolicy policy;
+        policy.maxRetries = 2;
+        auto jobs = makeCampaign(slots.size(), 1, slots);
+        const sim::FleetReport report =
+            sim::runJobsFleet(jobs, run_, "svc", policy);
+        expectSlots(slots, 1);
+        ASSERT_EQ(report.outcomes[1].attempts, 2u);
+    }
+
+    /**
+     * Frame offsets inside the journal: byte offset of every record
+     * frame, so tests can truncate or corrupt at exact boundaries.
+     */
+    std::vector<std::uintmax_t> frameOffsets()
+    {
+        std::ifstream file(run_.journalPath, std::ios::binary);
+        std::vector<char> bytes(
+            (std::istreambuf_iterator<char>(file)),
+            std::istreambuf_iterator<char>());
+        std::vector<std::uintmax_t> offsets;
+        std::uintmax_t at = 16; // magic + version + identity
+        while (at < bytes.size()) {
+            offsets.push_back(at);
+            std::uint32_t length = 0;
+            for (unsigned b = 0; b < 4; ++b) {
+                length |= std::uint32_t(std::uint8_t(
+                              bytes[std::size_t(at) + 1 + b]))
+                          << (8u * b);
+            }
+            at += std::uintmax_t(9) + length;
+        }
+        return offsets;
+    }
+};
+
+TEST_F(ServiceResumeTest, ResumeReplaysEveryFinalizedRow)
+{
+    const std::size_t n = 5;
+    std::vector<std::uint64_t> slots(n, 0);
+    runReferenceCampaign(slots);
+
+    svc::resetSessionForTest();
+    useChild("throw-once", n, 1, true);
+    run_.resumeCampaign = true;
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    std::vector<std::uint64_t> resumed(n, 0);
+    auto jobs = makeCampaign(n, 1, resumed);
+    const sim::FleetReport report =
+        sim::runJobsFleet(jobs, run_, "svc", policy);
+    expectSlots(resumed, 1);
+    // attempts==2 came out of the journal: the flaky job was NOT
+    // re-run (its marker file still exists, so a re-run would have
+    // succeeded first try and reported attempts==1).
+    EXPECT_EQ(report.outcomes[1].attempts, 2u);
+    EXPECT_TRUE(report.outcomes[1].ok);
+}
+
+TEST_F(ServiceResumeTest, PartialJournalRunsOnlyMissingRows)
+{
+    const std::size_t n = 5;
+    std::vector<std::uint64_t> slots(n, 0);
+    runReferenceCampaign(slots);
+
+    // Drop the last finalized row cleanly at its frame boundary.
+    const std::vector<std::uintmax_t> offsets = frameOffsets();
+    ASSERT_GE(offsets.size(), 2u);
+    std::filesystem::resize_file(run_.journalPath, offsets.back());
+
+    svc::resetSessionForTest();
+    useChild("throw-once", n, 1, true);
+    run_.resumeCampaign = true;
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    std::vector<std::uint64_t> resumed(n, 0);
+    auto jobs = makeCampaign(n, 1, resumed);
+    sim::runJobsFleet(jobs, run_, "svc", policy);
+    expectSlots(resumed, 1);
+}
+
+TEST_F(ServiceResumeTest, CorruptJournalRestartsFromScratch)
+{
+    const std::size_t n = 4;
+    std::vector<std::uint64_t> slots(n, 0);
+    runReferenceCampaign(slots);
+
+    // Flip a payload byte of the last record: the CRC check must
+    // reject the whole journal, and the campaign re-runs fully with
+    // correct results instead of splicing in the corrupt slot.
+    const std::vector<std::uintmax_t> offsets = frameOffsets();
+    ASSERT_FALSE(offsets.empty());
+    std::fstream file(run_.journalPath,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff at = std::streamoff(offsets.back()) + 16;
+    file.seekg(at);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = char(byte ^ 0x80);
+    file.seekp(at);
+    file.write(&byte, 1);
+    file.close();
+
+    svc::resetSessionForTest();
+    useChild("throw-once", n, 1, true);
+    run_.resumeCampaign = true;
+    sim::FleetPolicy policy;
+    policy.maxRetries = 2;
+    std::vector<std::uint64_t> resumed(n, 0);
+    auto jobs = makeCampaign(n, 1, resumed);
+    sim::runJobsFleet(jobs, run_, "svc", policy);
+    expectSlots(resumed, 1);
+}
+
+} // namespace
+} // namespace pfsim
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--service-child=", 0) == 0)
+            return pfsim::runServiceChild(argc, argv);
+    }
+    testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

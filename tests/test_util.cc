@@ -222,6 +222,40 @@ TEST(Rng, GeometricMeanApproximation)
     EXPECT_NEAR(sum / n, 8.0, 0.5);
 }
 
+TEST(ParseValue, AcceptsIntegersAndBounds)
+{
+    EXPECT_EQ(parseIntValue("--shards", "12"), 12);
+    EXPECT_EQ(parseIntValue("--offset", "-4"), -4);
+    EXPECT_EQ(parseUnsignedValue("--shards respawn", "0"), 0u);
+    EXPECT_EQ(parseUnsignedValue("--shards heartbeat", "250"), 250u);
+}
+
+TEST(ParseValueDeath, RejectsMalformedInteger)
+{
+    EXPECT_EXIT(parseUnsignedValue("--shards", "many"),
+                testing::ExitedWithCode(1),
+                "--shards expects an integer");
+}
+
+TEST(ParseValueDeath, RejectsTrailingGarbage)
+{
+    EXPECT_EXIT(parseIntValue("--shards", "4x"),
+                testing::ExitedWithCode(1),
+                "--shards expects an integer");
+}
+
+TEST(ParseValueDeath, RejectsOverflow)
+{
+    EXPECT_EXIT(parseIntValue("--shards", "99999999999999999999"),
+                testing::ExitedWithCode(1), "overflows");
+}
+
+TEST(ParseValueDeath, RejectsNegativeWhereUnsigned)
+{
+    EXPECT_EXIT(parseUnsignedValue("--shards", "-2"),
+                testing::ExitedWithCode(1), "must be >= 0");
+}
+
 TEST(Args, ParsesKeyValuePairs)
 {
     const char *argv[] = {"prog", "--alpha=3", "--name=test", "--flag"};

@@ -29,6 +29,13 @@ promise; this checker bans them from src/:
 
 Allowlist: ``determinism_allowlist.txt``, keyed ``<rule> <path>`` with
 a mandatory reason, so every exemption is a reviewed decision.
+
+One carve-out has no escape hatch: the campaign journal writer
+(src/sim/service/journal.*).  Journal records must replay identically
+on any host — a wall-clock reading or a pointer-derived value baked
+into a record would make ``--resume`` diverge from the run it resumes —
+so ``wall-clock`` and ``pointer-identity`` findings there are reported
+even when an allowlist entry names the file.
 """
 
 from __future__ import annotations
@@ -41,6 +48,11 @@ from cpplex import Tok
 from suppress import Suppressions
 
 ALLOWLIST = "determinism_allowlist.txt"
+
+# The campaign journal must replay identically anywhere: wall-clock
+# and pointer-identity findings in these files cannot be allowlisted.
+JOURNAL_PREFIX = "src/sim/service/journal"
+JOURNAL_RULES = {"wall-clock", "pointer-identity"}
 
 WALL_CLOCK_IDS = {
     "system_clock", "steady_clock", "high_resolution_clock",
@@ -254,6 +266,12 @@ def check(root: pathlib.Path,
                          f"'{t.value}' inside src/snapshot: "
                          f"serialized state needs a defined order"))
         for v in found:
+            if v[0].startswith(JOURNAL_PREFIX) and v[2] in JOURNAL_RULES:
+                violations.append(
+                    (v[0], v[1], v[2],
+                     v[3] + " (journal records must replay "
+                     "identically; not allowlistable)"))
+                continue
             if allow.match(f"{v[2]} {v[0]}"):
                 continue
             violations.append(v)

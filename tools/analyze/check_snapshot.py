@@ -1,11 +1,13 @@
 """Snapshot-completeness checker.
 
-The wire format lives in one TU (src/snapshot/state_io.cc); the data
-it must cover lives in the component headers.  Nothing ties the two
-together at compile time, so a new data member silently rots the
-serializer: snapshots keep round-tripping structurally while restored
-machines diverge from saved ones.  This checker closes that gap
-statically:
+The wire format lives in two TUs — src/snapshot/state_io.cc (machine
+snapshots) and src/sim/service/wire.cc (the sweep service's result
+slots) — while the data they must cover lives in the component
+headers.  Nothing ties them together at compile time, so a new data
+member silently rots a serializer: snapshots keep round-tripping
+structurally while restored machines diverge from saved ones, and a
+stats struct gaining a field loses it crossing the worker pipe.  This
+checker closes that gap statically:
 
   1. every ``Class::serialize`` / ``Class::deserialize`` definition in
      state_io.cc is paired with the class's declaration (parsed from
@@ -39,6 +41,7 @@ import cpplex
 from suppress import Suppressions
 
 STATE_IO = pathlib.Path("src") / "snapshot" / "state_io.cc"
+WIRE_IO = pathlib.Path("src") / "sim" / "service" / "wire.cc"
 SUPPRESSIONS = "snapshot_suppressions.txt"
 
 Violation = Tuple[str, int, str, str]
@@ -57,6 +60,7 @@ class _IoDef:
     def __init__(self):
         self.ser = None     # FuncDef
         self.deser = None   # FuncDef
+        self.rel = None     # IO file that defines the pair
 
 
 def _helper_struct_name(params) -> Optional[str]:
@@ -118,36 +122,47 @@ def check(root: pathlib.Path,
         classes.extend(parsed)
         classes_by_path[rel] = parsed
 
-    # ---- definitions: serialize/deserialize bodies in state_io -----
+    # ---- definitions: serialize/deserialize bodies in the IO TUs ---
+    io_files = [state_io]
+    wire_io = root / WIRE_IO
+    if wire_io.is_file() and wire_io != state_io:
+        io_files.append(wire_io)
     rel_io = str(state_io.relative_to(root)) if state_io.is_relative_to(
         root) else str(state_io)
-    defs = cppdecl.parse_function_defs(cpplex.lex_file(state_io),
-                                       rel_io)
     by_class: Dict[str, _IoDef] = {}
     helpers: Dict[str, _IoDef] = {}      # struct qual -> write/read
-    for fd in defs:
-        parts = fd.qualname.split("::")
-        if parts[-1] in ("serialize", "deserialize") and len(parts) > 1:
-            cls = "::".join(parts[:-1])
-            entry = by_class.setdefault(cls, _IoDef())
-            if parts[-1] == "serialize":
-                entry.ser = fd
-            else:
-                entry.deser = fd
-        elif parts[-1].startswith(("write", "read")):
-            struct = _helper_struct_name(fd.params)
-            if struct is None:
-                continue
-            entry = helpers.setdefault(struct, _IoDef())
-            if parts[-1].startswith("write"):
-                entry.ser = fd
-            else:
-                entry.deser = fd
+    for io_path in io_files:
+        rel = (str(io_path.relative_to(root))
+               if io_path.is_relative_to(root) else str(io_path))
+        defs = cppdecl.parse_function_defs(cpplex.lex_file(io_path),
+                                           rel)
+        for fd in defs:
+            parts = fd.qualname.split("::")
+            if (parts[-1] in ("serialize", "deserialize")
+                    and len(parts) > 1):
+                cls = "::".join(parts[:-1])
+                entry = by_class.setdefault(cls, _IoDef())
+                entry.rel = rel
+                if parts[-1] == "serialize":
+                    entry.ser = fd
+                else:
+                    entry.deser = fd
+            elif parts[-1].startswith(("write", "read")):
+                struct = _helper_struct_name(fd.params)
+                if struct is None:
+                    continue
+                entry = helpers.setdefault(struct, _IoDef())
+                entry.rel = rel
+                if parts[-1].startswith("write"):
+                    entry.ser = fd
+                else:
+                    entry.deser = fd
 
     checked_structs: Set[str] = set()
 
     def check_members(decl: cppdecl.ClassDecl, ser_ids: Set[str],
-                      deser_ids: Set[str]) -> None:
+                      deser_ids: Set[str],
+                      rel_io: str = rel_io) -> None:
         checked_structs.add(decl.qualname)
         key_base = _strip_root_ns(decl.qualname)
         if sup.match(f"{key_base}::*"):
@@ -177,7 +192,7 @@ def check(root: pathlib.Path,
         decl = _find_class(classes, cls_qual)
         if decl is None:
             violations.append(
-                (rel_io, (entry.ser or entry.deser).line,
+                (entry.rel, (entry.ser or entry.deser).line,
                  "snapshot-completeness",
                  f"cannot locate the declaration of {cls_qual} in any "
                  f"src/ header (parser gap or dead serializer)"))
@@ -187,14 +202,14 @@ def check(root: pathlib.Path,
                           if entry.deser is None
                           else ("deserialize", "serialize"))
             violations.append(
-                (rel_io, (entry.ser or entry.deser).line,
+                (entry.rel, (entry.ser or entry.deser).line,
                  "snapshot-completeness",
                  f"{_strip_root_ns(cls_qual)} defines {have}() but "
                  f"not {miss}(): one-way state cannot round-trip"))
             continue
         ser_ids = _body_ids(entry.ser.body)
         deser_ids = _body_ids(entry.deser.body)
-        check_members(decl, ser_ids, deser_ids)
+        check_members(decl, ser_ids, deser_ids, entry.rel)
         prev = header_bodies.setdefault(decl.path, (set(), set()))
         prev[0].update(ser_ids)
         prev[1].update(deser_ids)
@@ -208,13 +223,13 @@ def check(root: pathlib.Path,
             have, miss = (("write", "read") if entry.deser is None
                           else ("read", "write"))
             violations.append(
-                (rel_io, (entry.ser or entry.deser).line,
+                (entry.rel, (entry.ser or entry.deser).line,
                  "snapshot-completeness",
                  f"{_strip_root_ns(decl.qualname)} has a {have} "
                  f"helper but no matching {miss} helper"))
             continue
         check_members(decl, _body_ids(entry.ser.body),
-                      _body_ids(entry.deser.body))
+                      _body_ids(entry.deser.body), entry.rel)
 
     # ---- rule 3: partially-covered support structs -----------------
     for path, (ser_ids, deser_ids) in sorted(header_bodies.items()):

@@ -270,6 +270,59 @@ class SnapshotCheckerTests(unittest.TestCase):
         self.assertIn("cache::Request::kind", violations[0][3])
         self.assertIn("never restored", violations[0][3])
 
+    def test_wire_io_second_tu_is_checked(self):
+        # The sweep service's result-slot codecs (wire.cc) are held to
+        # the same member-completeness bar as machine snapshots.
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        fx.write("src/ppf/table.hh", SNAP_HEADER.format(extra_member=""))
+        io = fx.write("src/snapshot/state_io.cc",
+                      SNAP_IO.format(ser_extra="", deser_extra=""))
+        fx.write("src/sim/service/stats.hh",
+                 "#pragma once\nnamespace pfsim::service {\n"
+                 "struct JobReport { uint64_t ipc = 0;"
+                 " int faults = 0; };\n}\n")
+        fx.write("src/sim/service/wire.cc",
+                 "namespace pfsim::service {\n"
+                 "void writeJobReport(snapshot::Sink& sink,"
+                 " const service::JobReport& r) {\n"
+                 "  sink.u64(r.ipc); sink.u32(r.faults);\n}\n"
+                 "void readJobReport(snapshot::Source& src,"
+                 " service::JobReport& r) {\n"
+                 "  r.ipc = src.u64();\n}\n}\n")
+        violations = check_snapshot.check(
+            fx.root, state_io=io,
+            suppressions_path=fx.root / "sup.txt")
+        self.assertEqual(len(violations), 1)
+        path, _line, rule, detail = violations[0]
+        self.assertEqual(rule, "snapshot-completeness")
+        self.assertEqual(path, "src/sim/service/stats.hh")
+        self.assertIn("JobReport::faults", detail)
+        self.assertIn("never restored", detail)
+        self.assertIn("src/sim/service/wire.cc", detail)
+
+    def test_wire_io_one_way_helper(self):
+        fx = Fixture()
+        self.addCleanup(fx.cleanup)
+        fx.write("src/ppf/table.hh", SNAP_HEADER.format(extra_member=""))
+        io = fx.write("src/snapshot/state_io.cc",
+                      SNAP_IO.format(ser_extra="", deser_extra=""))
+        fx.write("src/sim/service/stats.hh",
+                 "#pragma once\nnamespace pfsim::service {\n"
+                 "struct JobReport { uint64_t ipc = 0; };\n}\n")
+        fx.write("src/sim/service/wire.cc",
+                 "namespace pfsim::service {\n"
+                 "void writeJobReport(snapshot::Sink& sink,"
+                 " const service::JobReport& r) {\n"
+                 "  sink.u64(r.ipc);\n}\n}\n")
+        violations = check_snapshot.check(
+            fx.root, state_io=io,
+            suppressions_path=fx.root / "sup.txt")
+        self.assertEqual(len(violations), 1)
+        path, _line, _rule, detail = violations[0]
+        self.assertEqual(path, "src/sim/service/wire.cc")
+        self.assertIn("no matching read helper", detail)
+
     def test_partial_support_struct(self):
         header = SNAP_HEADER.format(extra_member=(
             "\n  struct Line { uint64_t tag_ = 0; bool dirty_ = false;"
@@ -417,6 +470,30 @@ class DeterminismCheckerTests(unittest.TestCase):
                "  for (const auto& kv : table_) { os << kv.first; }\n"
                "}\n")
         self.assertEqual(self.build({"src/stats/omap.cc": src}), [])
+
+    def test_journal_wall_clock_not_allowlistable(self):
+        # Journal records must replay identically: an allowlist entry
+        # naming the journal writer is ignored for wall-clock findings.
+        src = ("void stamp() { auto t ="
+               " std::chrono::steady_clock::now(); }\n")
+        violations = self.build(
+            {"src/sim/service/journal.cc": src},
+            allowlist="wall-clock src/sim/service/journal.cc nope\n")
+        forced = [v for v in violations if v[2] == "wall-clock"]
+        self.assertEqual(len(forced), 1)
+        self.assertIn("not allowlistable", forced[0][3])
+        # ...and the pointless allowlist entry is reported as stale.
+        self.assertTrue(any("stale allowlist" in v[3]
+                            for v in violations))
+
+    def test_service_wall_clock_still_allowlistable(self):
+        src = ("void poll() { auto t ="
+               " std::chrono::steady_clock::now(); }\n")
+        clean = self.build(
+            {"src/sim/service/service.cc": src},
+            allowlist="wall-clock src/sim/service/service.cc "
+                      "watchdog deadlines\n")
+        self.assertEqual(clean, [])
 
     def test_unordered_banned_in_snapshot(self):
         src = "std::unordered_map<int, int> ids_;\n"

@@ -13,8 +13,9 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      ``--cache-dir`` keyed by the content of the header's project
      include closure plus the compiler identity, and cache misses
      compile in parallel — an unchanged tree re-lints in milliseconds.
-  5. No raw ``std::thread`` / ``std::jthread`` outside src/util and
-     src/sim/parallel.* — concurrency goes through the job pool
+  5. No raw ``std::thread`` / ``std::jthread`` outside src/util,
+     src/sim/parallel.* and src/sim/service (the worker heartbeat
+     thread) — concurrency goes through the job pool
      (util/thread_pool.hh) so sweeps stay deterministic and exception
      handling is solved once.  ``std::thread::hardware_concurrency``
      and ``std::this_thread`` are allowed everywhere.
@@ -40,6 +41,14 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      vector kernels behind a scalar-equivalent interface.  Everything
      else — including tests and benches — programs against simd.hh, so
      a kernel change or a new architecture touches exactly one file.
+ 10. Process management — ``fork``/``exec*``/``waitpid``/``pipe``/
+     ``dup2``/``kill`` calls — is confined to src/sim/service (the
+     crash-isolated sweep service) and tests.  Everything else runs
+     in-process; one subsystem owns worker lifecycles, pipe plumbing
+     and signal delivery, so crash-handling policy cannot fork (pun
+     intended) across the tree.  Qualified member calls
+     (``sup.kill(...)``, ``Supervisor::kill``) are other functions and
+     never match.
 
 The text rules run on the token stream produced by the shared lexer
 (tools/analyze/cpplex.py): comments are gone and string/char literals
@@ -98,13 +107,21 @@ INTRINSICS_HEADERS = (
 )
 
 
+PROCESS_CALLS = (
+    "fork", "vfork", "execv", "execve", "execvp", "execl", "execlp",
+    "execle", "execvpe", "waitpid", "pipe", "pipe2", "dup2", "kill",
+)
+
+
 def check_file_tokens(rel: pathlib.PurePath, toks):
-    """Apply rules 1-3 and 5-9 to one file's token stream."""
+    """Apply rules 1-3 and 5-10 to one file's token stream."""
     violations = []
     in_util = rel.parts[:2] == ("src", "util")
-    may_thread = in_util or (
+    in_service = rel.parts[:3] == ("src", "sim", "service")
+    may_thread = in_util or in_service or (
         rel.parts[:2] == ("src", "sim")
         and rel.name.startswith("parallel."))
+    may_process = in_service or rel.parts[0] == "tests"
     may_fault_inject = (rel.parts[0] == "tests"
                         or rel.parts[:2] == ("src", "fault")
                         or rel.suffix == ".hh")
@@ -189,10 +206,27 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                 and prev == "::" and prev2 == "std" and nxt != "::"):
             violations.append(
                 (rel, t.line, "no-raw-thread",
-                 "raw std::thread outside src/util and "
-                 "src/sim/parallel.*; run concurrent work "
-                 "through ThreadPool/parallelFor "
+                 "raw std::thread outside src/util, "
+                 "src/sim/parallel.* and src/sim/service; run "
+                 "concurrent work through ThreadPool/parallelFor "
                  "(util/thread_pool.hh)"))
+
+        # Rule 10 — process management confined to the sweep service.
+        # Member calls (sup.kill) and qualified member definitions
+        # (Supervisor::kill) are other functions; ::kill at global
+        # scope (prev2 not an identifier) is the real syscall.
+        if (not may_process and t.value in PROCESS_CALLS
+                and nxt == "(" and prev not in (".", "->")):
+            prev2_tok = _tok_at(toks, i - 2)
+            qualified_member = (prev == "::" and prev2_tok is not None
+                                and prev2_tok.kind == "id")
+            if not qualified_member:
+                violations.append(
+                    (rel, t.line, "process-confinement",
+                     "fork/exec/pipe/kill process management belongs "
+                     "to src/sim/service (the crash-isolated sweep "
+                     "service); do not spawn or signal processes "
+                     "elsewhere"))
 
         # Rule 6 — faultInject* call sites; `Class::faultInjectX` is
         # the definition, not a call.

@@ -89,6 +89,8 @@ class TextRuleTests(unittest.TestCase):
         self.assertClean("src/sim/parallel.cc", "std::thread worker;")
         self.assertClean("src/util/thread_pool.cc",
                          "std::thread worker;")
+        self.assertClean("src/sim/service/service.cc",
+                         "std::thread beat(fn);")
 
     # -- rule 6: faultInject confinement -----------------------------
     def test_fault_hooks(self):
@@ -152,6 +154,37 @@ class TextRuleTests(unittest.TestCase):
                          "// gathers via <immintrin.h> wrappers\n")
         self.assertClean("src/cache/c.cc",
                          '#include "core/simd.hh"\n')
+
+    # -- rule 10: process-management confinement ---------------------
+    def test_process_confinement(self):
+        self.assertFlags("src/sim/runner.cc", "pid_t p = fork();",
+                         "process-confinement")
+        self.assertFlags("src/cache/c.cc", "::kill(pid, SIGKILL);",
+                         "process-confinement")
+        self.assertFlags("bench/fig09.cc", "execvp(argv[0], argv);",
+                         "process-confinement")
+        self.assertFlags("src/snapshot/store.cc", "pipe2(fds, 0);",
+                         "process-confinement")
+        self.assertFlags("src/sim/parallel.cc",
+                         "waitpid(pid, &st, 0);",
+                         "process-confinement")
+        self.assertFlags("src/util/io.cc", "dup2(null_fd, 1);",
+                         "process-confinement")
+
+    def test_process_confinement_exemptions(self):
+        self.assertClean("src/sim/service/supervisor.cc",
+                         "pid_t p = ::fork();")
+        self.assertClean("src/sim/service/service.cc",
+                         "::kill(::getpid(), SIGKILL);")
+        self.assertClean("tests/test_service.cc", "pipe(fds);")
+        # Member calls and qualified member definitions are other
+        # functions, not the syscalls.
+        self.assertClean("src/sim/runner.cc", "sup.kill(worker);")
+        self.assertClean("src/sim/runner.cc", "sup->kill(worker);")
+        self.assertClean("src/sim/runner.cc",
+                         "void Supervisor::kill(WorkerProc &w) {}")
+        self.assertClean("src/cache/c.cc", "// never call fork() here")
+        self.assertClean("src/cache/c.cc", "int forks = fork_count;")
 
 
 GOOD_HH = """#pragma once
