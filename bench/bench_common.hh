@@ -10,10 +10,15 @@
  *                     concurrency; --jobs=1 runs serially).  Sweep
  *                     results are bit-identical for every value; only
  *                     wall-clock and stderr progress order change.
- *   --fast-path[=off] idle-cycle skipping in the simulation kernel
- *                     (default on).  Statistics are bit-identical
- *                     either way; =off exists to validate and measure
- *                     the fast path.
+ *   --fast-path=off|skip|wheel
+ *                     simulation-kernel fast path (default wheel; the
+ *                     legacy "on" alias also selects wheel).  off
+ *                     ticks every component every cycle, skip jumps
+ *                     whole-system idle cycles (PR 4), wheel ticks
+ *                     each component only on cycles where it has work.
+ *                     Statistics are bit-identical in every mode; the
+ *                     slower modes exist to validate and measure the
+ *                     faster ones.
  *   --checkpoint-dir=PATH
  *                     content-addressed checkpoint store directory
  *                     (default: off).  Runs restore their warmup from
@@ -105,7 +110,11 @@ runConfig(const Args &args)
         InstrCount(args.getUnsigned("warmup", 250000));
     // 0 = hardware concurrency (resolved by the sweep engine).
     run.jobs = unsigned(args.getUnsigned("jobs", 0));
-    run.fastPath = args.get("fast-path", "on") != "off";
+    if (!sim::parseFastPathMode(args.get("fast-path", "wheel"),
+                                run.fastPath)) {
+        fatal("bad --fast-path value (want off|skip|wheel): " +
+              args.get("fast-path", ""));
+    }
     run.warmupReuse = args.get("warmup-reuse", "on") != "off";
     run.checkpointDir = args.get("checkpoint-dir", "");
     // Bare --warmup-reuse implies the default store location.

@@ -6,14 +6,17 @@
  * Usage:
  *   quickstart [--workload=NAME] [--prefetcher=NAME]
  *              [--instructions=N] [--warmup=N] [--audit[=N]]
- *              [--fast-path[=off]]
+ *              [--fast-path=off|skip|wheel]
  *
  * --audit[=N] runs the hardware-invariant audit (src/check) every N
  * cycles (default 1, i.e. every cycle); any violation aborts with the
  * component, cycle and offending entry.
  *
- * --fast-path=off disables idle-cycle skipping (DESIGN.md §9); the
- * printed numbers are identical either way.
+ * --fast-path selects the simulation-kernel fast path (DESIGN.md §9
+ * and §14): off ticks everything every cycle, skip jumps whole-system
+ * idle cycles, wheel (the default) ticks each component only on
+ * cycles where it has work.  The printed numbers are identical in
+ * every mode.
  */
 
 #include <cstdint>
@@ -48,7 +51,11 @@ main(int argc, char **argv)
             fatal("--audit interval must be positive");
         run.auditInterval = std::uint64_t(interval);
     }
-    run.fastPath = args.get("fast-path", "on") != "off";
+    if (!sim::parseFastPathMode(args.get("fast-path", "wheel"),
+                                run.fastPath)) {
+        fatal("bad --fast-path value (want off|skip|wheel): " +
+              args.get("fast-path", ""));
+    }
 
     const workloads::Workload &workload =
         workloads::findWorkload(workload_name);

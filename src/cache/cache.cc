@@ -77,6 +77,7 @@ Cache::addRead(const Request &req)
     // not yet trained *this* cache's prefetcher.
     r.prefetcherNotified = false;
     rq_.push_back(r);
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -90,6 +91,7 @@ Cache::addWrite(const Request &req)
     r.type = AccessType::Writeback;
     r.enqueueCycle = now_;
     wq_.push_back(r);
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -103,6 +105,7 @@ Cache::addPrefetch(const Request &req)
     r.type = AccessType::Prefetch;
     r.enqueueCycle = now_;
     pq_.push_back(r);
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -132,6 +135,7 @@ Cache::issuePrefetch(Addr addr, bool fill_this_level)
     r.enqueueCycle = now_;
     pq_.push_back(r);
     ++stats_.pfIssued;
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -139,6 +143,9 @@ void
 Cache::returnData(const Request &req, Cycle now)
 {
     fills_.push_back({now, req});
+    // The lower level responds after this cache's tick within a cycle,
+    // so the fill is processed on the next one.
+    wakeSelf(now + 1);
 }
 
 void
@@ -220,6 +227,26 @@ Cache::processWrite(const Request &req, Cycle now)
     return installBlock(req.addr, true, false, now);
 }
 
+void
+Cache::readHit(Block *b, const Request &req, Cycle now)
+{
+    const bool hit_prefetched = b->prefetched;
+    if (b->prefetched) {
+        b->prefetched = false;
+        ++stats_.pfUseful;
+    }
+    if (req.type == AccessType::Rfo && config_.writeAllocateDirty)
+        b->dirty = true;
+    const std::uint32_t set = setIndex(req.addr);
+    policy_->touch(set,
+                   std::uint32_t(b - &blocks_[std::size_t(set) *
+                                              config_.ways]),
+                   now);
+    notifyPrefetcherOperate(req, true, hit_prefetched, now);
+    if (req.ret != nullptr)
+        responses_.push_back({now + config_.latency, req});
+}
+
 bool
 Cache::processRead(Request &req, Cycle now)
 {
@@ -243,21 +270,7 @@ Cache::processRead(Request &req, Cycle now)
 
     if (hit) {
         count_access();
-        bool hit_prefetched = b->prefetched;
-        if (b->prefetched) {
-            b->prefetched = false;
-            ++stats_.pfUseful;
-        }
-        if (req.type == AccessType::Rfo && config_.writeAllocateDirty)
-            b->dirty = true;
-        const std::uint32_t set = setIndex(req.addr);
-        policy_->touch(set,
-                       std::uint32_t(b - &blocks_[std::size_t(set) *
-                                                  config_.ways]),
-                       now);
-        notifyPrefetcherOperate(req, true, hit_prefetched, now);
-        if (req.ret != nullptr)
-            responses_.push_back({now + config_.latency, req});
+        readHit(b, req, now);
         return true;
     }
 
@@ -466,10 +479,14 @@ Cache::demandProbe(Addr addr, Pc pc)
     req.addr = blockAlign(addr);
     req.type = AccessType::Load;
     req.pc = pc;
-    if (lookup(req.addr) == nullptr)
+    Block *b = lookup(req.addr);
+    if (b == nullptr)
         return false;
-    // Reuse the normal hit path; with no ret there is no response.
-    processRead(req, now_);
+    // The normal hit path on the block just found (one tag lookup,
+    // not two); with no ret there is no response.
+    ++stats_.loadAccess;
+    ++stats_.loadHit;
+    readHit(b, req, now_);
     return true;
 }
 

@@ -27,6 +27,7 @@
 #include "cache/request.hh"
 #include "prefetch/prefetcher.hh"
 #include "util/ring_buffer.hh"
+#include "util/tick_waker.hh"
 #include "util/types.hh"
 
 namespace pfsim::snapshot
@@ -162,6 +163,13 @@ class Cache : public MemoryLevel, public Requestor,
      */
     void syncClock(Cycle now) { now_ = now; }
 
+    /** Attach the event-wheel wakeup sink (nullptr detaches). */
+    void setWaker(util::TickWaker *waker, unsigned id)
+    {
+        waker_ = waker;
+        wakerId_ = id;
+    }
+
     // Requestor (responses from the lower level)
     void returnData(const Request &req, Cycle now) override;
 
@@ -252,6 +260,11 @@ class Cache : public MemoryLevel, public Requestor,
     bool processRead(Request &req, Cycle now);
     bool processPrefetch(const Request &req, Cycle now);
 
+    /** The hit half of processRead(), on an already-found block —
+     *  shared with demandProbe() so a probe does one tag lookup, not
+     *  two. */
+    void readHit(Block *b, const Request &req, Cycle now);
+
     /**
      * Install @p addr into the cache, evicting a victim if needed.
      * @return false when the eviction's writeback could not be
@@ -283,6 +296,18 @@ class Cache : public MemoryLevel, public Requestor,
 
     Cycle now_ = 0;
     CacheStats stats_;
+
+    /** Wake the event wheel for our own next tick after enqueuing
+     *  work (no-op when no wheel is attached). */
+    void wakeSelf(Cycle at)
+    {
+        if (waker_)
+            waker_->wake(wakerId_, at);
+    }
+
+    /** Event-wheel wakeup sink (host-side, not serialized). */
+    util::TickWaker *waker_ = nullptr;
+    unsigned wakerId_ = 0;
 };
 
 } // namespace pfsim::cache

@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include <bit>
 #include <cassert>
 
 #include "cache/cache.hh"
@@ -17,6 +18,27 @@ constexpr std::uint64_t tokenStore = std::uint64_t{2} << tokenKindShift;
 constexpr std::uint64_t tokenFetch = std::uint64_t{3} << tokenKindShift;
 constexpr std::uint64_t tokenSlotMask = 0xffffffffULL;
 
+/** Pop the lowest set bit's index — the first-free-slot answer the
+ *  linear queue scan it replaces would give.  The caller has already
+ *  checked that a free slot exists. */
+std::uint16_t
+takeFirstFree(std::vector<std::uint64_t> &mask)
+{
+    for (std::size_t w = 0;; ++w) {
+        if (mask[w] != 0) {
+            const unsigned b = unsigned(std::countr_zero(mask[w]));
+            mask[w] &= mask[w] - 1;
+            return std::uint16_t(w * 64 + b);
+        }
+    }
+}
+
+void
+markFree(std::vector<std::uint64_t> &mask, std::size_t slot)
+{
+    mask[slot / 64] |= std::uint64_t{1} << (slot % 64);
+}
+
 } // namespace
 
 Core::Core(CoreConfig config, int core_id, trace::TraceSource *source,
@@ -28,6 +50,13 @@ Core::Core(CoreConfig config, int core_id, trace::TraceSource *source,
 {
     if (source_ == nullptr || l1i_ == nullptr || l1d_ == nullptr)
         fatal("core wired without trace source or caches");
+    unissuedLq_.reserve(config_.lqSize);
+    lqFree_.assign((config_.lqSize + 63) / 64, 0);
+    for (unsigned i = 0; i < config_.lqSize; ++i)
+        markFree(lqFree_, i);
+    sqFree_.assign((config_.sqSize + 63) / 64, 0);
+    for (unsigned i = 0; i < config_.sqSize; ++i)
+        markFree(sqFree_, i);
 }
 
 void
@@ -39,7 +68,10 @@ Core::resetStats()
 std::uint32_t
 Core::robTail() const
 {
-    return (robHead_ + robCount_) % config_.robSize;
+    // robHead_ < robSize and robCount_ <= robSize, so one conditional
+    // subtract replaces the (runtime-divisor) modulo.
+    const std::uint32_t t = robHead_ + robCount_;
+    return t >= config_.robSize ? t - config_.robSize : t;
 }
 
 void
@@ -54,10 +86,12 @@ Core::retire(Cycle now)
             LqEntry &lq = lq_[head.lqSlot];
             assert(lq.valid && lq.completed);
             lq.valid = false;
+            markFree(lqFree_, head.lqSlot);
             assert(lqUsed_ > 0);
             --lqUsed_;
         }
-        robHead_ = (robHead_ + 1) % config_.robSize;
+        if (++robHead_ == config_.robSize)
+            robHead_ = 0;
         --robCount_;
         ++stats_.instructions;
         --budget;
@@ -112,9 +146,7 @@ Core::fetch(Cycle now)
                 ++stats_.lqFullStalls;
                 return;
             }
-            std::uint16_t slot = 0;
-            while (lq_[slot].valid)
-                ++slot;
+            const std::uint16_t slot = takeFirstFree(lqFree_);
             LqEntry &lq = lq_[slot];
             lq.valid = true;
             lq.issued = false;
@@ -127,6 +159,7 @@ Core::fetch(Cycle now)
             lq.depSlot = lastLoadSlot_;
             lq.depSeq = lastLoadSeq_;
             ++lqUsed_;
+            unissuedLq_.push_back(slot);
 
             haveLastLoad_ = true;
             lastLoadSlot_ = slot;
@@ -141,15 +174,14 @@ Core::fetch(Cycle now)
                 ++stats_.sqFullStalls;
                 return;
             }
-            std::uint16_t slot = 0;
-            while (sq_[slot].valid)
-                ++slot;
+            const std::uint16_t slot = takeFirstFree(sqFree_);
             SqEntry &sq = sq_[slot];
             sq.valid = true;
             sq.issued = false;
             sq.addr = pending_.storeAddr;
             sq.pc = pending_.pc;
             ++sqUsed_;
+            ++unissuedStores_;
 
             // Stores complete from the pipeline's view at dispatch; the
             // RFO drains in the background but occupies the SQ slot.
@@ -189,64 +221,103 @@ Core::fetch(Cycle now)
 void
 Core::issueLoads(Cycle)
 {
-    unsigned budget = config_.loadIssueWidth;
-    while (budget > 0) {
-        // Pick the oldest unissued, dependency-free load.
-        LqEntry *pick = nullptr;
-        for (auto &lq : lq_) {
-            if (!lq.valid || lq.issued)
-                continue;
+    // One pass over the unissued set: gather the oldest
+    // dependency-free loads in sequence order, at most loadIssueWidth
+    // of them.  Issuing a load never changes another's dependency
+    // status within the same cycle, so this picks exactly the loads
+    // the oldest-first whole-queue rescan would — the selection (the
+    // width smallest sequence numbers among the issueable) does not
+    // depend on the walk order, which is what lets unissuedLq_ stay
+    // an unordered slot list.
+    if (!unissuedLq_.empty()) {
+        constexpr unsigned kMaxGather = 16;
+        const unsigned width =
+            config_.loadIssueWidth < kMaxGather ? config_.loadIssueWidth
+                                                : kMaxGather;
+        std::uint16_t picks[kMaxGather];
+        unsigned n = 0;
+        for (const std::uint16_t i : unissuedLq_) {
+            const LqEntry &lq = lq_[i];
+            assert(lq.valid && !lq.issued);
             if (lq.dependent) {
                 const LqEntry &dep = lq_[lq.depSlot];
                 if (dep.valid && dep.seq == lq.depSeq && !dep.completed)
                     continue; // producer still outstanding
             }
-            if (pick == nullptr || lq.seq < pick->seq)
-                pick = &lq;
+            // Insertion sort by seq, keeping the width oldest.
+            unsigned pos = n;
+            while (pos > 0 && lq_[picks[pos - 1]].seq > lq.seq)
+                --pos;
+            if (pos == width)
+                continue;
+            if (n < width)
+                ++n;
+            for (unsigned j = n - 1; j > pos; --j)
+                picks[j] = picks[j - 1];
+            picks[pos] = i;
         }
-        if (pick == nullptr)
-            break;
-
-        cache::Request req;
-        req.addr = pick->addr;
-        req.type = cache::AccessType::Load;
-        req.pc = pick->pc;
-        req.coreId = coreId_;
-        req.ret = this;
-        req.token =
-            tokenLoad | std::uint64_t(pick - lq_.data());
-        if (!l1d_->addRead(req))
-            break; // L1D RQ full; retry next cycle
-        pick->issued = true;
-        --budget;
+        bool issued_any = false;
+        for (unsigned j = 0; j < n; ++j) {
+            LqEntry &pick = lq_[picks[j]];
+            cache::Request req;
+            req.addr = pick.addr;
+            req.type = cache::AccessType::Load;
+            req.pc = pick.pc;
+            req.coreId = coreId_;
+            req.ret = this;
+            req.token = tokenLoad | std::uint64_t(picks[j]);
+            if (!l1d_->addRead(req))
+                break; // L1D RQ full; retry next cycle
+            pick.issued = true;
+            issued_any = true;
+        }
+        if (issued_any) {
+            std::size_t out = 0;
+            for (const std::uint16_t i : unissuedLq_) {
+                if (!lq_[i].issued)
+                    unissuedLq_[out++] = i;
+            }
+            unissuedLq_.resize(out);
+        }
     }
 
     // Drain stores: issue RFOs for unissued SQ entries (bounded by the
     // same width; stores are fire-and-forget from the pipeline's view).
-    unsigned store_budget = config_.loadIssueWidth;
-    for (auto &sq : sq_) {
-        if (store_budget == 0)
-            break;
-        if (!sq.valid || sq.issued)
-            continue;
-        cache::Request req;
-        req.addr = sq.addr;
-        req.type = cache::AccessType::Rfo;
-        req.pc = sq.pc;
-        req.coreId = coreId_;
-        req.ret = this;
-        req.token =
-            tokenStore | std::uint64_t(&sq - sq_.data());
-        if (!l1d_->addRead(req))
-            break;
-        sq.issued = true;
-        --store_budget;
+    if (unissuedStores_ != 0) {
+        unsigned store_budget = config_.loadIssueWidth;
+        unsigned pending = unissuedStores_;
+        for (auto &sq : sq_) {
+            if (store_budget == 0 || pending == 0)
+                break;
+            if (!sq.valid || sq.issued)
+                continue;
+            --pending;
+            cache::Request req;
+            req.addr = sq.addr;
+            req.type = cache::AccessType::Rfo;
+            req.pc = sq.pc;
+            req.coreId = coreId_;
+            req.ret = this;
+            req.token =
+                tokenStore | std::uint64_t(&sq - sq_.data());
+            if (!l1d_->addRead(req))
+                break;
+            sq.issued = true;
+            --unissuedStores_;
+            --store_budget;
+        }
     }
 }
 
 void
 Core::returnData(const cache::Request &req, Cycle now)
 {
+    // Under the event wheel this core may not have ticked for a while;
+    // replay the untaken idle cycles before mutating pipeline state so
+    // the stall classification is sampled from pre-response state.  The
+    // responding cache ticks after this core within a cycle, so every
+    // cycle before @p now is already replay-safe.
+    syncIdle(now);
     const std::uint64_t kind = req.token >> tokenKindShift;
     const std::size_t slot = std::size_t(req.token & tokenSlotMask);
     if (kind == (tokenLoad >> tokenKindShift)) {
@@ -260,6 +331,7 @@ Core::returnData(const cache::Request &req, Cycle now)
         SqEntry &sq = sq_[slot];
         assert(sq.valid && sq.issued);
         sq.valid = false;
+        markFree(sqFree_, slot);
         assert(sqUsed_ > 0);
         --sqUsed_;
     } else if (kind == (tokenFetch >> tokenKindShift)) {
@@ -268,12 +340,19 @@ Core::returnData(const cache::Request &req, Cycle now)
     } else {
         panic("core received a response with an unknown token");
     }
+    // The response unblocks retire/fetch/dispatch work next cycle.
+    if (waker_)
+        waker_->wake(wakerId_, now + 1);
 }
 
 void
 Core::tick(Cycle now)
 {
+    // Catch up on any cycles the event wheel never ticked (no-op under
+    // the naive and skip paths, which tick every processed cycle).
+    syncIdle(now - 1);
     ++stats_.cycles;
+    syncedCycle_ = now;
     retire(now);
     fetch(now);
     issueLoads(now);
@@ -326,10 +405,13 @@ Core::nextEventCycle(Cycle now) const
     }
 
     // Issue: any dispatch-complete load whose producer has resolved,
-    // or any store RFO not yet sent, is issued on the next tick.
-    for (const LqEntry &lq : lq_) {
-        if (!lq.valid || lq.issued)
-            continue;
+    // or any store RFO not yet sent, is issued on the next tick.  The
+    // unissued set makes the common nothing-to-issue case O(1) and
+    // the rest a walk over exactly the candidates.
+    if (unissuedStores_ != 0)
+        return next;
+    for (const std::uint16_t i : unissuedLq_) {
+        const LqEntry &lq = lq_[i];
         if (lq.dependent) {
             const LqEntry &dep = lq_[lq.depSlot];
             if (dep.valid && dep.seq == lq.depSeq && !dep.completed)
@@ -337,26 +419,31 @@ Core::nextEventCycle(Cycle now) const
         }
         return next;
     }
-    for (const SqEntry &sq : sq_) {
-        if (sq.valid && !sq.issued)
-            return next;
-    }
     return event;
 }
 
 void
 Core::skipIdle(Cycle now, Cycle delta)
 {
+    syncIdle(now + delta);
+}
+
+void
+Core::syncIdle(Cycle upTo)
+{
+    if (upTo <= syncedCycle_)
+        return;
+    const Cycle first = syncedCycle_ + 1;
+    const Cycle delta = upTo - syncedCycle_;
+    syncedCycle_ = upTo;
     stats_.cycles += delta;
 
-    // Replay the front end's per-cycle stall accounting.  The skipped
+    // Replay the front end's per-cycle stall accounting.  The replayed
     // span never crosses fetchResumeCycle_ while the front end has
     // work (nextEventCycle reports the resume as an event), so the
     // whole span is either silent or one uniform stall.
-    if (fetchBlockPending_ || !havePending_ ||
-        now + 1 < fetchResumeCycle_) {
+    if (fetchBlockPending_ || !havePending_ || first < fetchResumeCycle_)
         return;
-    }
     if (robFull())
         stats_.robFullStalls += delta;
     else if (pending_.isLoad() && lqUsed_ == config_.lqSize)

@@ -22,6 +22,7 @@
 #include "cache/request.hh"
 #include "cpu/branch_predictor.hh"
 #include "trace/source.hh"
+#include "util/tick_waker.hh"
 #include "util/types.hh"
 
 namespace pfsim::cache
@@ -111,6 +112,29 @@ class Core : public cache::Requestor
      */
     void skipIdle(Cycle now, Cycle delta);
 
+    /**
+     * Replay the statistics-only effect of every untaken cycle in
+     * (syncedCycle_, upTo] — the lazy form of skipIdle() used by the
+     * event wheel, which does not tick idle cores at all.  Valid only
+     * when no cycle in that span had observable work (guaranteed by
+     * the nextEventCycle() contract: the wheel would have ticked the
+     * core otherwise), so the stall classification sampled once holds
+     * uniformly across the span.
+     */
+    void syncIdle(Cycle upTo);
+
+    /** Stamp the lazy-replay clock without accruing statistics (used
+     *  after deserialize, where counters already include every cycle
+     *  up to the snapshot point). */
+    void syncClock(Cycle now) { syncedCycle_ = now; }
+
+    /** Attach the event-wheel wakeup sink (nullptr detaches). */
+    void setWaker(util::TickWaker *waker, unsigned id)
+    {
+        waker_ = waker;
+        wakerId_ = id;
+    }
+
     // cache::Requestor (L1D / L1I responses)
     void returnData(const cache::Request &req, Cycle now) override;
 
@@ -190,8 +214,36 @@ class Core : public cache::Requestor
     std::vector<SqEntry> sq_;
     unsigned sqUsed_ = 0;
 
+    /** One bit per free LQ/SQ slot: first-free allocation becomes a
+     *  count-trailing-zeros instead of a linear valid scan, with the
+     *  identical slot choice.  Rebuilt from the queues on restore. */
+    std::vector<std::uint64_t> lqFree_;
+    std::vector<std::uint64_t> sqFree_;
+
+    /** Slots of the valid-but-unissued LQ entries, appended at
+     *  dispatch and compacted after issue, so issueLoads() and
+     *  nextEventCycle() walk only the unissued set instead of the
+     *  whole (usually saturated) queue.  Order is irrelevant: issue
+     *  selection is by sequence number and the wake check is an
+     *  existence test.  Rebuilt from lq_ on restore. */
+    std::vector<std::uint16_t> unissuedLq_;
+
+    /** Valid-but-unissued SQ entry count, maintained at dispatch and
+     *  issue; makes the common nothing-to-drain case O(1).  Stores
+     *  must issue in slot order, so they keep the indexed scan.
+     *  Recounted from sq_ on restore. */
+    unsigned unissuedStores_ = 0;
+
     /** Fetch is stalled until this cycle (mispredict redirect). */
     Cycle fetchResumeCycle_ = 0;
+
+    /** Last cycle whose statistics have been accrued (lazy replay
+     *  clock for the event wheel; host-side, not serialized). */
+    Cycle syncedCycle_ = 0;
+
+    /** Event-wheel wakeup sink (host-side, not serialized). */
+    util::TickWaker *waker_ = nullptr;
+    unsigned wakerId_ = 0;
 
     /** Fetch is blocked waiting for an L1I fill. */
     bool fetchBlockPending_ = false;

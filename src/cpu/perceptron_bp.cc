@@ -41,21 +41,29 @@ PerceptronBp::sum(const std::array<std::size_t, numTables> &idx) const
 bool
 PerceptronBp::predict(Pc pc)
 {
-    return sum(indices(pc)) >= 0;
+    memoIdx_ = indices(pc);
+    memoSum_ = sum(memoIdx_);
+    memoPc_ = pc;
+    memoValid_ = true;
+    return memoSum_ >= 0;
 }
 
 void
 PerceptronBp::update(Pc pc, bool taken)
 {
-    const auto idx = indices(pc);
-    const int s = sum(idx);
+    if (!memoValid_ || memoPc_ != pc) {
+        memoIdx_ = indices(pc);
+        memoSum_ = sum(memoIdx_);
+    }
+    memoValid_ = false;
+    const int s = memoSum_;
     const bool predicted = s >= 0;
 
     // Perceptron rule: train on a misprediction, or while the margin
     // has not yet reached theta.
     if (predicted != taken || std::abs(s) <= theta) {
         for (unsigned t = 0; t < numTables; ++t)
-            tables_[t][idx[t]].train(taken);
+            tables_[t][memoIdx_[t]].train(taken);
     }
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }

@@ -48,6 +48,16 @@ class PerceptronBp : public BranchPredictor
 
     /** Global branch history register. */
     std::uint64_t history_ = 0;
+
+    /** predict() memo consumed by the immediately following
+     *  update(pc): the core calls the pair back to back and neither
+     *  tables_ nor history_ change in between, so the hashed indices
+     *  and weight sum carry over verbatim.  Transient host-side cache
+     *  (never serialized): update() and deserialize() invalidate it. */
+    Pc memoPc_ = 0;
+    bool memoValid_ = false;
+    int memoSum_ = 0;
+    std::array<std::size_t, numTables> memoIdx_{};
 };
 
 } // namespace pfsim::cpu

@@ -25,6 +25,11 @@ Dram::Dram(DramConfig config)
 {
     if (!isPowerOf2(config_.channels))
         fatal("DRAM channel count must be a power of two");
+    if (isPowerOf2(config_.rowBytes) && isPowerOf2(config_.banks)) {
+        rowShift_ = log2i(config_.rowBytes);
+        rowMask_ = config_.rowBytes - 1; // non-zero: fast path armed
+        bankMask_ = config_.banks - 1;
+    }
     channels_.resize(config_.channels);
     for (auto &channel : channels_) {
         channel.banks.resize(config_.banks);
@@ -42,12 +47,16 @@ Dram::channelOf(Addr addr) const
 std::uint64_t
 Dram::rowIndexOf(Addr addr) const
 {
+    if (rowMask_ != 0)
+        return addr >> rowShift_;
     return addr / config_.rowBytes;
 }
 
 unsigned
 Dram::bankOf(Addr addr) const
 {
+    if (rowMask_ != 0)
+        return unsigned((addr >> rowShift_) & bankMask_);
     return unsigned(rowIndexOf(addr) % config_.banks);
 }
 
@@ -58,6 +67,10 @@ Dram::addRead(const cache::Request &req)
     if (channel.readQ.size() >= config_.rqSize)
         return false;
     channel.readQ.push_back({req, req.enqueueCycle});
+    // The LLC enqueues during its own tick; DRAM ticks after it in the
+    // same cycle, so this request is schedulable one cycle after our
+    // last tick (== the cycle currently being processed).
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -68,6 +81,7 @@ Dram::addWrite(const cache::Request &req)
     if (channel.writeQ.size() >= config_.wqSize)
         return false;
     channel.writeQ.push_back({req, req.enqueueCycle});
+    wakeSelf(now_ + 1);
     return true;
 }
 
@@ -194,6 +208,7 @@ Dram::schedule(Channel &channel, Cycle now)
 void
 Dram::tick(Cycle now)
 {
+    now_ = now;
     while (!completions_.empty() && completions_.top().ready <= now) {
         Completion completion = completions_.top();
         completions_.pop();

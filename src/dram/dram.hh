@@ -21,6 +21,7 @@
 
 #include "cache/request.hh"
 #include "util/ring_buffer.hh"
+#include "util/tick_waker.hh"
 #include "util/types.hh"
 
 namespace pfsim::snapshot
@@ -132,6 +133,22 @@ class Dram : public cache::MemoryLevel
      */
     Cycle nextEventCycle(Cycle now) const;
 
+    /**
+     * Bring the DRAM's notion of "last ticked cycle" to @p now without
+     * doing any work.  Only the event wheel needs DRAM to know the
+     * time between ticks: a request arriving from the LLC mid-cycle
+     * must wake the DRAM for the *same* cycle (it ticks after the LLC
+     * in the naive order).
+     */
+    void syncClock(Cycle now) { now_ = now; }
+
+    /** Attach the event-wheel wakeup sink (nullptr detaches). */
+    void setWaker(util::TickWaker *waker, unsigned id)
+    {
+        waker_ = waker;
+        wakerId_ = id;
+    }
+
     const DramStats &stats() const { return stats_; }
     const DramConfig &config() const { return config_; }
 
@@ -200,8 +217,31 @@ class Dram : public cache::MemoryLevel
     /** Issue @p pending on @p channel; returns its completion cycle. */
     Cycle issue(Channel &channel, const Pending &pending, Cycle now);
 
+    /** Wake the event wheel for our own next tick after enqueuing
+     *  work (no-op when no wheel is attached). */
+    void wakeSelf(Cycle at)
+    {
+        if (waker_)
+            waker_->wake(wakerId_, at);
+    }
+
     DramConfig config_;
+    /** Shift/mask forms of rowBytes and banks when both are powers of
+     *  two (the common case), so the per-request address decode in the
+     *  FR-FCFS scan is shift+and instead of integer div/mod.  Zero
+     *  rowMask_ means "not power-of-two, use the slow path".  Derived
+     *  from config_ in the constructor (config category, never
+     *  serialized). */
+    unsigned rowShift_ = 0;
+    std::uint64_t rowMask_ = 0;
+    std::uint64_t bankMask_ = 0;
     std::vector<Channel> channels_;
+    /** Last ticked/synced cycle (host-side scheduling aid; rebuilt
+     *  from System::now_ on restore, not serialized). */
+    Cycle now_ = 0;
+    /** Event-wheel wakeup sink (host-side, not serialized). */
+    util::TickWaker *waker_ = nullptr;
+    unsigned wakerId_ = 0;
     DramFaultHook *faultHook_ = nullptr;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;

@@ -81,4 +81,36 @@ SystemConfig::withPrefetcher(const std::string &name) const
     return config;
 }
 
+bool
+parseFastPathMode(const std::string &text, FastPathMode &mode)
+{
+    if (text == "off") {
+        mode = FastPathMode::Off;
+        return true;
+    }
+    if (text == "skip") {
+        mode = FastPathMode::Skip;
+        return true;
+    }
+    if (text == "wheel" || text == "on") {
+        mode = FastPathMode::Wheel;
+        return true;
+    }
+    return false;
+}
+
+const char *
+fastPathModeName(FastPathMode mode)
+{
+    switch (mode) {
+    case FastPathMode::Off:
+        return "off";
+    case FastPathMode::Skip:
+        return "skip";
+    case FastPathMode::Wheel:
+        return "wheel";
+    }
+    return "off";
+}
+
 } // namespace pfsim::sim

@@ -18,6 +18,31 @@
 namespace pfsim::sim
 {
 
+/**
+ * How System::step() advances simulated time.  All three modes are
+ * bit-identical in statistics, stdout and snapshots; they differ only
+ * in which host work they avoid:
+ *
+ *  - Off:   the naive reference — tick every component every cycle.
+ *  - Skip:  PR 4's whole-system idle skipping — jump over cycles where
+ *           *no* component has work, tick everything otherwise.
+ *  - Wheel: the event-wheel scheduler — tick each component only on
+ *           cycles where *it* has work, even inside busy cycles.
+ */
+enum class FastPathMode
+{
+    Off,
+    Skip,
+    Wheel,
+};
+
+/** Parse off|skip|wheel (plus on/off legacy aliases: on == wheel).
+ *  Returns false when @p text names no mode. */
+bool parseFastPathMode(const std::string &text, FastPathMode &mode);
+
+/** The flag spelling of @p mode: "off", "skip" or "wheel". */
+const char *fastPathModeName(FastPathMode mode);
+
 /** Complete configuration of an N-core system. */
 struct SystemConfig
 {

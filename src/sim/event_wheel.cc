@@ -1,0 +1,110 @@
+#include "sim/event_wheel.hh"
+
+#include <algorithm>
+
+namespace pfsim::sim
+{
+
+EventWheel::EventWheel(unsigned components)
+    : comps_(components),
+      words_((components + 63) / 64),
+      dueCycle_(components, noEventCycle),
+      buckets_(std::size_t(kBuckets) * words_, 0),
+      current_(words_, 0)
+{
+}
+
+void
+EventWheel::reset(Cycle now)
+{
+    cursor_ = now;
+    farMin_ = noEventCycle;
+    processingCycle_ = 0;
+    processing_ = false;
+    lastTaken_ = -1;
+    std::fill(dueCycle_.begin(), dueCycle_.end(), noEventCycle);
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    std::fill(current_.begin(), current_.end(), 0);
+}
+
+void
+EventWheel::refreshFar()
+{
+    farMin_ = noEventCycle;
+    for (unsigned i = 0; i < comps_; ++i) {
+        if (dueCycle_[i] != noEventCycle)
+            insert(i, dueCycle_[i]);
+    }
+}
+
+Cycle
+EventWheel::openNext(Cycle limit)
+{
+    processing_ = false;
+    for (;;) {
+        if (cursor_ >= limit)
+            return noEventCycle;
+        // A component scheduled more than kBuckets ahead has no calendar
+        // bit; once the window reaches its recorded minimum, re-derive
+        // bits (and an exact farMin_) from ground truth so the scan
+        // below cannot pass over it.
+        if (farMin_ <= cursor_ + kBuckets)
+            refreshFar();
+        const Cycle stop = std::min(limit, cursor_ + kBuckets);
+        for (Cycle t = cursor_ + 1; t <= stop; ++t) {
+            std::uint64_t *slot =
+                &buckets_[std::size_t(slotOf(t)) * words_];
+            bool found = false;
+            for (unsigned w = 0; w < words_; ++w) {
+                std::uint64_t bits = slot[w];
+                if (!bits) {
+                    current_[w] = 0;
+                    continue;
+                }
+                std::uint64_t keep = 0;
+                std::uint64_t cur = 0;
+                while (bits) {
+                    const unsigned b = unsigned(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    const Cycle due = dueCycle_[w * 64 + b];
+                    // Bits due this cycle move to the pending set; a bit
+                    // survives in the slot only while it still names the
+                    // slot's live due cycle a whole calendar turn later.
+                    if (due == t) {
+                        cur |= std::uint64_t{1} << b;
+                        found = true;
+                    } else if (due != noEventCycle && due > t &&
+                               slotOf(due) == slotOf(t)) {
+                        keep |= std::uint64_t{1} << b;
+                    }
+                }
+                slot[w] = keep;
+                current_[w] = cur;
+            }
+            if (found) {
+                cursor_ = t;
+                processingCycle_ = t;
+                processing_ = true;
+                lastTaken_ = -1;
+                return t;
+            }
+        }
+        if (stop == limit) {
+            cursor_ = limit;
+            return noEventCycle;
+        }
+        cursor_ = stop;
+        // Whole window empty: everything still scheduled is far-future.
+        // farMin_ is exact here (refreshFar ran if it was in range), so
+        // either nothing is due before the limit, or the wheel can jump
+        // straight to just before the next far event.
+        if (farMin_ > limit) {
+            cursor_ = limit;
+            return noEventCycle;
+        }
+        if (farMin_ > cursor_ + 1)
+            cursor_ = farMin_ - 1;
+    }
+}
+
+} // namespace pfsim::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Calendar-wheel tick scheduler for System's --fast-path=wheel mode.
+ *
+ * The wheel holds one slot per component (a dense id space assigned by
+ * System) and answers "which cycle has observable work next, and which
+ * components have work on it?".  Ground truth is dueCycle_[comp] — the
+ * earliest cycle at which component comp may do observable work, or
+ * noEventCycle when it is drained.  The bucket calendar (kBuckets slots of
+ * one bitmask word group each) is only an acceleration index over
+ * dueCycle_: a bucket bit may be stale (the component was rescheduled) or
+ * missing (the due cycle was beyond the calendar horizon when recorded),
+ * and both cases are recovered exactly — stale bits are dropped when their
+ * slot is scanned, missing bits are re-inserted by the O(components)
+ * rebase scan that runs when a whole calendar window comes up empty.
+ *
+ * Determinism: the schedule is a pure function of simulated state.  After
+ * a snapshot restore, System rebuilds the wheel from each component's
+ * nextEventCycle() and the result is equivalent to the pre-save wheel (a
+ * wake hint merged before the save can only be earlier-or-equal to the
+ * rebuilt due cycle, and an early tick on a workless component is a state
+ * no-op by the nextEventCycle contract — but in practice rebuild is exact
+ * because every wake call site corresponds to a concrete queue entry that
+ * nextEventCycle also reports).
+ *
+ * The schedule/wake/takeCurrent hot path is defined inline here: the
+ * wheel fields millions of calls per simulated second, and out-of-line
+ * call overhead on these leaf methods was a measurable fraction of
+ * wheel-mode runtime.
+ */
+
+#ifndef PFSIM_SIM_EVENT_WHEEL_HH
+#define PFSIM_SIM_EVENT_WHEEL_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/tick_waker.hh"
+#include "util/types.hh"
+
+namespace pfsim::sim
+{
+
+class EventWheel final : public util::TickWaker
+{
+  public:
+    explicit EventWheel(unsigned components);
+
+    /** Forget every scheduled event and rebase the wheel at @p now
+     *  (all cycles <= now are considered consumed). */
+    void reset(Cycle now);
+
+    /**
+     * Authoritative (re)schedule: component @p component's next observable
+     * work is at @p at exactly, per its nextEventCycle().  Overwrites any
+     * earlier wake hint — the component was just ticked (or freshly
+     * enumerated by a rebuild), so its own report is ground truth.
+     * noEventCycle unschedules the component.
+     */
+    void schedule(unsigned component, Cycle at)
+    {
+        if (component >= comps_)
+            panic("event wheel: schedule for unknown component");
+        if (at == noEventCycle) {
+            dueCycle_[component] = noEventCycle;
+            return;
+        }
+        if (at <= cursor_)
+            panic("event wheel: schedule in the past violates the "
+                  "nextEventCycle contract");
+        dueCycle_[component] = at;
+        insert(component, at);
+    }
+
+    /**
+     * Keep-earliest wake hint (util::TickWaker).  Ignored when the
+     * component is already due at or before @p at.  A wake targeting the
+     * cycle currently being processed joins that cycle's pending set; it
+     * must target a component that has not been taken yet this cycle
+     * (cross-component work always flows from lower to higher component
+     * id within a cycle — System's id layout mirrors the naive tick
+     * order), anything else panics.
+     */
+    void wake(unsigned component, Cycle at) override
+    {
+        if (component >= comps_)
+            panic("event wheel: wake for unknown component");
+        if (at >= dueCycle_[component])
+            return; // already due earlier-or-equal; keep-earliest
+        if (processing_ && at == processingCycle_) {
+            // Same-cycle wakeup: work handed to a component later in this
+            // cycle's tick order.  The id layout makes request flow
+            // strictly ascending, so the target must not have ticked yet.
+            if (int(component) <= lastTaken_)
+                panic("event wheel: same-cycle wake flows backward "
+                      "against the tick order");
+            dueCycle_[component] = at;
+            current_[component / 64] |= std::uint64_t{1} << (component % 64);
+            return;
+        }
+        if (at <= cursor_)
+            panic("event wheel: wake in the past");
+        dueCycle_[component] = at;
+        insert(component, at);
+    }
+
+    /**
+     * Find the first cycle in (cursor, limit] with at least one due
+     * component, consuming empty cycles as it goes, and open it for
+     * iteration via takeCurrent() — the slot's verified due set is
+     * captured in the same scan that finds the cycle.  Returns the
+     * opened cycle, or noEventCycle after advancing the internal cursor
+     * to @p limit when nothing is due in the range.
+     */
+    Cycle openNext(Cycle limit);
+
+    /**
+     * Pop the lowest-id component still pending in the cycle opened by
+     * openNext(), or -1 when the cycle is exhausted.  Same-cycle wakes
+     * landing on not-yet-taken components during a tick are picked up by
+     * subsequent calls, preserving the naive loop's ascending tick order.
+     */
+    int takeCurrent()
+    {
+        const unsigned first = unsigned(lastTaken_ + 1);
+        for (unsigned w = first / 64; w < words_; ++w) {
+            std::uint64_t bits = current_[w];
+            if (w == first / 64)
+                bits &= ~std::uint64_t{0} << (first % 64);
+            if (!bits)
+                continue;
+            const unsigned b = unsigned(std::countr_zero(bits));
+            const unsigned id = w * 64 + b;
+            current_[w] &= ~(std::uint64_t{1} << b);
+            dueCycle_[id] = noEventCycle; // consumed; requeue via schedule()
+            lastTaken_ = int(id);
+            return int(id);
+        }
+        processing_ = false;
+        return -1;
+    }
+
+    /** Component's authoritative due cycle (noEventCycle if unscheduled). */
+    Cycle due(unsigned component) const { return dueCycle_[component]; }
+
+    unsigned components() const { return comps_; }
+
+  private:
+    static constexpr Cycle kBuckets = 256;
+
+    unsigned slotOf(Cycle at) const
+    {
+        return unsigned(at & (kBuckets - 1));
+    }
+
+    /** Record @p at in the calendar if it falls inside the current
+     *  window (cursor_, cursor_ + kBuckets]; far events only lower
+     *  farMin_ until refreshFar() brings them into range. */
+    void insert(unsigned component, Cycle at)
+    {
+        if (at - cursor_ <= kBuckets) {
+            buckets_[std::size_t(slotOf(at)) * words_ + component / 64] |=
+                std::uint64_t{1} << (component % 64);
+        } else if (at < farMin_) {
+            farMin_ = at;
+        }
+    }
+
+    /** Re-derive calendar bits and an exact farMin_ from dueCycle_;
+     *  O(components), runs only when the window reaches farMin_. */
+    void refreshFar();
+
+    unsigned comps_;
+    unsigned words_;
+    std::vector<Cycle> dueCycle_;
+    /** kBuckets groups of words_ bitmask words. */
+    std::vector<std::uint64_t> buckets_;
+    /** Pending set of the cycle opened by openNext(). */
+    std::vector<std::uint64_t> current_;
+    /** All cycles <= cursor_ have been consumed. */
+    Cycle cursor_ = 0;
+    /** Lower bound on the earliest due cycle that may lack a calendar
+     *  bit (scheduled > kBuckets ahead).  May be stale-low after a
+     *  reschedule — refreshFar() restores exactness — but is never
+     *  stale-high, so no event can be jumped over. */
+    Cycle farMin_ = noEventCycle;
+    /** Cycle opened by openNext(), valid while processing_. */
+    Cycle processingCycle_ = 0;
+    bool processing_ = false;
+    /** Highest component id handed out by takeCurrent() this cycle. */
+    int lastTaken_ = -1;
+};
+
+} // namespace pfsim::sim
+
+#endif // PFSIM_SIM_EVENT_WHEEL_HH

@@ -123,6 +123,9 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
         }
     }
 
+    // Flush wheel-mode lazy deltas before any statistics are read.
+    system.settle();
+
     MixResult result;
     result.prefetcher = config.prefetcher;
     for (unsigned i = 0; i < config.cores; ++i) {
@@ -138,6 +141,11 @@ runMix(const SystemConfig &config, const workloads::Mix &mix,
     // the cycle the last core finished.
     result.throughput.instructions =
         config.cores * run.warmupInstructions + watchdog_last;
+    result.throughput.cycles = system.now();
+    result.throughput.coreTicks = system.tickCounts().core;
+    result.throughput.cacheTicks = system.tickCounts().cache;
+    result.throughput.dramTicks = system.tickCounts().dram;
+    result.throughput.faultTicks = system.tickCounts().fault;
     result.throughput.checkpointHits = ckpt_hits;
     result.throughput.checkpointMisses = ckpt_misses;
     result.throughput.warmupCyclesSaved = warmup_cycles_saved;

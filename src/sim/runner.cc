@@ -179,6 +179,11 @@ runSingleCore(const SystemConfig &config,
 
     result.throughput.instructions =
         run.warmupInstructions + result.core.instructions;
+    result.throughput.cycles = system.now();
+    result.throughput.coreTicks = system.tickCounts().core;
+    result.throughput.cacheTicks = system.tickCounts().cache;
+    result.throughput.dramTicks = system.tickCounts().dram;
+    result.throughput.faultTicks = system.tickCounts().fault;
     result.throughput.checkpointHits = ckpt_hits;
     result.throughput.checkpointMisses = ckpt_misses;
     result.throughput.warmupCyclesSaved = warmup_cycles_saved;

@@ -38,11 +38,12 @@ struct RunConfig
     std::uint64_t auditInterval = 0;
 
     /**
-     * Idle-cycle skipping in the simulation kernel (--fast-path).
-     * Statistics are bit-identical either way; off only costs host
-     * time and exists to validate (and measure) the fast path.
+     * Simulation-kernel fast path (--fast-path=off|skip|wheel).
+     * Statistics are bit-identical in every mode; the slower modes
+     * only cost host time and exist to validate (and measure) the
+     * faster ones.
      */
-    bool fastPath = true;
+    FastPathMode fastPath = FastPathMode::Wheel;
 
     /**
      * Worker threads for the sweep engines (sim/parallel.hh): 0 (the

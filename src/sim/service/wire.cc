@@ -187,6 +187,11 @@ writeRunThroughput(snapshot::Sink &sink, const stats::RunThroughput &t)
     sink.u64(t.checkpointHits);
     sink.u64(t.checkpointMisses);
     sink.u64(t.warmupCyclesSaved);
+    sink.u64(t.cycles);
+    sink.u64(t.coreTicks);
+    sink.u64(t.cacheTicks);
+    sink.u64(t.dramTicks);
+    sink.u64(t.faultTicks);
 }
 
 void
@@ -197,6 +202,11 @@ readRunThroughput(snapshot::Source &src, stats::RunThroughput &t)
     t.checkpointHits = src.u64();
     t.checkpointMisses = src.u64();
     t.warmupCyclesSaved = src.u64();
+    t.cycles = src.u64();
+    t.coreTicks = src.u64();
+    t.cacheTicks = src.u64();
+    t.dramTicks = src.u64();
+    t.faultTicks = src.u64();
 }
 
 void

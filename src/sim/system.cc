@@ -74,6 +74,15 @@ System::System(const SystemConfig &config,
         l1ds_.push_back(std::move(l1d));
         cores_.push_back(std::move(core));
     }
+
+    // Wheel-id order: L1D [n,2n), L1I [2n,3n), L2 [3n,4n), LLC 4n.
+    for (auto &l1d : l1ds_)
+        flatCaches_.push_back(l1d.get());
+    for (auto &l1i : l1is_)
+        flatCaches_.push_back(l1i.get());
+    for (auto &l2 : l2s_)
+        flatCaches_.push_back(l2.get());
+    flatCaches_.push_back(llc_.get());
 }
 
 void
@@ -95,6 +104,15 @@ System::cycle()
         faults_->tick(now_);
     if (audit_.due(now_))
         audit_.enforce(now_);
+
+    ticks_.core += cores_.size();
+    ticks_.cache += 3 * cores_.size() + 1;
+    ticks_.dram += 1;
+    if (faults_ != nullptr)
+        ticks_.fault += 1;
+    // Ticking outside the wheel invalidates its schedule: components
+    // may drain or arm events it never saw.
+    wheelValid_ = false;
 }
 
 Cycle
@@ -169,7 +187,11 @@ System::nextEventCycle() const
 void
 System::step(Cycle limit)
 {
-    if (fastPath_ && now_ + 1 >= probeAt_) {
+    if (mode_ == FastPathMode::Wheel) {
+        wheelStep(limit);
+        return;
+    }
+    if (mode_ == FastPathMode::Skip && now_ + 1 >= probeAt_) {
         Cycle next = nextEventCycle();
         if (next > limit)
             next = limit;
@@ -202,6 +224,149 @@ System::step(Cycle limit)
 }
 
 void
+System::setFastPath(FastPathMode mode)
+{
+    if (mode == mode_)
+        return;
+    // Leaving wheel mode: flush the lazy deltas the other paths assume
+    // are always current, and detach the wakeup sinks.
+    if (mode_ == FastPathMode::Wheel) {
+        settle();
+        for (unsigned i = 0; i < unsigned(cores_.size()); ++i) {
+            cores_[i]->setWaker(nullptr, 0);
+            l1ds_[i]->setWaker(nullptr, 0);
+            l1is_[i]->setWaker(nullptr, 0);
+            l2s_[i]->setWaker(nullptr, 0);
+        }
+        llc_->setWaker(nullptr, 0);
+        dram_->setWaker(nullptr, 0);
+    }
+    mode_ = mode;
+    wheelValid_ = false;
+}
+
+void
+System::settle()
+{
+    for (auto &core : cores_)
+        core->syncIdle(now_);
+    for (auto &l1d : l1ds_)
+        l1d->syncClock(now_);
+    for (auto &l1i : l1is_)
+        l1i->syncClock(now_);
+    for (auto &l2 : l2s_)
+        l2->syncClock(now_);
+    llc_->syncClock(now_);
+    dram_->syncClock(now_);
+}
+
+void
+System::rebuildWheel()
+{
+    const unsigned n = unsigned(cores_.size());
+    if (!wheel_)
+        wheel_ = std::make_unique<EventWheel>(4 * n + 4);
+    // Components wake the wheel directly when they enqueue work into a
+    // neighbor; ids mirror the naive tick order so ascending-id
+    // iteration within a cycle reproduces it exactly.
+    for (unsigned i = 0; i < n; ++i) {
+        cores_[i]->setWaker(wheel_.get(), i);
+        l1ds_[i]->setWaker(wheel_.get(), n + i);
+        l1is_[i]->setWaker(wheel_.get(), 2 * n + i);
+        l2s_[i]->setWaker(wheel_.get(), 3 * n + i);
+    }
+    llc_->setWaker(wheel_.get(), 4 * n);
+    dram_->setWaker(wheel_.get(), 4 * n + 1);
+
+    wheel_->reset(now_);
+    for (unsigned i = 0; i < n; ++i) {
+        wheel_->schedule(i, cores_[i]->nextEventCycle(now_));
+        wheel_->schedule(n + i, l1ds_[i]->nextEventCycle(now_));
+        wheel_->schedule(2 * n + i, l1is_[i]->nextEventCycle(now_));
+        wheel_->schedule(3 * n + i, l2s_[i]->nextEventCycle(now_));
+    }
+    wheel_->schedule(4 * n, llc_->nextEventCycle(now_));
+    wheel_->schedule(4 * n + 1, dram_->nextEventCycle(now_));
+    if (faults_ != nullptr)
+        wheel_->schedule(4 * n + 2, faults_->nextEventCycle(now_));
+    if (audit_.enabled()) {
+        wheel_->schedule(
+            4 * n + 3, (now_ / audit_.interval() + 1) * audit_.interval());
+    }
+    wheelValid_ = true;
+}
+
+void
+System::tickComponent(unsigned id, Cycle at)
+{
+    const unsigned n = unsigned(cores_.size());
+    if (id < n) {
+        ++ticks_.core;
+        cores_[id]->tick(at);
+        wheel_->schedule(id, cores_[id]->nextEventCycle(at));
+        return;
+    }
+    if (id < 4 * n + 1) {
+        ++ticks_.cache;
+        cache::Cache *c = flatCaches_[id - n];
+        c->tick(at);
+        wheel_->schedule(id, c->nextEventCycle(at));
+        return;
+    }
+    if (id == 4 * n + 1) {
+        ++ticks_.dram;
+        dram_->tick(at);
+        wheel_->schedule(id, dram_->nextEventCycle(at));
+        return;
+    }
+    if (id == 4 * n + 2) {
+        if (faults_ != nullptr) {
+            ++ticks_.fault;
+            faults_->tick(at);
+            wheel_->schedule(id, faults_->nextEventCycle(at));
+        }
+        return;
+    }
+    // Audit boundary: auditors must observe exactly the state the
+    // naive loop would show them, so flush lazy deltas first.
+    settle();
+    audit_.enforce(at);
+    wheel_->schedule(id, (at / audit_.interval() + 1) * audit_.interval());
+}
+
+void
+System::wheelStep(Cycle limit)
+{
+    if (limit <= now_)
+        limit = now_ + 1;
+    if (!wheelValid_)
+        rebuildWheel();
+    const Cycle due = wheel_->openNext(limit);
+    if (due == noEventCycle) {
+        // Nothing observable up to the limit: jump.  Core statistics
+        // for the jumped span are replayed lazily (settle(), or the
+        // syncIdle catch-up at the next tick/response).
+        skippedCycles_ += limit - now_;
+        now_ = limit;
+        return;
+    }
+    skippedCycles_ += due - 1 - now_;
+    now_ = due;
+    // Stamp every clock as if its component had ticked through cycle
+    // due-1: requests enqueued during this cycle's processing must
+    // carry the same enqueueCycle the naive loop would stamp, even
+    // when the receiving component does not tick this cycle.
+    const Cycle synced = due - 1;
+    for (cache::Cache *c : flatCaches_)
+        c->syncClock(synced);
+    dram_->syncClock(synced);
+    for (int id = wheel_->takeCurrent(); id >= 0;
+         id = wheel_->takeCurrent()) {
+        tickComponent(unsigned(id), due);
+    }
+}
+
+void
 System::runUntilRetired(InstrCount target)
 {
     runUntilRetired(target, {});
@@ -231,8 +396,12 @@ System::runUntilRetired(InstrCount target,
                     laggard = i;
                 }
             }
-            if (min_retired >= target)
+            if (min_retired >= target) {
+                // Leave the system in naive-identical shape: callers
+                // read statistics and take snapshots after this.
+                settle();
                 return;
+            }
         }
 
         if (min_retired != last_retired) {
@@ -262,6 +431,9 @@ System::runUntilRetired(InstrCount target,
 void
 System::resetStats()
 {
+    // Wheel mode defers idle-cycle accounting; flush it so the reset
+    // discards exactly what the naive loop would have accumulated.
+    settle();
     for (auto &core : cores_)
         core->resetStats();
     for (auto &l1i : l1is_)

@@ -18,6 +18,7 @@
 #include "dram/dram.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/config.hh"
+#include "sim/event_wheel.hh"
 #include "trace/source.hh"
 
 namespace pfsim::fault
@@ -64,14 +65,16 @@ class System
     void cycle();
 
     /**
-     * Advance the whole machine by one *productive* cycle: with the
-     * fast path enabled, first fast-forward over any provably idle
-     * cycles (batching their statistics via Core::skipIdle and
-     * re-stamping the cache clocks), then run one real cycle().  The
-     * resulting state and statistics are bit-identical to calling
+     * Advance the whole machine by one *productive* cycle.  Skip mode
+     * first fast-forwards over any provably idle cycles (batching
+     * their statistics via Core::skipIdle and re-stamping the cache
+     * clocks), then runs one real cycle().  Wheel mode asks the event
+     * wheel for the next cycle with observable work and ticks only the
+     * components due on it (idle cores catch up lazily; see settle()).
+     * The resulting state and statistics are bit-identical to calling
      * cycle() in a loop.  now() never exceeds @p limit, so callers can
-     * keep watchdog and abort cadences exact.  With the fast path
-     * disabled this is exactly one cycle().
+     * keep watchdog and abort cadences exact.  With the fast path off
+     * this is exactly one cycle().
      */
     void step(Cycle limit);
 
@@ -83,15 +86,38 @@ class System
      */
     Cycle nextEventCycle() const;
 
-    /** Enable or disable idle-cycle skipping (default: enabled). */
-    void setFastPath(bool enabled) { fastPath_ = enabled; }
-    bool fastPath() const { return fastPath_; }
+    /** Select the step() fast path (default: the event wheel). */
+    void setFastPath(FastPathMode mode);
+    FastPathMode fastPath() const { return mode_; }
 
     /**
      * Cycles the fast path jumped over instead of ticking (host-side
      * telemetry; not a simulated statistic).
      */
     std::uint64_t skippedCycles() const { return skippedCycles_; }
+
+    /** Host-side per-component-class tick telemetry: how many ticks
+     *  each class actually ran (vs. cycles elapsed), across every
+     *  step mode.  Not a simulated statistic. */
+    struct TickCounts
+    {
+        std::uint64_t core = 0;
+        std::uint64_t cache = 0;
+        std::uint64_t dram = 0;
+        std::uint64_t fault = 0;
+    };
+
+    const TickCounts &tickCounts() const { return ticks_; }
+
+    /**
+     * Flush every lazy bookkeeping delta the wheel mode defers: core
+     * idle-cycle statistics (Core::syncIdle) and the cache/DRAM clock
+     * stamps.  Must run before statistics are read, reset, or a
+     * snapshot is taken so all three fast-path modes observe identical
+     * state.  A no-op under Off/Skip, where ticking keeps everything
+     * current.
+     */
+    void settle();
 
     /** Current cycle. */
     Cycle now() const { return now_; }
@@ -135,17 +161,24 @@ class System
     /**
      * Attach (or detach, with nullptr) a fault engine, ticked once per
      * cycle after the components and before the audit.  Non-owning;
-     * null for every fault-free run.
+     * null for every fault-free run.  Invalidates the wheel schedule:
+     * the engine is a scheduled component.
      */
-    void setFaultEngine(fault::FaultEngine *engine) { faults_ = engine; }
+    void setFaultEngine(fault::FaultEngine *engine)
+    {
+        faults_ = engine;
+        wheelValid_ = false;
+    }
 
     /**
      * Snapshot support (definitions in snapshot/state_io.cc): the
-     * clock, the fast-path probe schedule and every component, with a
-     * shared pointer registry for in-flight Request::ret links.  The
-     * audit registry and fault-engine attachment are wiring, not
-     * state, and are not serialized; fastPath_ is a host-side mode
-     * that must not leak from the saving run into the restoring one.
+     * clock and every component, with a shared pointer registry for
+     * in-flight Request::ret links.  The audit registry and
+     * fault-engine attachment are wiring, not state, and are not
+     * serialized; the fast-path mode, probe schedule and wheel are
+     * host-side scheduling state that must not leak from the saving
+     * run into the restoring one — the wheel is rebuilt from
+     * nextEventCycle() ground truth after a restore.
      */
     void serialize(snapshot::Sink &sink) const;
     void deserialize(snapshot::Source &src);
@@ -159,23 +192,54 @@ class System
     std::vector<std::unique_ptr<cache::Cache>> l1ds_;
     std::vector<std::unique_ptr<prefetch::Prefetcher>> prefetchers_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+    /** Flat, wheel-id-ordered cache pointers (L1D, L1I, L2, LLC) so the
+     *  per-due-cycle clock stamp and tickComponent() dispatch are a
+     *  single indexed load instead of per-level unique_ptr walks.
+     *  Wiring, filled by the constructor; never serialized. */
+    std::vector<cache::Cache *> flatCaches_;
+
+    /** One step() iteration of wheel mode; factored out of step(). */
+    void wheelStep(Cycle limit);
+
+    /** Tick wheel component @p id at cycle @p at and requeue it from
+     *  its own nextEventCycle() report. */
+    void tickComponent(unsigned id, Cycle at);
+
+    /** (Re)build the wheel schedule from scratch: every component
+     *  enqueued at its nextEventCycle(now_), plus the next audit
+     *  boundary.  Pure function of simulated state. */
+    void rebuildWheel();
+
     check::AuditorRegistry audit_;
     fault::FaultEngine *faults_ = nullptr;
     Cycle now_ = 0;
-    bool fastPath_ = true;
+    FastPathMode mode_ = FastPathMode::Wheel;
 
     /**
-     * Adaptive probe back-off for step(): consecutive busy probes
-     * double the gap to the next nextEventCycle() scan (capped), so a
-     * saturated machine pays the scan on a vanishing fraction of
-     * cycles.  Skipping fewer cycles than possible is always safe —
-     * an unprobed cycle simply runs naively — so this only trades a
-     * little skip coverage for bounded overhead.  The schedule is a
-     * pure function of simulated state, keeping runs deterministic.
+     * Adaptive probe back-off for skip-mode step(): consecutive busy
+     * probes double the gap to the next nextEventCycle() scan
+     * (capped), so a saturated machine pays the scan on a vanishing
+     * fraction of cycles.  Skipping fewer cycles than possible is
+     * always safe — an unprobed cycle simply runs naively — so this
+     * only trades a little skip coverage for bounded overhead.  The
+     * schedule is a pure function of simulated state, keeping runs
+     * deterministic.
      */
     Cycle probeAt_ = 0;
     Cycle probeBackoff_ = 1;
     std::uint64_t skippedCycles_ = 0;
+
+    /**
+     * Wheel-mode scheduler (host-side; never serialized).  Component
+     * id layout mirrors the naive tick order so ascending-id iteration
+     * within a cycle reproduces it exactly: cores [0,n), L1D [n,2n),
+     * L1I [2n,3n), L2 [3n,4n), LLC 4n, DRAM 4n+1, fault engine 4n+2,
+     * audit boundary 4n+3.
+     */
+    std::unique_ptr<EventWheel> wheel_;
+    bool wheelValid_ = false;
+    TickCounts ticks_;
 };
 
 } // namespace pfsim::sim

@@ -41,8 +41,11 @@ namespace pfsim::snapshot
 /** Snapshot file magic: "PFS1" read as a little-endian u32. */
 inline constexpr std::uint32_t snapshotMagic = 0x31534650u;
 
-/** Bump on any wire-format change; mismatches fail closed. */
-inline constexpr std::uint32_t snapshotVersion = 1;
+/** Bump on any wire-format change; mismatches fail closed.
+ *  v2: System no longer serializes host-side fast-path scheduling
+ *  state (probe schedule, skipped-cycle telemetry) — snapshots are
+ *  identical across --fast-path modes. */
+inline constexpr std::uint32_t snapshotVersion = 2;
 
 /**
  * The live objects one snapshot covers.  The caller owns everything;

@@ -21,6 +21,7 @@
  *    strides, offsets) is serialized.
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -441,6 +442,7 @@ PerceptronBp::deserialize(snapshot::Source &src)
             snapshot::readCounter(src, weight);
     }
     history_ = src.u64();
+    memoValid_ = false;
 }
 
 void
@@ -542,6 +544,25 @@ Core::deserialize(snapshot::Source &src)
         entry.pc = src.u64();
     }
     sqUsed_ = src.u32();
+
+    // Derived issue/allocation bookkeeping: rebuilt from the restored
+    // queues rather than carried on the wire.
+    unissuedLq_.clear();
+    std::fill(lqFree_.begin(), lqFree_.end(), 0);
+    for (std::size_t i = 0; i < lq_.size(); ++i) {
+        if (!lq_[i].valid)
+            lqFree_[i / 64] |= std::uint64_t{1} << (i % 64);
+        else if (!lq_[i].issued)
+            unissuedLq_.push_back(std::uint16_t(i));
+    }
+    unissuedStores_ = 0;
+    std::fill(sqFree_.begin(), sqFree_.end(), 0);
+    for (std::size_t i = 0; i < sq_.size(); ++i) {
+        if (!sq_[i].valid)
+            sqFree_[i / 64] |= std::uint64_t{1} << (i % 64);
+        else if (!sq_[i].issued)
+            ++unissuedStores_;
+    }
 
     fetchResumeCycle_ = src.u64();
     fetchBlockPending_ = src.b();
@@ -1154,9 +1175,11 @@ SyntheticTrace::serialize(snapshot::Sink &sink) const
     sink.u32(std::uint32_t(streams_.size()));
     for (const StreamState &stream : streams_)
         stream.pattern->serialize(sink);
-    sink.u32(std::uint32_t(pending_.size()));
-    for (const Instruction &inst : pending_)
-        writeInstruction(sink, inst);
+    // Only the unserved tail is trace state; the cursor resets to the
+    // start of the restored list.
+    sink.u32(std::uint32_t(pending_.size() - pendingHead_));
+    for (std::size_t i = pendingHead_; i < pending_.size(); ++i)
+        writeInstruction(sink, pending_[i]);
 }
 
 void
@@ -1175,6 +1198,7 @@ SyntheticTrace::deserialize(snapshot::Source &src)
     for (StreamState &stream : streams_)
         stream.pattern->deserialize(src);
     pending_.clear();
+    pendingHead_ = 0;
     const std::uint32_t pending = src.u32();
     for (std::uint32_t i = 0; i < pending; ++i) {
         Instruction inst;
@@ -1344,9 +1368,6 @@ System::serialize(snapshot::Sink &sink) const
         static_cast<const cache::Requestor *>(llc_.get()));
 
     sink.u64(now_);
-    sink.u64(probeAt_);
-    sink.u64(probeBackoff_);
-    sink.u64(skippedCycles_);
 
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         cores_[i]->serialize(sink);
@@ -1375,9 +1396,18 @@ System::deserialize(snapshot::Source &src)
     src.registerPointer(static_cast<cache::Requestor *>(llc_.get()));
 
     now_ = src.u64();
-    probeAt_ = src.u64();
-    probeBackoff_ = src.u64();
-    skippedCycles_ = src.u64();
+    // Host-side scheduling state is not wire format: the skip probe
+    // restarts from scratch, the wheel is rebuilt from component
+    // nextEventCycle() ground truth, and the lazy clocks restart at
+    // the restored cycle (a settled save guarantees every serialized
+    // counter already includes all cycles up to now_).
+    probeAt_ = 0;
+    probeBackoff_ = 1;
+    skippedCycles_ = 0;
+    wheelValid_ = false;
+    for (auto &core : cores_)
+        core->syncClock(now_);
+    dram_->syncClock(now_);
 
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         cores_[i]->deserialize(src);

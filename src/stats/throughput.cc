@@ -22,6 +22,11 @@ FleetThroughput::add(const RunThroughput &run)
     checkpointHits += run.checkpointHits;
     checkpointMisses += run.checkpointMisses;
     warmupCyclesSaved += run.warmupCyclesSaved;
+    cycles += run.cycles;
+    coreTicks += run.coreTicks;
+    cacheTicks += run.cacheTicks;
+    dramTicks += run.dramTicks;
+    faultTicks += run.faultTicks;
 }
 
 double
@@ -43,7 +48,7 @@ FleetThroughput::poolSpeedup() const
 std::string
 FleetThroughput::summary() const
 {
-    char buffer[240];
+    char buffer[360];
     int used = std::snprintf(
         buffer, sizeof(buffer),
         "%zu runs, %.1fM instructions in %.2fs wall "
@@ -53,13 +58,26 @@ FleetThroughput::summary() const
         busySeconds, aggregateMips(), poolSpeedup());
     if (checkpointHits + checkpointMisses > 0 && used > 0 &&
         std::size_t(used) < sizeof(buffer)) {
-        std::snprintf(
+        used += std::snprintf(
             buffer + used, sizeof(buffer) - std::size_t(used),
             "; checkpoints %llu hit / %llu miss, %.1fM warmup "
             "cycles saved",
             static_cast<unsigned long long>(checkpointHits),
             static_cast<unsigned long long>(checkpointMisses),
             double(warmupCyclesSaved) / 1e6);
+    }
+    // Fast-path coverage: component ticks actually run per simulated
+    // cycle, by class.  A naive run shows cores-per-system for the
+    // core class; the wheel drives all classes toward their duty cycle.
+    if (cycles > 0 && used > 0 && std::size_t(used) < sizeof(buffer)) {
+        std::snprintf(
+            buffer + used, sizeof(buffer) - std::size_t(used),
+            "; ticks/cycle core %.3f cache %.3f dram %.3f fault %.3f "
+            "over %.1fM cycles",
+            double(coreTicks) / double(cycles),
+            double(cacheTicks) / double(cycles),
+            double(dramTicks) / double(cycles),
+            double(faultTicks) / double(cycles), double(cycles) / 1e6);
     }
     return buffer;
 }

@@ -26,6 +26,21 @@ struct RunThroughput
     /** Simulated instructions, warmup included. */
     std::uint64_t instructions = 0;
 
+    /** Simulated cycles the machine advanced, warmup included. */
+    std::uint64_t cycles = 0;
+
+    /**
+     * Component ticks actually executed, by class (cores; caches
+     * including the LLC; DRAM; the fault engine).  Compared against
+     * cycles x component count this shows how much work the fast path
+     * skipped — the skip mode jumps whole cycles, the wheel also
+     * skips per-component inside busy cycles.
+     */
+    std::uint64_t coreTicks = 0;
+    std::uint64_t cacheTicks = 0;
+    std::uint64_t dramTicks = 0;
+    std::uint64_t faultTicks = 0;
+
     /** Wall-clock seconds the run took on its worker thread. */
     double hostSeconds = 0.0;
 
@@ -73,6 +88,15 @@ struct FleetThroughput
 
     /** Total warmup cycles skipped via checkpoint restores. */
     std::uint64_t warmupCyclesSaved = 0;
+
+    /** Total simulated cycles across all runs. */
+    std::uint64_t cycles = 0;
+
+    /** Component ticks executed across all runs, by class. */
+    std::uint64_t coreTicks = 0;
+    std::uint64_t cacheTicks = 0;
+    std::uint64_t dramTicks = 0;
+    std::uint64_t faultTicks = 0;
 
     /** Fold one finished run into the aggregate. */
     void add(const RunThroughput &run);

@@ -163,15 +163,18 @@ SyntheticTrace::buildIteration()
 bool
 SyntheticTrace::next(Instruction &out)
 {
-    if (pending_.empty())
+    if (pendingHead_ == pending_.size()) {
+        pending_.clear();
+        pendingHead_ = 0;
         buildIteration();
-    out = pending_.front();
-    pending_.pop_front();
+    }
+    out = pending_[pendingHead_++];
 
     if (--phaseRemaining_ == 0) {
         std::size_t next_phase = (phaseIndex_ + 1) % config_.phases.size();
         enterPhase(next_phase);
         pending_.clear();
+        pendingHead_ = 0;
     }
     return true;
 }

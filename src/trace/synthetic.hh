@@ -15,7 +15,6 @@
 #ifndef PFSIM_TRACE_SYNTHETIC_HH
 #define PFSIM_TRACE_SYNTHETIC_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,7 +139,14 @@ class SyntheticTrace : public TraceSource
     InstrCount phaseRemaining_ = 0;
     std::vector<StreamState> streams_;
     double totalWeight_ = 0.0;
-    std::deque<Instruction> pending_;
+
+    /** Buffered instructions of the current iteration, served from
+     *  pendingHead_ on (a vector with a cursor instead of a deque:
+     *  iterations are short and the capacity is reused, so the hot
+     *  next() path never allocates).  Serialization writes only the
+     *  unserved tail, so the cursor itself is not state. */
+    std::vector<Instruction> pending_;
+    std::size_t pendingHead_ = 0;
 };
 
 } // namespace pfsim::trace

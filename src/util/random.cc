@@ -1,6 +1,5 @@
 #include "util/random.hh"
 
-#include <cassert>
 #include <cmath>
 
 namespace pfsim
@@ -18,12 +17,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,60 +26,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &word : s_)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Rng::below(std::uint64_t bound)
-{
-    assert(bound != 0);
-    // Rejection sampling to avoid modulo bias; the loop almost never
-    // iterates more than once for the small bounds we use.
-    const std::uint64_t threshold = -bound % bound;
-    for (;;) {
-        std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
-std::int64_t
-Rng::range(std::int64_t lo, std::int64_t hi)
-{
-    assert(lo <= hi);
-    return lo + std::int64_t(below(std::uint64_t(hi - lo) + 1));
-}
-
-double
-Rng::uniform()
-{
-    // 53 random mantissa bits -> uniform double in [0, 1).
-    return double(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 std::uint64_t

@@ -7,12 +7,18 @@
  * reproduce bit-identical simulations.  std::mt19937 is avoided because
  * its stream is not guaranteed identical across library versions for
  * distributions; we implement the distributions we need directly.
+ *
+ * The draw path (next/below/uniform/chance) is defined inline: trace
+ * generation draws millions of times per simulated second and the
+ * out-of-line call overhead on these tiny leaf functions was a
+ * measurable fraction of end-to-end runtime.
  */
 
 #ifndef PFSIM_UTIL_RANDOM_HH
 #define PFSIM_UTIL_RANDOM_HH
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 
@@ -42,24 +48,74 @@ class Rng
     }
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @p bound must be non-zero. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Rejection sampling to avoid modulo bias; the loop almost
+        // never iterates more than once for the small bounds we use.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::int64_t range(std::int64_t lo, std::int64_t hi);
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + std::int64_t(below(std::uint64_t(hi - lo) + 1));
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53 random mantissa bits -> uniform double in [0, 1).
+        return double(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of true. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Approximately geometric draw with mean @p mean (>= 1). */
     std::uint64_t geometric(double mean);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

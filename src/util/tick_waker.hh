@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Wakeup sink for event-driven tick scheduling.
+ *
+ * Components that enqueue work into a neighbor (or into themselves) during
+ * a tick report the earliest cycle at which that work becomes observable by
+ * calling wake().  The sink — in practice sim::EventWheel — merges the hint
+ * into its schedule with keep-earliest semantics, so a spurious wake is
+ * harmless (the component's own nextEventCycle() remains the ground truth
+ * and is re-queried after every tick).
+ *
+ * The interface lives in util (not sim) because cpu/cache/dram components
+ * hold a TickWaker pointer without depending on the scheduler itself.
+ */
+
+#ifndef PFSIM_UTIL_TICK_WAKER_HH
+#define PFSIM_UTIL_TICK_WAKER_HH
+
+#include "util/types.hh"
+
+namespace pfsim::util
+{
+
+class TickWaker
+{
+  public:
+    virtual ~TickWaker() = default;
+
+    /**
+     * Hint that component @p component may have observable work at cycle
+     * @p at.  Must never be called with a cycle earlier than work actually
+     * exists ("may under-promise, never over-promise" in reverse: a wake
+     * may be early-but-useless only if the component's tick at that cycle
+     * is a state no-op, which is never the case for the call sites in this
+     * codebase — every wake corresponds to a concrete queue entry).
+     */
+    virtual void wake(unsigned component, Cycle at) = 0;
+};
+
+} // namespace pfsim::util
+
+#endif // PFSIM_UTIL_TICK_WAKER_HH

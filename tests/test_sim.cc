@@ -12,7 +12,9 @@
 #include "sim/multicore.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/synthetic.hh"
+#include "util/random.hh"
 #include "workloads/mixes.hh"
 #include "workloads/registry.hh"
 
@@ -285,11 +287,14 @@ TEST(FastPath, SingleCoreStatsIdentical)
         SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
     const auto &workload = workloads::findWorkload("605.mcf_s-like");
 
-    run.fastPath = false;
+    run.fastPath = FastPathMode::Off;
     const RunResult naive = runSingleCore(config, workload, run);
-    run.fastPath = true;
-    const RunResult fast = runSingleCore(config, workload, run);
-    expectSameRun(naive, fast);
+    for (const FastPathMode mode :
+         {FastPathMode::Skip, FastPathMode::Wheel}) {
+        run.fastPath = mode;
+        const RunResult fast = runSingleCore(config, workload, run);
+        expectSameRun(naive, fast);
+    }
 }
 
 TEST(FastPath, MulticoreStatsIdentical)
@@ -303,18 +308,21 @@ TEST(FastPath, MulticoreStatsIdentical)
         workloads::findWorkload("605.mcf_s-like"),
         workloads::findWorkload("619.lbm_s-like")};
 
-    run.fastPath = false;
+    run.fastPath = FastPathMode::Off;
     const MixResult naive = runMix(config, mix, run);
-    run.fastPath = true;
-    const MixResult fast = runMix(config, mix, run);
+    for (const FastPathMode mode :
+         {FastPathMode::Skip, FastPathMode::Wheel}) {
+        run.fastPath = mode;
+        const MixResult fast = runMix(config, mix, run);
 
-    ASSERT_EQ(naive.ipc.size(), fast.ipc.size());
-    for (std::size_t i = 0; i < naive.ipc.size(); ++i)
-        EXPECT_DOUBLE_EQ(naive.ipc[i], fast.ipc[i]);
-    EXPECT_EQ(naive.llc.loadAccess, fast.llc.loadAccess);
-    EXPECT_EQ(naive.llc.pfUseful, fast.llc.pfUseful);
-    EXPECT_EQ(naive.dram.reads, fast.dram.reads);
-    EXPECT_EQ(naive.dram.readLatencySum, fast.dram.readLatencySum);
+        ASSERT_EQ(naive.ipc.size(), fast.ipc.size());
+        for (std::size_t i = 0; i < naive.ipc.size(); ++i)
+            EXPECT_DOUBLE_EQ(naive.ipc[i], fast.ipc[i]);
+        EXPECT_EQ(naive.llc.loadAccess, fast.llc.loadAccess);
+        EXPECT_EQ(naive.llc.pfUseful, fast.llc.pfUseful);
+        EXPECT_EQ(naive.dram.reads, fast.dram.reads);
+        EXPECT_EQ(naive.dram.readLatencySum, fast.dram.readLatencySum);
+    }
 }
 
 TEST(FastPath, FaultCampaignStatsIdentical)
@@ -334,15 +342,18 @@ TEST(FastPath, FaultCampaignStatsIdentical)
         SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
     const auto &workload = workloads::findWorkload("605.mcf_s-like");
 
-    run.fastPath = false;
+    run.fastPath = FastPathMode::Off;
     const RunResult naive = runSingleCore(config, workload, run);
-    run.fastPath = true;
-    const RunResult fast = runSingleCore(config, workload, run);
+    for (const FastPathMode mode :
+         {FastPathMode::Skip, FastPathMode::Wheel}) {
+        run.fastPath = mode;
+        const RunResult fast = runSingleCore(config, workload, run);
 
-    expectSameRun(naive, fast);
-    EXPECT_EQ(naive.faults.weightFlips, fast.faults.weightFlips);
-    EXPECT_EQ(naive.faults.weightFlipsRecovered,
-              fast.faults.weightFlipsRecovered);
+        expectSameRun(naive, fast);
+        EXPECT_EQ(naive.faults.weightFlips, fast.faults.weightFlips);
+        EXPECT_EQ(naive.faults.weightFlipsRecovered,
+                  fast.faults.weightFlipsRecovered);
+    }
 }
 
 TEST(FastPath, AuditCadenceIdentical)
@@ -354,21 +365,196 @@ TEST(FastPath, AuditCadenceIdentical)
         SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
     const auto &workload = workloads::findWorkload("605.mcf_s-like");
 
-    auto run_once = [&](bool fast) {
+    auto run_once = [&](FastPathMode mode) {
         trace::SyntheticTrace trace(workload.make());
         System system(config, {&trace});
-        system.setFastPath(fast);
+        system.setFastPath(mode);
         check::attachSystemAuditors(system, 5000);
         system.runUntilRetired(30000);
         return std::pair<Cycle, std::uint64_t>(
             system.now(), system.audit().auditsRun());
     };
 
-    const auto naive = run_once(false);
-    const auto fast = run_once(true);
-    EXPECT_EQ(naive.first, fast.first);
-    EXPECT_EQ(naive.second, fast.second);
-    EXPECT_GT(fast.second, 0u);
+    const auto naive = run_once(FastPathMode::Off);
+    const auto skip = run_once(FastPathMode::Skip);
+    const auto wheel = run_once(FastPathMode::Wheel);
+    EXPECT_EQ(naive.first, skip.first);
+    EXPECT_EQ(naive.second, skip.second);
+    EXPECT_EQ(naive.first, wheel.first);
+    EXPECT_EQ(naive.second, wheel.second);
+    EXPECT_GT(wheel.second, 0u);
+}
+
+// ---------------------------------------------------------- WheelFuzz
+//
+// Randomized cross-checks of the nextEventCycle()/TickWaker contract.
+// Every component promises its nextEventCycle() never over-promises
+// (claims idleness while work exists), and the wheel's wakeups must
+// cover every cross-component state change.  A violation of either is
+// invisible on any single hand-picked workload, so these tests draw
+// run *shapes* — core counts, audit cadences, fault campaigns, run
+// lengths, host step cadences — from a seeded stream and require
+// bit-identical statistics and byte-identical snapshots against the
+// naive loop on every draw.
+
+TEST(WheelFuzz, RandomRunShapesStatsIdentical)
+{
+    Rng rng(20260808);
+    const char *pool[] = {"605.mcf_s-like", "619.lbm_s-like"};
+    for (int trial = 0; trial < 6; ++trial) {
+        RunConfig run;
+        run.warmupInstructions = 500 + rng.below(3000);
+        run.simInstructions = 4000 + rng.below(12000);
+        if (rng.below(2) == 1)
+            run.auditInterval = 500 + rng.below(4000);
+
+        if (rng.below(2) == 1) {
+            // 4-core mix; also pins the satellite fix that fleet
+            // cycles land in MixResult::throughput in every mode.
+            const SystemConfig config =
+                SystemConfig::defaultConfig(4).withPrefetcher(
+                    "spp_ppf");
+            workloads::Mix mix;
+            for (int i = 0; i < 4; ++i)
+                mix.push_back(
+                    workloads::findWorkload(pool[rng.below(2)]));
+            run.fastPath = FastPathMode::Off;
+            const MixResult naive = runMix(config, mix, run);
+            EXPECT_GT(naive.throughput.cycles, 0u);
+            for (const FastPathMode mode :
+                 {FastPathMode::Skip, FastPathMode::Wheel}) {
+                run.fastPath = mode;
+                const MixResult fast = runMix(config, mix, run);
+                ASSERT_EQ(naive.ipc.size(), fast.ipc.size());
+                for (std::size_t i = 0; i < naive.ipc.size(); ++i)
+                    EXPECT_DOUBLE_EQ(naive.ipc[i], fast.ipc[i])
+                        << "trial " << trial;
+                EXPECT_EQ(naive.llc.loadAccess, fast.llc.loadAccess);
+                EXPECT_EQ(naive.dram.reads, fast.dram.reads);
+                EXPECT_EQ(naive.dram.readLatencySum,
+                          fast.dram.readLatencySum);
+                EXPECT_EQ(naive.throughput.cycles,
+                          fast.throughput.cycles)
+                    << "trial " << trial;
+            }
+        } else {
+            const SystemConfig config =
+                SystemConfig::defaultConfig().withPrefetcher(
+                    "spp_ppf");
+            const auto &workload =
+                workloads::findWorkload(pool[rng.below(2)]);
+            fault::FaultPlan plan;
+            if (rng.below(2) == 1) {
+                plan = fault::FaultPlan::parse(
+                    "weights:rate=0.0005,burst=2;"
+                    "dram:drop=0.01,delay=0.02,extra=300");
+                run.faults = &plan;
+                run.faultSeed = 1 + rng.below(1000);
+            }
+            run.fastPath = FastPathMode::Off;
+            const RunResult naive =
+                runSingleCore(config, workload, run);
+            for (const FastPathMode mode :
+                 {FastPathMode::Skip, FastPathMode::Wheel}) {
+                run.fastPath = mode;
+                const RunResult fast =
+                    runSingleCore(config, workload, run);
+                expectSameRun(naive, fast);
+                EXPECT_EQ(naive.faults.weightFlips,
+                          fast.faults.weightFlips)
+                    << "trial " << trial;
+                EXPECT_EQ(naive.throughput.cycles,
+                          fast.throughput.cycles)
+                    << "trial " << trial;
+            }
+        }
+    }
+}
+
+TEST(WheelFuzz, RandomStepCadenceSnapshotsByteIdentical)
+{
+    // The wheel's schedule must be a pure function of simulated
+    // state: however the host slices step() limits, a settled machine
+    // serializes to exactly the bytes the naive loop produces at the
+    // same retirement point.
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("605.mcf_s-like");
+    constexpr std::uint64_t digest = 42;
+
+    auto image_after = [&](FastPathMode mode, std::uint64_t seed) {
+        trace::SyntheticTrace trace(workload.make());
+        System system(config, {&trace});
+        system.setFastPath(mode);
+        Rng steps(seed);
+        while (system.core(0).retired() < 15000)
+            system.step(system.now() + 1 + steps.below(4000));
+        system.settle();
+        snapshot::SimulationView view;
+        view.system = &system;
+        view.traces = {&trace};
+        return std::pair<Cycle, std::vector<std::uint8_t>>(
+            system.now(), snapshot::saveSimulation(view, digest));
+    };
+
+    const auto naive = image_after(FastPathMode::Off, 1);
+    for (std::uint64_t seed = 2; seed < 5; ++seed) {
+        for (const FastPathMode mode :
+             {FastPathMode::Skip, FastPathMode::Wheel}) {
+            const auto fast = image_after(mode, seed);
+            EXPECT_EQ(naive.first, fast.first) << "seed " << seed;
+            EXPECT_TRUE(naive.second == fast.second)
+                << "snapshot bytes diverge, seed " << seed;
+        }
+    }
+}
+
+TEST(WheelFuzz, MidRunRestoreCrossesModes)
+{
+    // A settled checkpoint taken under any mode restores into any
+    // other mode, and the continued run stays byte-identical: the
+    // wheel is rebuilt from restored component state, never from the
+    // image.
+    const SystemConfig config =
+        SystemConfig::defaultConfig().withPrefetcher("spp_ppf");
+    const auto &workload = workloads::findWorkload("605.mcf_s-like");
+    constexpr std::uint64_t digest = 7;
+
+    auto checkpoint = [&](FastPathMode mode) {
+        trace::SyntheticTrace trace(workload.make());
+        System system(config, {&trace});
+        system.setFastPath(mode);
+        system.runUntilRetired(8000);
+        snapshot::SimulationView view;
+        view.system = &system;
+        view.traces = {&trace};
+        return snapshot::saveSimulation(view, digest);
+    };
+    const std::vector<std::uint8_t> from_naive =
+        checkpoint(FastPathMode::Off);
+    const std::vector<std::uint8_t> from_wheel =
+        checkpoint(FastPathMode::Wheel);
+    EXPECT_TRUE(from_naive == from_wheel)
+        << "settled checkpoints differ across modes";
+
+    auto finish = [&](FastPathMode mode,
+                      const std::vector<std::uint8_t> *image) {
+        trace::SyntheticTrace trace(workload.make());
+        System system(config, {&trace});
+        system.setFastPath(mode);
+        snapshot::SimulationView view;
+        view.system = &system;
+        view.traces = {&trace};
+        if (image != nullptr)
+            snapshot::restoreSimulation(*image, view, digest);
+        system.runUntilRetired(20000);
+        return snapshot::saveSimulation(view, digest);
+    };
+    const auto straight = finish(FastPathMode::Off, nullptr);
+    EXPECT_TRUE(straight == finish(FastPathMode::Off, &from_naive));
+    EXPECT_TRUE(straight == finish(FastPathMode::Wheel, &from_naive));
+    EXPECT_TRUE(straight == finish(FastPathMode::Wheel, &from_wheel));
+    EXPECT_TRUE(straight == finish(FastPathMode::Skip, &from_wheel));
 }
 
 } // namespace

@@ -49,6 +49,11 @@ Enforces rules the compiler cannot, run as a CTest (lint.project_rules):
      intended) across the tree.  Qualified member calls
      (``sup.kill(...)``, ``Supervisor::kill``) are other functions and
      never match.
+ 11. The event-wheel scheduler (``EventWheel``, sim/event_wheel.hh) is
+     referenced only from src/sim and tests — components influence
+     their own schedule exclusively through ``nextEventCycle()`` and
+     the ``util::TickWaker`` wakeup hook, so scheduling policy cannot
+     leak into the hardware model.
 
 The text rules run on the token stream produced by the shared lexer
 (tools/analyze/cpplex.py): comments are gone and string/char literals
@@ -132,6 +137,8 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                    or str(rel) in ("src/trace/file_trace.cc",
                                    "src/stats/perf_report.cc"))
     may_intrinsics = str(rel) == "src/core/simd.hh"
+    may_wheel = (rel.parts[:2] == ("src", "sim")
+                 or rel.parts[0] == "tests")
 
     for i, t in enumerate(toks):
         prev = _value(_tok_at(toks, i - 1))
@@ -158,6 +165,12 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                      "SIMD intrinsics headers are included only by "
                      "src/core/simd.hh; program against its kernel "
                      "interface instead"))
+            if not may_wheel and "sim/event_wheel.hh" in directive:
+                violations.append(
+                    (rel, t.line, "wheel-confinement",
+                     "the event-wheel scheduler is private to "
+                     "src/sim; components request ticks via "
+                     "nextEventCycle() and util::TickWaker"))
             continue
         if t.kind != "id":
             continue
@@ -227,6 +240,18 @@ def check_file_tokens(rel: pathlib.PurePath, toks):
                      "to src/sim/service (the crash-isolated sweep "
                      "service); do not spawn or signal processes "
                      "elsewhere"))
+
+        # Rule 11 — the scheduler type itself.  Any EventWheel token
+        # outside src/sim (components naming the type to store, call
+        # or befriend it) couples the hardware model to scheduling
+        # policy; the nextEventCycle()/TickWaker seam is the only
+        # sanctioned interface.
+        if not may_wheel and t.value == "EventWheel":
+            violations.append(
+                (rel, t.line, "wheel-confinement",
+                 "EventWheel is private to src/sim; components "
+                 "request ticks via nextEventCycle() and "
+                 "util::TickWaker"))
 
         # Rule 6 — faultInject* call sites; `Class::faultInjectX` is
         # the definition, not a call.

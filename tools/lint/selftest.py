@@ -171,6 +171,30 @@ class TextRuleTests(unittest.TestCase):
         self.assertFlags("src/util/io.cc", "dup2(null_fd, 1);",
                          "process-confinement")
 
+    # -- rule 11: event-wheel confinement ----------------------------
+    def test_wheel_confinement(self):
+        self.assertFlags("src/cache/cache.cc",
+                         "sim::EventWheel &w = system.wheel();",
+                         "wheel-confinement")
+        self.assertFlags("src/cpu/core.hh",
+                         "sim::EventWheel *wheel_ = nullptr;",
+                         "wheel-confinement")
+        self.assertFlags("src/dram/dram.cc",
+                         '#include "sim/event_wheel.hh"\n',
+                         "wheel-confinement")
+
+    def test_wheel_confinement_exemptions(self):
+        self.assertClean("src/sim/system.cc",
+                         "wheel_ = std::make_unique<EventWheel>(n);")
+        self.assertClean("src/sim/event_wheel.cc",
+                         "EventWheel::EventWheel(unsigned n) {}")
+        self.assertClean("tests/test_sim.cc",
+                         "sim::EventWheel wheel(8);")
+        self.assertClean("src/cache/cache.hh",
+                         "util::TickWaker *waker_ = nullptr;")
+        self.assertClean("src/cache/cache.cc",
+                         "// the event wheel re-schedules us via wake()")
+
     def test_process_confinement_exemptions(self):
         self.assertClean("src/sim/service/supervisor.cc",
                          "pid_t p = ::fork();")

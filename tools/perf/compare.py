@@ -22,6 +22,14 @@ Scenarios present in only one report are reported and fail the
 comparison: a vanished scenario usually means the harness silently
 stopped covering it.
 
+--min-speedup NAME=FACTOR (repeatable) gates the event wheel itself:
+the CURRENT report's ``speedup_vs_naive`` for scenario NAME must be at
+least FACTOR.  The ratio is measured within one run on one host, so it
+is immune to runner speed in a way absolute MIPS is not — it fails
+only when the wheel genuinely stopped paying for itself (for example,
+a nextEventCycle() bound went conservative and the wheel degenerated
+into the naive loop).
+
 The final summary line carries each scenario's speedup ratio
 (current MIPS / baseline MIPS) so a single log line answers "what
 did this change do to simulator speed, per workload".
@@ -71,7 +79,23 @@ def main():
         "--max-rss-growth", type=float, default=0.25, metavar="FRAC",
         help="fail when a scenario's max_rss_kb grows by more than "
              "this fraction (default: 0.25)")
+    parser.add_argument(
+        "--min-speedup", action="append", default=[],
+        metavar="NAME=FACTOR",
+        help="fail when the current report's speedup_vs_naive for "
+             "scenario NAME is below FACTOR (repeatable)")
     args = parser.parse_args()
+
+    gates = []
+    for spec in args.min_speedup:
+        name, sep, factor = spec.rpartition("=")
+        try:
+            gates.append((name, float(factor)))
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            sys.exit(f"compare: bad --min-speedup {spec!r} "
+                     "(expected NAME=FACTOR)")
 
     base_report, baseline = load(args.baseline)
     cur_report, current = load(args.current)
@@ -116,6 +140,23 @@ def main():
     failed |= check_rss("<report>", base_report.get("max_rss_kb", 0),
                         cur_report.get("max_rss_kb", 0),
                         args.max_rss_growth)
+
+    # Event-wheel gates: the fast path must keep beating the naive
+    # loop by the required factor in the current report.
+    for name, factor in gates:
+        if name not in current:
+            print(f"FAIL wheel {name}: scenario missing from "
+                  "current report")
+            failed = True
+            continue
+        speedup = current[name].get("speedup_vs_naive", 0.0)
+        line = (f"wheel {name}: {speedup:.2f}x vs naive "
+                f"(required {factor:.2f}x)")
+        if speedup < factor:
+            print(f"FAIL {line}")
+            failed = True
+        else:
+            print(f"ok   {line}")
 
     summary = " ".join(f"{name}={ratio:.2f}x" for name, ratio in ratios)
     if failed:
