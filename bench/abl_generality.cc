@@ -4,9 +4,11 @@
  *
  * The paper claims PPF "can be adapted to be used over any underlying
  * prefetcher".  This bench wraps the generic filter around BOP,
- * DA-AMPM and next-line (deriving only the prefetcher-agnostic
- * features) and compares each base against its filtered version, plus
- * the tightly-integrated SPP+PPF for reference.
+ * DA-AMPM, next-line, PMP and Pythia (deriving only the
+ * prefetcher-agnostic features) and compares each base against its
+ * filtered version, plus the tightly-integrated SPP+PPF for
+ * reference.  (bench/abl_backends.cc runs the same comparison over
+ * every registered backend via the registry instead of a fixed list.)
  *
  * Expected shape: filtering never collapses a prefetcher, helps the
  * aggressive/inaccurate ones most, and the SPP integration — with its
@@ -76,7 +78,8 @@ main(int argc, char **argv)
                             "accuracy"});
     for (const char *name :
          {"next_line", "next_line_ppf", "bop", "bop_ppf", "da_ampm",
-          "da_ampm_ppf", "spp", "spp_ppf"}) {
+          "da_ampm_ppf", "pmp", "pmp+ppf", "pythia", "pythia+ppf",
+          "spp", "spp_ppf"}) {
         const auto [speedup, issued, useful] = evaluate(name);
         table.addRow({name, pct(speedup), std::to_string(issued),
                       stats::TextTable::num(

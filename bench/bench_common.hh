@@ -57,10 +57,12 @@
 #define PFSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <string>
 
+#include "prefetch/registry/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "sim/runner.hh"
@@ -75,6 +77,24 @@
 namespace pfsim::bench
 {
 
+/**
+ * Print every registered prefetcher backend with its storage budget
+ * (the --list-prefetchers report; CI's zoo smoke diffs these rows
+ * against the registry).
+ */
+inline void
+listPrefetchers()
+{
+    const prefetch::BackendConfigs configs;
+    std::printf("registered prefetcher backends "
+                "(--prefetcher=<backend>[+ppf]):\n");
+    for (const prefetch::BackendInfo &info :
+         prefetch::prefetcherBackends()) {
+        std::printf("  %s\n",
+                    prefetch::describeBackend(info, configs).c_str());
+    }
+}
+
 /** Parse the shared flags plus @p extra ones. */
 inline Args
 parseArgs(int argc, char **argv, std::set<std::string> extra = {})
@@ -88,10 +108,15 @@ parseArgs(int argc, char **argv, std::set<std::string> extra = {})
     extra.insert("shards");
     extra.insert("resume");
     extra.insert("worker");
+    extra.insert("list-prefetchers");
     // The sweep service re-execs this binary as shard workers, so it
     // must learn the exact command line before any campaign starts.
     sim::service::initWorkerCommand(argc, argv);
     Args args(argc, argv, extra);
+    if (args.has("list-prefetchers")) {
+        listPrefetchers();
+        std::exit(0);
+    }
     if (args.has("worker")) {
         sim::service::enterWorkerMode(
             sim::service::parseWorkerSpec(args.get("worker", "")));

@@ -10,7 +10,11 @@
  * +4.63% over DA-AMPM); +15.24% on the full suite (+2.27% over the
  * next best); PPF average lookahead depth 3.97 vs SPP's 3.28.
  *
- * Flags: --instructions, --warmup, --subset (mem-intensive only)
+ * Flags: --instructions, --warmup, --subset (mem-intensive only),
+ *   --prefetcher=SPEC[,SPEC...]  replace the paper line-up with the
+ *       given registry specs (any <backend>[+ppf]); the default
+ *       line-up and its report stay byte-identical when the flag is
+ *       absent
  */
 
 #include "bench_common.hh"
@@ -21,9 +25,31 @@ main(int argc, char **argv)
     using namespace pfsim;
     using namespace pfsim::bench;
 
-    Args args = parseArgs(argc, argv, {"subset"});
+    Args args = parseArgs(argc, argv, {"subset", "prefetcher"});
     const sim::RunConfig run = runConfig(args);
     const bool subset_only = args.has("subset");
+
+    // Optional line-up override: comma-separated registry specs,
+    // validated up front so a typo dies before hours of sweeping.
+    std::vector<std::string> line_up = sim::paperPrefetchers();
+    const bool custom_line_up = args.has("prefetcher");
+    if (custom_line_up) {
+        line_up.clear();
+        std::string list = args.get("prefetcher", "");
+        while (!list.empty()) {
+            const auto comma = list.find(',');
+            const std::string spec = list.substr(0, comma);
+            list = comma == std::string::npos
+                       ? std::string()
+                       : list.substr(comma + 1);
+            if (spec.empty())
+                continue;
+            prefetch::parsePrefetcherSpec(spec);
+            line_up.push_back(spec);
+        }
+        if (line_up.empty())
+            fatal("--prefetcher expects at least one spec");
+    }
 
     banner("Figure 9 — single-core speedup over no prefetching",
            "PPF beats SPP by ~3.78% (mem-intensive geomean) and wins "
@@ -35,30 +61,45 @@ main(int argc, char **argv)
     const auto &workload_set = subset_only ? mem_subset : suite;
 
     const auto rows = sim::sweepPrefetchers(
-        sim::SystemConfig::defaultConfig(), sim::paperPrefetchers(),
-        workload_set, run);
+        sim::SystemConfig::defaultConfig(), line_up, workload_set, run);
 
-    stats::TextTable table(
-        {"workload", "bop", "da_ampm", "spp", "spp_ppf (PPF)"});
-    for (const auto &row : rows) {
-        table.addRow({row.workload, pct(row.speedup("bop")),
-                      pct(row.speedup("da_ampm")),
-                      pct(row.speedup("spp")),
-                      pct(row.speedup("spp_ppf"))});
+    // Column labels: the paper line-up keeps its fixed headers (stdout
+    // must stay byte-identical without --prefetcher); a custom line-up
+    // labels each column with the spec it ran.
+    std::vector<std::string> header = {"workload"};
+    if (custom_line_up) {
+        header.insert(header.end(), line_up.begin(), line_up.end());
+    } else {
+        header.insert(header.end(),
+                      {"bop", "da_ampm", "spp", "spp_ppf (PPF)"});
     }
-    table.addRow({"geomean (mem-intensive)",
-                  pct(geomeanSpeedup(rows, "bop", mem_subset)),
-                  pct(geomeanSpeedup(rows, "da_ampm", mem_subset)),
-                  pct(geomeanSpeedup(rows, "spp", mem_subset)),
-                  pct(geomeanSpeedup(rows, "spp_ppf", mem_subset))});
+    stats::TextTable table(header);
+    const auto speedup_row = [&](const std::string &label,
+                                 auto &&speedup_of) {
+        std::vector<std::string> cells = {label};
+        for (const std::string &spec : line_up)
+            cells.push_back(pct(speedup_of(spec)));
+        table.addRow(cells);
+    };
+    for (const auto &row : rows) {
+        speedup_row(row.workload, [&](const std::string &spec) {
+            return row.speedup(spec);
+        });
+    }
+    speedup_row("geomean (mem-intensive)", [&](const std::string &spec) {
+        return geomeanSpeedup(rows, spec, mem_subset);
+    });
     if (!subset_only) {
-        table.addRow({"geomean (full suite)",
-                      pct(sim::geomeanSpeedup(rows, "bop")),
-                      pct(sim::geomeanSpeedup(rows, "da_ampm")),
-                      pct(sim::geomeanSpeedup(rows, "spp")),
-                      pct(sim::geomeanSpeedup(rows, "spp_ppf"))});
+        speedup_row("geomean (full suite)", [&](const std::string &spec) {
+            return sim::geomeanSpeedup(rows, spec);
+        });
     }
     std::printf("%s\n", table.render().c_str());
+
+    // The paper-specific SPP-vs-PPF comparisons only make sense for
+    // the default line-up.
+    if (custom_line_up)
+        return 0;
 
     // The re-tuned aggressiveness claim: PPF speculates deeper.
     double spp_depth = 0.0, ppf_depth = 0.0;

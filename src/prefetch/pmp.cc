@@ -1,0 +1,251 @@
+#include "prefetch/pmp.hh"
+
+#include "prefetch/registry/registry.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+namespace
+{
+
+/** Rotate a 64-bit offset bitmap right by @p n positions. */
+constexpr std::uint64_t
+rotr64(std::uint64_t v, unsigned n)
+{
+    n &= 63;
+    return n == 0 ? v : (v >> n) | (v << (64 - n));
+}
+
+} // namespace
+
+PmpPrefetcher::PmpPrefetcher(PmpConfig config)
+    : config_(config)
+{
+    if (!isPowerOf2(config_.ptEntries))
+        fatal("PMP pattern table entries must be a power of two");
+    ft_.assign(config_.ftEntries, {});
+    at_.assign(config_.atEntries, {});
+    pt_.assign(config_.ptEntries, {});
+}
+
+std::uint32_t
+PmpPrefetcher::patternKey(Pc pc, unsigned offset) const
+{
+    // Trigger context: a folded PC signature concatenated with the
+    // trigger offset, so the same instruction triggering at different
+    // region positions trains distinct (rotation-anchored) patterns.
+    const std::uint64_t sig = foldXor(mix64(pc), 10);
+    return std::uint32_t((sig << 6) | (offset & 63));
+}
+
+PmpPrefetcher::FtEntry *
+PmpPrefetcher::findFt(Addr page)
+{
+    for (FtEntry &entry : ft_) {
+        if (entry.valid && entry.page == page)
+            return &entry;
+    }
+    return nullptr;
+}
+
+PmpPrefetcher::AtEntry *
+PmpPrefetcher::findAt(Addr page)
+{
+    for (AtEntry &entry : at_) {
+        if (entry.valid && entry.page == page)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+PmpPrefetcher::mergePattern(const AtEntry &entry)
+{
+    // A pattern with only its trigger bit set carries no prediction;
+    // merging it would just decay every learned offset.
+    const std::uint64_t anchored =
+        rotr64(entry.bitmap, entry.triggerOffset);
+    if ((anchored & ~std::uint64_t{1}) == 0)
+        return;
+
+    const std::uint32_t key =
+        patternKey(entry.triggerPc, entry.triggerOffset);
+    const std::size_t idx =
+        std::size_t(mix64(key)) & (pt_.size() - 1);
+    PtEntry &pattern = pt_[idx];
+    if (!pattern.valid || pattern.tag != key) {
+        // Direct-mapped replacement: a new trigger context takes the
+        // slot and starts counting from its own pattern.
+        pattern.valid = true;
+        pattern.tag = key;
+        pattern.counters.fill(0);
+    }
+
+    const std::uint8_t max =
+        std::uint8_t((1u << config_.counterBits) - 1);
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((anchored >> i) & 1) {
+            if (pattern.counters[i] < max)
+                ++pattern.counters[i];
+        } else if (pattern.counters[i] > 0) {
+            // Decay offsets this region did not touch: merging is a
+            // vote, and absences count against an offset.
+            --pattern.counters[i];
+        }
+    }
+    ++stats_.merges;
+}
+
+void
+PmpPrefetcher::predict(Addr page, unsigned offset, Pc pc)
+{
+    const std::uint32_t key = patternKey(pc, offset);
+    const std::size_t idx =
+        std::size_t(mix64(key)) & (pt_.size() - 1);
+    const PtEntry &pattern = pt_[idx];
+    if (!pattern.valid || pattern.tag != key)
+        return;
+    ++stats_.patternHits;
+
+    const unsigned hi = config_.hiConfidence;
+    const unsigned lo = (hi + 1) / 2;
+    unsigned issued = 0;
+    // Walk outward from the trigger (position 0 is the trigger
+    // itself): nearer offsets are likelier to be timely, so they get
+    // the degree budget first.
+    for (unsigned i = 1; i < 64 && issued < config_.degree; ++i) {
+        const unsigned c = pattern.counters[i];
+        if (c < lo)
+            continue;
+        const unsigned target = (offset + i) & 63;
+        const Addr addr =
+            (page << pageShift) | (Addr(target) << blockShift);
+        if (issuer_->issuePrefetch(addr, c >= hi)) {
+            ++issued;
+            ++stats_.issued;
+        }
+    }
+}
+
+void
+PmpPrefetcher::promote(const FtEntry &ft, unsigned second_offset)
+{
+    AtEntry *slot = nullptr;
+    for (AtEntry &entry : at_) {
+        if (!entry.valid) {
+            slot = &entry;
+            break;
+        }
+        if (slot == nullptr || entry.lru < slot->lru)
+            slot = &entry;
+    }
+    if (slot->valid)
+        mergePattern(*slot);
+
+    slot->valid = true;
+    slot->page = ft.page;
+    slot->triggerOffset = ft.offset;
+    slot->triggerPc = ft.pc;
+    slot->bitmap = (std::uint64_t{1} << ft.offset) |
+                   (std::uint64_t{1} << second_offset);
+    slot->lru = ++lruStamp_;
+    ++stats_.promotions;
+}
+
+void
+PmpPrefetcher::operate(const OperateInfo &info)
+{
+    // Spatial pattern learning observes misses and first touches of
+    // prefetched blocks — the accesses a pattern must cover.
+    if (info.cacheHit && !info.hitPrefetched)
+        return;
+
+    const Addr page = pageNumber(info.addr);
+    const unsigned offset = pageOffset(info.addr);
+
+    if (AtEntry *at = findAt(page); at != nullptr) {
+        at->bitmap |= std::uint64_t{1} << offset;
+        at->lru = ++lruStamp_;
+        return;
+    }
+
+    if (FtEntry *ft = findFt(page); ft != nullptr) {
+        if (ft->offset == offset) {
+            ft->lru = ++lruStamp_;
+            return;
+        }
+        const FtEntry promoted = *ft;
+        ft->valid = false;
+        promote(promoted, offset);
+        return;
+    }
+
+    // First access to the region: predict from the merged pattern,
+    // then start tracking it in the Filter Table.
+    ++stats_.triggers;
+    predict(page, offset, info.pc);
+
+    FtEntry *slot = nullptr;
+    for (FtEntry &entry : ft_) {
+        if (!entry.valid) {
+            slot = &entry;
+            break;
+        }
+        if (slot == nullptr || entry.lru < slot->lru)
+            slot = &entry;
+    }
+    // FT eviction drops the region: one access is no pattern yet.
+    slot->valid = true;
+    slot->page = page;
+    slot->offset = std::uint8_t(offset);
+    slot->pc = info.pc;
+    slot->lru = ++lruStamp_;
+}
+
+void
+PmpPrefetcher::fill(const FillInfo &)
+{
+    // Pattern accumulation is driven purely by the demand stream.
+}
+
+const std::string &
+PmpPrefetcher::name() const
+{
+    static const std::string n = "pmp";
+    return n;
+}
+
+BackendInfo
+pmpBackend()
+{
+    BackendInfo info;
+    info.name = "pmp";
+    info.summary =
+        "pattern-merging spatial prefetcher (Jiang et al., MICRO 2021)";
+    info.make = [](const BackendConfigs &configs) {
+        return std::make_unique<PmpPrefetcher>(configs.pmp);
+    };
+    info.storageBits = [](const BackendConfigs &configs) {
+        return PmpPrefetcher::storageBits(configs.pmp);
+    };
+    return info;
+}
+
+std::uint64_t
+PmpPrefetcher::storageBits(const PmpConfig &config)
+{
+    // FT entry: valid 1 + page tag 30 + offset 6 + PC signature 16
+    //           + LRU 8.
+    const std::uint64_t ft_entry = 1 + 30 + 6 + 16 + 8;
+    // AT entry: valid 1 + page tag 30 + trigger offset 6 + trigger PC
+    //           signature 16 + 64-bit bitmap + LRU 8.
+    const std::uint64_t at_entry = 1 + 30 + 6 + 16 + 64 + 8;
+    // PT entry: valid 1 + tag 16 + 64 counters.
+    const std::uint64_t pt_entry = 1 + 16 + 64 * config.counterBits;
+    return config.ftEntries * ft_entry + config.atEntries * at_entry +
+           config.ptEntries * pt_entry;
+}
+
+} // namespace pfsim::prefetch

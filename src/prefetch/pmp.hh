@@ -1,0 +1,157 @@
+/**
+ * @file
+ * PMP — pattern-merging prefetching (Jiang et al., MICRO 2021; the
+ * zeal4u/PMP reference implementation).  A spatial prefetcher in the
+ * SMS/Bingo family: it records which blocks of a 4 KB region a program
+ * touches as an offset bitmap, and *merges* the bitmaps of regions
+ * that share a trigger context into one table of per-offset saturating
+ * counters, instead of storing each pattern verbatim.  Merging is what
+ * keeps the storage small: similar-but-not-identical patterns
+ * reinforce the offsets they agree on and decay the ones they do not.
+ *
+ * Three tables, as in the reference implementation:
+ *
+ *  - Filter Table (FT): regions seen exactly once, holding the trigger
+ *    offset and PC.  A second access to a different block promotes the
+ *    region to the accumulation table.
+ *  - Accumulation Table (AT): active regions accumulating their offset
+ *    bitmap.  Eviction (capacity or LRU) merges the pattern.
+ *  - Pattern Table (PT): merged patterns keyed by the trigger context
+ *    (PC signature x trigger offset), one saturating counter per
+ *    rotated offset.  Offsets present in a merged pattern count up;
+ *    absent ones decay, so stale blocks stop being predicted.
+ *
+ * On the first access to a region the merged pattern is looked up and
+ * every offset whose counter clears the confidence thresholds is
+ * prefetched — high-confidence offsets fill the L2, the rest only the
+ * LLC (the same two-level fill the paper's filter emits).  Patterns
+ * are stored rotated so the trigger offset is position zero, which is
+ * what lets one merged pattern serve triggers anywhere in a region.
+ */
+
+#ifndef PFSIM_PREFETCH_PMP_HH
+#define PFSIM_PREFETCH_PMP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace pfsim::prefetch
+{
+
+/** PMP tuning knobs. */
+struct PmpConfig
+{
+    /** Filter Table entries (single-access regions). */
+    unsigned ftEntries = 64;
+
+    /** Accumulation Table entries (regions gathering their bitmap). */
+    unsigned atEntries = 32;
+
+    /** Pattern Table entries (merged patterns), power of two. */
+    unsigned ptEntries = 256;
+
+    /** Bits per per-offset counter (saturates at 2^bits - 1). */
+    unsigned counterBits = 3;
+
+    /**
+     * Counter value at or above which an offset fills the L2; at or
+     * above half of it (rounded up) the offset still fills the LLC.
+     */
+    unsigned hiConfidence = 5;
+
+    /** Maximum prefetches issued per region trigger. */
+    unsigned degree = 8;
+};
+
+/** PMP event counters (host-side introspection; serialized). */
+struct PmpStats
+{
+    std::uint64_t triggers = 0;   ///< first accesses to a region
+    std::uint64_t promotions = 0; ///< FT -> AT promotions
+    std::uint64_t merges = 0;     ///< AT patterns merged into the PT
+    std::uint64_t patternHits = 0; ///< triggers finding a merged pattern
+    std::uint64_t issued = 0;     ///< prefetches issued
+};
+
+/** The pattern-merging prefetcher. */
+class PmpPrefetcher : public Prefetcher
+{
+  public:
+    explicit PmpPrefetcher(PmpConfig config = {});
+
+    void operate(const OperateInfo &info) override;
+    void fill(const FillInfo &info) override;
+    const std::string &name() const override;
+
+    const PmpStats &pmpStats() const { return stats_; }
+    const PmpConfig &config() const { return config_; }
+
+    /** Hardware storage budget of this configuration, in bits. */
+    static std::uint64_t storageBits(const PmpConfig &config);
+
+    /** Snapshot support (definitions in snapshot/state_io.cc). */
+    void serialize(snapshot::Sink &sink) const override;
+    void deserialize(snapshot::Source &src) override;
+
+  private:
+    /** A single-access region awaiting its second touch. */
+    struct FtEntry
+    {
+        bool valid = false;
+        Addr page = 0;
+        std::uint8_t offset = 0;
+        Pc pc = 0;
+        std::uint64_t lru = 0;
+    };
+
+    /** An active region accumulating its offset bitmap. */
+    struct AtEntry
+    {
+        bool valid = false;
+        Addr page = 0;
+        std::uint8_t triggerOffset = 0;
+        Pc triggerPc = 0;
+        std::uint64_t bitmap = 0;
+        std::uint64_t lru = 0;
+    };
+
+    /** A merged pattern: one counter per trigger-anchored offset. */
+    struct PtEntry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::array<std::uint8_t, 64> counters{};
+    };
+
+    /** Trigger-context key: PC signature x trigger offset. */
+    std::uint32_t patternKey(Pc pc, unsigned offset) const;
+
+    /** Merge @p entry's anchored bitmap into the Pattern Table. */
+    void mergePattern(const AtEntry &entry);
+
+    /** Predict and issue prefetches for a fresh region trigger. */
+    void predict(Addr page, unsigned offset, Pc pc);
+
+    FtEntry *findFt(Addr page);
+    AtEntry *findAt(Addr page);
+
+    /** Promote @p ft to the AT (evicting and merging the LRU entry). */
+    void promote(const FtEntry &ft, unsigned second_offset);
+
+    PmpConfig config_;
+    std::vector<FtEntry> ft_;
+    std::vector<AtEntry> at_;
+    std::vector<PtEntry> pt_;
+
+    /** LRU clock shared by the FT and AT (monotonic touch stamp). */
+    std::uint64_t lruStamp_ = 0;
+
+    PmpStats stats_;
+};
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_PMP_HH

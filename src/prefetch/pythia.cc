@@ -1,0 +1,243 @@
+#include "prefetch/pythia.hh"
+
+#include "prefetch/registry/registry.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+PythiaPrefetcher::PythiaPrefetcher(PythiaConfig config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.actions.empty() || config_.actions[0] != 0)
+        fatal("Pythia needs a non-empty action list starting with the "
+              "no-prefetch action 0");
+    if (config_.alphaDen <= 0 || config_.gammaDen <= 0)
+        fatal("Pythia alpha/gamma denominators must be positive");
+    if (config_.eqSize == 0)
+        fatal("Pythia evaluation queue must have at least one entry");
+    if (config_.qTableEntriesLog2 == 0 ||
+        config_.qTableEntriesLog2 > 20) {
+        fatal("Pythia Q-table log2 size out of range");
+    }
+
+    const std::size_t entries =
+        std::size_t(1) << config_.qTableEntriesLog2;
+    q1_.assign(entries * config_.actions.size(), 0);
+    q2_.assign(entries * config_.actions.size(), 0);
+    eq_.assign(config_.eqSize, {});
+}
+
+void
+PythiaPrefetcher::featureIndices(Pc pc, int delta, std::uint32_t &idx1,
+                                 std::uint32_t &idx2) const
+{
+    const std::uint64_t entry_mask =
+        (std::uint64_t(1) << config_.qTableEntriesLog2) - 1;
+
+    // Feature 1: PC x current delta — the program-context feature the
+    // Pythia paper finds most predictive.
+    const std::uint64_t f1 =
+        std::uint64_t(pc) * 0x9E3779B97F4A7C15ULL +
+        std::uint64_t(std::int64_t(delta));
+    idx1 = std::uint32_t(mix64(f1) & entry_mask);
+
+    // Feature 2: the recent delta history, PC-free, so strided sweeps
+    // generalise across the instructions driving them.
+    std::uint64_t f2 = 0;
+    for (std::int32_t d : deltaHistory_)
+        f2 = mix64(f2 ^ (std::uint64_t(std::int64_t(d)) + 0x1F0D1ULL));
+    idx2 = std::uint32_t(f2 & entry_mask);
+}
+
+std::int32_t
+PythiaPrefetcher::vote(std::uint32_t idx1, std::uint32_t idx2,
+                       std::uint32_t action) const
+{
+    const std::size_t n = config_.actions.size();
+    return q1_[std::size_t(idx1) * n + action] +
+           q2_[std::size_t(idx2) * n + action];
+}
+
+std::uint32_t
+PythiaPrefetcher::bestAction(std::uint32_t idx1,
+                             std::uint32_t idx2) const
+{
+    // First maximum wins: ties resolve by action-list order, which
+    // keeps same-seed replays bit-identical.
+    std::uint32_t best = 0;
+    std::int32_t best_q = vote(idx1, idx2, 0);
+    for (std::uint32_t a = 1; a < config_.actions.size(); ++a) {
+        const std::int32_t q = vote(idx1, idx2, a);
+        if (q > best_q) {
+            best = a;
+            best_q = q;
+        }
+    }
+    return best;
+}
+
+void
+PythiaPrefetcher::retire(std::size_t slot)
+{
+    EqEntry &entry = eq_[slot];
+    if (!entry.valid)
+        return;
+
+    // Finalize the delayed reward: a demand hit already rewarded the
+    // entry; otherwise the prefetch was junk, or the action was the
+    // (mildly penalised) choice not to prefetch.
+    if (!entry.rewarded) {
+        entry.reward = entry.addr != 0 ? config_.rewardInaccurate
+                                       : config_.rewardNone;
+    }
+
+    // SARSA target: reward plus the discounted Q-value of the decision
+    // that followed this one — the next ring slot, since the ring is
+    // insertion-ordered and this is its oldest entry.
+    const EqEntry &succ = eq_[(slot + 1) % eq_.size()];
+    std::int32_t next_q = 0;
+    if (succ.valid)
+        next_q = vote(succ.idx1, succ.idx2, succ.action);
+    const std::int32_t target =
+        entry.reward * 256 +
+        std::int32_t(std::int64_t(config_.gammaNum) * next_q /
+                     config_.gammaDen);
+
+    // Split the TD error evenly across the two feature tables; all
+    // arithmetic is integer fixed-point (1/256 units) so replay and
+    // snapshot restore stay bit-identical.
+    const std::size_t n = config_.actions.size();
+    std::int32_t &q1 = q1_[std::size_t(entry.idx1) * n + entry.action];
+    std::int32_t &q2 = q2_[std::size_t(entry.idx2) * n + entry.action];
+    const std::int32_t error = target - (q1 + q2);
+    q1 += error / (2 * config_.alphaDen);
+    q2 += error / (2 * config_.alphaDen);
+    ++stats_.updates;
+
+    entry.valid = false;
+}
+
+void
+PythiaPrefetcher::operate(const OperateInfo &info)
+{
+    const Addr block = info.addr >> blockShift;
+
+    // Any demand touching a block we prefetched earns that decision
+    // its accuracy reward, whether the access hit or merged late.
+    for (EqEntry &entry : eq_) {
+        if (entry.valid && !entry.rewarded && entry.addr == info.addr) {
+            entry.rewarded = true;
+            entry.reward = config_.rewardAccurate;
+            ++stats_.accurate;
+        }
+    }
+
+    // Decisions trigger on the learning stream (misses and first
+    // touches of prefetched blocks), like the other L2 prefetchers.
+    if (info.cacheHit && !info.hitPrefetched)
+        return;
+
+    int delta = 0;
+    if (haveLast_) {
+        const std::int64_t d = std::int64_t(block) -
+                               std::int64_t(lastBlock_);
+        if (d > -64 && d < 64)
+            delta = int(d);
+    }
+    lastBlock_ = block;
+    haveLast_ = true;
+    for (std::size_t i = deltaHistory_.size() - 1; i > 0; --i)
+        deltaHistory_[i] = deltaHistory_[i - 1];
+    deltaHistory_[0] = delta;
+
+    std::uint32_t idx1 = 0;
+    std::uint32_t idx2 = 0;
+    featureIndices(info.pc, delta, idx1, idx2);
+
+    ++stats_.decisions;
+    std::uint32_t action;
+    if (config_.epsilonInverse != 0 &&
+        rng_.below(config_.epsilonInverse) == 0) {
+        action = std::uint32_t(rng_.below(config_.actions.size()));
+        ++stats_.explored;
+    } else {
+        action = bestAction(idx1, idx2);
+    }
+
+    // Execute the action.  Cross-page targets and queue rejections
+    // leave addr at 0: the block was never prefetched, so the decision
+    // retires with the no-prefetch reward rather than waiting for a
+    // demand hit that cannot come.
+    Addr issued_addr = 0;
+    const int offset = config_.actions[action];
+    if (offset != 0) {
+        const Addr target = Addr(std::int64_t(block) + offset)
+                            << blockShift;
+        if (pageNumber(target) == pageNumber(info.addr) &&
+            issuer_->issuePrefetch(target, true)) {
+            issued_addr = target;
+            ++stats_.issued;
+        }
+    }
+
+    // Record the decision: retire the ring slot it displaces (that
+    // entry's successor — the next slot — is still present, which is
+    // what the SARSA bootstrap needs).
+    retire(eqPos_);
+    EqEntry &entry = eq_[eqPos_];
+    entry.valid = true;
+    entry.addr = issued_addr;
+    entry.idx1 = idx1;
+    entry.idx2 = idx2;
+    entry.action = action;
+    entry.rewarded = false;
+    entry.reward = 0;
+    eqPos_ = (eqPos_ + 1) % eq_.size();
+}
+
+void
+PythiaPrefetcher::fill(const FillInfo &)
+{
+    // Rewards are assigned from the demand stream at EQ retirement.
+}
+
+const std::string &
+PythiaPrefetcher::name() const
+{
+    static const std::string n = "pythia";
+    return n;
+}
+
+BackendInfo
+pythiaBackend()
+{
+    BackendInfo info;
+    info.name = "pythia";
+    info.summary =
+        "tabular Q-learning prefetcher (Bera et al., MICRO 2021)";
+    info.make = [](const BackendConfigs &configs) {
+        return std::make_unique<PythiaPrefetcher>(configs.pythia);
+    };
+    info.storageBits = [](const BackendConfigs &configs) {
+        return PythiaPrefetcher::storageBits(configs.pythia);
+    };
+    return info;
+}
+
+std::uint64_t
+PythiaPrefetcher::storageBits(const PythiaConfig &config)
+{
+    const std::uint64_t entries = std::uint64_t(1)
+                                  << config.qTableEntriesLog2;
+    // Two Q-tables, 16-bit fixed-point value per (entry, action).
+    const std::uint64_t q_bits = 2 * entries * config.actions.size() * 16;
+    // EQ entry: valid 1 + rewarded 1 + block tag 40 + two feature
+    // indices + action id 6 + reward 8.
+    const std::uint64_t eq_entry =
+        1 + 1 + 40 + 2 * config.qTableEntriesLog2 + 6 + 8;
+    return q_bits + config.eqSize * eq_entry;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The built-in prefetcher zoo, assembled in one function.  Everything
+ * the old if/else factory in sim/system.cc constructed is here, with
+ * the same configurations, so specs keep producing byte-identical
+ * simulations; PMP and Pythia bring their descriptors from their own
+ * translation units.
+ *
+ * Storage budgets for the classical backends are derived from their
+ * structure sizes the same way core/storage.cc derives the paper's
+ * Table 3 (tag and field widths stated per entry); SPP+PPF reports the
+ * paper's audited 322,240-bit total directly.
+ */
+
+#include "core/storage.hh"
+#include "prefetch/ampm.hh"
+#include "prefetch/bop.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/registry/registry.hh"
+#include "prefetch/vldp.hh"
+
+namespace pfsim::prefetch
+{
+
+namespace
+{
+
+BackendInfo
+noneBackend()
+{
+    BackendInfo info;
+    info.name = "none";
+    info.summary = "no prefetching (the paper's baseline)";
+    // Filtering nothing is a no-op; the parser rejects "none+ppf".
+    info.filterable = false;
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<NoPrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        return std::uint64_t(0);
+    };
+    return info;
+}
+
+BackendInfo
+nextLineBackend()
+{
+    BackendInfo info;
+    info.name = "next_line";
+    info.summary = "stateless next-line prefetcher";
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<NextLinePrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        return std::uint64_t(0);
+    };
+    return info;
+}
+
+BackendInfo
+ipStrideBackend()
+{
+    BackendInfo info;
+    info.name = "ip_stride";
+    info.summary = "PC-indexed stride prefetcher (Baer-Chen style)";
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<IpStridePrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        // 256 trackers: valid 1 + PC tag 16 + last block 40 +
+        // stride 12 + confidence 2.
+        return std::uint64_t(256) * (1 + 16 + 40 + 12 + 2);
+    };
+    return info;
+}
+
+BackendInfo
+bopBackend()
+{
+    BackendInfo info;
+    info.name = "bop";
+    info.summary = "best-offset prefetcher (Michaud, HPCA 2016)";
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<BopPrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        // RR table 256 x 12-bit tag, 52 candidate offsets x 12-bit
+        // score, current/best offset and round bookkeeping ~64.
+        return std::uint64_t(256) * 12 + 52 * 12 + 64;
+    };
+    return info;
+}
+
+BackendInfo
+daAmpmBackend()
+{
+    BackendInfo info;
+    info.name = "da_ampm";
+    info.summary = "DRAM-aware AMPM (access-map pattern matching)";
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<AmpmPrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        // 64 zones: valid 1 + page tag 30 + LRU 8 + access and
+        // prefetch maps (64 x 2-bit states).
+        return std::uint64_t(64) * (1 + 30 + 8 + 64 * 2);
+    };
+    return info;
+}
+
+BackendInfo
+vldpBackend()
+{
+    BackendInfo info;
+    info.name = "vldp";
+    info.summary = "variable-length delta prefetcher (MICRO 2015)";
+    info.make = [](const BackendConfigs &) {
+        return std::make_unique<VldpPrefetcher>();
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        // DHB 16 x (page tag 30 + last offset 6 + 3 deltas x 7 +
+        // LRU 8), three DPTs 64 x (key 21 + delta 7 + conf 2), OPT
+        // 64 x (delta 7 + conf 2).
+        return std::uint64_t(16) * (30 + 6 + 3 * 7 + 8) +
+               std::uint64_t(3) * 64 * (21 + 7 + 2) +
+               std::uint64_t(64) * (7 + 2);
+    };
+    return info;
+}
+
+BackendInfo
+sppBackend()
+{
+    BackendInfo info;
+    info.name = "spp";
+    info.summary = "signature path prefetcher (MICRO 2016 baseline)";
+    info.make = [](const BackendConfigs &configs) {
+        return std::make_unique<SppPrefetcher>(configs.spp);
+    };
+    info.storageBits = [](const BackendConfigs &configs) {
+        const SppConfig &c = configs.spp;
+        // ST entry: valid 1 + tag 16 + last offset 6 + signature +
+        // LRU 8; PT entry: Csig 4 + 4 slots x (Cdelta 4 + delta 7);
+        // GHR entry: sig + conf 8 + offset 6 + delta 7.
+        return std::uint64_t(c.stSets) * c.stWays *
+                   (1 + 16 + 6 + c.signatureBits + 8) +
+               std::uint64_t(c.ptEntries) * (4 + 4 * (4 + 7)) +
+               std::uint64_t(c.ghrEntries) *
+                   (c.signatureBits + 8 + 6 + 7);
+    };
+    return info;
+}
+
+BackendInfo
+sppPpfBackend()
+{
+    BackendInfo info;
+    info.name = "spp_ppf";
+    info.summary =
+        "SPP with the tightly-integrated perceptron filter (the paper)";
+    // Already filtered: "spp_ppf+ppf" (and the old factory's
+    // "spp_ppf_ppf") is a double filter and is rejected.
+    info.filterable = false;
+    info.make = [](const BackendConfigs &configs) {
+        return std::make_unique<ppf::SppPpfPrefetcher>(configs.sppPpf);
+    };
+    info.storageBits = [](const BackendConfigs &) {
+        // The audited Table 3 total (core/storage.cc): 322,240 bits.
+        return ppf::totalStorageBits();
+    };
+    return info;
+}
+
+} // namespace
+
+void
+registerBuiltinBackends()
+{
+    registerPrefetcherBackend(noneBackend());
+    registerPrefetcherBackend(nextLineBackend());
+    registerPrefetcherBackend(ipStrideBackend());
+    registerPrefetcherBackend(bopBackend());
+    registerPrefetcherBackend(daAmpmBackend());
+    registerPrefetcherBackend(vldpBackend());
+    registerPrefetcherBackend(sppBackend());
+    registerPrefetcherBackend(sppPpfBackend());
+    registerPrefetcherBackend(pmpBackend());
+    registerPrefetcherBackend(pythiaBackend());
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,181 @@
+#include "prefetch/registry/registry.hh"
+
+#include "core/generic_filter.hh"
+#include "util/logging.hh"
+
+namespace pfsim::prefetch
+{
+
+namespace
+{
+
+/** The registry grammar, quoted verbatim by every parse rejection. */
+const char grammarNote[] =
+    " (valid specs: <backend> or <backend>+ppf; run with "
+    "--list-prefetchers for the backend names)";
+
+std::vector<BackendInfo> &
+backendTable()
+{
+    static std::vector<BackendInfo> table;
+    return table;
+}
+
+/**
+ * Built-in registration runs on the first registry query, not at
+ * static-initialization time: explicit and idempotent, so tests may
+ * also call registerBuiltinBackends() directly.
+ */
+void
+ensureBuiltins()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    registerBuiltinBackends();
+}
+
+} // namespace
+
+void
+registerPrefetcherBackend(BackendInfo info)
+{
+    if (info.name.empty())
+        fatal("prefetcher backend registered without a name");
+    if (!info.make || !info.storageBits) {
+        fatal("prefetcher backend '" + info.name +
+              "' registered without a factory or storage report");
+    }
+    for (const BackendInfo &existing : backendTable()) {
+        if (existing.name == info.name) {
+            fatal("prefetcher backend '" + info.name +
+                  "' registered twice");
+        }
+    }
+    backendTable().push_back(std::move(info));
+}
+
+const std::vector<BackendInfo> &
+prefetcherBackends()
+{
+    ensureBuiltins();
+    return backendTable();
+}
+
+const BackendInfo *
+findPrefetcherBackend(const std::string &name)
+{
+    for (const BackendInfo &info : prefetcherBackends()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+bool
+tryParsePrefetcherSpec(const std::string &text, PrefetcherSpec &spec,
+                       std::string &error)
+{
+    ensureBuiltins();
+
+    std::string base = text;
+    bool filtered = false;
+
+    // Split one "+<modifier>" off the end; "ppf" is the only modifier.
+    if (const auto plus = base.find('+'); plus != std::string::npos) {
+        const std::string modifier = base.substr(plus + 1);
+        base = base.substr(0, plus);
+        if (modifier != "ppf") {
+            error = "unknown prefetcher modifier '+" + modifier +
+                    "' in '" + text + "'" + grammarNote;
+            return false;
+        }
+        filtered = true;
+    }
+
+    // Legacy "<base>_ppf" spelling: strip the suffix exactly once.
+    // The old factory recursed here, which is how "spp_ppf_ppf" and
+    // "none_ppf" slipped through; registered names ("spp_ppf") are
+    // matched before any stripping and never re-derived.
+    if (!filtered && findPrefetcherBackend(base) == nullptr &&
+        base.size() > 4 &&
+        base.compare(base.size() - 4, 4, "_ppf") == 0) {
+        base = base.substr(0, base.size() - 4);
+        filtered = true;
+    }
+
+    const BackendInfo *info = findPrefetcherBackend(base);
+    if (info == nullptr) {
+        error = "unknown prefetcher backend '" + base + "' in '" +
+                text + "'" + grammarNote;
+        return false;
+    }
+
+    if (filtered && !info->filterable) {
+        if (base == "none") {
+            error = "'" + text + "' filters the no-op backend: the "
+                    "perceptron would never see a candidate" +
+                    grammarNote;
+        } else {
+            error = "'" + text + "' double-filters '" + base +
+                    "', which is already PPF-filtered" + grammarNote;
+        }
+        return false;
+    }
+
+    // "spp+ppf" means the paper's tight integration (exported SPP
+    // metadata feeding the perceptron), not a metadata-free generic
+    // wrap around plain SPP — canonicalise to the registered backend.
+    if (filtered && base == "spp") {
+        base = "spp_ppf";
+        filtered = false;
+    }
+
+    spec.base = base;
+    spec.filtered = filtered;
+    spec.canonical = filtered ? base + "+ppf" : base;
+    return true;
+}
+
+PrefetcherSpec
+parsePrefetcherSpec(const std::string &text)
+{
+    PrefetcherSpec spec;
+    std::string error;
+    if (!tryParsePrefetcherSpec(text, spec, error))
+        fatal(error);
+    return spec;
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcherFromSpec(const std::string &text,
+                       const BackendConfigs &configs)
+{
+    const PrefetcherSpec spec = parsePrefetcherSpec(text);
+    const BackendInfo *info = findPrefetcherBackend(spec.base);
+    std::unique_ptr<Prefetcher> base = info->make(configs);
+    if (!spec.filtered)
+        return base;
+    return std::make_unique<ppf::FilteredPrefetcher>(
+        std::move(base), configs.sppPpf.ppf);
+}
+
+std::string
+describeBackend(const BackendInfo &info, const BackendConfigs &configs)
+{
+    const std::uint64_t bits = info.storageBits(configs);
+    // Tenths of a KB, rounded: precise enough to compare budgets,
+    // stable enough to diff in CI.
+    const std::uint64_t tenth_kb = (bits * 10 + 4096) / 8192;
+    std::string row = info.name;
+    row.append(row.size() < 12 ? 12 - row.size() : 1, ' ');
+    row += std::to_string(bits) + " bits (" +
+           std::to_string(tenth_kb / 10) + "." +
+           std::to_string(tenth_kb % 10) + " KB)  ";
+    row += info.filterable ? "[+ppf ok] " : "[no +ppf] ";
+    row += info.summary;
+    return row;
+}
+
+} // namespace pfsim::prefetch

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The prefetcher backend registry (ROADMAP item 2): every prefetcher
+ * family in the repository is a registered backend descriptor — name,
+ * one-line summary, factory, storage-budget report and a filterable
+ * flag — and the `--prefetcher` flag is parsed against one composable
+ * spec grammar instead of the old if/else factory chain:
+ *
+ *     <backend>            a registered backend by name
+ *     <backend>+ppf        the backend wrapped behind the generic
+ *                          perceptron filter (paper Section 3.2)
+ *     <backend>_ppf        legacy spelling of <backend>+ppf, kept so
+ *                          existing scripts and reports parse
+ *                          unchanged
+ *
+ * Two compositions are rejected rather than silently constructed, with
+ * a one-line fatal naming the grammar: filtering "none" (a no-op — the
+ * filter would never see a candidate) and filtering "spp_ppf" or any
+ * already-filtered spec (a double filter; the old factory's suffix
+ * recursion accepted "spp_ppf_ppf").  "spp+ppf" canonicalises to
+ * "spp_ppf", the paper's tight integration with exported SPP metadata,
+ * not the metadata-free generic wrap.
+ *
+ * Registration is a plain descriptor handed to
+ * registerPrefetcherBackend().  Each substantial backend exposes its
+ * descriptor from its own translation unit (pmpBackend(),
+ * pythiaBackend()); builtin.cc assembles the full zoo in one place
+ * because self-registering global constructors in a static library are
+ * dropped by the linker unless referenced (DESIGN.md §15).  Adding a
+ * backend is: implement Prefetcher, expose a descriptor, add one line
+ * to registerBuiltinBackends().
+ */
+
+#ifndef PFSIM_PREFETCH_REGISTRY_REGISTRY_HH
+#define PFSIM_PREFETCH_REGISTRY_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spp_ppf.hh"
+#include "prefetch/pmp.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/pythia.hh"
+#include "prefetch/spp.hh"
+
+namespace pfsim::prefetch
+{
+
+/**
+ * Per-backend tuning parameters the factories draw from.  One struct
+ * rather than N factory signatures, so SystemConfig can carry every
+ * backend's knobs and a spec string alone selects the construction.
+ */
+struct BackendConfigs
+{
+    SppConfig spp;
+    ppf::SppPpfConfig sppPpf;
+    PmpConfig pmp;
+    PythiaConfig pythia;
+};
+
+/** A registered prefetcher backend. */
+struct BackendInfo
+{
+    /** Spec name, e.g. "pmp". */
+    std::string name;
+
+    /** One-line description for --list-prefetchers. */
+    std::string summary;
+
+    /**
+     * True when <name>+ppf is a valid composition.  False for "none"
+     * (filtering nothing is a no-op) and "spp_ppf" (already filtered).
+     */
+    bool filterable = true;
+
+    /** Construct the backend from its configuration. */
+    std::function<std::unique_ptr<Prefetcher>(const BackendConfigs &)>
+        make;
+
+    /** Hardware storage budget in bits under @p configs. */
+    std::function<std::uint64_t(const BackendConfigs &)> storageBits;
+};
+
+/**
+ * Register @p info.  fatal() on a duplicate name or a descriptor
+ * missing its factory or storage report — a half-described backend
+ * would corrupt every listing and bench that iterates the zoo.
+ */
+void registerPrefetcherBackend(BackendInfo info);
+
+/** Every registered backend, in registration order. */
+const std::vector<BackendInfo> &prefetcherBackends();
+
+/** The backend named @p name, or nullptr. */
+const BackendInfo *findPrefetcherBackend(const std::string &name);
+
+/** A parsed --prefetcher spec. */
+struct PrefetcherSpec
+{
+    /** Registered backend name ("spp+ppf" canonicalises to base
+     *  "spp_ppf" here — the tight integration, not a generic wrap). */
+    std::string base;
+
+    /** Wrap the base behind the generic perceptron filter. */
+    bool filtered = false;
+
+    /** Canonical spelling: "<base>" or "<base>+ppf". */
+    std::string canonical;
+};
+
+/**
+ * Parse @p text against the spec grammar.  On failure returns false
+ * and fills @p error with the one-line diagnosis (unknown backend,
+ * no-op filter, double filter, unknown modifier), always naming the
+ * valid grammar.  Never constructs anything.
+ */
+bool tryParsePrefetcherSpec(const std::string &text,
+                            PrefetcherSpec &spec, std::string &error);
+
+/** tryParsePrefetcherSpec, fatal() on failure. */
+PrefetcherSpec parsePrefetcherSpec(const std::string &text);
+
+/**
+ * Build the prefetcher @p text names: the backend itself, or the
+ * backend behind a ppf::FilteredPrefetcher when the spec composes
+ * +ppf.  fatal() on a spec the grammar rejects.
+ */
+std::unique_ptr<Prefetcher>
+makePrefetcherFromSpec(const std::string &text,
+                       const BackendConfigs &configs);
+
+/**
+ * One row of the --list-prefetchers report: "<name>  <bits> bits
+ * (<KB> KB)  [+ppf] <summary>".  Exposed so the CI smoke can check
+ * the exact lines against prefetcherBackends().
+ */
+std::string describeBackend(const BackendInfo &info,
+                            const BackendConfigs &configs);
+
+/** PMP's backend descriptor (defined alongside it in pmp.cc). */
+BackendInfo pmpBackend();
+
+/** Pythia's backend descriptor (defined in pythia.cc). */
+BackendInfo pythiaBackend();
+
+/**
+ * Register every built-in backend (defined in builtin.cc, invoked
+ * lazily by the registry accessors).  Explicit rather than
+ * global-constructor self-registration: in a static library the
+ * linker drops unreferenced registrar objects, and a zoo that varies
+ * with link order is worse than one assembled in a single function.
+ */
+void registerBuiltinBackends();
+
+} // namespace pfsim::prefetch
+
+#endif // PFSIM_PREFETCH_REGISTRY_REGISTRY_HH

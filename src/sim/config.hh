@@ -13,6 +13,8 @@
 #include "core/spp_ppf.hh"
 #include "cpu/core.hh"
 #include "dram/dram.hh"
+#include "prefetch/pmp.hh"
+#include "prefetch/pythia.hh"
 #include "prefetch/spp.hh"
 
 namespace pfsim::sim
@@ -56,16 +58,27 @@ struct SystemConfig
     dram::DramConfig dram;
 
     /**
-     * L2 prefetcher: "none", "next_line", "ip_stride", "bop",
-     * "da_ampm", "spp" or "spp_ppf".
+     * L2 prefetcher spec, parsed against the registry grammar
+     * (prefetch/registry/registry.hh): any registered backend name
+     * ("none", "next_line", "ip_stride", "bop", "da_ampm", "vldp",
+     * "spp", "spp_ppf", "pmp", "pythia"), optionally composed with
+     * the generic perceptron filter as "<backend>+ppf" (legacy
+     * "<backend>_ppf" spelling accepted).
      */
     std::string prefetcher = "none";
 
-    /** SPP parameters when prefetcher == "spp". */
+    /** SPP parameters when the spec selects "spp". */
     prefetch::SppConfig sppConfig;
 
-    /** SPP+PPF parameters when prefetcher == "spp_ppf". */
+    /** SPP+PPF parameters when the spec selects "spp_ppf"; its .ppf
+     *  member also configures every generic "+ppf" composition. */
     ppf::SppPpfConfig sppPpfConfig;
+
+    /** PMP parameters when the spec selects "pmp". */
+    prefetch::PmpConfig pmpConfig;
+
+    /** Pythia parameters when the spec selects "pythia". */
+    prefetch::PythiaConfig pythiaConfig;
 
     /**
      * Default configuration for @p cores cores: private 32 KB L1s and

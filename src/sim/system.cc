@@ -1,13 +1,7 @@
 #include "sim/system.hh"
 
-#include "core/generic_filter.hh"
 #include "fault/engine.hh"
-#include "prefetch/ampm.hh"
-#include "prefetch/bop.hh"
-#include "prefetch/ip_stride.hh"
-#include "prefetch/next_line.hh"
-#include "prefetch/spp.hh"
-#include "prefetch/vldp.hh"
+#include "prefetch/registry/registry.hh"
 #include "util/logging.hh"
 
 namespace pfsim::sim
@@ -16,35 +10,14 @@ namespace pfsim::sim
 std::unique_ptr<prefetch::Prefetcher>
 makePrefetcher(const SystemConfig &config)
 {
-    const std::string &name = config.prefetcher;
-    if (name == "none")
-        return std::make_unique<prefetch::NoPrefetcher>();
-    if (name == "next_line")
-        return std::make_unique<prefetch::NextLinePrefetcher>();
-    if (name == "ip_stride")
-        return std::make_unique<prefetch::IpStridePrefetcher>();
-    if (name == "bop")
-        return std::make_unique<prefetch::BopPrefetcher>();
-    if (name == "da_ampm")
-        return std::make_unique<prefetch::AmpmPrefetcher>();
-    if (name == "vldp")
-        return std::make_unique<prefetch::VldpPrefetcher>();
-    if (name == "spp")
-        return std::make_unique<prefetch::SppPrefetcher>(
-            config.sppConfig);
-    if (name == "spp_ppf")
-        return std::make_unique<ppf::SppPpfPrefetcher>(
-            config.sppPpfConfig);
-    // Generic "<base>_ppf": any other prefetcher wrapped behind the
-    // perceptron filter (paper Section 3.2's generality recipe).
-    if (name.size() > 4 &&
-        name.compare(name.size() - 4, 4, "_ppf") == 0) {
-        SystemConfig base_config = config;
-        base_config.prefetcher = name.substr(0, name.size() - 4);
-        return std::make_unique<ppf::FilteredPrefetcher>(
-            makePrefetcher(base_config), config.sppPpfConfig.ppf);
-    }
-    fatal("unknown prefetcher: " + name);
+    // Construction lives in the backend registry; this shim only packs
+    // the SystemConfig knobs into the registry's config bundle.
+    prefetch::BackendConfigs configs;
+    configs.spp = config.sppConfig;
+    configs.sppPpf = config.sppPpfConfig;
+    configs.pmp = config.pmpConfig;
+    configs.pythia = config.pythiaConfig;
+    return prefetch::makePrefetcherFromSpec(config.prefetcher, configs);
 }
 
 System::System(const SystemConfig &config,

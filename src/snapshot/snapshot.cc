@@ -287,6 +287,35 @@ digestPpfConfig(Sink &sink, const ppf::PpfConfig &config)
 }
 
 void
+digestPmpConfig(Sink &sink, const prefetch::PmpConfig &config)
+{
+    sink.u32(config.ftEntries);
+    sink.u32(config.atEntries);
+    sink.u32(config.ptEntries);
+    sink.u32(config.counterBits);
+    sink.u32(config.hiConfidence);
+    sink.u32(config.degree);
+}
+
+void
+digestPythiaConfig(Sink &sink, const prefetch::PythiaConfig &config)
+{
+    sink.u32(config.qTableEntriesLog2);
+    sink.u32(std::uint32_t(config.actions.size()));
+    for (const int action : config.actions)
+        sink.i32(action);
+    sink.u32(config.epsilonInverse);
+    sink.i32(config.alphaDen);
+    sink.i32(config.gammaNum);
+    sink.i32(config.gammaDen);
+    sink.i32(config.rewardAccurate);
+    sink.i32(config.rewardInaccurate);
+    sink.i32(config.rewardNone);
+    sink.u32(config.eqSize);
+    sink.u64(config.seed);
+}
+
+void
 digestStreamConfig(Sink &sink, const trace::StreamConfig &config)
 {
     sink.u32(std::uint32_t(config.kind));
@@ -341,6 +370,8 @@ warmupDigest(const sim::SystemConfig &config,
     digestSppConfig(sink, config.sppConfig);
     digestSppConfig(sink, config.sppPpfConfig.spp);
     digestPpfConfig(sink, config.sppPpfConfig.ppf);
+    digestPmpConfig(sink, config.pmpConfig);
+    digestPythiaConfig(sink, config.pythiaConfig);
     sink.u64(warmup_instructions);
     sink.u32(std::uint32_t(workloads.size()));
     for (const trace::SyntheticConfig &workload : workloads)

@@ -43,6 +43,8 @@
 #include "prefetch/ampm.hh"
 #include "prefetch/bop.hh"
 #include "prefetch/ip_stride.hh"
+#include "prefetch/pmp.hh"
+#include "prefetch/pythia.hh"
 #include "prefetch/spp.hh"
 #include "prefetch/vldp.hh"
 #include "sim/system.hh"
@@ -914,6 +916,156 @@ VldpPrefetcher::deserialize(snapshot::Source &src)
         snapshot::readCounter(src, entry.accuracy);
     }
     useStamp_ = src.u64();
+}
+
+void
+PmpPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(ft_.size()));
+    for (const FtEntry &entry : ft_) {
+        sink.b(entry.valid);
+        sink.u64(entry.page);
+        sink.u8(entry.offset);
+        sink.u64(entry.pc);
+        sink.u64(entry.lru);
+    }
+
+    sink.u32(std::uint32_t(at_.size()));
+    for (const AtEntry &entry : at_) {
+        sink.b(entry.valid);
+        sink.u64(entry.page);
+        sink.u8(entry.triggerOffset);
+        sink.u64(entry.triggerPc);
+        sink.u64(entry.bitmap);
+        sink.u64(entry.lru);
+    }
+
+    sink.u32(std::uint32_t(pt_.size()));
+    for (const PtEntry &entry : pt_) {
+        sink.b(entry.valid);
+        sink.u32(entry.tag);
+        for (const std::uint8_t counter : entry.counters)
+            sink.u8(counter);
+    }
+
+    sink.u64(lruStamp_);
+
+    sink.u64(stats_.triggers);
+    sink.u64(stats_.promotions);
+    sink.u64(stats_.merges);
+    sink.u64(stats_.patternHits);
+    sink.u64(stats_.issued);
+}
+
+void
+PmpPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), ft_.size(), "PMP filter-table entry");
+    for (FtEntry &entry : ft_) {
+        entry.valid = src.b();
+        entry.page = src.u64();
+        entry.offset = src.u8();
+        entry.pc = src.u64();
+        entry.lru = src.u64();
+    }
+
+    checkCount(src.u32(), at_.size(), "PMP accumulation-table entry");
+    for (AtEntry &entry : at_) {
+        entry.valid = src.b();
+        entry.page = src.u64();
+        entry.triggerOffset = src.u8();
+        entry.triggerPc = src.u64();
+        entry.bitmap = src.u64();
+        entry.lru = src.u64();
+    }
+
+    checkCount(src.u32(), pt_.size(), "PMP pattern-table entry");
+    for (PtEntry &entry : pt_) {
+        entry.valid = src.b();
+        entry.tag = src.u32();
+        for (std::uint8_t &counter : entry.counters)
+            counter = src.u8();
+    }
+
+    lruStamp_ = src.u64();
+
+    stats_.triggers = src.u64();
+    stats_.promotions = src.u64();
+    stats_.merges = src.u64();
+    stats_.patternHits = src.u64();
+    stats_.issued = src.u64();
+}
+
+void
+PythiaPrefetcher::serialize(snapshot::Sink &sink) const
+{
+    sink.u32(std::uint32_t(q1_.size()));
+    for (const std::int32_t q : q1_)
+        sink.i32(q);
+    sink.u32(std::uint32_t(q2_.size()));
+    for (const std::int32_t q : q2_)
+        sink.i32(q);
+
+    sink.u32(std::uint32_t(eq_.size()));
+    for (const EqEntry &entry : eq_) {
+        sink.b(entry.valid);
+        sink.u64(entry.addr);
+        sink.u32(entry.idx1);
+        sink.u32(entry.idx2);
+        sink.u32(entry.action);
+        sink.b(entry.rewarded);
+        sink.i32(entry.reward);
+    }
+    sink.u64(std::uint64_t(eqPos_));
+
+    for (const std::int32_t delta : deltaHistory_)
+        sink.i32(delta);
+    sink.u64(lastBlock_);
+    sink.b(haveLast_);
+
+    snapshot::writeRng(sink, rng_);
+
+    sink.u64(stats_.decisions);
+    sink.u64(stats_.explored);
+    sink.u64(stats_.issued);
+    sink.u64(stats_.accurate);
+    sink.u64(stats_.updates);
+}
+
+void
+PythiaPrefetcher::deserialize(snapshot::Source &src)
+{
+    checkCount(src.u32(), q1_.size(), "Pythia Q-table 1 entry");
+    for (std::int32_t &q : q1_)
+        q = src.i32();
+    checkCount(src.u32(), q2_.size(), "Pythia Q-table 2 entry");
+    for (std::int32_t &q : q2_)
+        q = src.i32();
+
+    checkCount(src.u32(), eq_.size(), "Pythia EQ entry");
+    for (EqEntry &entry : eq_) {
+        entry.valid = src.b();
+        entry.addr = src.u64();
+        entry.idx1 = src.u32();
+        entry.idx2 = src.u32();
+        entry.action = src.u32();
+        entry.rewarded = src.b();
+        entry.reward = src.i32();
+    }
+    eqPos_ = std::size_t(src.u64());
+
+    for (std::int32_t &delta : deltaHistory_)
+        delta = src.i32();
+    lastBlock_ = src.u64();
+    haveLast_ = src.b();
+
+    snapshot::readRng(src, rng_);
+
+    stats_.decisions = src.u64();
+    stats_.explored = src.u64();
+    stats_.issued = src.u64();
+    stats_.accurate = src.u64();
+    stats_.updates = src.u64();
 }
 
 } // namespace pfsim::prefetch
